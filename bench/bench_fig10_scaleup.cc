@@ -1,0 +1,131 @@
+// Figure 10: the effect of the data size (TPC-H scale factor) on runtime,
+// ε fixed to 0.2.
+//  a-c: SGB-All {JOIN-ANY, ELIMINATE, FORM-NEW-GROUP}, Bounds-Checking vs
+//       on-the-fly Index, SF 1..60 (All-Pairs omitted, as in the paper:
+//       its runtime grows quadratically).
+//  d:   SGB-Any, All-Pairs vs on-the-fly Index, SF 1..32.
+//
+// Paper setup: SGB1's grouping attributes (account balance x total spend)
+// at dbgen scale. Here SF maps to Scaled(500) x SF skewed attribute pairs
+// (hotspot mixture mirroring TPC-H value skew), so the curve
+// shapes — linear-ish index growth, superlinear bounds-checking growth,
+// quadratic All-Pairs growth — are preserved.
+
+#include <map>
+
+#include "bench_common.h"
+#include "core/sgb_all.h"
+#include "core/sgb_any.h"
+
+namespace {
+
+using sgb::bench::Scaled;
+
+using sgb::core::OverlapClause;
+using sgb::core::SgbAllAlgorithm;
+using sgb::core::SgbAllOptions;
+using sgb::core::SgbAnyAlgorithm;
+using sgb::core::SgbAnyOptions;
+
+constexpr double kEpsilon = 0.2;
+
+const std::vector<sgb::geom::Point>& DatasetForSf(int64_t sf) {
+  static auto* cache =
+      new std::map<int64_t, std::vector<sgb::geom::Point>>();
+  auto it = cache->find(sf);
+  if (it == cache->end()) {
+    it = cache
+             ->emplace(sf, sgb::bench::SkewedPoints(
+                               Scaled(500) * static_cast<size_t>(sf),
+                               /*extent=*/40.0, /*hotspots=*/400,
+                               /*stddev=*/0.5,
+                               /*seed=*/1000 + static_cast<uint64_t>(sf)))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_SgbAllScale(benchmark::State& state, OverlapClause clause,
+                    SgbAllAlgorithm algorithm) {
+  const int64_t sf = state.range(0);
+  const auto& pts = DatasetForSf(sf);
+  SgbAllOptions options;
+  options.epsilon = kEpsilon;
+  options.metric = sgb::geom::Metric::kL2;
+  options.on_overlap = clause;
+  options.algorithm = algorithm;
+  size_t groups = 0;
+  for (auto _ : state) {
+    auto result = sgb::core::SgbAll(pts, options);
+    benchmark::DoNotOptimize(result);
+    groups = result.value().num_groups;
+  }
+  state.counters["rows"] = static_cast<double>(pts.size());
+  state.counters["groups"] = static_cast<double>(groups);
+}
+
+void BM_SgbAnyScale(benchmark::State& state, SgbAnyAlgorithm algorithm) {
+  const int64_t sf = state.range(0);
+  const auto& pts = DatasetForSf(sf);
+  SgbAnyOptions options;
+  options.epsilon = kEpsilon;
+  options.metric = sgb::geom::Metric::kL2;
+  options.algorithm = algorithm;
+  size_t groups = 0;
+  for (auto _ : state) {
+    auto result = sgb::core::SgbAny(pts, options);
+    benchmark::DoNotOptimize(result);
+    groups = result.value().num_groups;
+  }
+  state.counters["rows"] = static_cast<double>(pts.size());
+  state.counters["groups"] = static_cast<double>(groups);
+}
+
+void RegisterAll() {
+  const std::pair<const char*, OverlapClause> figures[] = {
+      {"Fig10a_JoinAny", OverlapClause::kJoinAny},
+      {"Fig10b_Eliminate", OverlapClause::kEliminate},
+      {"Fig10c_FormNewGroup", OverlapClause::kFormNewGroup},
+  };
+  const std::pair<const char*, SgbAllAlgorithm> algos[] = {
+      {"BoundsChecking", SgbAllAlgorithm::kBoundsChecking},
+      {"Index", SgbAllAlgorithm::kIndexed},
+  };
+  const std::vector<int64_t> sf_all = {1, 2, 4, 8, 16, 32, 60};
+  const std::vector<int64_t> sf_any = {1, 2, 4, 8, 16, 32};
+
+  for (const auto& [figure, clause] : figures) {
+    for (const auto& [name, algorithm] : algos) {
+      auto* b = benchmark::RegisterBenchmark(
+          (std::string(figure) + "/" + name).c_str(),
+          [clause = clause, algorithm = algorithm](benchmark::State& state) {
+            BM_SgbAllScale(state, clause, algorithm);
+          });
+      for (const int64_t sf : sf_all) b->Arg(sf);
+      b->Unit(benchmark::kMillisecond);
+    }
+  }
+  const std::pair<const char*, SgbAnyAlgorithm> any_algos[] = {
+      {"AllPairs", SgbAnyAlgorithm::kAllPairs},
+      {"Index", SgbAnyAlgorithm::kIndexed},
+  };
+  for (const auto& [name, algorithm] : any_algos) {
+    auto* b = benchmark::RegisterBenchmark(
+        (std::string("Fig10d_Any/") + name).c_str(),
+        [algorithm = algorithm](benchmark::State& state) {
+          BM_SgbAnyScale(state, algorithm);
+        });
+    for (const int64_t sf : sf_any) b->Arg(sf);
+    b->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

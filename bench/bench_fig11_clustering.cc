@@ -1,0 +1,143 @@
+// Figure 11: SGB vs. standalone clustering algorithms on social check-in
+// data (a: Brightkite, b: Gowalla), data size growing, ε = 0.2,
+// K-means with K = 20 and K = 40.
+//
+// Paper result: the SGB operators beat DBSCAN / BIRCH / K-means by 1-3
+// orders of magnitude because they group in a single pass while the
+// clustering algorithms scan the data repeatedly.
+//
+// Substitution (DESIGN.md): the SNAP datasets are replaced by synthetic
+// Zipf-weighted Gaussian-mixture check-in clouds with dataset-specific
+// hotspot shapes; sizes {0.5M, 1M, ..., 3M} map to Scaled({5k..30k}).
+
+#include <map>
+
+#include "bench_common.h"
+#include "cluster/birch.h"
+#include "cluster/dbscan.h"
+#include "cluster/kmeans.h"
+#include "core/sgb_all.h"
+#include "core/sgb_any.h"
+#include "workload/checkin.h"
+
+namespace {
+
+using sgb::bench::Scaled;
+using sgb::core::OverlapClause;
+using sgb::core::SgbAllAlgorithm;
+using sgb::core::SgbAllOptions;
+using sgb::core::SgbAnyOptions;
+using sgb::geom::Point;
+
+constexpr double kEpsilon = 0.2;
+
+const std::vector<Point>& Dataset(bool brightkite, int64_t size_step) {
+  static auto* cache = new std::map<std::pair<bool, int64_t>,
+                                    std::vector<Point>>();
+  const auto key = std::make_pair(brightkite, size_step);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    const size_t n = Scaled(5000) * static_cast<size_t>(size_step);
+    const auto config = brightkite ? sgb::workload::BrightkiteLike(n)
+                                   : sgb::workload::GowallaLike(n);
+    it = cache->emplace(key, sgb::workload::GenerateCheckins(config)).first;
+  }
+  return it->second;
+}
+
+void BM_SgbAllCheckin(benchmark::State& state, bool brightkite,
+                      OverlapClause clause) {
+  const auto& pts = Dataset(brightkite, state.range(0));
+  SgbAllOptions options;
+  options.epsilon = kEpsilon;
+  options.on_overlap = clause;
+  options.algorithm = SgbAllAlgorithm::kIndexed;
+  for (auto _ : state) {
+    auto result = sgb::core::SgbAll(pts, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows"] = static_cast<double>(pts.size());
+}
+
+void BM_SgbAnyCheckin(benchmark::State& state, bool brightkite) {
+  const auto& pts = Dataset(brightkite, state.range(0));
+  SgbAnyOptions options;
+  options.epsilon = kEpsilon;
+  for (auto _ : state) {
+    auto result = sgb::core::SgbAny(pts, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows"] = static_cast<double>(pts.size());
+}
+
+void BM_Dbscan(benchmark::State& state, bool brightkite) {
+  const auto& pts = Dataset(brightkite, state.range(0));
+  sgb::cluster::DbscanOptions options;
+  options.epsilon = kEpsilon;
+  options.min_points = 4;
+  options.use_index = true;  // the paper's R-tree DBSCAN baseline
+  for (auto _ : state) {
+    auto result = sgb::cluster::Dbscan(pts, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows"] = static_cast<double>(pts.size());
+}
+
+void BM_Birch(benchmark::State& state, bool brightkite) {
+  const auto& pts = Dataset(brightkite, state.range(0));
+  sgb::cluster::BirchOptions options;
+  options.threshold = kEpsilon;
+  for (auto _ : state) {
+    auto result = sgb::cluster::Birch(pts, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows"] = static_cast<double>(pts.size());
+}
+
+void BM_KMeans(benchmark::State& state, bool brightkite, size_t k) {
+  const auto& pts = Dataset(brightkite, state.range(0));
+  sgb::cluster::KMeansOptions options;
+  options.k = k;
+  options.max_iterations = 50;
+  for (auto _ : state) {
+    auto result = sgb::cluster::KMeans(pts, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows"] = static_cast<double>(pts.size());
+}
+
+void RegisterDataset(const std::string& figure, bool brightkite) {
+  auto add = [&figure](const std::string& series, auto&& fn) {
+    auto* b = benchmark::RegisterBenchmark((figure + "/" + series).c_str(),
+                                           std::forward<decltype(fn)>(fn));
+    b->DenseRange(1, 6, 1)->Unit(benchmark::kMillisecond);
+  };
+  add("DBSCAN", [brightkite](benchmark::State& s) { BM_Dbscan(s, brightkite); });
+  add("BIRCH", [brightkite](benchmark::State& s) { BM_Birch(s, brightkite); });
+  add("KMeans40",
+      [brightkite](benchmark::State& s) { BM_KMeans(s, brightkite, 40); });
+  add("KMeans20",
+      [brightkite](benchmark::State& s) { BM_KMeans(s, brightkite, 20); });
+  add("SGBAllFormNew", [brightkite](benchmark::State& s) {
+    BM_SgbAllCheckin(s, brightkite, OverlapClause::kFormNewGroup);
+  });
+  add("SGBAllEliminate", [brightkite](benchmark::State& s) {
+    BM_SgbAllCheckin(s, brightkite, OverlapClause::kEliminate);
+  });
+  add("SGBAllJoinAny", [brightkite](benchmark::State& s) {
+    BM_SgbAllCheckin(s, brightkite, OverlapClause::kJoinAny);
+  });
+  add("SGBAny",
+      [brightkite](benchmark::State& s) { BM_SgbAnyCheckin(s, brightkite); });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterDataset("Fig11a_Brightkite", true);
+  RegisterDataset("Fig11b_Gowalla", false);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

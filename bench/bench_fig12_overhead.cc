@@ -1,0 +1,99 @@
+// Figure 12: the overhead of SGB relative to the traditional GROUP BY on
+// the full SQL pipeline, data size growing (paper: 1-20 GB; here micro
+// scale factors 1..20).
+//  a: GB2 vs SGB3 (SGB-All) and SGB4 (SGB-Any) — parts-profit family.
+//  b: GB3 vs SGB5 and SGB6 — top-supplier family.
+// Plus the buying-power family (GB1 vs SGB1/SGB2) for completeness.
+//
+// Paper result: JOIN-ANY is on par with (or faster than) plain GROUP BY;
+// ELIMINATE / FORM-NEW-GROUP / Any cost ~15/40/20% more.
+
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+#include "engine/executor.h"
+#include "workload/queries.h"
+#include "workload/tpch.h"
+
+namespace {
+
+using sgb::bench::BenchScale;
+using sgb::core::OverlapClause;
+using sgb::geom::Metric;
+
+constexpr double kEpsilon = 0.2;
+
+const sgb::engine::Database& DbForSf(int64_t sf) {
+  static auto* cache =
+      new std::map<int64_t, std::unique_ptr<sgb::engine::Database>>();
+  auto it = cache->find(sf);
+  if (it == cache->end()) {
+    sgb::workload::TpchConfig config;
+    config.scale_factor = static_cast<double>(sf) * 0.1 * BenchScale();
+    auto db = std::make_unique<sgb::engine::Database>();
+    sgb::workload::GenerateTpch(config).RegisterAll(db->catalog());
+    it = cache->emplace(sf, std::move(db)).first;
+  }
+  return *it->second;
+}
+
+void BM_Query(benchmark::State& state, const std::string& sql) {
+  const auto& db = DbForSf(state.range(0));
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto result = db.Query(sql);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    rows = result.value().NumRows();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["out_rows"] = static_cast<double>(rows);
+}
+
+void Register(const std::string& name, const std::string& sql) {
+  auto* b = benchmark::RegisterBenchmark(
+      name.c_str(),
+      [sql](benchmark::State& state) { BM_Query(state, sql); });
+  for (const int64_t sf : {1, 2, 5, 10, 20}) b->Arg(sf);
+  b->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace wl = sgb::workload;
+  // Figure 12a: parts-profit family.
+  Register("Fig12a/GB2", wl::Gb2());
+  Register("Fig12a/SGB3_JoinAny",
+           wl::Sgb3(kEpsilon, Metric::kL2, OverlapClause::kJoinAny));
+  Register("Fig12a/SGB3_Eliminate",
+           wl::Sgb3(kEpsilon, Metric::kL2, OverlapClause::kEliminate));
+  Register("Fig12a/SGB3_FormNew",
+           wl::Sgb3(kEpsilon, Metric::kL2, OverlapClause::kFormNewGroup));
+  Register("Fig12a/SGB4_Any", wl::Sgb4(kEpsilon, Metric::kL2));
+
+  // Figure 12b: top-supplier family.
+  Register("Fig12b/GB3", wl::Gb3());
+  Register("Fig12b/SGB5_JoinAny",
+           wl::Sgb5(kEpsilon, Metric::kL2, OverlapClause::kJoinAny));
+  Register("Fig12b/SGB5_Eliminate",
+           wl::Sgb5(kEpsilon, Metric::kL2, OverlapClause::kEliminate));
+  Register("Fig12b/SGB5_FormNew",
+           wl::Sgb5(kEpsilon, Metric::kL2, OverlapClause::kFormNewGroup));
+  Register("Fig12b/SGB6_Any", wl::Sgb6(kEpsilon, Metric::kL2));
+
+  // Buying-power family (not plotted in the paper's Fig. 12 but part of
+  // the same overhead story via Table 2).
+  Register("Fig12x/GB1", wl::Gb1());
+  Register("Fig12x/SGB1_JoinAny",
+           wl::Sgb1(kEpsilon, Metric::kL2, OverlapClause::kJoinAny));
+  Register("Fig12x/SGB2_Any", wl::Sgb2(kEpsilon, Metric::kL2));
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

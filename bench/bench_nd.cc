@@ -1,0 +1,118 @@
+// Extension experiment (not in the paper, which defers >2-D to future
+// work): how the SGB algorithm tiers behave as the dimensionality grows.
+// The rectangle filter's selectivity degrades with dimension (the ε-box
+// occupies an ever-smaller fraction of the ε-ball: π/4 in 2-D, π/6 in 3-D,
+// π²/32 in 4-D), so the L2 member-scan refinement works harder — the
+// curse-of-dimensionality effect that motivates the paper's 2-D/3-D scope.
+
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/sgb_nd.h"
+
+namespace {
+
+using sgb::bench::Scaled;
+using sgb::core::SgbAllAlgorithm;
+using sgb::core::SgbAllOptions;
+using sgb::core::SgbAnyAlgorithm;
+using sgb::core::SgbAnyOptions;
+
+template <size_t D>
+std::vector<sgb::geom::PointN<D>> Cloud(size_t n, uint64_t seed) {
+  sgb::Rng rng(seed);
+  // Hotspot mixture matching bench_common::SkewedPoints, lifted to D dims.
+  const size_t hotspots = 400;
+  std::vector<sgb::geom::PointN<D>> centers(hotspots);
+  for (auto& c : centers) {
+    for (size_t d = 0; d < D; ++d) c.c[d] = rng.NextUniform(0, 40.0);
+  }
+  std::vector<sgb::geom::PointN<D>> pts(n);
+  for (auto& p : pts) {
+    if (rng.NextDouble() < 0.05) {
+      for (size_t d = 0; d < D; ++d) p.c[d] = rng.NextUniform(0, 40.0);
+      continue;
+    }
+    const auto& c = centers[rng.NextBounded(hotspots)];
+    for (size_t d = 0; d < D; ++d) p.c[d] = rng.NextGaussian(c.c[d], 0.5);
+  }
+  return pts;
+}
+
+template <size_t D>
+const std::vector<sgb::geom::PointN<D>>& Dataset() {
+  static const auto* pts = new std::vector<sgb::geom::PointN<D>>(
+      Cloud<D>(Scaled(10000), 1234 + D));
+  return *pts;
+}
+
+template <size_t D>
+void BM_AllNd(benchmark::State& state, SgbAllAlgorithm algorithm) {
+  SgbAllOptions options;
+  options.epsilon = static_cast<double>(state.range(0)) / 10.0;
+  options.algorithm = algorithm;
+  size_t groups = 0;
+  for (auto _ : state) {
+    auto result = sgb::core::SgbAllNd<D>(
+        std::span<const sgb::geom::PointN<D>>(Dataset<D>()), options);
+    benchmark::DoNotOptimize(result);
+    groups = result.value().num_groups;
+  }
+  state.counters["groups"] = static_cast<double>(groups);
+}
+
+template <size_t D>
+void BM_AnyNd(benchmark::State& state, SgbAnyAlgorithm algorithm) {
+  SgbAnyOptions options;
+  options.epsilon = static_cast<double>(state.range(0)) / 10.0;
+  options.algorithm = algorithm;
+  size_t groups = 0;
+  for (auto _ : state) {
+    auto result = sgb::core::SgbAnyNd<D>(
+        std::span<const sgb::geom::PointN<D>>(Dataset<D>()), options);
+    benchmark::DoNotOptimize(result);
+    groups = result.value().num_groups;
+  }
+  state.counters["groups"] = static_cast<double>(groups);
+}
+
+template <size_t D>
+void RegisterDim(const std::string& dim) {
+  benchmark::RegisterBenchmark(
+      ("Nd_All/" + dim + "/AllPairs").c_str(),
+      [](benchmark::State& s) { BM_AllNd<D>(s, SgbAllAlgorithm::kAllPairs); })
+      ->Arg(2)
+      ->Arg(5)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      ("Nd_All/" + dim + "/Index").c_str(),
+      [](benchmark::State& s) { BM_AllNd<D>(s, SgbAllAlgorithm::kIndexed); })
+      ->Arg(2)
+      ->Arg(5)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      ("Nd_Any/" + dim + "/AllPairs").c_str(),
+      [](benchmark::State& s) { BM_AnyNd<D>(s, SgbAnyAlgorithm::kAllPairs); })
+      ->Arg(2)
+      ->Arg(5)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      ("Nd_Any/" + dim + "/Index").c_str(),
+      [](benchmark::State& s) { BM_AnyNd<D>(s, SgbAnyAlgorithm::kIndexed); })
+      ->Arg(2)
+      ->Arg(5)
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterDim<2>("2d");
+  RegisterDim<3>("3d");
+  RegisterDim<4>("4d");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

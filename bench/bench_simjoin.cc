@@ -1,0 +1,94 @@
+// Companion-operator bench: the ε-similarity join (SimDB family,
+// Section 2 of the paper) — nested-loop vs. R-tree-indexed, and the
+// SQL-level formulation through dist_l2(). Not a paper figure; included
+// because the join shares the filter-refine machinery the SGB evaluation
+// exercises, and its naive/indexed gap mirrors Figures 9-10.
+
+#include "bench_common.h"
+#include "core/similarity_join.h"
+
+namespace {
+
+using sgb::bench::Scaled;
+using sgb::bench::SkewedPoints;
+using sgb::core::SimilarityJoinAlgorithm;
+
+const std::vector<sgb::geom::Point>& Left() {
+  static const auto* pts = new std::vector<sgb::geom::Point>(
+      SkewedPoints(Scaled(4000), 40.0, 400, 0.5, 77));
+  return *pts;
+}
+
+const std::vector<sgb::geom::Point>& Right() {
+  static const auto* pts = new std::vector<sgb::geom::Point>(
+      SkewedPoints(Scaled(4000), 40.0, 400, 0.5, 78));
+  return *pts;
+}
+
+void BM_Join(benchmark::State& state, SimilarityJoinAlgorithm algorithm) {
+  const double epsilon = static_cast<double>(state.range(0)) / 10.0;
+  size_t pairs = 0;
+  for (auto _ : state) {
+    auto result =
+        sgb::core::SimilarityJoin(Left(), Right(), epsilon,
+                                  sgb::geom::Metric::kL2, algorithm);
+    benchmark::DoNotOptimize(result);
+    pairs = result.value().size();
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+}
+
+void BM_SelfJoin(benchmark::State& state,
+                 SimilarityJoinAlgorithm algorithm) {
+  const double epsilon = static_cast<double>(state.range(0)) / 10.0;
+  size_t pairs = 0;
+  for (auto _ : state) {
+    auto result = sgb::core::SimilaritySelfJoin(
+        Left(), epsilon, sgb::geom::Metric::kL2, algorithm);
+    benchmark::DoNotOptimize(result);
+    pairs = result.value().size();
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("SimJoin/NestedLoop",
+                               [](benchmark::State& s) {
+                                 BM_Join(s, SimilarityJoinAlgorithm::
+                                                kNestedLoop);
+                               })
+      ->Arg(1)
+      ->Arg(5)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("SimJoin/Indexed",
+                               [](benchmark::State& s) {
+                                 BM_Join(s,
+                                         SimilarityJoinAlgorithm::kIndexed);
+                               })
+      ->Arg(1)
+      ->Arg(5)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("SimSelfJoin/NestedLoop",
+                               [](benchmark::State& s) {
+                                 BM_SelfJoin(s, SimilarityJoinAlgorithm::
+                                                    kNestedLoop);
+                               })
+      ->Arg(1)
+      ->Arg(5)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("SimSelfJoin/Indexed",
+                               [](benchmark::State& s) {
+                                 BM_SelfJoin(
+                                     s, SimilarityJoinAlgorithm::kIndexed);
+                               })
+      ->Arg(1)
+      ->Arg(5)
+      ->Unit(benchmark::kMillisecond);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

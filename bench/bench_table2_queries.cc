@@ -1,0 +1,100 @@
+// Table 2: the performance-evaluation queries on TPC-H — the plain
+// GROUP BY business questions (GB1-GB3) and their similarity versions
+// (SGB1-SGB6), each SGB-All query under both metrics and all three
+// ON-OVERLAP actions, end-to-end through the SQL pipeline.
+
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+#include "engine/executor.h"
+#include "workload/queries.h"
+#include "workload/tpch.h"
+
+namespace {
+
+using sgb::bench::BenchScale;
+using sgb::core::OverlapClause;
+using sgb::geom::Metric;
+
+constexpr double kEpsilon = 0.2;
+
+const sgb::engine::Database& Db() {
+  static auto* db = [] {
+    sgb::workload::TpchConfig config;
+    config.scale_factor = 0.5 * BenchScale();
+    auto d = new sgb::engine::Database();
+    sgb::workload::GenerateTpch(config).RegisterAll(d->catalog());
+    return d;
+  }();
+  return *db;
+}
+
+void BM_Query(benchmark::State& state, const std::string& sql) {
+  const auto& db = Db();
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto result = db.Query(sql);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    rows = result.value().NumRows();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["out_rows"] = static_cast<double>(rows);
+}
+
+void Register(const std::string& name, const std::string& sql) {
+  benchmark::RegisterBenchmark(
+      name.c_str(), [sql](benchmark::State& state) { BM_Query(state, sql); })
+      ->Unit(benchmark::kMillisecond);
+}
+
+const char* MetricTag(Metric metric) {
+  return metric == Metric::kL2 ? "L2" : "LINF";
+}
+
+const char* ClauseTag(OverlapClause clause) {
+  switch (clause) {
+    case OverlapClause::kJoinAny:
+      return "JoinAny";
+    case OverlapClause::kEliminate:
+      return "Eliminate";
+    case OverlapClause::kFormNewGroup:
+      return "FormNew";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace wl = sgb::workload;
+  Register("Table2/GB1", wl::Gb1());
+  Register("Table2/GB2", wl::Gb2());
+  Register("Table2/GB3", wl::Gb3());
+
+  const Metric metrics[] = {Metric::kL2, Metric::kLInf};
+  const OverlapClause clauses[] = {OverlapClause::kJoinAny,
+                                   OverlapClause::kEliminate,
+                                   OverlapClause::kFormNewGroup};
+  for (const Metric metric : metrics) {
+    for (const OverlapClause clause : clauses) {
+      const std::string suffix =
+          std::string("_") + MetricTag(metric) + "_" + ClauseTag(clause);
+      Register("Table2/SGB1" + suffix, wl::Sgb1(kEpsilon, metric, clause));
+      Register("Table2/SGB3" + suffix, wl::Sgb3(kEpsilon, metric, clause));
+      Register("Table2/SGB5" + suffix, wl::Sgb5(kEpsilon, metric, clause));
+    }
+    const std::string suffix = std::string("_") + MetricTag(metric);
+    Register("Table2/SGB2" + suffix, wl::Sgb2(kEpsilon, metric));
+    Register("Table2/SGB4" + suffix, wl::Sgb4(kEpsilon, metric));
+    Register("Table2/SGB6" + suffix, wl::Sgb6(kEpsilon, metric));
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,238 @@
+#include "cluster/birch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+namespace sgb::cluster {
+
+using geom::Point;
+
+namespace {
+
+/// Clustering feature: (N, linear sum, sum of squares). CFs are additive,
+/// which is what lets the tree summarize subclusters in O(1) per update.
+struct CF {
+  double n = 0.0;
+  double lsx = 0.0;
+  double lsy = 0.0;
+  double ss = 0.0;
+
+  static CF FromPoint(const Point& p) {
+    return CF{1.0, p.x, p.y, p.x * p.x + p.y * p.y};
+  }
+
+  void Add(const CF& o) {
+    n += o.n;
+    lsx += o.lsx;
+    lsy += o.lsy;
+    ss += o.ss;
+  }
+
+  Point Centroid() const { return Point{lsx / n, lsy / n}; }
+
+  /// Root-mean-square distance of members to the centroid.
+  double Radius() const {
+    const double cx = lsx / n;
+    const double cy = lsy / n;
+    const double r2 = ss / n - (cx * cx + cy * cy);
+    return r2 > 0.0 ? std::sqrt(r2) : 0.0;
+  }
+};
+
+struct Node;
+
+struct NodeEntry {
+  CF cf;
+  std::unique_ptr<Node> child;  // null in leaves
+};
+
+struct Node {
+  bool leaf = true;
+  std::vector<NodeEntry> entries;
+
+  CF Summary() const {
+    CF total;
+    for (const NodeEntry& e : entries) total.Add(e.cf);
+    return total;
+  }
+};
+
+class CfTree {
+ public:
+  explicit CfTree(const BirchOptions& options)
+      : options_(options), root_(std::make_unique<Node>()) {}
+
+  void Insert(const Point& p) {
+    std::unique_ptr<Node> sibling = InsertRec(root_.get(), CF::FromPoint(p));
+    if (sibling != nullptr) {
+      auto new_root = std::make_unique<Node>();
+      new_root->leaf = false;
+      NodeEntry left;
+      left.cf = root_->Summary();
+      left.child = std::move(root_);
+      NodeEntry right;
+      right.cf = sibling->Summary();
+      right.child = std::move(sibling);
+      new_root->entries.push_back(std::move(left));
+      new_root->entries.push_back(std::move(right));
+      root_ = std::move(new_root);
+    }
+  }
+
+  /// Collects the centroids of all leaf CF entries.
+  std::vector<Point> LeafCentroids() const {
+    std::vector<Point> out;
+    std::vector<const Node*> stack = {root_.get()};
+    while (!stack.empty()) {
+      const Node* node = stack.back();
+      stack.pop_back();
+      for (const NodeEntry& e : node->entries) {
+        if (node->leaf) {
+          out.push_back(e.cf.Centroid());
+        } else {
+          stack.push_back(e.child.get());
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  size_t Capacity(const Node& node) const {
+    return node.leaf ? options_.leaf_entries : options_.branching;
+  }
+
+  static size_t ClosestEntry(const Node& node, const CF& cf) {
+    const Point c = cf.Centroid();
+    size_t best = 0;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      const double d2 = geom::DistanceL2Squared(c, node.entries[i].cf.Centroid());
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  /// Farthest-pair split: seeds are the two entries with the most distant
+  /// centroids; the rest join the closer seed.
+  std::unique_ptr<Node> Split(Node* node) {
+    std::vector<NodeEntry> pool = std::move(node->entries);
+    node->entries.clear();
+    auto sibling = std::make_unique<Node>();
+    sibling->leaf = node->leaf;
+
+    size_t si = 0;
+    size_t sj = 1;
+    double worst = -1.0;
+    for (size_t i = 0; i + 1 < pool.size(); ++i) {
+      for (size_t j = i + 1; j < pool.size(); ++j) {
+        const double d2 = geom::DistanceL2Squared(pool[i].cf.Centroid(),
+                                                  pool[j].cf.Centroid());
+        if (d2 > worst) {
+          worst = d2;
+          si = i;
+          sj = j;
+        }
+      }
+    }
+    const Point a = pool[si].cf.Centroid();
+    const Point b = pool[sj].cf.Centroid();
+    for (size_t i = 0; i < pool.size(); ++i) {
+      const Point c = pool[i].cf.Centroid();
+      if (geom::DistanceL2Squared(c, a) <= geom::DistanceL2Squared(c, b)) {
+        node->entries.push_back(std::move(pool[i]));
+      } else {
+        sibling->entries.push_back(std::move(pool[i]));
+      }
+    }
+    // Guard against an empty side (possible with coincident centroids).
+    if (node->entries.empty()) {
+      node->entries.push_back(std::move(sibling->entries.back()));
+      sibling->entries.pop_back();
+    } else if (sibling->entries.empty()) {
+      sibling->entries.push_back(std::move(node->entries.back()));
+      node->entries.pop_back();
+    }
+    return sibling;
+  }
+
+  /// Inserts one point-CF below `node`; returns a new sibling if the node
+  /// split, in which case the caller re-derives both nodes' summary CFs.
+  std::unique_ptr<Node> InsertRec(Node* node, const CF& cf) {
+    if (node->leaf) {
+      if (!node->entries.empty()) {
+        const size_t best = ClosestEntry(*node, cf);
+        CF merged = node->entries[best].cf;
+        merged.Add(cf);
+        if (merged.Radius() <= options_.threshold) {
+          node->entries[best].cf = merged;
+          return nullptr;
+        }
+      }
+      node->entries.push_back(NodeEntry{cf, nullptr});
+      if (node->entries.size() > Capacity(*node)) return Split(node);
+      return nullptr;
+    }
+
+    const size_t best = ClosestEntry(*node, cf);
+    std::unique_ptr<Node> child_sibling =
+        InsertRec(node->entries[best].child.get(), cf);
+    node->entries[best].cf = node->entries[best].child->Summary();
+    if (child_sibling != nullptr) {
+      NodeEntry e;
+      e.cf = child_sibling->Summary();
+      e.child = std::move(child_sibling);
+      node->entries.push_back(std::move(e));
+      if (node->entries.size() > Capacity(*node)) return Split(node);
+    }
+    return nullptr;
+  }
+
+  const BirchOptions& options_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace
+
+Result<BirchResult> Birch(std::span<const Point> points,
+                          const BirchOptions& options) {
+  if (!(options.threshold >= 0.0) || !std::isfinite(options.threshold)) {
+    return Status::InvalidArgument("BIRCH: threshold must be finite and >= 0");
+  }
+  if (options.branching < 2 || options.leaf_entries < 1) {
+    return Status::InvalidArgument(
+        "BIRCH: branching must be >= 2 and leaf_entries >= 1");
+  }
+
+  // Phase 1: build the CF tree.
+  CfTree tree(options);
+  for (const Point& p : points) tree.Insert(p);
+
+  BirchResult result;
+  result.centroids = tree.LeafCentroids();
+  result.cf_entries = result.centroids.size();
+  result.clustering.num_clusters = result.centroids.size();
+  result.clustering.cluster_of.assign(points.size(), 0);
+
+  // Labelling pass: nearest leaf-subcluster centroid.
+  for (size_t i = 0; i < points.size(); ++i) {
+    size_t best = 0;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < result.centroids.size(); ++c) {
+      const double d2 = geom::DistanceL2Squared(points[i], result.centroids[c]);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = c;
+      }
+    }
+    result.clustering.cluster_of[i] = best;
+  }
+  return result;
+}
+
+}  // namespace sgb::cluster

@@ -1,0 +1,44 @@
+#ifndef SGB_CLUSTER_BIRCH_H_
+#define SGB_CLUSTER_BIRCH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/kmeans.h"  // for Clustering
+#include "common/status.h"
+#include "geom/point.h"
+
+namespace sgb::cluster {
+
+struct BirchOptions {
+  /// Absorption threshold T: a point joins a leaf subcluster only if the
+  /// subcluster's radius stays <= threshold.
+  double threshold = 0.2;
+  /// Branching factor B of internal nodes.
+  size_t branching = 8;
+  /// Maximum clustering-feature entries per leaf (BIRCH's L).
+  size_t leaf_entries = 8;
+};
+
+struct BirchResult {
+  Clustering clustering;
+  /// Centroid of each produced subcluster.
+  std::vector<geom::Point> centroids;
+  size_t cf_entries = 0;  ///< leaf CF entries in the final tree
+};
+
+/// BIRCH (Zhang, Ramakrishnan, Livny 1996) — the hierarchical baseline of
+/// Figure 11. Phase 1 builds the CF-tree by absorbing points into leaf
+/// subclusters under the radius threshold; a final labelling pass assigns
+/// every input point to its nearest leaf-subcluster centroid (BIRCH's
+/// refinement phase). The global-clustering phase over leaf entries is
+/// intentionally the identity: each leaf CF entry is one output cluster.
+///
+/// Errors: InvalidArgument for non-positive threshold/branching/leaf size.
+Result<BirchResult> Birch(std::span<const geom::Point> points,
+                          const BirchOptions& options);
+
+}  // namespace sgb::cluster
+
+#endif  // SGB_CLUSTER_BIRCH_H_

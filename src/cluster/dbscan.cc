@@ -1,0 +1,109 @@
+#include "cluster/dbscan.h"
+
+#include <cmath>
+#include <deque>
+
+#include "geom/rect.h"
+#include "index/rtree.h"
+
+namespace sgb::cluster {
+
+using geom::Metric;
+using geom::Point;
+using geom::Rect;
+
+namespace {
+
+class NeighbourFinder {
+ public:
+  NeighbourFinder(std::span<const Point> points, const DbscanOptions& options,
+                  DbscanStats* stats)
+      : points_(points), options_(options), stats_(stats) {
+    if (options_.use_index) {
+      for (size_t i = 0; i < points_.size(); ++i) {
+        index_.Insert(points_[i], i);
+      }
+    }
+  }
+
+  /// Indices of all points within ε of points_[i], including i itself.
+  std::vector<size_t> RegionQuery(size_t i) {
+    if (stats_ != nullptr) ++stats_->region_queries;
+    std::vector<size_t> out;
+    const Point& p = points_[i];
+    if (options_.use_index) {
+      index_.Search(Rect::Around(p, options_.epsilon),
+                    [&](const Rect& r, uint64_t id) {
+                      const Point q{r.lo.x, r.lo.y};
+                      if (Accept(p, q)) out.push_back(id);
+                    });
+    } else {
+      for (size_t j = 0; j < points_.size(); ++j) {
+        if (Accept(p, points_[j])) out.push_back(j);
+      }
+    }
+    return out;
+  }
+
+ private:
+  bool Accept(const Point& p, const Point& q) {
+    if (stats_ != nullptr) ++stats_->distance_computations;
+    return geom::Similar(p, q, options_.metric, options_.epsilon);
+  }
+
+  std::span<const Point> points_;
+  const DbscanOptions& options_;
+  DbscanStats* stats_;
+  index::RTree index_;
+};
+
+}  // namespace
+
+Result<Clustering> Dbscan(std::span<const Point> points,
+                          const DbscanOptions& options, DbscanStats* stats) {
+  if (!(options.epsilon >= 0.0) || !std::isfinite(options.epsilon)) {
+    return Status::InvalidArgument("DBSCAN: epsilon must be finite and >= 0");
+  }
+  if (options.min_points == 0) {
+    return Status::InvalidArgument("DBSCAN: min_points must be >= 1");
+  }
+
+  constexpr size_t kUnvisited = static_cast<size_t>(-2);
+  Clustering result;
+  result.cluster_of.assign(points.size(), kUnvisited);
+
+  NeighbourFinder finder(points, options, stats);
+
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (result.cluster_of[i] != kUnvisited) continue;
+    std::vector<size_t> seeds = finder.RegionQuery(i);
+    if (seeds.size() < options.min_points) {
+      result.cluster_of[i] = Clustering::kNoise;
+      continue;
+    }
+    const size_t cluster = result.num_clusters++;
+    result.cluster_of[i] = cluster;
+    std::deque<size_t> frontier(seeds.begin(), seeds.end());
+    while (!frontier.empty()) {
+      const size_t j = frontier.front();
+      frontier.pop_front();
+      if (result.cluster_of[j] == Clustering::kNoise) {
+        result.cluster_of[j] = cluster;  // border point
+      }
+      if (result.cluster_of[j] != kUnvisited) continue;
+      result.cluster_of[j] = cluster;
+      std::vector<size_t> neighbours = finder.RegionQuery(j);
+      if (neighbours.size() >= options.min_points) {
+        for (const size_t n : neighbours) {
+          if (result.cluster_of[n] == kUnvisited ||
+              result.cluster_of[n] == Clustering::kNoise) {
+            frontier.push_back(n);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sgb::cluster

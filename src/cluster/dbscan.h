@@ -1,0 +1,39 @@
+#ifndef SGB_CLUSTER_DBSCAN_H_
+#define SGB_CLUSTER_DBSCAN_H_
+
+#include <span>
+
+#include "cluster/kmeans.h"  // for Clustering
+#include "common/status.h"
+#include "geom/point.h"
+
+namespace sgb::cluster {
+
+struct DbscanOptions {
+  double epsilon = 0.2;
+  size_t min_points = 4;
+  geom::Metric metric = geom::Metric::kL2;
+  /// When true, neighbourhood queries use an R-tree (the paper compares
+  /// against "the state-of-the-art implementation of DBSCAN with an
+  /// R-tree"); otherwise a linear scan is used.
+  bool use_index = true;
+};
+
+struct DbscanStats {
+  size_t region_queries = 0;
+  size_t distance_computations = 0;
+};
+
+/// Density-based clustering (Ester et al. 1996) — the density baseline of
+/// Figure 11. Core points have >= min_points neighbours within ε
+/// (themselves included); clusters grow by density reachability; points
+/// reachable from no core point are labelled Clustering::kNoise.
+///
+/// Errors: InvalidArgument for a bad ε or min_points == 0.
+Result<Clustering> Dbscan(std::span<const geom::Point> points,
+                          const DbscanOptions& options,
+                          DbscanStats* stats = nullptr);
+
+}  // namespace sgb::cluster
+
+#endif  // SGB_CLUSTER_DBSCAN_H_

@@ -1,0 +1,118 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+
+namespace sgb::cluster {
+
+using geom::Point;
+
+namespace {
+
+/// k-means++ seeding: each next center is sampled proportionally to the
+/// squared distance from the nearest already-chosen center.
+std::vector<Point> SeedPlusPlus(std::span<const Point> points, size_t k,
+                                Rng& rng) {
+  std::vector<Point> centers;
+  centers.reserve(k);
+  centers.push_back(points[rng.NextBounded(points.size())]);
+
+  std::vector<double> d2(points.size(),
+                         std::numeric_limits<double>::infinity());
+  while (centers.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i], geom::DistanceL2Squared(points[i],
+                                                      centers.back()));
+      total += d2[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with a center; duplicate one.
+      centers.push_back(centers.back());
+      continue;
+    }
+    double target = rng.NextDouble() * total;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      target -= d2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.push_back(points[chosen]);
+  }
+  return centers;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(std::span<const Point> points,
+                            const KMeansOptions& options) {
+  if (options.k == 0) {
+    return Status::InvalidArgument("k-means: k must be >= 1");
+  }
+  if (points.size() < options.k) {
+    return Status::InvalidArgument("k-means: fewer points than clusters");
+  }
+
+  Rng rng(options.seed);
+  KMeansResult result;
+  result.centroids = SeedPlusPlus(points, options.k, rng);
+  result.clustering.num_clusters = options.k;
+  result.clustering.cluster_of.assign(points.size(), 0);
+
+  std::vector<Point> sums(options.k);
+  std::vector<size_t> counts(options.k);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    result.inertia = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      size_t best = 0;
+      double best_d2 = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < options.k; ++c) {
+        const double d2 =
+            geom::DistanceL2Squared(points[i], result.centroids[c]);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = c;
+        }
+      }
+      result.clustering.cluster_of[i] = best;
+      result.inertia += best_d2;
+    }
+
+    // Update step.
+    std::fill(sums.begin(), sums.end(), Point{0.0, 0.0});
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const size_t c = result.clustering.cluster_of[i];
+      sums[c].x += points[i].x;
+      sums[c].y += points[i].y;
+      ++counts[c];
+    }
+    double max_shift = 0.0;
+    for (size_t c = 0; c < options.k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster on a random point.
+        result.centroids[c] = points[rng.NextBounded(points.size())];
+        max_shift = std::numeric_limits<double>::infinity();
+        continue;
+      }
+      const Point next{sums[c].x / static_cast<double>(counts[c]),
+                       sums[c].y / static_cast<double>(counts[c])};
+      max_shift =
+          std::max(max_shift, geom::DistanceL2(result.centroids[c], next));
+      result.centroids[c] = next;
+    }
+    if (max_shift <= options.tolerance) break;
+  }
+  return result;
+}
+
+}  // namespace sgb::cluster

@@ -1,0 +1,48 @@
+#ifndef SGB_CLUSTER_KMEANS_H_
+#define SGB_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/point.h"
+
+namespace sgb::cluster {
+
+/// A generic clustering result used by all three baselines: a cluster id
+/// per input point (`kNoise` marks DBSCAN noise) plus per-cluster info.
+struct Clustering {
+  static constexpr size_t kNoise = static_cast<size_t>(-1);
+
+  std::vector<size_t> cluster_of;
+  size_t num_clusters = 0;
+};
+
+struct KMeansOptions {
+  size_t k = 8;
+  size_t max_iterations = 50;
+  /// Stop when no centroid moves by more than this (L2).
+  double tolerance = 1e-7;
+  uint64_t seed = 42;
+};
+
+struct KMeansResult {
+  Clustering clustering;
+  std::vector<geom::Point> centroids;
+  size_t iterations = 0;
+  double inertia = 0.0;  ///< sum of squared distances to assigned centroid
+};
+
+/// Lloyd's k-means with k-means++ seeding — the partitioning baseline the
+/// paper compares against in Figure 11 (K=20 and K=40). Built from scratch;
+/// multiple full passes over the data per iteration are exactly what makes
+/// it lose to the single-pass SGB operators.
+///
+/// Errors: InvalidArgument when k == 0 or k > number of points.
+Result<KMeansResult> KMeans(std::span<const geom::Point> points,
+                            const KMeansOptions& options);
+
+}  // namespace sgb::cluster
+
+#endif  // SGB_CLUSTER_KMEANS_H_

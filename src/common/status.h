@@ -1,0 +1,98 @@
+#ifndef SGB_COMMON_STATUS_H_
+#define SGB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sgb {
+
+/// Error handling in the sgb library follows the RocksDB idiom: functions
+/// that can fail return a `Status` (or a `Result<T>`, below) instead of
+/// throwing. A default-constructed Status is OK.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kParseError,
+    kBindError,
+    kNotSupported,
+    kInternal,
+  };
+
+  Status() = default;
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(Code::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(Code::kBindError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>" — for error reporting and test output.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// A value-or-error holder (lightweight StatusOr). `value()` must only be
+/// called when `ok()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define SGB_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::sgb::Status _sgb_status = (expr);          \
+    if (!_sgb_status.ok()) return _sgb_status;   \
+  } while (false)
+
+}  // namespace sgb
+
+#endif  // SGB_COMMON_STATUS_H_

@@ -1,0 +1,4 @@
+#include "common/stopwatch.h"
+
+// Stopwatch is header-only; this TU exists so the target always has a
+// corresponding .cc per the project convention.

@@ -1,0 +1,29 @@
+#ifndef SGB_COMMON_STOPWATCH_H_
+#define SGB_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace sgb {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sgb
+
+#endif  // SGB_COMMON_STOPWATCH_H_

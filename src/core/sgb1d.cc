@@ -1,0 +1,140 @@
+#include "core/sgb1d.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sgb::core {
+
+namespace {
+
+Status ValidateLimit(const char* name, double value) {
+  if (!(value >= 0.0) || !std::isfinite(value)) {
+    return Status::InvalidArgument(std::string("SGB-1D: ") + name +
+                                   " must be finite and >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Grouping1D> SgbUnsupervised(std::span<const double> values,
+                                   double max_separation,
+                                   std::optional<double> max_diameter) {
+  SGB_RETURN_IF_ERROR(ValidateLimit("MAXIMUM_ELEMENT_SEPARATION",
+                                    max_separation));
+  if (max_diameter.has_value()) {
+    SGB_RETURN_IF_ERROR(ValidateLimit("MAXIMUM_GROUP_DIAMETER",
+                                      *max_diameter));
+  }
+
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&values](size_t a, size_t b) { return values[a] < values[b]; });
+
+  Grouping1D result;
+  result.group_of.assign(n, Grouping1D::kUngrouped);
+  double group_start = 0.0;
+  double prev = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    const double v = values[order[k]];
+    const bool new_group =
+        k == 0 || (v - prev) > max_separation ||
+        (max_diameter.has_value() && (v - group_start) > *max_diameter);
+    if (new_group) {
+      ++result.num_groups;
+      group_start = v;
+    }
+    result.group_of[order[k]] = result.num_groups - 1;
+    prev = v;
+  }
+  return result;
+}
+
+Result<Grouping1D> SgbAround(std::span<const double> values,
+                             std::span<const double> centers,
+                             std::optional<double> max_separation,
+                             std::optional<double> max_diameter) {
+  if (centers.empty()) {
+    return Status::InvalidArgument("SGB-A: AROUND requires >= 1 center");
+  }
+  if (max_separation.has_value()) {
+    SGB_RETURN_IF_ERROR(ValidateLimit("MAXIMUM_ELEMENT_SEPARATION",
+                                      *max_separation));
+  }
+  if (max_diameter.has_value()) {
+    SGB_RETURN_IF_ERROR(ValidateLimit("MAXIMUM_GROUP_DIAMETER",
+                                      *max_diameter));
+  }
+
+  std::vector<double> sorted_centers(centers.begin(), centers.end());
+  std::sort(sorted_centers.begin(), sorted_centers.end());
+  sorted_centers.erase(
+      std::unique(sorted_centers.begin(), sorted_centers.end()),
+      sorted_centers.end());
+
+  // The reach limit around each center: separation 2r keeps values within
+  // r of the center; diameter 2d likewise caps the group's half-width at d.
+  double reach = std::numeric_limits<double>::infinity();
+  if (max_separation.has_value()) reach = *max_separation / 2.0;
+  if (max_diameter.has_value()) reach = std::min(reach, *max_diameter / 2.0);
+
+  Grouping1D result;
+  result.group_of.assign(values.size(), Grouping1D::kUngrouped);
+  result.num_groups = sorted_centers.size();
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double v = values[i];
+    // Nearest center via binary search; ties go to the lower center.
+    const auto it = std::lower_bound(sorted_centers.begin(),
+                                     sorted_centers.end(), v);
+    size_t best;
+    if (it == sorted_centers.begin()) {
+      best = 0;
+    } else if (it == sorted_centers.end()) {
+      best = sorted_centers.size() - 1;
+    } else {
+      const size_t hi = static_cast<size_t>(it - sorted_centers.begin());
+      const size_t lo = hi - 1;
+      best = (v - sorted_centers[lo]) <= (sorted_centers[hi] - v) ? lo : hi;
+    }
+    if (std::fabs(v - sorted_centers[best]) <= reach) {
+      result.group_of[i] = best;
+    }
+  }
+  return result;
+}
+
+Result<Grouping1D> SgbDelimited(std::span<const double> values,
+                                std::span<const double> delimiters) {
+  std::vector<double> sorted(delimiters.begin(), delimiters.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  const size_t segments = sorted.size() + 1;
+  std::vector<size_t> segment_of(values.size());
+  std::vector<size_t> count(segments, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    // Number of delimiters strictly below the value: a value equal to a
+    // delimiter lands in the segment below it.
+    const size_t seg = static_cast<size_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), values[i]) -
+        sorted.begin());
+    segment_of[i] = seg;
+    ++count[seg];
+  }
+
+  // Dense ids over the non-empty segments, lowest first.
+  std::vector<size_t> dense(segments, Grouping1D::kUngrouped);
+  Grouping1D result;
+  for (size_t s = 0; s < segments; ++s) {
+    if (count[s] > 0) dense[s] = result.num_groups++;
+  }
+  result.group_of.resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    result.group_of[i] = dense[segment_of[i]];
+  }
+  return result;
+}
+
+}  // namespace sgb::core

@@ -1,0 +1,66 @@
+#ifndef SGB_CORE_SGB1D_H_
+#define SGB_CORE_SGB1D_H_
+
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sgb::core {
+
+/// One-dimensional similarity grouping — the operator family of the
+/// original ICDE 2009 paper "Similarity Group-By" (Silva, Aref, Ali),
+/// which the supplied multi-dimensional paper extends and cites as [2].
+/// Included so the library covers both papers (see DESIGN.md).
+///
+/// The result mirrors `Grouping`: a dense 0-based group id per input value
+/// (in input order), with `kUngrouped` for values no group accepts
+/// (possible under SGB-A limits). Group ids are ordered by ascending group
+/// position on the number line.
+struct Grouping1D {
+  static constexpr size_t kUngrouped = std::numeric_limits<size_t>::max();
+
+  std::vector<size_t> group_of;
+  size_t num_groups = 0;
+};
+
+/// SGB-U — unsupervised similarity grouping:
+///   GROUP BY col MAXIMUM_ELEMENT_SEPARATION s [MAXIMUM_GROUP_DIAMETER d]
+///
+/// Sorted values are segmented greedily: a value starts a new group when
+/// its gap to the previous value exceeds `max_separation`, or when adding
+/// it would stretch the group beyond `max_diameter` (when given).
+///
+/// Errors: InvalidArgument for negative/non-finite limits.
+Result<Grouping1D> SgbUnsupervised(std::span<const double> values,
+                                   double max_separation,
+                                   std::optional<double> max_diameter = {});
+
+/// SGB-A — grouping around a set of central points:
+///   GROUP BY col AROUND (c1, ..., ck) [MAXIMUM_ELEMENT_SEPARATION 2r |
+///                                      MAXIMUM_GROUP_DIAMETER 2d]
+///
+/// Every value joins the group of its nearest center; with a limit given,
+/// values farther than r (resp. d) from that center stay ungrouped. Group
+/// i corresponds to centers[i] after sorting centers ascending.
+///
+/// Errors: InvalidArgument when `centers` is empty or a limit is invalid.
+Result<Grouping1D> SgbAround(std::span<const double> values,
+                             std::span<const double> centers,
+                             std::optional<double> max_separation = {},
+                             std::optional<double> max_diameter = {});
+
+/// SGB-D — grouping using delimiters:
+///   GROUP BY col DELIMITED BY (d1, ..., dk)
+///
+/// The k delimiters split the number line into k+1 segments; a value equal
+/// to a delimiter falls into the segment below it. Only non-empty segments
+/// receive group ids (dense numbering from the lowest segment up).
+Result<Grouping1D> SgbDelimited(std::span<const double> values,
+                                std::span<const double> delimiters);
+
+}  // namespace sgb::core
+
+#endif  // SGB_CORE_SGB1D_H_

@@ -1,0 +1,338 @@
+#include "core/sgb_all.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "geom/convex_hull.h"
+#include "geom/epsilon_rect.h"
+#include "index/rtree.h"
+
+namespace sgb::core {
+
+namespace {
+
+using geom::Metric;
+using geom::Point;
+using geom::Rect;
+
+/// One SGB-All group in the current re-grouping round's universe.
+struct Group {
+  std::vector<size_t> members;   // indices into the input point array
+  geom::EpsilonRect rect;        // ε-All rectangle + member MBR
+  geom::IncrementalHull hull;    // maintained only under L2
+  bool alive = true;
+};
+
+/// Runs the Procedure-1 framework over one point sequence. FORM-NEW-GROUP
+/// re-grouping is realized as successive rounds, each with a fresh group
+/// universe, matching the paper's recursive formulation.
+class SgbAllRunner {
+ public:
+  SgbAllRunner(std::span<const Point> points, const SgbAllOptions& options,
+               SgbAllStats* stats)
+      : points_(points),
+        options_(options),
+        stats_(stats),
+        rng_(options.seed),
+        assignment_(points.size(), Grouping::kEliminated) {}
+
+  Grouping Run() {
+    std::vector<size_t> todo(points_.size());
+    for (size_t i = 0; i < todo.size(); ++i) todo[i] = i;
+
+    int round = 0;
+    while (!todo.empty()) {
+      const bool last_chance =
+          round >= options_.max_regroup_rounds - 1;
+      const OverlapClause clause =
+          last_chance ? OverlapClause::kJoinAny : options_.on_overlap;
+
+      const std::vector<size_t> deferred = RunRound(todo, clause);
+      if (stats_ != nullptr && round > 0) ++stats_->regroup_rounds;
+
+      if (deferred.size() == todo.size()) {
+        // No progress: every point was deferred again. Force-place the
+        // remainder with JOIN-ANY so the operator terminates (DESIGN.md).
+        const std::vector<size_t> rest =
+            RunRound(deferred, OverlapClause::kJoinAny);
+        (void)rest;  // JOIN-ANY never defers.
+        break;
+      }
+      todo = deferred;
+      ++round;
+    }
+
+    Grouping result;
+    result.group_of = std::move(assignment_);
+    result.num_groups = next_output_group_;
+    return result;
+  }
+
+ private:
+  bool L2() const { return options_.metric == Metric::kL2; }
+
+  bool SimilarTo(const Point& a, const Point& b) const {
+    if (stats_ != nullptr) ++stats_->distance_computations;
+    return geom::Similar(a, b, options_.metric, options_.epsilon);
+  }
+
+  // ---- Group maintenance ------------------------------------------------
+
+  size_t CreateGroup(size_t point_index) {
+    const size_t gid = groups_.size();
+    Group g;
+    g.rect = geom::EpsilonRect(options_.epsilon);
+    g.rect.Insert(points_[point_index]);
+    if (L2()) g.hull.Insert(points_[point_index]);
+    g.members.push_back(point_index);
+    groups_.push_back(std::move(g));
+    if (use_index_) groups_ix_.Insert(groups_[gid].rect.all_rect(), gid);
+    if (stats_ != nullptr) ++stats_->groups_created;
+    return gid;
+  }
+
+  void InsertIntoGroup(size_t gid, size_t point_index) {
+    Group& g = groups_[gid];
+    const Rect old_rect = g.rect.all_rect();
+    g.members.push_back(point_index);
+    g.rect.Insert(points_[point_index]);
+    if (L2()) g.hull.Insert(points_[point_index]);
+    if (use_index_ && !(g.rect.all_rect() == old_rect)) {
+      groups_ix_.Remove(old_rect, gid);
+      groups_ix_.Insert(g.rect.all_rect(), gid);
+    }
+  }
+
+  /// Removes the given members (already erased from g.members by the
+  /// caller) by rebuilding the group's derived structures, or retires the
+  /// group when it became empty.
+  void RebuildAfterRemoval(size_t gid) {
+    Group& g = groups_[gid];
+    const Rect old_rect = g.rect.all_rect();
+    if (g.members.empty()) {
+      g.alive = false;
+      if (use_index_) groups_ix_.Remove(old_rect, gid);
+      return;
+    }
+    std::vector<Point> pts;
+    pts.reserve(g.members.size());
+    for (const size_t m : g.members) pts.push_back(points_[m]);
+    g.rect.Rebuild(pts);
+    if (L2()) g.hull.Rebuild(pts);
+    if (use_index_ && !(g.rect.all_rect() == old_rect)) {
+      groups_ix_.Remove(old_rect, gid);
+      groups_ix_.Insert(g.rect.all_rect(), gid);
+    }
+  }
+
+  // ---- FindCloseGroups (Procedures 2, 4, 5) -----------------------------
+
+  /// True iff p satisfies ξδ,ε against every member of g (bounds-checking
+  /// filter plus, for L2, the convex-hull refinement). Exact.
+  bool CandidateTest(const Group& g, const Point& p) {
+    if (stats_ != nullptr) ++stats_->rectangle_tests;
+    if (!g.rect.PointInRectangleTest(p)) return false;
+    if (!L2()) return true;  // exact for L∞ (Definition 5)
+    if (stats_ != nullptr) ++stats_->hull_tests;
+    return g.hull.WithinEpsilonOfAll(p, options_.epsilon);
+  }
+
+  /// True iff at least one member of g satisfies ξδ,ε with p.
+  bool OverlapMemberScan(const Group& g, const Point& p) {
+    for (const size_t m : g.members) {
+      if (SimilarTo(p, points_[m])) return true;
+    }
+    return false;
+  }
+
+  void FindCloseGroupsAllPairs(const Point& p, OverlapClause clause,
+                               std::vector<size_t>* candidates,
+                               std::vector<size_t>* overlaps) {
+    for (size_t gid = 0; gid < groups_.size(); ++gid) {
+      const Group& g = groups_[gid];
+      if (!g.alive) continue;
+      bool candidate_flag = true;
+      bool overlap_flag = false;
+      for (const size_t m : g.members) {
+        if (SimilarTo(p, points_[m])) {
+          overlap_flag = true;
+        } else {
+          candidate_flag = false;
+          if (clause == OverlapClause::kJoinAny) break;
+        }
+      }
+      if (candidate_flag) {
+        candidates->push_back(gid);
+      } else if (clause != OverlapClause::kJoinAny && overlap_flag) {
+        overlaps->push_back(gid);
+      }
+    }
+  }
+
+  void ClassifyGroup(size_t gid, const Point& p, OverlapClause clause,
+                     std::vector<size_t>* candidates,
+                     std::vector<size_t>* overlaps) {
+    const Group& g = groups_[gid];
+    if (!g.alive) return;
+    if (CandidateTest(g, p)) {
+      candidates->push_back(gid);
+      return;
+    }
+    if (clause == OverlapClause::kJoinAny) return;
+    if (!g.rect.OverlapRectangleTest(p)) return;
+    if (OverlapMemberScan(g, p)) overlaps->push_back(gid);
+  }
+
+  void FindCloseGroupsBounds(const Point& p, OverlapClause clause,
+                             std::vector<size_t>* candidates,
+                             std::vector<size_t>* overlaps) {
+    for (size_t gid = 0; gid < groups_.size(); ++gid) {
+      ClassifyGroup(gid, p, clause, candidates, overlaps);
+    }
+  }
+
+  void FindCloseGroupsIndexed(const Point& p, OverlapClause clause,
+                              std::vector<size_t>* candidates,
+                              std::vector<size_t>* overlaps) {
+    if (stats_ != nullptr) ++stats_->index_window_queries;
+    std::vector<uint64_t> gids =
+        groups_ix_.SearchIds(Rect::Around(p, options_.epsilon));
+    // Sort so candidate/overlap enumeration order — and therefore the
+    // JOIN-ANY random pick — matches the scan-based strategies exactly.
+    std::sort(gids.begin(), gids.end());
+    for (const uint64_t gid : gids) {
+      ClassifyGroup(static_cast<size_t>(gid), p, clause, candidates,
+                    overlaps);
+    }
+  }
+
+  void FindCloseGroups(const Point& p, OverlapClause clause,
+                       std::vector<size_t>* candidates,
+                       std::vector<size_t>* overlaps) {
+    candidates->clear();
+    overlaps->clear();
+    switch (options_.algorithm) {
+      case SgbAllAlgorithm::kAllPairs:
+        FindCloseGroupsAllPairs(p, clause, candidates, overlaps);
+        break;
+      case SgbAllAlgorithm::kBoundsChecking:
+        FindCloseGroupsBounds(p, clause, candidates, overlaps);
+        break;
+      case SgbAllAlgorithm::kIndexed:
+        FindCloseGroupsIndexed(p, clause, candidates, overlaps);
+        break;
+    }
+  }
+
+  // ---- ProcessGroupingALL / ProcessOverlap (Procedures 3, 6) ------------
+
+  /// Handles one point; appends deferred point indices to `deferred`.
+  void ProcessPoint(size_t point_index, OverlapClause clause,
+                    std::vector<size_t>* deferred) {
+    const Point& p = points_[point_index];
+    std::vector<size_t> candidates;
+    std::vector<size_t> overlaps;
+    FindCloseGroups(p, clause, &candidates, &overlaps);
+
+    // ProcessGroupingALL.
+    if (candidates.empty()) {
+      CreateGroup(point_index);
+    } else if (candidates.size() == 1) {
+      InsertIntoGroup(candidates[0], point_index);
+    } else {
+      switch (clause) {
+        case OverlapClause::kJoinAny: {
+          const size_t pick = static_cast<size_t>(
+              rng_.NextBounded(candidates.size()));
+          InsertIntoGroup(candidates[pick], point_index);
+          break;
+        }
+        case OverlapClause::kEliminate:
+          assignment_[point_index] = Grouping::kEliminated;
+          break;
+        case OverlapClause::kFormNewGroup:
+          deferred->push_back(point_index);
+          break;
+      }
+    }
+
+    // ProcessOverlap: pull the overlapped members (those within ε of p) out
+    // of partially-matching groups.
+    if (clause == OverlapClause::kJoinAny || overlaps.empty()) return;
+    for (const size_t gid : overlaps) {
+      Group& g = groups_[gid];
+      std::vector<size_t> kept;
+      kept.reserve(g.members.size());
+      bool changed = false;
+      for (const size_t m : g.members) {
+        if (SimilarTo(p, points_[m])) {
+          changed = true;
+          if (clause == OverlapClause::kEliminate) {
+            assignment_[m] = Grouping::kEliminated;
+          } else {  // FORM-NEW-GROUP: re-group in the next round.
+            deferred->push_back(m);
+          }
+        } else {
+          kept.push_back(m);
+        }
+      }
+      if (changed) {
+        g.members = std::move(kept);
+        RebuildAfterRemoval(gid);
+      }
+    }
+  }
+
+  /// Processes one round over `todo` with a fresh group universe; returns
+  /// the points deferred to the next round. Surviving groups are committed
+  /// to the output numbering at round end.
+  std::vector<size_t> RunRound(const std::vector<size_t>& todo,
+                               OverlapClause clause) {
+    groups_.clear();
+    groups_ix_ = index::RTree();
+    use_index_ = options_.algorithm == SgbAllAlgorithm::kIndexed;
+
+    std::vector<size_t> deferred;
+    for (const size_t point_index : todo) {
+      ProcessPoint(point_index, clause, &deferred);
+    }
+
+    for (const Group& g : groups_) {
+      if (!g.alive || g.members.empty()) continue;
+      const size_t out = next_output_group_++;
+      for (const size_t m : g.members) assignment_[m] = out;
+    }
+    return deferred;
+  }
+
+  std::span<const Point> points_;
+  const SgbAllOptions& options_;
+  SgbAllStats* stats_;
+  Rng rng_;
+
+  std::vector<Group> groups_;
+  index::RTree groups_ix_;
+  bool use_index_ = false;
+
+  std::vector<size_t> assignment_;
+  size_t next_output_group_ = 0;
+};
+
+}  // namespace
+
+Result<Grouping> SgbAll(std::span<const Point> points,
+                        const SgbAllOptions& options, SgbAllStats* stats) {
+  if (!(options.epsilon >= 0.0) || !std::isfinite(options.epsilon)) {
+    return Status::InvalidArgument(
+        "SGB-All: similarity threshold epsilon must be finite and >= 0");
+  }
+  if (options.max_regroup_rounds < 1) {
+    return Status::InvalidArgument(
+        "SGB-All: max_regroup_rounds must be >= 1");
+  }
+  SgbAllRunner runner(points, options, stats);
+  return runner.Run();
+}
+
+}  // namespace sgb::core

@@ -1,0 +1,99 @@
+#include "core/sgb_any.h"
+
+#include <cmath>
+
+#include "geom/rect.h"
+#include "index/rtree.h"
+#include "index/union_find.h"
+
+namespace sgb::core {
+
+namespace {
+
+using geom::Metric;
+using geom::Point;
+using geom::Rect;
+
+Grouping LabelComponents(std::span<const Point> points,
+                         index::UnionFind& forest) {
+  Grouping result;
+  result.group_of.assign(points.size(), Grouping::kEliminated);
+  std::vector<size_t> label_of_root(points.size(), Grouping::kEliminated);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const size_t root = forest.Find(i);
+    if (label_of_root[root] == Grouping::kEliminated) {
+      label_of_root[root] = result.num_groups++;
+    }
+    result.group_of[i] = label_of_root[root];
+  }
+  return result;
+}
+
+Grouping RunAllPairs(std::span<const Point> points,
+                     const SgbAnyOptions& options, SgbAnyStats* stats) {
+  index::UnionFind forest(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (stats != nullptr) ++stats->distance_computations;
+      if (geom::Similar(points[i], points[j], options.metric,
+                        options.epsilon)) {
+        if (stats != nullptr) {
+          ++stats->union_operations;
+          if (!forest.Connected(i, j)) ++stats->group_merges;
+        }
+        forest.Union(i, j);
+      }
+    }
+  }
+  return LabelComponents(points, forest);
+}
+
+/// Procedure 8 (FindCandidateGroups) + Procedure 9 (ProcessGroupingANY),
+/// fused: the window query yields the ε-neighbours among processed points;
+/// each verified neighbour's group is merged with the new point's via
+/// union-find, which realizes new-group creation, single-group join, and
+/// multi-group merge uniformly.
+Grouping RunIndexed(std::span<const Point> points,
+                    const SgbAnyOptions& options, SgbAnyStats* stats) {
+  index::UnionFind forest(points.size());
+  index::RTree points_ix;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    if (stats != nullptr) ++stats->index_window_queries;
+    const Rect window = Rect::Around(p, options.epsilon);
+    points_ix.Search(window, [&](const Rect& r, uint64_t id) {
+      const Point q{r.lo.x, r.lo.y};  // points are degenerate rects
+      if (options.metric == Metric::kL2) {
+        // VerifyPoints: the ε-window is the L∞ ball; L2 needs a check.
+        if (stats != nullptr) ++stats->distance_computations;
+        if (!geom::Similar(p, q, Metric::kL2, options.epsilon)) return;
+      }
+      if (stats != nullptr) {
+        ++stats->union_operations;
+        if (!forest.Connected(i, id)) ++stats->group_merges;
+      }
+      forest.Union(i, static_cast<size_t>(id));
+    });
+    points_ix.Insert(p, i);
+  }
+  return LabelComponents(points, forest);
+}
+
+}  // namespace
+
+Result<Grouping> SgbAny(std::span<const Point> points,
+                        const SgbAnyOptions& options, SgbAnyStats* stats) {
+  if (!(options.epsilon >= 0.0) || !std::isfinite(options.epsilon)) {
+    return Status::InvalidArgument(
+        "SGB-Any: similarity threshold epsilon must be finite and >= 0");
+  }
+  switch (options.algorithm) {
+    case SgbAnyAlgorithm::kAllPairs:
+      return RunAllPairs(points, options, stats);
+    case SgbAnyAlgorithm::kIndexed:
+      return RunIndexed(points, options, stats);
+  }
+  return Status::Internal("SGB-Any: unknown algorithm");
+}
+
+}  // namespace sgb::core

@@ -1,0 +1,63 @@
+#include "core/sgb_types.h"
+
+namespace sgb::core {
+
+const char* ToString(OverlapClause clause) {
+  switch (clause) {
+    case OverlapClause::kJoinAny:
+      return "JOIN-ANY";
+    case OverlapClause::kEliminate:
+      return "ELIMINATE";
+    case OverlapClause::kFormNewGroup:
+      return "FORM-NEW-GROUP";
+  }
+  return "?";
+}
+
+const char* ToString(SgbAllAlgorithm algorithm) {
+  switch (algorithm) {
+    case SgbAllAlgorithm::kAllPairs:
+      return "All-Pairs";
+    case SgbAllAlgorithm::kBoundsChecking:
+      return "Bounds-Checking";
+    case SgbAllAlgorithm::kIndexed:
+      return "on-the-fly Index";
+  }
+  return "?";
+}
+
+const char* ToString(SgbAnyAlgorithm algorithm) {
+  switch (algorithm) {
+    case SgbAnyAlgorithm::kAllPairs:
+      return "All-Pairs";
+    case SgbAnyAlgorithm::kIndexed:
+      return "on-the-fly Index";
+  }
+  return "?";
+}
+
+std::vector<std::vector<size_t>> Grouping::GroupsAsLists() const {
+  std::vector<std::vector<size_t>> groups(num_groups);
+  for (size_t i = 0; i < group_of.size(); ++i) {
+    if (group_of[i] != kEliminated) groups[group_of[i]].push_back(i);
+  }
+  return groups;
+}
+
+std::vector<size_t> Grouping::GroupSizes() const {
+  std::vector<size_t> sizes(num_groups, 0);
+  for (const size_t g : group_of) {
+    if (g != kEliminated) ++sizes[g];
+  }
+  return sizes;
+}
+
+size_t Grouping::NumEliminated() const {
+  size_t count = 0;
+  for (const size_t g : group_of) {
+    if (g == kEliminated) ++count;
+  }
+  return count;
+}
+
+}  // namespace sgb::core

@@ -1,0 +1,83 @@
+#ifndef SGB_CORE_SGB_TYPES_H_
+#define SGB_CORE_SGB_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace sgb::core {
+
+/// ON-OVERLAP arbitration for SGB-All (Section 4.1): what to do when a point
+/// satisfies the membership criterion of more than one group.
+enum class OverlapClause {
+  kJoinAny,       ///< insert into one group chosen at random
+  kEliminate,     ///< discard the overlapping point(s)
+  kFormNewGroup,  ///< re-group the overlapping point(s) separately
+};
+
+/// Algorithm tier for SGB-All (Sections 6.2–6.3).
+enum class SgbAllAlgorithm {
+  kAllPairs,        ///< Procedure 2: naive FindCloseGroups, O(n^2)
+  kBoundsChecking,  ///< Procedure 4: ε-All rectangles, linear group scan
+  kIndexed,         ///< Procedure 5: R-tree (Groups_IX) over group rectangles
+};
+
+/// Algorithm tier for SGB-Any (Section 7).
+enum class SgbAnyAlgorithm {
+  kAllPairs,  ///< pairwise ε-edges, O(n^2)
+  kIndexed,   ///< Procedure 8: R-tree (Points_IX) + union-find
+};
+
+const char* ToString(OverlapClause clause);
+const char* ToString(SgbAllAlgorithm algorithm);
+const char* ToString(SgbAnyAlgorithm algorithm);
+
+/// Options for the SGB-All operator:
+///   GROUP BY x, y DISTANCE-TO-ALL [L2|LINF] WITHIN ε ON-OVERLAP <clause>
+struct SgbAllOptions {
+  double epsilon = 1.0;
+  geom::Metric metric = geom::Metric::kL2;
+  OverlapClause on_overlap = OverlapClause::kJoinAny;
+  SgbAllAlgorithm algorithm = SgbAllAlgorithm::kIndexed;
+  /// Seed for the JOIN-ANY random arbitration; fixed so runs reproduce.
+  uint64_t seed = 42;
+  /// Safety bound on the FORM-NEW-GROUP re-grouping recursion (the paper's
+  /// recursion depth m). Rounds beyond this, or rounds that make no
+  /// progress, fall back to JOIN-ANY placement so the operator always
+  /// terminates. Documented in DESIGN.md.
+  int max_regroup_rounds = 64;
+};
+
+/// Options for the SGB-Any operator:
+///   GROUP BY x, y DISTANCE-TO-ANY [L2|LINF] WITHIN ε
+struct SgbAnyOptions {
+  double epsilon = 1.0;
+  geom::Metric metric = geom::Metric::kL2;
+  SgbAnyAlgorithm algorithm = SgbAnyAlgorithm::kIndexed;
+};
+
+/// The result of a similarity grouping: a group id per input point, in input
+/// order. Group ids are dense, 0-based, and numbered in order of first
+/// appearance in the input. Points dropped by ON-OVERLAP ELIMINATE carry
+/// `kEliminated`.
+struct Grouping {
+  static constexpr size_t kEliminated = std::numeric_limits<size_t>::max();
+
+  std::vector<size_t> group_of;
+  size_t num_groups = 0;
+
+  /// Member input-indices per group.
+  std::vector<std::vector<size_t>> GroupsAsLists() const;
+
+  /// Cardinality of each group (the paper's running `count(*)` example).
+  std::vector<size_t> GroupSizes() const;
+
+  /// Number of eliminated points.
+  size_t NumEliminated() const;
+};
+
+}  // namespace sgb::core
+
+#endif  // SGB_CORE_SGB_TYPES_H_

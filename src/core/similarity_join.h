@@ -1,0 +1,79 @@
+#ifndef SGB_CORE_SIMILARITY_JOIN_H_
+#define SGB_CORE_SIMILARITY_JOIN_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/point.h"
+
+namespace sgb::core {
+
+/// Companion similarity operators. The paper positions SGB inside the
+/// SimDB operator family (similarity join, range search, KNN — Section 2);
+/// these implementations complete that family over 2-D points, sharing the
+/// R-tree substrate and the filter-refine style of the SGB operators.
+
+/// One (left index, right index) match of an ε-join.
+struct JoinPair {
+  size_t left = 0;
+  size_t right = 0;
+  friend bool operator==(const JoinPair&, const JoinPair&) = default;
+};
+
+enum class SimilarityJoinAlgorithm {
+  kNestedLoop,  ///< all |L| x |R| predicate evaluations
+  kIndexed,     ///< R-tree on the smaller side, ε-window probes
+};
+
+struct SimilarityJoinStats {
+  size_t distance_computations = 0;
+  size_t window_queries = 0;
+};
+
+/// ε-join: all pairs (l, r) with δ(left[l], right[r]) <= ε. Pairs are
+/// emitted in ascending (left, right) order for both algorithms.
+///
+/// Errors: InvalidArgument on a bad ε.
+Result<std::vector<JoinPair>> SimilarityJoin(
+    std::span<const geom::Point> left, std::span<const geom::Point> right,
+    double epsilon, geom::Metric metric = geom::Metric::kL2,
+    SimilarityJoinAlgorithm algorithm = SimilarityJoinAlgorithm::kIndexed,
+    SimilarityJoinStats* stats = nullptr);
+
+/// Self ε-join: unordered distinct pairs (i < j) within ε.
+Result<std::vector<JoinPair>> SimilaritySelfJoin(
+    std::span<const geom::Point> points, double epsilon,
+    geom::Metric metric = geom::Metric::kL2,
+    SimilarityJoinAlgorithm algorithm = SimilarityJoinAlgorithm::kIndexed,
+    SimilarityJoinStats* stats = nullptr);
+
+/// Bulk-loaded read-only point index for similarity range search and KNN.
+class SimilaritySearch {
+ public:
+  explicit SimilaritySearch(std::span<const geom::Point> points);
+
+  /// Indices of all points with δ(q, p) <= ε, ascending.
+  std::vector<size_t> RangeQuery(const geom::Point& q, double epsilon,
+                                 geom::Metric metric = geom::Metric::kL2)
+      const;
+
+  /// The k nearest points to q under L2, nearest first (ties by index).
+  /// Returns fewer than k when the index holds fewer points.
+  /// Implemented by expanding-radius window queries over the R-tree.
+  std::vector<size_t> Knn(const geom::Point& q, size_t k) const;
+
+  size_t size() const { return points_.size(); }
+
+ private:
+  std::vector<geom::Point> points_;
+  // The R-tree is held via pimpl-free composition; see .cc.
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace sgb::core
+
+#endif  // SGB_CORE_SIMILARITY_JOIN_H_

@@ -1,0 +1,314 @@
+#include "engine/aggregate.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include <cmath>
+
+#include "geom/convex_hull.h"
+
+namespace sgb::engine {
+
+const char* ToString(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCountStar:
+      return "count(*)";
+    case AggregateKind::kCount:
+      return "count";
+    case AggregateKind::kSum:
+      return "sum";
+    case AggregateKind::kAvg:
+      return "avg";
+    case AggregateKind::kMin:
+      return "min";
+    case AggregateKind::kMax:
+      return "max";
+    case AggregateKind::kArrayAgg:
+      return "array_agg";
+    case AggregateKind::kStPolygon:
+      return "st_polygon";
+    case AggregateKind::kCountDistinct:
+      return "count(distinct)";
+    case AggregateKind::kVariance:
+      return "var";
+    case AggregateKind::kStddev:
+      return "stddev";
+  }
+  return "?";
+}
+
+Result<AggregateKind> AggregateKindFromName(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "count") return AggregateKind::kCount;
+  if (lower == "sum") return AggregateKind::kSum;
+  if (lower == "avg" || lower == "average") return AggregateKind::kAvg;
+  if (lower == "min") return AggregateKind::kMin;
+  if (lower == "max") return AggregateKind::kMax;
+  if (lower == "array_agg" || lower == "list_id") {
+    return AggregateKind::kArrayAgg;
+  }
+  if (lower == "st_polygon") return AggregateKind::kStPolygon;
+  if (lower == "var" || lower == "variance" || lower == "var_samp") {
+    return AggregateKind::kVariance;
+  }
+  if (lower == "stddev" || lower == "stddev_samp" || lower == "stdev") {
+    return AggregateKind::kStddev;
+  }
+  return Status::NotFound("'" + name + "' is not an aggregate function");
+}
+
+size_t AggregateArity(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCountStar:
+      return 0;
+    case AggregateKind::kStPolygon:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+DataType AggregateOutputType(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCountStar:
+    case AggregateKind::kCount:
+      return DataType::kInt64;
+    case AggregateKind::kSum:
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+      return DataType::kDouble;  // best effort; values keep their own type
+    case AggregateKind::kAvg:
+      return DataType::kDouble;
+    case AggregateKind::kArrayAgg:
+    case AggregateKind::kStPolygon:
+      return DataType::kString;
+    case AggregateKind::kCountDistinct:
+      return DataType::kInt64;
+    case AggregateKind::kVariance:
+    case AggregateKind::kStddev:
+      return DataType::kDouble;
+  }
+  return DataType::kNull;
+}
+
+namespace {
+
+class CountStarState final : public AggregateState {
+ public:
+  void Add(const Row&) override { ++count_; }
+  Value Finalize() const override { return Value::Int(count_); }
+
+ private:
+  int64_t count_ = 0;
+};
+
+class CountState final : public AggregateState {
+ public:
+  explicit CountState(const Expression* arg) : arg_(arg) {}
+  void Add(const Row& row) override {
+    if (!arg_->Evaluate(row).is_null()) ++count_;
+  }
+  Value Finalize() const override { return Value::Int(count_); }
+
+ private:
+  const Expression* arg_;
+  int64_t count_ = 0;
+};
+
+class SumState final : public AggregateState {
+ public:
+  explicit SumState(const Expression* arg) : arg_(arg) {}
+  void Add(const Row& row) override {
+    const Value v = arg_->Evaluate(row);
+    if (v.is_null()) return;
+    seen_ = true;
+    if (v.type() != DataType::kInt64) all_int_ = false;
+    sum_ += v.ToDouble();
+  }
+  Value Finalize() const override {
+    if (!seen_) return Value::Null();
+    if (all_int_) return Value::Int(static_cast<int64_t>(sum_));
+    return Value::Double(sum_);
+  }
+
+ private:
+  const Expression* arg_;
+  double sum_ = 0.0;
+  bool seen_ = false;
+  bool all_int_ = true;
+};
+
+class AvgState final : public AggregateState {
+ public:
+  explicit AvgState(const Expression* arg) : arg_(arg) {}
+  void Add(const Row& row) override {
+    const Value v = arg_->Evaluate(row);
+    if (v.is_null()) return;
+    sum_ += v.ToDouble();
+    ++count_;
+  }
+  Value Finalize() const override {
+    if (count_ == 0) return Value::Null();
+    return Value::Double(sum_ / static_cast<double>(count_));
+  }
+
+ private:
+  const Expression* arg_;
+  double sum_ = 0.0;
+  int64_t count_ = 0;
+};
+
+class MinMaxState final : public AggregateState {
+ public:
+  MinMaxState(const Expression* arg, bool is_min)
+      : arg_(arg), is_min_(is_min) {}
+  void Add(const Row& row) override {
+    const Value v = arg_->Evaluate(row);
+    if (v.is_null()) return;
+    if (best_.is_null()) {
+      best_ = v;
+      return;
+    }
+    const int c = Value::Compare(v, best_);
+    if ((is_min_ && c < 0) || (!is_min_ && c > 0)) best_ = v;
+  }
+  Value Finalize() const override { return best_; }
+
+ private:
+  const Expression* arg_;
+  bool is_min_;
+  Value best_;
+};
+
+class ArrayAggState final : public AggregateState {
+ public:
+  explicit ArrayAggState(const Expression* arg) : arg_(arg) {}
+  void Add(const Row& row) override {
+    const Value v = arg_->Evaluate(row);
+    if (v.is_null()) return;
+    if (!items_.empty()) items_ += ',';
+    items_ += v.ToString();
+  }
+  Value Finalize() const override { return Value::Str("{" + items_ + "}"); }
+
+ private:
+  const Expression* arg_;
+  std::string items_;
+};
+
+class StPolygonState final : public AggregateState {
+ public:
+  StPolygonState(const Expression* x, const Expression* y) : x_(x), y_(y) {}
+  void Add(const Row& row) override {
+    const Value x = x_->Evaluate(row);
+    const Value y = y_->Evaluate(row);
+    if (x.is_null() || y.is_null()) return;
+    points_.push_back(geom::Point{x.ToDouble(), y.ToDouble()});
+  }
+  Value Finalize() const override {
+    if (points_.empty()) return Value::Null();
+    std::vector<geom::Point> hull = geom::ConvexHull(points_);
+    std::string wkt = "POLYGON((";
+    auto append = [&wkt](const geom::Point& p) {
+      wkt += Value::Double(p.x).ToString();
+      wkt += ' ';
+      wkt += Value::Double(p.y).ToString();
+    };
+    for (size_t i = 0; i < hull.size(); ++i) {
+      if (i > 0) wkt += ", ";
+      append(hull[i]);
+    }
+    // WKT rings repeat the first vertex at the end.
+    if (hull.size() > 1) {
+      wkt += ", ";
+      append(hull[0]);
+    }
+    wkt += "))";
+    return Value::Str(std::move(wkt));
+  }
+
+ private:
+  const Expression* x_;
+  const Expression* y_;
+  std::vector<geom::Point> points_;
+};
+
+class CountDistinctState final : public AggregateState {
+ public:
+  explicit CountDistinctState(const Expression* arg) : arg_(arg) {}
+  void Add(const Row& row) override {
+    const Value v = arg_->Evaluate(row);
+    if (!v.is_null()) seen_.insert(v);
+  }
+  Value Finalize() const override {
+    return Value::Int(static_cast<int64_t>(seen_.size()));
+  }
+
+ private:
+  const Expression* arg_;
+  ValueSet seen_;
+};
+
+/// Welford's online algorithm: numerically stable single-pass variance.
+class VarianceState final : public AggregateState {
+ public:
+  VarianceState(const Expression* arg, bool stddev)
+      : arg_(arg), stddev_(stddev) {}
+  void Add(const Row& row) override {
+    const Value v = arg_->Evaluate(row);
+    if (v.is_null()) return;
+    const double x = v.ToDouble();
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+  Value Finalize() const override {
+    if (count_ < 2) return Value::Null();  // sample variance needs n >= 2
+    const double variance = m2_ / static_cast<double>(count_ - 1);
+    return Value::Double(stddev_ ? std::sqrt(variance) : variance);
+  }
+
+ private:
+  const Expression* arg_;
+  bool stddev_;
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<AggregateState> CreateAggregateState(
+    const AggregateSpec& spec) {
+  const Expression* a0 = spec.args.empty() ? nullptr : spec.args[0].get();
+  switch (spec.kind) {
+    case AggregateKind::kCountStar:
+      return std::make_unique<CountStarState>();
+    case AggregateKind::kCount:
+      return std::make_unique<CountState>(a0);
+    case AggregateKind::kSum:
+      return std::make_unique<SumState>(a0);
+    case AggregateKind::kAvg:
+      return std::make_unique<AvgState>(a0);
+    case AggregateKind::kMin:
+      return std::make_unique<MinMaxState>(a0, /*is_min=*/true);
+    case AggregateKind::kMax:
+      return std::make_unique<MinMaxState>(a0, /*is_min=*/false);
+    case AggregateKind::kArrayAgg:
+      return std::make_unique<ArrayAggState>(a0);
+    case AggregateKind::kStPolygon:
+      return std::make_unique<StPolygonState>(a0, spec.args[1].get());
+    case AggregateKind::kCountDistinct:
+      return std::make_unique<CountDistinctState>(a0);
+    case AggregateKind::kVariance:
+      return std::make_unique<VarianceState>(a0, /*stddev=*/false);
+    case AggregateKind::kStddev:
+      return std::make_unique<VarianceState>(a0, /*stddev=*/true);
+  }
+  return nullptr;
+}
+
+}  // namespace sgb::engine

@@ -1,0 +1,42 @@
+#include "engine/catalog.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace sgb::engine {
+
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+void Catalog::Register(const std::string& name, TablePtr table) {
+  tables_[Lower(name)] = std::move(table);
+}
+
+Result<TablePtr> Catalog::Get(const std::string& name) const {
+  const auto it = tables_.find(Lower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  return tables_.count(Lower(name)) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace sgb::engine

@@ -1,0 +1,32 @@
+#ifndef SGB_ENGINE_CATALOG_H_
+#define SGB_ENGINE_CATALOG_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "engine/table.h"
+
+namespace sgb::engine {
+
+/// Name -> table registry; the planner resolves FROM items against it.
+/// Table names are case-insensitive (normalized to lower case).
+class Catalog {
+ public:
+  /// Registers or replaces a table.
+  void Register(const std::string& name, TablePtr table);
+
+  /// NotFound when no such table is registered.
+  Result<TablePtr> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, TablePtr> tables_;
+};
+
+}  // namespace sgb::engine
+
+#endif  // SGB_ENGINE_CATALOG_H_

@@ -1,0 +1,245 @@
+#include "engine/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace sgb::engine {
+
+namespace {
+
+/// Splits CSV text into rows of raw cells, honoring quotes.
+Result<std::vector<std::vector<std::string>>> SplitCells(
+    const std::string& text, char delimiter) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_was_quoted = false;
+  bool any_content = false;
+
+  auto end_cell = [&] {
+    row.push_back(cell);
+    cell.clear();
+    cell_was_quoted = false;
+  };
+  auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+    any_content = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    if (c == '"' && cell.empty() && !cell_was_quoted) {
+      in_quotes = true;
+      cell_was_quoted = true;
+      any_content = true;
+      continue;
+    }
+    if (c == delimiter) {
+      end_cell();
+      any_content = true;
+      continue;
+    }
+    if (c == '\n') {
+      if (any_content || !cell.empty()) end_row();
+      continue;
+    }
+    if (c == '\r') continue;
+    cell += c;
+    any_content = true;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("CSV: unterminated quoted field");
+  }
+  if (any_content || !cell.empty()) end_row();
+  return rows;
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool NeedsQuoting(const std::string& s, char delimiter) {
+  for (const char c : s) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<TablePtr> ReadCsvFromString(const std::string& text,
+                                   const CsvOptions& options) {
+  auto cells = SplitCells(text, options.delimiter);
+  if (!cells.ok()) return cells.status();
+  const auto& rows = cells.value();
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV: no rows");
+  }
+
+  size_t first_data = 0;
+  std::vector<std::string> names;
+  if (options.has_header) {
+    names = rows[0];
+    first_data = 1;
+  } else {
+    for (size_t c = 0; c < rows[0].size(); ++c) {
+      names.push_back("c" + std::to_string(c));
+    }
+  }
+  const size_t ncols = names.size();
+  for (size_t r = first_data; r < rows.size(); ++r) {
+    if (rows[r].size() != ncols) {
+      return Status::InvalidArgument(
+          "CSV: row " + std::to_string(r + 1) + " has " +
+          std::to_string(rows[r].size()) + " cells, expected " +
+          std::to_string(ncols));
+    }
+  }
+
+  // Per-column type inference over the data rows.
+  std::vector<DataType> types(ncols, DataType::kNull);
+  for (size_t c = 0; c < ncols; ++c) {
+    bool all_int = true;
+    bool all_double = true;
+    bool any_value = false;
+    for (size_t r = first_data; r < rows.size(); ++r) {
+      const std::string& s = rows[r][c];
+      if (s.empty()) continue;
+      any_value = true;
+      int64_t iv;
+      double dv;
+      if (!ParseInt(s, &iv)) all_int = false;
+      if (!ParseDouble(s, &dv)) all_double = false;
+    }
+    if (!any_value) {
+      types[c] = DataType::kString;
+    } else if (all_int) {
+      types[c] = DataType::kInt64;
+    } else if (all_double) {
+      types[c] = DataType::kDouble;
+    } else {
+      types[c] = DataType::kString;
+    }
+  }
+
+  Schema schema;
+  for (size_t c = 0; c < ncols; ++c) {
+    schema.AddColumn(Column{names[c], types[c], ""});
+  }
+  auto table = std::make_shared<Table>(std::move(schema));
+  table->Reserve(rows.size() - first_data);
+  for (size_t r = first_data; r < rows.size(); ++r) {
+    Row row;
+    row.reserve(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& s = rows[r][c];
+      if (s.empty()) {
+        row.push_back(Value::Null());
+      } else if (types[c] == DataType::kInt64) {
+        int64_t v = 0;
+        ParseInt(s, &v);
+        row.push_back(Value::Int(v));
+      } else if (types[c] == DataType::kDouble) {
+        double v = 0;
+        ParseDouble(s, &v);
+        row.push_back(Value::Double(v));
+      } else {
+        row.push_back(Value::Str(s));
+      }
+    }
+    SGB_RETURN_IF_ERROR(table->Append(std::move(row)));
+  }
+  return TablePtr(table);
+}
+
+Result<TablePtr> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open CSV file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsvFromString(buffer.str(), options);
+}
+
+std::string WriteCsvToString(const Table& table, const CsvOptions& options) {
+  std::string out;
+  auto emit = [&out, &options](const std::string& cell) {
+    if (NeedsQuoting(cell, options.delimiter)) {
+      out += '"';
+      for (const char c : cell) {
+        if (c == '"') out += '"';
+        out += c;
+      }
+      out += '"';
+    } else {
+      out += cell;
+    }
+  };
+
+  const Schema& schema = table.schema();
+  if (options.has_header) {
+    for (size_t c = 0; c < schema.size(); ++c) {
+      if (c > 0) out += options.delimiter;
+      emit(schema.column(c).name);
+    }
+    out += '\n';
+  }
+  for (const Row& row : table.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += options.delimiter;
+      if (!row[c].is_null()) emit(row[c].ToString());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  out << WriteCsvToString(table, options);
+  return out.good() ? Status::OK()
+                    : Status::Internal("short write to '" + path + "'");
+}
+
+}  // namespace sgb::engine

@@ -1,0 +1,43 @@
+#ifndef SGB_ENGINE_CSV_H_
+#define SGB_ENGINE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/table.h"
+
+namespace sgb::engine {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// First row holds column names; otherwise columns are named c0, c1, ...
+  bool has_header = true;
+};
+
+/// Parses CSV text into a Table. Column types are inferred per column from
+/// the data rows (INT64 if every non-empty cell parses as an integer,
+/// DOUBLE if every non-empty cell parses as a number, STRING otherwise);
+/// empty cells become NULL. Quoted fields ("a,b", "" escapes) are
+/// supported; CRLF line endings are accepted.
+///
+/// Errors: InvalidArgument on ragged rows or unterminated quotes.
+Result<TablePtr> ReadCsvFromString(const std::string& text,
+                                   const CsvOptions& options = {});
+
+/// ReadCsvFromString over a file's contents.
+/// Errors: NotFound when the file cannot be opened.
+Result<TablePtr> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options = {});
+
+/// Renders a table as CSV (header + rows; strings are quoted when they
+/// contain the delimiter, quotes, or newlines; NULL renders as empty).
+std::string WriteCsvToString(const Table& table,
+                             const CsvOptions& options = {});
+
+/// WriteCsvToString into a file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace sgb::engine
+
+#endif  // SGB_ENGINE_CSV_H_

@@ -1,0 +1,26 @@
+#include "engine/executor.h"
+
+#include "sql/parser.h"
+#include "sql/planner.h"
+
+namespace sgb::engine {
+
+Result<OperatorPtr> Database::Prepare(const std::string& sql) const {
+  auto stmt = sql::ParseSelect(sql);
+  if (!stmt.ok()) return stmt.status();
+  return sql::PlanQuery(catalog_, *stmt.value());
+}
+
+Result<Table> Database::Query(const std::string& sql) const {
+  auto plan = Prepare(sql);
+  if (!plan.ok()) return plan.status();
+  return Materialize(*plan.value());
+}
+
+Result<std::string> Database::Explain(const std::string& sql) const {
+  auto plan = Prepare(sql);
+  if (!plan.ok()) return plan.status();
+  return ExplainPlan(*plan.value());
+}
+
+}  // namespace sgb::engine

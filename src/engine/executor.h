@@ -1,0 +1,47 @@
+#ifndef SGB_ENGINE_EXECUTOR_H_
+#define SGB_ENGINE_EXECUTOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "engine/operators.h"
+
+namespace sgb::engine {
+
+/// Top-level facade tying the SQL front end to the engine: register tables,
+/// run SQL strings, get materialized results. This is the entry point the
+/// examples and the SQL-level benchmarks use.
+///
+///   Database db;
+///   db.Register("gpspoints", table);
+///   auto result = db.Query(
+///       "SELECT count(*) FROM gpspoints "
+///       "GROUP BY lat, lon DISTANCE-TO-ALL LINF WITHIN 3 "
+///       "ON-OVERLAP ELIMINATE");
+class Database {
+ public:
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  void Register(const std::string& name, TablePtr table) {
+    catalog_.Register(name, std::move(table));
+  }
+
+  /// Parses + plans the SQL; the returned operator can be Open()/Next()ed
+  /// repeatedly.
+  Result<OperatorPtr> Prepare(const std::string& sql) const;
+
+  /// Parses, plans and fully materializes the result table.
+  Result<Table> Query(const std::string& sql) const;
+
+  /// EXPLAIN: renders the physical plan the SQL would execute.
+  Result<std::string> Explain(const std::string& sql) const;
+
+ private:
+  Catalog catalog_;
+};
+
+}  // namespace sgb::engine
+
+#endif  // SGB_ENGINE_EXECUTOR_H_

@@ -1,0 +1,478 @@
+#include "engine/operators.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace sgb::engine {
+
+namespace {
+
+class TableScanOp final : public Operator {
+ public:
+  TableScanOp(TablePtr table, const std::string& qualifier)
+      : table_(std::move(table)),
+        schema_(qualifier.empty() ? table_->schema()
+                                  : table_->schema().WithQualifier(qualifier)) {
+  }
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "TableScan"; }
+  std::string label() const override {
+    return schema_.size() > 0 && !schema_.column(0).qualifier.empty()
+               ? "TableScan " + schema_.column(0).qualifier
+               : std::string("TableScan");
+  }
+  void Open() override { next_ = 0; }
+  bool Next(Row* out) override {
+    if (next_ >= table_->NumRows()) return false;
+    *out = table_->rows()[next_++];
+    return true;
+  }
+
+ private:
+  TablePtr table_;
+  Schema schema_;
+  size_t next_ = 0;
+};
+
+class FilterOp final : public Operator {
+ public:
+  FilterOp(OperatorPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+  const Schema& schema() const override { return child_->schema(); }
+  std::string name() const override { return "Filter"; }
+  std::string label() const override {
+    return "Filter " + predicate_->ToString();
+  }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+  void Open() override { child_->Open(); }
+  bool Next(Row* out) override {
+    while (child_->Next(out)) {
+      if (predicate_->Evaluate(*out).ToBool()) return true;
+    }
+    return false;
+  }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+class ProjectOp final : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
+            std::vector<Column> output_columns)
+      : child_(std::move(child)),
+        exprs_(std::move(exprs)),
+        schema_(std::move(output_columns)) {}
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "Project"; }
+  std::string label() const override {
+    std::string out = "Project [";
+    for (size_t i = 0; i < exprs_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += exprs_[i]->ToString();
+    }
+    return out + "]";
+  }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+  void Open() override { child_->Open(); }
+  bool Next(Row* out) override {
+    Row input;
+    if (!child_->Next(&input)) return false;
+    out->clear();
+    out->reserve(exprs_.size());
+    for (const ExprPtr& e : exprs_) out->push_back(e->Evaluate(input));
+    return true;
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+  Schema schema_;
+};
+
+class HashAggregateOp final : public Operator {
+ public:
+  HashAggregateOp(OperatorPtr child, std::vector<ExprPtr> group_exprs,
+                  std::vector<Column> group_columns,
+                  std::vector<AggregateSpec> aggregates)
+      : child_(std::move(child)),
+        group_exprs_(std::move(group_exprs)),
+        aggregates_(std::move(aggregates)) {
+    Schema s(std::move(group_columns));
+    for (const AggregateSpec& a : aggregates_) {
+      s.AddColumn(Column{a.output_name, AggregateOutputType(a.kind), ""});
+    }
+    schema_ = std::move(s);
+  }
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "HashAggregate"; }
+  std::string label() const override {
+    return "HashAggregate (keys=" + std::to_string(group_exprs_.size()) +
+           ", aggs=" + std::to_string(aggregates_.size()) + ")";
+  }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+  void Open() override {
+    child_->Open();
+    results_.clear();
+    next_ = 0;
+
+    struct GroupEntry {
+      std::vector<std::unique_ptr<AggregateState>> states;
+    };
+    std::unordered_map<Row, GroupEntry, RowHash, RowEq> groups;
+    std::vector<Row> key_order;  // deterministic output order
+
+    Row row;
+    while (child_->Next(&row)) {
+      Row key;
+      key.reserve(group_exprs_.size());
+      for (const ExprPtr& e : group_exprs_) key.push_back(e->Evaluate(row));
+      auto [it, inserted] = groups.try_emplace(key);
+      if (inserted) {
+        key_order.push_back(key);
+        it->second.states.reserve(aggregates_.size());
+        for (const AggregateSpec& a : aggregates_) {
+          it->second.states.push_back(CreateAggregateState(a));
+        }
+      }
+      for (auto& state : it->second.states) state->Add(row);
+    }
+
+    // Global aggregation emits one row even when the input was empty.
+    if (group_exprs_.empty() && groups.empty()) {
+      Row out;
+      for (const AggregateSpec& a : aggregates_) {
+        out.push_back(CreateAggregateState(a)->Finalize());
+      }
+      results_.push_back(std::move(out));
+      return;
+    }
+
+    results_.reserve(key_order.size());
+    for (const Row& key : key_order) {
+      Row out = key;
+      for (const auto& state : groups[key].states) {
+        out.push_back(state->Finalize());
+      }
+      results_.push_back(std::move(out));
+    }
+  }
+
+  bool Next(Row* out) override {
+    if (next_ >= results_.size()) return false;
+    *out = std::move(results_[next_++]);
+    return true;
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggregateSpec> aggregates_;
+  Schema schema_;
+  std::vector<Row> results_;
+  size_t next_ = 0;
+};
+
+class HashJoinOp final : public Operator {
+ public:
+  HashJoinOp(OperatorPtr left, OperatorPtr right,
+             std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)),
+        schema_(Schema::Concat(left_->schema(), right_->schema())) {}
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "HashJoin"; }
+  std::string label() const override {
+    std::string out = "HashJoin on ";
+    for (size_t i = 0; i < left_keys_.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += left_keys_[i]->ToString() + " = " + right_keys_[i]->ToString();
+    }
+    return out;
+  }
+  std::vector<const Operator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+  void Open() override {
+    // Build side: right input.
+    right_->Open();
+    build_.clear();
+    Row row;
+    while (right_->Next(&row)) {
+      Row key;
+      key.reserve(right_keys_.size());
+      for (const ExprPtr& e : right_keys_) key.push_back(e->Evaluate(row));
+      bool has_null = false;
+      for (const Value& v : key) has_null = has_null || v.is_null();
+      if (has_null) continue;  // NULL keys never join
+      build_[std::move(key)].push_back(row);
+    }
+    left_->Open();
+    matches_ = nullptr;
+    match_index_ = 0;
+  }
+
+  bool Next(Row* out) override {
+    while (true) {
+      if (matches_ != nullptr && match_index_ < matches_->size()) {
+        *out = probe_row_;
+        const Row& right_row = (*matches_)[match_index_++];
+        out->insert(out->end(), right_row.begin(), right_row.end());
+        return true;
+      }
+      matches_ = nullptr;
+      if (!left_->Next(&probe_row_)) return false;
+      Row key;
+      key.reserve(left_keys_.size());
+      for (const ExprPtr& e : left_keys_) {
+        key.push_back(e->Evaluate(probe_row_));
+      }
+      bool has_null = false;
+      for (const Value& v : key) has_null = has_null || v.is_null();
+      if (has_null) continue;
+      const auto it = build_.find(key);
+      if (it == build_.end()) continue;
+      matches_ = &it->second;
+      match_index_ = 0;
+    }
+  }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  Schema schema_;
+  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> build_;
+  Row probe_row_;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_index_ = 0;
+};
+
+class NestedLoopJoinOp final : public Operator {
+ public:
+  NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr predicate)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        predicate_(std::move(predicate)),
+        schema_(Schema::Concat(left_->schema(), right_->schema())) {}
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "NestedLoopJoin"; }
+  std::string label() const override {
+    return predicate_ == nullptr
+               ? std::string("NestedLoopJoin (cross)")
+               : "NestedLoopJoin " + predicate_->ToString();
+  }
+  std::vector<const Operator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+  void Open() override {
+    right_->Open();
+    right_rows_.clear();
+    Row row;
+    while (right_->Next(&row)) right_rows_.push_back(row);
+    left_->Open();
+    have_left_ = false;
+    right_index_ = 0;
+  }
+
+  bool Next(Row* out) override {
+    while (true) {
+      if (!have_left_) {
+        if (!left_->Next(&left_row_)) return false;
+        have_left_ = true;
+        right_index_ = 0;
+      }
+      while (right_index_ < right_rows_.size()) {
+        const Row& r = right_rows_[right_index_++];
+        Row joined = left_row_;
+        joined.insert(joined.end(), r.begin(), r.end());
+        if (predicate_ == nullptr || predicate_->Evaluate(joined).ToBool()) {
+          *out = std::move(joined);
+          return true;
+        }
+      }
+      have_left_ = false;
+    }
+  }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  ExprPtr predicate_;
+  Schema schema_;
+  std::vector<Row> right_rows_;
+  Row left_row_;
+  bool have_left_ = false;
+  size_t right_index_ = 0;
+};
+
+class SortOp final : public Operator {
+ public:
+  SortOp(OperatorPtr child, std::vector<SortKey> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+  const Schema& schema() const override { return child_->schema(); }
+  std::string name() const override { return "Sort"; }
+  std::string label() const override {
+    std::string out = "Sort [";
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += keys_[i].expr->ToString();
+      out += keys_[i].ascending ? " asc" : " desc";
+    }
+    return out + "]";
+  }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+  void Open() override {
+    child_->Open();
+    rows_.clear();
+    next_ = 0;
+    Row row;
+    while (child_->Next(&row)) rows_.push_back(std::move(row));
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [this](const Row& a, const Row& b) {
+                       for (const SortKey& k : keys_) {
+                         const int c = Value::Compare(k.expr->Evaluate(a),
+                                                      k.expr->Evaluate(b));
+                         if (c != 0) return k.ascending ? c < 0 : c > 0;
+                       }
+                       return false;
+                     });
+  }
+
+  bool Next(Row* out) override {
+    if (next_ >= rows_.size()) return false;
+    *out = std::move(rows_[next_++]);
+    return true;
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> rows_;
+  size_t next_ = 0;
+};
+
+class LimitOp final : public Operator {
+ public:
+  LimitOp(OperatorPtr child, size_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+  const Schema& schema() const override { return child_->schema(); }
+  std::string name() const override { return "Limit"; }
+  std::string label() const override {
+    return "Limit " + std::to_string(limit_);
+  }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+  void Open() override {
+    child_->Open();
+    emitted_ = 0;
+  }
+  bool Next(Row* out) override {
+    if (emitted_ >= limit_) return false;
+    if (!child_->Next(out)) return false;
+    ++emitted_;
+    return true;
+  }
+
+ private:
+  OperatorPtr child_;
+  size_t limit_;
+  size_t emitted_ = 0;
+};
+
+}  // namespace
+
+OperatorPtr MakeTableScan(TablePtr table, const std::string& qualifier) {
+  return std::make_unique<TableScanOp>(std::move(table), qualifier);
+}
+
+OperatorPtr MakeFilter(OperatorPtr child, ExprPtr predicate) {
+  return std::make_unique<FilterOp>(std::move(child), std::move(predicate));
+}
+
+OperatorPtr MakeProject(OperatorPtr child, std::vector<ExprPtr> exprs,
+                        std::vector<Column> output_columns) {
+  return std::make_unique<ProjectOp>(std::move(child), std::move(exprs),
+                                     std::move(output_columns));
+}
+
+OperatorPtr MakeHashAggregate(OperatorPtr child,
+                              std::vector<ExprPtr> group_exprs,
+                              std::vector<Column> group_columns,
+                              std::vector<AggregateSpec> aggregates) {
+  return std::make_unique<HashAggregateOp>(
+      std::move(child), std::move(group_exprs), std::move(group_columns),
+      std::move(aggregates));
+}
+
+OperatorPtr MakeHashJoin(OperatorPtr left, OperatorPtr right,
+                         std::vector<ExprPtr> left_keys,
+                         std::vector<ExprPtr> right_keys) {
+  return std::make_unique<HashJoinOp>(std::move(left), std::move(right),
+                                      std::move(left_keys),
+                                      std::move(right_keys));
+}
+
+OperatorPtr MakeNestedLoopJoin(OperatorPtr left, OperatorPtr right,
+                               ExprPtr predicate) {
+  return std::make_unique<NestedLoopJoinOp>(std::move(left), std::move(right),
+                                            std::move(predicate));
+}
+
+OperatorPtr MakeSort(OperatorPtr child, std::vector<SortKey> keys) {
+  return std::make_unique<SortOp>(std::move(child), std::move(keys));
+}
+
+OperatorPtr MakeLimit(OperatorPtr child, size_t limit) {
+  return std::make_unique<LimitOp>(std::move(child), limit);
+}
+
+namespace {
+
+void ExplainRec(const Operator& op, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += op.label();
+  *out += '\n';
+  for (const Operator* child : op.children()) {
+    ExplainRec(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainPlan(const Operator& root) {
+  std::string out;
+  ExplainRec(root, 0, &out);
+  return out;
+}
+
+Result<Table> Materialize(Operator& root) {
+  Table table(root.schema());
+  root.Open();
+  Row row;
+  while (root.Next(&row)) {
+    SGB_RETURN_IF_ERROR(table.Append(std::move(row)));
+    row.clear();
+  }
+  return table;
+}
+
+}  // namespace sgb::engine

@@ -1,0 +1,85 @@
+#ifndef SGB_ENGINE_OPERATORS_H_
+#define SGB_ENGINE_OPERATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/aggregate.h"
+#include "engine/expression.h"
+#include "engine/schema.h"
+#include "engine/table.h"
+
+namespace sgb::engine {
+
+/// Pull-based (Volcano) physical operator. The executor calls Open() once,
+/// then Next() until it returns false. Operators own their children.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual const Schema& schema() const = 0;
+  virtual void Open() = 0;
+  virtual bool Next(Row* out) = 0;
+  virtual std::string name() const = 0;
+
+  /// One-line description for EXPLAIN output (operator name + key
+  /// parameters, e.g. "Filter (#1(price) > 20)").
+  virtual std::string label() const { return name(); }
+
+  /// Child operators, for plan rendering. Non-owning.
+  virtual std::vector<const Operator*> children() const { return {}; }
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Full scan over a stored (or materialized intermediate) table.
+OperatorPtr MakeTableScan(TablePtr table, const std::string& qualifier = "");
+
+/// Emits child rows whose predicate evaluates truthy.
+OperatorPtr MakeFilter(OperatorPtr child, ExprPtr predicate);
+
+/// Evaluates one expression per output column.
+OperatorPtr MakeProject(OperatorPtr child, std::vector<ExprPtr> exprs,
+                        std::vector<Column> output_columns);
+
+/// Standard hash-based GROUP BY: one output row per distinct key, columns
+/// are [group exprs..., aggregates...]. With no group expressions, a single
+/// global group is emitted even for empty input (SQL semantics).
+OperatorPtr MakeHashAggregate(OperatorPtr child,
+                              std::vector<ExprPtr> group_exprs,
+                              std::vector<Column> group_columns,
+                              std::vector<AggregateSpec> aggregates);
+
+/// Hash equi-join (inner). Output schema is left columns ++ right columns.
+OperatorPtr MakeHashJoin(OperatorPtr left, OperatorPtr right,
+                         std::vector<ExprPtr> left_keys,
+                         std::vector<ExprPtr> right_keys);
+
+/// Nested-loop inner join with an arbitrary predicate (nullptr = cross
+/// join). Fallback when no equi-key is available.
+OperatorPtr MakeNestedLoopJoin(OperatorPtr left, OperatorPtr right,
+                               ExprPtr predicate);
+
+struct SortKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// Blocking full sort.
+OperatorPtr MakeSort(OperatorPtr child, std::vector<SortKey> keys);
+
+OperatorPtr MakeLimit(OperatorPtr child, size_t limit);
+
+/// Drains `root` into a materialized table (schema copied from the
+/// operator).
+Result<Table> Materialize(Operator& root);
+
+/// Renders the operator tree as an indented EXPLAIN-style listing:
+///   Sort (#1 desc)
+///     HashAggregate (keys=1, aggs=2)
+///       TableScan orders
+std::string ExplainPlan(const Operator& root);
+
+}  // namespace sgb::engine
+
+#endif  // SGB_ENGINE_OPERATORS_H_

@@ -1,0 +1,50 @@
+#include "engine/schema.h"
+
+namespace sgb::engine {
+
+Schema::Lookup Schema::Find(const std::string& qualifier,
+                            const std::string& name) const {
+  Lookup result;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != name) continue;
+    if (!qualifier.empty() && columns_[i].qualifier != qualifier) continue;
+    if (result.outcome == LookupOutcome::kFound) {
+      result.outcome = LookupOutcome::kAmbiguous;
+      return result;
+    }
+    result.outcome = LookupOutcome::kFound;
+    result.index = i;
+  }
+  return result;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> columns = left.columns_;
+  columns.insert(columns.end(), right.columns_.begin(),
+                 right.columns_.end());
+  return Schema(std::move(columns));
+}
+
+Schema Schema::WithQualifier(const std::string& qualifier) const {
+  std::vector<Column> columns = columns_;
+  for (Column& c : columns) c.qualifier = qualifier;
+  return Schema(std::move(columns));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (!columns_[i].qualifier.empty()) {
+      out += columns_[i].qualifier;
+      out += '.';
+    }
+    out += columns_[i].name;
+    out += ' ';
+    out += sgb::engine::ToString(columns_[i].type);
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace sgb::engine

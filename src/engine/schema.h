@@ -1,0 +1,58 @@
+#ifndef SGB_ENGINE_SCHEMA_H_
+#define SGB_ENGINE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/value.h"
+
+namespace sgb::engine {
+
+/// One output column of an operator or stored table. `qualifier` is the
+/// table name or alias ("c" in c.c_custkey); empty for derived columns.
+struct Column {
+  std::string name;
+  DataType type = DataType::kNull;
+  std::string qualifier;
+};
+
+/// An ordered list of columns. Lookup supports both bare and qualified
+/// names; a bare name that matches several columns is ambiguous.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+
+  enum class LookupOutcome { kFound, kNotFound, kAmbiguous };
+  struct Lookup {
+    LookupOutcome outcome = LookupOutcome::kNotFound;
+    size_t index = 0;
+  };
+
+  /// Finds a column by name; `qualifier` empty means "any qualifier", in
+  /// which case the bare name must be unique across the schema.
+  Lookup Find(const std::string& qualifier, const std::string& name) const;
+
+  /// Concatenation for joins; all columns keep their qualifiers.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// Re-qualifies every column (used when a subquery gets an alias).
+  Schema WithQualifier(const std::string& qualifier) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace sgb::engine
+
+#endif  // SGB_ENGINE_SCHEMA_H_

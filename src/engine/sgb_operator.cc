@@ -1,0 +1,306 @@
+#include "engine/sgb_operator.h"
+
+#include <utility>
+
+#include "core/sgb_all.h"
+#include "core/sgb_any.h"
+#include "core/sgb_nd.h"
+
+namespace sgb::engine {
+
+namespace {
+
+std::string DescribeMode(const SgbMode& mode) {
+  if (const auto* all = std::get_if<core::SgbAllOptions>(&mode)) {
+    return std::string(" (eps=") + engine::Value::Double(all->epsilon)
+               .ToString() +
+           ", " + (all->metric == geom::Metric::kL2 ? "L2" : "LINF") + ", " +
+           core::ToString(all->on_overlap) + ", " +
+           core::ToString(all->algorithm) + ")";
+  }
+  const auto& any = std::get<core::SgbAnyOptions>(mode);
+  return std::string(" (eps=") + engine::Value::Double(any.epsilon)
+             .ToString() +
+         ", " + (any.metric == geom::Metric::kL2 ? "L2" : "LINF") + ")";
+}
+
+/// Shared driver for the 2-D and 1-D variants: drains the child, labels
+/// every row with a group id (or "no group"), then aggregates per group.
+class SgbOperatorBase : public Operator {
+ public:
+  SgbOperatorBase(OperatorPtr child, std::vector<AggregateSpec> aggregates)
+      : child_(std::move(child)), aggregates_(std::move(aggregates)) {
+    Schema s;
+    s.AddColumn(Column{"group_id", DataType::kInt64, ""});
+    for (const AggregateSpec& a : aggregates_) {
+      s.AddColumn(Column{a.output_name, AggregateOutputType(a.kind), ""});
+    }
+    schema_ = std::move(s);
+  }
+
+  const Schema& schema() const override { return schema_; }
+
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+  void Open() override {
+    child_->Open();
+    rows_.clear();
+    results_.clear();
+    next_ = 0;
+
+    Row row;
+    while (child_->Next(&row)) rows_.push_back(std::move(row));
+
+    size_t num_groups = 0;
+    const std::vector<size_t> group_of = Label(rows_, &num_groups);
+
+    std::vector<std::vector<std::unique_ptr<AggregateState>>> states(
+        num_groups);
+    for (auto& group_states : states) {
+      group_states.reserve(aggregates_.size());
+      for (const AggregateSpec& a : aggregates_) {
+        group_states.push_back(CreateAggregateState(a));
+      }
+    }
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const size_t g = group_of[i];
+      if (g == kNoGroup) continue;
+      for (auto& state : states[g]) state->Add(rows_[i]);
+    }
+    results_.reserve(num_groups);
+    for (size_t g = 0; g < num_groups; ++g) {
+      Row out;
+      out.reserve(1 + aggregates_.size());
+      out.push_back(Value::Int(static_cast<int64_t>(g)));
+      for (const auto& state : states[g]) out.push_back(state->Finalize());
+      results_.push_back(std::move(out));
+    }
+    rows_.clear();
+  }
+
+  bool Next(Row* out) override {
+    if (next_ >= results_.size()) return false;
+    *out = std::move(results_[next_++]);
+    return true;
+  }
+
+ protected:
+  static constexpr size_t kNoGroup = static_cast<size_t>(-1);
+
+  /// Assigns a group id in [0, *num_groups) — or kNoGroup — to every row.
+  virtual std::vector<size_t> Label(const std::vector<Row>& rows,
+                                    size_t* num_groups) = 0;
+
+ private:
+  OperatorPtr child_;
+  std::vector<AggregateSpec> aggregates_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<Row> results_;
+  size_t next_ = 0;
+};
+
+class SgbOperator2d final : public SgbOperatorBase {
+ public:
+  SgbOperator2d(OperatorPtr child, ExprPtr x_expr, ExprPtr y_expr,
+                SgbMode mode, std::vector<AggregateSpec> aggregates)
+      : SgbOperatorBase(std::move(child), std::move(aggregates)),
+        x_expr_(std::move(x_expr)),
+        y_expr_(std::move(y_expr)),
+        mode_(std::move(mode)) {}
+
+  std::string name() const override {
+    return std::holds_alternative<core::SgbAllOptions>(mode_)
+               ? "SimilarityGroupByAll"
+               : "SimilarityGroupByAny";
+  }
+
+  std::string label() const override { return name() + DescribeMode(mode_); }
+
+ protected:
+  std::vector<size_t> Label(const std::vector<Row>& rows,
+                            size_t* num_groups) override {
+    std::vector<geom::Point> points;
+    std::vector<size_t> point_row;  // input row of each grouped point
+    points.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Value x = x_expr_->Evaluate(rows[i]);
+      const Value y = y_expr_->Evaluate(rows[i]);
+      if (x.is_null() || y.is_null()) continue;
+      points.push_back(geom::Point{x.ToDouble(), y.ToDouble()});
+      point_row.push_back(i);
+    }
+
+    core::Grouping grouping;
+    if (const auto* all = std::get_if<core::SgbAllOptions>(&mode_)) {
+      Result<core::Grouping> r = core::SgbAll(points, *all);
+      // Options are validated at plan time; core failure here is a bug.
+      grouping = r.ok() ? std::move(r.value()) : core::Grouping{};
+    } else {
+      Result<core::Grouping> r =
+          core::SgbAny(points, std::get<core::SgbAnyOptions>(mode_));
+      grouping = r.ok() ? std::move(r.value()) : core::Grouping{};
+    }
+
+    std::vector<size_t> group_of(rows.size(), kNoGroup);
+    for (size_t k = 0; k < point_row.size(); ++k) {
+      if (grouping.group_of[k] != core::Grouping::kEliminated) {
+        group_of[point_row[k]] = grouping.group_of[k];
+      }
+    }
+    *num_groups = grouping.num_groups;
+    return group_of;
+  }
+
+ private:
+  ExprPtr x_expr_;
+  ExprPtr y_expr_;
+  SgbMode mode_;
+};
+
+class SgbOperator3d final : public SgbOperatorBase {
+ public:
+  SgbOperator3d(OperatorPtr child, ExprPtr x_expr, ExprPtr y_expr,
+                ExprPtr z_expr, SgbMode mode,
+                std::vector<AggregateSpec> aggregates)
+      : SgbOperatorBase(std::move(child), std::move(aggregates)),
+        x_expr_(std::move(x_expr)),
+        y_expr_(std::move(y_expr)),
+        z_expr_(std::move(z_expr)),
+        mode_(std::move(mode)) {}
+
+  std::string name() const override {
+    return std::holds_alternative<core::SgbAllOptions>(mode_)
+               ? "SimilarityGroupByAll3d"
+               : "SimilarityGroupByAny3d";
+  }
+
+  std::string label() const override { return name() + DescribeMode(mode_); }
+
+ protected:
+  std::vector<size_t> Label(const std::vector<Row>& rows,
+                            size_t* num_groups) override {
+    std::vector<geom::PointN<3>> points;
+    std::vector<size_t> point_row;
+    points.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Value x = x_expr_->Evaluate(rows[i]);
+      const Value y = y_expr_->Evaluate(rows[i]);
+      const Value z = z_expr_->Evaluate(rows[i]);
+      if (x.is_null() || y.is_null() || z.is_null()) continue;
+      points.push_back(
+          geom::PointN<3>{{x.ToDouble(), y.ToDouble(), z.ToDouble()}});
+      point_row.push_back(i);
+    }
+
+    core::Grouping grouping;
+    if (const auto* all = std::get_if<core::SgbAllOptions>(&mode_)) {
+      Result<core::Grouping> r = core::SgbAllNd<3>(points, *all);
+      grouping = r.ok() ? std::move(r).value() : core::Grouping{};
+    } else {
+      Result<core::Grouping> r =
+          core::SgbAnyNd<3>(points, std::get<core::SgbAnyOptions>(mode_));
+      grouping = r.ok() ? std::move(r).value() : core::Grouping{};
+    }
+
+    std::vector<size_t> group_of(rows.size(), kNoGroup);
+    for (size_t k = 0; k < point_row.size(); ++k) {
+      if (grouping.group_of[k] != core::Grouping::kEliminated) {
+        group_of[point_row[k]] = grouping.group_of[k];
+      }
+    }
+    *num_groups = grouping.num_groups;
+    return group_of;
+  }
+
+ private:
+  ExprPtr x_expr_;
+  ExprPtr y_expr_;
+  ExprPtr z_expr_;
+  SgbMode mode_;
+};
+
+class SgbOperator1d final : public SgbOperatorBase {
+ public:
+  SgbOperator1d(OperatorPtr child, ExprPtr value_expr, Sgb1dMode mode,
+                std::vector<AggregateSpec> aggregates)
+      : SgbOperatorBase(std::move(child), std::move(aggregates)),
+        value_expr_(std::move(value_expr)),
+        mode_(std::move(mode)) {}
+
+  std::string name() const override { return "SimilarityGroupBy1d"; }
+
+ protected:
+  std::vector<size_t> Label(const std::vector<Row>& rows,
+                            size_t* num_groups) override {
+    std::vector<double> values;
+    std::vector<size_t> value_row;
+    values.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Value v = value_expr_->Evaluate(rows[i]);
+      if (v.is_null() || !v.IsNumeric()) continue;
+      values.push_back(v.ToDouble());
+      value_row.push_back(i);
+    }
+
+    Result<core::Grouping1D> r = [&]() -> Result<core::Grouping1D> {
+      if (const auto* u = std::get_if<Sgb1dUnsupervised>(&mode_)) {
+        return core::SgbUnsupervised(values, u->max_separation,
+                                     u->max_diameter);
+      }
+      if (const auto* a = std::get_if<Sgb1dAround>(&mode_)) {
+        return core::SgbAround(values, a->centers, a->max_separation,
+                               a->max_diameter);
+      }
+      const auto& d = std::get<Sgb1dDelimited>(mode_);
+      return core::SgbDelimited(values, d.delimiters);
+    }();
+    const core::Grouping1D grouping =
+        r.ok() ? std::move(r.value()) : core::Grouping1D{};
+
+    std::vector<size_t> group_of(rows.size(), kNoGroup);
+    for (size_t k = 0; k < value_row.size(); ++k) {
+      if (grouping.group_of[k] != core::Grouping1D::kUngrouped) {
+        group_of[value_row[k]] = grouping.group_of[k];
+      }
+    }
+    *num_groups = grouping.num_groups;
+    return group_of;
+  }
+
+ private:
+  ExprPtr value_expr_;
+  Sgb1dMode mode_;
+};
+
+}  // namespace
+
+OperatorPtr MakeSimilarityGroupBy(OperatorPtr child, ExprPtr x_expr,
+                                  ExprPtr y_expr, SgbMode mode,
+                                  std::vector<AggregateSpec> aggregates) {
+  return std::make_unique<SgbOperator2d>(std::move(child), std::move(x_expr),
+                                         std::move(y_expr), std::move(mode),
+                                         std::move(aggregates));
+}
+
+OperatorPtr MakeSimilarityGroupBy3d(OperatorPtr child, ExprPtr x_expr,
+                                    ExprPtr y_expr, ExprPtr z_expr,
+                                    SgbMode mode,
+                                    std::vector<AggregateSpec> aggregates) {
+  return std::make_unique<SgbOperator3d>(
+      std::move(child), std::move(x_expr), std::move(y_expr),
+      std::move(z_expr), std::move(mode), std::move(aggregates));
+}
+
+OperatorPtr MakeSimilarityGroupBy1d(OperatorPtr child, ExprPtr value_expr,
+                                    Sgb1dMode mode,
+                                    std::vector<AggregateSpec> aggregates) {
+  return std::make_unique<SgbOperator1d>(std::move(child),
+                                         std::move(value_expr),
+                                         std::move(mode),
+                                         std::move(aggregates));
+}
+
+}  // namespace sgb::engine

@@ -1,0 +1,64 @@
+#ifndef SGB_ENGINE_SGB_OPERATOR_H_
+#define SGB_ENGINE_SGB_OPERATOR_H_
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "core/sgb1d.h"
+#include "core/sgb_types.h"
+#include "engine/operators.h"
+
+namespace sgb::engine {
+
+/// Physical operator realizing the paper's SGB-All / SGB-Any from inside
+/// the relational pipeline (Section 8.2): a blocking aggregate that drains
+/// its child, treats (x, y) of every row as a point in the grouping space,
+/// runs the core similarity grouping, and emits one row per output group:
+///
+///   [group_id INT64, aggregate results...]
+///
+/// Rows whose grouping attributes evaluate to NULL, and rows dropped by
+/// ON-OVERLAP ELIMINATE, contribute to no group.
+///
+/// `mode` selects SGB-All (with its ON-OVERLAP clause inside
+/// core::SgbAllOptions) or SGB-Any.
+using SgbMode = std::variant<core::SgbAllOptions, core::SgbAnyOptions>;
+
+OperatorPtr MakeSimilarityGroupBy(OperatorPtr child, ExprPtr x_expr,
+                                  ExprPtr y_expr, SgbMode mode,
+                                  std::vector<AggregateSpec> aggregates);
+
+/// Three-dimensional variant (the paper's "two and three dimensional data
+/// space" scope): grouping attributes (x, y, z), same semantics, backed by
+/// core::SgbAllNd / core::SgbAnyNd with D = 3.
+OperatorPtr MakeSimilarityGroupBy3d(OperatorPtr child, ExprPtr x_expr,
+                                    ExprPtr y_expr, ExprPtr z_expr,
+                                    SgbMode mode,
+                                    std::vector<AggregateSpec> aggregates);
+
+/// One-dimensional similarity grouping operator (the ICDE 2009 SGB-U/A/D
+/// family) with the same output convention. Exactly one of the parameter
+/// structs is active.
+struct Sgb1dUnsupervised {
+  double max_separation = 0.0;
+  std::optional<double> max_diameter;
+};
+struct Sgb1dAround {
+  std::vector<double> centers;
+  std::optional<double> max_separation;
+  std::optional<double> max_diameter;
+};
+struct Sgb1dDelimited {
+  std::vector<double> delimiters;
+};
+using Sgb1dMode =
+    std::variant<Sgb1dUnsupervised, Sgb1dAround, Sgb1dDelimited>;
+
+OperatorPtr MakeSimilarityGroupBy1d(OperatorPtr child, ExprPtr value_expr,
+                                    Sgb1dMode mode,
+                                    std::vector<AggregateSpec> aggregates);
+
+}  // namespace sgb::engine
+
+#endif  // SGB_ENGINE_SGB_OPERATOR_H_

@@ -1,0 +1,41 @@
+#ifndef SGB_ENGINE_TABLE_H_
+#define SGB_ENGINE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/schema.h"
+#include "engine/value.h"
+
+namespace sgb::engine {
+
+/// An in-memory row-store table: the engine's only storage format.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t NumRows() const { return rows_.size(); }
+
+  /// Appends a row; the arity must match the schema.
+  Status Append(Row row);
+
+  void Reserve(size_t rows) { rows_.reserve(rows); }
+
+  /// Renders the table as an aligned text grid (for examples and docs).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+using TablePtr = std::shared_ptr<const Table>;
+
+}  // namespace sgb::engine
+
+#endif  // SGB_ENGINE_TABLE_H_

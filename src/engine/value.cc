@@ -1,0 +1,136 @@
+#include "engine/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace sgb::engine {
+
+const char* ToString(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+double Value::ToDouble() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return static_cast<double>(AsInt());
+    case DataType::kDouble:
+      return AsDouble();
+    default:
+      return 0.0;
+  }
+}
+
+bool Value::ToBool() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return AsInt() != 0;
+    case DataType::kDouble:
+      return AsDouble() != 0.0;
+    default:
+      return false;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInt64:
+      return std::to_string(AsInt());
+    case DataType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", AsDouble());
+      return buf;
+    }
+    case DataType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+namespace {
+
+/// Type rank for cross-type ordering: NULL < numeric < string.
+int TypeRank(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return 1;
+    case DataType::kString:
+      return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& a, const Value& b) {
+  const int ra = TypeRank(a.type());
+  const int rb = TypeRank(b.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+      return 0;  // NULL == NULL for ordering purposes
+    case 1: {
+      if (a.type() == DataType::kInt64 && b.type() == DataType::kInt64) {
+        const int64_t x = a.AsInt();
+        const int64_t y = b.AsInt();
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+      const double x = a.ToDouble();
+      const double y = b.ToDouble();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    default: {
+      const int c = a.AsString().compare(b.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case DataType::kInt64: {
+      // Hash integral doubles and int64s alike so == implies equal hash.
+      return std::hash<double>()(static_cast<double>(AsInt()));
+    }
+    case DataType::kDouble:
+      return std::hash<double>()(AsDouble());
+    case DataType::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+size_t RowHash::operator()(const Row& row) const {
+  size_t h = 0x811c9dc5;
+  for (const Value& v : row) {
+    h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool RowEq::operator()(const Row& a, const Row& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (Value::Compare(a[i], b[i]) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace sgb::engine

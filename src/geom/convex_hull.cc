@@ -1,0 +1,106 @@
+#include "geom/convex_hull.h"
+
+#include <algorithm>
+
+namespace sgb::geom {
+
+namespace {
+
+/// Cross product (b - a) x (c - a): > 0 for a counter-clockwise turn.
+double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+bool LexLess(const Point& a, const Point& b) {
+  return a.x < b.x || (a.x == b.x && a.y < b.y);
+}
+
+}  // namespace
+
+std::vector<Point> ConvexHull(std::span<const Point> points) {
+  std::vector<Point> pts(points.begin(), points.end());
+  std::sort(pts.begin(), pts.end(), LexLess);
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const size_t n = pts.size();
+  if (n <= 2) return pts;
+
+  std::vector<Point> hull(2 * n);
+  size_t k = 0;
+  // Lower hull.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 && Cross(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  // Upper hull.
+  const size_t lower_size = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {
+    while (k >= lower_size && Cross(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);  // Last point equals the first.
+  return hull;
+}
+
+bool PointInConvexHull(const Point& p, std::span<const Point> hull) {
+  // Tolerance keeps exact boundary points "inside"; it must never admit a
+  // clearly exterior point, since callers use this as a positive membership
+  // shortcut.
+  constexpr double kTol = 1e-12;
+  const size_t h = hull.size();
+  if (h == 0) return false;
+  if (h == 1) return DistanceL2Squared(p, hull[0]) <= kTol;
+  if (h == 2) {
+    // Degenerate hull: the segment hull[0]..hull[1].
+    if (std::fabs(Cross(hull[0], hull[1], p)) > kTol) return false;
+    const double dot = (p.x - hull[0].x) * (hull[1].x - hull[0].x) +
+                       (p.y - hull[0].y) * (hull[1].y - hull[0].y);
+    const double len2 = DistanceL2Squared(hull[0], hull[1]);
+    return dot >= -kTol && dot <= len2 + kTol;
+  }
+  for (size_t i = 0; i < h; ++i) {
+    const Point& a = hull[i];
+    const Point& b = hull[(i + 1) % h];
+    if (Cross(a, b, p) < -kTol) return false;
+  }
+  return true;
+}
+
+size_t FarthestHullVertex(const Point& p, std::span<const Point> hull) {
+  size_t best = 0;
+  double best_d2 = DistanceL2Squared(p, hull[0]);
+  for (size_t i = 1; i < hull.size(); ++i) {
+    const double d2 = DistanceL2Squared(p, hull[i]);
+    if (d2 > best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void IncrementalHull::Insert(const Point& p) {
+  // The new hull is a subset of {old hull vertices} ∪ {p}: a point interior
+  // to the old hull stays interior after adding p.
+  hull_.push_back(p);
+  // Re-hull even at size 2 so duplicate points collapse; a degenerate
+  // two-identical-point "segment" would break PointInConvexHull.
+  if (hull_.size() >= 2) hull_ = ConvexHull(hull_);
+}
+
+void IncrementalHull::Rebuild(std::span<const Point> members) {
+  hull_ = ConvexHull(members);
+}
+
+bool IncrementalHull::WithinEpsilonOfAll(const Point& p,
+                                         double epsilon) const {
+  if (hull_.empty()) return true;
+  // Shortcut (a): interior points of a valid SGB-All group's hull are
+  // within ε of every member (Section 6.4). Precondition: the maintained
+  // point set is a valid group (all pairs within ε under L2).
+  if (PointInConvexHull(p, hull_)) return true;
+  // Exact test (b): the farthest member from p is a hull vertex.
+  const size_t far = FarthestHullVertex(p, hull_);
+  return DistanceL2Squared(p, hull_[far]) <= epsilon * epsilon;
+}
+
+}  // namespace sgb::geom

@@ -1,0 +1,57 @@
+#ifndef SGB_GEOM_CONVEX_HULL_H_
+#define SGB_GEOM_CONVEX_HULL_H_
+
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace sgb::geom {
+
+/// Computes the convex hull of `points` with Andrew's monotone chain.
+/// Returns hull vertices in counter-clockwise order without repeating the
+/// first vertex. Collinear boundary points are dropped. Handles n <= 2 by
+/// returning the (deduplicated) input.
+std::vector<Point> ConvexHull(std::span<const Point> points);
+
+/// True iff p lies inside or on the boundary of the convex polygon `hull`
+/// (CCW vertex order, as produced by ConvexHull).
+bool PointInConvexHull(const Point& p, std::span<const Point> hull);
+
+/// Returns the index of the hull vertex farthest (L2) from p.
+/// Precondition: !hull.empty().
+size_t FarthestHullVertex(const Point& p, std::span<const Point> hull);
+
+/// Incrementally maintained convex hull used by the SGB-All L2 refinement
+/// (Procedure 6, "Convex Hull Test").
+///
+/// Why the hull suffices: for a candidate point p and a group g, the
+/// farthest member of g from p is always a hull vertex, so
+///   (a) p inside hull(g)            ⇒ δ2(p, m) <= ε for all m ∈ g, and
+///   (b) δ2(p, farthest vertex) <= ε ⇒ δ2(p, m) <= ε for all m ∈ g.
+/// (a) holds because the distance from p to any member is at most the
+/// distance to some hull vertex, all of which are within ε of each other
+/// and of p once p passes (b); see Section 6.4.
+class IncrementalHull {
+ public:
+  /// Adds a member point; recomputes the hull from the previous hull plus p
+  /// (the previous interior can never resurface on the new hull). Expected
+  /// hull size is O(log k) for k random points, keeping this cheap.
+  void Insert(const Point& p);
+
+  /// Rebuilds from scratch (after member removals).
+  void Rebuild(std::span<const Point> members);
+
+  /// The Convex Hull Test: true iff p is within L2 distance ε of every
+  /// point whose hull this object maintains.
+  bool WithinEpsilonOfAll(const Point& p, double epsilon) const;
+
+  const std::vector<Point>& hull() const { return hull_; }
+
+ private:
+  std::vector<Point> hull_;
+};
+
+}  // namespace sgb::geom
+
+#endif  // SGB_GEOM_CONVEX_HULL_H_

@@ -1,0 +1,3 @@
+#include "geom/epsilon_rect.h"
+
+// EpsilonRect is header-only; this TU anchors the target.

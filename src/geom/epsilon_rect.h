@@ -1,0 +1,82 @@
+#ifndef SGB_GEOM_EPSILON_RECT_H_
+#define SGB_GEOM_EPSILON_RECT_H_
+
+#include <span>
+
+#include "geom/rect.h"
+
+namespace sgb::geom {
+
+/// The ε-All bounding rectangle of a group (Definition 5 and Figure 5).
+///
+/// Maintained as the intersection of the 2ε boxes around every member:
+///     Rε-All = ⋂_{m ∈ g} [m.x - ε, m.x + ε] x [m.y - ε, m.y + ε]
+///
+/// Invariants (Section 6.3):
+///  * L∞:  p ∈ Rε-All  ⇔  δ∞(p, m) <= ε for every member m. Exact test.
+///  * L2:  p ∉ Rε-All  ⇒  p cannot join the group (conservative filter);
+///         points inside may still be false positives, refined by the
+///         convex-hull test.
+///
+/// The class also tracks the member bounding box (MBR), which the
+/// overlap-rectangle test of Procedure 4 uses: a group can only contain a
+/// point within ε of p if its MBR intersects Rect::Around(p, ε).
+class EpsilonRect {
+ public:
+  EpsilonRect() = default;
+  explicit EpsilonRect(double epsilon) : epsilon_(epsilon) {}
+
+  /// Shrinks the ε-All rectangle and grows the MBR for a newly inserted
+  /// member. O(1) per insertion, as required for the bounds-checking
+  /// approach to beat all-pairs.
+  void Insert(const Point& p) {
+    if (empty_) {
+      all_rect_ = Rect::Around(p, epsilon_);
+      mbr_ = Rect{p, p};
+      empty_ = false;
+      return;
+    }
+    all_rect_.Clip(Rect::Around(p, epsilon_));
+    mbr_.Expand(p);
+  }
+
+  /// Rebuilds both rectangles from a member list. Needed after removals
+  /// (ELIMINATE / FORM-NEW-GROUP pull members out of groups): the ε-All
+  /// rectangle is an intersection and cannot be un-shrunk incrementally.
+  void Rebuild(std::span<const Point> members) {
+    *this = EpsilonRect(epsilon_);
+    for (const Point& p : members) Insert(p);
+  }
+
+  /// True iff the group is empty.
+  bool empty() const { return empty_; }
+
+  double epsilon() const { return epsilon_; }
+
+  /// The ε-All rectangle (empty Rect when the group has no members).
+  const Rect& all_rect() const { return all_rect_; }
+
+  /// The members' minimum bounding rectangle.
+  const Rect& mbr() const { return mbr_; }
+
+  /// PointInRectangleTest of Procedure 4: membership filter for p.
+  bool PointInRectangleTest(const Point& p) const {
+    return !empty_ && all_rect_.Contains(p);
+  }
+
+  /// OverlapRectangleTest of Procedure 4: can this group contain a point
+  /// within L∞ distance ε of p? (Superset of the L2 case.)
+  bool OverlapRectangleTest(const Point& p) const {
+    return !empty_ && mbr_.Intersects(Rect::Around(p, epsilon_));
+  }
+
+ private:
+  double epsilon_ = 0.0;
+  bool empty_ = true;
+  Rect all_rect_ = Rect::Empty();
+  Rect mbr_ = Rect::Empty();
+};
+
+}  // namespace sgb::geom
+
+#endif  // SGB_GEOM_EPSILON_RECT_H_

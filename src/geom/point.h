@@ -1,0 +1,61 @@
+#ifndef SGB_GEOM_POINT_H_
+#define SGB_GEOM_POINT_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace sgb::geom {
+
+/// A point in the 2-D grouping-attribute space. The paper (Section 3)
+/// studies the two-attribute case, viewing each tuple's grouping attributes
+/// as a point p:(x1, x2); we follow that convention throughout the core.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Metric distance functions supported by the similarity predicate
+/// (Definition 1): Minkowski L2 (Euclidean) and L-infinity (maximum).
+enum class Metric {
+  kL2,
+  kLInf,
+};
+
+/// Euclidean distance δ2(a, b) = sqrt((ax-bx)^2 + (ay-by)^2).
+inline double DistanceL2(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance — avoids the sqrt in comparisons.
+inline double DistanceL2Squared(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Maximum (Chebyshev) distance δ∞(a, b) = max(|ax-bx|, |ay-by|).
+inline double DistanceLInf(const Point& a, const Point& b) {
+  return std::fmax(std::fabs(a.x - b.x), std::fabs(a.y - b.y));
+}
+
+inline double Distance(const Point& a, const Point& b, Metric metric) {
+  return metric == Metric::kL2 ? DistanceL2(a, b) : DistanceLInf(a, b);
+}
+
+/// The similarity predicate ξδ,ε (Definition 2): true iff δ(a, b) <= ε.
+/// For L2 the comparison is done on squared distances.
+inline bool Similar(const Point& a, const Point& b, Metric metric,
+                    double epsilon) {
+  if (metric == Metric::kL2) {
+    return DistanceL2Squared(a, b) <= epsilon * epsilon;
+  }
+  return DistanceLInf(a, b) <= epsilon;
+}
+
+}  // namespace sgb::geom
+
+#endif  // SGB_GEOM_POINT_H_

@@ -1,0 +1,93 @@
+#ifndef SGB_GEOM_RECT_H_
+#define SGB_GEOM_RECT_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/point.h"
+
+namespace sgb::geom {
+
+/// An axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y].
+///
+/// Rect doubles as the R-tree bounding-box type and as the ε-All rectangle
+/// of SGB-All groups. An "empty" rectangle (default-constructed) has
+/// inverted bounds and contains nothing.
+struct Rect {
+  Point lo{std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity()};
+  Point hi{-std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity()};
+
+  static Rect Empty() { return Rect{}; }
+
+  /// The 2ε x 2ε box centered at p: all points within L∞ distance ε of p.
+  static Rect Around(const Point& p, double epsilon) {
+    return Rect{{p.x - epsilon, p.y - epsilon}, {p.x + epsilon, p.y + epsilon}};
+  }
+
+  static Rect FromPoints(const Point& a, const Point& b) {
+    return Rect{{std::min(a.x, b.x), std::min(a.y, b.y)},
+                {std::max(a.x, b.x), std::max(a.y, b.y)}};
+  }
+
+  bool IsEmpty() const { return lo.x > hi.x || lo.y > hi.y; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  bool Contains(const Rect& r) const {
+    return r.lo.x >= lo.x && r.hi.x <= hi.x && r.lo.y >= lo.y && r.hi.y <= hi.y;
+  }
+
+  bool Intersects(const Rect& r) const {
+    return !IsEmpty() && !r.IsEmpty() && lo.x <= r.hi.x && r.lo.x <= hi.x &&
+           lo.y <= r.hi.y && r.lo.y <= hi.y;
+  }
+
+  /// Grows this rectangle to cover p.
+  void Expand(const Point& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  /// Grows this rectangle to cover r.
+  void Expand(const Rect& r) {
+    lo.x = std::min(lo.x, r.lo.x);
+    lo.y = std::min(lo.y, r.lo.y);
+    hi.x = std::max(hi.x, r.hi.x);
+    hi.y = std::max(hi.y, r.hi.y);
+  }
+
+  /// Shrinks this rectangle to its intersection with r (may become empty).
+  void Clip(const Rect& r) {
+    lo.x = std::max(lo.x, r.lo.x);
+    lo.y = std::max(lo.y, r.lo.y);
+    hi.x = std::min(hi.x, r.hi.x);
+    hi.y = std::min(hi.y, r.hi.y);
+  }
+
+  double Area() const {
+    if (IsEmpty()) return 0.0;
+    return (hi.x - lo.x) * (hi.y - lo.y);
+  }
+
+  /// Area of the union bounding box with r minus own area — the R-tree
+  /// "enlargement" heuristic.
+  double Enlargement(const Rect& r) const {
+    Rect merged = *this;
+    merged.Expand(r);
+    return merged.Area() - Area();
+  }
+
+  Point Center() const { return {(lo.x + hi.x) / 2, (lo.y + hi.y) / 2}; }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+}  // namespace sgb::geom
+
+#endif  // SGB_GEOM_RECT_H_

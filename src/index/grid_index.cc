@@ -1,0 +1,42 @@
+#include "index/grid_index.h"
+
+#include <cmath>
+
+namespace sgb::index {
+
+GridIndex::GridIndex(double cell_size) : cell_size_(cell_size) {}
+
+GridIndex::CellKey GridIndex::KeyFor(const geom::Point& p) const {
+  return CellKey{static_cast<int64_t>(std::floor(p.x / cell_size_)),
+                 static_cast<int64_t>(std::floor(p.y / cell_size_))};
+}
+
+void GridIndex::Insert(const geom::Point& p, uint64_t id) {
+  cells_[KeyFor(p)].push_back(Item{p, id});
+  ++size_;
+}
+
+void GridIndex::Search(
+    const geom::Rect& window,
+    const std::function<void(const geom::Point&, uint64_t)>& visit) const {
+  if (window.IsEmpty()) return;
+  const auto lo = KeyFor(window.lo);
+  const auto hi = KeyFor(window.hi);
+  for (int64_t cx = lo.cx; cx <= hi.cx; ++cx) {
+    for (int64_t cy = lo.cy; cy <= hi.cy; ++cy) {
+      const auto it = cells_.find(CellKey{cx, cy});
+      if (it == cells_.end()) continue;
+      for (const Item& item : it->second) {
+        if (window.Contains(item.point)) visit(item.point, item.id);
+      }
+    }
+  }
+}
+
+std::vector<uint64_t> GridIndex::SearchIds(const geom::Rect& window) const {
+  std::vector<uint64_t> ids;
+  Search(window, [&ids](const geom::Point&, uint64_t id) { ids.push_back(id); });
+  return ids;
+}
+
+}  // namespace sgb::index

@@ -1,0 +1,64 @@
+#ifndef SGB_INDEX_GRID_INDEX_H_
+#define SGB_INDEX_GRID_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace sgb::index {
+
+/// Uniform hash-grid over 2-D points.
+///
+/// Used as an ablation alternative to the Points_IX R-tree in SGB-Any
+/// (bench_ablation): with cell size = ε, an ε-window query touches at most a
+/// 3x3 block of cells. The grid is simpler and often faster for uniform
+/// data, but degrades when ε is far smaller/larger than the data spread —
+/// exactly the trade-off the ablation measures.
+class GridIndex {
+ public:
+  /// `cell_size` must be > 0; typically the similarity threshold ε.
+  explicit GridIndex(double cell_size);
+
+  void Insert(const geom::Point& p, uint64_t id);
+
+  /// Visits every stored point inside `window` (inclusive bounds).
+  void Search(const geom::Rect& window,
+              const std::function<void(const geom::Point&, uint64_t)>& visit)
+      const;
+
+  std::vector<uint64_t> SearchIds(const geom::Rect& window) const;
+
+  size_t size() const { return size_; }
+
+ private:
+  struct CellKey {
+    int64_t cx;
+    int64_t cy;
+    friend bool operator==(const CellKey&, const CellKey&) = default;
+  };
+  struct CellKeyHash {
+    size_t operator()(const CellKey& k) const {
+      const uint64_t a = static_cast<uint64_t>(k.cx) * 0x9e3779b97f4a7c15ULL;
+      const uint64_t b = static_cast<uint64_t>(k.cy) * 0xc2b2ae3d27d4eb4fULL;
+      return a ^ (b + 0x165667b19e3779f9ULL + (a << 6) + (a >> 2));
+    }
+  };
+  struct Item {
+    geom::Point point;
+    uint64_t id;
+  };
+
+  CellKey KeyFor(const geom::Point& p) const;
+
+  double cell_size_;
+  size_t size_ = 0;
+  std::unordered_map<CellKey, std::vector<Item>, CellKeyHash> cells_;
+};
+
+}  // namespace sgb::index
+
+#endif  // SGB_INDEX_GRID_INDEX_H_

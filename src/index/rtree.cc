@@ -1,0 +1,313 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace sgb::index {
+
+using geom::Rect;
+
+struct RTree::Entry {
+  Rect rect;
+  uint64_t id = 0;             // Payload; meaningful for data entries.
+  std::unique_ptr<Node> child;  // Non-null for internal entries.
+};
+
+struct RTree::Node {
+  bool leaf = true;
+  std::vector<Entry> entries;
+
+  Rect Cover() const {
+    Rect r = Rect::Empty();
+    for (const Entry& e : entries) r.Expand(e.rect);
+    return r;
+  }
+};
+
+RTree::RTree(size_t max_entries)
+    : max_entries_(std::max<size_t>(max_entries, 4)),
+      min_entries_(std::max<size_t>(2, max_entries_ * 2 / 5)),
+      root_(std::make_unique<Node>()) {}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+std::unique_ptr<RTree::Node> RTree::MaybeSplit(Node* node) {
+  if (node->entries.size() <= max_entries_) return nullptr;
+
+  std::vector<Entry> pool = std::move(node->entries);
+  node->entries.clear();
+
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+
+  // Guttman's quadratic PickSeeds: the pair wasting the most area together.
+  size_t si = 0;
+  size_t sj = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      Rect merged = pool[i].rect;
+      merged.Expand(pool[j].rect);
+      const double d =
+          merged.Area() - pool[i].rect.Area() - pool[j].rect.Area();
+      if (d > worst) {
+        worst = d;
+        si = i;
+        sj = j;
+      }
+    }
+  }
+  Rect cover1 = pool[si].rect;
+  Rect cover2 = pool[sj].rect;
+  node->entries.push_back(std::move(pool[si]));
+  sibling->entries.push_back(std::move(pool[sj]));
+  // Erase the larger index first so the smaller stays valid.
+  pool.erase(pool.begin() + static_cast<ptrdiff_t>(std::max(si, sj)));
+  pool.erase(pool.begin() + static_cast<ptrdiff_t>(std::min(si, sj)));
+
+  while (!pool.empty()) {
+    // Force-assign the remainder if one side must reach the minimum fill.
+    if (node->entries.size() + pool.size() == min_entries_) {
+      for (Entry& e : pool) {
+        cover1.Expand(e.rect);
+        node->entries.push_back(std::move(e));
+      }
+      break;
+    }
+    if (sibling->entries.size() + pool.size() == min_entries_) {
+      for (Entry& e : pool) {
+        cover2.Expand(e.rect);
+        sibling->entries.push_back(std::move(e));
+      }
+      break;
+    }
+
+    // PickNext: the entry with the strongest preference between groups.
+    size_t best = 0;
+    double best_diff = -1.0;
+    double best_d1 = 0.0;
+    double best_d2 = 0.0;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      const double d1 = cover1.Enlargement(pool[i].rect);
+      const double d2 = cover2.Enlargement(pool[i].rect);
+      const double diff = std::fabs(d1 - d2);
+      if (diff > best_diff) {
+        best_diff = diff;
+        best = i;
+        best_d1 = d1;
+        best_d2 = d2;
+      }
+    }
+    Entry e = std::move(pool[best]);
+    pool.erase(pool.begin() + static_cast<ptrdiff_t>(best));
+    bool to_first;
+    if (best_d1 != best_d2) {
+      to_first = best_d1 < best_d2;
+    } else if (cover1.Area() != cover2.Area()) {
+      to_first = cover1.Area() < cover2.Area();
+    } else {
+      to_first = node->entries.size() <= sibling->entries.size();
+    }
+    if (to_first) {
+      cover1.Expand(e.rect);
+      node->entries.push_back(std::move(e));
+    } else {
+      cover2.Expand(e.rect);
+      sibling->entries.push_back(std::move(e));
+    }
+  }
+  return sibling;
+}
+
+void RTree::InsertAtLevel(Entry entry, int target_level) {
+  // An orphan subtree taller than the current tree cannot occur: orphans are
+  // always data entries (target_level == 1) in this implementation.
+  assert(target_level >= 1 && target_level <= height_);
+
+  // Descend to a node at target_level by least enlargement.
+  std::vector<Node*> path;
+  Node* node = root_.get();
+  path.push_back(node);
+  for (int level = height_; level > target_level; --level) {
+    size_t best = 0;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      const double enl = node->entries[i].rect.Enlargement(entry.rect);
+      const double area = node->entries[i].rect.Area();
+      if (enl < best_enlargement ||
+          (enl == best_enlargement && area < best_area)) {
+        best_enlargement = enl;
+        best_area = area;
+        best = i;
+      }
+    }
+    node = node->entries[best].child.get();
+    path.push_back(node);
+  }
+
+  node->entries.push_back(std::move(entry));
+  std::unique_ptr<Node> split = MaybeSplit(node);
+
+  // Walk back up: retighten covering rectangles and place split siblings.
+  for (size_t i = path.size() - 1; i-- > 0;) {
+    Node* cur = path[i];
+    Node* child = path[i + 1];
+    for (Entry& e : cur->entries) {
+      if (e.child.get() == child) {
+        e.rect = child->Cover();
+        break;
+      }
+    }
+    if (split) {
+      Entry e;
+      e.rect = split->Cover();
+      e.child = std::move(split);
+      cur->entries.push_back(std::move(e));
+    }
+    split = MaybeSplit(cur);
+  }
+
+  if (split) {  // The root itself split: grow the tree.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    Entry left;
+    left.rect = root_->Cover();
+    left.child = std::move(root_);
+    Entry right;
+    right.rect = split->Cover();
+    right.child = std::move(split);
+    new_root->entries.push_back(std::move(left));
+    new_root->entries.push_back(std::move(right));
+    root_ = std::move(new_root);
+    ++height_;
+  }
+}
+
+void RTree::Insert(const Rect& rect, uint64_t id) {
+  Entry e;
+  e.rect = rect;
+  e.id = id;
+  InsertAtLevel(std::move(e), 1);
+  ++size_;
+}
+
+bool RTree::RemoveRec(Node* node, int level, const Rect& rect, uint64_t id,
+                      std::vector<Entry>& orphans) {
+  if (node->leaf) {
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      if (node->entries[i].id == id && node->entries[i].rect == rect) {
+        node->entries.erase(node->entries.begin() + static_cast<ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+  for (size_t i = 0; i < node->entries.size(); ++i) {
+    Entry& e = node->entries[i];
+    if (!e.rect.Intersects(rect)) continue;
+    if (!RemoveRec(e.child.get(), level - 1, rect, id, orphans)) continue;
+    if (e.child->entries.size() < min_entries_) {
+      // Condense: detach the underfull subtree and re-insert its data
+      // entries (flattening keeps reinsertion independent of tree height).
+      std::unique_ptr<Node> detached = std::move(e.child);
+      node->entries.erase(node->entries.begin() + static_cast<ptrdiff_t>(i));
+      std::vector<Node*> stack = {detached.get()};
+      while (!stack.empty()) {
+        Node* n = stack.back();
+        stack.pop_back();
+        for (Entry& sub : n->entries) {
+          if (sub.child) {
+            stack.push_back(sub.child.get());
+          } else {
+            orphans.push_back(std::move(sub));
+          }
+        }
+      }
+    } else {
+      e.rect = e.child->Cover();
+    }
+    return true;
+  }
+  return false;
+}
+
+bool RTree::Remove(const Rect& rect, uint64_t id) {
+  std::vector<Entry> orphans;
+  if (!RemoveRec(root_.get(), height_, rect, id, orphans)) return false;
+  --size_;
+
+  while (!root_->leaf && root_->entries.size() == 1) {
+    std::unique_ptr<Node> child = std::move(root_->entries[0].child);
+    root_ = std::move(child);
+    --height_;
+  }
+  if (!root_->leaf && root_->entries.empty()) {
+    root_->leaf = true;
+    height_ = 1;
+  }
+  for (Entry& e : orphans) InsertAtLevel(std::move(e), 1);
+  return true;
+}
+
+void RTree::Search(
+    const Rect& window,
+    const std::function<void(const Rect&, uint64_t)>& visit) const {
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const Entry& e : node->entries) {
+      if (!e.rect.Intersects(window)) continue;
+      if (e.child) {
+        stack.push_back(e.child.get());
+      } else {
+        visit(e.rect, e.id);
+      }
+    }
+  }
+}
+
+std::vector<uint64_t> RTree::SearchIds(const Rect& window) const {
+  std::vector<uint64_t> ids;
+  Search(window, [&ids](const Rect&, uint64_t id) { ids.push_back(id); });
+  return ids;
+}
+
+bool RTree::CheckInvariants() const {
+  size_t data_count = 0;
+  bool ok = true;
+
+  struct Item {
+    const Node* node;
+    int level;
+  };
+  std::vector<Item> stack = {{root_.get(), height_}};
+  while (!stack.empty() && ok) {
+    auto [node, level] = stack.back();
+    stack.pop_back();
+    if (node->leaf != (level == 1)) ok = false;
+    if (node != root_.get() && node->entries.size() < min_entries_) ok = false;
+    if (node->entries.size() > max_entries_) ok = false;
+    for (const Entry& e : node->entries) {
+      if (node->leaf) {
+        if (e.child) ok = false;
+        ++data_count;
+      } else {
+        if (!e.child) {
+          ok = false;
+          continue;
+        }
+        if (!e.rect.Contains(e.child->Cover())) ok = false;
+        stack.push_back({e.child.get(), level - 1});
+      }
+    }
+  }
+  return ok && data_count == size_;
+}
+
+}  // namespace sgb::index

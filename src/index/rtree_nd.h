@@ -1,0 +1,336 @@
+#ifndef SGB_INDEX_RTREE_ND_H_
+#define SGB_INDEX_RTREE_ND_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "geom/nd.h"
+
+namespace sgb::index {
+
+/// D-dimensional R-tree: the same Guttman design as the 2-D `RTree`
+/// (quadratic split, condense-on-underflow with data-entry reinsertion,
+/// least-enlargement descent), templated on the dimension so the N-D SGB
+/// operators (core/sgb_nd.h) get Groups_IX / Points_IX in any dimension.
+/// Header-only because it is a template.
+template <size_t D>
+class RTreeN {
+ public:
+  using Rect = geom::RectN<D>;
+  using Point = geom::PointN<D>;
+
+  explicit RTreeN(size_t max_entries = 8)
+      : max_entries_(std::max<size_t>(max_entries, 4)),
+        min_entries_(std::max<size_t>(2, max_entries_ * 2 / 5)),
+        root_(std::make_unique<Node>()) {}
+
+  RTreeN(const RTreeN&) = delete;
+  RTreeN& operator=(const RTreeN&) = delete;
+  RTreeN(RTreeN&&) noexcept = default;
+  RTreeN& operator=(RTreeN&&) noexcept = default;
+
+  void Insert(const Rect& rect, uint64_t id) {
+    Entry e;
+    e.rect = rect;
+    e.id = id;
+    InsertAtLevel(std::move(e), 1);
+    ++size_;
+  }
+
+  void Insert(const Point& p, uint64_t id) { Insert(Rect{p, p}, id); }
+
+  bool Remove(const Rect& rect, uint64_t id) {
+    std::vector<Entry> orphans;
+    if (!RemoveRec(root_.get(), height_, rect, id, orphans)) return false;
+    --size_;
+    while (!root_->leaf && root_->entries.size() == 1) {
+      std::unique_ptr<Node> child = std::move(root_->entries[0].child);
+      root_ = std::move(child);
+      --height_;
+    }
+    if (!root_->leaf && root_->entries.empty()) {
+      root_->leaf = true;
+      height_ = 1;
+    }
+    for (Entry& e : orphans) InsertAtLevel(std::move(e), 1);
+    return true;
+  }
+
+  void Search(const Rect& window,
+              const std::function<void(const Rect&, uint64_t)>& visit) const {
+    std::vector<const Node*> stack = {root_.get()};
+    while (!stack.empty()) {
+      const Node* node = stack.back();
+      stack.pop_back();
+      for (const Entry& e : node->entries) {
+        if (!e.rect.Intersects(window)) continue;
+        if (e.child) {
+          stack.push_back(e.child.get());
+        } else {
+          visit(e.rect, e.id);
+        }
+      }
+    }
+  }
+
+  std::vector<uint64_t> SearchIds(const Rect& window) const {
+    std::vector<uint64_t> ids;
+    Search(window, [&ids](const Rect&, uint64_t id) { ids.push_back(id); });
+    return ids;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const { return height_; }
+
+  /// Structural invariant check (test helper), as in the 2-D tree.
+  bool CheckInvariants() const {
+    size_t data_count = 0;
+    bool ok = true;
+    struct Item {
+      const Node* node;
+      int level;
+    };
+    std::vector<Item> stack = {{root_.get(), height_}};
+    while (!stack.empty() && ok) {
+      const auto [node, level] = stack.back();
+      stack.pop_back();
+      if (node->leaf != (level == 1)) ok = false;
+      if (node != root_.get() && node->entries.size() < min_entries_) {
+        ok = false;
+      }
+      if (node->entries.size() > max_entries_) ok = false;
+      for (const Entry& e : node->entries) {
+        if (node->leaf) {
+          if (e.child) ok = false;
+          ++data_count;
+        } else {
+          if (!e.child) {
+            ok = false;
+            continue;
+          }
+          if (!e.rect.Contains(Cover(*e.child))) ok = false;
+          stack.push_back({e.child.get(), level - 1});
+        }
+      }
+    }
+    return ok && data_count == size_;
+  }
+
+ private:
+  struct Node;
+
+  struct Entry {
+    Rect rect;
+    uint64_t id = 0;
+    std::unique_ptr<Node> child;
+  };
+
+  struct Node {
+    bool leaf = true;
+    std::vector<Entry> entries;
+  };
+
+  static Rect Cover(const Node& node) {
+    Rect r = Rect::Empty();
+    for (const Entry& e : node.entries) r.Expand(e.rect);
+    return r;
+  }
+
+  std::unique_ptr<Node> MaybeSplit(Node* node) {
+    if (node->entries.size() <= max_entries_) return nullptr;
+    std::vector<Entry> pool = std::move(node->entries);
+    node->entries.clear();
+    auto sibling = std::make_unique<Node>();
+    sibling->leaf = node->leaf;
+
+    size_t si = 0;
+    size_t sj = 1;
+    double worst = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i + 1 < pool.size(); ++i) {
+      for (size_t j = i + 1; j < pool.size(); ++j) {
+        Rect merged = pool[i].rect;
+        merged.Expand(pool[j].rect);
+        const double d =
+            merged.Area() - pool[i].rect.Area() - pool[j].rect.Area();
+        if (d > worst) {
+          worst = d;
+          si = i;
+          sj = j;
+        }
+      }
+    }
+    Rect cover1 = pool[si].rect;
+    Rect cover2 = pool[sj].rect;
+    node->entries.push_back(std::move(pool[si]));
+    sibling->entries.push_back(std::move(pool[sj]));
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(std::max(si, sj)));
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(std::min(si, sj)));
+
+    while (!pool.empty()) {
+      if (node->entries.size() + pool.size() == min_entries_) {
+        for (Entry& e : pool) {
+          cover1.Expand(e.rect);
+          node->entries.push_back(std::move(e));
+        }
+        break;
+      }
+      if (sibling->entries.size() + pool.size() == min_entries_) {
+        for (Entry& e : pool) {
+          cover2.Expand(e.rect);
+          sibling->entries.push_back(std::move(e));
+        }
+        break;
+      }
+      size_t best = 0;
+      double best_diff = -1.0;
+      double best_d1 = 0.0;
+      double best_d2 = 0.0;
+      for (size_t i = 0; i < pool.size(); ++i) {
+        const double d1 = cover1.Enlargement(pool[i].rect);
+        const double d2 = cover2.Enlargement(pool[i].rect);
+        const double diff = std::fabs(d1 - d2);
+        if (diff > best_diff) {
+          best_diff = diff;
+          best = i;
+          best_d1 = d1;
+          best_d2 = d2;
+        }
+      }
+      Entry e = std::move(pool[best]);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best));
+      bool to_first;
+      if (best_d1 != best_d2) {
+        to_first = best_d1 < best_d2;
+      } else if (cover1.Area() != cover2.Area()) {
+        to_first = cover1.Area() < cover2.Area();
+      } else {
+        to_first = node->entries.size() <= sibling->entries.size();
+      }
+      if (to_first) {
+        cover1.Expand(e.rect);
+        node->entries.push_back(std::move(e));
+      } else {
+        cover2.Expand(e.rect);
+        sibling->entries.push_back(std::move(e));
+      }
+    }
+    return sibling;
+  }
+
+  void InsertAtLevel(Entry entry, int target_level) {
+    assert(target_level >= 1 && target_level <= height_);
+    std::vector<Node*> path;
+    Node* node = root_.get();
+    path.push_back(node);
+    for (int level = height_; level > target_level; --level) {
+      size_t best = 0;
+      double best_enlargement = std::numeric_limits<double>::infinity();
+      double best_area = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < node->entries.size(); ++i) {
+        const double enl = node->entries[i].rect.Enlargement(entry.rect);
+        const double area = node->entries[i].rect.Area();
+        if (enl < best_enlargement ||
+            (enl == best_enlargement && area < best_area)) {
+          best_enlargement = enl;
+          best_area = area;
+          best = i;
+        }
+      }
+      node = node->entries[best].child.get();
+      path.push_back(node);
+    }
+
+    node->entries.push_back(std::move(entry));
+    std::unique_ptr<Node> split = MaybeSplit(node);
+
+    for (size_t i = path.size() - 1; i-- > 0;) {
+      Node* cur = path[i];
+      Node* child = path[i + 1];
+      for (Entry& e : cur->entries) {
+        if (e.child.get() == child) {
+          e.rect = Cover(*child);
+          break;
+        }
+      }
+      if (split) {
+        Entry e;
+        e.rect = Cover(*split);
+        e.child = std::move(split);
+        cur->entries.push_back(std::move(e));
+      }
+      split = MaybeSplit(cur);
+    }
+
+    if (split) {
+      auto new_root = std::make_unique<Node>();
+      new_root->leaf = false;
+      Entry left;
+      left.rect = Cover(*root_);
+      left.child = std::move(root_);
+      Entry right;
+      right.rect = Cover(*split);
+      right.child = std::move(split);
+      new_root->entries.push_back(std::move(left));
+      new_root->entries.push_back(std::move(right));
+      root_ = std::move(new_root);
+      ++height_;
+    }
+  }
+
+  bool RemoveRec(Node* node, int level, const Rect& rect, uint64_t id,
+                 std::vector<Entry>& orphans) {
+    if (node->leaf) {
+      for (size_t i = 0; i < node->entries.size(); ++i) {
+        if (node->entries[i].id == id && node->entries[i].rect == rect) {
+          node->entries.erase(node->entries.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+          return true;
+        }
+      }
+      return false;
+    }
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      Entry& e = node->entries[i];
+      if (!e.rect.Intersects(rect)) continue;
+      if (!RemoveRec(e.child.get(), level - 1, rect, id, orphans)) continue;
+      if (e.child->entries.size() < min_entries_) {
+        std::unique_ptr<Node> detached = std::move(e.child);
+        node->entries.erase(node->entries.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        std::vector<Node*> stack = {detached.get()};
+        while (!stack.empty()) {
+          Node* n = stack.back();
+          stack.pop_back();
+          for (Entry& sub : n->entries) {
+            if (sub.child) {
+              stack.push_back(sub.child.get());
+            } else {
+              orphans.push_back(std::move(sub));
+            }
+          }
+        }
+      } else {
+        e.rect = Cover(*e.child);
+      }
+      return true;
+    }
+    return false;
+  }
+
+  size_t max_entries_;
+  size_t min_entries_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace sgb::index
+
+#endif  // SGB_INDEX_RTREE_ND_H_

@@ -1,0 +1,47 @@
+#include "index/union_find.h"
+
+#include <utility>
+
+namespace sgb::index {
+
+void UnionFind::Resize(size_t n) {
+  const size_t old = parent_.size();
+  if (n <= old) return;
+  parent_.resize(n);
+  rank_.resize(n, 0);
+  set_size_.resize(n, 1);
+  for (size_t i = old; i < n; ++i) parent_[i] = i;
+  num_sets_ += n - old;
+}
+
+size_t UnionFind::AddElement() {
+  const size_t id = parent_.size();
+  Resize(id + 1);
+  return id;
+}
+
+size_t UnionFind::Find(size_t x) {
+  size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  // Path compression.
+  while (parent_[x] != root) {
+    const size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+size_t UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a);
+  size_t rb = Find(b);
+  if (ra == rb) return ra;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  set_size_[ra] += set_size_[rb];
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_sets_;
+  return ra;
+}
+
+}  // namespace sgb::index

@@ -1,0 +1,47 @@
+#include "sql/ast.h"
+
+namespace sgb::sql {
+
+std::string ParsedExpr::ToText() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return qualifier.empty() ? name : qualifier + "." + name;
+    case Kind::kLiteral:
+      return literal.type() == engine::DataType::kString
+                 ? "'" + literal.ToString() + "'"
+                 : literal.ToString();
+    case Kind::kBinary:
+      return "(" + left->ToText() + " " + engine::ToString(op) + " " +
+             right->ToText() + ")";
+    case Kind::kUnaryMinus:
+      return "(-" + left->ToText() + ")";
+    case Kind::kNot:
+      return "(NOT " + left->ToText() + ")";
+    case Kind::kFunction: {
+      std::string out = function_name + "(";
+      if (star_arg) {
+        out += "*";
+      } else {
+        if (distinct_arg) out += "DISTINCT ";
+        for (size_t i = 0; i < args.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += args[i]->ToText();
+        }
+      }
+      return out + ")";
+    }
+    case Kind::kInList: {
+      std::string out = left->ToText() + " IN (";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToText();
+      }
+      return out + ")";
+    }
+    case Kind::kInSubquery:
+      return left->ToText() + " IN (<subquery>)";
+  }
+  return "?";
+}
+
+}  // namespace sgb::sql

@@ -1,0 +1,119 @@
+#ifndef SGB_SQL_AST_H_
+#define SGB_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sgb_types.h"
+#include "engine/expression.h"
+#include "engine/value.h"
+#include "geom/point.h"
+
+namespace sgb::sql {
+
+struct SelectStatement;
+
+/// Unbound expression tree produced by the parser; the planner binds it
+/// against operator schemas.
+struct ParsedExpr {
+  enum class Kind {
+    kColumn,       ///< [qualifier.]name
+    kLiteral,      ///< number / string / DATE 'x'
+    kBinary,       ///< left op right
+    kUnaryMinus,   ///< -operand (stored in left)
+    kNot,          ///< NOT operand (stored in left)
+    kFunction,     ///< name(args...) or name(*)
+    kInList,       ///< left IN (e1, e2, ...)  with args = values
+    kInSubquery,   ///< left IN (SELECT ...)
+  };
+
+  Kind kind = Kind::kLiteral;
+
+  // kColumn
+  std::string qualifier;
+  std::string name;
+
+  // kLiteral
+  engine::Value literal;
+
+  // kBinary / unary (unary uses only `left`)
+  engine::BinaryOp op = engine::BinaryOp::kEq;
+  std::unique_ptr<ParsedExpr> left;
+  std::unique_ptr<ParsedExpr> right;
+
+  // kFunction / kInList
+  std::string function_name;
+  std::vector<std::unique_ptr<ParsedExpr>> args;
+  bool star_arg = false;      ///< count(*)
+  bool distinct_arg = false;  ///< count(DISTINCT x)
+
+  // kInSubquery
+  std::unique_ptr<SelectStatement> subquery;
+
+  /// Canonical text form; the planner uses it to match select-list
+  /// expressions against GROUP BY expressions.
+  std::string ToText() const;
+};
+
+using ParsedExprPtr = std::unique_ptr<ParsedExpr>;
+
+/// The similarity specification attached to a GROUP BY clause.
+struct SimilarityClause {
+  enum class Kind {
+    kNone,          ///< plain (equality) GROUP BY
+    kAll,           ///< DISTANCE-TO-ALL ... WITHIN ε ON-OVERLAP ...
+    kAny,           ///< DISTANCE-TO-ANY ... WITHIN ε
+    kUnsupervised,  ///< MAXIMUM_ELEMENT_SEPARATION s [MAXIMUM_GROUP_DIAMETER]
+    kAround,        ///< AROUND (c1, ...) [limits]
+    kDelimited,     ///< DELIMITED BY (d1, ...)
+  };
+
+  Kind kind = Kind::kNone;
+
+  // kAll / kAny
+  geom::Metric metric = geom::Metric::kL2;
+  double epsilon = 0.0;
+  core::OverlapClause on_overlap = core::OverlapClause::kJoinAny;
+
+  // 1-D variants
+  std::optional<double> max_separation;
+  std::optional<double> max_diameter;
+  std::vector<double> centers;
+  std::vector<double> delimiters;
+};
+
+struct SelectItem {
+  ParsedExprPtr expr;
+  std::string alias;  // empty when none given
+};
+
+/// FROM item: a base table or a parenthesized subquery, with an optional
+/// alias.
+struct TableRef {
+  std::string table_name;  // empty for subqueries
+  std::unique_ptr<SelectStatement> subquery;
+  std::string alias;
+};
+
+struct OrderItem {
+  ParsedExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStatement {
+  bool select_star = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ParsedExprPtr where;
+  std::vector<ParsedExprPtr> group_by;
+  SimilarityClause similarity;
+  ParsedExprPtr having;
+  std::vector<OrderItem> order_by;
+  std::optional<size_t> limit;
+};
+
+}  // namespace sgb::sql
+
+#endif  // SGB_SQL_AST_H_

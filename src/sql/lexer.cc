@@ -1,0 +1,186 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace sgb::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  auto push = [&tokens](TokenType type, size_t pos, std::string text = "") {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.position = pos;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentBody(sql[j])) ++j;
+      push(TokenType::kIdent, start, sql.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool is_integer = true;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      if (j < n && sql[j] == '.') {
+        is_integer = false;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      }
+      if (j < n && (sql[j] == 'e' || sql[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (sql[k] == '+' || sql[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(sql[k]))) {
+          is_integer = false;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+            ++j;
+          }
+        }
+      }
+      Token t;
+      t.type = TokenType::kNumber;
+      t.text = sql.substr(i, j - i);
+      t.number = std::strtod(t.text.c_str(), nullptr);
+      t.is_integer = is_integer;
+      t.position = start;
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string body;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {
+            body += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        body += sql[j++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenType::kString, start, std::move(body));
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenType::kLParen, start);
+        ++i;
+        continue;
+      case ')':
+        push(TokenType::kRParen, start);
+        ++i;
+        continue;
+      case ',':
+        push(TokenType::kComma, start);
+        ++i;
+        continue;
+      case '.':
+        push(TokenType::kDot, start);
+        ++i;
+        continue;
+      case '*':
+        push(TokenType::kStar, start);
+        ++i;
+        continue;
+      case '+':
+        push(TokenType::kPlus, start);
+        ++i;
+        continue;
+      case '-':
+        push(TokenType::kMinus, start);
+        ++i;
+        continue;
+      case '/':
+        push(TokenType::kSlash, start);
+        ++i;
+        continue;
+      case ';':
+        push(TokenType::kSemicolon, start);
+        ++i;
+        continue;
+      case '=':
+        push(TokenType::kEq, start);
+        ++i;
+        continue;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kLe, start);
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          push(TokenType::kNe, start);
+          i += 2;
+        } else {
+          push(TokenType::kLt, start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kGe, start);
+          i += 2;
+        } else {
+          push(TokenType::kGt, start);
+          ++i;
+        }
+        continue;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kNe, start);
+          i += 2;
+          continue;
+        }
+        [[fallthrough]];
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  push(TokenType::kEnd, n);
+  return tokens;
+}
+
+}  // namespace sgb::sql

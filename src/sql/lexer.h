@@ -1,0 +1,51 @@
+#ifndef SGB_SQL_LEXER_H_
+#define SGB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sgb::sql {
+
+enum class TokenType {
+  kIdent,
+  kNumber,
+  kString,
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // raw identifier / string body
+  double number = 0.0;  // for kNumber
+  bool is_integer = false;
+  size_t position = 0;  // byte offset into the SQL text, for diagnostics
+};
+
+/// Tokenizes `sql`. Identifiers keep their original spelling (keyword
+/// matching is case-insensitive and happens in the parser); string literals
+/// use single quotes with '' as the escape; numbers are ints or decimals
+/// with optional exponent. `--` line comments are skipped.
+///
+/// Errors: ParseError with the byte offset of the offending character.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace sgb::sql
+
+#endif  // SGB_SQL_LEXER_H_

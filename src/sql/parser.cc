@@ -1,0 +1,605 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <initializer_list>
+
+#include "sql/lexer.h"
+
+namespace sgb::sql {
+
+namespace {
+
+using engine::BinaryOp;
+using engine::Value;
+
+bool EqualsCi(const std::string& a, const char* b) {
+  size_t i = 0;
+  for (; i < a.size() && b[i] != '\0'; ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return i == a.size() && b[i] == '\0';
+}
+
+/// Identifiers that terminate expressions/aliases in clause positions.
+bool IsReservedWord(const std::string& word) {
+  static const char* kReserved[] = {
+      "SELECT",  "FROM",     "WHERE",   "GROUP",     "BY",      "HAVING",
+      "ORDER",   "LIMIT",    "AS",      "AND",       "OR",      "NOT",
+      "IN",      "ASC",      "DESC",    "DISTANCE",  "WITHIN",  "USING",
+      "ON",      "OVERLAP",  "AROUND",  "DELIMITED", "BETWEEN", "DATE",
+      "DISTINCT",
+      "MAXIMUM_ELEMENT_SEPARATION",     "MAXIMUM_GROUP_DIAMETER",
+  };
+  for (const char* r : kReserved) {
+    if (EqualsCi(word, r)) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStatement>> ParseStatement() {
+    auto select = ParseSelect();
+    if (!select.ok()) return select.status();
+    Match(TokenType::kSemicolon);
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return std::move(select).value();
+  }
+
+ private:
+  // ---- token helpers ----------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+
+  Token Consume() {
+    Token t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+
+  bool Match(TokenType type) {
+    if (Peek().type != type) return false;
+    Consume();
+    return true;
+  }
+
+  Status Expect(TokenType type, const char* what) {
+    if (!Match(type)) {
+      return Status::ParseError(std::string("expected ") + what +
+                                " at offset " +
+                                std::to_string(Peek().position));
+    }
+    return Status::OK();
+  }
+
+  bool PeekKw(const char* kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kIdent && EqualsCi(t.text, kw);
+  }
+
+  bool MatchKw(const char* kw) {
+    if (!PeekKw(kw)) return false;
+    Consume();
+    return true;
+  }
+
+  Status ExpectKw(const char* kw) {
+    if (!MatchKw(kw)) {
+      return Status::ParseError(std::string("expected keyword ") + kw +
+                                " at offset " +
+                                std::to_string(Peek().position));
+    }
+    return Status::OK();
+  }
+
+  /// Matches a multi-word keyword whose words may be separated by '-' or
+  /// whitespace: DISTANCE-TO-ALL, ON OVERLAP, FORM-NEW-GROUP, ...
+  bool MatchWords(std::initializer_list<const char*> words) {
+    const size_t saved = pos_;
+    bool first = true;
+    for (const char* word : words) {
+      if (!first) Match(TokenType::kMinus);  // optional separator
+      if (!MatchKw(word)) {
+        pos_ = saved;
+        return false;
+      }
+      first = false;
+    }
+    return true;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at offset " +
+                              std::to_string(Peek().position));
+  }
+
+  // ---- grammar ----------------------------------------------------------
+
+  Result<std::unique_ptr<SelectStatement>> ParseSelect() {
+    SGB_RETURN_IF_ERROR(ExpectKw("SELECT"));
+    auto stmt = std::make_unique<SelectStatement>();
+
+    if (Match(TokenType::kStar)) {
+      stmt->select_star = true;
+    } else {
+      do {
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr.status();
+        SelectItem item;
+        item.expr = std::move(expr).value();
+        if (MatchKw("AS")) {
+          if (Peek().type != TokenType::kIdent) return Error("expected alias");
+          item.alias = Consume().text;
+        } else if (Peek().type == TokenType::kIdent &&
+                   !IsReservedWord(Peek().text)) {
+          item.alias = Consume().text;
+        }
+        stmt->items.push_back(std::move(item));
+      } while (Match(TokenType::kComma));
+    }
+
+    SGB_RETURN_IF_ERROR(ExpectKw("FROM"));
+    do {
+      TableRef ref;
+      if (Match(TokenType::kLParen)) {
+        auto sub = ParseSelect();
+        if (!sub.ok()) return sub.status();
+        ref.subquery = std::move(sub).value();
+        SGB_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+      } else {
+        if (Peek().type != TokenType::kIdent) return Error("expected table");
+        ref.table_name = Consume().text;
+      }
+      if (MatchKw("AS")) {
+        if (Peek().type != TokenType::kIdent) return Error("expected alias");
+        ref.alias = Consume().text;
+      } else if (Peek().type == TokenType::kIdent &&
+                 !IsReservedWord(Peek().text)) {
+        ref.alias = Consume().text;
+      }
+      if (ref.subquery != nullptr && ref.alias.empty()) {
+        return Error("FROM subquery requires an alias");
+      }
+      stmt->from.push_back(std::move(ref));
+    } while (Match(TokenType::kComma));
+
+    if (MatchKw("WHERE")) {
+      auto expr = ParseExpr();
+      if (!expr.ok()) return expr.status();
+      stmt->where = std::move(expr).value();
+    }
+
+    if (MatchKw("GROUP")) {
+      SGB_RETURN_IF_ERROR(ExpectKw("BY"));
+      do {
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr.status();
+        stmt->group_by.push_back(std::move(expr).value());
+      } while (Match(TokenType::kComma));
+      SGB_RETURN_IF_ERROR(ParseSimilarity(&stmt->similarity));
+    }
+
+    if (MatchKw("HAVING")) {
+      auto expr = ParseExpr();
+      if (!expr.ok()) return expr.status();
+      stmt->having = std::move(expr).value();
+    }
+
+    if (MatchKw("ORDER")) {
+      SGB_RETURN_IF_ERROR(ExpectKw("BY"));
+      do {
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr.status();
+        OrderItem item;
+        item.expr = std::move(expr).value();
+        if (MatchKw("DESC")) {
+          item.ascending = false;
+        } else {
+          MatchKw("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (Match(TokenType::kComma));
+    }
+
+    if (MatchKw("LIMIT")) {
+      if (Peek().type != TokenType::kNumber || !Peek().is_integer) {
+        return Error("expected integer LIMIT");
+      }
+      stmt->limit = static_cast<size_t>(Consume().number);
+    }
+    return stmt;
+  }
+
+  Result<double> ParseNumber() {
+    const bool negative = Match(TokenType::kMinus);
+    if (Peek().type != TokenType::kNumber) {
+      return Status::ParseError("expected a number at offset " +
+                                std::to_string(Peek().position));
+    }
+    const double v = Consume().number;
+    return negative ? -v : v;
+  }
+
+  Result<std::vector<double>> ParseNumberList() {
+    SGB_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    std::vector<double> values;
+    do {
+      auto v = ParseNumber();
+      if (!v.ok()) return v.status();
+      values.push_back(v.value());
+    } while (Match(TokenType::kComma));
+    SGB_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    return values;
+  }
+
+  bool MatchMetric(geom::Metric* metric) {
+    if (MatchKw("L2") || MatchKw("LTWO")) {
+      *metric = geom::Metric::kL2;
+      return true;
+    }
+    if (MatchKw("LINF") || MatchKw("LONE")) {
+      *metric = geom::Metric::kLInf;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseSimilarity(SimilarityClause* clause) {
+    const bool all = MatchWords({"DISTANCE", "TO", "ALL"}) ||
+                     MatchWords({"DISTANCE", "ALL"});
+    const bool any = !all && (MatchWords({"DISTANCE", "TO", "ANY"}) ||
+                              MatchWords({"DISTANCE", "ANY"}));
+    if (all || any) {
+      clause->kind = all ? SimilarityClause::Kind::kAll
+                         : SimilarityClause::Kind::kAny;
+      MatchMetric(&clause->metric);
+      SGB_RETURN_IF_ERROR(ExpectKw("WITHIN"));
+      auto eps = ParseNumber();
+      if (!eps.ok()) return eps.status();
+      clause->epsilon = eps.value();
+      if (MatchKw("USING")) {
+        if (!MatchMetric(&clause->metric)) {
+          return Error("expected metric (L2|LINF|LTWO|LONE) after USING");
+        }
+      }
+      if (all && MatchWords({"ON", "OVERLAP"})) {
+        if (MatchWords({"JOIN", "ANY"})) {
+          clause->on_overlap = core::OverlapClause::kJoinAny;
+        } else if (MatchKw("ELIMINATE")) {
+          clause->on_overlap = core::OverlapClause::kEliminate;
+        } else if (MatchWords({"FORM", "NEW", "GROUP"}) ||
+                   MatchWords({"FORM", "NEW"})) {
+          clause->on_overlap = core::OverlapClause::kFormNewGroup;
+        } else {
+          return Error(
+              "expected JOIN-ANY, ELIMINATE or FORM-NEW-GROUP after "
+              "ON-OVERLAP");
+        }
+      }
+      return Status::OK();
+    }
+
+    if (MatchKw("MAXIMUM_ELEMENT_SEPARATION")) {
+      clause->kind = SimilarityClause::Kind::kUnsupervised;
+      auto sep = ParseNumber();
+      if (!sep.ok()) return sep.status();
+      clause->max_separation = sep.value();
+      if (MatchKw("MAXIMUM_GROUP_DIAMETER")) {
+        auto diameter = ParseNumber();
+        if (!diameter.ok()) return diameter.status();
+        clause->max_diameter = diameter.value();
+      }
+      return Status::OK();
+    }
+
+    if (MatchKw("AROUND")) {
+      clause->kind = SimilarityClause::Kind::kAround;
+      auto centers = ParseNumberList();
+      if (!centers.ok()) return centers.status();
+      clause->centers = std::move(centers).value();
+      while (true) {
+        if (MatchKw("MAXIMUM_ELEMENT_SEPARATION")) {
+          auto sep = ParseNumber();
+          if (!sep.ok()) return sep.status();
+          clause->max_separation = sep.value();
+        } else if (MatchKw("MAXIMUM_GROUP_DIAMETER")) {
+          auto diameter = ParseNumber();
+          if (!diameter.ok()) return diameter.status();
+          clause->max_diameter = diameter.value();
+        } else {
+          break;
+        }
+      }
+      return Status::OK();
+    }
+
+    if (MatchKw("DELIMITED")) {
+      SGB_RETURN_IF_ERROR(ExpectKw("BY"));
+      clause->kind = SimilarityClause::Kind::kDelimited;
+      auto delims = ParseNumberList();
+      if (!delims.ok()) return delims.status();
+      clause->delimiters = std::move(delims).value();
+      return Status::OK();
+    }
+
+    clause->kind = SimilarityClause::Kind::kNone;
+    return Status::OK();
+  }
+
+  // ---- expressions (precedence climbing) --------------------------------
+
+  Result<ParsedExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ParsedExprPtr> ParseOr() {
+    auto left = ParseAnd();
+    if (!left.ok()) return left;
+    ParsedExprPtr node = std::move(left).value();
+    while (MatchKw("OR")) {
+      auto right = ParseAnd();
+      if (!right.ok()) return right;
+      node = MakeBinaryNode(BinaryOp::kOr, std::move(node),
+                            std::move(right).value());
+    }
+    return node;
+  }
+
+  Result<ParsedExprPtr> ParseAnd() {
+    auto left = ParseNot();
+    if (!left.ok()) return left;
+    ParsedExprPtr node = std::move(left).value();
+    while (MatchKw("AND")) {
+      auto right = ParseNot();
+      if (!right.ok()) return right;
+      node = MakeBinaryNode(BinaryOp::kAnd, std::move(node),
+                            std::move(right).value());
+    }
+    return node;
+  }
+
+  Result<ParsedExprPtr> ParseNot() {
+    if (MatchKw("NOT")) {
+      auto operand = ParseNot();
+      if (!operand.ok()) return operand;
+      auto node = std::make_unique<ParsedExpr>();
+      node->kind = ParsedExpr::Kind::kNot;
+      node->left = std::move(operand).value();
+      return node;
+    }
+    return ParseComparison();
+  }
+
+  Result<ParsedExprPtr> ParseComparison() {
+    auto left = ParseAddSub();
+    if (!left.ok()) return left;
+    ParsedExprPtr node = std::move(left).value();
+
+    if (MatchKw("BETWEEN")) {
+      auto lo = ParseAddSub();
+      if (!lo.ok()) return lo;
+      SGB_RETURN_IF_ERROR(ExpectKw("AND"));
+      auto hi = ParseAddSub();
+      if (!hi.ok()) return hi;
+      // a BETWEEN lo AND hi  ==>  a >= lo AND a <= hi.
+      ParsedExprPtr copy = CloneExpr(*node);
+      ParsedExprPtr ge = MakeBinaryNode(BinaryOp::kGe, std::move(node),
+                                        std::move(lo).value());
+      ParsedExprPtr le = MakeBinaryNode(BinaryOp::kLe, std::move(copy),
+                                        std::move(hi).value());
+      return MakeBinaryNode(BinaryOp::kAnd, std::move(ge), std::move(le));
+    }
+
+    if (MatchKw("IN")) {
+      SGB_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'(' after IN"));
+      auto in = std::make_unique<ParsedExpr>();
+      in->left = std::move(node);
+      if (PeekKw("SELECT")) {
+        auto sub = ParseSelect();
+        if (!sub.ok()) return sub.status();
+        in->kind = ParsedExpr::Kind::kInSubquery;
+        in->subquery = std::move(sub).value();
+      } else {
+        in->kind = ParsedExpr::Kind::kInList;
+        do {
+          auto item = ParseExpr();
+          if (!item.ok()) return item;
+          in->args.push_back(std::move(item).value());
+        } while (Match(TokenType::kComma));
+      }
+      SGB_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+      return in;
+    }
+
+    BinaryOp op;
+    if (Match(TokenType::kEq)) {
+      op = BinaryOp::kEq;
+    } else if (Match(TokenType::kNe)) {
+      op = BinaryOp::kNe;
+    } else if (Match(TokenType::kLe)) {
+      op = BinaryOp::kLe;
+    } else if (Match(TokenType::kLt)) {
+      op = BinaryOp::kLt;
+    } else if (Match(TokenType::kGe)) {
+      op = BinaryOp::kGe;
+    } else if (Match(TokenType::kGt)) {
+      op = BinaryOp::kGt;
+    } else {
+      return node;
+    }
+    auto right = ParseAddSub();
+    if (!right.ok()) return right;
+    return MakeBinaryNode(op, std::move(node), std::move(right).value());
+  }
+
+  Result<ParsedExprPtr> ParseAddSub() {
+    auto left = ParseMulDiv();
+    if (!left.ok()) return left;
+    ParsedExprPtr node = std::move(left).value();
+    while (true) {
+      BinaryOp op;
+      if (Match(TokenType::kPlus)) {
+        op = BinaryOp::kAdd;
+      } else if (Match(TokenType::kMinus)) {
+        op = BinaryOp::kSub;
+      } else {
+        return node;
+      }
+      auto right = ParseMulDiv();
+      if (!right.ok()) return right;
+      node = MakeBinaryNode(op, std::move(node), std::move(right).value());
+    }
+  }
+
+  Result<ParsedExprPtr> ParseMulDiv() {
+    auto left = ParseUnary();
+    if (!left.ok()) return left;
+    ParsedExprPtr node = std::move(left).value();
+    while (true) {
+      BinaryOp op;
+      if (Match(TokenType::kStar)) {
+        op = BinaryOp::kMul;
+      } else if (Match(TokenType::kSlash)) {
+        op = BinaryOp::kDiv;
+      } else {
+        return node;
+      }
+      auto right = ParseUnary();
+      if (!right.ok()) return right;
+      node = MakeBinaryNode(op, std::move(node), std::move(right).value());
+    }
+  }
+
+  Result<ParsedExprPtr> ParseUnary() {
+    if (Match(TokenType::kMinus)) {
+      auto operand = ParseUnary();
+      if (!operand.ok()) return operand;
+      auto node = std::make_unique<ParsedExpr>();
+      node->kind = ParsedExpr::Kind::kUnaryMinus;
+      node->left = std::move(operand).value();
+      return node;
+    }
+    Match(TokenType::kPlus);  // unary plus is a no-op
+    return ParsePrimary();
+  }
+
+  Result<ParsedExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.type == TokenType::kNumber) {
+      auto node = std::make_unique<ParsedExpr>();
+      node->kind = ParsedExpr::Kind::kLiteral;
+      node->literal = t.is_integer
+                          ? Value::Int(static_cast<int64_t>(t.number))
+                          : Value::Double(t.number);
+      Consume();
+      return node;
+    }
+    if (t.type == TokenType::kString) {
+      auto node = std::make_unique<ParsedExpr>();
+      node->kind = ParsedExpr::Kind::kLiteral;
+      node->literal = Value::Str(t.text);
+      Consume();
+      return node;
+    }
+    if (t.type == TokenType::kLParen) {
+      Consume();
+      auto inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      SGB_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+      return inner;
+    }
+    if (t.type == TokenType::kIdent) {
+      // DATE 'yyyy-mm-dd' literal: dates are ISO strings in this engine.
+      if (EqualsCi(t.text, "DATE") && Peek(1).type == TokenType::kString) {
+        Consume();
+        auto node = std::make_unique<ParsedExpr>();
+        node->kind = ParsedExpr::Kind::kLiteral;
+        node->literal = Value::Str(Consume().text);
+        return node;
+      }
+      const std::string first = Consume().text;
+      if (Match(TokenType::kDot)) {
+        if (Peek().type != TokenType::kIdent) {
+          return Error("expected column after '.'");
+        }
+        auto node = std::make_unique<ParsedExpr>();
+        node->kind = ParsedExpr::Kind::kColumn;
+        node->qualifier = first;
+        node->name = Consume().text;
+        return node;
+      }
+      if (Match(TokenType::kLParen)) {
+        auto node = std::make_unique<ParsedExpr>();
+        node->kind = ParsedExpr::Kind::kFunction;
+        node->function_name = first;
+        if (Match(TokenType::kStar)) {
+          node->star_arg = true;
+        } else if (Peek().type != TokenType::kRParen) {
+          node->distinct_arg = MatchKw("DISTINCT");
+          do {
+            auto arg = ParseExpr();
+            if (!arg.ok()) return arg;
+            node->args.push_back(std::move(arg).value());
+          } while (Match(TokenType::kComma));
+        }
+        SGB_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+        return node;
+      }
+      auto node = std::make_unique<ParsedExpr>();
+      node->kind = ParsedExpr::Kind::kColumn;
+      node->name = first;
+      return node;
+    }
+    return Error("expected an expression");
+  }
+
+  static ParsedExprPtr MakeBinaryNode(BinaryOp op, ParsedExprPtr left,
+                                      ParsedExprPtr right) {
+    auto node = std::make_unique<ParsedExpr>();
+    node->kind = ParsedExpr::Kind::kBinary;
+    node->op = op;
+    node->left = std::move(left);
+    node->right = std::move(right);
+    return node;
+  }
+
+  /// Structural deep copy (subqueries are not clonable and never appear in
+  /// BETWEEN operands, the only caller).
+  static ParsedExprPtr CloneExpr(const ParsedExpr& e) {
+    auto node = std::make_unique<ParsedExpr>();
+    node->kind = e.kind;
+    node->qualifier = e.qualifier;
+    node->name = e.name;
+    node->literal = e.literal;
+    node->op = e.op;
+    node->function_name = e.function_name;
+    node->star_arg = e.star_arg;
+    if (e.left != nullptr) node->left = CloneExpr(*e.left);
+    if (e.right != nullptr) node->right = CloneExpr(*e.right);
+    for (const auto& arg : e.args) node->args.push_back(CloneExpr(*arg));
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql) {
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.ParseStatement();
+}
+
+}  // namespace sgb::sql

@@ -1,0 +1,42 @@
+#ifndef SGB_SQL_PARSER_H_
+#define SGB_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace sgb::sql {
+
+/// Parses one SELECT statement (an optional trailing ';' is accepted).
+///
+/// Supported grammar (keywords case-insensitive):
+///
+///   SELECT { * | expr [AS alias] , ... }
+///   FROM   { table | ( select ) } [AS] alias , ...
+///   [WHERE expr]
+///   [GROUP BY expr, ... [similarity_spec]]
+///   [HAVING expr]
+///   [ORDER BY expr [ASC|DESC], ...]
+///   [LIMIT n]
+///
+///   similarity_spec :=
+///       DISTANCE-TO-ALL [metric] WITHIN n [USING metric]
+///           [ON-OVERLAP {JOIN-ANY | ELIMINATE | FORM-NEW-GROUP}]
+///     | DISTANCE-TO-ANY [metric] WITHIN n [USING metric]
+///     | MAXIMUM_ELEMENT_SEPARATION n [MAXIMUM_GROUP_DIAMETER n]
+///     | AROUND (n, ...) [MAXIMUM_ELEMENT_SEPARATION n]
+///                       [MAXIMUM_GROUP_DIAMETER n]
+///     | DELIMITED BY (n, ...)
+///
+/// The paper's Table 2 shorthand is also accepted: DISTANCE-ALL /
+/// DISTANCE-ANY, FORM-NEW, and metric names LTWO (=L2) and LONE (=LINF).
+/// Expressions support + - * /, comparisons, AND/OR/NOT, IN (list or
+/// uncorrelated subquery), DATE 'yyyy-mm-dd' literals, BETWEEN a AND b,
+/// and aggregate calls including count(*).
+Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql);
+
+}  // namespace sgb::sql
+
+#endif  // SGB_SQL_PARSER_H_

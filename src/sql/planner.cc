@@ -1,0 +1,695 @@
+#include "sql/planner.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+#include <utility>
+
+#include "engine/sgb_operator.h"
+
+namespace sgb::sql {
+
+namespace {
+
+using engine::AggregateKind;
+using engine::AggregateSpec;
+using engine::BinaryOp;
+using engine::Catalog;
+using engine::Column;
+using engine::DataType;
+using engine::ExprPtr;
+using engine::Operator;
+using engine::OperatorPtr;
+using engine::Row;
+using engine::Schema;
+using engine::Table;
+using engine::Value;
+
+/// Wraps a child plan, re-qualifying its schema (used for aliased FROM
+/// subqueries so `alias.col` resolves).
+class RenameOp final : public Operator {
+ public:
+  RenameOp(OperatorPtr child, const std::string& qualifier)
+      : child_(std::move(child)),
+        schema_(child_->schema().WithQualifier(qualifier)) {}
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "Rename"; }
+  std::string label() const override {
+    return schema_.size() > 0 ? "Rename as " + schema_.column(0).qualifier
+                              : name();
+  }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+  void Open() override { child_->Open(); }
+  bool Next(Row* out) override { return child_->Next(out); }
+
+ private:
+  OperatorPtr child_;
+  Schema schema_;
+};
+
+bool IsAggregateCall(const ParsedExpr& e) {
+  if (e.kind != ParsedExpr::Kind::kFunction) return false;
+  if (e.star_arg) return true;  // count(*)
+  return engine::AggregateKindFromName(e.function_name).ok();
+}
+
+/// Collects aggregate-call nodes in evaluation order (no nested aggregates:
+/// search does not descend into an aggregate call).
+void CollectAggregates(const ParsedExpr& e,
+                       std::vector<const ParsedExpr*>* out) {
+  if (IsAggregateCall(e)) {
+    out->push_back(&e);
+    return;
+  }
+  if (e.left != nullptr) CollectAggregates(*e.left, out);
+  if (e.right != nullptr) CollectAggregates(*e.right, out);
+  for (const auto& arg : e.args) CollectAggregates(*arg, out);
+}
+
+class PlannerImpl {
+ public:
+  explicit PlannerImpl(const Catalog& catalog) : catalog_(catalog) {}
+
+  Result<OperatorPtr> PlanSelect(const SelectStatement& stmt) {
+    // ---- FROM + WHERE ---------------------------------------------------
+    if (stmt.from.empty()) {
+      return Status::BindError("FROM clause is required");
+    }
+    std::vector<const ParsedExpr*> conjuncts;
+    if (stmt.where != nullptr) SplitConjuncts(*stmt.where, &conjuncts);
+    std::vector<bool> used(conjuncts.size(), false);
+
+    std::vector<OperatorPtr> items;
+    for (const TableRef& ref : stmt.from) {
+      auto item = PlanFromItem(ref);
+      if (!item.ok()) return item.status();
+      items.push_back(std::move(item).value());
+    }
+
+    // Filter pushdown: a conjunct whose columns resolve against exactly one
+    // FROM item filters that item's scan before any join. (Conjuncts that
+    // bind against several items are left for join-key extraction or the
+    // residual filter, preserving ambiguity errors.)
+    for (size_t c = 0; c < conjuncts.size(); ++c) {
+      size_t bound_count = 0;
+      size_t bound_item = 0;
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (BindScalarNoError(*conjuncts[c], items[i]->schema()) != nullptr) {
+          ++bound_count;
+          bound_item = i;
+        }
+      }
+      if (bound_count != 1) continue;
+      auto bound = BindScalar(*conjuncts[c], items[bound_item]->schema());
+      if (!bound.ok()) return bound.status();
+      items[bound_item] = engine::MakeFilter(std::move(items[bound_item]),
+                                             std::move(bound).value());
+      used[c] = true;
+    }
+
+    OperatorPtr plan;
+    for (OperatorPtr& item : items) {
+      if (plan == nullptr) {
+        plan = std::move(item);
+        continue;
+      }
+      auto joined =
+          JoinItem(std::move(plan), std::move(item), conjuncts, &used);
+      if (!joined.ok()) return joined.status();
+      plan = std::move(joined).value();
+    }
+
+    ExprPtr residual;
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if (used[i]) continue;
+      auto bound = BindScalar(*conjuncts[i], plan->schema());
+      if (!bound.ok()) return bound.status();
+      residual = residual == nullptr
+                     ? std::move(bound).value()
+                     : engine::MakeBinary(BinaryOp::kAnd, std::move(residual),
+                                          std::move(bound).value());
+    }
+    if (residual != nullptr) {
+      plan = engine::MakeFilter(std::move(plan), std::move(residual));
+    }
+
+    // ---- grouping / aggregation -----------------------------------------
+    std::vector<const ParsedExpr*> agg_calls;
+    for (const SelectItem& item : stmt.items) {
+      CollectAggregates(*item.expr, &agg_calls);
+    }
+    if (stmt.having != nullptr) CollectAggregates(*stmt.having, &agg_calls);
+    for (const OrderItem& item : stmt.order_by) {
+      CollectAggregates(*item.expr, &agg_calls);
+    }
+
+    const bool has_grouping = !stmt.group_by.empty() || !agg_calls.empty();
+    if (!has_grouping) {
+      if (stmt.having != nullptr) {
+        return Status::BindError("HAVING requires GROUP BY or aggregates");
+      }
+      return FinishScalarQuery(stmt, std::move(plan));
+    }
+    if (stmt.select_star) {
+      return Status::BindError("SELECT * cannot be combined with GROUP BY");
+    }
+    return FinishGroupedQuery(stmt, std::move(plan), agg_calls);
+  }
+
+ private:
+  // ---- FROM -------------------------------------------------------------
+
+  Result<OperatorPtr> PlanFromItem(const TableRef& ref) {
+    if (ref.subquery != nullptr) {
+      auto sub = PlanSelect(*ref.subquery);
+      if (!sub.ok()) return sub.status();
+      return OperatorPtr(
+          std::make_unique<RenameOp>(std::move(sub).value(), ref.alias));
+    }
+    auto table = catalog_.Get(ref.table_name);
+    if (!table.ok()) return table.status();
+    const std::string qualifier =
+        ref.alias.empty() ? ref.table_name : ref.alias;
+    return engine::MakeTableScan(std::move(table).value(), qualifier);
+  }
+
+  static void SplitConjuncts(const ParsedExpr& e,
+                             std::vector<const ParsedExpr*>* out) {
+    if (e.kind == ParsedExpr::Kind::kBinary && e.op == BinaryOp::kAnd) {
+      SplitConjuncts(*e.left, out);
+      SplitConjuncts(*e.right, out);
+      return;
+    }
+    out->push_back(&e);
+  }
+
+  /// Joins `right` onto `left`, turning applicable equality conjuncts into
+  /// hash-join keys; falls back to a cross product.
+  Result<OperatorPtr> JoinItem(OperatorPtr left, OperatorPtr right,
+                               const std::vector<const ParsedExpr*>& conjuncts,
+                               std::vector<bool>* used) {
+    std::vector<ExprPtr> left_keys;
+    std::vector<ExprPtr> right_keys;
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if ((*used)[i]) continue;
+      const ParsedExpr& e = *conjuncts[i];
+      if (e.kind != ParsedExpr::Kind::kBinary || e.op != BinaryOp::kEq) {
+        continue;
+      }
+      if (e.left->kind != ParsedExpr::Kind::kColumn ||
+          e.right->kind != ParsedExpr::Kind::kColumn) {
+        continue;
+      }
+      // Try left-side-in-left / right-side-in-right, then swapped.
+      for (int swap = 0; swap < 2; ++swap) {
+        const ParsedExpr& l = swap == 0 ? *e.left : *e.right;
+        const ParsedExpr& r = swap == 0 ? *e.right : *e.left;
+        auto lbound = BindScalar(l, left->schema());
+        auto rbound = BindScalar(r, right->schema());
+        if (lbound.ok() && rbound.ok()) {
+          left_keys.push_back(std::move(lbound).value());
+          right_keys.push_back(std::move(rbound).value());
+          (*used)[i] = true;
+          break;
+        }
+      }
+    }
+    if (!left_keys.empty()) {
+      return engine::MakeHashJoin(std::move(left), std::move(right),
+                                  std::move(left_keys),
+                                  std::move(right_keys));
+    }
+    return engine::MakeNestedLoopJoin(std::move(left), std::move(right),
+                                      nullptr);
+  }
+
+  // ---- scalar binding ---------------------------------------------------
+
+  /// Binds `e` against `schema`, producing an executable expression.
+  /// Column references become canonical "#<index>(<name>)" refs so two
+  /// textually different spellings of the same column compare equal.
+  Result<ExprPtr> BindScalar(const ParsedExpr& e, const Schema& schema) {
+    switch (e.kind) {
+      case ParsedExpr::Kind::kColumn: {
+        const Schema::Lookup lookup = schema.Find(e.qualifier, e.name);
+        if (lookup.outcome == Schema::LookupOutcome::kAmbiguous) {
+          return Status::BindError("ambiguous column '" + e.ToText() + "'");
+        }
+        if (lookup.outcome == Schema::LookupOutcome::kNotFound) {
+          return Status::BindError("unknown column '" + e.ToText() + "'");
+        }
+        return engine::MakeColumnRef(
+            lookup.index,
+            "#" + std::to_string(lookup.index) + "(" + e.name + ")");
+      }
+      case ParsedExpr::Kind::kLiteral:
+        return engine::MakeLiteral(e.literal);
+      case ParsedExpr::Kind::kBinary: {
+        auto left = BindScalar(*e.left, schema);
+        if (!left.ok()) return left;
+        auto right = BindScalar(*e.right, schema);
+        if (!right.ok()) return right;
+        return engine::MakeBinary(e.op, std::move(left).value(),
+                                  std::move(right).value());
+      }
+      case ParsedExpr::Kind::kUnaryMinus: {
+        auto operand = BindScalar(*e.left, schema);
+        if (!operand.ok()) return operand;
+        return engine::MakeNegate(std::move(operand).value());
+      }
+      case ParsedExpr::Kind::kNot: {
+        auto operand = BindScalar(*e.left, schema);
+        if (!operand.ok()) return operand;
+        return engine::MakeNot(std::move(operand).value());
+      }
+      case ParsedExpr::Kind::kFunction: {
+        if (IsAggregateCall(e)) {
+          return Status::BindError("aggregate '" + e.ToText() +
+                                   "' is not allowed in this context");
+        }
+        auto fn = engine::ScalarFunctionFromName(e.function_name);
+        if (!fn.ok()) {
+          return Status::NotSupported("unknown function '" +
+                                      e.function_name + "'");
+        }
+        if (e.args.size() != engine::ScalarFunctionArity(fn.value())) {
+          return Status::BindError("wrong argument count for '" +
+                                   e.ToText() + "'");
+        }
+        std::vector<ExprPtr> args;
+        for (const auto& arg : e.args) {
+          auto bound = BindScalar(*arg, schema);
+          if (!bound.ok()) return bound;
+          args.push_back(std::move(bound).value());
+        }
+        return engine::MakeScalarCall(fn.value(), std::move(args));
+      }
+      case ParsedExpr::Kind::kInList: {
+        // p IN (a, b, ...)  ==>  p = a OR p = b OR ...
+        ExprPtr chain;
+        for (const auto& arg : e.args) {
+          auto probe = BindScalar(*e.left, schema);
+          if (!probe.ok()) return probe;
+          auto item = BindScalar(*arg, schema);
+          if (!item.ok()) return item;
+          ExprPtr eq = engine::MakeBinary(BinaryOp::kEq,
+                                          std::move(probe).value(),
+                                          std::move(item).value());
+          chain = chain == nullptr
+                      ? std::move(eq)
+                      : engine::MakeBinary(BinaryOp::kOr, std::move(chain),
+                                           std::move(eq));
+        }
+        if (chain == nullptr) return engine::MakeLiteral(Value::Bool(false));
+        return chain;
+      }
+      case ParsedExpr::Kind::kInSubquery: {
+        auto probe = BindScalar(*e.left, schema);
+        if (!probe.ok()) return probe;
+        // Uncorrelated subquery: execute now, keep the first column.
+        auto sub = PlanSelect(*e.subquery);
+        if (!sub.ok()) return sub.status();
+        auto table = engine::Materialize(*sub.value());
+        if (!table.ok()) return table.status();
+        if (table.value().schema().size() != 1) {
+          return Status::BindError(
+              "IN subquery must produce exactly one column");
+        }
+        auto set = std::make_shared<engine::ValueSet>();
+        for (const Row& row : table.value().rows()) {
+          if (!row[0].is_null()) set->insert(row[0]);
+        }
+        return engine::MakeInSet(std::move(probe).value(), std::move(set));
+      }
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  // ---- ungrouped SELECT -------------------------------------------------
+
+  Result<OperatorPtr> FinishScalarQuery(const SelectStatement& stmt,
+                                        OperatorPtr plan) {
+    if (!stmt.select_star) {
+      std::vector<ExprPtr> exprs;
+      std::vector<Column> columns;
+      for (const SelectItem& item : stmt.items) {
+        auto bound = BindScalar(*item.expr, plan->schema());
+        if (!bound.ok()) return bound.status();
+        exprs.push_back(std::move(bound).value());
+        columns.push_back(Column{
+            item.alias.empty() ? item.expr->ToText() : item.alias,
+            DataType::kNull, ""});
+      }
+      plan = engine::MakeProject(std::move(plan), std::move(exprs),
+                                 std::move(columns));
+    }
+    return FinishOrderLimit(stmt, std::move(plan));
+  }
+
+  // ---- grouped SELECT ---------------------------------------------------
+
+  Result<OperatorPtr> FinishGroupedQuery(
+      const SelectStatement& stmt, OperatorPtr plan,
+      const std::vector<const ParsedExpr*>& agg_calls) {
+    const Schema child_schema = plan->schema();
+
+    // Bind group expressions and remember their canonical bound text for
+    // select-list matching.
+    std::vector<ExprPtr> group_exprs;
+    std::vector<std::string> group_texts;
+    for (const ParsedExprPtr& g : stmt.group_by) {
+      auto bound = BindScalar(*g, child_schema);
+      if (!bound.ok()) return bound.status();
+      group_texts.push_back(bound.value()->ToString());
+      group_exprs.push_back(std::move(bound).value());
+    }
+
+    // Build aggregate specs.
+    std::vector<AggregateSpec> specs;
+    for (const ParsedExpr* call : agg_calls) {
+      AggregateSpec spec;
+      if (call->star_arg) {
+        auto kind = engine::AggregateKindFromName(call->function_name);
+        if (kind.ok() && kind.value() != AggregateKind::kCount) {
+          return Status::BindError("'*' argument requires count(*)");
+        }
+        if (!EqualsCiCount(call->function_name)) {
+          return Status::BindError("'*' argument requires count(*)");
+        }
+        spec.kind = AggregateKind::kCountStar;
+      } else {
+        auto kind = engine::AggregateKindFromName(call->function_name);
+        if (!kind.ok()) return kind.status();
+        spec.kind = kind.value();
+        if (call->distinct_arg) {
+          if (spec.kind != AggregateKind::kCount) {
+            return Status::NotSupported(
+                "DISTINCT is only supported inside count()");
+          }
+          spec.kind = AggregateKind::kCountDistinct;
+        }
+        if (call->args.size() != engine::AggregateArity(spec.kind)) {
+          return Status::BindError("wrong argument count for '" +
+                                   call->ToText() + "'");
+        }
+        for (const auto& arg : call->args) {
+          auto bound = BindScalar(*arg, child_schema);
+          if (!bound.ok()) return bound.status();
+          spec.args.push_back(std::move(bound).value());
+        }
+      }
+      spec.output_name = call->ToText();
+      specs.push_back(std::move(spec));
+    }
+
+    // Route to the right physical aggregate.
+    const SimilarityClause& sim = stmt.similarity;
+    size_t agg_col_offset = 0;  // index of the first aggregate output column
+    const bool similarity = sim.kind != SimilarityClause::Kind::kNone;
+    if (similarity) {
+      auto op = BuildSimilarityOperator(stmt, std::move(plan),
+                                        std::move(group_exprs),
+                                        std::move(specs));
+      if (!op.ok()) return op.status();
+      plan = std::move(op).value();
+      agg_col_offset = 1;  // [group_id, aggs...]
+      group_texts.clear();  // raw group columns are not in the output
+    } else {
+      std::vector<Column> group_columns;
+      for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+        const ParsedExpr& g = *stmt.group_by[i];
+        const std::string name = g.kind == ParsedExpr::Kind::kColumn
+                                     ? g.name
+                                     : "group" + std::to_string(i);
+        group_columns.push_back(Column{name, DataType::kNull, ""});
+      }
+      agg_col_offset = group_exprs.size();
+      plan = engine::MakeHashAggregate(std::move(plan),
+                                       std::move(group_exprs),
+                                       std::move(group_columns),
+                                       std::move(specs));
+    }
+
+    // Post-grouping contexts (SELECT list, HAVING, ORDER BY) are rebound
+    // against the aggregate output.
+    PostGroupContext ctx{child_schema, group_texts, agg_calls,
+                         agg_col_offset, similarity, plan->schema()};
+
+    if (stmt.having != nullptr) {
+      auto bound = RebindPostGroup(*stmt.having, ctx);
+      if (!bound.ok()) return bound.status();
+      plan = engine::MakeFilter(std::move(plan), std::move(bound).value());
+    }
+
+    std::vector<ExprPtr> exprs;
+    std::vector<Column> columns;
+    for (const SelectItem& item : stmt.items) {
+      auto bound = RebindPostGroup(*item.expr, ctx);
+      if (!bound.ok()) return bound.status();
+      exprs.push_back(std::move(bound).value());
+      columns.push_back(Column{
+          item.alias.empty() ? item.expr->ToText() : item.alias,
+          DataType::kNull, ""});
+    }
+    plan = engine::MakeProject(std::move(plan), std::move(exprs),
+                               std::move(columns));
+    return FinishOrderLimit(stmt, std::move(plan));
+  }
+
+  static bool EqualsCiCount(const std::string& name) {
+    std::string lower = name;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return lower == "count";
+  }
+
+  Result<OperatorPtr> BuildSimilarityOperator(
+      const SelectStatement& stmt, OperatorPtr plan,
+      std::vector<ExprPtr> group_exprs, std::vector<AggregateSpec> specs) {
+    const SimilarityClause& sim = stmt.similarity;
+    switch (sim.kind) {
+      case SimilarityClause::Kind::kAll:
+      case SimilarityClause::Kind::kAny: {
+        if (group_exprs.size() != 2 && group_exprs.size() != 3) {
+          return Status::BindError(
+              "DISTANCE-TO-ALL/ANY requires two or three GROUP BY "
+              "expressions");
+        }
+        engine::SgbMode mode;
+        if (sim.kind == SimilarityClause::Kind::kAll) {
+          core::SgbAllOptions options;
+          options.epsilon = sim.epsilon;
+          options.metric = sim.metric;
+          options.on_overlap = sim.on_overlap;
+          mode = options;
+        } else {
+          core::SgbAnyOptions options;
+          options.epsilon = sim.epsilon;
+          options.metric = sim.metric;
+          mode = options;
+        }
+        if (!(sim.epsilon >= 0.0)) {
+          return Status::BindError("WITHIN threshold must be >= 0");
+        }
+        if (group_exprs.size() == 3) {
+          return engine::MakeSimilarityGroupBy3d(
+              std::move(plan), std::move(group_exprs[0]),
+              std::move(group_exprs[1]), std::move(group_exprs[2]),
+              std::move(mode), std::move(specs));
+        }
+        return engine::MakeSimilarityGroupBy(
+            std::move(plan), std::move(group_exprs[0]),
+            std::move(group_exprs[1]), std::move(mode), std::move(specs));
+      }
+      case SimilarityClause::Kind::kUnsupervised:
+      case SimilarityClause::Kind::kAround:
+      case SimilarityClause::Kind::kDelimited: {
+        if (group_exprs.size() != 1) {
+          return Status::BindError(
+              "1-D similarity grouping requires exactly one GROUP BY "
+              "expression");
+        }
+        engine::Sgb1dMode mode;
+        if (sim.kind == SimilarityClause::Kind::kUnsupervised) {
+          mode = engine::Sgb1dUnsupervised{sim.max_separation.value_or(0.0),
+                                           sim.max_diameter};
+        } else if (sim.kind == SimilarityClause::Kind::kAround) {
+          mode = engine::Sgb1dAround{sim.centers, sim.max_separation,
+                                     sim.max_diameter};
+        } else {
+          mode = engine::Sgb1dDelimited{sim.delimiters};
+        }
+        return engine::MakeSimilarityGroupBy1d(
+            std::move(plan), std::move(group_exprs[0]), std::move(mode),
+            std::move(specs));
+      }
+      case SimilarityClause::Kind::kNone:
+        break;
+    }
+    return Status::Internal("unexpected similarity clause");
+  }
+
+  struct PostGroupContext {
+    const Schema& child_schema;
+    const std::vector<std::string>& group_texts;
+    const std::vector<const ParsedExpr*>& agg_calls;
+    size_t agg_col_offset;
+    bool similarity;
+    const Schema& output_schema;
+  };
+
+  /// Rebinds an expression over the aggregate output: aggregate calls map
+  /// to their output columns, GROUP BY expressions map to group columns
+  /// (plain GROUP BY only), `group_id` resolves for SGB outputs, and
+  /// literals/operators recurse.
+  Result<ExprPtr> RebindPostGroup(const ParsedExpr& e,
+                                  const PostGroupContext& ctx) {
+    if (IsAggregateCall(e)) {
+      for (size_t i = 0; i < ctx.agg_calls.size(); ++i) {
+        if (ctx.agg_calls[i] == &e ||
+            ctx.agg_calls[i]->ToText() == e.ToText()) {
+          const size_t index = ctx.agg_col_offset + i;
+          return engine::MakeColumnRef(index,
+                                       "#" + std::to_string(index) + "(" +
+                                           e.ToText() + ")");
+        }
+      }
+      return Status::Internal("aggregate call was not collected: " +
+                              e.ToText());
+    }
+
+    // A whole sub-expression equal to a GROUP BY expression becomes a
+    // reference to that group column.
+    if (!ctx.group_texts.empty()) {
+      auto bound = BindScalarNoError(e, ctx.child_schema);
+      if (bound != nullptr) {
+        const std::string text = bound->ToString();
+        for (size_t g = 0; g < ctx.group_texts.size(); ++g) {
+          if (ctx.group_texts[g] == text) {
+            return engine::MakeColumnRef(g, "#" + std::to_string(g) + "(" +
+                                                e.ToText() + ")");
+          }
+        }
+      }
+    }
+
+    switch (e.kind) {
+      case ParsedExpr::Kind::kLiteral:
+        return engine::MakeLiteral(e.literal);
+      case ParsedExpr::Kind::kColumn: {
+        // `group_id` (or anything else the grouping operator exposes).
+        const Schema::Lookup lookup =
+            ctx.output_schema.Find(e.qualifier, e.name);
+        if (lookup.outcome == Schema::LookupOutcome::kFound) {
+          return engine::MakeColumnRef(lookup.index,
+                                       "#" + std::to_string(lookup.index) +
+                                           "(" + e.name + ")");
+        }
+        return Status::BindError(
+            "column '" + e.ToText() +
+            "' must appear in GROUP BY or inside an aggregate");
+      }
+      case ParsedExpr::Kind::kBinary: {
+        auto left = RebindPostGroup(*e.left, ctx);
+        if (!left.ok()) return left;
+        auto right = RebindPostGroup(*e.right, ctx);
+        if (!right.ok()) return right;
+        return engine::MakeBinary(e.op, std::move(left).value(),
+                                  std::move(right).value());
+      }
+      case ParsedExpr::Kind::kUnaryMinus: {
+        auto operand = RebindPostGroup(*e.left, ctx);
+        if (!operand.ok()) return operand;
+        return engine::MakeNegate(std::move(operand).value());
+      }
+      case ParsedExpr::Kind::kNot: {
+        auto operand = RebindPostGroup(*e.left, ctx);
+        if (!operand.ok()) return operand;
+        return engine::MakeNot(std::move(operand).value());
+      }
+      case ParsedExpr::Kind::kFunction: {
+        // Non-aggregate function over aggregate results, e.g.
+        // sqrt(sum(x)) in a HAVING clause.
+        auto fn = engine::ScalarFunctionFromName(e.function_name);
+        if (!fn.ok()) {
+          return Status::NotSupported("unknown function '" +
+                                      e.function_name + "'");
+        }
+        if (e.args.size() != engine::ScalarFunctionArity(fn.value())) {
+          return Status::BindError("wrong argument count for '" +
+                                   e.ToText() + "'");
+        }
+        std::vector<ExprPtr> args;
+        for (const auto& arg : e.args) {
+          auto bound = RebindPostGroup(*arg, ctx);
+          if (!bound.ok()) return bound;
+          args.push_back(std::move(bound).value());
+        }
+        return engine::MakeScalarCall(fn.value(), std::move(args));
+      }
+      default:
+        return Status::NotSupported(
+            "expression '" + e.ToText() +
+            "' is not supported after GROUP BY");
+    }
+  }
+
+  /// BindScalar without surfacing errors (used for structural matching).
+  ExprPtr BindScalarNoError(const ParsedExpr& e, const Schema& schema) {
+    auto bound = BindScalar(e, schema);
+    if (!bound.ok()) return nullptr;
+    return std::move(bound).value();
+  }
+
+  // ---- ORDER BY / LIMIT -------------------------------------------------
+
+  Result<OperatorPtr> FinishOrderLimit(const SelectStatement& stmt,
+                                       OperatorPtr plan) {
+    if (!stmt.order_by.empty()) {
+      std::vector<engine::SortKey> keys;
+      for (const OrderItem& item : stmt.order_by) {
+        engine::SortKey key;
+        key.ascending = item.ascending;
+        const ParsedExpr& e = *item.expr;
+        if (e.kind == ParsedExpr::Kind::kLiteral &&
+            e.literal.type() == DataType::kInt64) {
+          const int64_t pos = e.literal.AsInt();
+          if (pos < 1 || static_cast<size_t>(pos) > plan->schema().size()) {
+            return Status::BindError("ORDER BY position out of range");
+          }
+          key.expr = engine::MakeColumnRef(static_cast<size_t>(pos - 1),
+                                           "#" + std::to_string(pos - 1));
+        } else {
+          auto bound = BindScalar(e, plan->schema());
+          if (!bound.ok()) {
+            return Status::BindError(
+                "ORDER BY must reference an output column (alias or "
+                "position): " +
+                bound.status().message());
+          }
+          key.expr = std::move(bound).value();
+        }
+        keys.push_back(std::move(key));
+      }
+      plan = engine::MakeSort(std::move(plan), std::move(keys));
+    }
+    if (stmt.limit.has_value()) {
+      plan = engine::MakeLimit(std::move(plan), *stmt.limit);
+    }
+    return plan;
+  }
+
+  const Catalog& catalog_;
+};
+
+}  // namespace
+
+Result<OperatorPtr> PlanQuery(const Catalog& catalog,
+                              const SelectStatement& stmt) {
+  PlannerImpl planner(catalog);
+  return planner.PlanSelect(stmt);
+}
+
+}  // namespace sgb::sql

@@ -1,0 +1,30 @@
+#ifndef SGB_SQL_PLANNER_H_
+#define SGB_SQL_PLANNER_H_
+
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "engine/operators.h"
+#include "sql/ast.h"
+
+namespace sgb::sql {
+
+/// Binds a parsed SELECT against the catalog and produces an executable
+/// operator tree (mirroring the paper's Section 8.2: the planner routes
+/// GROUP BY clauses with similarity specifications to the SGB physical
+/// operators and plain GROUP BY to the hash aggregate).
+///
+/// Planning decisions:
+///  * FROM items are joined left-to-right; WHERE conjuncts of the form
+///    left.col = right.col become hash-join keys, the rest become filters.
+///  * Uncorrelated IN (SELECT ...) subqueries are executed at plan time and
+///    folded into an in-set probe.
+///  * DISTANCE-TO-ALL / DISTANCE-TO-ANY require exactly two GROUP BY
+///    expressions; the 1-D clauses require exactly one.
+///
+/// Errors: BindError / NotSupported with context.
+Result<engine::OperatorPtr> PlanQuery(const engine::Catalog& catalog,
+                                      const SelectStatement& stmt);
+
+}  // namespace sgb::sql
+
+#endif  // SGB_SQL_PLANNER_H_

@@ -1,0 +1,87 @@
+#include "workload/checkin.h"
+
+#include "common/random.h"
+#include "workload/distributions.h"
+
+namespace sgb::workload {
+
+using engine::Column;
+using engine::DataType;
+using engine::Row;
+using engine::Schema;
+using engine::Table;
+using engine::Value;
+
+CheckinConfig BrightkiteLike(size_t num_checkins, uint64_t seed) {
+  CheckinConfig config;
+  config.num_checkins = num_checkins;
+  config.num_hotspots = 48;
+  config.hotspot_stddev = 0.35;
+  config.popularity_skew = 1.1;
+  config.background_fraction = 0.04;
+  config.seed = seed;
+  return config;
+}
+
+CheckinConfig GowallaLike(size_t num_checkins, uint64_t seed) {
+  CheckinConfig config;
+  config.num_checkins = num_checkins;
+  config.num_hotspots = 96;
+  config.hotspot_stddev = 0.5;
+  config.popularity_skew = 0.9;
+  config.background_fraction = 0.08;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<geom::Point> GenerateCheckins(const CheckinConfig& config) {
+  Rng rng(config.seed);
+
+  // Hotspot centers scattered uniformly; popularity is Zipf-distributed.
+  std::vector<geom::Point> centers;
+  centers.reserve(config.num_hotspots);
+  for (size_t i = 0; i < config.num_hotspots; ++i) {
+    centers.push_back(geom::Point{rng.NextUniform(config.lo.x, config.hi.x),
+                                  rng.NextUniform(config.lo.y, config.hi.y)});
+  }
+  ZipfDistribution popularity(config.num_hotspots, config.popularity_skew);
+
+  std::vector<geom::Point> checkins;
+  checkins.reserve(config.num_checkins);
+  for (size_t i = 0; i < config.num_checkins; ++i) {
+    if (rng.NextDouble() < config.background_fraction) {
+      checkins.push_back(
+          geom::Point{rng.NextUniform(config.lo.x, config.hi.x),
+                      rng.NextUniform(config.lo.y, config.hi.y)});
+      continue;
+    }
+    const geom::Point& center = centers[popularity.Sample(rng)];
+    checkins.push_back(
+        geom::Point{rng.NextGaussian(center.x, config.hotspot_stddev),
+                    rng.NextGaussian(center.y, config.hotspot_stddev)});
+  }
+  return checkins;
+}
+
+engine::TablePtr GenerateCheckinTable(const CheckinConfig& config,
+                                      size_t users) {
+  const std::vector<geom::Point> checkins = GenerateCheckins(config);
+  Rng rng(config.seed ^ 0xabcdef);
+  auto table = std::make_shared<Table>(Schema({
+      Column{"user_id", DataType::kInt64, ""},
+      Column{"latitude", DataType::kDouble, ""},
+      Column{"longitude", DataType::kDouble, ""},
+  }));
+  table->Reserve(checkins.size());
+  for (const geom::Point& p : checkins) {
+    Row row;
+    row.push_back(Value::Int(rng.NextInt(1, static_cast<int64_t>(users))));
+    // The generator uses x = longitude-like, y = latitude-like axes.
+    row.push_back(Value::Double(p.y));
+    row.push_back(Value::Double(p.x));
+    (void)table->Append(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace sgb::workload

@@ -1,0 +1,48 @@
+#ifndef SGB_WORKLOAD_CHECKIN_H_
+#define SGB_WORKLOAD_CHECKIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/table.h"
+#include "geom/point.h"
+
+namespace sgb::workload {
+
+/// Synthetic social check-in generator — the documented substitution for
+/// the SNAP Brightkite and Gowalla datasets used in Figure 11 (DESIGN.md).
+/// Check-ins are drawn from a Zipf-weighted Gaussian mixture of urban
+/// hotspots plus a uniform background, reproducing the skewed spatial
+/// density of the real data (dense city clusters, sparse countryside).
+struct CheckinConfig {
+  size_t num_checkins = 100000;
+  size_t num_hotspots = 64;
+  /// Hotspot spread, in the same units as the coordinate box.
+  double hotspot_stddev = 0.5;
+  /// Zipf skew of hotspot popularity.
+  double popularity_skew = 1.0;
+  /// Fraction of check-ins scattered uniformly over the box.
+  double background_fraction = 0.05;
+  /// Coordinate box (defaults roughly to a continental lat/lon extent).
+  geom::Point lo{-120.0, 25.0};
+  geom::Point hi{-70.0, 50.0};
+  uint64_t seed = 11;
+};
+
+/// Brightkite-like preset: fewer, tighter hotspots.
+CheckinConfig BrightkiteLike(size_t num_checkins, uint64_t seed = 11);
+
+/// Gowalla-like preset: more hotspots, heavier background.
+CheckinConfig GowallaLike(size_t num_checkins, uint64_t seed = 13);
+
+/// The raw 2-D check-in coordinates (input to the core operators).
+std::vector<geom::Point> GenerateCheckins(const CheckinConfig& config);
+
+/// The same data as a relation (user_id, latitude, longitude) for the
+/// SQL-level examples; `users` caps the user-id range.
+engine::TablePtr GenerateCheckinTable(const CheckinConfig& config,
+                                      size_t users = 1000);
+
+}  // namespace sgb::workload
+
+#endif  // SGB_WORKLOAD_CHECKIN_H_

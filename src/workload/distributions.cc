@@ -1,0 +1,56 @@
+#include "workload/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace sgb::workload {
+
+ZipfDistribution::ZipfDistribution(size_t n, double skew) {
+  cdf_.reserve(n);
+  double total = 0.0;
+  for (size_t k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), skew);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(std::min<std::ptrdiff_t>(
+      it - cdf_.begin(), static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+void GaussianMixture2D::AddComponent(const Component& component) {
+  components_.push_back(component);
+  total_weight_ += component.weight;
+}
+
+void GaussianMixture2D::SetBackground(double fraction, const geom::Point& lo,
+                                      const geom::Point& hi) {
+  background_fraction_ = fraction;
+  lo_ = lo;
+  hi_ = hi;
+}
+
+geom::Point GaussianMixture2D::Sample(Rng& rng) const {
+  if (components_.empty() || rng.NextDouble() < background_fraction_) {
+    return geom::Point{rng.NextUniform(lo_.x, hi_.x),
+                       rng.NextUniform(lo_.y, hi_.y)};
+  }
+  double target = rng.NextDouble() * total_weight_;
+  const Component* chosen = &components_.back();
+  for (const Component& c : components_) {
+    target -= c.weight;
+    if (target <= 0.0) {
+      chosen = &c;
+      break;
+    }
+  }
+  return geom::Point{rng.NextGaussian(chosen->mean.x, chosen->stddev),
+                     rng.NextGaussian(chosen->mean.y, chosen->stddev)};
+}
+
+}  // namespace sgb::workload

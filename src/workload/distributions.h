@@ -1,0 +1,55 @@
+#ifndef SGB_WORKLOAD_DISTRIBUTIONS_H_
+#define SGB_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "geom/point.h"
+
+namespace sgb::workload {
+
+/// Zipf(s) sampler over ranks {0, ..., n-1} via inverse-CDF table lookup.
+/// Used to give check-in hotspots a skewed popularity, as in real
+/// location-based social-network data.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double skew);
+
+  /// Samples a rank; rank 0 is the most popular.
+  size_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// A weighted 2-D Gaussian mixture with an optional uniform background —
+/// the synthetic stand-in for the Brightkite/Gowalla check-in clouds
+/// (documented substitution, DESIGN.md).
+class GaussianMixture2D {
+ public:
+  struct Component {
+    geom::Point mean;
+    double stddev = 1.0;
+    double weight = 1.0;
+  };
+
+  void AddComponent(const Component& component);
+
+  /// Fraction of samples drawn uniformly from the bounding box instead of
+  /// a component (background noise).
+  void SetBackground(double fraction, const geom::Point& lo,
+                     const geom::Point& hi);
+
+  geom::Point Sample(Rng& rng) const;
+
+ private:
+  std::vector<Component> components_;
+  double total_weight_ = 0.0;
+  double background_fraction_ = 0.0;
+  geom::Point lo_{0.0, 0.0};
+  geom::Point hi_{1.0, 1.0};
+};
+
+}  // namespace sgb::workload
+
+#endif  // SGB_WORKLOAD_DISTRIBUTIONS_H_

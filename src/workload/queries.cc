@@ -1,0 +1,141 @@
+#include "workload/queries.h"
+
+namespace sgb::workload {
+
+const char* MetricKeyword(geom::Metric metric) {
+  return metric == geom::Metric::kL2 ? "L2" : "LINF";
+}
+
+const char* OverlapKeyword(core::OverlapClause clause) {
+  switch (clause) {
+    case core::OverlapClause::kJoinAny:
+      return "JOIN-ANY";
+    case core::OverlapClause::kEliminate:
+      return "ELIMINATE";
+    case core::OverlapClause::kFormNewGroup:
+      return "FORM-NEW-GROUP";
+  }
+  return "JOIN-ANY";
+}
+
+namespace {
+
+std::string AllClause(double epsilon, geom::Metric metric,
+                      core::OverlapClause on_overlap) {
+  return std::string("DISTANCE-TO-ALL ") + MetricKeyword(metric) +
+         " WITHIN " + std::to_string(epsilon) + " ON-OVERLAP " +
+         OverlapKeyword(on_overlap);
+}
+
+std::string AnyClause(double epsilon, geom::Metric metric) {
+  return std::string("DISTANCE-TO-ANY ") + MetricKeyword(metric) +
+         " WITHIN " + std::to_string(epsilon);
+}
+
+// --- buying power: customers with account balance vs. total spend ---------
+// The grouping attributes are normalized into ~[0, 1] ranges so the paper's
+// ε sweep (0.1 .. 0.9) is meaningful: ab = acctbal / 10^4, tp = spend / 10^6.
+
+std::string BuyingPowerBody() {
+  return "FROM (SELECT c_custkey, c_acctbal / 10000 AS ab"
+         "      FROM customer WHERE c_acctbal > 100) AS r1,"
+         "     (SELECT o_custkey, sum(o_totalprice) / 1000000 AS tp"
+         "      FROM orders"
+         "      WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem"
+         "                           GROUP BY l_orderkey"
+         "                           HAVING sum(l_quantity) > 100)"
+         "        AND o_totalprice > 30000"
+         "      GROUP BY o_custkey) AS r2 "
+         "WHERE r1.c_custkey = r2.o_custkey ";
+}
+
+std::string BuyingPowerSelect() {
+  return "SELECT max(ab), min(tp), max(tp), avg(ab), "
+         "array_agg(r1.c_custkey) ";
+}
+
+// --- parts profit: per-part profit vs. shipping time -----------------------
+
+std::string PartsProfitBody() {
+  return "FROM (SELECT ps_partkey AS partkey,"
+         "             sum(l_extendedprice * (1 - l_discount)"
+         "                 - ps_supplycost * l_quantity) / 1000000 AS tprof,"
+         "             sum(l_receiptdays - l_shipdays) / 1000 AS stime"
+         "      FROM lineitem, partsupp, supplier"
+         "      WHERE ps_partkey = l_partkey AND ps_suppkey = l_suppkey"
+         "        AND s_suppkey = ps_suppkey"
+         "      GROUP BY ps_partkey) AS profit ";
+}
+
+std::string PartsProfitSelect() {
+  return "SELECT count(*), sum(tprof), sum(stime) ";
+}
+
+// --- top supplier: revenue vs. account balance -----------------------------
+
+std::string TopSupplierBody() {
+  return "FROM (SELECT l_suppkey AS suppkey,"
+         "             sum(l_extendedprice * (1 - l_discount)) / 1000000"
+         "                 AS trevenue,"
+         "             max(s_acctbal) / 10000 AS acctbal"
+         "      FROM lineitem, supplier"
+         "      WHERE s_suppkey = l_suppkey"
+         "        AND l_shipdate > '1995-01-01'"
+         "        AND l_shipdate < '1996-11-01'"
+         "      GROUP BY l_suppkey) AS r ";
+}
+
+std::string TopSupplierSelect() {
+  return "SELECT array_agg(suppkey), sum(trevenue), sum(acctbal) ";
+}
+
+}  // namespace
+
+std::string Gb1() {
+  return BuyingPowerSelect() + BuyingPowerBody() + "GROUP BY ab, tp";
+}
+
+std::string Sgb1(double epsilon, geom::Metric metric,
+                 core::OverlapClause on_overlap) {
+  return BuyingPowerSelect() + BuyingPowerBody() + "GROUP BY ab, tp " +
+         AllClause(epsilon, metric, on_overlap);
+}
+
+std::string Sgb2(double epsilon, geom::Metric metric) {
+  return BuyingPowerSelect() + BuyingPowerBody() + "GROUP BY ab, tp " +
+         AnyClause(epsilon, metric);
+}
+
+std::string Gb2() {
+  return PartsProfitSelect() + PartsProfitBody() + "GROUP BY tprof, stime";
+}
+
+std::string Sgb3(double epsilon, geom::Metric metric,
+                 core::OverlapClause on_overlap) {
+  return PartsProfitSelect() + PartsProfitBody() + "GROUP BY tprof, stime " +
+         AllClause(epsilon, metric, on_overlap);
+}
+
+std::string Sgb4(double epsilon, geom::Metric metric) {
+  return PartsProfitSelect() + PartsProfitBody() + "GROUP BY tprof, stime " +
+         AnyClause(epsilon, metric);
+}
+
+std::string Gb3() {
+  return TopSupplierSelect() + TopSupplierBody() +
+         "GROUP BY trevenue, acctbal";
+}
+
+std::string Sgb5(double epsilon, geom::Metric metric,
+                 core::OverlapClause on_overlap) {
+  return TopSupplierSelect() + TopSupplierBody() +
+         "GROUP BY trevenue, acctbal " + AllClause(epsilon, metric,
+                                                   on_overlap);
+}
+
+std::string Sgb6(double epsilon, geom::Metric metric) {
+  return TopSupplierSelect() + TopSupplierBody() +
+         "GROUP BY trevenue, acctbal " + AnyClause(epsilon, metric);
+}
+
+}  // namespace sgb::workload

@@ -1,0 +1,69 @@
+#ifndef SGB_WORKLOAD_QUERIES_H_
+#define SGB_WORKLOAD_QUERIES_H_
+
+#include <string>
+
+#include "core/sgb_types.h"
+#include "geom/point.h"
+
+namespace sgb::workload {
+
+/// The performance-evaluation queries of Table 2, expressed in this
+/// engine's SQL dialect. Adaptations from the paper's (partly informal)
+/// listings, documented in DESIGN.md:
+///  * derived tables carry the GROUP BY the paper's prose implies;
+///  * date arithmetic uses the integer day columns (l_receiptdays -
+///    l_shipdays) instead of subtracting date strings;
+///  * the interval expression is folded into a literal;
+///  * selective constants are scaled to the micro data so result sets stay
+///    non-trivial (the paper's 3000-quantity threshold assumes dbgen row
+///    counts).
+///
+/// GBn is the plain (equality) GROUP BY counterpart used by the Figure 12
+/// overhead comparison; SGBn are the similarity versions.
+
+/// SQL fragment for a metric keyword.
+const char* MetricKeyword(geom::Metric metric);
+
+/// SQL fragment for an ON-OVERLAP action.
+const char* OverlapKeyword(core::OverlapClause clause);
+
+// --- "buying power" family (customers joined with big orders) -------------
+
+/// GB1: large-volume customers (TPC-H Q18 flavor).
+std::string Gb1();
+
+/// SGB1: SGB-All over (account balance, total spend).
+std::string Sgb1(double epsilon, geom::Metric metric,
+                 core::OverlapClause on_overlap);
+
+/// SGB2: SGB-Any over the same attributes.
+std::string Sgb2(double epsilon, geom::Metric metric);
+
+// --- "parts profit" family (lineitem x partsupp x supplier) ----------------
+
+/// GB2: plain GROUP BY over (profit, shipping time) per part.
+std::string Gb2();
+
+/// SGB3: SGB-All over (profit, shipping time).
+std::string Sgb3(double epsilon, geom::Metric metric,
+                 core::OverlapClause on_overlap);
+
+/// SGB4: SGB-Any over the same attributes.
+std::string Sgb4(double epsilon, geom::Metric metric);
+
+// --- "top supplier" family (supplier revenue, TPC-H Q15 flavor) ------------
+
+/// GB3: plain GROUP BY over (revenue, account balance) per supplier.
+std::string Gb3();
+
+/// SGB5: SGB-All over (revenue, account balance).
+std::string Sgb5(double epsilon, geom::Metric metric,
+                 core::OverlapClause on_overlap);
+
+/// SGB6: SGB-Any over the same attributes.
+std::string Sgb6(double epsilon, geom::Metric metric);
+
+}  // namespace sgb::workload
+
+#endif  // SGB_WORKLOAD_QUERIES_H_

@@ -1,0 +1,204 @@
+#include "workload/tpch.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/random.h"
+
+namespace sgb::workload {
+
+using engine::Column;
+using engine::DataType;
+using engine::Row;
+using engine::Schema;
+using engine::Table;
+using engine::TablePtr;
+using engine::Value;
+
+namespace {
+
+/// Howard Hinnant's civil-from-days algorithm.
+void CivilFromDaysImpl(int64_t z, int* year, unsigned* month, unsigned* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *day = doy - (153 * mp + 2) / 5 + 1;
+  *month = mp < 10 ? mp + 3 : mp - 9;
+  *year = static_cast<int>(y + (*month <= 2));
+}
+
+int64_t DaysFromCivil(int year, unsigned month, unsigned day) {
+  year -= month <= 2;
+  const int64_t era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);
+  const unsigned doy =
+      (153 * (month > 2 ? month - 3 : month + 9) + 2) / 5 + day - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+double RoundCents(double v) { return std::nearbyint(v * 100.0) / 100.0; }
+
+}  // namespace
+
+std::string CivilFromDays(int64_t days) {
+  int year;
+  unsigned month;
+  unsigned day;
+  CivilFromDaysImpl(days, &year, &month, &day);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", year, month, day);
+  return buf;
+}
+
+int64_t TpchDateRangeStart() { return DaysFromCivil(1992, 1, 1); }
+
+void TpchData::RegisterAll(engine::Catalog& catalog) const {
+  catalog.Register("customer", customer);
+  catalog.Register("orders", orders);
+  catalog.Register("lineitem", lineitem);
+  catalog.Register("partsupp", partsupp);
+  catalog.Register("supplier", supplier);
+}
+
+TpchData GenerateTpch(const TpchConfig& config) {
+  Rng rng(config.seed);
+  const auto scaled = [&config](size_t per_sf) {
+    const double n = static_cast<double>(per_sf) * config.scale_factor;
+    return n < 1.0 ? size_t{1} : static_cast<size_t>(n);
+  };
+  const size_t num_customers = scaled(config.customers_per_sf);
+  const size_t num_orders = scaled(config.orders_per_sf);
+  const size_t num_suppliers = scaled(config.suppliers_per_sf);
+  const size_t num_parts = scaled(config.parts_per_sf);
+
+  const int64_t date_start = TpchDateRangeStart();
+  const int64_t date_span = 7 * 365;  // 1992-1998, as in TPC-H
+
+  // customer ---------------------------------------------------------------
+  auto customer = std::make_shared<Table>(Schema({
+      Column{"c_custkey", DataType::kInt64, ""},
+      Column{"c_acctbal", DataType::kDouble, ""},
+      Column{"c_nationkey", DataType::kInt64, ""},
+  }));
+  customer->Reserve(num_customers);
+  for (size_t i = 1; i <= num_customers; ++i) {
+    Row row;
+    row.push_back(Value::Int(static_cast<int64_t>(i)));
+    row.push_back(Value::Double(RoundCents(rng.NextUniform(-999.99, 9999.99))));
+    row.push_back(Value::Int(rng.NextInt(0, 24)));
+    (void)customer->Append(std::move(row));
+  }
+
+  // orders -----------------------------------------------------------------
+  auto orders = std::make_shared<Table>(Schema({
+      Column{"o_orderkey", DataType::kInt64, ""},
+      Column{"o_custkey", DataType::kInt64, ""},
+      Column{"o_totalprice", DataType::kDouble, ""},
+      Column{"o_orderdate", DataType::kString, ""},
+  }));
+  orders->Reserve(num_orders);
+  for (size_t i = 1; i <= num_orders; ++i) {
+    Row row;
+    row.push_back(Value::Int(static_cast<int64_t>(i)));
+    row.push_back(Value::Int(rng.NextInt(1, static_cast<int64_t>(num_customers))));
+    row.push_back(Value::Double(RoundCents(rng.NextUniform(857.71, 555285.16))));
+    row.push_back(Value::Str(CivilFromDays(date_start + rng.NextInt(0, date_span))));
+    (void)orders->Append(std::move(row));
+  }
+
+  // lineitem ---------------------------------------------------------------
+  auto lineitem = std::make_shared<Table>(Schema({
+      Column{"l_orderkey", DataType::kInt64, ""},
+      Column{"l_partkey", DataType::kInt64, ""},
+      Column{"l_suppkey", DataType::kInt64, ""},
+      Column{"l_quantity", DataType::kDouble, ""},
+      Column{"l_extendedprice", DataType::kDouble, ""},
+      Column{"l_discount", DataType::kDouble, ""},
+      Column{"l_shipdate", DataType::kString, ""},
+      Column{"l_receiptdate", DataType::kString, ""},
+      Column{"l_shipdays", DataType::kInt64, ""},
+      Column{"l_receiptdays", DataType::kInt64, ""},
+  }));
+  const int64_t max_lines =
+      2 * static_cast<int64_t>(config.avg_lines_per_order) - 1;
+  lineitem->Reserve(num_orders * config.avg_lines_per_order);
+  for (size_t o = 1; o <= num_orders; ++o) {
+    const int64_t lines = rng.NextInt(1, max_lines);
+    for (int64_t l = 0; l < lines; ++l) {
+      const int64_t partkey = rng.NextInt(1, static_cast<int64_t>(num_parts));
+      // As in TPC-H, each part has 4 eligible suppliers; the line picks one
+      // of them so the lineitem-partsupp join is lossless.
+      const int64_t suppkey =
+          ((partkey - 1) * 4 + rng.NextInt(0, 3)) %
+              static_cast<int64_t>(num_suppliers) +
+          1;
+      const int64_t ship = date_start + rng.NextInt(0, date_span);
+      const int64_t receipt = ship + rng.NextInt(1, 30);
+      Row row;
+      row.push_back(Value::Int(static_cast<int64_t>(o)));
+      row.push_back(Value::Int(partkey));
+      row.push_back(Value::Int(suppkey));
+      row.push_back(Value::Double(static_cast<double>(rng.NextInt(1, 50))));
+      row.push_back(Value::Double(RoundCents(rng.NextUniform(900.0, 104949.5))));
+      row.push_back(Value::Double(
+          static_cast<double>(rng.NextInt(0, 10)) / 100.0));
+      row.push_back(Value::Str(CivilFromDays(ship)));
+      row.push_back(Value::Str(CivilFromDays(receipt)));
+      row.push_back(Value::Int(ship));
+      row.push_back(Value::Int(receipt));
+      (void)lineitem->Append(std::move(row));
+    }
+  }
+
+  // partsupp ---------------------------------------------------------------
+  auto partsupp = std::make_shared<Table>(Schema({
+      Column{"ps_partkey", DataType::kInt64, ""},
+      Column{"ps_suppkey", DataType::kInt64, ""},
+      Column{"ps_supplycost", DataType::kDouble, ""},
+  }));
+  partsupp->Reserve(num_parts * 4);
+  for (size_t p = 1; p <= num_parts; ++p) {
+    // 4 suppliers per part, as in TPC-H; mirrors the lineitem pick above.
+    for (int64_t k = 0; k < 4; ++k) {
+      const int64_t suppkey =
+          ((static_cast<int64_t>(p) - 1) * 4 + k) %
+              static_cast<int64_t>(num_suppliers) +
+          1;
+      Row row;
+      row.push_back(Value::Int(static_cast<int64_t>(p)));
+      row.push_back(Value::Int(suppkey));
+      row.push_back(Value::Double(RoundCents(rng.NextUniform(1.0, 1000.0))));
+      (void)partsupp->Append(std::move(row));
+    }
+  }
+
+  // supplier ---------------------------------------------------------------
+  auto supplier = std::make_shared<Table>(Schema({
+      Column{"s_suppkey", DataType::kInt64, ""},
+      Column{"s_acctbal", DataType::kDouble, ""},
+      Column{"s_nationkey", DataType::kInt64, ""},
+  }));
+  supplier->Reserve(num_suppliers);
+  for (size_t i = 1; i <= num_suppliers; ++i) {
+    Row row;
+    row.push_back(Value::Int(static_cast<int64_t>(i)));
+    row.push_back(Value::Double(RoundCents(rng.NextUniform(-999.99, 9999.99))));
+    row.push_back(Value::Int(rng.NextInt(0, 24)));
+    (void)supplier->Append(std::move(row));
+  }
+
+  TpchData data;
+  data.customer = std::move(customer);
+  data.orders = std::move(orders);
+  data.lineitem = std::move(lineitem);
+  data.partsupp = std::move(partsupp);
+  data.supplier = std::move(supplier);
+  return data;
+}
+
+}  // namespace sgb::workload

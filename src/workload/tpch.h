@@ -1,0 +1,65 @@
+#ifndef SGB_WORKLOAD_TPCH_H_
+#define SGB_WORKLOAD_TPCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "engine/catalog.h"
+#include "engine/table.h"
+
+namespace sgb::workload {
+
+/// Deterministic TPC-H-shaped data generator (documented substitution for
+/// dbgen, DESIGN.md): produces the five tables and the columns the paper's
+/// evaluation queries touch, with FK-consistent keys and the TPC-H value
+/// ranges. The paper's scale factor SF maps to `customers_per_sf * SF`
+/// customer rows (etc.), so the SF 1..60 sweeps of Figures 10 and 12 run in
+/// seconds on one core while preserving the table-size ratios
+/// (orders = 10x customers in TPC-H; lineitem ~= 4 per order).
+struct TpchConfig {
+  double scale_factor = 1.0;
+  uint64_t seed = 7;
+
+  // Micro-scale row counts per unit of scale factor.
+  size_t customers_per_sf = 1000;
+  size_t orders_per_sf = 2000;
+  size_t suppliers_per_sf = 100;
+  size_t parts_per_sf = 200;
+  /// Line items per order are drawn uniformly from [1, 2*avg-1].
+  size_t avg_lines_per_order = 4;
+};
+
+/// Generated tables:
+///   customer (c_custkey, c_acctbal, c_nationkey)
+///   orders   (o_orderkey, o_custkey, o_totalprice, o_orderdate)
+///   lineitem (l_orderkey, l_partkey, l_suppkey, l_quantity,
+///             l_extendedprice, l_discount, l_shipdate, l_receiptdate,
+///             l_shipdays, l_receiptdays)
+///   partsupp (ps_partkey, ps_suppkey, ps_supplycost)
+///   supplier (s_suppkey, s_acctbal, s_nationkey)
+///
+/// Dates exist both as ISO strings (l_shipdate, comparable with string
+/// literals) and as integer day numbers (l_shipdays, for date arithmetic —
+/// the engine does not subtract date strings; documented substitution).
+struct TpchData {
+  engine::TablePtr customer;
+  engine::TablePtr orders;
+  engine::TablePtr lineitem;
+  engine::TablePtr partsupp;
+  engine::TablePtr supplier;
+
+  /// Registers all five tables under their TPC-H names.
+  void RegisterAll(engine::Catalog& catalog) const;
+};
+
+TpchData GenerateTpch(const TpchConfig& config);
+
+/// Days since 1970-01-01 -> "yyyy-mm-dd" (proleptic Gregorian).
+std::string CivilFromDays(int64_t days);
+
+/// "1992-01-01"'s day number, the start of the TPC-H date range.
+int64_t TpchDateRangeStart();
+
+}  // namespace sgb::workload
+
+#endif  // SGB_WORKLOAD_TPCH_H_

@@ -1,0 +1,106 @@
+#include "cluster/birch.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sgb::cluster {
+namespace {
+
+using geom::Point;
+
+TEST(BirchTest, CompactBlobsLandInFewSubclusters) {
+  Rng rng(2);
+  std::vector<Point> pts;
+  const Point centers[] = {{0, 0}, {20, 20}};
+  for (const Point& c : centers) {
+    for (int i = 0; i < 100; ++i) {
+      pts.push_back({rng.NextGaussian(c.x, 0.1), rng.NextGaussian(c.y, 0.1)});
+    }
+  }
+  BirchOptions options;
+  options.threshold = 1.0;
+  const auto result = Birch(pts, options);
+  ASSERT_TRUE(result.ok());
+  // Tight blobs under a generous threshold: very few CF entries, and the
+  // two blobs never share one.
+  EXPECT_LE(result.value().cf_entries, 6u);
+  std::set<size_t> blob_a;
+  std::set<size_t> blob_b;
+  for (int i = 0; i < 100; ++i) {
+    blob_a.insert(result.value().clustering.cluster_of[i]);
+    blob_b.insert(result.value().clustering.cluster_of[100 + i]);
+  }
+  for (const size_t a : blob_a) EXPECT_EQ(blob_b.count(a), 0u);
+}
+
+TEST(BirchTest, SmallThresholdMakesManySubclusters) {
+  Rng rng(3);
+  std::vector<Point> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.NextUniform(0, 10), rng.NextUniform(0, 10)});
+  }
+  BirchOptions coarse;
+  coarse.threshold = 2.0;
+  BirchOptions fine;
+  fine.threshold = 0.05;
+  const auto coarse_result = Birch(pts, coarse);
+  const auto fine_result = Birch(pts, fine);
+  ASSERT_TRUE(coarse_result.ok());
+  ASSERT_TRUE(fine_result.ok());
+  EXPECT_GT(fine_result.value().cf_entries,
+            coarse_result.value().cf_entries);
+}
+
+TEST(BirchTest, EveryPointGetsACluster) {
+  Rng rng(4);
+  std::vector<Point> pts;
+  for (int i = 0; i < 150; ++i) {
+    pts.push_back({rng.NextUniform(0, 5), rng.NextUniform(0, 5)});
+  }
+  BirchOptions options;
+  options.threshold = 0.3;
+  const auto result = Birch(pts, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().clustering.cluster_of.size(), pts.size());
+  for (const size_t c : result.value().clustering.cluster_of) {
+    EXPECT_LT(c, result.value().clustering.num_clusters);
+  }
+  EXPECT_EQ(result.value().centroids.size(),
+            result.value().clustering.num_clusters);
+}
+
+TEST(BirchTest, IdenticalPointsFormOneEntry) {
+  const std::vector<Point> pts(50, Point{3, 3});
+  BirchOptions options;
+  options.threshold = 0.1;
+  const auto result = Birch(pts, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().cf_entries, 1u);
+  EXPECT_NEAR(result.value().centroids[0].x, 3.0, 1e-12);
+}
+
+TEST(BirchTest, InvalidArguments) {
+  BirchOptions options;
+  options.threshold = -1;
+  EXPECT_FALSE(Birch({}, options).ok());
+  options.threshold = 1;
+  options.branching = 1;
+  EXPECT_FALSE(Birch({}, options).ok());
+  options.branching = 4;
+  options.leaf_entries = 0;
+  EXPECT_FALSE(Birch({}, options).ok());
+}
+
+TEST(BirchTest, EmptyInput) {
+  const auto result = Birch({}, BirchOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().cf_entries, 0u);
+  EXPECT_EQ(result.value().clustering.num_clusters, 0u);
+}
+
+}  // namespace
+}  // namespace sgb::cluster

@@ -1,0 +1,102 @@
+#include "cluster/dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace sgb::cluster {
+namespace {
+
+using geom::Point;
+
+TEST(DbscanTest, TwoClustersAndNoise) {
+  std::vector<Point> pts;
+  // Dense cluster near origin.
+  for (int i = 0; i < 10; ++i) pts.push_back({i * 0.1, 0});
+  // Dense cluster near (10, 10).
+  for (int i = 0; i < 10; ++i) pts.push_back({10 + i * 0.1, 10});
+  // Lone noise point.
+  pts.push_back({50, 50});
+
+  DbscanOptions options;
+  options.epsilon = 0.5;
+  options.min_points = 3;
+  const auto result = Dbscan(pts, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_clusters, 2u);
+  EXPECT_EQ(result.value().cluster_of[20], Clustering::kNoise);
+  EXPECT_EQ(result.value().cluster_of[0], result.value().cluster_of[9]);
+  EXPECT_NE(result.value().cluster_of[0], result.value().cluster_of[10]);
+}
+
+TEST(DbscanTest, IndexAndLinearScanAgree) {
+  Rng rng(4);
+  std::vector<Point> pts;
+  for (int i = 0; i < 400; ++i) {
+    pts.push_back({rng.NextUniform(0, 20), rng.NextUniform(0, 20)});
+  }
+  DbscanOptions options;
+  options.epsilon = 0.9;
+  options.min_points = 4;
+  options.use_index = true;
+  const auto indexed = Dbscan(pts, options);
+  options.use_index = false;
+  const auto linear = Dbscan(pts, options);
+  ASSERT_TRUE(indexed.ok());
+  ASSERT_TRUE(linear.ok());
+  EXPECT_EQ(indexed.value().num_clusters, linear.value().num_clusters);
+  // Cluster ids can be permuted between runs only if visit order differs;
+  // both run in input order, so labels must match exactly.
+  EXPECT_EQ(indexed.value().cluster_of, linear.value().cluster_of);
+}
+
+TEST(DbscanTest, BorderPointsJoinACluster) {
+  // A core point with min_points-1 cheap neighbours plus one border point.
+  const std::vector<Point> pts = {{0, 0}, {0.2, 0}, {-0.2, 0}, {0.45, 0}};
+  DbscanOptions options;
+  options.epsilon = 0.3;
+  options.min_points = 3;
+  const auto result = Dbscan(pts, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_clusters, 1u);
+  // (0.45, 0) is density-reachable through (0.2, 0).
+  EXPECT_EQ(result.value().cluster_of[3], 0u);
+}
+
+TEST(DbscanTest, AllNoiseWhenSparse) {
+  const std::vector<Point> pts = {{0, 0}, {5, 5}, {10, 0}};
+  DbscanOptions options;
+  options.epsilon = 0.5;
+  options.min_points = 2;
+  const auto result = Dbscan(pts, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_clusters, 0u);
+  for (const size_t c : result.value().cluster_of) {
+    EXPECT_EQ(c, Clustering::kNoise);
+  }
+}
+
+TEST(DbscanTest, InvalidArguments) {
+  DbscanOptions options;
+  options.epsilon = -1;
+  EXPECT_FALSE(Dbscan({}, options).ok());
+  options.epsilon = 1;
+  options.min_points = 0;
+  EXPECT_FALSE(Dbscan({}, options).ok());
+}
+
+TEST(DbscanTest, StatsAreCollected) {
+  const std::vector<Point> pts = {{0, 0}, {0.1, 0}, {0.2, 0}, {0.3, 0}};
+  DbscanOptions options;
+  options.epsilon = 0.15;
+  options.min_points = 2;
+  DbscanStats stats;
+  ASSERT_TRUE(Dbscan(pts, options, &stats).ok());
+  EXPECT_GT(stats.region_queries, 0u);
+  EXPECT_GT(stats.distance_computations, 0u);
+}
+
+}  // namespace
+}  // namespace sgb::cluster

@@ -1,0 +1,86 @@
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace sgb::cluster {
+namespace {
+
+using geom::Point;
+
+std::vector<Point> ThreeBlobs(size_t per_blob, uint64_t seed) {
+  Rng rng(seed);
+  const Point centers[] = {{0, 0}, {10, 0}, {5, 9}};
+  std::vector<Point> pts;
+  for (const Point& c : centers) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      pts.push_back({rng.NextGaussian(c.x, 0.4), rng.NextGaussian(c.y, 0.4)});
+    }
+  }
+  return pts;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  const auto pts = ThreeBlobs(50, 1);
+  KMeansOptions options;
+  options.k = 3;
+  const auto result = KMeans(pts, options);
+  ASSERT_TRUE(result.ok());
+  // Every blob must be pure: all its points share one cluster id.
+  for (size_t blob = 0; blob < 3; ++blob) {
+    const size_t expected = result.value().clustering.cluster_of[blob * 50];
+    for (size_t i = 0; i < 50; ++i) {
+      EXPECT_EQ(result.value().clustering.cluster_of[blob * 50 + i], expected);
+    }
+  }
+  EXPECT_GT(result.value().iterations, 0u);
+  EXPECT_LT(result.value().inertia, 100.0);
+}
+
+TEST(KMeansTest, InvalidArguments) {
+  const std::vector<Point> pts = {{0, 0}, {1, 1}};
+  KMeansOptions options;
+  options.k = 0;
+  EXPECT_FALSE(KMeans(pts, options).ok());
+  options.k = 3;
+  EXPECT_FALSE(KMeans(pts, options).ok());
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  const std::vector<Point> pts = {{0, 0}, {5, 5}, {9, 1}};
+  KMeansOptions options;
+  options.k = 3;
+  options.max_iterations = 30;
+  const auto result = KMeans(pts, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, DeterministicPerSeed) {
+  const auto pts = ThreeBlobs(30, 2);
+  KMeansOptions options;
+  options.k = 4;
+  options.seed = 9;
+  const auto a = KMeans(pts, options);
+  const auto b = KMeans(pts, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().clustering.cluster_of, b.value().clustering.cluster_of);
+  EXPECT_DOUBLE_EQ(a.value().inertia, b.value().inertia);
+}
+
+TEST(KMeansTest, IdenticalPointsDoNotCrash) {
+  const std::vector<Point> pts(10, Point{1, 1});
+  KMeansOptions options;
+  options.k = 3;
+  options.max_iterations = 5;
+  const auto result = KMeans(pts, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().inertia, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sgb::cluster

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace sgb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad eps");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad eps");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad eps");
+  EXPECT_EQ(Status::ParseError("x").ToString(), "ParseError: x");
+  EXPECT_EQ(Status::NotSupported("y").code(), Status::Code::kNotSupported);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::NotFound("t"), Status::NotFound("t"));
+  EXPECT_FALSE(Status::NotFound("t") == Status::NotFound("u"));
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  auto ok = ParsePositive(5);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  EXPECT_TRUE(ok.status().ok());
+
+  auto bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string(100, 'x'));
+  const std::string taken = std::move(r).value();
+  EXPECT_EQ(taken.size(), 100u);
+}
+
+Status NeedsPositive(int v) {
+  SGB_RETURN_IF_ERROR(ParsePositive(v).status());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(NeedsPositive(1).ok());
+  EXPECT_FALSE(NeedsPositive(0).ok());
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+  Rng c(8);
+  EXPECT_NE(Rng(7).NextU64(), c.NextU64());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(1);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t v = rng.NextBounded(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values reachable
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(2);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformAndIntRanges) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.NextUniform(-5, 5);
+    ASSERT_GE(u, -5.0);
+    ASSERT_LT(u, 5.0);
+    const int64_t v = rng.NextInt(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(4);
+  double sum = 0;
+  double sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+  const double shifted = Rng(5).NextGaussian(100.0, 0.0);
+  EXPECT_DOUBLE_EQ(shifted, 100.0);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  volatile double sink = 0;
+  for (int i = 0; i < 200000; ++i) sink += i * 0.5;
+  EXPECT_GT(watch.ElapsedSeconds(), 0.0);
+  EXPECT_GE(watch.ElapsedMillis(), watch.ElapsedSeconds());
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace sgb

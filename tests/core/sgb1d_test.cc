@@ -1,0 +1,136 @@
+#include "core/sgb1d.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sgb::core {
+namespace {
+
+TEST(SgbUnsupervisedTest, SegmentsBySeparation) {
+  // Gaps: 1, 1, 5, 1 with s = 2 -> {10,11,12}, {17,18}.
+  const std::vector<double> values = {10, 11, 12, 17, 18};
+  const auto result = SgbUnsupervised(values, 2.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_groups, 2u);
+  EXPECT_EQ(result.value().group_of, (std::vector<size_t>{0, 0, 0, 1, 1}));
+}
+
+TEST(SgbUnsupervisedTest, InputOrderDoesNotMatter) {
+  const std::vector<double> values = {18, 10, 17, 12, 11};
+  const auto result = SgbUnsupervised(values, 2.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().group_of, (std::vector<size_t>{1, 0, 1, 0, 0}));
+}
+
+TEST(SgbUnsupervisedTest, DiameterLimitSplitsLongRuns) {
+  // Within separation everywhere, but diameter 3 forces splits.
+  const std::vector<double> values = {0, 1, 2, 3, 4, 5, 6};
+  const auto result = SgbUnsupervised(values, 1.5, 3.0);
+  ASSERT_TRUE(result.ok());
+  // Greedy: {0..3}, {4..6}.
+  EXPECT_EQ(result.value().num_groups, 2u);
+  EXPECT_EQ(result.value().group_of,
+            (std::vector<size_t>{0, 0, 0, 0, 1, 1, 1}));
+}
+
+TEST(SgbUnsupervisedTest, BoundaryGapEqualsSeparationStaysTogether) {
+  const std::vector<double> values = {0, 2};
+  const auto result = SgbUnsupervised(values, 2.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_groups, 1u);
+}
+
+TEST(SgbUnsupervisedTest, EmptyAndErrors) {
+  EXPECT_TRUE(SgbUnsupervised({}, 1.0).ok());
+  EXPECT_EQ(SgbUnsupervised({}, 1.0).value().num_groups, 0u);
+  EXPECT_FALSE(SgbUnsupervised({}, -1.0).ok());
+  EXPECT_FALSE(SgbUnsupervised({}, 1.0, -2.0).ok());
+}
+
+TEST(SgbAroundTest, NearestCenterWins) {
+  const std::vector<double> values = {1, 4, 6, 9};
+  const std::vector<double> centers = {0, 10};
+  const auto result = SgbAround(values, centers);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_groups, 2u);
+  EXPECT_EQ(result.value().group_of, (std::vector<size_t>{0, 0, 1, 1}));
+}
+
+TEST(SgbAroundTest, TieGoesToLowerCenter) {
+  const std::vector<double> values = {5};
+  const std::vector<double> centers = {0, 10};
+  const auto result = SgbAround(values, centers);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().group_of, (std::vector<size_t>{0}));
+}
+
+TEST(SgbAroundTest, SeparationLimitLeavesFarValuesUngrouped) {
+  // MAXIMUM_ELEMENT_SEPARATION 2r keeps values within r of the center.
+  const std::vector<double> values = {1, 3, 9};
+  const std::vector<double> centers = {0};
+  const auto result = SgbAround(values, centers, /*max_separation=*/4.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().group_of,
+            (std::vector<size_t>{0, Grouping1D::kUngrouped,
+                                 Grouping1D::kUngrouped}));
+}
+
+TEST(SgbAroundTest, DiameterLimitAlsoCaps) {
+  const std::vector<double> values = {1, 3};
+  const std::vector<double> centers = {0};
+  const auto result = SgbAround(values, centers, std::nullopt,
+                                /*max_diameter=*/3.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().group_of,
+            (std::vector<size_t>{0, Grouping1D::kUngrouped}));
+}
+
+TEST(SgbAroundTest, DuplicateCentersCollapse) {
+  const std::vector<double> values = {1};
+  const std::vector<double> centers = {5, 5, 5};
+  const auto result = SgbAround(values, centers);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_groups, 1u);
+}
+
+TEST(SgbAroundTest, EmptyCentersIsAnError) {
+  EXPECT_FALSE(SgbAround(std::vector<double>{1.0}, {}).ok());
+}
+
+TEST(SgbDelimitedTest, DelimitersSplitTheLine) {
+  const std::vector<double> values = {1, 5, 9, 15};
+  const std::vector<double> delimiters = {4, 10};
+  const auto result = SgbDelimited(values, delimiters);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_groups, 3u);
+  EXPECT_EQ(result.value().group_of, (std::vector<size_t>{0, 1, 1, 2}));
+}
+
+TEST(SgbDelimitedTest, ValueEqualToDelimiterFallsBelow) {
+  const std::vector<double> values = {4};
+  const std::vector<double> delimiters = {4};
+  const auto result = SgbDelimited(values, delimiters);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().group_of, (std::vector<size_t>{0}));
+}
+
+TEST(SgbDelimitedTest, EmptySegmentsGetNoIds) {
+  // No value falls between 4 and 10: ids stay dense.
+  const std::vector<double> values = {1, 15};
+  const std::vector<double> delimiters = {4, 10};
+  const auto result = SgbDelimited(values, delimiters);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_groups, 2u);
+  EXPECT_EQ(result.value().group_of, (std::vector<size_t>{0, 1}));
+}
+
+TEST(SgbDelimitedTest, NoDelimitersMeansOneGroup) {
+  const std::vector<double> values = {3, 8};
+  const auto result = SgbDelimited(values, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_groups, 1u);
+}
+
+}  // namespace
+}  // namespace sgb::core

@@ -1,0 +1,189 @@
+#include "core/sgb_all.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sgb::core {
+namespace {
+
+using geom::Metric;
+using geom::Point;
+
+SgbAllOptions Opts(double eps, Metric metric, OverlapClause clause,
+                   SgbAllAlgorithm algorithm) {
+  SgbAllOptions o;
+  o.epsilon = eps;
+  o.metric = metric;
+  o.on_overlap = clause;
+  o.algorithm = algorithm;
+  return o;
+}
+
+TEST(SgbAllTest, EmptyInput) {
+  const auto result = SgbAll({}, SgbAllOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_groups, 0u);
+  EXPECT_TRUE(result.value().group_of.empty());
+}
+
+TEST(SgbAllTest, SinglePoint) {
+  const std::vector<Point> pts = {{1, 1}};
+  const auto result = SgbAll(pts, SgbAllOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_groups, 1u);
+  EXPECT_EQ(result.value().group_of, (std::vector<size_t>{0}));
+}
+
+TEST(SgbAllTest, IdenticalPointsAlwaysOneGroup) {
+  const std::vector<Point> pts(20, Point{2, 3});
+  for (const auto algorithm :
+       {SgbAllAlgorithm::kAllPairs, SgbAllAlgorithm::kBoundsChecking,
+        SgbAllAlgorithm::kIndexed}) {
+    const auto result = SgbAll(
+        pts, Opts(0.0, Metric::kL2, OverlapClause::kJoinAny, algorithm));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().num_groups, 1u);
+  }
+}
+
+TEST(SgbAllTest, EpsilonZeroSeparatesDistinctPoints) {
+  const std::vector<Point> pts = {{0, 0}, {0, 0}, {1, 0}};
+  const auto result = SgbAll(pts, Opts(0.0, Metric::kLInf,
+                                       OverlapClause::kJoinAny,
+                                       SgbAllAlgorithm::kIndexed));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_groups, 2u);
+  EXPECT_EQ(result.value().group_of[0], result.value().group_of[1]);
+  EXPECT_NE(result.value().group_of[0], result.value().group_of[2]);
+}
+
+TEST(SgbAllTest, RejectsInvalidEpsilon) {
+  SgbAllOptions options;
+  options.epsilon = -1;
+  EXPECT_FALSE(SgbAll({}, options).ok());
+  options.epsilon = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(SgbAll({}, options).ok());
+  options.epsilon = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(SgbAll({}, options).ok());
+}
+
+TEST(SgbAllTest, RejectsInvalidRegroupRounds) {
+  SgbAllOptions options;
+  options.max_regroup_rounds = 0;
+  EXPECT_FALSE(SgbAll({}, options).ok());
+}
+
+TEST(SgbAllTest, JoinAnyIsDeterministicPerSeed) {
+  Rng rng(77);
+  std::vector<Point> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({rng.NextUniform(0, 10), rng.NextUniform(0, 10)});
+  }
+  SgbAllOptions options =
+      Opts(1.0, Metric::kL2, OverlapClause::kJoinAny,
+           SgbAllAlgorithm::kIndexed);
+  options.seed = 5;
+  const auto a = SgbAll(pts, options);
+  const auto b = SgbAll(pts, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().group_of, b.value().group_of);
+}
+
+TEST(SgbAllTest, StatsReflectAlgorithmTier) {
+  Rng rng(13);
+  std::vector<Point> pts;
+  for (int i = 0; i < 400; ++i) {
+    pts.push_back({rng.NextUniform(0, 40), rng.NextUniform(0, 40)});
+  }
+  SgbAllStats naive_stats;
+  SgbAllStats index_stats;
+  ASSERT_TRUE(SgbAll(pts,
+                     Opts(0.5, Metric::kLInf, OverlapClause::kJoinAny,
+                          SgbAllAlgorithm::kAllPairs),
+                     &naive_stats)
+                  .ok());
+  ASSERT_TRUE(SgbAll(pts,
+                     Opts(0.5, Metric::kLInf, OverlapClause::kJoinAny,
+                          SgbAllAlgorithm::kIndexed),
+                     &index_stats)
+                  .ok());
+  // The filter-refine tiers trade distance computations for window queries
+  // and rectangle tests — the whole point of Section 6.3.
+  EXPECT_GT(naive_stats.distance_computations,
+            10 * std::max<size_t>(index_stats.distance_computations, 1));
+  EXPECT_EQ(index_stats.index_window_queries, pts.size());
+  EXPECT_GT(index_stats.rectangle_tests, 0u);
+  EXPECT_EQ(naive_stats.index_window_queries, 0u);
+}
+
+TEST(SgbAllTest, LInfMembershipNeedsNoDistanceComputations) {
+  // Under L∞ with JOIN-ANY the bounds-checking tier decides membership with
+  // rectangle tests alone (constant per group, Section 6.3).
+  const std::vector<Point> pts = {{0, 0}, {1, 0}, {0.5, 0.5}, {10, 10}};
+  SgbAllStats stats;
+  ASSERT_TRUE(SgbAll(pts,
+                     Opts(2.0, Metric::kLInf, OverlapClause::kJoinAny,
+                          SgbAllAlgorithm::kBoundsChecking),
+                     &stats)
+                  .ok());
+  EXPECT_EQ(stats.distance_computations, 0u);
+  EXPECT_EQ(stats.hull_tests, 0u);
+}
+
+TEST(SgbAllTest, L2UsesHullRefinement) {
+  // Points in the rectangle corner that fail the ε-circle must be filtered
+  // by the convex-hull test (Figure 7b).
+  const std::vector<Point> pts = {{0, 0}, {0.9, 0.9}};
+  SgbAllStats stats;
+  const auto result = SgbAll(pts,
+                             Opts(1.0, Metric::kL2, OverlapClause::kJoinAny,
+                                  SgbAllAlgorithm::kBoundsChecking),
+                             &stats);
+  ASSERT_TRUE(result.ok());
+  // L∞ distance is 0.9 (inside the rectangle) but L2 is 1.27 (> ε):
+  // two separate groups, found only thanks to the hull refinement.
+  EXPECT_EQ(result.value().num_groups, 2u);
+  EXPECT_GT(stats.hull_tests, 0u);
+}
+
+TEST(SgbAllTest, FormNewGroupTerminatesOnAdversarialInput) {
+  // A dense line of points produces repeated overlaps; the recursion guard
+  // must still terminate and place every point.
+  std::vector<Point> pts;
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({static_cast<double>(i) * 0.6, 0});
+  }
+  SgbAllOptions options = Opts(1.0, Metric::kLInf,
+                               OverlapClause::kFormNewGroup,
+                               SgbAllAlgorithm::kIndexed);
+  options.max_regroup_rounds = 8;
+  const auto result = SgbAll(pts, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumEliminated(), 0u);
+  size_t placed = 0;
+  for (const size_t g : result.value().group_of) {
+    placed += g != Grouping::kEliminated ? 1 : 0;
+  }
+  EXPECT_EQ(placed, pts.size());
+}
+
+TEST(SgbAllTest, GroupsAsListsRoundTrips) {
+  const std::vector<Point> pts = {{0, 0}, {0.5, 0}, {9, 9}};
+  const auto result = SgbAll(pts, Opts(1.0, Metric::kL2,
+                                       OverlapClause::kJoinAny,
+                                       SgbAllAlgorithm::kAllPairs));
+  ASSERT_TRUE(result.ok());
+  const auto lists = result.value().GroupsAsLists();
+  ASSERT_EQ(lists.size(), 2u);
+  EXPECT_EQ(lists[0], (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(lists[1], (std::vector<size_t>{2}));
+}
+
+}  // namespace
+}  // namespace sgb::core

@@ -1,0 +1,159 @@
+#include "core/similarity_join.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace sgb::core {
+namespace {
+
+using geom::Metric;
+using geom::Point;
+
+std::vector<Point> RandomCloud(size_t n, double extent, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.NextUniform(0, extent), rng.NextUniform(0, extent)});
+  }
+  return pts;
+}
+
+TEST(SimilarityJoinTest, SmallHandCase) {
+  const std::vector<Point> left = {{0, 0}, {10, 10}};
+  const std::vector<Point> right = {{0.5, 0}, {10, 10.5}, {50, 50}};
+  const auto result = SimilarityJoin(left, right, 1.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(),
+            (std::vector<JoinPair>{{0, 0}, {1, 1}}));
+}
+
+TEST(SimilarityJoinTest, IndexedMatchesNestedLoop) {
+  const auto left = RandomCloud(150, 10, 1);
+  const auto right = RandomCloud(220, 10, 2);
+  for (const Metric metric : {Metric::kL2, Metric::kLInf}) {
+    for (const double eps : {0.3, 1.0, 3.0}) {
+      const auto naive =
+          SimilarityJoin(left, right, eps, metric,
+                         SimilarityJoinAlgorithm::kNestedLoop);
+      const auto indexed = SimilarityJoin(
+          left, right, eps, metric, SimilarityJoinAlgorithm::kIndexed);
+      ASSERT_TRUE(naive.ok());
+      ASSERT_TRUE(indexed.ok());
+      EXPECT_EQ(naive.value(), indexed.value()) << "eps=" << eps;
+    }
+  }
+}
+
+TEST(SimilarityJoinTest, BuildSideChoiceDoesNotChangeResults) {
+  const auto small = RandomCloud(30, 5, 3);
+  const auto big = RandomCloud(300, 5, 4);
+  const auto ab = SimilarityJoin(small, big, 0.5);
+  const auto ba = SimilarityJoin(big, small, 0.5);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ba.ok());
+  EXPECT_EQ(ab.value().size(), ba.value().size());
+  for (const JoinPair& p : ab.value()) {
+    EXPECT_NE(std::find(ba.value().begin(), ba.value().end(),
+                        (JoinPair{p.right, p.left})),
+              ba.value().end());
+  }
+}
+
+TEST(SimilarityJoinTest, EmptyInputsAndErrors) {
+  const std::vector<Point> pts = {{0, 0}};
+  EXPECT_TRUE(SimilarityJoin({}, pts, 1.0).ok());
+  EXPECT_TRUE(SimilarityJoin({}, pts, 1.0).value().empty());
+  EXPECT_FALSE(SimilarityJoin(pts, pts, -1.0).ok());
+}
+
+TEST(SimilaritySelfJoinTest, DistinctUnorderedPairs) {
+  const std::vector<Point> pts = {{0, 0}, {0.5, 0}, {0.9, 0}, {5, 5}};
+  const auto result = SimilaritySelfJoin(pts, 0.6);
+  ASSERT_TRUE(result.ok());
+  // (0,1), (1,2) are within 0.6; (0,2) is 0.9 apart.
+  EXPECT_EQ(result.value(), (std::vector<JoinPair>{{0, 1}, {1, 2}}));
+}
+
+TEST(SimilaritySelfJoinTest, IndexedMatchesNestedLoop) {
+  const auto pts = RandomCloud(250, 8, 5);
+  for (const double eps : {0.2, 0.7}) {
+    const auto naive = SimilaritySelfJoin(
+        pts, eps, Metric::kL2, SimilarityJoinAlgorithm::kNestedLoop);
+    const auto indexed = SimilaritySelfJoin(
+        pts, eps, Metric::kL2, SimilarityJoinAlgorithm::kIndexed);
+    ASSERT_TRUE(naive.ok());
+    ASSERT_TRUE(indexed.ok());
+    EXPECT_EQ(naive.value(), indexed.value());
+  }
+}
+
+TEST(SimilaritySearchTest, RangeQueryMatchesBruteForce) {
+  const auto pts = RandomCloud(300, 12, 6);
+  const SimilaritySearch search(pts);
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point q{rng.NextUniform(0, 12), rng.NextUniform(0, 12)};
+    const double eps = rng.NextUniform(0.1, 2.0);
+    for (const Metric metric : {Metric::kL2, Metric::kLInf}) {
+      std::vector<size_t> expected;
+      for (size_t i = 0; i < pts.size(); ++i) {
+        if (geom::Similar(q, pts[i], metric, eps)) expected.push_back(i);
+      }
+      EXPECT_EQ(search.RangeQuery(q, eps, metric), expected);
+    }
+  }
+}
+
+TEST(SimilaritySearchTest, KnnMatchesBruteForce) {
+  const auto pts = RandomCloud(400, 20, 8);
+  const SimilaritySearch search(pts);
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point q{rng.NextUniform(-5, 25), rng.NextUniform(-5, 25)};
+    const size_t k = 1 + rng.NextBounded(10);
+
+    std::vector<std::pair<double, size_t>> ranked;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      ranked.push_back({geom::DistanceL2Squared(q, pts[i]), i});
+    }
+    std::sort(ranked.begin(), ranked.end());
+    std::vector<size_t> expected;
+    for (size_t i = 0; i < k; ++i) expected.push_back(ranked[i].second);
+
+    EXPECT_EQ(search.Knn(q, k), expected) << "k=" << k;
+  }
+}
+
+TEST(SimilaritySearchTest, KnnEdgeCases) {
+  const std::vector<Point> pts = {{0, 0}, {1, 0}, {2, 0}};
+  const SimilaritySearch search(pts);
+  EXPECT_TRUE(search.Knn({0, 0}, 0).empty());
+  EXPECT_EQ(search.Knn({0.1, 0}, 5).size(), 3u);  // k > n clamps
+  EXPECT_EQ(search.Knn({1.9, 0}, 1), (std::vector<size_t>{2}));
+  const SimilaritySearch empty(std::vector<Point>{});
+  EXPECT_TRUE(empty.Knn({0, 0}, 3).empty());
+}
+
+TEST(SimilarityJoinTest, StatsShowIndexAdvantage) {
+  const auto left = RandomCloud(300, 30, 10);
+  const auto right = RandomCloud(300, 30, 11);
+  SimilarityJoinStats naive_stats;
+  SimilarityJoinStats indexed_stats;
+  ASSERT_TRUE(SimilarityJoin(left, right, 0.5, Metric::kL2,
+                             SimilarityJoinAlgorithm::kNestedLoop,
+                             &naive_stats)
+                  .ok());
+  ASSERT_TRUE(SimilarityJoin(left, right, 0.5, Metric::kL2,
+                             SimilarityJoinAlgorithm::kIndexed,
+                             &indexed_stats)
+                  .ok());
+  EXPECT_EQ(naive_stats.distance_computations, 300u * 300u);
+  EXPECT_LT(indexed_stats.distance_computations,
+            naive_stats.distance_computations / 10);
+}
+
+}  // namespace
+}  // namespace sgb::core

@@ -1,0 +1,95 @@
+#include "engine/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace sgb::engine {
+namespace {
+
+TEST(CsvTest, HeaderAndTypeInference) {
+  const auto table = ReadCsvFromString(
+      "id,score,name\n"
+      "1,2.5,ann\n"
+      "2,3,bob\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  const Table& t = *table.value();
+  ASSERT_EQ(t.schema().size(), 3u);
+  EXPECT_EQ(t.schema().column(0).name, "id");
+  EXPECT_EQ(t.schema().column(0).type, DataType::kInt64);
+  EXPECT_EQ(t.schema().column(1).type, DataType::kDouble);
+  EXPECT_EQ(t.schema().column(2).type, DataType::kString);
+  ASSERT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 1);
+  EXPECT_DOUBLE_EQ(t.rows()[1][1].AsDouble(), 3.0);
+  EXPECT_EQ(t.rows()[1][2].AsString(), "bob");
+}
+
+TEST(CsvTest, NoHeaderNamesColumns) {
+  const auto table = ReadCsvFromString("1,2\n3,4\n",
+                                       CsvOptions{',', /*has_header=*/false});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value()->schema().column(0).name, "c0");
+  EXPECT_EQ(table.value()->NumRows(), 2u);
+}
+
+TEST(CsvTest, EmptyCellsBecomeNull) {
+  const auto table = ReadCsvFromString("a,b\n1,\n,2\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table.value()->rows()[0][1].is_null());
+  EXPECT_TRUE(table.value()->rows()[1][0].is_null());
+  EXPECT_EQ(table.value()->rows()[1][1].AsInt(), 2);
+}
+
+TEST(CsvTest, QuotedFields) {
+  const auto table = ReadCsvFromString(
+      "name,notes\n"
+      "\"smith, john\",\"said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table.value()->rows()[0][0].AsString(), "smith, john");
+  EXPECT_EQ(table.value()->rows()[0][1].AsString(), "said \"hi\"");
+}
+
+TEST(CsvTest, CrlfAndTrailingNewlineHandled) {
+  const auto table = ReadCsvFromString("a\r\n1\r\n2\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value()->NumRows(), 2u);
+}
+
+TEST(CsvTest, RaggedRowIsError) {
+  EXPECT_FALSE(ReadCsvFromString("a,b\n1\n").ok());
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  EXPECT_FALSE(ReadCsvFromString("a\n\"oops\n").ok());
+}
+
+TEST(CsvTest, EmptyInputIsError) {
+  EXPECT_FALSE(ReadCsvFromString("").ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  Table t(Schema({Column{"k", DataType::kString, ""},
+                  Column{"v", DataType::kInt64, ""}}));
+  ASSERT_TRUE(t.Append({Value::Str("x,y"), Value::Int(1)}).ok());
+  ASSERT_TRUE(t.Append({Value::Null(), Value::Int(2)}).ok());
+  const std::string csv = WriteCsvToString(t);
+  const auto back = ReadCsvFromString(csv);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value()->NumRows(), 2u);
+  EXPECT_EQ(back.value()->rows()[0][0].AsString(), "x,y");
+  EXPECT_TRUE(back.value()->rows()[1][0].is_null());
+  EXPECT_EQ(back.value()->rows()[1][1].AsInt(), 2);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t(Schema({Column{"v", DataType::kDouble, ""}}));
+  ASSERT_TRUE(t.Append({Value::Double(1.5)}).ok());
+  const std::string path = ::testing::TempDir() + "/sgb_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  const auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back.value()->rows()[0][0].AsDouble(), 1.5);
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/definitely.csv").ok());
+}
+
+}  // namespace
+}  // namespace sgb::engine

@@ -1,0 +1,75 @@
+#include "engine/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace sgb::engine {
+namespace {
+
+TablePtr TinyTable() {
+  auto t = std::make_shared<Table>(Schema({
+      Column{"x", DataType::kInt64, ""},
+  }));
+  EXPECT_TRUE(t->Append({Value::Int(1)}).ok());
+  EXPECT_TRUE(t->Append({Value::Int(2)}).ok());
+  return t;
+}
+
+TEST(DatabaseTest, QueryAndPrepareShareCatalog) {
+  Database db;
+  db.Register("t", TinyTable());
+  auto result = db.Query("SELECT x FROM t ORDER BY x DESC");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows()[0][0].AsInt(), 2);
+
+  auto plan = db.Prepare("SELECT x FROM t");
+  ASSERT_TRUE(plan.ok());
+  // Prepared plans are re-runnable.
+  for (int round = 0; round < 2; ++round) {
+    auto table = Materialize(*plan.value());
+    ASSERT_TRUE(table.ok());
+    EXPECT_EQ(table.value().NumRows(), 2u);
+  }
+}
+
+TEST(DatabaseTest, ErrorsSurfaceWithCodes) {
+  Database db;
+  EXPECT_EQ(db.Query("SELECT x FROM nope").status().code(),
+            Status::Code::kNotFound);
+  EXPECT_EQ(db.Query("SELEC x").status().code(),
+            Status::Code::kParseError);
+  db.Register("t", TinyTable());
+  EXPECT_EQ(db.Query("SELECT y FROM t").status().code(),
+            Status::Code::kBindError);
+}
+
+TEST(DatabaseTest, ExplainMatchesPlanShape) {
+  Database db;
+  db.Register("t", TinyTable());
+  auto plan = db.Explain("SELECT x FROM t WHERE x > 1 LIMIT 1");
+  ASSERT_TRUE(plan.ok());
+  // Top-down: Limit -> Project -> Filter -> TableScan.
+  const std::string& s = plan.value();
+  EXPECT_LT(s.find("Limit"), s.find("Project"));
+  EXPECT_LT(s.find("Project"), s.find("Filter"));
+  EXPECT_LT(s.find("Filter"), s.find("TableScan"));
+}
+
+TEST(DatabaseTest, RegisteringSameNameReplacesTable) {
+  Database db;
+  db.Register("t", TinyTable());
+  auto bigger = std::make_shared<Table>(Schema({
+      Column{"x", DataType::kInt64, ""},
+  }));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(bigger->Append({Value::Int(i)}).ok());
+  }
+  db.Register("t", bigger);
+  auto result = db.Query("SELECT count(*) FROM t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows()[0][0].AsInt(), 5);
+}
+
+}  // namespace
+}  // namespace sgb::engine

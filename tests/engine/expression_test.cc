@@ -1,0 +1,175 @@
+#include "engine/expression.h"
+
+#include <gtest/gtest.h>
+
+namespace sgb::engine {
+namespace {
+
+Row SampleRow() {
+  return {Value::Int(10), Value::Double(2.5), Value::Str("abc"),
+          Value::Null()};
+}
+
+TEST(ExpressionTest, ColumnRefAndLiteral) {
+  const auto col = MakeColumnRef(1, "b");
+  EXPECT_DOUBLE_EQ(col->Evaluate(SampleRow()).AsDouble(), 2.5);
+  const auto lit = MakeLiteral(Value::Int(42));
+  EXPECT_EQ(lit->Evaluate(SampleRow()).AsInt(), 42);
+}
+
+TEST(ExpressionTest, IntegerArithmeticStaysIntegral) {
+  const Value v = EvaluateBinary(BinaryOp::kAdd, Value::Int(2), Value::Int(3));
+  EXPECT_EQ(v.type(), DataType::kInt64);
+  EXPECT_EQ(v.AsInt(), 5);
+  EXPECT_EQ(EvaluateBinary(BinaryOp::kMul, Value::Int(4), Value::Int(5)).AsInt(),
+            20);
+}
+
+TEST(ExpressionTest, DivisionAlwaysDouble) {
+  const Value v = EvaluateBinary(BinaryOp::kDiv, Value::Int(7), Value::Int(2));
+  EXPECT_EQ(v.type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.5);
+}
+
+TEST(ExpressionTest, MixedArithmeticPromotes) {
+  const Value v =
+      EvaluateBinary(BinaryOp::kSub, Value::Int(5), Value::Double(0.5));
+  EXPECT_EQ(v.type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 4.5);
+}
+
+TEST(ExpressionTest, NullPropagatesThroughArithmetic) {
+  EXPECT_TRUE(
+      EvaluateBinary(BinaryOp::kAdd, Value::Null(), Value::Int(1)).is_null());
+  EXPECT_TRUE(
+      EvaluateBinary(BinaryOp::kMul, Value::Int(2), Value::Null()).is_null());
+}
+
+TEST(ExpressionTest, ComparisonsWithNullAreFalse) {
+  EXPECT_FALSE(
+      EvaluateBinary(BinaryOp::kEq, Value::Null(), Value::Null()).ToBool());
+  EXPECT_FALSE(
+      EvaluateBinary(BinaryOp::kLt, Value::Null(), Value::Int(5)).ToBool());
+}
+
+TEST(ExpressionTest, ComparisonOperators) {
+  EXPECT_TRUE(
+      EvaluateBinary(BinaryOp::kLe, Value::Int(2), Value::Double(2.0))
+          .ToBool());
+  EXPECT_TRUE(EvaluateBinary(BinaryOp::kNe, Value::Int(2), Value::Int(3))
+                  .ToBool());
+  EXPECT_TRUE(EvaluateBinary(BinaryOp::kGt, Value::Str("b"), Value::Str("a"))
+                  .ToBool());
+}
+
+TEST(ExpressionTest, LogicalOperators) {
+  EXPECT_TRUE(EvaluateBinary(BinaryOp::kAnd, Value::Bool(true),
+                             Value::Bool(true))
+                  .ToBool());
+  EXPECT_FALSE(EvaluateBinary(BinaryOp::kAnd, Value::Bool(true),
+                              Value::Bool(false))
+                   .ToBool());
+  EXPECT_TRUE(EvaluateBinary(BinaryOp::kOr, Value::Bool(false),
+                             Value::Bool(true))
+                  .ToBool());
+}
+
+TEST(ExpressionTest, ComposedTree) {
+  // (col0 + 5) * 2 > 29  -> (10+5)*2 = 30 > 29 -> true
+  auto expr = MakeBinary(
+      BinaryOp::kGt,
+      MakeBinary(BinaryOp::kMul,
+                 MakeBinary(BinaryOp::kAdd, MakeColumnRef(0, "a"),
+                            MakeLiteral(Value::Int(5))),
+                 MakeLiteral(Value::Int(2))),
+      MakeLiteral(Value::Int(29)));
+  EXPECT_TRUE(expr->Evaluate(SampleRow()).ToBool());
+}
+
+TEST(ExpressionTest, NotAndNegate) {
+  EXPECT_FALSE(MakeNot(MakeLiteral(Value::Bool(true)))
+                   ->Evaluate(SampleRow())
+                   .ToBool());
+  EXPECT_EQ(MakeNegate(MakeLiteral(Value::Int(7)))
+                ->Evaluate(SampleRow())
+                .AsInt(),
+            -7);
+  EXPECT_DOUBLE_EQ(MakeNegate(MakeLiteral(Value::Double(1.5)))
+                       ->Evaluate(SampleRow())
+                       .AsDouble(),
+                   -1.5);
+  EXPECT_TRUE(MakeNegate(MakeLiteral(Value::Str("x")))
+                  ->Evaluate(SampleRow())
+                  .is_null());
+}
+
+TEST(ExpressionTest, InSetProbe) {
+  auto set = std::make_shared<ValueSet>();
+  set->insert(Value::Int(10));
+  set->insert(Value::Str("abc"));
+  EXPECT_TRUE(MakeInSet(MakeColumnRef(0, "a"), set)
+                  ->Evaluate(SampleRow())
+                  .ToBool());
+  EXPECT_TRUE(MakeInSet(MakeColumnRef(2, "c"), set)
+                  ->Evaluate(SampleRow())
+                  .ToBool());
+  EXPECT_FALSE(MakeInSet(MakeColumnRef(1, "b"), set)
+                   ->Evaluate(SampleRow())
+                   .ToBool());
+  // NULL probe is never in the set.
+  EXPECT_FALSE(MakeInSet(MakeColumnRef(3, "d"), set)
+                   ->Evaluate(SampleRow())
+                   .ToBool());
+}
+
+TEST(ExpressionTest, ScalarFunctionResolution) {
+  EXPECT_EQ(ScalarFunctionFromName("ABS").value(), ScalarFunction::kAbs);
+  EXPECT_EQ(ScalarFunctionFromName("distance_l2").value(),
+            ScalarFunction::kDistL2);
+  EXPECT_EQ(ScalarFunctionFromName("ceiling").value(),
+            ScalarFunction::kCeil);
+  EXPECT_FALSE(ScalarFunctionFromName("nope").ok());
+  EXPECT_EQ(ScalarFunctionArity(ScalarFunction::kDistLInf), 4u);
+  EXPECT_EQ(ScalarFunctionArity(ScalarFunction::kSqrt), 1u);
+}
+
+TEST(ExpressionTest, ScalarFunctionEvaluation) {
+  auto call1 = [](ScalarFunction fn, Value v) {
+    std::vector<ExprPtr> args;
+    args.push_back(MakeLiteral(std::move(v)));
+    return MakeScalarCall(fn, std::move(args))->Evaluate({});
+  };
+  EXPECT_EQ(call1(ScalarFunction::kAbs, Value::Int(-5)).AsInt(), 5);
+  EXPECT_DOUBLE_EQ(call1(ScalarFunction::kAbs, Value::Double(-2.5)).AsDouble(),
+                   2.5);
+  EXPECT_DOUBLE_EQ(call1(ScalarFunction::kSqrt, Value::Double(9)).AsDouble(),
+                   3.0);
+  EXPECT_TRUE(call1(ScalarFunction::kSqrt, Value::Double(-1)).is_null());
+  EXPECT_TRUE(call1(ScalarFunction::kFloor, Value::Null()).is_null());
+  EXPECT_DOUBLE_EQ(call1(ScalarFunction::kFloor, Value::Double(1.7)).AsDouble(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(call1(ScalarFunction::kCeil, Value::Double(1.2)).AsDouble(),
+                   2.0);
+}
+
+TEST(ExpressionTest, DistanceFunctions) {
+  auto dist = [](ScalarFunction fn) {
+    std::vector<ExprPtr> args;
+    args.push_back(MakeLiteral(Value::Double(0)));
+    args.push_back(MakeLiteral(Value::Double(0)));
+    args.push_back(MakeLiteral(Value::Double(3)));
+    args.push_back(MakeLiteral(Value::Double(4)));
+    return MakeScalarCall(fn, std::move(args))->Evaluate({});
+  };
+  EXPECT_DOUBLE_EQ(dist(ScalarFunction::kDistL2).AsDouble(), 5.0);
+  EXPECT_DOUBLE_EQ(dist(ScalarFunction::kDistLInf).AsDouble(), 4.0);
+}
+
+TEST(ExpressionTest, ToStringIsInformative) {
+  auto expr = MakeBinary(BinaryOp::kAdd, MakeColumnRef(0, "x"),
+                         MakeLiteral(Value::Int(1)));
+  EXPECT_EQ(expr->ToString(), "(x + 1)");
+}
+
+}  // namespace
+}  // namespace sgb::engine

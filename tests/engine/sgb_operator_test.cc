@@ -1,0 +1,158 @@
+#include "engine/sgb_operator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+namespace sgb::engine {
+namespace {
+
+/// The GPSPoints table of the paper's Example 1/2 (Figure 2 layout).
+TablePtr GpsPoints() {
+  auto t = std::make_shared<Table>(Schema({
+      Column{"lat", DataType::kDouble, ""},
+      Column{"lon", DataType::kDouble, ""},
+      Column{"device", DataType::kInt64, ""},
+  }));
+  const double coords[][2] = {{3, 6}, {4, 7}, {8, 6}, {9, 7}, {6, 6.5}};
+  int64_t id = 1;
+  for (const auto& c : coords) {
+    EXPECT_TRUE(t->Append({Value::Double(c[0]), Value::Double(c[1]),
+                           Value::Int(id++)})
+                    .ok());
+  }
+  return t;
+}
+
+std::vector<AggregateSpec> CountStar() {
+  std::vector<AggregateSpec> aggs;
+  AggregateSpec spec;
+  spec.kind = AggregateKind::kCountStar;
+  spec.output_name = "count(*)";
+  aggs.push_back(std::move(spec));
+  return aggs;
+}
+
+Table RunPlan(OperatorPtr op) {
+  auto result = Materialize(*op);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+std::multiset<int64_t> Counts(const Table& table, size_t col = 1) {
+  std::multiset<int64_t> out;
+  for (const Row& row : table.rows()) out.insert(row[col].AsInt());
+  return out;
+}
+
+TEST(SgbOperatorTest, Example1JoinAny) {
+  core::SgbAllOptions options;
+  options.epsilon = 3;
+  options.metric = geom::Metric::kLInf;
+  options.on_overlap = core::OverlapClause::kJoinAny;
+  auto op = MakeSimilarityGroupBy(MakeTableScan(GpsPoints()),
+                                  MakeColumnRef(0, "lat"),
+                                  MakeColumnRef(1, "lon"), options,
+                                  CountStar());
+  EXPECT_EQ(op->name(), "SimilarityGroupByAll");
+  const Table out = RunPlan(std::move(op));
+  EXPECT_EQ(Counts(out), (std::multiset<int64_t>{2, 3}));
+}
+
+TEST(SgbOperatorTest, Example1Eliminate) {
+  core::SgbAllOptions options;
+  options.epsilon = 3;
+  options.metric = geom::Metric::kLInf;
+  options.on_overlap = core::OverlapClause::kEliminate;
+  const Table out = RunPlan(MakeSimilarityGroupBy(
+      MakeTableScan(GpsPoints()), MakeColumnRef(0, "lat"),
+      MakeColumnRef(1, "lon"), options, CountStar()));
+  EXPECT_EQ(Counts(out), (std::multiset<int64_t>{2, 2}));
+}
+
+TEST(SgbOperatorTest, Example2AnyMergesAll) {
+  core::SgbAnyOptions options;
+  options.epsilon = 3;
+  options.metric = geom::Metric::kLInf;
+  const Table out = RunPlan(MakeSimilarityGroupBy(
+      MakeTableScan(GpsPoints()), MakeColumnRef(0, "lat"),
+      MakeColumnRef(1, "lon"), options, CountStar()));
+  EXPECT_EQ(Counts(out), (std::multiset<int64_t>{5}));
+}
+
+TEST(SgbOperatorTest, NullGroupingAttributesAreSkipped) {
+  auto t = std::make_shared<Table>(Schema({
+      Column{"x", DataType::kDouble, ""},
+      Column{"y", DataType::kDouble, ""},
+  }));
+  ASSERT_TRUE(t->Append({Value::Double(0), Value::Double(0)}).ok());
+  ASSERT_TRUE(t->Append({Value::Null(), Value::Double(0)}).ok());
+  ASSERT_TRUE(t->Append({Value::Double(0.1), Value::Double(0)}).ok());
+  core::SgbAnyOptions options;
+  options.epsilon = 1;
+  const Table out = RunPlan(MakeSimilarityGroupBy(
+      MakeTableScan(t), MakeColumnRef(0, "x"), MakeColumnRef(1, "y"),
+      options, CountStar()));
+  ASSERT_EQ(out.NumRows(), 1u);
+  EXPECT_EQ(out.rows()[0][1].AsInt(), 2);  // the NULL row is in no group
+}
+
+TEST(SgbOperatorTest, AggregatesEvaluatePerGroup) {
+  core::SgbAllOptions options;
+  options.epsilon = 3;
+  options.metric = geom::Metric::kLInf;
+  options.on_overlap = core::OverlapClause::kEliminate;
+  std::vector<AggregateSpec> aggs;
+  AggregateSpec list;
+  list.kind = AggregateKind::kArrayAgg;
+  list.args.push_back(MakeColumnRef(2, "device"));
+  list.output_name = "ids";
+  aggs.push_back(std::move(list));
+  const Table out = RunPlan(MakeSimilarityGroupBy(
+      MakeTableScan(GpsPoints()), MakeColumnRef(0, "lat"),
+      MakeColumnRef(1, "lon"), options, std::move(aggs)));
+  ASSERT_EQ(out.NumRows(), 2u);
+  EXPECT_EQ(out.rows()[0][1].AsString(), "{1,2}");
+  EXPECT_EQ(out.rows()[1][1].AsString(), "{3,4}");
+}
+
+TEST(SgbOperator1dTest, UnsupervisedSegments) {
+  auto t = std::make_shared<Table>(
+      Schema({Column{"v", DataType::kDouble, ""}}));
+  for (const double v : {10.0, 11.0, 25.0, 26.0}) {
+    ASSERT_TRUE(t->Append({Value::Double(v)}).ok());
+  }
+  Sgb1dMode mode = Sgb1dUnsupervised{2.0, std::nullopt};
+  const Table out = RunPlan(MakeSimilarityGroupBy1d(
+      MakeTableScan(t), MakeColumnRef(0, "v"), std::move(mode), CountStar()));
+  EXPECT_EQ(Counts(out), (std::multiset<int64_t>{2, 2}));
+}
+
+TEST(SgbOperator1dTest, AroundCenters) {
+  auto t = std::make_shared<Table>(
+      Schema({Column{"v", DataType::kDouble, ""}}));
+  for (const double v : {1.0, 9.0, 11.0, 100.0}) {
+    ASSERT_TRUE(t->Append({Value::Double(v)}).ok());
+  }
+  Sgb1dMode mode = Sgb1dAround{{0.0, 10.0}, 6.0, std::nullopt};
+  const Table out = RunPlan(MakeSimilarityGroupBy1d(
+      MakeTableScan(t), MakeColumnRef(0, "v"), std::move(mode), CountStar()));
+  // 1 -> center 0; 9, 11 -> center 10; 100 -> ungrouped.
+  EXPECT_EQ(Counts(out), (std::multiset<int64_t>{1, 2}));
+}
+
+TEST(SgbOperator1dTest, DelimitedSegments) {
+  auto t = std::make_shared<Table>(
+      Schema({Column{"v", DataType::kDouble, ""}}));
+  for (const double v : {1.0, 5.0, 20.0}) {
+    ASSERT_TRUE(t->Append({Value::Double(v)}).ok());
+  }
+  Sgb1dMode mode = Sgb1dDelimited{{10.0}};
+  const Table out = RunPlan(MakeSimilarityGroupBy1d(
+      MakeTableScan(t), MakeColumnRef(0, "v"), std::move(mode), CountStar()));
+  EXPECT_EQ(Counts(out), (std::multiset<int64_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace sgb::engine

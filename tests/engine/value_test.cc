@@ -1,0 +1,70 @@
+#include "engine/value.h"
+
+#include <gtest/gtest.h>
+
+namespace sgb::engine {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(7).type(), DataType::kInt64);
+  EXPECT_EQ(Value::Double(1.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value::Str("x").type(), DataType::kString);
+  EXPECT_EQ(Value::Int(7).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value::Double(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(Value::Str("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, NumericCoercion) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).ToDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Null().ToDouble(), 0.0);
+  EXPECT_TRUE(Value::Int(1).ToBool());
+  EXPECT_FALSE(Value::Int(0).ToBool());
+  EXPECT_FALSE(Value::Null().ToBool());
+  EXPECT_FALSE(Value::Str("x").ToBool());
+}
+
+TEST(ValueTest, CompareAcrossNumericTypes) {
+  EXPECT_EQ(Value::Compare(Value::Int(2), Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Compare(Value::Int(1), Value::Double(1.5)), 0);
+  EXPECT_GT(Value::Compare(Value::Double(3.5), Value::Int(3)), 0);
+}
+
+TEST(ValueTest, NullSortsFirstStringsLast) {
+  EXPECT_LT(Value::Compare(Value::Null(), Value::Int(-100)), 0);
+  EXPECT_LT(Value::Compare(Value::Int(100), Value::Str("a")), 0);
+  EXPECT_EQ(Value::Compare(Value::Null(), Value::Null()), 0);
+}
+
+TEST(ValueTest, StringComparisonIsLexicographic) {
+  // ISO dates compare correctly as strings — the engine relies on this.
+  EXPECT_LT(Value::Compare(Value::Str("1995-01-01"), Value::Str("1996-01-01")),
+            0);
+  EXPECT_GT(Value::Compare(Value::Str("b"), Value::Str("ab")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(2).Hash(), Value::Double(2.0).Hash());
+  EXPECT_TRUE(Value::Int(2) == Value::Double(2.0));
+  EXPECT_EQ(Value::Str("xy").Hash(), Value::Str("xy").Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Str("hi").ToString(), "hi");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+}
+
+TEST(RowHashTest, CompositeKeys) {
+  const Row a = {Value::Int(1), Value::Str("x")};
+  const Row b = {Value::Int(1), Value::Str("x")};
+  const Row c = {Value::Int(1), Value::Str("y")};
+  EXPECT_TRUE(RowEq()(a, b));
+  EXPECT_FALSE(RowEq()(a, c));
+  EXPECT_EQ(RowHash()(a), RowHash()(b));
+  EXPECT_FALSE(RowEq()(a, Row{Value::Int(1)}));
+}
+
+}  // namespace
+}  // namespace sgb::engine

@@ -1,0 +1,163 @@
+#include "geom/convex_hull.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sgb::geom {
+namespace {
+
+TEST(ConvexHullTest, SquareWithInteriorPoints) {
+  const std::vector<Point> pts = {{0, 0}, {2, 0}, {2, 2}, {0, 2}, {1, 1},
+                                  {0.5, 0.5}};
+  const std::vector<Point> hull = ConvexHull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+  for (const Point& corner :
+       std::vector<Point>{{0, 0}, {2, 0}, {2, 2}, {0, 2}}) {
+    EXPECT_NE(std::find(hull.begin(), hull.end(), corner), hull.end());
+  }
+}
+
+TEST(ConvexHullTest, CollinearPointsCollapseToSegment) {
+  const std::vector<Point> pts = {{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  const std::vector<Point> hull = ConvexHull(pts);
+  EXPECT_EQ(hull.size(), 2u);
+}
+
+TEST(ConvexHullTest, DuplicatesAndSmallInputs) {
+  EXPECT_TRUE(ConvexHull(std::vector<Point>{}).empty());
+  EXPECT_EQ(ConvexHull(std::vector<Point>{{1, 1}}).size(), 1u);
+  EXPECT_EQ(ConvexHull(std::vector<Point>{{1, 1}, {1, 1}}).size(), 1u);
+  EXPECT_EQ(ConvexHull(std::vector<Point>{{1, 1}, {2, 2}}).size(), 2u);
+}
+
+TEST(ConvexHullTest, HullIsCounterClockwise) {
+  const std::vector<Point> hull =
+      ConvexHull(std::vector<Point>{{0, 0}, {4, 0}, {4, 3}, {0, 3}, {2, 1}});
+  double twice_area = 0.0;
+  for (size_t i = 0; i < hull.size(); ++i) {
+    const Point& a = hull[i];
+    const Point& b = hull[(i + 1) % hull.size()];
+    twice_area += a.x * b.y - b.x * a.y;
+  }
+  EXPECT_GT(twice_area, 0.0);
+}
+
+TEST(ConvexHullTest, PointInConvexHull) {
+  const std::vector<Point> hull =
+      ConvexHull(std::vector<Point>{{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  EXPECT_TRUE(PointInConvexHull({2, 2}, hull));
+  EXPECT_TRUE(PointInConvexHull({0, 0}, hull));   // vertex
+  EXPECT_TRUE(PointInConvexHull({2, 0}, hull));   // edge
+  EXPECT_FALSE(PointInConvexHull({5, 2}, hull));
+  EXPECT_FALSE(PointInConvexHull({-0.001, 2}, hull));
+}
+
+TEST(ConvexHullTest, FarthestVertexMatchesBruteForce) {
+  Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Point> pts;
+    for (int i = 0; i < 20; ++i) {
+      pts.push_back({rng.NextUniform(-5, 5), rng.NextUniform(-5, 5)});
+    }
+    const std::vector<Point> hull = ConvexHull(pts);
+    const Point probe{rng.NextUniform(-10, 10), rng.NextUniform(-10, 10)};
+
+    // The farthest input point from any probe must be a hull vertex with
+    // the same distance — the fact Procedure 6 relies on.
+    double best_all = 0.0;
+    for (const Point& p : pts) {
+      best_all = std::max(best_all, DistanceL2Squared(probe, p));
+    }
+    const size_t idx = FarthestHullVertex(probe, hull);
+    EXPECT_NEAR(DistanceL2Squared(probe, hull[idx]), best_all, 1e-9);
+  }
+}
+
+TEST(IncrementalHullTest, MatchesBatchHull) {
+  Rng rng(5);
+  IncrementalHull inc;
+  std::vector<Point> pts;
+  for (int i = 0; i < 50; ++i) {
+    const Point p{rng.NextUniform(0, 10), rng.NextUniform(0, 10)};
+    pts.push_back(p);
+    inc.Insert(p);
+  }
+  const std::vector<Point> batch = ConvexHull(pts);
+  ASSERT_EQ(inc.hull().size(), batch.size());
+  // Same vertex set (possibly rotated).
+  for (const Point& v : batch) {
+    EXPECT_NE(std::find(inc.hull().begin(), inc.hull().end(), v),
+              inc.hull().end());
+  }
+}
+
+TEST(IncrementalHullTest, WithinEpsilonOfAllIsExact) {
+  // Property: for a valid group (all pairs within ε under L2), the hull
+  // test must agree exactly with the brute-force all-members check.
+  Rng rng(42);
+  const double eps = 2.0;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Point> members;
+    IncrementalHull hull;
+    // Build a valid group by rejection sampling.
+    while (members.size() < 8) {
+      const Point cand{rng.NextUniform(0, 2), rng.NextUniform(0, 2)};
+      bool ok = true;
+      for (const Point& m : members) {
+        ok = ok && Similar(cand, m, Metric::kL2, eps);
+      }
+      if (ok) {
+        members.push_back(cand);
+        hull.Insert(cand);
+      }
+    }
+    for (int probe = 0; probe < 60; ++probe) {
+      const Point q{rng.NextUniform(-3, 5), rng.NextUniform(-3, 5)};
+      bool expected = true;
+      for (const Point& m : members) {
+        expected = expected && Similar(q, m, Metric::kL2, eps);
+      }
+      EXPECT_EQ(hull.WithinEpsilonOfAll(q, eps), expected);
+    }
+  }
+}
+
+TEST(IncrementalHullTest, DuplicatePointsDoNotBreakTheTest) {
+  IncrementalHull hull;
+  hull.Insert({1, 1});
+  hull.Insert({1, 1});
+  EXPECT_TRUE(hull.WithinEpsilonOfAll({1.5, 1}, 1.0));
+  EXPECT_FALSE(hull.WithinEpsilonOfAll({5, 5}, 1.0));
+}
+
+TEST(IncrementalHullTest, ExpectedHullSizeIsLogarithmic) {
+  // The paper's appendix uses E[h] = O(log k) for k random points to bound
+  // the convex-hull test's cost. Check the trend statistically: the hull
+  // of 4000 uniform points must stay tiny (O(log k) ~ a few dozen), and
+  // growing k 16x must add only a few vertices.
+  Rng rng(31337);
+  auto hull_size = [&rng](size_t k) {
+    std::vector<Point> pts;
+    pts.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      pts.push_back({rng.NextUniform(0, 1), rng.NextUniform(0, 1)});
+    }
+    return ConvexHull(pts).size();
+  };
+  const size_t h_small = hull_size(250);
+  const size_t h_big = hull_size(4000);
+  EXPECT_LT(h_big, 64u);
+  EXPECT_LT(h_big, h_small * 4);  // far below the 16x point growth
+}
+
+TEST(IncrementalHullTest, EmptyHullAcceptsEverything) {
+  IncrementalHull hull;
+  EXPECT_TRUE(hull.WithinEpsilonOfAll({100, 100}, 0.1));
+}
+
+}  // namespace
+}  // namespace sgb::geom

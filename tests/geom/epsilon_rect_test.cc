@@ -1,0 +1,109 @@
+#include "geom/epsilon_rect.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace sgb::geom {
+namespace {
+
+TEST(EpsilonRectTest, SinglePointRectIsTwoEpsilonBox) {
+  // Figure 5c: for a singleton group the ε-All rectangle is 2ε x 2ε
+  // centered on the point.
+  EpsilonRect r(2.0);
+  r.Insert({3, 3});
+  EXPECT_EQ(r.all_rect(), Rect::FromPoints({1, 1}, {5, 5}));
+  EXPECT_EQ(r.mbr(), Rect::FromPoints({3, 3}, {3, 3}));
+}
+
+TEST(EpsilonRectTest, RectShrinksAsMembersJoin) {
+  // Figures 5d-5e: inserting members shrinks Rε-All toward ε x ε.
+  EpsilonRect r(2.0);
+  r.Insert({3, 3});
+  r.Insert({4, 4});
+  EXPECT_EQ(r.all_rect(), Rect::FromPoints({2, 2}, {5, 5}));
+  r.Insert({2.5, 3.5});
+  EXPECT_EQ(r.all_rect(), Rect::FromPoints({2, 2}, {4.5, 5}));
+}
+
+TEST(EpsilonRectTest, PointInRectangleTestIsExactForLInf) {
+  Rng rng(99);
+  const double eps = 1.5;
+  for (int trial = 0; trial < 50; ++trial) {
+    EpsilonRect r(eps);
+    std::vector<Point> members;
+    for (int i = 0; i < 6; ++i) {
+      // A tight cluster so all pairs stay within ε.
+      const Point p{rng.NextUniform(0, eps / 2), rng.NextUniform(0, eps / 2)};
+      members.push_back(p);
+      r.Insert(p);
+    }
+    for (int probe = 0; probe < 40; ++probe) {
+      const Point q{rng.NextUniform(-2, 3), rng.NextUniform(-2, 3)};
+      bool within_all = true;
+      for (const Point& m : members) {
+        within_all = within_all && Similar(q, m, Metric::kLInf, eps);
+      }
+      EXPECT_EQ(r.PointInRectangleTest(q), within_all)
+          << "probe (" << q.x << "," << q.y << ")";
+    }
+  }
+}
+
+TEST(EpsilonRectTest, RectIsConservativeForL2) {
+  // Figure 7b: under L2 the rectangle admits false positives but never
+  // false negatives — outside the rectangle implies not joinable.
+  Rng rng(7);
+  const double eps = 1.0;
+  EpsilonRect r(eps);
+  std::vector<Point> members = {{0, 0}, {0.5, 0.3}, {0.2, 0.6}};
+  for (const Point& m : members) r.Insert(m);
+  for (int probe = 0; probe < 200; ++probe) {
+    const Point q{rng.NextUniform(-2, 2), rng.NextUniform(-2, 2)};
+    bool within_all = true;
+    for (const Point& m : members) {
+      within_all = within_all && Similar(q, m, Metric::kL2, eps);
+    }
+    if (within_all) {
+      EXPECT_TRUE(r.PointInRectangleTest(q));
+    }
+  }
+}
+
+TEST(EpsilonRectTest, OverlapTestCoversAnyMemberWithinEpsilon) {
+  const double eps = 1.0;
+  EpsilonRect r(eps);
+  r.Insert({0, 0});
+  r.Insert({0.5, 0});
+  // q is within ε of member (0.5, 0) but not of (0, 0) under L∞.
+  const Point q{1.4, 0};
+  EXPECT_FALSE(r.PointInRectangleTest(q));
+  EXPECT_TRUE(r.OverlapRectangleTest(q));
+  // Far away: no member can be within ε.
+  EXPECT_FALSE(r.OverlapRectangleTest(Point{3.0, 0}));
+}
+
+TEST(EpsilonRectTest, RebuildAfterRemovalGrowsRect) {
+  EpsilonRect r(2.0);
+  r.Insert({3, 3});
+  r.Insert({4, 4});
+  const Rect shrunk = r.all_rect();
+  std::vector<Point> remaining = {{3, 3}};
+  r.Rebuild(remaining);
+  EXPECT_TRUE(r.all_rect().Contains(shrunk));
+  EXPECT_EQ(r.all_rect(), Rect::FromPoints({1, 1}, {5, 5}));
+}
+
+TEST(EpsilonRectTest, RebuildToEmpty) {
+  EpsilonRect r(1.0);
+  r.Insert({0, 0});
+  r.Rebuild({});
+  EXPECT_TRUE(r.empty());
+  EXPECT_FALSE(r.PointInRectangleTest({0, 0}));
+  EXPECT_FALSE(r.OverlapRectangleTest({0, 0}));
+}
+
+}  // namespace
+}  // namespace sgb::geom

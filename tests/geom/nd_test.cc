@@ -1,0 +1,81 @@
+#include "geom/nd.h"
+
+#include <gtest/gtest.h>
+
+namespace sgb::geom {
+namespace {
+
+using P3 = PointN<3>;
+using R3 = RectN<3>;
+
+TEST(NdPointTest, Distances) {
+  const P3 a{{0, 0, 0}};
+  const P3 b{{1, 2, 2}};
+  EXPECT_DOUBLE_EQ(DistanceL2Squared(a, b), 9.0);
+  EXPECT_DOUBLE_EQ(DistanceL2(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(DistanceLInf(a, b), 2.0);
+}
+
+TEST(NdPointTest, SimilarPredicateBoundaries) {
+  const P3 a{{0, 0, 0}};
+  const P3 b{{1, 2, 2}};
+  EXPECT_TRUE(Similar(a, b, Metric::kL2, 3.0));
+  EXPECT_FALSE(Similar(a, b, Metric::kL2, 2.999));
+  EXPECT_TRUE(Similar(a, b, Metric::kLInf, 2.0));
+  EXPECT_FALSE(Similar(a, b, Metric::kLInf, 1.999));
+}
+
+TEST(NdPointTest, HigherDimensions) {
+  const PointN<5> a{{1, 1, 1, 1, 1}};
+  const PointN<5> b{{2, 2, 2, 2, 2}};
+  EXPECT_DOUBLE_EQ(DistanceL2Squared(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceLInf(a, b), 1.0);
+}
+
+TEST(NdRectTest, EmptyAndAround) {
+  R3 empty = R3::Empty();
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_FALSE(empty.Contains(P3{{0, 0, 0}}));
+  EXPECT_DOUBLE_EQ(empty.Area(), 0.0);
+
+  const R3 ball = R3::Around(P3{{1, 2, 3}}, 1.0);
+  EXPECT_TRUE(ball.Contains(P3{{2, 3, 4}}));      // corner, inclusive
+  EXPECT_FALSE(ball.Contains(P3{{2.001, 3, 4}}));
+  EXPECT_DOUBLE_EQ(ball.Area(), 8.0);
+}
+
+TEST(NdRectTest, ExpandClipIntersect) {
+  R3 r = R3::Empty();
+  r.Expand(P3{{0, 0, 0}});
+  r.Expand(P3{{2, 4, 6}});
+  EXPECT_DOUBLE_EQ(r.Area(), 48.0);
+
+  R3 other(P3{{1, 1, 1}}, P3{{3, 3, 3}});
+  EXPECT_TRUE(r.Intersects(other));
+  r.Clip(other);
+  EXPECT_EQ(r.lo, (P3{{1, 1, 1}}));
+  EXPECT_EQ(r.hi, (P3{{2, 3, 3}}));
+
+  R3 far(P3{{10, 10, 10}}, P3{{11, 11, 11}});
+  EXPECT_FALSE(r.Intersects(far));
+  r.Clip(far);
+  EXPECT_TRUE(r.IsEmpty());
+}
+
+TEST(NdRectTest, ContainsRectAndEnlargement) {
+  const R3 big(P3{{0, 0, 0}}, P3{{10, 10, 10}});
+  const R3 small(P3{{1, 1, 1}}, P3{{2, 2, 2}});
+  EXPECT_TRUE(big.Contains(small));
+  EXPECT_FALSE(small.Contains(big));
+  EXPECT_DOUBLE_EQ(big.Enlargement(small), 0.0);
+  EXPECT_GT(small.Enlargement(big), 0.0);
+}
+
+TEST(NdRectTest, TouchingBoxesIntersect) {
+  const R3 a(P3{{0, 0, 0}}, P3{{1, 1, 1}});
+  const R3 b(P3{{1, 1, 1}}, P3{{2, 2, 2}});
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+}  // namespace
+}  // namespace sgb::geom

@@ -1,0 +1,50 @@
+#include "geom/point.h"
+
+#include <gtest/gtest.h>
+
+namespace sgb::geom {
+namespace {
+
+TEST(PointTest, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(DistanceL2({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceL2({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(DistanceL2Squared({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(PointTest, MaximumDistance) {
+  EXPECT_DOUBLE_EQ(DistanceLInf({0, 0}, {3, 4}), 4.0);
+  EXPECT_DOUBLE_EQ(DistanceLInf({-1, 2}, {2, 1}), 3.0);
+}
+
+TEST(PointTest, LInfNeverExceedsL2) {
+  // δ∞ <= δ2 underpins every bounding-rectangle filter in the paper.
+  const Point pts[] = {{0, 0}, {1.5, -2.25}, {-3, 7}, {0.1, 0.1}};
+  for (const Point& a : pts) {
+    for (const Point& b : pts) {
+      EXPECT_LE(DistanceLInf(a, b), DistanceL2(a, b) + 1e-12);
+    }
+  }
+}
+
+TEST(PointTest, SimilarityPredicateBoundaryInclusive) {
+  // Definition 2: ξδ,ε is true when δ(a, b) <= ε (inclusive).
+  EXPECT_TRUE(Similar({0, 0}, {3, 4}, Metric::kL2, 5.0));
+  EXPECT_FALSE(Similar({0, 0}, {3, 4}, Metric::kL2, 4.999));
+  EXPECT_TRUE(Similar({0, 0}, {3, 4}, Metric::kLInf, 4.0));
+  EXPECT_FALSE(Similar({0, 0}, {3, 4}, Metric::kLInf, 3.999));
+}
+
+TEST(PointTest, MetricsAreSymmetric) {
+  const Point a{1.25, -3.5};
+  const Point b{-0.75, 2.0};
+  EXPECT_DOUBLE_EQ(DistanceL2(a, b), DistanceL2(b, a));
+  EXPECT_DOUBLE_EQ(DistanceLInf(a, b), DistanceLInf(b, a));
+}
+
+TEST(PointTest, DistanceDispatch) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}, Metric::kL2), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}, Metric::kLInf), 4.0);
+}
+
+}  // namespace
+}  // namespace sgb::geom

@@ -1,0 +1,73 @@
+#include "geom/rect.h"
+
+#include <gtest/gtest.h>
+
+namespace sgb::geom {
+namespace {
+
+TEST(RectTest, EmptyRectContainsNothing) {
+  const Rect empty = Rect::Empty();
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_FALSE(empty.Contains(Point{0, 0}));
+  EXPECT_DOUBLE_EQ(empty.Area(), 0.0);
+}
+
+TEST(RectTest, AroundBuildsTheLInfBall) {
+  const Rect r = Rect::Around({1, 2}, 3);
+  EXPECT_EQ(r.lo, (Point{-2, -1}));
+  EXPECT_EQ(r.hi, (Point{4, 5}));
+  // Boundary is inclusive, matching ξδ∞,ε.
+  EXPECT_TRUE(r.Contains(Point{4, 5}));
+  EXPECT_FALSE(r.Contains(Point{4.0001, 5}));
+}
+
+TEST(RectTest, ContainsAndIntersects) {
+  const Rect a = Rect::FromPoints({0, 0}, {4, 4});
+  const Rect b = Rect::FromPoints({2, 2}, {6, 6});
+  const Rect c = Rect::FromPoints({5, 5}, {7, 7});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(c));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Contains(Rect::FromPoints({1, 1}, {2, 2})));
+  EXPECT_FALSE(a.Contains(b));
+}
+
+TEST(RectTest, TouchingEdgesIntersect) {
+  const Rect a = Rect::FromPoints({0, 0}, {1, 1});
+  const Rect b = Rect::FromPoints({1, 1}, {2, 2});
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(RectTest, EmptyRectNeverIntersects) {
+  const Rect a = Rect::FromPoints({0, 0}, {1, 1});
+  EXPECT_FALSE(a.Intersects(Rect::Empty()));
+  EXPECT_FALSE(Rect::Empty().Intersects(a));
+}
+
+TEST(RectTest, ExpandAndClip) {
+  Rect r = Rect::Empty();
+  r.Expand(Point{1, 1});
+  r.Expand(Point{3, -1});
+  EXPECT_EQ(r, Rect::FromPoints({1, -1}, {3, 1}));
+
+  r.Clip(Rect::FromPoints({2, -5}, {10, 0}));
+  EXPECT_EQ(r, Rect::FromPoints({2, -1}, {3, 0}));
+
+  r.Clip(Rect::FromPoints({9, 9}, {10, 10}));
+  EXPECT_TRUE(r.IsEmpty());
+}
+
+TEST(RectTest, EnlargementIsZeroForContainedRect) {
+  const Rect a = Rect::FromPoints({0, 0}, {10, 10});
+  EXPECT_DOUBLE_EQ(a.Enlargement(Rect::FromPoints({1, 1}, {2, 2})), 0.0);
+  EXPECT_GT(a.Enlargement(Rect::FromPoints({11, 0}, {12, 1})), 0.0);
+}
+
+TEST(RectTest, CenterAndArea) {
+  const Rect r = Rect::FromPoints({0, 0}, {4, 2});
+  EXPECT_EQ(r.Center(), (Point{2, 1}));
+  EXPECT_DOUBLE_EQ(r.Area(), 8.0);
+}
+
+}  // namespace
+}  // namespace sgb::geom

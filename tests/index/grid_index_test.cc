@@ -1,0 +1,73 @@
+#include "index/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sgb::index {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+TEST(GridIndexTest, BasicInsertAndQuery) {
+  GridIndex grid(1.0);
+  grid.Insert({0.5, 0.5}, 1);
+  grid.Insert({1.5, 0.5}, 2);
+  grid.Insert({10, 10}, 3);
+  auto ids = grid.SearchIds(Rect::FromPoints({0, 0}, {2, 1}));
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(grid.size(), 3u);
+}
+
+TEST(GridIndexTest, NegativeCoordinates) {
+  GridIndex grid(0.5);
+  grid.Insert({-0.25, -0.25}, 1);
+  grid.Insert({-1.75, -1.75}, 2);
+  const auto ids = grid.SearchIds(Rect::FromPoints({-0.5, -0.5}, {0, 0}));
+  EXPECT_EQ(ids, (std::vector<uint64_t>{1}));
+}
+
+TEST(GridIndexTest, BoundaryInclusive) {
+  GridIndex grid(1.0);
+  grid.Insert({1.0, 1.0}, 7);
+  EXPECT_EQ(grid.SearchIds(Rect::FromPoints({0, 0}, {1, 1})).size(), 1u);
+  EXPECT_EQ(grid.SearchIds(Rect::FromPoints({1, 1}, {2, 2})).size(), 1u);
+}
+
+TEST(GridIndexTest, EmptyWindow) {
+  GridIndex grid(1.0);
+  grid.Insert({0, 0}, 1);
+  EXPECT_TRUE(grid.SearchIds(Rect::Empty()).empty());
+}
+
+TEST(GridIndexTest, MatchesLinearScan) {
+  Rng rng(31);
+  GridIndex grid(0.7);
+  std::vector<Point> pts;
+  for (uint64_t i = 0; i < 500; ++i) {
+    const Point p{rng.NextUniform(-20, 20), rng.NextUniform(-20, 20)};
+    pts.push_back(p);
+    grid.Insert(p, i);
+  }
+  for (int q = 0; q < 40; ++q) {
+    const Point lo{rng.NextUniform(-22, 18), rng.NextUniform(-22, 18)};
+    const Rect window = Rect::FromPoints(
+        lo, Point{lo.x + rng.NextUniform(0, 6), lo.y + rng.NextUniform(0, 6)});
+    std::set<uint64_t> expected;
+    for (uint64_t i = 0; i < pts.size(); ++i) {
+      if (window.Contains(pts[i])) expected.insert(i);
+    }
+    const auto got_vec = grid.SearchIds(window);
+    EXPECT_EQ(std::set<uint64_t>(got_vec.begin(), got_vec.end()), expected);
+    EXPECT_EQ(got_vec.size(), expected.size());
+  }
+}
+
+}  // namespace
+}  // namespace sgb::index

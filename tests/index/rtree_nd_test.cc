@@ -1,0 +1,103 @@
+#include "index/rtree_nd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sgb::index {
+namespace {
+
+using P3 = geom::PointN<3>;
+using R3 = geom::RectN<3>;
+
+P3 RandomPoint(Rng& rng, double extent) {
+  return P3{{rng.NextUniform(0, extent), rng.NextUniform(0, extent),
+             rng.NextUniform(0, extent)}};
+}
+
+TEST(RTreeNdTest, EmptyTree) {
+  RTreeN<3> tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.SearchIds(R3(P3{{0, 0, 0}}, P3{{9, 9, 9}})).empty());
+  EXPECT_FALSE(tree.Remove(R3(P3{{0, 0, 0}}, P3{{1, 1, 1}}), 0));
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeNdTest, WindowQueryMatchesLinearScan3d) {
+  Rng rng(9);
+  RTreeN<3> tree(6);
+  std::vector<P3> pts;
+  for (uint64_t i = 0; i < 600; ++i) {
+    const P3 p = RandomPoint(rng, 30.0);
+    pts.push_back(p);
+    tree.Insert(p, i);
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int q = 0; q < 30; ++q) {
+    const P3 center = RandomPoint(rng, 30.0);
+    const R3 window = R3::Around(center, rng.NextUniform(0.5, 5.0));
+    std::set<uint64_t> expected;
+    for (uint64_t i = 0; i < pts.size(); ++i) {
+      if (window.Contains(pts[i])) expected.insert(i);
+    }
+    const auto got = tree.SearchIds(window);
+    EXPECT_EQ(std::set<uint64_t>(got.begin(), got.end()), expected);
+    EXPECT_EQ(got.size(), expected.size());
+  }
+}
+
+TEST(RTreeNdTest, ChurnKeepsInvariants) {
+  Rng rng(10);
+  RTreeN<3> tree(5);
+  std::vector<std::pair<R3, uint64_t>> live;
+  uint64_t next_id = 0;
+  for (int step = 0; step < 1500; ++step) {
+    if (!live.empty() && rng.NextDouble() < 0.45) {
+      const size_t pick = rng.NextBounded(live.size());
+      EXPECT_TRUE(tree.Remove(live[pick].first, live[pick].second));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const P3 p = RandomPoint(rng, 20.0);
+      const R3 r = R3::Around(p, rng.NextUniform(0, 1.0));
+      tree.Insert(r, next_id);
+      live.push_back({r, next_id++});
+    }
+    if (step % 251 == 0) ASSERT_TRUE(tree.CheckInvariants());
+  }
+  EXPECT_EQ(tree.size(), live.size());
+  for (const auto& [rect, id] : live) {
+    const auto ids = tree.SearchIds(rect);
+    EXPECT_NE(std::find(ids.begin(), ids.end(), id), ids.end());
+  }
+  for (const auto& [rect, id] : live) EXPECT_TRUE(tree.Remove(rect, id));
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeNdTest, FourDimensionsWork) {
+  Rng rng(11);
+  RTreeN<4> tree;
+  std::vector<geom::PointN<4>> pts;
+  for (uint64_t i = 0; i < 200; ++i) {
+    const geom::PointN<4> p{{rng.NextUniform(0, 10), rng.NextUniform(0, 10),
+                             rng.NextUniform(0, 10),
+                             rng.NextUniform(0, 10)}};
+    pts.push_back(p);
+    tree.Insert(p, i);
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  const auto window = geom::RectN<4>::Around(pts[0], 2.0);
+  std::set<uint64_t> expected;
+  for (uint64_t i = 0; i < pts.size(); ++i) {
+    if (window.Contains(pts[i])) expected.insert(i);
+  }
+  const auto got = tree.SearchIds(window);
+  EXPECT_EQ(std::set<uint64_t>(got.begin(), got.end()), expected);
+}
+
+}  // namespace
+}  // namespace sgb::index

@@ -1,0 +1,149 @@
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sgb::index {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.SearchIds(Rect::FromPoints({0, 0}, {10, 10})).empty());
+  EXPECT_FALSE(tree.Remove(Rect::FromPoints({0, 0}, {1, 1}), 7));
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, InsertAndPointQuery) {
+  RTree tree;
+  tree.Insert(Point{1, 1}, 10);
+  tree.Insert(Point{5, 5}, 20);
+  tree.Insert(Point{9, 9}, 30);
+  auto ids = tree.SearchIds(Rect::FromPoints({0, 0}, {6, 6}));
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<uint64_t>{10, 20}));
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, GrowsAndKeepsInvariants) {
+  RTree tree(4);
+  Rng rng(1);
+  for (uint64_t i = 0; i < 500; ++i) {
+    tree.Insert(Point{rng.NextUniform(0, 100), rng.NextUniform(0, 100)}, i);
+  }
+  EXPECT_EQ(tree.size(), 500u);
+  EXPECT_GT(tree.height(), 2);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, WindowQueryMatchesLinearScan) {
+  Rng rng(17);
+  RTree tree(6);
+  std::vector<Rect> rects;
+  for (uint64_t i = 0; i < 400; ++i) {
+    const Point lo{rng.NextUniform(0, 90), rng.NextUniform(0, 90)};
+    const Rect r = Rect::FromPoints(
+        lo, Point{lo.x + rng.NextUniform(0, 10), lo.y + rng.NextUniform(0, 10)});
+    rects.push_back(r);
+    tree.Insert(r, i);
+  }
+  for (int q = 0; q < 50; ++q) {
+    const Point lo{rng.NextUniform(-5, 95), rng.NextUniform(-5, 95)};
+    const Rect window = Rect::FromPoints(
+        lo,
+        Point{lo.x + rng.NextUniform(0, 20), lo.y + rng.NextUniform(0, 20)});
+    std::set<uint64_t> expected;
+    for (uint64_t i = 0; i < rects.size(); ++i) {
+      if (rects[i].Intersects(window)) expected.insert(i);
+    }
+    const auto got_vec = tree.SearchIds(window);
+    const std::set<uint64_t> got(got_vec.begin(), got_vec.end());
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(got_vec.size(), got.size()) << "duplicate results";
+  }
+}
+
+TEST(RTreeTest, RemoveExactEntry) {
+  RTree tree;
+  tree.Insert(Point{1, 1}, 1);
+  tree.Insert(Point{1, 1}, 2);  // same rect, different id
+  EXPECT_FALSE(tree.Remove(Rect{{1, 1}, {2, 2}}, 1));  // wrong rect
+  EXPECT_TRUE(tree.Remove(Rect{{1, 1}, {1, 1}}, 1));
+  EXPECT_EQ(tree.size(), 1u);
+  const auto ids = tree.SearchIds(Rect::FromPoints({0, 0}, {2, 2}));
+  EXPECT_EQ(ids, (std::vector<uint64_t>{2}));
+}
+
+TEST(RTreeTest, InsertRemoveChurnKeepsTreeConsistent) {
+  Rng rng(23);
+  RTree tree(5);
+  std::vector<std::pair<Rect, uint64_t>> live;
+  uint64_t next_id = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const bool remove = !live.empty() && rng.NextDouble() < 0.45;
+    if (remove) {
+      const size_t pick = rng.NextBounded(live.size());
+      EXPECT_TRUE(tree.Remove(live[pick].first, live[pick].second));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const Point lo{rng.NextUniform(0, 50), rng.NextUniform(0, 50)};
+      const Rect r = Rect::FromPoints(
+          lo, Point{lo.x + rng.NextUniform(0, 4), lo.y + rng.NextUniform(0, 4)});
+      tree.Insert(r, next_id);
+      live.push_back({r, next_id});
+      ++next_id;
+    }
+    if (step % 311 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "at step " << step;
+    }
+  }
+  EXPECT_EQ(tree.size(), live.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+
+  // Everything still findable.
+  for (const auto& [rect, id] : live) {
+    const auto ids = tree.SearchIds(rect);
+    EXPECT_NE(std::find(ids.begin(), ids.end(), id), ids.end());
+  }
+  // Drain to empty.
+  for (const auto& [rect, id] : live) {
+    EXPECT_TRUE(tree.Remove(rect, id));
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, DegenerateIdenticalRects) {
+  RTree tree(4);
+  for (uint64_t i = 0; i < 100; ++i) tree.Insert(Point{1, 1}, i);
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.SearchIds(Rect{{1, 1}, {1, 1}}).size(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(tree.Remove(Rect{{1, 1}, {1, 1}}, i));
+  }
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(RTreeTest, MoveSemantics) {
+  RTree a;
+  a.Insert(Point{1, 1}, 1);
+  RTree b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  b = RTree();
+  EXPECT_TRUE(b.empty());
+}
+
+}  // namespace
+}  // namespace sgb::index

@@ -1,0 +1,102 @@
+#include "index/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace sgb::index {
+namespace {
+
+TEST(UnionFindTest, SingletonsAreDisjoint) {
+  UnionFind forest(5);
+  EXPECT_EQ(forest.NumSets(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(forest.Find(i), i);
+    EXPECT_EQ(forest.SetSize(i), 1u);
+  }
+  EXPECT_FALSE(forest.Connected(0, 1));
+}
+
+TEST(UnionFindTest, UnionMergesAndTracksSizes) {
+  UnionFind forest(6);
+  forest.Union(0, 1);
+  forest.Union(2, 3);
+  EXPECT_EQ(forest.NumSets(), 4u);
+  EXPECT_TRUE(forest.Connected(0, 1));
+  EXPECT_FALSE(forest.Connected(0, 2));
+  forest.Union(1, 3);  // merges {0,1} with {2,3}
+  EXPECT_TRUE(forest.Connected(0, 2));
+  EXPECT_EQ(forest.SetSize(3), 4u);
+  EXPECT_EQ(forest.NumSets(), 3u);
+}
+
+TEST(UnionFindTest, SelfAndRepeatedUnionAreIdempotent) {
+  UnionFind forest(3);
+  forest.Union(0, 0);
+  EXPECT_EQ(forest.NumSets(), 3u);
+  forest.Union(0, 1);
+  forest.Union(0, 1);
+  forest.Union(1, 0);
+  EXPECT_EQ(forest.NumSets(), 2u);
+  EXPECT_EQ(forest.SetSize(0), 2u);
+}
+
+TEST(UnionFindTest, AddElementGrowsUniverse) {
+  UnionFind forest;
+  EXPECT_EQ(forest.AddElement(), 0u);
+  EXPECT_EQ(forest.AddElement(), 1u);
+  forest.Union(0, 1);
+  EXPECT_EQ(forest.AddElement(), 2u);
+  EXPECT_EQ(forest.NumSets(), 2u);
+}
+
+TEST(UnionFindTest, ResizeNeverShrinks) {
+  UnionFind forest(4);
+  forest.Union(0, 1);
+  forest.Resize(2);
+  EXPECT_EQ(forest.size(), 4u);
+  forest.Resize(8);
+  EXPECT_EQ(forest.size(), 8u);
+  EXPECT_TRUE(forest.Connected(0, 1));
+  EXPECT_FALSE(forest.Connected(6, 7));
+}
+
+TEST(UnionFindTest, MatchesNaiveLabelsUnderRandomUnions) {
+  // Property test against a quadratic reference implementation.
+  Rng rng(3);
+  const size_t n = 200;
+  UnionFind forest(n);
+  std::vector<size_t> label(n);
+  for (size_t i = 0; i < n; ++i) label[i] = i;
+
+  for (int step = 0; step < 500; ++step) {
+    const size_t a = rng.NextBounded(n);
+    const size_t b = rng.NextBounded(n);
+    forest.Union(a, b);
+    const size_t la = label[a];
+    const size_t lb = label[b];
+    if (la != lb) {
+      for (size_t i = 0; i < n; ++i) {
+        if (label[i] == lb) label[i] = la;
+      }
+    }
+  }
+  // NumSets must match the reference count of distinct labels.
+  std::vector<bool> seen(n, false);
+  size_t distinct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!seen[label[i]]) {
+      seen[label[i]] = true;
+      ++distinct;
+    }
+  }
+  EXPECT_EQ(forest.NumSets(), distinct);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; j += 7) {
+      EXPECT_EQ(forest.Connected(i, j), label[i] == label[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgb::index

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/executor.h"
+#include "workload/tpch.h"
+
+namespace sgb::sql {
+namespace {
+
+using engine::Database;
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::TpchConfig config;
+    config.scale_factor = 0.02;
+    workload::GenerateTpch(config).RegisterAll(db_.catalog());
+  }
+
+  std::string Explain(const std::string& sql) {
+    auto result = db_.Explain(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? result.value() : std::string();
+  }
+
+  Database db_;
+};
+
+TEST_F(ExplainTest, SimpleScanAndProject) {
+  const std::string plan = Explain("SELECT c_custkey FROM customer");
+  EXPECT_NE(plan.find("Project"), std::string::npos);
+  EXPECT_NE(plan.find("TableScan customer"), std::string::npos);
+}
+
+TEST_F(ExplainTest, EquiJoinUsesHashJoin) {
+  const std::string plan = Explain(
+      "SELECT c_custkey FROM customer, orders "
+      "WHERE c_custkey = o_custkey");
+  EXPECT_NE(plan.find("HashJoin"), std::string::npos);
+  EXPECT_EQ(plan.find("NestedLoopJoin"), std::string::npos);
+}
+
+TEST_F(ExplainTest, FilterIsPushedBelowJoin) {
+  const std::string plan = Explain(
+      "SELECT c_custkey FROM customer, orders "
+      "WHERE c_custkey = o_custkey AND c_acctbal > 100 "
+      "AND o_totalprice > 1000");
+  // Both single-table predicates sit under the join, directly over scans.
+  const size_t join_pos = plan.find("HashJoin");
+  ASSERT_NE(join_pos, std::string::npos);
+  const size_t filter1 = plan.find("Filter (#1(c_acctbal) > 100)");
+  const size_t filter2 = plan.find("Filter (#2(o_totalprice) > 1000)");
+  EXPECT_NE(filter1, std::string::npos) << plan;
+  EXPECT_NE(filter2, std::string::npos) << plan;
+  EXPECT_GT(filter1, join_pos);
+  EXPECT_GT(filter2, join_pos);
+}
+
+TEST_F(ExplainTest, SimilarityGroupByShowsParameters) {
+  const std::string plan = Explain(
+      "SELECT count(*) FROM customer "
+      "GROUP BY c_acctbal, c_custkey DISTANCE-TO-ALL L2 WITHIN 0.5 "
+      "ON-OVERLAP ELIMINATE");
+  EXPECT_NE(plan.find("SimilarityGroupByAll"), std::string::npos);
+  EXPECT_NE(plan.find("eps=0.5"), std::string::npos);
+  EXPECT_NE(plan.find("ELIMINATE"), std::string::npos);
+}
+
+TEST_F(ExplainTest, CrossJoinFallsBackToNestedLoop) {
+  const std::string plan =
+      Explain("SELECT c_custkey FROM customer, supplier");
+  EXPECT_NE(plan.find("NestedLoopJoin (cross)"), std::string::npos);
+}
+
+TEST_F(ExplainTest, SortAndLimitAppear) {
+  const std::string plan = Explain(
+      "SELECT c_custkey FROM customer ORDER BY c_custkey DESC LIMIT 3");
+  EXPECT_NE(plan.find("Limit 3"), std::string::npos);
+  EXPECT_NE(plan.find("desc"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ExplainOfInvalidSqlFails) {
+  EXPECT_FALSE(db_.Explain("SELECT nope FROM customer").ok());
+}
+
+}  // namespace
+}  // namespace sgb::sql

@@ -1,0 +1,82 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace sgb::sql {
+namespace {
+
+std::vector<Token> Lex(const std::string& sql) {
+  auto result = Tokenize(sql);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? result.value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, IdentifiersAndKeywordsKeepSpelling) {
+  const auto tokens = Lex("SELECT c_acctbal FROM Customer");
+  ASSERT_EQ(tokens.size(), 5u);  // 4 idents + end
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "c_acctbal");
+  EXPECT_EQ(tokens[3].text, "Customer");
+  EXPECT_EQ(tokens[4].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, Numbers) {
+  const auto tokens = Lex("42 3.25 1e3 7.5e-2");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_TRUE(tokens[0].is_integer);
+  EXPECT_DOUBLE_EQ(tokens[0].number, 42);
+  EXPECT_FALSE(tokens[1].is_integer);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 3.25);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 1000);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 0.075);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  const auto tokens = Lex("'hello' 'it''s'");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  const auto tokens = Lex("a <= b <> c >= d != e ( ) , . * + - / ; < >");
+  std::vector<TokenType> types;
+  for (const Token& t : tokens) types.push_back(t.type);
+  // Spot-check the multi-char operators.
+  EXPECT_EQ(types[1], TokenType::kLe);
+  EXPECT_EQ(types[3], TokenType::kNe);
+  EXPECT_EQ(types[5], TokenType::kGe);
+  EXPECT_EQ(types[7], TokenType::kNe);
+}
+
+TEST(LexerTest, LineCommentsAreSkipped) {
+  const auto tokens = Lex("SELECT -- comment text\n x");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "x");
+}
+
+TEST(LexerTest, HyphenatedKeywordsSplitIntoMinusTokens) {
+  const auto tokens = Lex("DISTANCE-TO-ALL");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdent);
+  EXPECT_EQ(tokens[1].type, TokenType::kMinus);
+  EXPECT_EQ(tokens[2].text, "TO");
+}
+
+TEST(LexerTest, PositionsTrackOffsets) {
+  const auto tokens = Lex("ab cd");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 3u);
+}
+
+TEST(LexerTest, RejectsStrayCharacters) {
+  EXPECT_FALSE(Tokenize("SELECT @ FROM t").ok());
+}
+
+}  // namespace
+}  // namespace sgb::sql

@@ -1,0 +1,197 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace sgb::sql {
+namespace {
+
+std::unique_ptr<SelectStatement> Parse(const std::string& sql) {
+  auto result = ParseSelect(sql);
+  EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+  return result.ok() ? std::move(result).value() : nullptr;
+}
+
+TEST(ParserTest, MinimalSelect) {
+  const auto stmt = Parse("SELECT * FROM t");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_TRUE(stmt->select_star);
+  ASSERT_EQ(stmt->from.size(), 1u);
+  EXPECT_EQ(stmt->from[0].table_name, "t");
+}
+
+TEST(ParserTest, SelectItemsWithAliases) {
+  const auto stmt = Parse("SELECT a AS x, b y, c + 1 FROM t");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->items.size(), 3u);
+  EXPECT_EQ(stmt->items[0].alias, "x");
+  EXPECT_EQ(stmt->items[1].alias, "y");
+  EXPECT_TRUE(stmt->items[2].alias.empty());
+  EXPECT_EQ(stmt->items[2].expr->kind, ParsedExpr::Kind::kBinary);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  const auto stmt = Parse("SELECT a + b * c FROM t");
+  const ParsedExpr& e = *stmt->items[0].expr;
+  ASSERT_EQ(e.kind, ParsedExpr::Kind::kBinary);
+  EXPECT_EQ(e.op, engine::BinaryOp::kAdd);
+  EXPECT_EQ(e.right->op, engine::BinaryOp::kMul);
+}
+
+TEST(ParserTest, ComparisonAndLogic) {
+  const auto stmt =
+      Parse("SELECT a FROM t WHERE a > 1 AND b <= 2 OR NOT c = 3");
+  const ParsedExpr& w = *stmt->where;
+  EXPECT_EQ(w.op, engine::BinaryOp::kOr);
+  EXPECT_EQ(w.left->op, engine::BinaryOp::kAnd);
+  EXPECT_EQ(w.right->kind, ParsedExpr::Kind::kNot);
+}
+
+TEST(ParserTest, BetweenDesugarsToConjunction) {
+  const auto stmt = Parse("SELECT a FROM t WHERE a BETWEEN 1 AND 5");
+  const ParsedExpr& w = *stmt->where;
+  ASSERT_EQ(w.kind, ParsedExpr::Kind::kBinary);
+  EXPECT_EQ(w.op, engine::BinaryOp::kAnd);
+  EXPECT_EQ(w.left->op, engine::BinaryOp::kGe);
+  EXPECT_EQ(w.right->op, engine::BinaryOp::kLe);
+}
+
+TEST(ParserTest, InListAndInSubquery) {
+  const auto list = Parse("SELECT a FROM t WHERE a IN (1, 2, 3)");
+  EXPECT_EQ(list->where->kind, ParsedExpr::Kind::kInList);
+  EXPECT_EQ(list->where->args.size(), 3u);
+
+  const auto sub = Parse("SELECT a FROM t WHERE a IN (SELECT b FROM u)");
+  EXPECT_EQ(sub->where->kind, ParsedExpr::Kind::kInSubquery);
+  ASSERT_NE(sub->where->subquery, nullptr);
+}
+
+TEST(ParserTest, FunctionCallsAndCountStar) {
+  const auto stmt = Parse("SELECT count(*), sum(a + b), st_polygon(x, y) "
+                          "FROM t GROUP BY g");
+  EXPECT_TRUE(stmt->items[0].expr->star_arg);
+  EXPECT_EQ(stmt->items[1].expr->args.size(), 1u);
+  EXPECT_EQ(stmt->items[2].expr->args.size(), 2u);
+}
+
+TEST(ParserTest, QualifiedColumnsAndDateLiterals) {
+  const auto stmt =
+      Parse("SELECT r1.c_custkey FROM t WHERE d > date '1995-01-01'");
+  EXPECT_EQ(stmt->items[0].expr->qualifier, "r1");
+  EXPECT_EQ(stmt->items[0].expr->name, "c_custkey");
+  const ParsedExpr& w = *stmt->where;
+  EXPECT_EQ(w.right->kind, ParsedExpr::Kind::kLiteral);
+  EXPECT_EQ(w.right->literal.AsString(), "1995-01-01");
+}
+
+TEST(ParserTest, FromSubqueryRequiresAlias) {
+  EXPECT_FALSE(ParseSelect("SELECT a FROM (SELECT b FROM t)").ok());
+  const auto stmt = Parse("SELECT a FROM (SELECT b FROM t) AS sub");
+  ASSERT_NE(stmt->from[0].subquery, nullptr);
+  EXPECT_EQ(stmt->from[0].alias, "sub");
+}
+
+TEST(ParserTest, GroupByPlain) {
+  const auto stmt = Parse("SELECT count(*) FROM t GROUP BY a, b");
+  EXPECT_EQ(stmt->group_by.size(), 2u);
+  EXPECT_EQ(stmt->similarity.kind, SimilarityClause::Kind::kNone);
+}
+
+TEST(ParserTest, DistanceToAllClause) {
+  const auto stmt = Parse(
+      "SELECT count(*) FROM gps GROUP BY lat, lon "
+      "DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP FORM-NEW-GROUP");
+  EXPECT_EQ(stmt->similarity.kind, SimilarityClause::Kind::kAll);
+  EXPECT_EQ(stmt->similarity.metric, geom::Metric::kLInf);
+  EXPECT_DOUBLE_EQ(stmt->similarity.epsilon, 3.0);
+  EXPECT_EQ(stmt->similarity.on_overlap,
+            core::OverlapClause::kFormNewGroup);
+}
+
+TEST(ParserTest, Table2ShorthandSpelling) {
+  // The paper's Table 2 writes: DISTANCE-ALL WITHIN e USING ltwo
+  //                             on overlap join-any / form-new / eliminate.
+  const auto stmt = Parse(
+      "SELECT count(*) FROM t GROUP BY ab, tp "
+      "DISTANCE-ALL WITHIN 0.5 USING ltwo on overlap form-new");
+  EXPECT_EQ(stmt->similarity.kind, SimilarityClause::Kind::kAll);
+  EXPECT_EQ(stmt->similarity.metric, geom::Metric::kL2);
+  EXPECT_DOUBLE_EQ(stmt->similarity.epsilon, 0.5);
+  EXPECT_EQ(stmt->similarity.on_overlap,
+            core::OverlapClause::kFormNewGroup);
+
+  const auto lone = Parse(
+      "SELECT count(*) FROM t GROUP BY ab, tp "
+      "DISTANCE-ANY WITHIN 0.2 USING lone");
+  EXPECT_EQ(lone->similarity.kind, SimilarityClause::Kind::kAny);
+  EXPECT_EQ(lone->similarity.metric, geom::Metric::kLInf);
+}
+
+TEST(ParserTest, DistanceToAnyClause) {
+  const auto stmt = Parse(
+      "SELECT count(*) FROM gps GROUP BY lat, lon "
+      "DISTANCE-TO-ANY L2 WITHIN 3");
+  EXPECT_EQ(stmt->similarity.kind, SimilarityClause::Kind::kAny);
+  EXPECT_EQ(stmt->similarity.metric, geom::Metric::kL2);
+}
+
+TEST(ParserTest, OneDimensionalClauses) {
+  const auto unsup = Parse(
+      "SELECT count(*) FROM t GROUP BY v "
+      "MAXIMUM_ELEMENT_SEPARATION 2 MAXIMUM_GROUP_DIAMETER 6");
+  EXPECT_EQ(unsup->similarity.kind, SimilarityClause::Kind::kUnsupervised);
+  EXPECT_DOUBLE_EQ(*unsup->similarity.max_separation, 2.0);
+  EXPECT_DOUBLE_EQ(*unsup->similarity.max_diameter, 6.0);
+
+  const auto around = Parse(
+      "SELECT count(*) FROM t GROUP BY v AROUND (0, 10, -5.5) "
+      "MAXIMUM_ELEMENT_SEPARATION 4");
+  EXPECT_EQ(around->similarity.kind, SimilarityClause::Kind::kAround);
+  EXPECT_EQ(around->similarity.centers,
+            (std::vector<double>{0, 10, -5.5}));
+
+  const auto delim = Parse(
+      "SELECT count(*) FROM t GROUP BY v DELIMITED BY (10, 20)");
+  EXPECT_EQ(delim->similarity.kind, SimilarityClause::Kind::kDelimited);
+  EXPECT_EQ(delim->similarity.delimiters, (std::vector<double>{10, 20}));
+}
+
+TEST(ParserTest, OrderByAndLimit) {
+  const auto stmt = Parse(
+      "SELECT a, b FROM t ORDER BY a DESC, 2 ASC LIMIT 10");
+  ASSERT_EQ(stmt->order_by.size(), 2u);
+  EXPECT_FALSE(stmt->order_by[0].ascending);
+  EXPECT_TRUE(stmt->order_by[1].ascending);
+  EXPECT_EQ(stmt->limit, 10u);
+}
+
+TEST(ParserTest, HavingClause) {
+  const auto stmt = Parse(
+      "SELECT l_orderkey FROM lineitem GROUP BY l_orderkey "
+      "HAVING sum(l_quantity) > 300");
+  ASSERT_NE(stmt->having, nullptr);
+  EXPECT_EQ(stmt->having->op, engine::BinaryOp::kGt);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a").ok());  // missing FROM
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t GROUP BY a DISTANCE-TO-ALL "
+                           "WITHIN").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t trailing garbage !").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t LIMIT 2.5").ok());
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted) {
+  EXPECT_NE(Parse("SELECT a FROM t;"), nullptr);
+}
+
+TEST(ParserTest, UnaryMinusAndParens) {
+  const auto stmt = Parse("SELECT -(a + 2) * 3 FROM t");
+  const ParsedExpr& e = *stmt->items[0].expr;
+  EXPECT_EQ(e.op, engine::BinaryOp::kMul);
+  EXPECT_EQ(e.left->kind, ParsedExpr::Kind::kUnaryMinus);
+}
+
+}  // namespace
+}  // namespace sgb::sql

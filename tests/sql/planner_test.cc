@@ -1,0 +1,154 @@
+#include "sql/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/executor.h"
+#include "sql/parser.h"
+
+namespace sgb::sql {
+namespace {
+
+using engine::Column;
+using engine::Database;
+using engine::DataType;
+using engine::Schema;
+using engine::Table;
+using engine::Value;
+
+Database MakeDb() {
+  Database db;
+  auto users = std::make_shared<Table>(Schema({
+      Column{"id", DataType::kInt64, ""},
+      Column{"name", DataType::kString, ""},
+      Column{"score", DataType::kDouble, ""},
+  }));
+  EXPECT_TRUE(users->Append({Value::Int(1), Value::Str("ann"),
+                             Value::Double(3.0)})
+                  .ok());
+  EXPECT_TRUE(users->Append({Value::Int(2), Value::Str("bob"),
+                             Value::Double(5.0)})
+                  .ok());
+  EXPECT_TRUE(users->Append({Value::Int(3), Value::Str("cy"),
+                             Value::Double(5.0)})
+                  .ok());
+  db.Register("users", users);
+
+  auto orders = std::make_shared<Table>(Schema({
+      Column{"user_id", DataType::kInt64, ""},
+      Column{"amount", DataType::kDouble, ""},
+  }));
+  EXPECT_TRUE(orders->Append({Value::Int(1), Value::Double(10)}).ok());
+  EXPECT_TRUE(orders->Append({Value::Int(1), Value::Double(20)}).ok());
+  EXPECT_TRUE(orders->Append({Value::Int(2), Value::Double(5)}).ok());
+  db.Register("orders", orders);
+  return db;
+}
+
+TEST(PlannerTest, UnknownTableAndColumnErrors) {
+  const Database db = MakeDb();
+  EXPECT_EQ(db.Query("SELECT x FROM missing").status().code(),
+            Status::Code::kNotFound);
+  EXPECT_EQ(db.Query("SELECT nope FROM users").status().code(),
+            Status::Code::kBindError);
+  EXPECT_EQ(db.Query("SELECT users.id FROM users, orders "
+                     "WHERE id = user_id AND amount > id")
+                .status()
+                .code(),
+            Status::Code::kOk);
+}
+
+TEST(PlannerTest, AmbiguousColumnIsBindError) {
+  Database db = MakeDb();
+  // Self join makes bare `id` ambiguous.
+  const auto result =
+      db.Query("SELECT id FROM users a, users b WHERE a.id = b.id");
+  EXPECT_EQ(result.status().code(), Status::Code::kBindError);
+}
+
+TEST(PlannerTest, EquiJoinBecomesHashJoin) {
+  const Database db = MakeDb();
+  auto plan = db.Prepare(
+      "SELECT name, amount FROM users, orders WHERE id = user_id");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // The filter was absorbed into the join: materialize and check the rows.
+  auto table = engine::Materialize(*plan.value());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().NumRows(), 3u);
+}
+
+TEST(PlannerTest, CrossJoinWithoutKeys) {
+  const Database db = MakeDb();
+  auto result = db.Query("SELECT name FROM users, orders");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumRows(), 9u);
+}
+
+TEST(PlannerTest, SelectStarPassesThrough) {
+  const Database db = MakeDb();
+  auto result = db.Query("SELECT * FROM users");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().schema().size(), 3u);
+  EXPECT_EQ(result.value().NumRows(), 3u);
+}
+
+TEST(PlannerTest, GroupByColumnNotInGroupIsError) {
+  const Database db = MakeDb();
+  const auto result =
+      db.Query("SELECT name FROM users GROUP BY score");
+  EXPECT_EQ(result.status().code(), Status::Code::kBindError);
+}
+
+TEST(PlannerTest, SelectStarWithGroupByIsError) {
+  const Database db = MakeDb();
+  EXPECT_FALSE(db.Query("SELECT * FROM users GROUP BY score").ok());
+}
+
+TEST(PlannerTest, HavingWithoutGroupingIsError) {
+  const Database db = MakeDb();
+  EXPECT_FALSE(db.Query("SELECT name FROM users HAVING name > 'a'").ok());
+}
+
+TEST(PlannerTest, SimilarityGroupByNeedsTwoColumns) {
+  const Database db = MakeDb();
+  const auto result = db.Query(
+      "SELECT count(*) FROM users GROUP BY score "
+      "DISTANCE-TO-ALL L2 WITHIN 1");
+  EXPECT_EQ(result.status().code(), Status::Code::kBindError);
+}
+
+TEST(PlannerTest, OneDimensionalNeedsOneColumn) {
+  const Database db = MakeDb();
+  const auto result = db.Query(
+      "SELECT count(*) FROM users GROUP BY id, score "
+      "MAXIMUM_ELEMENT_SEPARATION 2");
+  EXPECT_EQ(result.status().code(), Status::Code::kBindError);
+}
+
+TEST(PlannerTest, OrderByPositionOutOfRange) {
+  const Database db = MakeDb();
+  EXPECT_FALSE(db.Query("SELECT name FROM users ORDER BY 2").ok());
+}
+
+TEST(PlannerTest, AggregateInWhereIsError) {
+  const Database db = MakeDb();
+  EXPECT_FALSE(db.Query("SELECT id FROM users WHERE sum(score) > 1").ok());
+}
+
+TEST(PlannerTest, UnknownScalarFunctionIsError) {
+  const Database db = MakeDb();
+  EXPECT_EQ(db.Query("SELECT frob(id) FROM users").status().code(),
+            Status::Code::kNotSupported);
+}
+
+TEST(PlannerTest, InSubqueryMustBeSingleColumn) {
+  const Database db = MakeDb();
+  EXPECT_FALSE(
+      db.Query("SELECT id FROM users WHERE id IN (SELECT user_id, amount "
+               "FROM orders)")
+          .ok());
+}
+
+}  // namespace
+}  // namespace sgb::sql

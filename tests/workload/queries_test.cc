@@ -1,0 +1,87 @@
+// Integration tests: the Table 2 evaluation queries (GB1-GB3, SGB1-SGB6)
+// parse, plan, and execute end-to-end over micro TPC-H data.
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "workload/queries.h"
+#include "workload/tpch.h"
+
+namespace sgb::workload {
+namespace {
+
+using core::OverlapClause;
+using engine::Database;
+using geom::Metric;
+
+class Table2QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchConfig config;
+    config.scale_factor = 0.25;
+    GenerateTpch(config).RegisterAll(db_.catalog());
+  }
+
+  engine::Table Run(const std::string& sql) {
+    auto result = db_.Query(sql);
+    EXPECT_TRUE(result.ok()) << sql << "\n-> " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : engine::Table();
+  }
+
+  Database db_;
+};
+
+TEST_F(Table2QueryTest, Gb1ProducesGroups) {
+  const auto out = Run(Gb1());
+  EXPECT_GT(out.NumRows(), 0u);
+  EXPECT_EQ(out.schema().size(), 5u);
+}
+
+TEST_F(Table2QueryTest, Sgb1AllOverlapVariants) {
+  for (const auto clause :
+       {OverlapClause::kJoinAny, OverlapClause::kEliminate,
+        OverlapClause::kFormNewGroup}) {
+    const auto out = Run(Sgb1(0.2, Metric::kL2, clause));
+    EXPECT_GT(out.NumRows(), 0u) << OverlapKeyword(clause);
+  }
+}
+
+TEST_F(Table2QueryTest, Sgb2AnyGroupsCoarserThanGb1) {
+  const auto any = Run(Sgb2(0.2, Metric::kL2));
+  const auto plain = Run(Gb1());
+  EXPECT_GT(any.NumRows(), 0u);
+  // Similarity grouping with a sizable ε merges near-equal keys, so it can
+  // never produce more groups than the equality grouping.
+  EXPECT_LE(any.NumRows(), plain.NumRows());
+}
+
+TEST_F(Table2QueryTest, Sgb3AndSgb4ProfitQueries) {
+  const auto all = Run(Sgb3(0.3, Metric::kL2, OverlapClause::kJoinAny));
+  EXPECT_GT(all.NumRows(), 0u);
+  const auto any = Run(Sgb4(0.3, Metric::kL2));
+  EXPECT_GT(any.NumRows(), 0u);
+  EXPECT_LE(any.NumRows(), all.NumRows());
+  const auto gb = Run(Gb2());
+  EXPECT_GE(gb.NumRows(), all.NumRows());
+}
+
+TEST_F(Table2QueryTest, Sgb5AndSgb6SupplierQueries) {
+  const auto all = Run(Sgb5(0.2, Metric::kLInf, OverlapClause::kEliminate));
+  const auto any = Run(Sgb6(0.2, Metric::kLInf));
+  const auto gb = Run(Gb3());
+  EXPECT_GT(gb.NumRows(), 0u);
+  EXPECT_GT(any.NumRows(), 0u);
+  EXPECT_LE(any.NumRows(), gb.NumRows());
+  // ELIMINATE can only shrink groups, never add rows beyond GB's count.
+  EXPECT_LE(all.NumRows(), gb.NumRows());
+}
+
+TEST_F(Table2QueryTest, MetricKeywordRoundTrip) {
+  EXPECT_STREQ(MetricKeyword(Metric::kL2), "L2");
+  EXPECT_STREQ(MetricKeyword(Metric::kLInf), "LINF");
+  EXPECT_STREQ(OverlapKeyword(OverlapClause::kFormNewGroup),
+               "FORM-NEW-GROUP");
+}
+
+}  // namespace
+}  // namespace sgb::workload

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "workload/checkin.h"
+#include "workload/distributions.h"
+#include "workload/tpch.h"
+
+namespace sgb::workload {
+namespace {
+
+TEST(DateTest, CivilFromDaysRoundTrip) {
+  EXPECT_EQ(CivilFromDays(0), "1970-01-01");
+  EXPECT_EQ(CivilFromDays(TpchDateRangeStart()), "1992-01-01");
+  EXPECT_EQ(CivilFromDays(TpchDateRangeStart() + 31), "1992-02-01");
+  // 1992 is a leap year.
+  EXPECT_EQ(CivilFromDays(TpchDateRangeStart() + 59), "1992-02-29");
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Rng rng(1);
+  ZipfDistribution zipf(100, 1.2);
+  std::vector<size_t> histogram(100, 0);
+  for (int i = 0; i < 20000; ++i) ++histogram[zipf.Sample(rng)];
+  EXPECT_GT(histogram[0], histogram[10]);
+  EXPECT_GT(histogram[0], 20000u / 100u);  // far above uniform share
+}
+
+TEST(GaussianMixtureTest, SamplesClusterAroundComponents) {
+  Rng rng(2);
+  GaussianMixture2D mixture;
+  mixture.AddComponent({{0, 0}, 0.1, 1.0});
+  mixture.AddComponent({{100, 100}, 0.1, 1.0});
+  int near_a = 0;
+  int near_b = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const geom::Point p = mixture.Sample(rng);
+    if (geom::DistanceL2(p, {0, 0}) < 5) ++near_a;
+    if (geom::DistanceL2(p, {100, 100}) < 5) ++near_b;
+  }
+  EXPECT_EQ(near_a + near_b, 1000);
+  EXPECT_GT(near_a, 300);
+  EXPECT_GT(near_b, 300);
+}
+
+TEST(TpchTest, RowCountsScaleWithSf) {
+  TpchConfig small;
+  small.scale_factor = 0.5;
+  const TpchData data = GenerateTpch(small);
+  EXPECT_EQ(data.customer->NumRows(), 500u);
+  EXPECT_EQ(data.orders->NumRows(), 1000u);
+  EXPECT_EQ(data.supplier->NumRows(), 50u);
+  EXPECT_EQ(data.partsupp->NumRows(), 4 * 100u);
+  EXPECT_GT(data.lineitem->NumRows(), data.orders->NumRows());
+}
+
+TEST(TpchTest, ForeignKeysAreConsistent) {
+  TpchConfig config;
+  config.scale_factor = 0.2;
+  const TpchData data = GenerateTpch(config);
+  const int64_t customers =
+      static_cast<int64_t>(data.customer->NumRows());
+  for (const auto& row : data.orders->rows()) {
+    const int64_t custkey = row[1].AsInt();
+    EXPECT_GE(custkey, 1);
+    EXPECT_LE(custkey, customers);
+  }
+  // Every lineitem (partkey, suppkey) pair exists in partsupp.
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  for (const auto& row : data.partsupp->rows()) {
+    pairs.insert({row[0].AsInt(), row[1].AsInt()});
+  }
+  for (const auto& row : data.lineitem->rows()) {
+    EXPECT_TRUE(pairs.count({row[1].AsInt(), row[2].AsInt()}) > 0);
+  }
+}
+
+TEST(TpchTest, DatesAreConsistent) {
+  TpchConfig config;
+  config.scale_factor = 0.1;
+  const TpchData data = GenerateTpch(config);
+  for (const auto& row : data.lineitem->rows()) {
+    const std::string& ship = row[6].AsString();
+    const std::string& receipt = row[7].AsString();
+    EXPECT_LT(ship, receipt);  // lexicographic == chronological for ISO
+    EXPECT_EQ(CivilFromDays(row[8].AsInt()), ship);
+    EXPECT_EQ(CivilFromDays(row[9].AsInt()), receipt);
+  }
+}
+
+TEST(TpchTest, DeterministicForSeed) {
+  TpchConfig config;
+  config.scale_factor = 0.1;
+  const TpchData a = GenerateTpch(config);
+  const TpchData b = GenerateTpch(config);
+  ASSERT_EQ(a.customer->NumRows(), b.customer->NumRows());
+  for (size_t i = 0; i < a.customer->NumRows(); ++i) {
+    EXPECT_TRUE(engine::RowEq()(a.customer->rows()[i],
+                                b.customer->rows()[i]));
+  }
+}
+
+TEST(CheckinTest, GeneratesRequestedCount) {
+  const auto pts = GenerateCheckins(BrightkiteLike(5000));
+  EXPECT_EQ(pts.size(), 5000u);
+}
+
+TEST(CheckinTest, HotspotsMakeDataSkewed) {
+  // Clustered check-ins should pack far more points into the densest cell
+  // than a uniform scatter would.
+  const auto config = BrightkiteLike(20000);
+  const auto pts = GenerateCheckins(config);
+  std::map<std::pair<int, int>, size_t> cells;
+  size_t densest = 0;
+  for (const auto& p : pts) {
+    const auto key = std::make_pair(static_cast<int>(p.x),
+                                    static_cast<int>(p.y));
+    densest = std::max(densest, ++cells[key]);
+  }
+  const double box_cells = (config.hi.x - config.lo.x) *
+                           (config.hi.y - config.lo.y);
+  const double uniform_share = 20000.0 / box_cells;
+  EXPECT_GT(static_cast<double>(densest), 20 * uniform_share);
+}
+
+TEST(CheckinTest, TableFormMatchesPointForm) {
+  const auto config = GowallaLike(1000);
+  const auto table = GenerateCheckinTable(config);
+  const auto pts = GenerateCheckins(config);
+  ASSERT_EQ(table->NumRows(), pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(table->rows()[i][1].AsDouble(), pts[i].y);
+    EXPECT_DOUBLE_EQ(table->rows()[i][2].AsDouble(), pts[i].x);
+  }
+}
+
+}  // namespace
+}  // namespace sgb::workload
