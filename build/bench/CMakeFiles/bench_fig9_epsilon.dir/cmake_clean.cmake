@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_epsilon.dir/bench_fig9_epsilon.cc.o"
+  "CMakeFiles/bench_fig9_epsilon.dir/bench_fig9_epsilon.cc.o.d"
+  "bench_fig9_epsilon"
+  "bench_fig9_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

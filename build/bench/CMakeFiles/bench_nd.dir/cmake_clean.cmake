@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nd.dir/bench_nd.cc.o"
+  "CMakeFiles/bench_nd.dir/bench_nd.cc.o.d"
+  "bench_nd"
+  "bench_nd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

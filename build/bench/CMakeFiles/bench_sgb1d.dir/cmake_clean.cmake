@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sgb1d.dir/bench_sgb1d.cc.o"
+  "CMakeFiles/bench_sgb1d.dir/bench_sgb1d.cc.o.d"
+  "bench_sgb1d"
+  "bench_sgb1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sgb1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

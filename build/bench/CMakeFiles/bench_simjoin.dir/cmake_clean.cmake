@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simjoin.dir/bench_simjoin.cc.o"
+  "CMakeFiles/bench_simjoin.dir/bench_simjoin.cc.o.d"
+  "bench_simjoin"
+  "bench_simjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkin_groups.dir/checkin_groups.cpp.o"
+  "CMakeFiles/checkin_groups.dir/checkin_groups.cpp.o.d"
+  "checkin_groups"
+  "checkin_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkin_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

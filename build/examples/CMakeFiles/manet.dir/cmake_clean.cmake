@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manet.dir/manet.cpp.o"
+  "CMakeFiles/manet.dir/manet.cpp.o.d"
+  "manet"
+  "manet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatiotemporal.dir/spatiotemporal.cpp.o"
+  "CMakeFiles/spatiotemporal.dir/spatiotemporal.cpp.o.d"
+  "spatiotemporal"
+  "spatiotemporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatiotemporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

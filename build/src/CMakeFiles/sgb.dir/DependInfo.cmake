@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/birch.cc" "src/CMakeFiles/sgb.dir/cluster/birch.cc.o" "gcc" "src/CMakeFiles/sgb.dir/cluster/birch.cc.o.d"
+  "/root/repo/src/cluster/dbscan.cc" "src/CMakeFiles/sgb.dir/cluster/dbscan.cc.o" "gcc" "src/CMakeFiles/sgb.dir/cluster/dbscan.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/sgb.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/sgb.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/sgb.dir/common/random.cc.o" "gcc" "src/CMakeFiles/sgb.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/sgb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/sgb.dir/common/status.cc.o.d"
+  "/root/repo/src/common/stopwatch.cc" "src/CMakeFiles/sgb.dir/common/stopwatch.cc.o" "gcc" "src/CMakeFiles/sgb.dir/common/stopwatch.cc.o.d"
+  "/root/repo/src/core/sgb1d.cc" "src/CMakeFiles/sgb.dir/core/sgb1d.cc.o" "gcc" "src/CMakeFiles/sgb.dir/core/sgb1d.cc.o.d"
+  "/root/repo/src/core/sgb_all.cc" "src/CMakeFiles/sgb.dir/core/sgb_all.cc.o" "gcc" "src/CMakeFiles/sgb.dir/core/sgb_all.cc.o.d"
+  "/root/repo/src/core/sgb_any.cc" "src/CMakeFiles/sgb.dir/core/sgb_any.cc.o" "gcc" "src/CMakeFiles/sgb.dir/core/sgb_any.cc.o.d"
+  "/root/repo/src/core/sgb_types.cc" "src/CMakeFiles/sgb.dir/core/sgb_types.cc.o" "gcc" "src/CMakeFiles/sgb.dir/core/sgb_types.cc.o.d"
+  "/root/repo/src/core/similarity_join.cc" "src/CMakeFiles/sgb.dir/core/similarity_join.cc.o" "gcc" "src/CMakeFiles/sgb.dir/core/similarity_join.cc.o.d"
+  "/root/repo/src/engine/aggregate.cc" "src/CMakeFiles/sgb.dir/engine/aggregate.cc.o" "gcc" "src/CMakeFiles/sgb.dir/engine/aggregate.cc.o.d"
+  "/root/repo/src/engine/catalog.cc" "src/CMakeFiles/sgb.dir/engine/catalog.cc.o" "gcc" "src/CMakeFiles/sgb.dir/engine/catalog.cc.o.d"
+  "/root/repo/src/engine/csv.cc" "src/CMakeFiles/sgb.dir/engine/csv.cc.o" "gcc" "src/CMakeFiles/sgb.dir/engine/csv.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/sgb.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/sgb.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/expression.cc" "src/CMakeFiles/sgb.dir/engine/expression.cc.o" "gcc" "src/CMakeFiles/sgb.dir/engine/expression.cc.o.d"
+  "/root/repo/src/engine/operators.cc" "src/CMakeFiles/sgb.dir/engine/operators.cc.o" "gcc" "src/CMakeFiles/sgb.dir/engine/operators.cc.o.d"
+  "/root/repo/src/engine/schema.cc" "src/CMakeFiles/sgb.dir/engine/schema.cc.o" "gcc" "src/CMakeFiles/sgb.dir/engine/schema.cc.o.d"
+  "/root/repo/src/engine/sgb_operator.cc" "src/CMakeFiles/sgb.dir/engine/sgb_operator.cc.o" "gcc" "src/CMakeFiles/sgb.dir/engine/sgb_operator.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/CMakeFiles/sgb.dir/engine/table.cc.o" "gcc" "src/CMakeFiles/sgb.dir/engine/table.cc.o.d"
+  "/root/repo/src/engine/value.cc" "src/CMakeFiles/sgb.dir/engine/value.cc.o" "gcc" "src/CMakeFiles/sgb.dir/engine/value.cc.o.d"
+  "/root/repo/src/geom/convex_hull.cc" "src/CMakeFiles/sgb.dir/geom/convex_hull.cc.o" "gcc" "src/CMakeFiles/sgb.dir/geom/convex_hull.cc.o.d"
+  "/root/repo/src/geom/epsilon_rect.cc" "src/CMakeFiles/sgb.dir/geom/epsilon_rect.cc.o" "gcc" "src/CMakeFiles/sgb.dir/geom/epsilon_rect.cc.o.d"
+  "/root/repo/src/index/grid_index.cc" "src/CMakeFiles/sgb.dir/index/grid_index.cc.o" "gcc" "src/CMakeFiles/sgb.dir/index/grid_index.cc.o.d"
+  "/root/repo/src/index/rtree.cc" "src/CMakeFiles/sgb.dir/index/rtree.cc.o" "gcc" "src/CMakeFiles/sgb.dir/index/rtree.cc.o.d"
+  "/root/repo/src/index/union_find.cc" "src/CMakeFiles/sgb.dir/index/union_find.cc.o" "gcc" "src/CMakeFiles/sgb.dir/index/union_find.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/sgb.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/sgb.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/sgb.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/sgb.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/sgb.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/sgb.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/planner.cc" "src/CMakeFiles/sgb.dir/sql/planner.cc.o" "gcc" "src/CMakeFiles/sgb.dir/sql/planner.cc.o.d"
+  "/root/repo/src/workload/checkin.cc" "src/CMakeFiles/sgb.dir/workload/checkin.cc.o" "gcc" "src/CMakeFiles/sgb.dir/workload/checkin.cc.o.d"
+  "/root/repo/src/workload/distributions.cc" "src/CMakeFiles/sgb.dir/workload/distributions.cc.o" "gcc" "src/CMakeFiles/sgb.dir/workload/distributions.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/CMakeFiles/sgb.dir/workload/queries.cc.o" "gcc" "src/CMakeFiles/sgb.dir/workload/queries.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/CMakeFiles/sgb.dir/workload/tpch.cc.o" "gcc" "src/CMakeFiles/sgb.dir/workload/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

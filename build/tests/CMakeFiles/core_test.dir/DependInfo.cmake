@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/sgb1d_test.cc" "tests/CMakeFiles/core_test.dir/core/sgb1d_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sgb1d_test.cc.o.d"
+  "/root/repo/tests/core/sgb_all_test.cc" "tests/CMakeFiles/core_test.dir/core/sgb_all_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sgb_all_test.cc.o.d"
+  "/root/repo/tests/core/sgb_any_test.cc" "tests/CMakeFiles/core_test.dir/core/sgb_any_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sgb_any_test.cc.o.d"
+  "/root/repo/tests/core/sgb_nd_test.cc" "tests/CMakeFiles/core_test.dir/core/sgb_nd_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sgb_nd_test.cc.o.d"
+  "/root/repo/tests/core/sgb_property_test.cc" "tests/CMakeFiles/core_test.dir/core/sgb_property_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sgb_property_test.cc.o.d"
+  "/root/repo/tests/core/sgb_semantics_test.cc" "tests/CMakeFiles/core_test.dir/core/sgb_semantics_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sgb_semantics_test.cc.o.d"
+  "/root/repo/tests/core/sgb_stress_test.cc" "tests/CMakeFiles/core_test.dir/core/sgb_stress_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sgb_stress_test.cc.o.d"
+  "/root/repo/tests/core/similarity_join_test.cc" "tests/CMakeFiles/core_test.dir/core/similarity_join_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/similarity_join_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

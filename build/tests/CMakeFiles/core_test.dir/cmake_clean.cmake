@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/sgb1d_test.cc.o"
+  "CMakeFiles/core_test.dir/core/sgb1d_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/sgb_all_test.cc.o"
+  "CMakeFiles/core_test.dir/core/sgb_all_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/sgb_any_test.cc.o"
+  "CMakeFiles/core_test.dir/core/sgb_any_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/sgb_nd_test.cc.o"
+  "CMakeFiles/core_test.dir/core/sgb_nd_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/sgb_property_test.cc.o"
+  "CMakeFiles/core_test.dir/core/sgb_property_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/sgb_semantics_test.cc.o"
+  "CMakeFiles/core_test.dir/core/sgb_semantics_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/sgb_stress_test.cc.o"
+  "CMakeFiles/core_test.dir/core/sgb_stress_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/similarity_join_test.cc.o"
+  "CMakeFiles/core_test.dir/core/similarity_join_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/aggregate_test.cc" "tests/CMakeFiles/engine_test.dir/engine/aggregate_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/aggregate_test.cc.o.d"
+  "/root/repo/tests/engine/csv_test.cc" "tests/CMakeFiles/engine_test.dir/engine/csv_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/csv_test.cc.o.d"
+  "/root/repo/tests/engine/executor_test.cc" "tests/CMakeFiles/engine_test.dir/engine/executor_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/executor_test.cc.o.d"
+  "/root/repo/tests/engine/expression_test.cc" "tests/CMakeFiles/engine_test.dir/engine/expression_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/expression_test.cc.o.d"
+  "/root/repo/tests/engine/operators_test.cc" "tests/CMakeFiles/engine_test.dir/engine/operators_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/operators_test.cc.o.d"
+  "/root/repo/tests/engine/schema_test.cc" "tests/CMakeFiles/engine_test.dir/engine/schema_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/schema_test.cc.o.d"
+  "/root/repo/tests/engine/sgb_operator_test.cc" "tests/CMakeFiles/engine_test.dir/engine/sgb_operator_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/sgb_operator_test.cc.o.d"
+  "/root/repo/tests/engine/value_test.cc" "tests/CMakeFiles/engine_test.dir/engine/value_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_test.dir/engine/aggregate_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/aggregate_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/csv_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/csv_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/executor_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/executor_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/expression_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/expression_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/operators_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/operators_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/schema_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/schema_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/sgb_operator_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/sgb_operator_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/value_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/value_test.cc.o.d"
+  "engine_test"
+  "engine_test.pdb"
+  "engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sql/end_to_end_test.cc" "tests/CMakeFiles/sql_test.dir/sql/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/end_to_end_test.cc.o.d"
+  "/root/repo/tests/sql/explain_test.cc" "tests/CMakeFiles/sql_test.dir/sql/explain_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/explain_test.cc.o.d"
+  "/root/repo/tests/sql/lexer_test.cc" "tests/CMakeFiles/sql_test.dir/sql/lexer_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/lexer_test.cc.o.d"
+  "/root/repo/tests/sql/parser_test.cc" "tests/CMakeFiles/sql_test.dir/sql/parser_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/parser_test.cc.o.d"
+  "/root/repo/tests/sql/planner_test.cc" "tests/CMakeFiles/sql_test.dir/sql/planner_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/planner_test.cc.o.d"
+  "/root/repo/tests/sql/sql_features_test.cc" "tests/CMakeFiles/sql_test.dir/sql/sql_features_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/sql_features_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
