@@ -3,12 +3,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "common/stopwatch.h"
 #include "geom/point.h"
+#include "obs/metrics.h"
 
 namespace sgb::bench {
 
@@ -72,6 +75,33 @@ inline std::vector<geom::Point> SkewedPoints(size_t n, double extent = 40.0,
         {rng.NextGaussian(c.x, stddev), rng.NextGaussian(c.y, stddev)});
   }
   return pts;
+}
+
+/// Emits the global MetricsRegistry as one machine-readable JSON line so
+/// runs are diffable across PRs. The line lands on stdout tagged with the
+/// driver name:
+///
+///   SGB_METRICS {"driver":"bench_fig9","metrics":{...}}
+///
+/// or, when SGB_BENCH_METRICS_JSON names a file, the bare snapshot object
+/// is written there instead ("-" selects stdout explicitly). Call once at
+/// the end of main().
+inline void ExportMetricsSnapshot(const char* driver) {
+  const std::string json =
+      sgb::obs::MetricsRegistry::Global().Snapshot().ToJson();
+  const char* path = std::getenv("SGB_BENCH_METRICS_JSON");
+  if (path != nullptr && std::string(path) != "-") {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "SGB_BENCH_METRICS_JSON: cannot open %s\n", path);
+      return;
+    }
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    return;
+  }
+  std::printf("SGB_METRICS {\"driver\":\"%s\",\"metrics\":%s}\n", driver,
+              json.c_str());
 }
 
 }  // namespace sgb::bench

@@ -55,13 +55,17 @@ void BM_SgbAllScale(benchmark::State& state, OverlapClause clause,
   options.on_overlap = clause;
   options.algorithm = algorithm;
   size_t groups = 0;
+  sgb::core::SgbAllStats stats;
   for (auto _ : state) {
-    auto result = sgb::core::SgbAll(pts, options);
+    stats = {};
+    auto result = sgb::core::SgbAll(pts, options, &stats);
     benchmark::DoNotOptimize(result);
     groups = result.value().num_groups;
   }
   state.counters["rows"] = static_cast<double>(pts.size());
   state.counters["groups"] = static_cast<double>(groups);
+  state.counters["dist_comps"] =
+      static_cast<double>(stats.distance_computations);
 }
 
 void BM_SgbAnyScale(benchmark::State& state, SgbAnyAlgorithm algorithm) {
@@ -72,13 +76,17 @@ void BM_SgbAnyScale(benchmark::State& state, SgbAnyAlgorithm algorithm) {
   options.metric = sgb::geom::Metric::kL2;
   options.algorithm = algorithm;
   size_t groups = 0;
+  sgb::core::SgbAnyStats stats;
   for (auto _ : state) {
-    auto result = sgb::core::SgbAny(pts, options);
+    stats = {};
+    auto result = sgb::core::SgbAny(pts, options, &stats);
     benchmark::DoNotOptimize(result);
     groups = result.value().num_groups;
   }
   state.counters["rows"] = static_cast<double>(pts.size());
   state.counters["groups"] = static_cast<double>(groups);
+  state.counters["dist_comps"] =
+      static_cast<double>(stats.distance_computations);
 }
 
 void RegisterAll() {
@@ -127,5 +135,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  sgb::bench::ExportMetricsSnapshot("bench_fig10_scaleup");
   return 0;
 }

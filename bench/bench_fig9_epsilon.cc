@@ -36,13 +36,17 @@ void BM_SgbAllEpsilon(benchmark::State& state, OverlapClause clause,
   options.on_overlap = clause;
   options.algorithm = algorithm;
   size_t groups = 0;
+  sgb::core::SgbAllStats stats;
   for (auto _ : state) {
-    auto result = sgb::core::SgbAll(Dataset(), options);
+    stats = {};
+    auto result = sgb::core::SgbAll(Dataset(), options, &stats);
     benchmark::DoNotOptimize(result);
     groups = result.value().num_groups;
   }
   state.counters["groups"] = static_cast<double>(groups);
   state.counters["eps"] = epsilon;
+  state.counters["dist_comps"] =
+      static_cast<double>(stats.distance_computations);
 }
 
 void BM_SgbAnyEpsilon(benchmark::State& state, SgbAnyAlgorithm algorithm) {
@@ -52,13 +56,17 @@ void BM_SgbAnyEpsilon(benchmark::State& state, SgbAnyAlgorithm algorithm) {
   options.metric = sgb::geom::Metric::kL2;
   options.algorithm = algorithm;
   size_t groups = 0;
+  sgb::core::SgbAnyStats stats;
   for (auto _ : state) {
-    auto result = sgb::core::SgbAny(Dataset(), options);
+    stats = {};
+    auto result = sgb::core::SgbAny(Dataset(), options, &stats);
     benchmark::DoNotOptimize(result);
     groups = result.value().num_groups;
   }
   state.counters["groups"] = static_cast<double>(groups);
   state.counters["eps"] = epsilon;
+  state.counters["dist_comps"] =
+      static_cast<double>(stats.distance_computations);
 }
 
 void RegisterAll() {
@@ -111,5 +119,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  sgb::bench::ExportMetricsSnapshot("bench_fig9_epsilon");
   return 0;
 }

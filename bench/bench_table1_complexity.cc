@@ -18,10 +18,11 @@
 #include "bench_common.h"
 #include "common/stopwatch.h"
 #include "core/sgb_all.h"
+#include "obs/metrics.h"
 
 namespace {
 
-using sgb::Stopwatch;
+using sgb::ScopedTimer;
 using sgb::bench::Scaled;
 using sgb::bench::UniformPoints;
 using sgb::core::OverlapClause;
@@ -35,9 +36,13 @@ double TimeRun(const std::vector<sgb::geom::Point>& pts,
   options.metric = sgb::geom::Metric::kLInf;
   options.algorithm = algorithm;
   options.on_overlap = clause;
-  Stopwatch watch;
+  // Per-run wall times also land in the registry histogram, so the JSON
+  // snapshot carries the full latency distribution alongside the table.
+  ScopedTimer<sgb::obs::Histogram> timer(
+      &sgb::obs::MetricsRegistry::Global().GetHistogram(
+          "bench.table1.run_us"));
   auto result = sgb::core::SgbAll(pts, options);
-  const double seconds = watch.ElapsedSeconds();
+  const double seconds = timer.ElapsedSeconds();
   if (!result.ok()) std::fprintf(stderr, "error: %s\n",
                                  result.status().ToString().c_str());
   return seconds;
@@ -90,5 +95,6 @@ int main() {
   std::printf(
       "\nexpected slopes: All-Pairs ~2 (n^2); Bounds-Checking ~2 when "
       "|G| grows with n (n|G|); Index ~1 (n log|G|).\n");
+  sgb::bench::ExportMetricsSnapshot("bench_table1_complexity");
   return 0;
 }

@@ -2,6 +2,7 @@
 #define SGB_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace sgb {
 
@@ -20,8 +21,46 @@ class Stopwatch {
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+  uint64_t ElapsedNanos() const {
+    const auto now = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
+            .count());
+  }
+
  private:
   std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII timer that records its lifetime, in integer microseconds, into any
+/// sink with a `Record(uint64_t)` member — typically an `obs::Histogram` —
+/// replacing hand-rolled start/stop pairs:
+///
+///   ScopedTimer timer(&registry.GetHistogram("bench.run_us"));
+///   RunWorkload();   // recorded when `timer` leaves scope
+///
+/// A null sink disables recording; the elapsed time is still readable via
+/// `ElapsedMicros()`.
+template <typename Sink>
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Sink* sink) : sink_(sink) {}
+  ~ScopedTimer() {
+    if (sink_ != nullptr) {
+      sink_->Record(static_cast<uint64_t>(watch_.ElapsedMicros()));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedMicros() const { return watch_.ElapsedMicros(); }
+  double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+
+ private:
+  Sink* sink_;
+  Stopwatch watch_;
 };
 
 }  // namespace sgb

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "obs/metrics.h"
 
 namespace sgb::core {
 
@@ -13,6 +16,17 @@ Status ValidateLimit(const char* name, double value) {
                                    " must be finite and >= 0");
   }
   return Status::OK();
+}
+
+/// Mirrors the multi-dimensional operators: every successful run reports
+/// its volume into the global registry under "sgb.1d.<variant>.*".
+void Publish1d(const char* variant, size_t num_values,
+               const Grouping1D& grouping) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const std::string prefix = std::string("sgb.1d.") + variant;
+  registry.GetCounter(prefix + ".invocations").Add(1);
+  registry.GetCounter(prefix + ".values").Add(num_values);
+  registry.GetCounter(prefix + ".groups_created").Add(grouping.num_groups);
 }
 
 }  // namespace
@@ -49,6 +63,7 @@ Result<Grouping1D> SgbUnsupervised(std::span<const double> values,
     result.group_of[order[k]] = result.num_groups - 1;
     prev = v;
   }
+  Publish1d("unsupervised", n, result);
   return result;
 }
 
@@ -102,6 +117,7 @@ Result<Grouping1D> SgbAround(std::span<const double> values,
       result.group_of[i] = best;
     }
   }
+  Publish1d("around", values.size(), result);
   return result;
 }
 
@@ -134,6 +150,7 @@ Result<Grouping1D> SgbDelimited(std::span<const double> values,
   for (size_t i = 0; i < values.size(); ++i) {
     result.group_of[i] = dense[segment_of[i]];
   }
+  Publish1d("delimited", values.size(), result);
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "geom/convex_hull.h"
 #include "geom/epsilon_rect.h"
 #include "index/rtree.h"
+#include "obs/metrics.h"
 
 namespace sgb::core {
 
@@ -331,8 +332,25 @@ Result<Grouping> SgbAll(std::span<const Point> points,
     return Status::InvalidArgument(
         "SGB-All: max_regroup_rounds must be >= 1");
   }
+  // Counters always flow into the global registry (the engine operators,
+  // benches, and EXPLAIN ANALYZE all read from there); the caller's struct
+  // remains the per-invocation view.
+  SgbAllStats local;
+  if (stats == nullptr) stats = &local;
   SgbAllRunner runner(points, options, stats);
-  return runner.Run();
+  Result<Grouping> result = runner.Run();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("sgb.all.invocations").Add(1);
+  registry.GetCounter("sgb.all.points").Add(points.size());
+  registry.GetCounter("sgb.all.distance_computations")
+      .Add(stats->distance_computations);
+  registry.GetCounter("sgb.all.rectangle_tests").Add(stats->rectangle_tests);
+  registry.GetCounter("sgb.all.hull_tests").Add(stats->hull_tests);
+  registry.GetCounter("sgb.all.index_window_queries")
+      .Add(stats->index_window_queries);
+  registry.GetCounter("sgb.all.groups_created").Add(stats->groups_created);
+  registry.GetCounter("sgb.all.regroup_rounds").Add(stats->regroup_rounds);
+  return result;
 }
 
 }  // namespace sgb::core

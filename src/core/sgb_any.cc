@@ -5,6 +5,7 @@
 #include "geom/rect.h"
 #include "index/rtree.h"
 #include "index/union_find.h"
+#include "obs/metrics.h"
 
 namespace sgb::core {
 
@@ -87,13 +88,30 @@ Result<Grouping> SgbAny(std::span<const Point> points,
     return Status::InvalidArgument(
         "SGB-Any: similarity threshold epsilon must be finite and >= 0");
   }
-  switch (options.algorithm) {
-    case SgbAnyAlgorithm::kAllPairs:
-      return RunAllPairs(points, options, stats);
-    case SgbAnyAlgorithm::kIndexed:
-      return RunIndexed(points, options, stats);
-  }
-  return Status::Internal("SGB-Any: unknown algorithm");
+  // As in SgbAll: counters always reach the global registry, with the
+  // caller's struct as the optional per-invocation view.
+  SgbAnyStats local;
+  if (stats == nullptr) stats = &local;
+  Result<Grouping> result = [&]() -> Result<Grouping> {
+    switch (options.algorithm) {
+      case SgbAnyAlgorithm::kAllPairs:
+        return RunAllPairs(points, options, stats);
+      case SgbAnyAlgorithm::kIndexed:
+        return RunIndexed(points, options, stats);
+    }
+    return Status::Internal("SGB-Any: unknown algorithm");
+  }();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("sgb.any.invocations").Add(1);
+  registry.GetCounter("sgb.any.points").Add(points.size());
+  registry.GetCounter("sgb.any.distance_computations")
+      .Add(stats->distance_computations);
+  registry.GetCounter("sgb.any.index_window_queries")
+      .Add(stats->index_window_queries);
+  registry.GetCounter("sgb.any.union_operations")
+      .Add(stats->union_operations);
+  registry.GetCounter("sgb.any.group_merges").Add(stats->group_merges);
+  return result;
 }
 
 }  // namespace sgb::core

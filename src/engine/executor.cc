@@ -1,26 +1,105 @@
 #include "engine/executor.h"
 
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
 
 namespace sgb::engine {
 
-Result<OperatorPtr> Database::Prepare(const std::string& sql) const {
-  auto stmt = sql::ParseSelect(sql);
+namespace {
+
+/// Plans the statement under trace spans shared by every entry point.
+Result<OperatorPtr> PlanStatement(const Catalog& catalog,
+                                  const std::string& sql,
+                                  sql::ExplainMode* mode,
+                                  obs::QueryTrace* trace) {
+  Result<sql::ParsedStatement> stmt = [&] {
+    obs::ScopedSpan span(trace, "parse");
+    return sql::ParseStatement(sql);
+  }();
   if (!stmt.ok()) return stmt.status();
-  return sql::PlanQuery(catalog_, *stmt.value());
+  if (mode != nullptr) *mode = stmt.value().explain;
+  obs::ScopedSpan span(trace, "plan");
+  return sql::PlanQuery(catalog, *stmt.value().select);
 }
 
-Result<Table> Database::Query(const std::string& sql) const {
-  auto plan = Prepare(sql);
+/// Wraps a rendered plan string as a one-column `plan` table, one row per
+/// line, so EXPLAIN flows through the normal Query() result path.
+Result<Table> PlanTextTable(const std::string& text) {
+  Schema schema;
+  schema.AddColumn(Column{"plan", DataType::kString, ""});
+  Table table(schema);
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    SGB_RETURN_IF_ERROR(
+        table.Append(Row{Value::Str(text.substr(start, end - start))}));
+    start = end + 1;
+  }
+  return table;
+}
+
+/// Drains the plan, recording engine-level metrics and the execute span.
+Result<Table> Execute(Operator& root, obs::QueryTrace* trace) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("engine.queries").Add(1);
+  obs::ScopedSpan span(trace, "execute");
+  ScopedTimer<obs::Histogram> timer(&registry.GetHistogram("engine.query_us"));
+  Result<Table> result = Materialize(root);
+  if (result.ok()) {
+    const double rows = static_cast<double>(result.value().NumRows());
+    span.AddAttribute("rows", rows);
+    registry.GetCounter("engine.rows_returned")
+        .Add(result.value().NumRows());
+  } else {
+    registry.GetCounter("engine.query_errors").Add(1);
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<OperatorPtr> Database::Prepare(const std::string& sql) const {
+  return PlanStatement(catalog_, sql, nullptr, nullptr);
+}
+
+Result<Table> Database::Query(const std::string& sql,
+                              obs::QueryTrace* trace) const {
+  sql::ExplainMode mode = sql::ExplainMode::kNone;
+  auto plan = PlanStatement(catalog_, sql, &mode, trace);
   if (!plan.ok()) return plan.status();
-  return Materialize(*plan.value());
+
+  switch (mode) {
+    case sql::ExplainMode::kPlan:
+      return PlanTextTable(ExplainPlan(*plan.value()));
+    case sql::ExplainMode::kAnalyze: {
+      auto result = Execute(*plan.value(), trace);
+      if (!result.ok()) return result.status();
+      return PlanTextTable(ExplainAnalyzePlan(*plan.value()));
+    }
+    case sql::ExplainMode::kNone:
+      break;
+  }
+  return Execute(*plan.value(), trace);
 }
 
 Result<std::string> Database::Explain(const std::string& sql) const {
-  auto plan = Prepare(sql);
+  auto plan = PlanStatement(catalog_, sql, nullptr, nullptr);
   if (!plan.ok()) return plan.status();
   return ExplainPlan(*plan.value());
+}
+
+Result<std::string> Database::ExplainAnalyze(const std::string& sql,
+                                             obs::QueryTrace* trace) const {
+  auto plan = PlanStatement(catalog_, sql, nullptr, trace);
+  if (!plan.ok()) return plan.status();
+  auto result = Execute(*plan.value(), trace);
+  if (!result.ok()) return result.status();
+  return ExplainAnalyzePlan(*plan.value());
 }
 
 }  // namespace sgb::engine

@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "engine/catalog.h"
 #include "engine/operators.h"
+#include "obs/trace.h"
 
 namespace sgb::engine {
 
@@ -19,6 +20,15 @@ namespace sgb::engine {
 ///       "SELECT count(*) FROM gpspoints "
 ///       "GROUP BY lat, lon DISTANCE-TO-ALL LINF WITHIN 3 "
 ///       "ON-OVERLAP ELIMINATE");
+///
+/// Observability: every Query() run bumps `engine.queries` and records its
+/// wall time into the `engine.query_us` histogram of the global
+/// obs::MetricsRegistry. Passing a QueryTrace collects a structured span
+/// hierarchy (parse / plan / execute) for the run, and
+/// `EXPLAIN ANALYZE <select>` — via Query() or ExplainAnalyze() — executes
+/// the plan and renders every operator annotated with rows, wall time,
+/// peak memory, and operator-specific counters (e.g. SGB distance
+/// computations).
 class Database {
  public:
   Catalog& catalog() { return catalog_; }
@@ -28,15 +38,25 @@ class Database {
     catalog_.Register(name, std::move(table));
   }
 
-  /// Parses + plans the SQL; the returned operator can be Open()/Next()ed
-  /// repeatedly.
+  /// Parses + plans the SQL (ignoring any EXPLAIN prefix); the returned
+  /// operator can be Open()/Next()ed repeatedly.
   Result<OperatorPtr> Prepare(const std::string& sql) const;
 
-  /// Parses, plans and fully materializes the result table.
-  Result<Table> Query(const std::string& sql) const;
+  /// Parses, plans and fully materializes the result table. A statement
+  /// prefixed with EXPLAIN [ANALYZE] instead returns a single-column
+  /// `plan` table holding the (annotated) plan, one row per line.
+  Result<Table> Query(const std::string& sql,
+                      obs::QueryTrace* trace = nullptr) const;
 
-  /// EXPLAIN: renders the physical plan the SQL would execute.
+  /// EXPLAIN: renders the physical plan the SQL would execute. Accepts the
+  /// bare SELECT or the EXPLAIN-prefixed form.
   Result<std::string> Explain(const std::string& sql) const;
+
+  /// EXPLAIN ANALYZE: plans, executes (discarding rows), and renders the
+  /// plan annotated with per-operator execution counters. Accepts the bare
+  /// SELECT or the EXPLAIN ANALYZE-prefixed form.
+  Result<std::string> ExplainAnalyze(const std::string& sql,
+                                     obs::QueryTrace* trace = nullptr) const;
 
  private:
   Catalog catalog_;

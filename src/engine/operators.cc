@@ -1,10 +1,17 @@
 #include "engine/operators.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_map>
 #include <utility>
 
 namespace sgb::engine {
+
+size_t ApproxRowVectorBytes(const std::vector<Row>& rows) {
+  size_t total = rows.capacity() * sizeof(Row);
+  for (const Row& row : rows) total += row.capacity() * sizeof(Value);
+  return total;
+}
 
 namespace {
 
@@ -22,8 +29,8 @@ class TableScanOp final : public Operator {
                ? "TableScan " + schema_.column(0).qualifier
                : std::string("TableScan");
   }
-  void Open() override { next_ = 0; }
-  bool Next(Row* out) override {
+  void OpenImpl() override { next_ = 0; }
+  bool NextImpl(Row* out) override {
     if (next_ >= table_->NumRows()) return false;
     *out = table_->rows()[next_++];
     return true;
@@ -47,8 +54,8 @@ class FilterOp final : public Operator {
   std::vector<const Operator*> children() const override {
     return {child_.get()};
   }
-  void Open() override { child_->Open(); }
-  bool Next(Row* out) override {
+  void OpenImpl() override { child_->Open(); }
+  bool NextImpl(Row* out) override {
     while (child_->Next(out)) {
       if (predicate_->Evaluate(*out).ToBool()) return true;
     }
@@ -80,8 +87,8 @@ class ProjectOp final : public Operator {
   std::vector<const Operator*> children() const override {
     return {child_.get()};
   }
-  void Open() override { child_->Open(); }
-  bool Next(Row* out) override {
+  void OpenImpl() override { child_->Open(); }
+  bool NextImpl(Row* out) override {
     Row input;
     if (!child_->Next(&input)) return false;
     out->clear();
@@ -120,7 +127,7 @@ class HashAggregateOp final : public Operator {
     return {child_.get()};
   }
 
-  void Open() override {
+  void OpenImpl() override {
     child_->Open();
     results_.clear();
     next_ = 0;
@@ -154,6 +161,7 @@ class HashAggregateOp final : public Operator {
         out.push_back(CreateAggregateState(a)->Finalize());
       }
       results_.push_back(std::move(out));
+      mutable_stats().extra["groups"] = results_.size();
       return;
     }
 
@@ -165,9 +173,14 @@ class HashAggregateOp final : public Operator {
       }
       results_.push_back(std::move(out));
     }
+    mutable_stats().extra["groups"] = results_.size();
+    mutable_stats().peak_memory_bytes =
+        ApproxRowVectorBytes(key_order) + ApproxRowVectorBytes(results_) +
+        key_order.size() *
+            (sizeof(std::unique_ptr<AggregateState>) * aggregates_.size());
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     if (next_ >= results_.size()) return false;
     *out = std::move(results_[next_++]);
     return true;
@@ -205,7 +218,7 @@ class HashJoinOp final : public Operator {
     return {left_.get(), right_.get()};
   }
 
-  void Open() override {
+  void OpenImpl() override {
     // Build side: right input.
     right_->Open();
     build_.clear();
@@ -219,12 +232,20 @@ class HashJoinOp final : public Operator {
       if (has_null) continue;  // NULL keys never join
       build_[std::move(key)].push_back(row);
     }
+    size_t build_rows = 0;
+    size_t build_bytes = 0;
+    for (const auto& [key, rows] : build_) {
+      build_rows += rows.size();
+      build_bytes += key.capacity() * sizeof(Value) + ApproxRowVectorBytes(rows);
+    }
+    mutable_stats().extra["build_rows"] = build_rows;
+    mutable_stats().peak_memory_bytes = build_bytes;
     left_->Open();
     matches_ = nullptr;
     match_index_ = 0;
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     while (true) {
       if (matches_ != nullptr && match_index_ < matches_->size()) {
         *out = probe_row_;
@@ -279,17 +300,18 @@ class NestedLoopJoinOp final : public Operator {
     return {left_.get(), right_.get()};
   }
 
-  void Open() override {
+  void OpenImpl() override {
     right_->Open();
     right_rows_.clear();
     Row row;
     while (right_->Next(&row)) right_rows_.push_back(row);
+    mutable_stats().peak_memory_bytes = ApproxRowVectorBytes(right_rows_);
     left_->Open();
     have_left_ = false;
     right_index_ = 0;
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     while (true) {
       if (!have_left_) {
         if (!left_->Next(&left_row_)) return false;
@@ -339,12 +361,13 @@ class SortOp final : public Operator {
     return {child_.get()};
   }
 
-  void Open() override {
+  void OpenImpl() override {
     child_->Open();
     rows_.clear();
     next_ = 0;
     Row row;
     while (child_->Next(&row)) rows_.push_back(std::move(row));
+    mutable_stats().peak_memory_bytes = ApproxRowVectorBytes(rows_);
     std::stable_sort(rows_.begin(), rows_.end(),
                      [this](const Row& a, const Row& b) {
                        for (const SortKey& k : keys_) {
@@ -356,7 +379,7 @@ class SortOp final : public Operator {
                      });
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     if (next_ >= rows_.size()) return false;
     *out = std::move(rows_[next_++]);
     return true;
@@ -381,11 +404,11 @@ class LimitOp final : public Operator {
   std::vector<const Operator*> children() const override {
     return {child_.get()};
   }
-  void Open() override {
+  void OpenImpl() override {
     child_->Open();
     emitted_ = 0;
   }
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     if (emitted_ >= limit_) return false;
     if (!child_->Next(out)) return false;
     ++emitted_;
@@ -461,6 +484,52 @@ void ExplainRec(const Operator& op, int depth, std::string* out) {
 std::string ExplainPlan(const Operator& root) {
   std::string out;
   ExplainRec(root, 0, &out);
+  return out;
+}
+
+namespace {
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024 * 1024) {
+    std::snprintf(buf, sizeof buf, "%.1fMB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof buf, "%.1fKB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+void ExplainAnalyzeRec(const Operator& op, int depth, std::string* out) {
+  const OperatorStats& stats = op.stats();
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += op.label();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, " (rows=%llu time=%.3fms",
+                static_cast<unsigned long long>(stats.rows_produced),
+                stats.TotalMillis());
+  *out += buf;
+  if (stats.peak_memory_bytes > 0) {
+    *out += " mem=" + FormatBytes(stats.peak_memory_bytes);
+  }
+  for (const auto& [key, value] : stats.extra) {
+    *out += ' ' + key + '=' + std::to_string(value);
+  }
+  *out += ")\n";
+  for (const Operator* child : op.children()) {
+    ExplainAnalyzeRec(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainAnalyzePlan(const Operator& root) {
+  std::string out;
+  ExplainAnalyzeRec(root, 0, &out);
   return out;
 }
 

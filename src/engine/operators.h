@@ -1,6 +1,9 @@
 #ifndef SGB_ENGINE_OPERATORS_H_
 #define SGB_ENGINE_OPERATORS_H_
 
+#include <chrono>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,14 +15,37 @@
 
 namespace sgb::engine {
 
+/// Per-operator execution counters, reset on every Open() and rendered by
+/// EXPLAIN ANALYZE. Times are inclusive of children (the standard
+/// EXPLAIN ANALYZE convention): a blocking operator that drains its child
+/// inside Open() accounts that work in `open_ns`.
+struct OperatorStats {
+  uint64_t rows_produced = 0;  ///< successful Next() calls
+  uint64_t next_calls = 0;     ///< all Next() calls, incl. the final miss
+  uint64_t open_ns = 0;
+  uint64_t next_ns = 0;            ///< cumulative across all Next() calls
+  uint64_t peak_memory_bytes = 0;  ///< approx. materialized state high-water
+
+  /// Operator-specific counters (SGB distance computations, hash-table
+  /// groups, ...); name-sorted so EXPLAIN ANALYZE output is deterministic.
+  std::map<std::string, uint64_t> extra;
+
+  uint64_t TotalNs() const { return open_ns + next_ns; }
+  double TotalMillis() const { return static_cast<double>(TotalNs()) / 1e6; }
+};
+
 /// Pull-based (Volcano) physical operator. The executor calls Open() once,
 /// then Next() until it returns false. Operators own their children.
+///
+/// Open()/Next() are non-virtual instrumented entry points: they maintain
+/// the OperatorStats block (row counts and cumulative wall time) and
+/// delegate to the protected OpenImpl()/NextImpl() hooks subclasses
+/// implement. Parents call children through the public entry points, so
+/// every node in a plan accumulates stats with no per-operator plumbing.
 class Operator {
  public:
   virtual ~Operator() = default;
   virtual const Schema& schema() const = 0;
-  virtual void Open() = 0;
-  virtual bool Next(Row* out) = 0;
   virtual std::string name() const = 0;
 
   /// One-line description for EXPLAIN output (operator name + key
@@ -28,6 +54,42 @@ class Operator {
 
   /// Child operators, for plan rendering. Non-owning.
   virtual std::vector<const Operator*> children() const { return {}; }
+
+  void Open() {
+    stats_ = OperatorStats{};
+    const auto t0 = std::chrono::steady_clock::now();
+    OpenImpl();
+    stats_.open_ns = ElapsedNs(t0);
+  }
+
+  bool Next(Row* out) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool ok = NextImpl(out);
+    stats_.next_ns += ElapsedNs(t0);
+    ++stats_.next_calls;
+    if (ok) ++stats_.rows_produced;
+    return ok;
+  }
+
+  /// Counters from the most recent (possibly still running) execution.
+  const OperatorStats& stats() const { return stats_; }
+
+ protected:
+  virtual void OpenImpl() = 0;
+  virtual bool NextImpl(Row* out) = 0;
+
+  /// For subclasses publishing memory estimates or extra counters.
+  OperatorStats& mutable_stats() { return stats_; }
+
+ private:
+  static uint64_t ElapsedNs(std::chrono::steady_clock::time_point t0) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+
+  OperatorStats stats_;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -79,6 +141,18 @@ Result<Table> Materialize(Operator& root);
 ///     HashAggregate (keys=1, aggs=2)
 ///       TableScan orders
 std::string ExplainPlan(const Operator& root);
+
+/// Renders the operator tree annotated with the execution counters of the
+/// most recent run (the caller executes the plan first — see
+/// Database::ExplainAnalyze):
+///   Sort [...] (rows=10 time=0.213ms)
+///     SimilarityGroupByAll (...) (rows=10 time=0.180ms mem=2.1KB
+///                                 dist_comps=812 groups=10)
+std::string ExplainAnalyzePlan(const Operator& root);
+
+/// Rough bytes held by a materialized row vector (Row headers + Value
+/// slots; string payloads are not walked). Used for peak-memory estimates.
+size_t ApproxRowVectorBytes(const std::vector<Row>& rows);
 
 }  // namespace sgb::engine
 

@@ -24,6 +24,28 @@ std::string DescribeMode(const SgbMode& mode) {
          ", " + (any.metric == geom::Metric::kL2 ? "L2" : "LINF") + ")";
 }
 
+/// Copies the core algorithm counters into the operator's stats block so
+/// EXPLAIN ANALYZE can render them per plan node. Zero-valued counters are
+/// skipped to keep the annotation noise-free (e.g. no hull_tests for L∞).
+void PublishSgbAllStats(const core::SgbAllStats& s, OperatorStats* out) {
+  out->extra["dist_comps"] = s.distance_computations;
+  if (s.rectangle_tests > 0) out->extra["rect_tests"] = s.rectangle_tests;
+  if (s.hull_tests > 0) out->extra["hull_tests"] = s.hull_tests;
+  if (s.index_window_queries > 0) {
+    out->extra["window_queries"] = s.index_window_queries;
+  }
+  if (s.regroup_rounds > 0) out->extra["regroup_rounds"] = s.regroup_rounds;
+}
+
+void PublishSgbAnyStats(const core::SgbAnyStats& s, OperatorStats* out) {
+  out->extra["dist_comps"] = s.distance_computations;
+  if (s.index_window_queries > 0) {
+    out->extra["window_queries"] = s.index_window_queries;
+  }
+  if (s.union_operations > 0) out->extra["union_ops"] = s.union_operations;
+  if (s.group_merges > 0) out->extra["group_merges"] = s.group_merges;
+}
+
 /// Shared driver for the 2-D and 1-D variants: drains the child, labels
 /// every row with a group id (or "no group"), then aggregates per group.
 class SgbOperatorBase : public Operator {
@@ -44,7 +66,7 @@ class SgbOperatorBase : public Operator {
     return {child_.get()};
   }
 
-  void Open() override {
+  void OpenImpl() override {
     child_->Open();
     rows_.clear();
     results_.clear();
@@ -52,9 +74,11 @@ class SgbOperatorBase : public Operator {
 
     Row row;
     while (child_->Next(&row)) rows_.push_back(std::move(row));
+    mutable_stats().peak_memory_bytes = ApproxRowVectorBytes(rows_);
 
     size_t num_groups = 0;
     const std::vector<size_t> group_of = Label(rows_, &num_groups);
+    mutable_stats().extra["groups"] = num_groups;
 
     std::vector<std::vector<std::unique_ptr<AggregateState>>> states(
         num_groups);
@@ -80,7 +104,7 @@ class SgbOperatorBase : public Operator {
     rows_.clear();
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     if (next_ >= results_.size()) return false;
     *out = std::move(results_[next_++]);
     return true;
@@ -90,6 +114,8 @@ class SgbOperatorBase : public Operator {
   static constexpr size_t kNoGroup = static_cast<size_t>(-1);
 
   /// Assigns a group id in [0, *num_groups) — or kNoGroup — to every row.
+  /// Implementations publish their core-algorithm counters (distance
+  /// computations, rectangle tests, ...) into mutable_stats().extra.
   virtual std::vector<size_t> Label(const std::vector<Row>& rows,
                                     size_t* num_groups) = 0;
 
@@ -135,12 +161,16 @@ class SgbOperator2d final : public SgbOperatorBase {
 
     core::Grouping grouping;
     if (const auto* all = std::get_if<core::SgbAllOptions>(&mode_)) {
-      Result<core::Grouping> r = core::SgbAll(points, *all);
+      core::SgbAllStats core_stats;
+      Result<core::Grouping> r = core::SgbAll(points, *all, &core_stats);
+      PublishSgbAllStats(core_stats, &mutable_stats());
       // Options are validated at plan time; core failure here is a bug.
       grouping = r.ok() ? std::move(r.value()) : core::Grouping{};
     } else {
-      Result<core::Grouping> r =
-          core::SgbAny(points, std::get<core::SgbAnyOptions>(mode_));
+      core::SgbAnyStats core_stats;
+      Result<core::Grouping> r = core::SgbAny(
+          points, std::get<core::SgbAnyOptions>(mode_), &core_stats);
+      PublishSgbAnyStats(core_stats, &mutable_stats());
       grouping = r.ok() ? std::move(r.value()) : core::Grouping{};
     }
 
@@ -197,11 +227,15 @@ class SgbOperator3d final : public SgbOperatorBase {
 
     core::Grouping grouping;
     if (const auto* all = std::get_if<core::SgbAllOptions>(&mode_)) {
-      Result<core::Grouping> r = core::SgbAllNd<3>(points, *all);
+      core::SgbAllStats core_stats;
+      Result<core::Grouping> r = core::SgbAllNd<3>(points, *all, &core_stats);
+      PublishSgbAllStats(core_stats, &mutable_stats());
       grouping = r.ok() ? std::move(r).value() : core::Grouping{};
     } else {
-      Result<core::Grouping> r =
-          core::SgbAnyNd<3>(points, std::get<core::SgbAnyOptions>(mode_));
+      core::SgbAnyStats core_stats;
+      Result<core::Grouping> r = core::SgbAnyNd<3>(
+          points, std::get<core::SgbAnyOptions>(mode_), &core_stats);
+      PublishSgbAnyStats(core_stats, &mutable_stats());
       grouping = r.ok() ? std::move(r).value() : core::Grouping{};
     }
 

@@ -1,0 +1,229 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace sgb::obs {
+
+// ---- Histogram -----------------------------------------------------------
+
+size_t Histogram::BucketIndex(uint64_t sample) {
+  // Samples < kSubBuckets map 1:1 onto the first sub-buckets; above that,
+  // tier t covers [2^t, 2^(t+1)) split into kSubBuckets equal ranges.
+  if (sample < kSubBuckets) return static_cast<size_t>(sample);
+  const int tier = 63 - std::countl_zero(sample);
+  const uint64_t tier_base = uint64_t{1} << tier;
+  const uint64_t sub_width = tier_base / kSubBuckets;  // >= 1 once tier >= 2
+  const size_t sub = static_cast<size_t>((sample - tier_base) / sub_width);
+  const size_t index = static_cast<size_t>(tier) * kSubBuckets + sub;
+  return index < kNumBuckets ? index : kNumBuckets - 1;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index < kSubBuckets) return index;
+  const size_t tier = index / kSubBuckets;
+  const size_t sub = index % kSubBuckets;
+  const uint64_t tier_base = uint64_t{1} << tier;
+  const uint64_t sub_width = tier_base / kSubBuckets;
+  return tier_base + sub_width * (sub + 1) - 1;
+}
+
+void Histogram::Record(uint64_t sample) {
+  buckets_[BucketIndex(sample)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (sample < cur &&
+         !min_.compare_exchange_weak(cur, sample, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (sample > cur &&
+         !max_.compare_exchange_weak(cur, sample, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::min() const {
+  const uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+double Histogram::Percentile(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  const double rank = p / 100.0 * static_cast<double>(n);
+  double seen = 0.0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t b = buckets_[i].load(std::memory_order_relaxed);
+    if (b == 0) continue;
+    seen += static_cast<double>(b);
+    if (seen >= rank) {
+      // Clamp the bucket bound into the observed [min, max] range so small
+      // histograms don't report values beyond any recorded sample.
+      const double bound = static_cast<double>(BucketUpperBound(i));
+      const double hi = static_cast<double>(max());
+      const double lo = static_cast<double>(min());
+      return bound > hi ? hi : (bound < lo ? lo : bound);
+    }
+  }
+  return static_cast<double>(max());
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ---- MetricsSnapshot -----------------------------------------------------
+
+namespace {
+
+/// Metric names are restricted to [a-z0-9._] by convention, but escape the
+/// JSON-significant characters anyway so a stray name can't corrupt output.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char buf[256];
+  for (const auto& [name, v] : counters) {
+    std::snprintf(buf, sizeof buf, "counter   %-48s %" PRIu64 "\n",
+                  name.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, v] : gauges) {
+    std::snprintf(buf, sizeof buf, "gauge     %-48s %g\n", name.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(buf, sizeof buf,
+                  "histogram %-48s count=%" PRIu64 " mean=%.2f p50=%.0f"
+                  " p90=%.0f p99=%.0f max=%" PRIu64 "\n",
+                  name.c_str(), h.count, h.mean, h.p50, h.p90, h.p99, h.max);
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + JsonDouble(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":{";
+    out += "\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + std::to_string(h.sum);
+    out += ",\"min\":" + std::to_string(h.min);
+    out += ",\"max\":" + std::to_string(h.max);
+    out += ",\"mean\":" + JsonDouble(h.mean);
+    out += ",\"p50\":" + JsonDouble(h.p50);
+    out += ",\"p90\":" + JsonDouble(h.p90);
+    out += ",\"p99\":" + JsonDouble(h.p99);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+// ---- MetricsRegistry -----------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static auto* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramSummary s;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.mean = h->Mean();
+    s.p50 = h->Percentile(50);
+    s.p90 = h->Percentile(90);
+    s.p99 = h->Percentile(99);
+    snap.histograms[name] = s;
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace sgb::obs

@@ -1,0 +1,136 @@
+#ifndef SGB_OBS_METRICS_H_
+#define SGB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace sgb::obs {
+
+/// Monotonically increasing event count. Lock-free; safe to Add() from any
+/// thread.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written (or maximum) instantaneous value, e.g. peak memory bytes.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+  /// Monotone maximum — for peak trackers updated from several sites.
+  void SetMax(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-linear histogram of non-negative integer samples (typically
+/// microseconds or item counts), in the HdrHistogram/RocksDB style: samples
+/// are bucketed by their power-of-two tier, each tier split into
+/// `kSubBuckets` linear sub-buckets, so relative error of any percentile is
+/// bounded by 1/kSubBuckets. All operations are lock-free.
+class Histogram {
+ public:
+  static constexpr size_t kTiers = 64;
+  static constexpr size_t kSubBuckets = 4;
+  static constexpr size_t kNumBuckets = kTiers * kSubBuckets;
+
+  void Record(uint64_t sample);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  uint64_t min() const;
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const;
+
+  /// Interpolated value at percentile `p` in [0, 100]; 0 when empty.
+  double Percentile(double p) const;
+
+  void Reset();
+
+  /// Upper bound (inclusive) of bucket `index`; exposed for tests.
+  static uint64_t BucketUpperBound(size_t index);
+  static size_t BucketIndex(uint64_t sample);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Point-in-time copy of every registered metric, with deterministic
+/// (name-sorted) ordering so snapshots diff cleanly across runs and PRs.
+struct MetricsSnapshot {
+  struct HistogramSummary {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+
+  /// Human-readable listing, one metric per line.
+  std::string ToText() const;
+
+  /// Machine-readable snapshot:
+  ///   {"counters":{...},"gauges":{...},"histograms":{name:{count,...}}}
+  std::string ToJson() const;
+};
+
+/// Named metric registry. Metric objects are created on first use and live
+/// for the registry's lifetime, so call sites may cache the returned
+/// references. Names follow "layer.component.metric" dotted lowercase
+/// (see docs/OBSERVABILITY.md).
+class MetricsRegistry {
+ public:
+  /// Process-wide registry used by the core operators and the bench
+  /// harnesses.
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (registrations are kept).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace sgb::obs
+
+#endif  // SGB_OBS_METRICS_H_

@@ -1,0 +1,129 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace sgb::obs {
+
+QueryTrace::QueryTrace() : t0_(std::chrono::steady_clock::now()) {
+  root_.name = "query";
+}
+
+uint64_t QueryTrace::NowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0_)
+          .count());
+}
+
+namespace {
+
+TraceSpan* Resolve(TraceSpan* root, const std::vector<size_t>& path) {
+  TraceSpan* span = root;
+  for (const size_t i : path) span = &span->children[i];
+  return span;
+}
+
+}  // namespace
+
+void QueryTrace::Start(std::string name) {
+  TraceSpan* parent = Resolve(&root_, open_path_);
+  TraceSpan child;
+  child.name = std::move(name);
+  child.start_ns = NowNs();
+  open_path_.push_back(parent->children.size());
+  parent->children.push_back(std::move(child));
+}
+
+void QueryTrace::End() {
+  if (open_path_.empty()) return;
+  TraceSpan* span = Resolve(&root_, open_path_);
+  span->duration_ns = NowNs() - span->start_ns;
+  open_path_.pop_back();
+}
+
+void QueryTrace::AddAttribute(const std::string& key, double value) {
+  Resolve(&root_, open_path_)->attributes[key] = value;
+}
+
+void QueryTrace::Finish() {
+  while (!open_path_.empty()) End();
+  if (!finished_) {
+    root_.duration_ns = NowNs();
+    finished_ = true;
+  }
+}
+
+namespace {
+
+std::string FormatAttr(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void RenderText(const TraceSpan& span, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += span.name;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, " %.3fms", span.DurationMillis());
+  *out += buf;
+  if (!span.attributes.empty()) {
+    *out += " (";
+    bool first = true;
+    for (const auto& [key, value] : span.attributes) {
+      if (!first) *out += ", ";
+      first = false;
+      *out += key + "=" + FormatAttr(value);
+    }
+    *out += ')';
+  }
+  *out += '\n';
+  for (const TraceSpan& child : span.children) {
+    RenderText(child, depth + 1, out);
+  }
+}
+
+void RenderJson(const TraceSpan& span, std::string* out) {
+  *out += "{\"name\":\"" + span.name + "\"";
+  *out += ",\"start_ns\":" + std::to_string(span.start_ns);
+  *out += ",\"duration_ns\":" + std::to_string(span.duration_ns);
+  if (!span.attributes.empty()) {
+    *out += ",\"attributes\":{";
+    bool first = true;
+    for (const auto& [key, value] : span.attributes) {
+      if (!first) *out += ',';
+      first = false;
+      *out += '"' + key + "\":" + FormatAttr(value);
+    }
+    *out += '}';
+  }
+  if (!span.children.empty()) {
+    *out += ",\"children\":[";
+    bool first = true;
+    for (const TraceSpan& child : span.children) {
+      if (!first) *out += ',';
+      first = false;
+      RenderJson(child, out);
+    }
+    *out += ']';
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+std::string QueryTrace::ToText() {
+  Finish();
+  std::string out;
+  RenderText(root_, 0, &out);
+  return out;
+}
+
+std::string QueryTrace::ToJson() {
+  Finish();
+  std::string out;
+  RenderJson(root_, &out);
+  return out;
+}
+
+}  // namespace sgb::obs

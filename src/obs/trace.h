@@ -1,0 +1,94 @@
+#ifndef SGB_OBS_TRACE_H_
+#define SGB_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sgb::obs {
+
+/// One timed interval in a query's execution, with optional numeric
+/// attributes (row counts, distance computations, ...) and nested
+/// sub-spans. Offsets are nanoseconds from the owning trace's start.
+struct TraceSpan {
+  std::string name;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  std::map<std::string, double> attributes;  // name-sorted, deterministic
+  std::vector<TraceSpan> children;
+
+  double DurationMillis() const {
+    return static_cast<double>(duration_ns) / 1e6;
+  }
+};
+
+/// Records a hierarchy of timed spans for one query: the executor opens
+/// spans for parse/plan/execute, operators or callers may nest deeper.
+/// Spans must be ended in LIFO order (use ScopedSpan). Not thread-safe —
+/// one trace belongs to one query on one thread.
+class QueryTrace {
+ public:
+  QueryTrace();
+
+  /// Opens a child span of the innermost open span (or of the root).
+  void Start(std::string name);
+
+  /// Closes the innermost open span, fixing its duration.
+  void End();
+
+  /// Attaches `value` to the innermost open span (the root when none).
+  void AddAttribute(const std::string& key, double value);
+
+  /// Closes any still-open spans and fixes the root duration. Called
+  /// implicitly by ToText()/ToJson() if needed.
+  void Finish();
+
+  const TraceSpan& root() const { return root_; }
+
+  /// Indented listing:
+  ///   query 1.234ms
+  ///     parse 0.012ms
+  ///     execute 1.1ms (rows=42)
+  std::string ToText();
+
+  /// {"name":"query","start_ns":0,"duration_ns":...,
+  ///  "attributes":{...},"children":[...]}
+  std::string ToJson();
+
+ private:
+  uint64_t NowNs() const;
+
+  std::chrono::steady_clock::time_point t0_;
+  TraceSpan root_;
+  /// Indexes into the nested children vectors identifying the open span
+  /// path; stable across reallocation (unlike raw pointers).
+  std::vector<size_t> open_path_;
+  bool finished_ = false;
+};
+
+/// RAII span: Start() on construction, End() on destruction. A null trace
+/// makes every operation a no-op, so call sites need no branching.
+class ScopedSpan {
+ public:
+  ScopedSpan(QueryTrace* trace, std::string name) : trace_(trace) {
+    if (trace_ != nullptr) trace_->Start(std::move(name));
+  }
+  ~ScopedSpan() {
+    if (trace_ != nullptr) trace_->End();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void AddAttribute(const std::string& key, double value) {
+    if (trace_ != nullptr) trace_->AddAttribute(key, value);
+  }
+
+ private:
+  QueryTrace* trace_;
+};
+
+}  // namespace sgb::obs
+
+#endif  // SGB_OBS_TRACE_H_

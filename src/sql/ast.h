@@ -114,6 +114,20 @@ struct SelectStatement {
   std::optional<size_t> limit;
 };
 
+/// How a statement's plan should be surfaced.
+enum class ExplainMode {
+  kNone,     ///< run the query, return its rows
+  kPlan,     ///< EXPLAIN: render the physical plan without executing
+  kAnalyze,  ///< EXPLAIN ANALYZE: execute, render the plan with counters
+};
+
+/// A full parsed statement: an optional EXPLAIN [ANALYZE] prefix wrapping
+/// one SELECT.
+struct ParsedStatement {
+  ExplainMode explain = ExplainMode::kNone;
+  std::unique_ptr<SelectStatement> select;
+};
+
 }  // namespace sgb::sql
 
 #endif  // SGB_SQL_AST_H_

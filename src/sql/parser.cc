@@ -54,6 +54,18 @@ class Parser {
     return std::move(select).value();
   }
 
+  Result<ParsedStatement> ParseFullStatement() {
+    ParsedStatement out;
+    if (MatchKw("EXPLAIN")) {
+      out.explain =
+          MatchKw("ANALYZE") ? ExplainMode::kAnalyze : ExplainMode::kPlan;
+    }
+    auto select = ParseStatement();
+    if (!select.ok()) return select.status();
+    out.select = std::move(select).value();
+    return out;
+  }
+
  private:
   // ---- token helpers ----------------------------------------------------
 
@@ -600,6 +612,13 @@ Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql) {
   if (!tokens.ok()) return tokens.status();
   Parser parser(std::move(tokens).value());
   return parser.ParseStatement();
+}
+
+Result<ParsedStatement> ParseStatement(const std::string& sql) {
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.ParseFullStatement();
 }
 
 }  // namespace sgb::sql

@@ -37,6 +37,11 @@ namespace sgb::sql {
 /// and aggregate calls including count(*).
 Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql);
 
+/// Parses a full statement: `[EXPLAIN [ANALYZE]] SELECT ...`. The EXPLAIN
+/// prefix selects plan rendering (see ExplainMode); the wrapped SELECT uses
+/// the grammar above.
+Result<ParsedStatement> ParseStatement(const std::string& sql);
+
 }  // namespace sgb::sql
 
 #endif  // SGB_SQL_PARSER_H_

@@ -41,8 +41,8 @@ class RenameOp final : public Operator {
   std::vector<const Operator*> children() const override {
     return {child_.get()};
   }
-  void Open() override { child_->Open(); }
-  bool Next(Row* out) override { return child_->Next(out); }
+  void OpenImpl() override { child_->Open(); }
+  bool NextImpl(Row* out) override { return child_->Next(out); }
 
  private:
   OperatorPtr child_;

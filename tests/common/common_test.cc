@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace sgb {
 namespace {
@@ -130,8 +132,31 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   for (int i = 0; i < 200000; ++i) sink += i * 0.5;
   EXPECT_GT(watch.ElapsedSeconds(), 0.0);
   EXPECT_GE(watch.ElapsedMillis(), watch.ElapsedSeconds());
+  EXPECT_GE(watch.ElapsedMicros(), watch.ElapsedMillis());
+  EXPECT_GE(watch.ElapsedNanos(), 0u);
   watch.Restart();
   EXPECT_LT(watch.ElapsedSeconds(), 1.0);
+}
+
+TEST(ScopedTimerTest, RecordsElapsedMicrosIntoSink) {
+  struct RecordingSink {
+    std::vector<uint64_t> samples;
+    void Record(uint64_t v) { samples.push_back(v); }
+  };
+  RecordingSink sink;
+  {
+    ScopedTimer<RecordingSink> timer(&sink);
+    volatile double burn = 0;
+    for (int i = 0; i < 100000; ++i) burn = burn + i * 0.5;
+    EXPECT_GE(timer.ElapsedMicros(), 0.0);
+    EXPECT_TRUE(sink.samples.empty());  // only recorded at scope exit
+  }
+  ASSERT_EQ(sink.samples.size(), 1u);
+}
+
+TEST(ScopedTimerTest, NullSinkIsSafe) {
+  ScopedTimer<sgb::obs::Histogram> timer(nullptr);
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
 }
 
 }  // namespace

@@ -45,6 +45,49 @@ TEST(OperatorsTest, ScanIsReopenable) {
   EXPECT_EQ(count, 3);
 }
 
+TEST(OperatorStatsTest, CountsRowsPerOperator) {
+  auto plan = MakeFilter(MakeTableScan(NumbersTable(10)),
+                         MakeBinary(BinaryOp::kGe, MakeColumnRef(0, "id"),
+                                    MakeLiteral(Value::Int(7))));
+  const Operator* scan = plan->children()[0];
+  plan->Open();
+  Row row;
+  while (plan->Next(&row)) {
+  }
+  EXPECT_EQ(plan->stats().rows_produced, 3u);
+  EXPECT_EQ(scan->stats().rows_produced, 10u);
+  // The final miss is counted as a call but not as a produced row.
+  EXPECT_EQ(plan->stats().next_calls, 4u);
+}
+
+TEST(OperatorStatsTest, ResetOnReopen) {
+  auto scan = MakeTableScan(NumbersTable(3));
+  Row row;
+  scan->Open();
+  while (scan->Next(&row)) {
+  }
+  EXPECT_EQ(scan->stats().rows_produced, 3u);
+  scan->Open();
+  EXPECT_EQ(scan->stats().rows_produced, 0u);
+  while (scan->Next(&row)) {
+  }
+  EXPECT_EQ(scan->stats().rows_produced, 3u);
+}
+
+TEST(OperatorStatsTest, BlockingOperatorsReportMemoryAndExtras) {
+  std::vector<SortKey> keys;
+  keys.push_back(SortKey{MakeColumnRef(0, "id"), /*ascending=*/false});
+  auto plan = MakeSort(MakeTableScan(NumbersTable(100)), std::move(keys));
+  plan->Open();
+  EXPECT_GT(plan->stats().peak_memory_bytes, 0u);
+  Row row;
+  while (plan->Next(&row)) {
+  }
+  const std::string annotated = ExplainAnalyzePlan(*plan);
+  EXPECT_NE(annotated.find("rows=100"), std::string::npos) << annotated;
+  EXPECT_NE(annotated.find("mem="), std::string::npos) << annotated;
+}
+
 TEST(OperatorsTest, FilterKeepsMatchingRows) {
   auto plan = MakeFilter(MakeTableScan(NumbersTable(10)),
                          MakeBinary(BinaryOp::kGe, MakeColumnRef(0, "id"),

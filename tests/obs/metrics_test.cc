@@ -1,0 +1,170 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sgb::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndSetMax) {
+  Gauge g;
+  g.Set(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+  g.Set(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.SetMax(3.0);  // below current: no change
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.SetMax(8.0);
+  EXPECT_DOUBLE_EQ(g.value(), 8.0);
+}
+
+TEST(HistogramTest, CountSumMinMaxMean) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+
+  for (uint64_t v : {10, 20, 30, 40}) h.Record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 100u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 40u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 25.0);
+}
+
+TEST(HistogramTest, BucketBoundsAreConsistent) {
+  // Every sample must land in a bucket whose upper bound is >= the sample
+  // and within the log-linear relative-error envelope.
+  for (uint64_t v : {0, 1, 2, 3, 4, 5, 7, 8, 100, 1000, 123456789}) {
+    const size_t index = Histogram::BucketIndex(v);
+    const uint64_t upper = Histogram::BucketUpperBound(index);
+    EXPECT_GE(upper, v) << "sample " << v;
+    // Relative error bounded by 1/kSubBuckets above the linear range.
+    EXPECT_LE(upper, v + v / Histogram::kSubBuckets + 1) << "sample " << v;
+  }
+}
+
+TEST(HistogramTest, PercentilesAreOrderedAndWithinRange) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const double p50 = h.Percentile(50);
+  const double p90 = h.Percentile(90);
+  const double p99 = h.Percentile(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 1000.0);
+  // Log-linear resolution: p50 of uniform 1..1000 is near 500 within one
+  // sub-bucket (25% here).
+  EXPECT_NEAR(p50, 500.0, 500.0 / Histogram::kSubBuckets + 1);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(7);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameMetric) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x.count");
+  Counter& b = registry.GetCounter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_NE(static_cast<void*>(&registry.GetCounter("y.count")),
+            static_cast<void*>(&a));
+}
+
+TEST(MetricsRegistryTest, SnapshotIsDeterministic) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.counter").Add(2);
+  registry.GetCounter("a.counter").Add(1);
+  registry.GetGauge("z.gauge").Set(4.5);
+  registry.GetHistogram("m.hist").Record(16);
+
+  const std::string json1 = registry.Snapshot().ToJson();
+  const std::string json2 = registry.Snapshot().ToJson();
+  EXPECT_EQ(json1, json2);
+  // Name-sorted: "a.counter" renders before "b.counter".
+  EXPECT_LT(json1.find("a.counter"), json1.find("b.counter"));
+  EXPECT_NE(json1.find("\"a.counter\":1"), std::string::npos) << json1;
+  EXPECT_NE(json1.find("\"z.gauge\":4.5"), std::string::npos) << json1;
+  EXPECT_NE(json1.find("\"m.hist\":{\"count\":1"), std::string::npos)
+      << json1;
+}
+
+TEST(MetricsRegistryTest, TextSnapshotListsEveryKind) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Add(7);
+  registry.GetGauge("g").Set(1.5);
+  registry.GetHistogram("h").Record(3);
+  const std::string text = registry.Snapshot().ToText();
+  EXPECT_NE(text.find("counter"), std::string::npos);
+  EXPECT_NE(text.find("gauge"), std::string::npos);
+  EXPECT_NE(text.find("histogram"), std::string::npos);
+  EXPECT_NE(text.find('7'), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("c");
+  c.Add(5);
+  registry.GetHistogram("h").Record(9);
+  registry.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.count("c"), 1u);
+  EXPECT_EQ(snap.counters.at("c"), 0u);
+  EXPECT_EQ(snap.histograms.at("h").count, 0u);
+}
+
+TEST(MetricsRegistryTest, ThreadSafetySmoke) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kIterations; ++i) {
+        registry.GetCounter("shared.counter").Add(1);
+        registry.GetHistogram("shared.hist").Record(
+            static_cast<uint64_t>(i));
+        registry.GetGauge("shared.gauge").SetMax(static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("shared.counter").value(),
+            static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(registry.GetHistogram("shared.hist").count(),
+            static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("shared.gauge").value(),
+                   kIterations - 1);
+}
+
+TEST(GlobalRegistryTest, IsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace sgb::obs

@@ -1,0 +1,96 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace sgb::obs {
+namespace {
+
+TEST(QueryTraceTest, NestedSpansFormAHierarchy) {
+  QueryTrace trace;
+  trace.Start("parse");
+  trace.End();
+  trace.Start("execute");
+  trace.Start("scan");
+  trace.End();
+  trace.End();
+  trace.Finish();
+
+  const TraceSpan& root = trace.root();
+  EXPECT_EQ(root.name, "query");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].name, "parse");
+  EXPECT_EQ(root.children[1].name, "execute");
+  ASSERT_EQ(root.children[1].children.size(), 1u);
+  EXPECT_EQ(root.children[1].children[0].name, "scan");
+  // The nested scan starts no earlier than its parent and the root spans
+  // everything.
+  EXPECT_GE(root.children[1].children[0].start_ns,
+            root.children[1].start_ns);
+  EXPECT_GE(root.duration_ns, root.children[1].duration_ns);
+}
+
+TEST(QueryTraceTest, AttributesAttachToInnermostOpenSpan) {
+  QueryTrace trace;
+  trace.Start("execute");
+  trace.AddAttribute("rows", 42);
+  trace.End();
+  trace.AddAttribute("total", 1);  // no open span: lands on the root
+
+  const TraceSpan& root = trace.root();
+  EXPECT_DOUBLE_EQ(root.attributes.at("total"), 1.0);
+  EXPECT_DOUBLE_EQ(root.children[0].attributes.at("rows"), 42.0);
+}
+
+TEST(QueryTraceTest, ScopedSpanEndsOnDestruction) {
+  QueryTrace trace;
+  {
+    ScopedSpan outer(&trace, "outer");
+    ScopedSpan inner(&trace, "inner");
+    inner.AddAttribute("k", 1);
+  }
+  trace.Start("after");
+  trace.End();
+
+  const TraceSpan& root = trace.root();
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].name, "outer");
+  ASSERT_EQ(root.children[0].children.size(), 1u);
+  EXPECT_EQ(root.children[0].children[0].name, "inner");
+  EXPECT_EQ(root.children[1].name, "after");
+}
+
+TEST(QueryTraceTest, NullTraceIsANoOp) {
+  ScopedSpan span(nullptr, "ignored");
+  span.AddAttribute("k", 1);  // must not crash
+}
+
+TEST(QueryTraceTest, TextAndJsonRendering) {
+  QueryTrace trace;
+  {
+    ScopedSpan span(&trace, "execute");
+    span.AddAttribute("rows", 3);
+  }
+  const std::string text = trace.ToText();
+  EXPECT_NE(text.find("query"), std::string::npos);
+  EXPECT_NE(text.find("\n  execute"), std::string::npos) << text;
+  EXPECT_NE(text.find("rows=3"), std::string::npos) << text;
+
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"name\":\"query\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"children\":[{\"name\":\"execute\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"attributes\":{\"rows\":3}"), std::string::npos)
+      << json;
+}
+
+TEST(QueryTraceTest, ToTextFinishesOpenSpans) {
+  QueryTrace trace;
+  trace.Start("left-open");
+  const std::string text = trace.ToText();  // implicit Finish()
+  EXPECT_NE(text.find("left-open"), std::string::npos);
+  EXPECT_GT(trace.root().duration_ns, 0u);
+}
+
+}  // namespace
+}  // namespace sgb::obs

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "engine/executor.h"
+#include "obs/trace.h"
 #include "workload/tpch.h"
 
 namespace sgb::sql {
@@ -82,6 +84,100 @@ TEST_F(ExplainTest, SortAndLimitAppear) {
 
 TEST_F(ExplainTest, ExplainOfInvalidSqlFails) {
   EXPECT_FALSE(db_.Explain("SELECT nope FROM customer").ok());
+}
+
+TEST_F(ExplainTest, ExplainAcceptsExplainPrefixedSql) {
+  const std::string plan = Explain("EXPLAIN SELECT c_custkey FROM customer");
+  EXPECT_NE(plan.find("TableScan customer"), std::string::npos);
+}
+
+// ---- EXPLAIN ANALYZE -----------------------------------------------------
+
+class ExplainAnalyzeTest : public ExplainTest {
+ protected:
+  std::string Analyze(const std::string& sql) {
+    auto result = db_.ExplainAnalyze(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? result.value() : std::string();
+  }
+
+  /// Runs `SELECT count(*) ...` and returns the count.
+  int64_t Count(const std::string& sql) {
+    auto result = db_.Query(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.ok() || result.value().NumRows() != 1) return -1;
+    return result.value().rows()[0][0].AsInt();
+  }
+};
+
+TEST_F(ExplainAnalyzeTest, AnnotatesPerOperatorRowCounts) {
+  const int64_t customers = Count("SELECT count(*) FROM customer");
+  ASSERT_GT(customers, 0);
+  const std::string plan = Analyze("SELECT c_custkey FROM customer");
+  // Both the scan and the projection saw every customer row.
+  const std::string annotation = "rows=" + std::to_string(customers);
+  const size_t first = plan.find(annotation);
+  ASSERT_NE(first, std::string::npos) << plan;
+  EXPECT_NE(plan.find(annotation, first + 1), std::string::npos) << plan;
+  EXPECT_NE(plan.find("time="), std::string::npos) << plan;
+}
+
+TEST_F(ExplainAnalyzeTest, FilterShowsReducedRowCount) {
+  const int64_t total = Count("SELECT count(*) FROM customer");
+  const int64_t kept =
+      Count("SELECT count(*) FROM customer WHERE c_acctbal > 0");
+  ASSERT_GT(total, kept);  // TPC-H account balances include negatives
+  const std::string plan =
+      Analyze("SELECT c_custkey FROM customer WHERE c_acctbal > 0");
+  EXPECT_NE(plan.find("Filter"), std::string::npos);
+  EXPECT_NE(plan.find("rows=" + std::to_string(kept)), std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("rows=" + std::to_string(total)), std::string::npos)
+      << plan;
+}
+
+TEST_F(ExplainAnalyzeTest, SgbOperatorReportsDistanceComputations) {
+  const std::string plan = Analyze(
+      "SELECT count(*) FROM customer "
+      "GROUP BY c_acctbal, c_custkey DISTANCE-TO-ALL L2 WITHIN 0.5 "
+      "ON-OVERLAP ELIMINATE");
+  EXPECT_NE(plan.find("SimilarityGroupByAll"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("dist_comps="), std::string::npos) << plan;
+  EXPECT_NE(plan.find("groups="), std::string::npos) << plan;
+  EXPECT_NE(plan.find("time="), std::string::npos) << plan;
+}
+
+TEST_F(ExplainAnalyzeTest, ExplainAnalyzePrefixedQueryReturnsPlanTable) {
+  auto result = db_.Query(
+      "EXPLAIN ANALYZE SELECT c_custkey FROM customer LIMIT 3");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const engine::Table& table = result.value();
+  ASSERT_EQ(table.schema().size(), 1u);
+  EXPECT_EQ(table.schema().column(0).name, "plan");
+  ASSERT_GT(table.NumRows(), 1u);
+  EXPECT_NE(table.rows()[0][0].ToString().find("rows=3"),
+            std::string::npos);
+}
+
+TEST_F(ExplainAnalyzeTest, ExplainPrefixedQueryDoesNotExecute) {
+  auto result = db_.Query("EXPLAIN SELECT c_custkey FROM customer");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const engine::Table& table = result.value();
+  ASSERT_GT(table.NumRows(), 0u);
+  EXPECT_EQ(table.rows()[0][0].ToString().find("rows="), std::string::npos);
+}
+
+TEST_F(ExplainAnalyzeTest, QueryTraceRecordsParsePlanExecuteSpans) {
+  obs::QueryTrace trace;
+  auto result = db_.Query("SELECT count(*) FROM customer", &trace);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  trace.Finish();
+  const obs::TraceSpan& root = trace.root();
+  ASSERT_EQ(root.children.size(), 3u);
+  EXPECT_EQ(root.children[0].name, "parse");
+  EXPECT_EQ(root.children[1].name, "plan");
+  EXPECT_EQ(root.children[2].name, "execute");
+  EXPECT_DOUBLE_EQ(root.children[2].attributes.at("rows"), 1.0);
 }
 
 }  // namespace
