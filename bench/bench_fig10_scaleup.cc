@@ -46,7 +46,7 @@ const std::vector<sgb::geom::Point>& DatasetForSf(int64_t sf) {
 }
 
 void BM_SgbAllScale(benchmark::State& state, OverlapClause clause,
-                    SgbAllAlgorithm algorithm) {
+                    SgbAllAlgorithm algorithm, int dop = 1) {
   const int64_t sf = state.range(0);
   const auto& pts = DatasetForSf(sf);
   SgbAllOptions options;
@@ -54,6 +54,7 @@ void BM_SgbAllScale(benchmark::State& state, OverlapClause clause,
   options.metric = sgb::geom::Metric::kL2;
   options.on_overlap = clause;
   options.algorithm = algorithm;
+  options.degree_of_parallelism = dop;
   size_t groups = 0;
   sgb::core::SgbAllStats stats;
   for (auto _ : state) {
@@ -68,13 +69,15 @@ void BM_SgbAllScale(benchmark::State& state, OverlapClause clause,
       static_cast<double>(stats.distance_computations);
 }
 
-void BM_SgbAnyScale(benchmark::State& state, SgbAnyAlgorithm algorithm) {
+void BM_SgbAnyScale(benchmark::State& state, SgbAnyAlgorithm algorithm,
+                    int dop = 1) {
   const int64_t sf = state.range(0);
   const auto& pts = DatasetForSf(sf);
   SgbAnyOptions options;
   options.epsilon = kEpsilon;
   options.metric = sgb::geom::Metric::kL2;
   options.algorithm = algorithm;
+  options.degree_of_parallelism = dop;
   size_t groups = 0;
   sgb::core::SgbAnyStats stats;
   for (auto _ : state) {
@@ -124,6 +127,36 @@ void RegisterAll() {
           BM_SgbAnyScale(state, algorithm);
         });
     for (const int64_t sf : sf_any) b->Arg(sf);
+    b->Unit(benchmark::kMillisecond);
+  }
+
+  // Parallel dop sweep (docs/PARALLELISM.md): fixed data size, dop
+  // {1, 2, 4, 8}. SF 200 ~ Scaled(100k) rows, so at the default bench
+  // scale this is the n=100k speedup measurement; serial dop=1 is the
+  // baseline the speedup is computed against. Results are identical to the
+  // serial runs — only the wall time changes.
+  const std::vector<int64_t> dops = {1, 2, 4, 8};
+  {
+    auto* b = benchmark::RegisterBenchmark(
+        "Fig10p_AllParallel/Index",
+        [](benchmark::State& state) {
+          BM_SgbAllScale(state, OverlapClause::kJoinAny,
+                         SgbAllAlgorithm::kIndexed,
+                         static_cast<int>(state.range(1)));
+        });
+    for (const int64_t dop : dops) b->Args({200, dop});
+    b->ArgNames({"sf", "dop"});
+    b->Unit(benchmark::kMillisecond);
+  }
+  {
+    auto* b = benchmark::RegisterBenchmark(
+        "Fig10p_AnyParallel/Index",
+        [](benchmark::State& state) {
+          BM_SgbAnyScale(state, SgbAnyAlgorithm::kIndexed,
+                         static_cast<int>(state.range(1)));
+        });
+    for (const int64_t dop : dops) b->Args({200, dop});
+    b->ArgNames({"sf", "dop"});
     b->Unit(benchmark::kMillisecond);
   }
 }

@@ -1,0 +1,151 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace sgb {
+
+namespace {
+
+/// Shared state of one ParallelFor invocation. Heap-allocated and shared
+/// with the helper tasks so a helper scheduled after the loop already
+/// finished still finds valid state (it will see the cursor exhausted and
+/// return without touching the body).
+struct LoopContext {
+  std::atomic<size_t> cursor{0};  // next unclaimed morsel index
+  std::atomic<size_t> busy{0};    // participants currently inside the loop
+  std::atomic<bool> failed{false};
+  size_t num_morsels = 0;
+  size_t grain = 0;
+  size_t n = 0;
+  const std::function<void(size_t, size_t, size_t)>* body = nullptr;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr first_exception;
+
+  /// Claims morsels until exhaustion or failure; `slot` identifies the
+  /// participant for thread-local accounting in the body.
+  void Drain(size_t slot) {
+    busy.fetch_add(1, std::memory_order_acq_rel);
+    while (!failed.load(std::memory_order_relaxed)) {
+      const size_t m = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (m >= num_morsels) break;
+      const size_t begin = m * grain;
+      const size_t end = std::min(begin + grain, n);
+      try {
+        (*body)(slot, begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_exception == nullptr) {
+          first_exception = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    if (busy.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu);
+      done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(std::max<size_t>(num_threads, 1));
+  for (size_t i = 0; i < std::max<size_t>(num_threads, 1); ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::Default() {
+  static auto* pool = new ThreadPool(ResolveDop(0));
+  return *pool;
+}
+
+size_t ThreadPool::ResolveDop(int dop) {
+  if (dop >= 1) return static_cast<size_t>(dop);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t dop,
+    const std::function<void(size_t slot, size_t begin, size_t end)>& body,
+    size_t grain) {
+  if (n == 0) return;
+  dop = std::max<size_t>(dop, 1);
+  if (grain == 0) {
+    grain = std::max<size_t>(1, n / (dop * 8));
+  }
+  const size_t num_morsels = (n + grain - 1) / grain;
+  const size_t participants = std::min(dop, num_morsels);
+
+  if (participants <= 1) {
+    for (size_t begin = 0; begin < n; begin += grain) {
+      body(0, begin, std::min(begin + grain, n));
+    }
+    return;
+  }
+
+  auto ctx = std::make_shared<LoopContext>();
+  ctx->num_morsels = num_morsels;
+  ctx->grain = grain;
+  ctx->n = n;
+  ctx->body = &body;
+
+  // Helpers run with slots 1..participants-1; the caller is slot 0. A
+  // helper that only gets scheduled after the loop finished exits via the
+  // exhausted cursor without invoking the body, so the caller never has to
+  // wait for queued-but-unstarted tasks (this is what makes nested calls
+  // from pool workers safe).
+  for (size_t slot = 1; slot < participants; ++slot) {
+    Enqueue([ctx, slot] { ctx->Drain(slot); });
+  }
+  ctx->Drain(0);
+
+  {
+    std::unique_lock<std::mutex> lock(ctx->mu);
+    ctx->done_cv.wait(lock, [&] {
+      return ctx->busy.load(std::memory_order_acquire) == 0;
+    });
+    if (ctx->first_exception != nullptr) {
+      std::rethrow_exception(ctx->first_exception);
+    }
+  }
+}
+
+}  // namespace sgb

@@ -1,0 +1,84 @@
+#ifndef SGB_COMMON_THREAD_POOL_H_
+#define SGB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sgb {
+
+/// Fixed-size worker pool backing every parallel operator in the engine.
+///
+/// Two usage styles:
+///  * `Submit(fn)` queues a task and returns a `std::future` carrying the
+///    task's result (or its exception).
+///  * `ParallelFor(n, dop, body)` splits the index range [0, n) into
+///    morsels pulled from a shared atomic cursor and runs `body(slot,
+///    begin, end)` with `slot` in [0, dop): the caller participates as
+///    slot 0 and (dop - 1) pool tasks join as they get scheduled. Because
+///    the caller drains morsels itself and only waits for participants
+///    that are actively inside `body`, nested ParallelFor calls from
+///    worker threads cannot deadlock: a fully subscribed pool simply
+///    degrades toward caller-only execution.
+///
+/// Exceptions thrown by a morsel body are captured and rethrown on the
+/// calling thread after the loop quiesces (first exception wins; the loop
+/// stops handing out further morsels).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Process-wide pool sized to the hardware; created on first use.
+  static ThreadPool& Default();
+
+  /// Resolves a degree-of-parallelism knob: values >= 1 pass through,
+  /// 0 (auto) maps to the hardware thread count (at least 1).
+  static size_t ResolveDop(int dop);
+
+  /// Queues `fn` for execution on a pool worker.
+  template <typename F, typename R = std::invoke_result_t<std::decay_t<F>>>
+  std::future<R> Submit(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Runs `body(slot, begin, end)` over morsels covering [0, n) with up to
+  /// `dop` participants (clamped to at least 1). `grain` is the morsel
+  /// size; 0 picks a default that yields ~8 morsels per participant.
+  /// Blocks until every morsel has run; rethrows the first body exception.
+  void ParallelFor(size_t n, size_t dop,
+                   const std::function<void(size_t slot, size_t begin,
+                                            size_t end)>& body,
+                   size_t grain = 0);
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace sgb
+
+#endif  // SGB_COMMON_THREAD_POOL_H_

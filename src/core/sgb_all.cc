@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
-#include "common/random.h"
+#include "common/thread_pool.h"
 #include "geom/convex_hull.h"
 #include "geom/epsilon_rect.h"
+#include "index/grid_partition.h"
 #include "index/rtree.h"
+#include "index/union_find.h"
 #include "obs/metrics.h"
 
 namespace sgb::core {
@@ -17,6 +20,33 @@ using geom::Metric;
 using geom::Point;
 using geom::Rect;
 
+/// Minimum input size for the parallel path: below this the partitioning
+/// overhead dominates any possible speedup.
+constexpr size_t kMinParallelPoints = 64;
+
+/// Relabels per-runner group ids into the output numbering of the Grouping
+/// contract: dense, 0-based, in order of first appearance in the input.
+/// `comp_of`, when given, disambiguates the local ids of independent
+/// component runners (labels are unique per (component, local id) pair).
+Grouping CanonicalizeLabels(size_t n, const std::vector<size_t>& assignment,
+                            const std::vector<size_t>* comp_of) {
+  Grouping out;
+  out.group_of.assign(n, Grouping::kEliminated);
+  std::unordered_map<uint64_t, size_t> label_of;
+  label_of.reserve(n / 4 + 1);
+  for (size_t i = 0; i < n; ++i) {
+    if (assignment[i] == Grouping::kEliminated) continue;
+    const uint64_t key =
+        comp_of == nullptr
+            ? static_cast<uint64_t>(assignment[i])
+            : static_cast<uint64_t>((*comp_of)[i]) * (n + 1) + assignment[i];
+    const auto [it, inserted] = label_of.try_emplace(key, out.num_groups);
+    if (inserted) ++out.num_groups;
+    out.group_of[i] = it->second;
+  }
+  return out;
+}
+
 /// One SGB-All group in the current re-grouping round's universe.
 struct Group {
   std::vector<size_t> members;   // indices into the input point array
@@ -25,23 +55,29 @@ struct Group {
   bool alive = true;
 };
 
-/// Runs the Procedure-1 framework over one point sequence. FORM-NEW-GROUP
-/// re-grouping is realized as successive rounds, each with a fresh group
-/// universe, matching the paper's recursive formulation.
+/// Runs the Procedure-1 framework over one point universe (the full input,
+/// or one independent ε-component of it). FORM-NEW-GROUP re-grouping is
+/// realized as successive rounds, each with a fresh group universe,
+/// matching the paper's recursive formulation; deferred points are
+/// re-processed in canonical (input) order so the outcome is a pure
+/// function of the universe's point set.
+///
+/// Group labels are written into the shared `assignment` vector (one slot
+/// per input point, pre-initialized to kEliminated) as runner-local dense
+/// ids; CanonicalizeLabels maps them into the output numbering. Runners
+/// over disjoint universes may execute concurrently: each touches only its
+/// own universe's assignment slots.
 class SgbAllRunner {
  public:
   SgbAllRunner(std::span<const Point> points, const SgbAllOptions& options,
-               SgbAllStats* stats)
+               SgbAllStats* stats, std::vector<size_t>& assignment)
       : points_(points),
         options_(options),
         stats_(stats),
-        rng_(options.seed),
-        assignment_(points.size(), Grouping::kEliminated) {}
+        assignment_(assignment) {}
 
-  Grouping Run() {
-    std::vector<size_t> todo(points_.size());
-    for (size_t i = 0; i < todo.size(); ++i) todo[i] = i;
-
+  /// `todo` must be sorted ascending (canonical order).
+  void Run(std::vector<size_t> todo) {
     int round = 0;
     while (!todo.empty()) {
       const bool last_chance =
@@ -49,7 +85,8 @@ class SgbAllRunner {
       const OverlapClause clause =
           last_chance ? OverlapClause::kJoinAny : options_.on_overlap;
 
-      const std::vector<size_t> deferred = RunRound(todo, clause);
+      std::vector<size_t> deferred = RunRound(todo, clause);
+      std::sort(deferred.begin(), deferred.end());
       if (stats_ != nullptr && round > 0) ++stats_->regroup_rounds;
 
       if (deferred.size() == todo.size()) {
@@ -60,14 +97,9 @@ class SgbAllRunner {
         (void)rest;  // JOIN-ANY never defers.
         break;
       }
-      todo = deferred;
+      todo = std::move(deferred);
       ++round;
     }
-
-    Grouping result;
-    result.group_of = std::move(assignment_);
-    result.num_groups = next_output_group_;
-    return result;
   }
 
  private:
@@ -200,7 +232,7 @@ class SgbAllRunner {
     std::vector<uint64_t> gids =
         groups_ix_.SearchIds(Rect::Around(p, options_.epsilon));
     // Sort so candidate/overlap enumeration order — and therefore the
-    // JOIN-ANY random pick — matches the scan-based strategies exactly.
+    // JOIN-ANY pick — matches the scan-based strategies exactly.
     std::sort(gids.begin(), gids.end());
     for (const uint64_t gid : gids) {
       ClassifyGroup(static_cast<size_t>(gid), p, clause, candidates,
@@ -244,8 +276,8 @@ class SgbAllRunner {
     } else {
       switch (clause) {
         case OverlapClause::kJoinAny: {
-          const size_t pick = static_cast<size_t>(
-              rng_.NextBounded(candidates.size()));
+          const size_t pick =
+              JoinAnyPick(options_.seed, point_index, candidates.size());
           InsertIntoGroup(candidates[pick], point_index);
           break;
         }
@@ -287,7 +319,7 @@ class SgbAllRunner {
 
   /// Processes one round over `todo` with a fresh group universe; returns
   /// the points deferred to the next round. Surviving groups are committed
-  /// to the output numbering at round end.
+  /// to the runner-local numbering at round end.
   std::vector<size_t> RunRound(const std::vector<size_t>& todo,
                                OverlapClause clause) {
     groups_.clear();
@@ -301,7 +333,7 @@ class SgbAllRunner {
 
     for (const Group& g : groups_) {
       if (!g.alive || g.members.empty()) continue;
-      const size_t out = next_output_group_++;
+      const size_t out = next_local_group_++;
       for (const size_t m : g.members) assignment_[m] = out;
     }
     return deferred;
@@ -310,15 +342,109 @@ class SgbAllRunner {
   std::span<const Point> points_;
   const SgbAllOptions& options_;
   SgbAllStats* stats_;
-  Rng rng_;
 
   std::vector<Group> groups_;
   index::RTree groups_ix_;
   bool use_index_ = false;
 
-  std::vector<size_t> assignment_;
-  size_t next_output_group_ = 0;
+  std::vector<size_t>& assignment_;
+  size_t next_local_group_ = 0;
 };
+
+Grouping RunSerial(std::span<const Point> points,
+                   const SgbAllOptions& options, SgbAllStats* stats) {
+  std::vector<size_t> assignment(points.size(), Grouping::kEliminated);
+  std::vector<size_t> universe(points.size());
+  for (size_t i = 0; i < universe.size(); ++i) universe[i] = i;
+  SgbAllRunner runner(points, options, stats, assignment);
+  runner.Run(std::move(universe));
+  return CanonicalizeLabels(points.size(), assignment, nullptr);
+}
+
+/// Partition-parallel SGB-All: decompose the input into the connected
+/// components of the 3ε interaction graph, run the sequential algorithm on
+/// each component independently, and renumber canonically.
+///
+/// Why this is exact (and not an approximation): an SGB-All group's members
+/// are pairwise within ε, so a group spans at most ε per axis, and a point
+/// only ever classifies against — or removes members from — a group it is
+/// within ε of. Two points can therefore influence each other's outcome
+/// only through chains of points at most 3ε apart per axis. Components of
+/// the "within 3ε under L∞" graph are thus closed under every candidate,
+/// overlap, and re-grouping interaction, and processing each component's
+/// subsequence alone (in input order, with the order-independent JOIN-ANY
+/// pick) reproduces the serial result point for point. See
+/// docs/PARALLELISM.md for the full argument.
+Grouping RunParallel(std::span<const Point> points,
+                     const SgbAllOptions& options, SgbAllStats* stats,
+                     size_t dop) {
+  const size_t n = points.size();
+  ThreadPool& pool = ThreadPool::Default();
+
+  index::UnionFind forest(n);
+  std::vector<index::GridPartitionStats> grid_stats;
+  index::ParallelSimilarityUnion(points, Metric::kLInf, 3.0 * options.epsilon,
+                                 dop, pool, &forest, &grid_stats);
+
+  // Dense component ids in order of first appearance, plus member lists
+  // (each ascending, i.e. in canonical input order).
+  std::vector<size_t> comp_of(n);
+  std::vector<size_t> comp_id_of_root(n, Grouping::kEliminated);
+  std::vector<std::vector<size_t>> comp_members;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t root = forest.Find(i);
+    if (comp_id_of_root[root] == Grouping::kEliminated) {
+      comp_id_of_root[root] = comp_members.size();
+      comp_members.emplace_back();
+    }
+    comp_of[i] = comp_id_of_root[root];
+    comp_members[comp_of[i]].push_back(i);
+  }
+
+  // Largest components first, so stragglers start early.
+  std::vector<size_t> comp_order(comp_members.size());
+  for (size_t c = 0; c < comp_order.size(); ++c) comp_order[c] = c;
+  std::stable_sort(comp_order.begin(), comp_order.end(),
+                   [&](size_t a, size_t b) {
+                     return comp_members[a].size() > comp_members[b].size();
+                   });
+
+  std::vector<size_t> assignment(n, Grouping::kEliminated);
+  std::vector<SgbAllStats> slot_stats(dop);
+  std::vector<size_t> slot_points(dop, 0);
+  pool.ParallelFor(
+      comp_order.size(), dop,
+      [&](size_t slot, size_t begin, size_t end) {
+        for (size_t k = begin; k < end; ++k) {
+          const std::vector<size_t>& members = comp_members[comp_order[k]];
+          slot_points[slot] += members.size();
+          SgbAllRunner runner(points, options, &slot_stats[slot],
+                              assignment);
+          runner.Run(members);
+        }
+      },
+      /*grain=*/1);
+
+  if (stats != nullptr) {
+    for (size_t w = 0; w < dop; ++w) {
+      stats->distance_computations +=
+          slot_stats[w].distance_computations +
+          grid_stats[w].distance_computations;
+      stats->rectangle_tests += slot_stats[w].rectangle_tests;
+      stats->hull_tests += slot_stats[w].hull_tests;
+      stats->index_window_queries += slot_stats[w].index_window_queries;
+      stats->groups_created += slot_stats[w].groups_created;
+      stats->regroup_rounds += slot_stats[w].regroup_rounds;
+      SgbWorkerStats worker;
+      worker.points = slot_points[w];
+      worker.distance_computations = slot_stats[w].distance_computations +
+                                     grid_stats[w].distance_computations;
+      stats->workers.push_back(worker);
+    }
+    stats->parallel_partitions = comp_members.size();
+  }
+  return CanonicalizeLabels(n, assignment, &comp_of);
+}
 
 }  // namespace
 
@@ -332,13 +458,22 @@ Result<Grouping> SgbAll(std::span<const Point> points,
     return Status::InvalidArgument(
         "SGB-All: max_regroup_rounds must be >= 1");
   }
+  if (options.degree_of_parallelism < 0) {
+    return Status::InvalidArgument(
+        "SGB-All: degree_of_parallelism must be >= 0 (0 = auto)");
+  }
   // Counters always flow into the global registry (the engine operators,
   // benches, and EXPLAIN ANALYZE all read from there); the caller's struct
   // remains the per-invocation view.
   SgbAllStats local;
   if (stats == nullptr) stats = &local;
-  SgbAllRunner runner(points, options, stats);
-  Result<Grouping> result = runner.Run();
+  const size_t dop = ThreadPool::ResolveDop(options.degree_of_parallelism);
+  // ε = 0 degenerates the interaction grid (zero-width cells); those inputs
+  // are cheap to group serially anyway.
+  const bool parallel = dop > 1 && points.size() >= kMinParallelPoints &&
+                        options.epsilon > 0.0;
+  Grouping result = parallel ? RunParallel(points, options, stats, dop)
+                             : RunSerial(points, options, stats);
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetCounter("sgb.all.invocations").Add(1);
   registry.GetCounter("sgb.all.points").Add(points.size());
@@ -350,6 +485,11 @@ Result<Grouping> SgbAll(std::span<const Point> points,
       .Add(stats->index_window_queries);
   registry.GetCounter("sgb.all.groups_created").Add(stats->groups_created);
   registry.GetCounter("sgb.all.regroup_rounds").Add(stats->regroup_rounds);
+  if (parallel) {
+    registry.GetCounter("sgb.all.parallel_runs").Add(1);
+    registry.GetCounter("sgb.all.parallel_components")
+        .Add(stats->parallel_partitions);
+  }
   return result;
 }
 

@@ -2,6 +2,7 @@
 #define SGB_CORE_SGB_ALL_H_
 
 #include <span>
+#include <vector>
 
 #include "common/status.h"
 #include "core/sgb_types.h"
@@ -18,6 +19,11 @@ struct SgbAllStats {
   size_t index_window_queries = 0;   ///< Groups_IX window queries
   size_t groups_created = 0;
   size_t regroup_rounds = 0;  ///< FORM-NEW-GROUP recursion depth (paper's m)
+  /// Parallel runs only: number of independent ε-components and the
+  /// per-worker-slot breakdown (aggregate counters above always include
+  /// every worker).
+  size_t parallel_partitions = 0;
+  std::vector<SgbWorkerStats> workers;
 };
 
 /// The SGB-All (distance-to-all) operator of Section 4.1.

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "geom/rect.h"
+#include "index/grid_partition.h"
 #include "index/rtree.h"
 #include "index/union_find.h"
 #include "obs/metrics.h"
@@ -14,6 +16,10 @@ namespace {
 using geom::Metric;
 using geom::Point;
 using geom::Rect;
+
+/// Minimum input size for the parallel path: below this the partitioning
+/// overhead dominates any possible speedup.
+constexpr size_t kMinParallelPoints = 64;
 
 Grouping LabelComponents(std::span<const Point> points,
                          index::UnionFind& forest) {
@@ -80,6 +86,40 @@ Grouping RunIndexed(std::span<const Point> points,
   return LabelComponents(points, forest);
 }
 
+/// Partition-parallel SGB-Any: the ε-neighbour graph's edges are found by a
+/// grid-partitioned scan (each worker unions within its own disjoint cell
+/// range; partition-seam pairs are merged sequentially afterwards), and the
+/// forest's components are labeled canonically by first appearance. Since
+/// SGB-Any is exactly "connected components of the ε-neighbour graph" — an
+/// order-insensitive result — this reproduces the serial grouping
+/// bit-for-bit at every degree of parallelism (docs/PARALLELISM.md).
+Grouping RunParallel(std::span<const Point> points,
+                     const SgbAnyOptions& options, SgbAnyStats* stats,
+                     size_t dop) {
+  index::UnionFind forest(points.size());
+  std::vector<index::GridPartitionStats> grid_stats;
+  index::ParallelSimilarityUnion(points, options.metric, options.epsilon,
+                                 dop, ThreadPool::Default(), &forest,
+                                 &grid_stats);
+  if (stats != nullptr) {
+    size_t partitions = 0;
+    for (const index::GridPartitionStats& w : grid_stats) {
+      stats->distance_computations += w.distance_computations;
+      stats->union_operations += w.union_operations + w.boundary_edges;
+      if (w.cells > 0) ++partitions;
+      SgbWorkerStats worker;
+      worker.points = w.points;
+      worker.distance_computations = w.distance_computations;
+      stats->workers.push_back(worker);
+    }
+    stats->parallel_partitions = partitions;
+    // The boundary merge also performs unions; group_merges is the number
+    // of unions that actually reduced the component count.
+    stats->group_merges += points.size() - forest.NumSets();
+  }
+  return LabelComponents(points, forest);
+}
+
 }  // namespace
 
 Result<Grouping> SgbAny(std::span<const Point> points,
@@ -88,11 +128,21 @@ Result<Grouping> SgbAny(std::span<const Point> points,
     return Status::InvalidArgument(
         "SGB-Any: similarity threshold epsilon must be finite and >= 0");
   }
+  if (options.degree_of_parallelism < 0) {
+    return Status::InvalidArgument(
+        "SGB-Any: degree_of_parallelism must be >= 0 (0 = auto)");
+  }
   // As in SgbAll: counters always reach the global registry, with the
   // caller's struct as the optional per-invocation view.
   SgbAnyStats local;
   if (stats == nullptr) stats = &local;
+  const size_t dop = ThreadPool::ResolveDop(options.degree_of_parallelism);
+  // ε = 0 degenerates the partition grid (zero-width cells); those inputs
+  // are cheap to group serially anyway.
+  const bool parallel = dop > 1 && points.size() >= kMinParallelPoints &&
+                        options.epsilon > 0.0;
   Result<Grouping> result = [&]() -> Result<Grouping> {
+    if (parallel) return RunParallel(points, options, stats, dop);
     switch (options.algorithm) {
       case SgbAnyAlgorithm::kAllPairs:
         return RunAllPairs(points, options, stats);
@@ -111,6 +161,11 @@ Result<Grouping> SgbAny(std::span<const Point> points,
   registry.GetCounter("sgb.any.union_operations")
       .Add(stats->union_operations);
   registry.GetCounter("sgb.any.group_merges").Add(stats->group_merges);
+  if (parallel) {
+    registry.GetCounter("sgb.any.parallel_runs").Add(1);
+    registry.GetCounter("sgb.any.parallel_partitions")
+        .Add(stats->parallel_partitions);
+  }
   return result;
 }
 

@@ -2,6 +2,7 @@
 #define SGB_CORE_SGB_ANY_H_
 
 #include <span>
+#include <vector>
 
 #include "common/status.h"
 #include "core/sgb_types.h"
@@ -15,6 +16,10 @@ struct SgbAnyStats {
   size_t index_window_queries = 0;
   size_t union_operations = 0;
   size_t group_merges = 0;  ///< unions that actually merged two groups
+  /// Parallel runs only: number of grid partitions and the per-worker-slot
+  /// breakdown (aggregate counters above always include every worker).
+  size_t parallel_partitions = 0;
+  std::vector<SgbWorkerStats> workers;
 };
 
 /// The SGB-Any (distance-to-any) operator of Section 4.2.

@@ -6,7 +6,6 @@
 #include <span>
 #include <vector>
 
-#include "common/random.h"
 #include "common/status.h"
 #include "core/sgb_all.h"
 #include "core/sgb_any.h"
@@ -87,7 +86,6 @@ class SgbAllRunnerN {
       : points_(points),
         options_(options),
         stats_(stats),
-        rng_(options.seed),
         assignment_(points.size(), Grouping::kEliminated) {}
 
   Grouping Run() {
@@ -99,19 +97,31 @@ class SgbAllRunnerN {
       const bool last_chance = round >= options_.max_regroup_rounds - 1;
       const OverlapClause clause =
           last_chance ? OverlapClause::kJoinAny : options_.on_overlap;
-      const std::vector<size_t> deferred = RunRound(todo, clause);
+      // Deferred points re-enter in canonical (input) order, exactly as in
+      // core::SgbAll, so the 2-D specialization stays bit-identical.
+      std::vector<size_t> deferred = RunRound(todo, clause);
+      std::sort(deferred.begin(), deferred.end());
       if (stats_ != nullptr && round > 0) ++stats_->regroup_rounds;
       if (deferred.size() == todo.size()) {
         (void)RunRound(deferred, OverlapClause::kJoinAny);
         break;
       }
-      todo = deferred;
+      todo = std::move(deferred);
       ++round;
     }
 
+    // Renumber into the Grouping contract ordering (first appearance in
+    // the input), matching core::SgbAll's canonicalization.
     Grouping result;
-    result.group_of = std::move(assignment_);
-    result.num_groups = next_output_group_;
+    result.group_of.assign(points_.size(), Grouping::kEliminated);
+    std::vector<size_t> label_of(next_output_group_, Grouping::kEliminated);
+    for (size_t i = 0; i < points_.size(); ++i) {
+      if (assignment_[i] == Grouping::kEliminated) continue;
+      if (label_of[assignment_[i]] == Grouping::kEliminated) {
+        label_of[assignment_[i]] = result.num_groups++;
+      }
+      result.group_of[i] = label_of[assignment_[i]];
+    }
     return result;
   }
 
@@ -260,8 +270,8 @@ class SgbAllRunnerN {
       switch (clause) {
         case OverlapClause::kJoinAny:
           InsertIntoGroup(
-              candidates[static_cast<size_t>(
-                  rng_.NextBounded(candidates.size()))],
+              candidates[JoinAnyPick(options_.seed, point_index,
+                                     candidates.size())],
               point_index);
           break;
         case OverlapClause::kEliminate:
@@ -319,7 +329,6 @@ class SgbAllRunnerN {
   std::span<const Point> points_;
   const SgbAllOptions& options_;
   SgbAllStats* stats_;
-  Rng rng_;
   std::vector<Group> groups_;
   index::RTreeN<D> groups_ix_;
   bool use_index_ = false;

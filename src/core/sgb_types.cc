@@ -36,6 +36,14 @@ const char* ToString(SgbAnyAlgorithm algorithm) {
   return "?";
 }
 
+size_t JoinAnyPick(uint64_t seed, size_t point_index, size_t num_candidates) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (point_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<size_t>(z % num_candidates);
+}
+
 std::vector<std::vector<size_t>> Grouping::GroupsAsLists() const {
   std::vector<std::vector<size_t>> groups(num_groups);
   for (size_t i = 0; i < group_of.size(); ++i) {

@@ -34,6 +34,24 @@ const char* ToString(OverlapClause clause);
 const char* ToString(SgbAllAlgorithm algorithm);
 const char* ToString(SgbAnyAlgorithm algorithm);
 
+/// JOIN-ANY arbitration shared by every SGB-All implementation (2-D and
+/// N-D): a SplitMix64 hash of (seed, point index) picks among the candidate
+/// groups. Making the pick a pure function of the point — rather than a
+/// draw from a sequentially consumed RNG stream — keeps the choice
+/// pseudo-random and seed-reproducible while making the result independent
+/// of processing interleaving, which is what lets the partition-parallel
+/// path reproduce the serial results exactly (docs/PARALLELISM.md).
+size_t JoinAnyPick(uint64_t seed, size_t point_index, size_t num_candidates);
+
+/// Per-worker-slot execution breakdown of a parallel SGB run. Serial runs
+/// leave the breakdown empty; parallel runs produce one entry per worker
+/// slot, which the engine surfaces as the per-partition EXPLAIN ANALYZE
+/// annotations (docs/PARALLELISM.md).
+struct SgbWorkerStats {
+  size_t points = 0;                 ///< points scanned by this worker slot
+  size_t distance_computations = 0;  ///< δ evaluations by this worker slot
+};
+
 /// Options for the SGB-All operator:
 ///   GROUP BY x, y DISTANCE-TO-ALL [L2|LINF] WITHIN ε ON-OVERLAP <clause>
 struct SgbAllOptions {
@@ -48,6 +66,11 @@ struct SgbAllOptions {
   /// progress, fall back to JOIN-ANY placement so the operator always
   /// terminates. Documented in DESIGN.md.
   int max_regroup_rounds = 64;
+  /// Degree of parallelism: 1 runs the sequential reference path, k > 1
+  /// decomposes the input into independent ε-components executed on up to
+  /// k workers, 0 means "auto" (one worker per hardware thread). Results
+  /// are identical for every setting (docs/PARALLELISM.md).
+  int degree_of_parallelism = 1;
 };
 
 /// Options for the SGB-Any operator:
@@ -56,6 +79,11 @@ struct SgbAnyOptions {
   double epsilon = 1.0;
   geom::Metric metric = geom::Metric::kL2;
   SgbAnyAlgorithm algorithm = SgbAnyAlgorithm::kIndexed;
+  /// Degree of parallelism: 1 runs the sequential reference path, k > 1
+  /// runs the grid-partitioned union with up to k workers, 0 means "auto"
+  /// (one worker per hardware thread). Results are identical for every
+  /// setting (docs/PARALLELISM.md).
+  int degree_of_parallelism = 1;
 };
 
 /// The result of a similarity grouping: a group id per input point, in input

@@ -14,6 +14,7 @@ namespace {
 /// Plans the statement under trace spans shared by every entry point.
 Result<OperatorPtr> PlanStatement(const Catalog& catalog,
                                   const std::string& sql,
+                                  const sql::PlannerOptions& options,
                                   sql::ExplainMode* mode,
                                   obs::QueryTrace* trace) {
   Result<sql::ParsedStatement> stmt = [&] {
@@ -23,7 +24,7 @@ Result<OperatorPtr> PlanStatement(const Catalog& catalog,
   if (!stmt.ok()) return stmt.status();
   if (mode != nullptr) *mode = stmt.value().explain;
   obs::ScopedSpan span(trace, "plan");
-  return sql::PlanQuery(catalog, *stmt.value().select);
+  return sql::PlanQuery(catalog, *stmt.value().select, options);
 }
 
 /// Wraps a rendered plan string as a one-column `plan` table, one row per
@@ -64,13 +65,13 @@ Result<Table> Execute(Operator& root, obs::QueryTrace* trace) {
 }  // namespace
 
 Result<OperatorPtr> Database::Prepare(const std::string& sql) const {
-  return PlanStatement(catalog_, sql, nullptr, nullptr);
+  return PlanStatement(catalog_, sql, planner_options_, nullptr, nullptr);
 }
 
 Result<Table> Database::Query(const std::string& sql,
                               obs::QueryTrace* trace) const {
   sql::ExplainMode mode = sql::ExplainMode::kNone;
-  auto plan = PlanStatement(catalog_, sql, &mode, trace);
+  auto plan = PlanStatement(catalog_, sql, planner_options_, &mode, trace);
   if (!plan.ok()) return plan.status();
 
   switch (mode) {
@@ -88,14 +89,14 @@ Result<Table> Database::Query(const std::string& sql,
 }
 
 Result<std::string> Database::Explain(const std::string& sql) const {
-  auto plan = PlanStatement(catalog_, sql, nullptr, nullptr);
+  auto plan = PlanStatement(catalog_, sql, planner_options_, nullptr, nullptr);
   if (!plan.ok()) return plan.status();
   return ExplainPlan(*plan.value());
 }
 
 Result<std::string> Database::ExplainAnalyze(const std::string& sql,
                                              obs::QueryTrace* trace) const {
-  auto plan = PlanStatement(catalog_, sql, nullptr, trace);
+  auto plan = PlanStatement(catalog_, sql, planner_options_, nullptr, trace);
   if (!plan.ok()) return plan.status();
   auto result = Execute(*plan.value(), trace);
   if (!result.ok()) return result.status();

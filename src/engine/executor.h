@@ -7,6 +7,7 @@
 #include "engine/catalog.h"
 #include "engine/operators.h"
 #include "obs/trace.h"
+#include "sql/planner.h"
 
 namespace sgb::engine {
 
@@ -58,8 +59,16 @@ class Database {
   Result<std::string> ExplainAnalyze(const std::string& sql,
                                      obs::QueryTrace* trace = nullptr) const;
 
+  /// Session default degree of parallelism for SGB operators (1 = serial,
+  /// k > 1 = up to k workers, 0 = auto). Applies to queries without an
+  /// explicit PARALLEL clause; grouping results are identical at every
+  /// setting (docs/PARALLELISM.md).
+  void set_default_sgb_dop(int dop) { planner_options_.default_sgb_dop = dop; }
+  int default_sgb_dop() const { return planner_options_.default_sgb_dop; }
+
  private:
   Catalog catalog_;
+  sql::PlannerOptions planner_options_;
 };
 
 }  // namespace sgb::engine

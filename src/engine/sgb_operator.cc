@@ -10,18 +10,43 @@ namespace sgb::engine {
 
 namespace {
 
+std::string DescribeDop(int dop) {
+  if (dop == 1) return "";  // serial is the default; keep labels terse
+  if (dop == 0) return ", dop=auto";
+  return ", dop=" + std::to_string(dop);
+}
+
 std::string DescribeMode(const SgbMode& mode) {
   if (const auto* all = std::get_if<core::SgbAllOptions>(&mode)) {
     return std::string(" (eps=") + engine::Value::Double(all->epsilon)
                .ToString() +
            ", " + (all->metric == geom::Metric::kL2 ? "L2" : "LINF") + ", " +
            core::ToString(all->on_overlap) + ", " +
-           core::ToString(all->algorithm) + ")";
+           core::ToString(all->algorithm) +
+           DescribeDop(all->degree_of_parallelism) + ")";
   }
   const auto& any = std::get<core::SgbAnyOptions>(mode);
   return std::string(" (eps=") + engine::Value::Double(any.epsilon)
              .ToString() +
-         ", " + (any.metric == geom::Metric::kL2 ? "L2" : "LINF") + ")";
+         ", " + (any.metric == geom::Metric::kL2 ? "L2" : "LINF") +
+         DescribeDop(any.degree_of_parallelism) + ")";
+}
+
+/// Per-worker-slot EXPLAIN ANALYZE annotations for parallel runs:
+/// "w<i>.points" / "w<i>.dist_comps" break the aggregate counters down by
+/// worker so skew across partitions is visible per plan node
+/// (docs/PARALLELISM.md).
+void PublishWorkerBreakdown(size_t partitions,
+                            const std::vector<core::SgbWorkerStats>& workers,
+                            OperatorStats* out) {
+  if (workers.empty()) return;
+  out->extra["dop"] = workers.size();
+  out->extra["partitions"] = partitions;
+  for (size_t w = 0; w < workers.size(); ++w) {
+    const std::string prefix = "w" + std::to_string(w) + ".";
+    out->extra[prefix + "points"] = workers[w].points;
+    out->extra[prefix + "dist_comps"] = workers[w].distance_computations;
+  }
 }
 
 /// Copies the core algorithm counters into the operator's stats block so
@@ -35,6 +60,7 @@ void PublishSgbAllStats(const core::SgbAllStats& s, OperatorStats* out) {
     out->extra["window_queries"] = s.index_window_queries;
   }
   if (s.regroup_rounds > 0) out->extra["regroup_rounds"] = s.regroup_rounds;
+  PublishWorkerBreakdown(s.parallel_partitions, s.workers, out);
 }
 
 void PublishSgbAnyStats(const core::SgbAnyStats& s, OperatorStats* out) {
@@ -44,6 +70,7 @@ void PublishSgbAnyStats(const core::SgbAnyStats& s, OperatorStats* out) {
   }
   if (s.union_operations > 0) out->extra["union_ops"] = s.union_operations;
   if (s.group_merges > 0) out->extra["group_merges"] = s.group_merges;
+  PublishWorkerBreakdown(s.parallel_partitions, s.workers, out);
 }
 
 /// Shared driver for the 2-D and 1-D variants: drains the child, labels

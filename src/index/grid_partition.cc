@@ -1,0 +1,179 @@
+#include "index/grid_partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace sgb::index {
+
+namespace {
+
+using geom::Metric;
+using geom::Point;
+
+/// Clamp bound for cell coordinates: far enough out that any two clamped
+/// coordinates collapse into the same border cell (wasted comparisons,
+/// never missed pairs), small enough that +-1 neighbour arithmetic cannot
+/// overflow. Non-finite coordinates also land here; their distance to
+/// anything is never <= radius, so they only cost comparisons.
+constexpr int64_t kMaxCell = int64_t{1} << 40;
+
+int64_t CellCoord(double v, double radius) {
+  const double c = std::floor(v / radius);
+  if (std::isnan(c)) return kMaxCell;
+  if (c >= static_cast<double>(kMaxCell)) return kMaxCell;
+  if (c <= static_cast<double>(-kMaxCell)) return -kMaxCell;
+  return static_cast<int64_t>(c);
+}
+
+struct CellKey {
+  int64_t cx;
+  int64_t cy;
+  friend bool operator==(const CellKey&, const CellKey&) = default;
+};
+
+struct CellKeyHash {
+  size_t operator()(const CellKey& k) const {
+    const uint64_t a = static_cast<uint64_t>(k.cx) * 0x9e3779b97f4a7c15ULL;
+    const uint64_t b = static_cast<uint64_t>(k.cy) * 0xc2b2ae3d27d4eb4fULL;
+    return a ^ (b + 0x165667b19e3779f9ULL + (a << 6) + (a >> 2));
+  }
+};
+
+struct Edge {
+  size_t a;
+  size_t b;
+};
+
+}  // namespace
+
+void ParallelSimilarityUnion(std::span<const Point> points, Metric metric,
+                             double radius, size_t dop, ThreadPool& pool,
+                             UnionFind* forest,
+                             std::vector<GridPartitionStats>* worker_stats) {
+  dop = std::max<size_t>(dop, 1);
+  if (worker_stats != nullptr) {
+    worker_stats->assign(dop, GridPartitionStats{});
+  }
+  if (points.empty()) return;
+
+  // ---- Build: hash every point into its grid cell. --------------------
+  std::unordered_map<CellKey, size_t, CellKeyHash> cell_index;
+  cell_index.reserve(points.size());
+  std::vector<CellKey> cell_keys;
+  std::vector<std::vector<size_t>> cell_points;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const CellKey key{CellCoord(points[i].x, radius),
+                      CellCoord(points[i].y, radius)};
+    auto [it, inserted] = cell_index.try_emplace(key, cell_keys.size());
+    if (inserted) {
+      cell_keys.push_back(key);
+      cell_points.emplace_back();
+    }
+    cell_points[it->second].push_back(i);
+  }
+  const size_t num_cells = cell_keys.size();
+
+  // ---- Partition: contiguous cell ranges balanced by point count. -----
+  std::vector<size_t> order(num_cells);
+  for (size_t c = 0; c < num_cells; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const CellKey& ka = cell_keys[a];
+    const CellKey& kb = cell_keys[b];
+    return ka.cx != kb.cx ? ka.cx < kb.cx : ka.cy < kb.cy;
+  });
+
+  const size_t num_parts = std::min(dop, num_cells);
+  std::vector<uint32_t> part_of_cell(num_cells, 0);
+  std::vector<std::pair<size_t, size_t>> part_range(num_parts);
+  {
+    size_t pos = 0;
+    size_t assigned_points = 0;
+    for (size_t p = 0; p < num_parts; ++p) {
+      const size_t begin = pos;
+      const size_t target =
+          (points.size() * (p + 1) + num_parts - 1) / num_parts;
+      // Every part takes at least one cell; the last part takes the rest.
+      do {
+        assigned_points += cell_points[order[pos]].size();
+        part_of_cell[order[pos]] = static_cast<uint32_t>(p);
+        ++pos;
+      } while (pos < num_cells && (p + 1 == num_parts ||
+                                   (assigned_points < target &&
+                                    num_cells - pos > num_parts - p - 1)));
+      part_range[p] = {begin, pos};
+    }
+  }
+
+  // ---- Scan: each worker enumerates its partition's candidate pairs. --
+  // Same-cell pairs plus the four lexicographically-forward neighbour
+  // cells generate every within-radius pair exactly once. Unions stay
+  // inside the partition's index region; cross-partition pairs become
+  // boundary edges.
+  std::vector<GridPartitionStats> slot_stats(dop);
+  std::vector<std::vector<Edge>> slot_edges(dop);
+  pool.ParallelFor(
+      num_parts, dop,
+      [&](size_t slot, size_t part_begin, size_t part_end) {
+        GridPartitionStats& stats = slot_stats[slot];
+        std::vector<Edge>& edges = slot_edges[slot];
+        for (size_t p = part_begin; p < part_end; ++p) {
+          const auto [begin, end] = part_range[p];
+          for (size_t k = begin; k < end; ++k) {
+            const size_t ci = order[k];
+            const CellKey key = cell_keys[ci];
+            const std::vector<size_t>& members = cell_points[ci];
+            ++stats.cells;
+            stats.points += members.size();
+            for (size_t a = 0; a < members.size(); ++a) {
+              const size_t i = members[a];
+              for (size_t b = 0; b < a; ++b) {
+                ++stats.distance_computations;
+                if (geom::Similar(points[i], points[members[b]], metric,
+                                  radius)) {
+                  ++stats.union_operations;
+                  forest->Union(i, members[b]);
+                }
+              }
+            }
+            const CellKey neighbours[4] = {{key.cx, key.cy + 1},
+                                           {key.cx + 1, key.cy - 1},
+                                           {key.cx + 1, key.cy},
+                                           {key.cx + 1, key.cy + 1}};
+            for (const CellKey& nk : neighbours) {
+              const auto it = cell_index.find(nk);
+              if (it == cell_index.end()) continue;
+              const bool same_part = part_of_cell[it->second] ==
+                                     static_cast<uint32_t>(p);
+              for (const size_t i : members) {
+                for (const size_t j : cell_points[it->second]) {
+                  ++stats.distance_computations;
+                  if (!geom::Similar(points[i], points[j], metric, radius)) {
+                    continue;
+                  }
+                  if (same_part) {
+                    ++stats.union_operations;
+                    forest->Union(i, j);
+                  } else {
+                    ++stats.boundary_edges;
+                    edges.push_back(Edge{i, j});
+                  }
+                }
+              }
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+
+  // ---- Merge: sequential pass over the partition-seam edges. ----------
+  for (const std::vector<Edge>& edges : slot_edges) {
+    for (const Edge& e : edges) forest->Union(e.a, e.b);
+  }
+  if (worker_stats != nullptr) *worker_stats = std::move(slot_stats);
+}
+
+}  // namespace sgb::index

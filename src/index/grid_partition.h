@@ -1,0 +1,56 @@
+#ifndef SGB_INDEX_GRID_PARTITION_H_
+#define SGB_INDEX_GRID_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+#include "index/union_find.h"
+
+namespace sgb {
+class ThreadPool;
+}
+
+namespace sgb::index {
+
+/// Per-worker-slot counters from one ParallelSimilarityUnion run.
+struct GridPartitionStats {
+  size_t points = 0;                 ///< points scanned by this slot
+  size_t cells = 0;                  ///< grid cells owned by this slot
+  size_t distance_computations = 0;  ///< similarity predicate evaluations
+  size_t union_operations = 0;       ///< similar pairs unioned in-partition
+  size_t boundary_edges = 0;         ///< similar pairs deferred to the merge
+};
+
+/// Partition-parallel ε-neighbour union — the parallel backbone of SGB-Any
+/// and of SGB-All's independent-component decomposition.
+///
+/// The points are hashed into a uniform grid with cell size `radius`, so
+/// every pair within `radius` lies in the same or in 8-adjacent cells. The
+/// occupied cells (sorted by cell coordinate) are split into `dop`
+/// contiguous ranges balanced by point count; each worker enumerates the
+/// candidate pairs of its own cells (same-cell pairs plus the four
+/// lexicographically-forward neighbour cells, so every pair is generated
+/// exactly once) and unions the pairs that satisfy the similarity
+/// predicate ξδ,ε directly into `forest` — race-free because each
+/// partition touches a disjoint set of element indices. Pairs that span
+/// two partitions are collected as boundary edges and unioned in a single
+/// sequential merge pass at the end.
+///
+/// On return, `forest` (which must have size >= points.size()) holds the
+/// connected components of the `radius`-neighbour graph under `metric` —
+/// exactly the components a sequential pairwise scan would produce.
+///
+/// `worker_stats`, when non-null, is resized to `dop` and filled with the
+/// per-slot breakdown (the EXPLAIN ANALYZE per-partition counters).
+/// Requires radius > 0 and finite.
+void ParallelSimilarityUnion(std::span<const geom::Point> points,
+                             geom::Metric metric, double radius, size_t dop,
+                             ThreadPool& pool, UnionFind* forest,
+                             std::vector<GridPartitionStats>* worker_stats);
+
+}  // namespace sgb::index
+
+#endif  // SGB_INDEX_GRID_PARTITION_H_

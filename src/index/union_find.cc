@@ -11,7 +11,7 @@ void UnionFind::Resize(size_t n) {
   rank_.resize(n, 0);
   set_size_.resize(n, 1);
   for (size_t i = old; i < n; ++i) parent_[i] = i;
-  num_sets_ += n - old;
+  num_sets_.fetch_add(n - old, std::memory_order_relaxed);
 }
 
 size_t UnionFind::AddElement() {
@@ -40,7 +40,7 @@ size_t UnionFind::Union(size_t a, size_t b) {
   parent_[rb] = ra;
   set_size_[ra] += set_size_[rb];
   if (rank_[ra] == rank_[rb]) ++rank_[ra];
-  --num_sets_;
+  num_sets_.fetch_sub(1, std::memory_order_relaxed);
   return ra;
 }
 

@@ -1,6 +1,7 @@
 #ifndef SGB_INDEX_UNION_FIND_H_
 #define SGB_INDEX_UNION_FIND_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -10,6 +11,12 @@ namespace sgb::index {
 /// Disjoint-set forest with union by rank and path compression
 /// (Tarjan & van Leeuwen). SGB-Any (Section 7) uses it to track existing,
 /// newly created, and merged groups: amortized near-constant per operation.
+///
+/// Thread safety: not generally thread-safe, but designed for the
+/// partition-parallel pattern of index::ParallelSimilarityUnion — concurrent
+/// Find/Union calls are safe as long as every element index each thread
+/// touches belongs to a disjoint index region (the set count is the only
+/// member shared across regions, and it is atomic).
 class UnionFind {
  public:
   UnionFind() = default;
@@ -35,13 +42,15 @@ class UnionFind {
   size_t SetSize(size_t x) { return set_size_[Find(x)]; }
 
   /// Number of disjoint sets.
-  size_t NumSets() const { return num_sets_; }
+  size_t NumSets() const {
+    return num_sets_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::vector<size_t> parent_;
   std::vector<uint8_t> rank_;
   std::vector<size_t> set_size_;
-  size_t num_sets_ = 0;
+  std::atomic<size_t> num_sets_{0};
 };
 
 }  // namespace sgb::index

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cinttypes>
 #include <cstdio>
+#include <mutex>
 
 namespace sgb::obs {
 
@@ -178,29 +179,39 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
-Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = counters_[name];
-  if (slot == nullptr) slot = std::make_unique<Counter>();
+/// Fast path: shared lock + lookup (metrics already exist on every hot
+/// path after first use). Slow path: upgrade to an exclusive lock and
+/// insert, re-checking under the exclusive lock since another thread may
+/// have registered the name in between.
+template <typename T>
+T& MetricsRegistry::GetOrCreate(
+    std::map<std::string, std::unique_ptr<T>>* metrics,
+    const std::string& name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = metrics->find(name);
+    if (it != metrics->end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& slot = (*metrics)[name];
+  if (slot == nullptr) slot = std::make_unique<T>();
   return *slot;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  return GetOrCreate(&counters_, name);
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = gauges_[name];
-  if (slot == nullptr) slot = std::make_unique<Gauge>();
-  return *slot;
+  return GetOrCreate(&gauges_, name);
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = histograms_[name];
-  if (slot == nullptr) slot = std::make_unique<Histogram>();
-  return *slot;
+  return GetOrCreate(&histograms_, name);
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
@@ -220,7 +231,9 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Shared suffices: Reset() only touches the atomic metric values, never
+  // the maps themselves.
+  std::shared_lock<std::shared_mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 namespace sgb::obs {
@@ -109,6 +109,12 @@ struct MetricsSnapshot {
 /// for the registry's lifetime, so call sites may cache the returned
 /// references. Names follow "layer.component.metric" dotted lowercase
 /// (see docs/OBSERVABILITY.md).
+///
+/// Thread safety: every method may be called concurrently from any thread.
+/// Updates through the returned references are lock-free atomics; the
+/// lookup itself takes the registry lock in shared mode, so concurrent
+/// operators (parallel SGB workers, pipelined plan nodes) never serialize
+/// on each other unless one of them is registering a brand-new name.
 class MetricsRegistry {
  public:
   /// Process-wide registry used by the core operators and the bench
@@ -125,7 +131,11 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
+  template <typename T>
+  T& GetOrCreate(std::map<std::string, std::unique_ptr<T>>* metrics,
+                 const std::string& name);
+
+  mutable std::shared_mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -76,6 +76,8 @@ struct SimilarityClause {
   geom::Metric metric = geom::Metric::kL2;
   double epsilon = 0.0;
   core::OverlapClause on_overlap = core::OverlapClause::kJoinAny;
+  /// PARALLEL <n> (0 = auto); unset means the session default applies.
+  std::optional<int> dop;
 
   // 1-D variants
   std::optional<double> max_separation;

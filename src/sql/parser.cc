@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <initializer_list>
 
 #include "sql/lexer.h"
@@ -298,6 +299,17 @@ class Parser {
               "expected JOIN-ANY, ELIMINATE or FORM-NEW-GROUP after "
               "ON-OVERLAP");
         }
+      }
+      if (MatchKw("PARALLEL")) {
+        auto dop = ParseNumber();
+        if (!dop.ok()) return dop.status();
+        const double v = dop.value();
+        if (!(v >= 0.0) || v != std::floor(v) || v > 1024.0) {
+          return Error(
+              "PARALLEL expects an integer degree of parallelism in "
+              "[0, 1024] (0 = auto)");
+        }
+        clause->dop = static_cast<int>(v);
       }
       return Status::OK();
     }

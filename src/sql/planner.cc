@@ -70,7 +70,8 @@ void CollectAggregates(const ParsedExpr& e,
 
 class PlannerImpl {
  public:
-  explicit PlannerImpl(const Catalog& catalog) : catalog_(catalog) {}
+  PlannerImpl(const Catalog& catalog, const PlannerOptions& options)
+      : catalog_(catalog), options_(options) {}
 
   Result<OperatorPtr> PlanSelect(const SelectStatement& stmt) {
     // ---- FROM + WHERE ---------------------------------------------------
@@ -477,17 +478,25 @@ class PlannerImpl {
               "DISTANCE-TO-ALL/ANY requires two or three GROUP BY "
               "expressions");
         }
+        // The query's PARALLEL clause wins over the session default.
+        const int dop = sim.dop.value_or(options_.default_sgb_dop);
+        if (dop < 0) {
+          return Status::BindError(
+              "PARALLEL degree must be >= 0 (0 = auto)");
+        }
         engine::SgbMode mode;
         if (sim.kind == SimilarityClause::Kind::kAll) {
           core::SgbAllOptions options;
           options.epsilon = sim.epsilon;
           options.metric = sim.metric;
           options.on_overlap = sim.on_overlap;
+          options.degree_of_parallelism = dop;
           mode = options;
         } else {
           core::SgbAnyOptions options;
           options.epsilon = sim.epsilon;
           options.metric = sim.metric;
+          options.degree_of_parallelism = dop;
           mode = options;
         }
         if (!(sim.epsilon >= 0.0)) {
@@ -682,13 +691,20 @@ class PlannerImpl {
   }
 
   const Catalog& catalog_;
+  const PlannerOptions options_;
 };
 
 }  // namespace
 
 Result<OperatorPtr> PlanQuery(const Catalog& catalog,
                               const SelectStatement& stmt) {
-  PlannerImpl planner(catalog);
+  return PlanQuery(catalog, stmt, PlannerOptions{});
+}
+
+Result<OperatorPtr> PlanQuery(const Catalog& catalog,
+                              const SelectStatement& stmt,
+                              const PlannerOptions& options) {
+  PlannerImpl planner(catalog, options);
   return planner.PlanSelect(stmt);
 }
 

@@ -21,9 +21,23 @@ namespace sgb::sql {
 ///  * DISTANCE-TO-ALL / DISTANCE-TO-ANY require exactly two GROUP BY
 ///    expressions; the 1-D clauses require exactly one.
 ///
+/// Session-level planning knobs.
+struct PlannerOptions {
+  /// Degree of parallelism given to SGB operators when the query carries no
+  /// PARALLEL clause: 1 = serial (default), k > 1 = up to k workers,
+  /// 0 = auto (one worker per hardware thread). A PARALLEL clause on the
+  /// query always wins. Results are identical at every setting
+  /// (docs/PARALLELISM.md).
+  int default_sgb_dop = 1;
+};
+
 /// Errors: BindError / NotSupported with context.
 Result<engine::OperatorPtr> PlanQuery(const engine::Catalog& catalog,
                                       const SelectStatement& stmt);
+
+Result<engine::OperatorPtr> PlanQuery(const engine::Catalog& catalog,
+                                      const SelectStatement& stmt,
+                                      const PlannerOptions& options);
 
 }  // namespace sgb::sql
 

@@ -129,7 +129,7 @@ TEST(RngTest, GaussianMoments) {
 TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch watch;
   volatile double sink = 0;
-  for (int i = 0; i < 200000; ++i) sink += i * 0.5;
+  for (int i = 0; i < 200000; ++i) sink = sink + i * 0.5;
   EXPECT_GT(watch.ElapsedSeconds(), 0.0);
   EXPECT_GE(watch.ElapsedMillis(), watch.ElapsedSeconds());
   EXPECT_GE(watch.ElapsedMicros(), watch.ElapsedMillis());

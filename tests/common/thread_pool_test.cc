@@ -1,0 +1,121 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sgb {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { return 7 * 6; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(1);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsTasksInFifoOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  std::vector<int> expected(16);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, 4, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSlotIdsStayWithinDop) {
+  ThreadPool pool(4);
+  constexpr size_t kDop = 3;
+  std::atomic<size_t> max_slot{0};
+  pool.ParallelFor(1000, kDop, [&](size_t slot, size_t, size_t) {
+    size_t cur = max_slot.load(std::memory_order_relaxed);
+    while (slot > cur && !max_slot.compare_exchange_weak(
+                             cur, slot, std::memory_order_relaxed)) {
+    }
+  });
+  EXPECT_LT(max_slot.load(), kDop);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, 4, [&](size_t, size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForDopOneRunsInline) {
+  ThreadPool pool(2);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen;
+  pool.ParallelFor(100, 1, [&](size_t, size_t, size_t) {
+    seen.push_back(std::this_thread::get_id());
+  });
+  ASSERT_FALSE(seen.empty());
+  for (const auto id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(1000, 4,
+                                [&](size_t, size_t begin, size_t) {
+                                  if (begin >= 500) {
+                                    throw std::runtime_error("body failed");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ReentrantParallelForDoesNotDeadlock) {
+  // Outer loop occupies every worker; inner loops must still complete via
+  // caller participation (the deadlock-freedom property documented in
+  // thread_pool.h).
+  ThreadPool pool(2);
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(8, 4, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      pool.ParallelFor(16, 4, [&](size_t, size_t b, size_t e) {
+        total.fetch_add(e - b, std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8u * 16u);
+}
+
+TEST(ThreadPoolTest, ResolveDopMapsZeroToHardware) {
+  EXPECT_GE(ThreadPool::ResolveDop(0), 1u);
+  EXPECT_EQ(ThreadPool::ResolveDop(1), 1u);
+  EXPECT_EQ(ThreadPool::ResolveDop(7), 7u);
+}
+
+TEST(ThreadPoolTest, DefaultPoolIsShared) {
+  EXPECT_EQ(&ThreadPool::Default(), &ThreadPool::Default());
+}
+
+}  // namespace
+}  // namespace sgb

@@ -66,7 +66,9 @@ TEST(RTreeNdTest, ChurnKeepsInvariants) {
       tree.Insert(r, next_id);
       live.push_back({r, next_id++});
     }
-    if (step % 251 == 0) ASSERT_TRUE(tree.CheckInvariants());
+    if (step % 251 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants());
+    }
   }
   EXPECT_EQ(tree.size(), live.size());
   for (const auto& [rect, id] : live) {

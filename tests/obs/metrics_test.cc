@@ -162,6 +162,41 @@ TEST(MetricsRegistryTest, ThreadSafetySmoke) {
                    kIterations - 1);
 }
 
+TEST(MetricsRegistryTest, ConcurrentRegistrationAndSnapshots) {
+  // Exercises the slow path of the shared-lock registry: threads race to
+  // register fresh names (exclusive lock) while others update and snapshot
+  // (shared lock). Run under TSan in CI, this is the regression gate for
+  // concurrent-operator metric publication.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kNames = 40;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kNames; ++i) {
+        const std::string name = "race.c" + std::to_string(i);
+        registry.GetCounter(name).Add(1);
+        registry.GetHistogram("race.h" + std::to_string(i))
+            .Record(static_cast<uint64_t>(t));
+        if (i % 10 == 0) {
+          const MetricsSnapshot snap = registry.Snapshot();
+          EXPECT_LE(snap.counters.size(), static_cast<size_t>(kNames));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), static_cast<size_t>(kNames));
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_EQ(value, static_cast<uint64_t>(kThreads)) << name;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    EXPECT_EQ(h.count, static_cast<uint64_t>(kThreads)) << name;
+  }
+}
+
 TEST(GlobalRegistryTest, IsASingleton) {
   EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
 }

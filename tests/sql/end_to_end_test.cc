@@ -213,5 +213,59 @@ TEST(EndToEndTest, LimitAppliesAfterOrdering) {
   EXPECT_EQ(result.value().rows()[1][0].AsInt(), 4);
 }
 
+TEST(EndToEndTest, ParallelClauseProducesIdenticalRows) {
+  // Large enough to clear the parallel path's small-input cutoff; the
+  // grouping — and therefore every result row, group ids included — must
+  // be identical at every degree of parallelism (docs/PARALLELISM.md).
+  Database db;
+  auto pts = std::make_shared<Table>(Schema({
+      Column{"x", DataType::kDouble, ""},
+      Column{"y", DataType::kDouble, ""},
+  }));
+  for (int i = 0; i < 200; ++i) {
+    const double cx = (i % 10) * 7.0;
+    const double cy = (i % 7) * 9.0;
+    ASSERT_TRUE(pts->Append({Value::Double(cx + (i % 3) * 0.4),
+                             Value::Double(cy + (i % 5) * 0.3)})
+                    .ok());
+  }
+  db.Register("pts", pts);
+
+  for (const char* clause :
+       {"ON-OVERLAP JOIN-ANY", "ON-OVERLAP ELIMINATE",
+        "ON-OVERLAP FORM-NEW-GROUP"}) {
+    const std::string base =
+        "SELECT group_id, count(*) FROM pts "
+        "GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 1.5 " +
+        std::string(clause);
+    const auto serial = db.Query(base);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    for (const char* parallel : {" PARALLEL 2", " PARALLEL 8"}) {
+      const auto result = db.Query(base + parallel);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ASSERT_EQ(result.value().NumRows(), serial.value().NumRows()) << clause;
+      for (size_t r = 0; r < serial.value().NumRows(); ++r) {
+        EXPECT_EQ(result.value().rows()[r][0].AsInt(),
+                  serial.value().rows()[r][0].AsInt());
+        EXPECT_EQ(result.value().rows()[r][1].AsInt(),
+                  serial.value().rows()[r][1].AsInt());
+      }
+    }
+  }
+
+  const auto any_serial = db.Query(
+      "SELECT group_id, count(*) FROM pts "
+      "GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5");
+  const auto any_parallel = db.Query(
+      "SELECT group_id, count(*) FROM pts "
+      "GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5 PARALLEL 4");
+  ASSERT_TRUE(any_serial.ok() && any_parallel.ok());
+  ASSERT_EQ(any_parallel.value().NumRows(), any_serial.value().NumRows());
+  for (size_t r = 0; r < any_serial.value().NumRows(); ++r) {
+    EXPECT_EQ(any_parallel.value().rows()[r][1].AsInt(),
+              any_serial.value().rows()[r][1].AsInt());
+  }
+}
+
 }  // namespace
 }  // namespace sgb::sql

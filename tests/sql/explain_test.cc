@@ -69,6 +69,41 @@ TEST_F(ExplainTest, SimilarityGroupByShowsParameters) {
   EXPECT_NE(plan.find("ELIMINATE"), std::string::npos);
 }
 
+TEST_F(ExplainTest, ParallelClauseShowsDop) {
+  const std::string plan = Explain(
+      "SELECT count(*) FROM customer "
+      "GROUP BY c_acctbal, c_custkey DISTANCE-TO-ANY L2 WITHIN 0.5 "
+      "PARALLEL 4");
+  EXPECT_NE(plan.find("dop=4"), std::string::npos) << plan;
+
+  const std::string auto_plan = Explain(
+      "SELECT count(*) FROM customer "
+      "GROUP BY c_acctbal, c_custkey DISTANCE-TO-ANY L2 WITHIN 0.5 "
+      "PARALLEL 0");
+  EXPECT_NE(auto_plan.find("dop=auto"), std::string::npos) << auto_plan;
+
+  // Serial plans stay terse: no dop annotation.
+  const std::string serial_plan = Explain(
+      "SELECT count(*) FROM customer "
+      "GROUP BY c_acctbal, c_custkey DISTANCE-TO-ANY L2 WITHIN 0.5");
+  EXPECT_EQ(serial_plan.find("dop="), std::string::npos) << serial_plan;
+}
+
+TEST_F(ExplainTest, SessionDefaultDopAppliesWithoutParallelClause) {
+  db_.set_default_sgb_dop(2);
+  const std::string plan = Explain(
+      "SELECT count(*) FROM customer "
+      "GROUP BY c_acctbal, c_custkey DISTANCE-TO-ANY L2 WITHIN 0.5");
+  EXPECT_NE(plan.find("dop=2"), std::string::npos) << plan;
+  // An explicit PARALLEL clause wins over the session default.
+  const std::string override_plan = Explain(
+      "SELECT count(*) FROM customer "
+      "GROUP BY c_acctbal, c_custkey DISTANCE-TO-ANY L2 WITHIN 0.5 "
+      "PARALLEL 1");
+  EXPECT_EQ(override_plan.find("dop="), std::string::npos) << override_plan;
+  db_.set_default_sgb_dop(1);
+}
+
 TEST_F(ExplainTest, CrossJoinFallsBackToNestedLoop) {
   const std::string plan =
       Explain("SELECT c_custkey FROM customer, supplier");
@@ -145,6 +180,27 @@ TEST_F(ExplainAnalyzeTest, SgbOperatorReportsDistanceComputations) {
   EXPECT_NE(plan.find("dist_comps="), std::string::npos) << plan;
   EXPECT_NE(plan.find("groups="), std::string::npos) << plan;
   EXPECT_NE(plan.find("time="), std::string::npos) << plan;
+}
+
+TEST_F(ExplainAnalyzeTest, ParallelSgbReportsPerWorkerBreakdown) {
+  // Needs a table large enough to clear the parallel path's small-input
+  // cutoff; the fixture's SF 0.02 customer (20 rows) is not, so use a
+  // bigger generation for this test.
+  Database big;
+  workload::TpchConfig config;
+  config.scale_factor = 0.2;  // 200 customers
+  workload::GenerateTpch(config).RegisterAll(big.catalog());
+  auto result = big.ExplainAnalyze(
+      "SELECT count(*) FROM customer "
+      "GROUP BY c_acctbal, c_custkey DISTANCE-TO-ANY L2 WITHIN 0.5 "
+      "PARALLEL 2");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string plan = result.value();
+  EXPECT_NE(plan.find("dop=2"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("partitions="), std::string::npos) << plan;
+  EXPECT_NE(plan.find("w0.points="), std::string::npos) << plan;
+  EXPECT_NE(plan.find("w0.dist_comps="), std::string::npos) << plan;
+  EXPECT_NE(plan.find("w1.points="), std::string::npos) << plan;
 }
 
 TEST_F(ExplainAnalyzeTest, ExplainAnalyzePrefixedQueryReturnsPlanTable) {

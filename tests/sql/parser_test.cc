@@ -134,6 +134,38 @@ TEST(ParserTest, DistanceToAnyClause) {
   EXPECT_EQ(stmt->similarity.metric, geom::Metric::kL2);
 }
 
+TEST(ParserTest, ParallelClause) {
+  const auto all = Parse(
+      "SELECT count(*) FROM gps GROUP BY lat, lon "
+      "DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP ELIMINATE PARALLEL 4");
+  EXPECT_EQ(all->similarity.kind, SimilarityClause::Kind::kAll);
+  ASSERT_TRUE(all->similarity.dop.has_value());
+  EXPECT_EQ(*all->similarity.dop, 4);
+
+  const auto any = Parse(
+      "SELECT count(*) FROM gps GROUP BY lat, lon "
+      "DISTANCE-TO-ANY WITHIN 3 PARALLEL 0");
+  EXPECT_EQ(any->similarity.kind, SimilarityClause::Kind::kAny);
+  ASSERT_TRUE(any->similarity.dop.has_value());
+  EXPECT_EQ(*any->similarity.dop, 0);  // 0 = auto
+
+  const auto unset = Parse(
+      "SELECT count(*) FROM gps GROUP BY lat, lon "
+      "DISTANCE-TO-ANY WITHIN 3");
+  EXPECT_FALSE(unset->similarity.dop.has_value());
+}
+
+TEST(ParserTest, ParallelClauseErrors) {
+  EXPECT_FALSE(ParseSelect("SELECT count(*) FROM t GROUP BY x, y "
+                           "DISTANCE-TO-ANY WITHIN 3 PARALLEL").ok());
+  EXPECT_FALSE(ParseSelect("SELECT count(*) FROM t GROUP BY x, y "
+                           "DISTANCE-TO-ANY WITHIN 3 PARALLEL -1").ok());
+  EXPECT_FALSE(ParseSelect("SELECT count(*) FROM t GROUP BY x, y "
+                           "DISTANCE-TO-ANY WITHIN 3 PARALLEL 2.5").ok());
+  EXPECT_FALSE(ParseSelect("SELECT count(*) FROM t GROUP BY x, y "
+                           "DISTANCE-TO-ANY WITHIN 3 PARALLEL 9999").ok());
+}
+
 TEST(ParserTest, OneDimensionalClauses) {
   const auto unsup = Parse(
       "SELECT count(*) FROM t GROUP BY v "
