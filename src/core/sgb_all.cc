@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "geom/convex_hull.h"
 #include "geom/epsilon_rect.h"
+#include "geom/kernels.h"
 #include "index/grid_partition.h"
 #include "index/rtree.h"
 #include "index/union_find.h"
@@ -50,6 +51,7 @@ Grouping CanonicalizeLabels(size_t n, const std::vector<size_t>& assignment,
 /// One SGB-All group in the current re-grouping round's universe.
 struct Group {
   std::vector<size_t> members;   // indices into the input point array
+  geom::PointColumns soa;        // members' coordinates, SoA, same order
   geom::EpsilonRect rect;        // ε-All rectangle + member MBR
   geom::IncrementalHull hull;    // maintained only under L2
   bool alive = true;
@@ -73,6 +75,7 @@ class SgbAllRunner {
                SgbAllStats* stats, std::vector<size_t>& assignment)
       : points_(points),
         options_(options),
+        block_sim_(options.metric, options.epsilon),
         stats_(stats),
         assignment_(assignment) {}
 
@@ -107,7 +110,20 @@ class SgbAllRunner {
 
   bool SimilarTo(const Point& a, const Point& b) const {
     if (stats_ != nullptr) ++stats_->distance_computations;
-    return geom::Similar(a, b, options_.metric, options_.epsilon);
+    return block_sim_.scalar()(a, b);
+  }
+
+  /// Batched ξδ,ε of p against every member of g, via the block kernels
+  /// over the group's SoA columns; the selection mask lands in mask_ and
+  /// the match count is returned. Counts one distance computation per
+  /// member (the kernel evaluates the whole block; unlike the historical
+  /// scalar loops there is no early exit, so counters report the actual
+  /// evaluations performed).
+  size_t MatchMembers(const Group& g, const Point& p) {
+    const size_t n = g.members.size();
+    mask_.resize(geom::KernelMaskWords(n));
+    if (stats_ != nullptr) stats_->distance_computations += n;
+    return block_sim_.Match(p, g.soa.xs(), g.soa.ys(), n, mask_.data());
   }
 
   // ---- Group maintenance ------------------------------------------------
@@ -119,6 +135,7 @@ class SgbAllRunner {
     g.rect.Insert(points_[point_index]);
     if (L2()) g.hull.Insert(points_[point_index]);
     g.members.push_back(point_index);
+    g.soa.PushBack(points_[point_index]);
     groups_.push_back(std::move(g));
     if (use_index_) groups_ix_.Insert(groups_[gid].rect.all_rect(), gid);
     if (stats_ != nullptr) ++stats_->groups_created;
@@ -129,6 +146,7 @@ class SgbAllRunner {
     Group& g = groups_[gid];
     const Rect old_rect = g.rect.all_rect();
     g.members.push_back(point_index);
+    g.soa.PushBack(points_[point_index]);
     g.rect.Insert(points_[point_index]);
     if (L2()) g.hull.Insert(points_[point_index]);
     if (use_index_ && !(g.rect.all_rect() == old_rect)) {
@@ -150,7 +168,11 @@ class SgbAllRunner {
     }
     std::vector<Point> pts;
     pts.reserve(g.members.size());
-    for (const size_t m : g.members) pts.push_back(points_[m]);
+    g.soa.Clear();
+    for (const size_t m : g.members) {
+      pts.push_back(points_[m]);
+      g.soa.PushBack(points_[m]);
+    }
     g.rect.Rebuild(pts);
     if (L2()) g.hull.Rebuild(pts);
     if (use_index_ && !(g.rect.all_rect() == old_rect)) {
@@ -173,10 +195,7 @@ class SgbAllRunner {
 
   /// True iff at least one member of g satisfies ξδ,ε with p.
   bool OverlapMemberScan(const Group& g, const Point& p) {
-    for (const size_t m : g.members) {
-      if (SimilarTo(p, points_[m])) return true;
-    }
-    return false;
+    return MatchMembers(g, p) > 0;
   }
 
   void FindCloseGroupsAllPairs(const Point& p, OverlapClause clause,
@@ -185,19 +204,10 @@ class SgbAllRunner {
     for (size_t gid = 0; gid < groups_.size(); ++gid) {
       const Group& g = groups_[gid];
       if (!g.alive) continue;
-      bool candidate_flag = true;
-      bool overlap_flag = false;
-      for (const size_t m : g.members) {
-        if (SimilarTo(p, points_[m])) {
-          overlap_flag = true;
-        } else {
-          candidate_flag = false;
-          if (clause == OverlapClause::kJoinAny) break;
-        }
-      }
-      if (candidate_flag) {
+      const size_t matches = MatchMembers(g, p);
+      if (matches == g.members.size()) {
         candidates->push_back(gid);
-      } else if (clause != OverlapClause::kJoinAny && overlap_flag) {
+      } else if (clause != OverlapClause::kJoinAny && matches > 0) {
         overlaps->push_back(gid);
       }
     }
@@ -295,11 +305,15 @@ class SgbAllRunner {
     if (clause == OverlapClause::kJoinAny || overlaps.empty()) return;
     for (const size_t gid : overlaps) {
       Group& g = groups_[gid];
+      // One block scan partitions the members; the split walks them in
+      // member order, matching the historical per-member loop exactly.
+      MatchMembers(g, p);
       std::vector<size_t> kept;
       kept.reserve(g.members.size());
       bool changed = false;
-      for (const size_t m : g.members) {
-        if (SimilarTo(p, points_[m])) {
+      for (size_t k = 0; k < g.members.size(); ++k) {
+        const size_t m = g.members[k];
+        if ((mask_[k / 64] >> (k % 64)) & 1) {
           changed = true;
           if (clause == OverlapClause::kEliminate) {
             assignment_[m] = Grouping::kEliminated;
@@ -341,7 +355,9 @@ class SgbAllRunner {
 
   std::span<const Point> points_;
   const SgbAllOptions& options_;
+  geom::BlockSimilarity block_sim_;
   SgbAllStats* stats_;
+  std::vector<uint64_t> mask_;  // kernel selection-mask scratch
 
   std::vector<Group> groups_;
   index::RTree groups_ix_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/thread_pool.h"
+#include "geom/kernels.h"
 #include "geom/rect.h"
 #include "index/grid_partition.h"
 #include "index/rtree.h"
@@ -39,18 +40,23 @@ Grouping LabelComponents(std::span<const Point> points,
 Grouping RunAllPairs(std::span<const Point> points,
                      const SgbAnyOptions& options, SgbAnyStats* stats) {
   index::UnionFind forest(points.size());
+  // Block kernels scan point i against the SoA prefix [0, i); ForEachSetBit
+  // enumerates matches in ascending j, the same union order as the
+  // historical scalar double loop.
+  geom::PointColumns cols;
+  cols.Assign(points);
+  geom::BlockSimilarity sim(options.metric, options.epsilon);
+  std::vector<uint64_t> mask(geom::KernelMaskWords(points.size()));
   for (size_t i = 0; i < points.size(); ++i) {
-    for (size_t j = 0; j < i; ++j) {
-      if (stats != nullptr) ++stats->distance_computations;
-      if (geom::Similar(points[i], points[j], options.metric,
-                        options.epsilon)) {
-        if (stats != nullptr) {
-          ++stats->union_operations;
-          if (!forest.Connected(i, j)) ++stats->group_merges;
-        }
-        forest.Union(i, j);
+    if (stats != nullptr) stats->distance_computations += i;
+    sim.Match(points[i], cols.xs(), cols.ys(), i, mask.data());
+    geom::ForEachSetBit(mask.data(), i, [&](size_t j) {
+      if (stats != nullptr) {
+        ++stats->union_operations;
+        if (!forest.Connected(i, j)) ++stats->group_merges;
       }
-    }
+      forest.Union(i, j);
+    });
   }
   return LabelComponents(points, forest);
 }
@@ -64,6 +70,8 @@ Grouping RunIndexed(std::span<const Point> points,
                     const SgbAnyOptions& options, SgbAnyStats* stats) {
   index::UnionFind forest(points.size());
   index::RTree points_ix;
+  // Hoists ε² out of the per-neighbour L2 verification.
+  const geom::SimilarityPredicate similar(options.metric, options.epsilon);
   for (size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
     if (stats != nullptr) ++stats->index_window_queries;
@@ -73,7 +81,7 @@ Grouping RunIndexed(std::span<const Point> points,
       if (options.metric == Metric::kL2) {
         // VerifyPoints: the ε-window is the L∞ ball; L2 needs a check.
         if (stats != nullptr) ++stats->distance_computations;
-        if (!geom::Similar(p, q, Metric::kL2, options.epsilon)) return;
+        if (!similar(p, q)) return;
       }
       if (stats != nullptr) {
         ++stats->union_operations;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "geom/kernels.h"
 #include "geom/rect.h"
 #include "index/rtree.h"
 
@@ -28,13 +29,18 @@ std::vector<JoinPair> JoinNestedLoop(std::span<const Point> left,
                                      double epsilon, Metric metric,
                                      SimilarityJoinStats* stats) {
   std::vector<JoinPair> out;
+  // Block scan of each left point against the whole right side as SoA
+  // columns; ForEachSetBit emits pairs in ascending r, the same output
+  // order (and the same |L|x|R| distance count) as the scalar loop.
+  geom::PointColumns cols;
+  cols.Assign(right);
+  const geom::BlockSimilarity sim(metric, epsilon);
+  std::vector<uint64_t> mask(geom::KernelMaskWords(right.size()));
   for (size_t l = 0; l < left.size(); ++l) {
-    for (size_t r = 0; r < right.size(); ++r) {
-      if (stats != nullptr) ++stats->distance_computations;
-      if (geom::Similar(left[l], right[r], metric, epsilon)) {
-        out.push_back(JoinPair{l, r});
-      }
-    }
+    if (stats != nullptr) stats->distance_computations += right.size();
+    sim.Match(left[l], cols.xs(), cols.ys(), right.size(), mask.data());
+    geom::ForEachSetBit(mask.data(), right.size(),
+                        [&](size_t r) { out.push_back(JoinPair{l, r}); });
   }
   return out;
 }
@@ -51,6 +57,8 @@ std::vector<JoinPair> JoinIndexed(std::span<const Point> left,
   index::RTree tree;
   for (size_t i = 0; i < build.size(); ++i) tree.Insert(build[i], i);
 
+  // Hoists ε² out of the per-candidate L2 verification.
+  const geom::SimilarityPredicate similar(metric, epsilon);
   std::vector<JoinPair> out;
   for (size_t p = 0; p < probe.size(); ++p) {
     if (stats != nullptr) ++stats->window_queries;
@@ -59,7 +67,7 @@ std::vector<JoinPair> JoinIndexed(std::span<const Point> left,
                   const Point q{r.lo.x, r.lo.y};
                   if (metric == Metric::kL2) {
                     if (stats != nullptr) ++stats->distance_computations;
-                    if (!geom::Similar(probe[p], q, Metric::kL2, epsilon)) {
+                    if (!similar(probe[p], q)) {
                       return;
                     }
                   }
@@ -93,19 +101,27 @@ Result<std::vector<JoinPair>> SimilaritySelfJoin(
   SGB_RETURN_IF_ERROR(ValidateEpsilon(epsilon));
   std::vector<JoinPair> out;
   if (algorithm == SimilarityJoinAlgorithm::kNestedLoop) {
+    // Block scan of point i against the SoA suffix (i, n); bit b maps back
+    // to j = i + 1 + b, keeping the scalar loop's pair order and count.
+    geom::PointColumns cols;
+    cols.Assign(points);
+    const geom::BlockSimilarity sim(metric, epsilon);
+    std::vector<uint64_t> mask(geom::KernelMaskWords(points.size()));
     for (size_t i = 0; i < points.size(); ++i) {
-      for (size_t j = i + 1; j < points.size(); ++j) {
-        if (stats != nullptr) ++stats->distance_computations;
-        if (geom::Similar(points[i], points[j], metric, epsilon)) {
-          out.push_back(JoinPair{i, j});
-        }
-      }
+      const size_t suffix = points.size() - i - 1;
+      if (stats != nullptr) stats->distance_computations += suffix;
+      sim.Match(points[i], cols.xs() + i + 1, cols.ys() + i + 1, suffix,
+                mask.data());
+      geom::ForEachSetBit(mask.data(), suffix, [&](size_t b) {
+        out.push_back(JoinPair{i, i + 1 + b});
+      });
     }
     return out;
   }
   // Streaming variant of the SGB-Any access pattern: probe processed
   // points, then insert — yields each unordered pair exactly once.
   index::RTree tree;
+  const geom::SimilarityPredicate similar(metric, epsilon);
   for (size_t i = 0; i < points.size(); ++i) {
     if (stats != nullptr) ++stats->window_queries;
     tree.Search(Rect::Around(points[i], epsilon),
@@ -113,7 +129,7 @@ Result<std::vector<JoinPair>> SimilaritySelfJoin(
                   const Point q{r.lo.x, r.lo.y};
                   if (metric == Metric::kL2) {
                     if (stats != nullptr) ++stats->distance_computations;
-                    if (!geom::Similar(points[i], q, Metric::kL2, epsilon)) {
+                    if (!similar(points[i], q)) {
                       return;
                     }
                   }

@@ -5,12 +5,31 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace sgb::engine {
 
 size_t ApproxRowVectorBytes(const std::vector<Row>& rows) {
   size_t total = rows.capacity() * sizeof(Row);
   for (const Row& row : rows) total += row.capacity() * sizeof(Value);
   return total;
+}
+
+bool Operator::NextBatch(RowBatch* out) {
+  // Counter object lives for the registry's lifetime, so the reference
+  // stays valid across MetricsRegistry::Reset().
+  static obs::Counter& batches_counter =
+      obs::MetricsRegistry::Global().GetCounter("engine.batches");
+  out->Clear();
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool ok = NextBatchImpl(out);
+  stats_.next_ns += ElapsedNs(t0);
+  if (ok) {
+    ++stats_.batches;
+    stats_.rows_produced += out->size();
+    batches_counter.Add(1);
+  }
+  return ok;
 }
 
 namespace {
@@ -34,6 +53,12 @@ class TableScanOp final : public Operator {
     if (next_ >= table_->NumRows()) return false;
     *out = table_->rows()[next_++];
     return true;
+  }
+  bool NextBatchImpl(RowBatch* out) override {
+    const size_t end =
+        std::min(table_->NumRows(), next_ + out->capacity());
+    for (; next_ < end; ++next_) out->Append(table_->rows()[next_]);
+    return !out->empty();
   }
 
  private:
@@ -60,6 +85,19 @@ class FilterOp final : public Operator {
       if (predicate_->Evaluate(*out).ToBool()) return true;
     }
     return false;
+  }
+  bool NextBatchImpl(RowBatch* out) override {
+    // Pull whole child batches and keep the passing rows; an all-filtered
+    // batch just pulls the next one, so emitted batches are never empty
+    // (though they may be smaller than capacity).
+    RowBatch scratch(out->capacity());
+    while (out->empty()) {
+      if (!child_->NextBatch(&scratch)) return false;
+      for (Row& row : scratch.rows()) {
+        if (predicate_->Evaluate(row).ToBool()) out->Append(std::move(row));
+      }
+    }
+    return true;
   }
 
  private:
@@ -94,6 +132,17 @@ class ProjectOp final : public Operator {
     out->clear();
     out->reserve(exprs_.size());
     for (const ExprPtr& e : exprs_) out->push_back(e->Evaluate(input));
+    return true;
+  }
+  bool NextBatchImpl(RowBatch* out) override {
+    RowBatch scratch(out->capacity());
+    if (!child_->NextBatch(&scratch)) return false;
+    for (const Row& input : scratch.rows()) {
+      Row projected;
+      projected.reserve(exprs_.size());
+      for (const ExprPtr& e : exprs_) projected.push_back(e->Evaluate(input));
+      out->Append(std::move(projected));
+    }
     return true;
   }
 
@@ -513,6 +562,13 @@ void ExplainAnalyzeRec(const Operator& op, int depth, std::string* out) {
                 static_cast<unsigned long long>(stats.rows_produced),
                 stats.TotalMillis());
   *out += buf;
+  if (stats.batches > 0) {
+    std::snprintf(buf, sizeof buf, " batches=%llu batch_size=%llu",
+                  static_cast<unsigned long long>(stats.batches),
+                  static_cast<unsigned long long>(stats.rows_produced /
+                                                  stats.batches));
+    *out += buf;
+  }
   if (stats.peak_memory_bytes > 0) {
     *out += " mem=" + FormatBytes(stats.peak_memory_bytes);
   }
@@ -536,10 +592,11 @@ std::string ExplainAnalyzePlan(const Operator& root) {
 Result<Table> Materialize(Operator& root) {
   Table table(root.schema());
   root.Open();
-  Row row;
-  while (root.Next(&row)) {
-    SGB_RETURN_IF_ERROR(table.Append(std::move(row)));
-    row.clear();
+  RowBatch batch;
+  while (root.NextBatch(&batch)) {
+    for (Row& row : batch.rows()) {
+      SGB_RETURN_IF_ERROR(table.Append(std::move(row)));
+    }
   }
   return table;
 }

@@ -20,8 +20,9 @@ namespace sgb::engine {
 /// EXPLAIN ANALYZE convention): a blocking operator that drains its child
 /// inside Open() accounts that work in `open_ns`.
 struct OperatorStats {
-  uint64_t rows_produced = 0;  ///< successful Next() calls
+  uint64_t rows_produced = 0;  ///< rows emitted via Next() or NextBatch()
   uint64_t next_calls = 0;     ///< all Next() calls, incl. the final miss
+  uint64_t batches = 0;        ///< non-empty batches emitted via NextBatch()
   uint64_t open_ns = 0;
   uint64_t next_ns = 0;            ///< cumulative across all Next() calls
   uint64_t peak_memory_bytes = 0;  ///< approx. materialized state high-water
@@ -32,6 +33,34 @@ struct OperatorStats {
 
   uint64_t TotalNs() const { return open_ns + next_ns; }
   double TotalMillis() const { return static_cast<double>(TotalNs()) / 1e6; }
+};
+
+/// Fixed-capacity container of rows for batch-at-a-time execution. A batch
+/// is filled by one NextBatch() call and consumed wholesale by the parent,
+/// amortizing the per-row virtual-call and timing overhead of the Volcano
+/// interface across kDefaultCapacity rows.
+class RowBatch {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  explicit RowBatch(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    rows_.reserve(capacity_);
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  bool Full() const { return rows_.size() >= capacity_; }
+  void Clear() { rows_.clear(); }
+  void Append(Row row) { rows_.push_back(std::move(row)); }
+
+  std::vector<Row>& rows() { return rows_; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  size_t capacity_;
+  std::vector<Row> rows_;
 };
 
 /// Pull-based (Volcano) physical operator. The executor calls Open() once,
@@ -71,12 +100,30 @@ class Operator {
     return ok;
   }
 
+  /// Batch-at-a-time pull: fills `out` with up to out->capacity() rows and
+  /// returns true, or returns false once the operator is exhausted (out is
+  /// left empty). Instrumented like Next(); a batch's rows count toward
+  /// rows_produced exactly once. Drive an operator through either Next()
+  /// or NextBatch() for a given Open(), not both.
+  bool NextBatch(RowBatch* out);
+
   /// Counters from the most recent (possibly still running) execution.
   const OperatorStats& stats() const { return stats_; }
 
  protected:
   virtual void OpenImpl() = 0;
   virtual bool NextImpl(Row* out) = 0;
+
+  /// Default adapter: loops NextImpl() until the batch is full. Operators
+  /// with a cheaper bulk path (scans, filters, projections, SGB) override.
+  virtual bool NextBatchImpl(RowBatch* out) {
+    Row row;
+    while (!out->Full() && NextImpl(&row)) {
+      out->Append(std::move(row));
+      row.clear();
+    }
+    return !out->empty();
+  }
 
   /// For subclasses publishing memory estimates or extra counters.
   OperatorStats& mutable_stats() { return stats_; }

@@ -1,5 +1,6 @@
 #include "engine/sgb_operator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/sgb_all.h"
@@ -99,8 +100,10 @@ class SgbOperatorBase : public Operator {
     results_.clear();
     next_ = 0;
 
-    Row row;
-    while (child_->Next(&row)) rows_.push_back(std::move(row));
+    RowBatch batch;
+    while (child_->NextBatch(&batch)) {
+      for (Row& row : batch.rows()) rows_.push_back(std::move(row));
+    }
     mutable_stats().peak_memory_bytes = ApproxRowVectorBytes(rows_);
 
     size_t num_groups = 0;
@@ -135,6 +138,12 @@ class SgbOperatorBase : public Operator {
     if (next_ >= results_.size()) return false;
     *out = std::move(results_[next_++]);
     return true;
+  }
+
+  bool NextBatchImpl(RowBatch* out) override {
+    const size_t end = std::min(results_.size(), next_ + out->capacity());
+    for (; next_ < end; ++next_) out->Append(std::move(results_[next_]));
+    return !out->empty();
   }
 
  protected:

@@ -1,0 +1,123 @@
+// AVX2 variants of the block kernels. This TU is compiled with -mavx2 only
+// when -DSGB_ENABLE_AVX2=ON; the dispatcher in kernels.cc selects these at
+// runtime iff the CPU reports AVX2 support. FMA is deliberately not used:
+// the exactness contract requires the same mul/add/compare sequence as the
+// scalar predicate, with no contraction (docs/VECTORIZATION.md).
+
+#include "geom/kernels.h"
+
+#if defined(SGB_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cmath>
+
+namespace sgb::geom {
+
+namespace {
+
+/// Runs the 4-wide body over the full quads of the block, then finishes the
+/// remainder with the per-element scalar tail. 4 divides 64, so a quad's
+/// four bits never straddle a mask word.
+template <typename QuadFn, typename TailFn>
+size_t BlockLoop(size_t n, uint64_t* mask, QuadFn&& quad, TailFn&& tail) {
+  for (size_t w = 0; w < KernelMaskWords(n); ++w) mask[w] = 0;
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint64_t bits = quad(i);  // low 4 bits = lanes i..i+3
+    mask[i / 64] |= bits << (i % 64);
+    count += static_cast<size_t>(std::popcount(bits));
+  }
+  for (; i < n; ++i) {
+    if (tail(i)) {
+      mask[i / 64] |= uint64_t{1} << (i % 64);
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+size_t SimilarBlockL2Avx2(double qx, double qy, const double* xs,
+                          const double* ys, size_t n, double eps_sq,
+                          uint64_t* mask) {
+  const __m256d vqx = _mm256_set1_pd(qx);
+  const __m256d vqy = _mm256_set1_pd(qy);
+  const __m256d veps = _mm256_set1_pd(eps_sq);
+  return BlockLoop(
+      n, mask,
+      [&](size_t i) -> uint64_t {
+        const __m256d dx = _mm256_sub_pd(vqx, _mm256_loadu_pd(xs + i));
+        const __m256d dy = _mm256_sub_pd(vqy, _mm256_loadu_pd(ys + i));
+        const __m256d d2 =
+            _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+        return static_cast<uint64_t>(
+            _mm256_movemask_pd(_mm256_cmp_pd(d2, veps, _CMP_LE_OQ)));
+      },
+      [&](size_t i) {
+        const double dx = qx - xs[i];
+        const double dy = qy - ys[i];
+        return dx * dx + dy * dy <= eps_sq;
+      });
+}
+
+size_t SimilarBlockLInfAvx2(double qx, double qy, const double* xs,
+                            const double* ys, size_t n, double eps,
+                            uint64_t* mask) {
+  const __m256d vqx = _mm256_set1_pd(qx);
+  const __m256d vqy = _mm256_set1_pd(qy);
+  const __m256d veps = _mm256_set1_pd(eps);
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  return BlockLoop(
+      n, mask,
+      [&](size_t i) -> uint64_t {
+        const __m256d dx = _mm256_andnot_pd(
+            sign, _mm256_sub_pd(vqx, _mm256_loadu_pd(xs + i)));
+        const __m256d dy = _mm256_andnot_pd(
+            sign, _mm256_sub_pd(vqy, _mm256_loadu_pd(ys + i)));
+        // fmax(dx, dy) <= eps with fmax's NaN semantics: each operand must
+        // be not-greater-than eps (unordered compares count NaN as "not
+        // greater"), minus the lanes where both are NaN.
+        const __m256d dx_ok = _mm256_cmp_pd(dx, veps, _CMP_NGT_UQ);
+        const __m256d dy_ok = _mm256_cmp_pd(dy, veps, _CMP_NGT_UQ);
+        const __m256d both_nan =
+            _mm256_and_pd(_mm256_cmp_pd(dx, dx, _CMP_UNORD_Q),
+                          _mm256_cmp_pd(dy, dy, _CMP_UNORD_Q));
+        const __m256d ok =
+            _mm256_andnot_pd(both_nan, _mm256_and_pd(dx_ok, dy_ok));
+        return static_cast<uint64_t>(_mm256_movemask_pd(ok));
+      },
+      [&](size_t i) {
+        const double dx = std::fabs(qx - xs[i]);
+        const double dy = std::fabs(qy - ys[i]);
+        return std::fmax(dx, dy) <= eps;
+      });
+}
+
+size_t RectFilterBlockAvx2(const Rect& rect, const double* xs,
+                           const double* ys, size_t n, uint64_t* mask) {
+  const __m256d lox = _mm256_set1_pd(rect.lo.x);
+  const __m256d hix = _mm256_set1_pd(rect.hi.x);
+  const __m256d loy = _mm256_set1_pd(rect.lo.y);
+  const __m256d hiy = _mm256_set1_pd(rect.hi.y);
+  return BlockLoop(
+      n, mask,
+      [&](size_t i) -> uint64_t {
+        const __m256d x = _mm256_loadu_pd(xs + i);
+        const __m256d y = _mm256_loadu_pd(ys + i);
+        const __m256d ok = _mm256_and_pd(
+            _mm256_and_pd(_mm256_cmp_pd(x, lox, _CMP_GE_OQ),
+                          _mm256_cmp_pd(x, hix, _CMP_LE_OQ)),
+            _mm256_and_pd(_mm256_cmp_pd(y, loy, _CMP_GE_OQ),
+                          _mm256_cmp_pd(y, hiy, _CMP_LE_OQ)));
+        return static_cast<uint64_t>(_mm256_movemask_pd(ok));
+      },
+      [&](size_t i) { return rect.Contains(Point{xs[i], ys[i]}); });
+}
+
+}  // namespace sgb::geom
+
+#endif  // SGB_HAVE_AVX2

@@ -56,6 +56,32 @@ inline bool Similar(const Point& a, const Point& b, Metric metric,
   return DistanceLInf(a, b) <= epsilon;
 }
 
+/// ξδ,ε with the comparison threshold precomputed: hot loops calling
+/// Similar() recompute ε² per pair; constructing this predicate once per
+/// operator hoists it. Evaluates exactly the same comparisons as Similar(),
+/// so groupings are unchanged.
+class SimilarityPredicate {
+ public:
+  SimilarityPredicate(Metric metric, double epsilon)
+      : metric_(metric), epsilon_(epsilon), epsilon_sq_(epsilon * epsilon) {}
+
+  bool operator()(const Point& a, const Point& b) const {
+    if (metric_ == Metric::kL2) {
+      return DistanceL2Squared(a, b) <= epsilon_sq_;
+    }
+    return DistanceLInf(a, b) <= epsilon_;
+  }
+
+  Metric metric() const { return metric_; }
+  double epsilon() const { return epsilon_; }
+  double epsilon_sq() const { return epsilon_sq_; }
+
+ private:
+  Metric metric_;
+  double epsilon_;
+  double epsilon_sq_;
+};
+
 }  // namespace sgb::geom
 
 #endif  // SGB_GEOM_POINT_H_

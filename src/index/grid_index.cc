@@ -12,7 +12,9 @@ GridIndex::CellKey GridIndex::KeyFor(const geom::Point& p) const {
 }
 
 void GridIndex::Insert(const geom::Point& p, uint64_t id) {
-  cells_[KeyFor(p)].push_back(Item{p, id});
+  Cell& cell = cells_[KeyFor(p)];
+  cell.soa.PushBack(p);
+  cell.ids.push_back(id);
   ++size_;
 }
 
@@ -22,13 +24,22 @@ void GridIndex::Search(
   if (window.IsEmpty()) return;
   const auto lo = KeyFor(window.lo);
   const auto hi = KeyFor(window.hi);
+  std::vector<uint64_t> mask;  // per-cell kernel scratch
   for (int64_t cx = lo.cx; cx <= hi.cx; ++cx) {
     for (int64_t cy = lo.cy; cy <= hi.cy; ++cy) {
       const auto it = cells_.find(CellKey{cx, cy});
       if (it == cells_.end()) continue;
-      for (const Item& item : it->second) {
-        if (window.Contains(item.point)) visit(item.point, item.id);
-      }
+      // The block rect filter performs the same inclusive-bounds compares
+      // as window.Contains, and ForEachSetBit visits matches in insertion
+      // order — identical to the historical per-item loop.
+      const Cell& cell = it->second;
+      const size_t n = cell.ids.size();
+      mask.resize(geom::KernelMaskWords(n));
+      geom::RectFilterBlock(window, cell.soa.xs(), cell.soa.ys(), n,
+                            mask.data());
+      geom::ForEachSetBit(mask.data(), n, [&](size_t k) {
+        visit(cell.soa[k], cell.ids[k]);
+      });
     }
   }
 }

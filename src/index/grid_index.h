@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "geom/kernels.h"
 #include "geom/point.h"
 #include "geom/rect.h"
 
@@ -47,16 +48,18 @@ class GridIndex {
       return a ^ (b + 0x165667b19e3779f9ULL + (a << 6) + (a >> 2));
     }
   };
-  struct Item {
-    geom::Point point;
-    uint64_t id;
+  /// Cell payload in SoA form: coordinate columns plus a parallel id
+  /// vector, so Search can run the block rect-filter kernel per cell.
+  struct Cell {
+    geom::PointColumns soa;
+    std::vector<uint64_t> ids;
   };
 
   CellKey KeyFor(const geom::Point& p) const;
 
   double cell_size_;
   size_t size_ = 0;
-  std::unordered_map<CellKey, std::vector<Item>, CellKeyHash> cells_;
+  std::unordered_map<CellKey, Cell, CellKeyHash> cells_;
 };
 
 }  // namespace sgb::index

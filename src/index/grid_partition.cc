@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "geom/kernels.h"
 
 namespace sgb::index {
 
@@ -65,6 +66,9 @@ void ParallelSimilarityUnion(std::span<const Point> points, Metric metric,
   cell_index.reserve(points.size());
   std::vector<CellKey> cell_keys;
   std::vector<std::vector<size_t>> cell_points;
+  // SoA mirror of each cell's coordinates, in member order, so the scan
+  // phase can run the block kernels cell-against-cell.
+  std::vector<geom::PointColumns> cell_soa;
   for (size_t i = 0; i < points.size(); ++i) {
     const CellKey key{CellCoord(points[i].x, radius),
                       CellCoord(points[i].y, radius)};
@@ -72,8 +76,10 @@ void ParallelSimilarityUnion(std::span<const Point> points, Metric metric,
     if (inserted) {
       cell_keys.push_back(key);
       cell_points.emplace_back();
+      cell_soa.emplace_back();
     }
     cell_points[it->second].push_back(i);
+    cell_soa[it->second].PushBack(points[i]);
   }
   const size_t num_cells = cell_keys.size();
 
@@ -115,29 +121,34 @@ void ParallelSimilarityUnion(std::span<const Point> points, Metric metric,
   // boundary edges.
   std::vector<GridPartitionStats> slot_stats(dop);
   std::vector<std::vector<Edge>> slot_edges(dop);
+  const geom::BlockSimilarity sim(metric, radius);
   pool.ParallelFor(
       num_parts, dop,
       [&](size_t slot, size_t part_begin, size_t part_end) {
         GridPartitionStats& stats = slot_stats[slot];
         std::vector<Edge>& edges = slot_edges[slot];
+        std::vector<uint64_t> mask;  // worker-local kernel scratch
         for (size_t p = part_begin; p < part_end; ++p) {
           const auto [begin, end] = part_range[p];
           for (size_t k = begin; k < end; ++k) {
             const size_t ci = order[k];
             const CellKey key = cell_keys[ci];
             const std::vector<size_t>& members = cell_points[ci];
+            const geom::PointColumns& soa = cell_soa[ci];
             ++stats.cells;
             stats.points += members.size();
+            mask.resize(geom::KernelMaskWords(members.size()));
             for (size_t a = 0; a < members.size(); ++a) {
               const size_t i = members[a];
-              for (size_t b = 0; b < a; ++b) {
-                ++stats.distance_computations;
-                if (geom::Similar(points[i], points[members[b]], metric,
-                                  radius)) {
-                  ++stats.union_operations;
-                  forest->Union(i, members[b]);
-                }
-              }
+              // Block scan of member a against the cell prefix [0, a);
+              // ForEachSetBit yields ascending b, the same union order as
+              // the historical scalar loop.
+              stats.distance_computations += a;
+              sim.Match(points[i], soa.xs(), soa.ys(), a, mask.data());
+              geom::ForEachSetBit(mask.data(), a, [&](size_t b) {
+                ++stats.union_operations;
+                forest->Union(i, members[b]);
+              });
             }
             const CellKey neighbours[4] = {{key.cx, key.cy + 1},
                                            {key.cx + 1, key.cy - 1},
@@ -148,12 +159,15 @@ void ParallelSimilarityUnion(std::span<const Point> points, Metric metric,
               if (it == cell_index.end()) continue;
               const bool same_part = part_of_cell[it->second] ==
                                      static_cast<uint32_t>(p);
+              const std::vector<size_t>& njs = cell_points[it->second];
+              const geom::PointColumns& nsoa = cell_soa[it->second];
+              mask.resize(geom::KernelMaskWords(njs.size()));
               for (const size_t i : members) {
-                for (const size_t j : cell_points[it->second]) {
-                  ++stats.distance_computations;
-                  if (!geom::Similar(points[i], points[j], metric, radius)) {
-                    continue;
-                  }
+                stats.distance_computations += njs.size();
+                sim.Match(points[i], nsoa.xs(), nsoa.ys(), njs.size(),
+                          mask.data());
+                geom::ForEachSetBit(mask.data(), njs.size(), [&](size_t b) {
+                  const size_t j = njs[b];
                   if (same_part) {
                     ++stats.union_operations;
                     forest->Union(i, j);
@@ -161,7 +175,7 @@ void ParallelSimilarityUnion(std::span<const Point> points, Metric metric,
                     ++stats.boundary_edges;
                     edges.push_back(Edge{i, j});
                   }
-                }
+                });
               }
             }
           }
