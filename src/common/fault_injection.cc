@@ -1,0 +1,174 @@
+#include "common/fault_injection.h"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace sgb {
+
+namespace {
+
+/// SplitMix64 — the same mix the JOIN-ANY arbitration uses; good avalanche
+/// from a tiny state, so (seed, hit) pairs decorrelate.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+/// Per-site armed policy + counters. Counters are plain atomics so the
+/// disarmed fast path never takes a lock; the policy fields are only
+/// written under the registry mutex (tests arm before running the
+/// workload), with `mode` released last so a concurrent Check sees a
+/// consistent policy.
+struct FaultRegistry::SiteState {
+  enum Mode : int { kNone = 0, kNth = 1, kProbability = 2 };
+
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> injected{0};
+  std::atomic<int> mode{kNone};
+  std::atomic<uint64_t> nth_target{0};  // absolute hit number that fails
+  std::atomic<uint64_t> prob_threshold{0};  // p scaled to 2^64
+  std::atomic<uint64_t> seed{0};
+};
+
+struct FaultRegistry::Impl {
+  mutable std::mutex mu;
+  // Stable node addresses: Check() caches SiteState pointers.
+  std::map<std::string, std::unique_ptr<SiteState>> sites;
+};
+
+FaultRegistry& FaultRegistry::Global() {
+  static auto* registry = new FaultRegistry();
+  return *registry;
+}
+
+FaultRegistry::FaultRegistry() : impl_(new Impl) {
+  // SGB_FAULTS="site=nth:3;site2=prob:0.5:1234"
+  const char* env = std::getenv("SGB_FAULTS");
+  if (env == nullptr) return;
+  std::string spec(env);
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t end = spec.find(';', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string site = entry.substr(0, eq);
+    const std::string policy = entry.substr(eq + 1);
+    if (policy.rfind("nth:", 0) == 0) {
+      ArmNthHit(site, std::strtoull(policy.c_str() + 4, nullptr, 10));
+    } else if (policy.rfind("prob:", 0) == 0) {
+      const char* p = policy.c_str() + 5;
+      char* rest = nullptr;
+      const double probability = std::strtod(p, &rest);
+      const uint64_t s =
+          (rest != nullptr && *rest == ':')
+              ? std::strtoull(rest + 1, nullptr, 10)
+              : 0;
+      ArmProbability(site, probability, s);
+    }
+  }
+}
+
+FaultRegistry::SiteState* FaultRegistry::GetOrCreate(const std::string& site) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->sites[site];
+  if (slot == nullptr) slot = std::make_unique<SiteState>();
+  return slot.get();
+}
+
+void FaultRegistry::ArmNthHit(const std::string& site, uint64_t nth) {
+  if (nth == 0) nth = 1;
+  SiteState* state = GetOrCreate(site);
+  state->nth_target.store(state->hits.load(std::memory_order_relaxed) + nth,
+                          std::memory_order_relaxed);
+  state->mode.store(SiteState::kNth, std::memory_order_release);
+}
+
+void FaultRegistry::ArmProbability(const std::string& site, double p,
+                                   uint64_t seed) {
+  SiteState* state = GetOrCreate(site);
+  if (p < 0.0) p = 0.0;
+  const uint64_t threshold =
+      p >= 1.0 ? UINT64_MAX
+               : static_cast<uint64_t>(p * 18446744073709551616.0);
+  state->seed.store(seed, std::memory_order_relaxed);
+  state->prob_threshold.store(threshold, std::memory_order_relaxed);
+  state->mode.store(SiteState::kProbability, std::memory_order_release);
+}
+
+void FaultRegistry::Disarm(const std::string& site) {
+  SiteState* state = GetOrCreate(site);
+  state->mode.store(SiteState::kNone, std::memory_order_release);
+}
+
+void FaultRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, state] : impl_->sites) {
+    state->mode.store(SiteState::kNone, std::memory_order_release);
+    state->hits.store(0, std::memory_order_relaxed);
+    state->injected.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::string> FaultRegistry::Sites() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<std::string> out;
+  out.reserve(impl_->sites.size());
+  for (const auto& [name, state] : impl_->sites) out.push_back(name);
+  return out;
+}
+
+uint64_t FaultRegistry::Hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->sites.find(site);
+  return it == impl_->sites.end()
+             ? 0
+             : it->second->hits.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultRegistry::Injected(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->sites.find(site);
+  return it == impl_->sites.end()
+             ? 0
+             : it->second->injected.load(std::memory_order_relaxed);
+}
+
+FaultSite::FaultSite(const char* name, Status::Code code)
+    : name_(name),
+      code_(code),
+      state_(FaultRegistry::Global().GetOrCreate(name)) {}
+
+Status FaultSite::Check() {
+  using SiteState = FaultRegistry::SiteState;
+  const uint64_t hit =
+      state_->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  const int mode = state_->mode.load(std::memory_order_acquire);
+  if (mode == SiteState::kNone) return Status::OK();
+
+  bool fire = false;
+  if (mode == SiteState::kNth) {
+    if (hit == state_->nth_target.load(std::memory_order_relaxed)) {
+      fire = true;
+      state_->mode.store(SiteState::kNone, std::memory_order_release);
+    }
+  } else if (mode == SiteState::kProbability) {
+    const uint64_t draw =
+        Mix64(state_->seed.load(std::memory_order_relaxed) ^ hit);
+    fire = draw < state_->prob_threshold.load(std::memory_order_relaxed);
+  }
+  if (!fire) return Status::OK();
+  state_->injected.fetch_add(1, std::memory_order_relaxed);
+  return Status(code_, std::string("fault injected at site '") + name_ +
+                           "' (hit " + std::to_string(hit) + ")");
+}
+
+}  // namespace sgb

@@ -1,0 +1,101 @@
+#ifndef SGB_COMMON_FAULT_INJECTION_H_
+#define SGB_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sgb {
+
+/// Deterministic fault-injection framework: named sites planted at the
+/// engine's failure-prone operations (allocation, thread-pool submission,
+/// CSV I/O) that normally do nothing, but can be armed — per site, via API
+/// or the SGB_FAULTS environment variable — to fail with a Status so every
+/// error path is reachable from tests.
+///
+/// Policies:
+///  * trigger-on-Nth-hit: the site fails exactly on its Nth upcoming hit
+///    (single-shot, fully deterministic);
+///  * probability-with-seed: each hit fails with probability p, decided by
+///    a SplitMix64 hash of (seed, hit index) — reproducible across runs
+///    and thread interleavings for a fixed per-site hit order.
+///
+/// Environment syntax (parsed once, at first registry use):
+///   SGB_FAULTS="engine.csv.read=nth:1;engine.table.append=prob:0.01:42"
+///
+/// Sites register themselves at static-initialization time through the
+/// file-local `FaultSite` objects in the planting .cc, so
+/// `FaultRegistry::Global().Sites()` enumerates every site in the binary
+/// whether or not it has executed — which is what lets the fault-coverage
+/// test enforce that each one is exercised.
+///
+/// Overhead when disarmed: one relaxed fetch_add (the hit counter) and one
+/// relaxed load per hit.
+class FaultRegistry {
+ public:
+  static FaultRegistry& Global();
+
+  /// Fails the site's Nth upcoming hit (nth >= 1; 1 = the next hit), then
+  /// disarms. Unknown sites are created, so faults can be armed before the
+  /// code registering the site has run.
+  void ArmNthHit(const std::string& site, uint64_t nth);
+
+  /// Fails each upcoming hit independently with probability `p` in [0, 1],
+  /// decided by hash(seed, hit index). Stays armed until Disarm.
+  void ArmProbability(const std::string& site, double p, uint64_t seed);
+
+  void Disarm(const std::string& site);
+
+  /// Disarms every site and zeroes all hit/injected counters.
+  void Reset();
+
+  /// Name-sorted list of every known site.
+  std::vector<std::string> Sites() const;
+
+  /// Total times the site was reached / actually failed.
+  uint64_t Hits(const std::string& site) const;
+  uint64_t Injected(const std::string& site) const;
+
+ private:
+  friend class FaultSite;
+  struct SiteState;
+
+  FaultRegistry();
+  SiteState* GetOrCreate(const std::string& site);
+
+  // Opaque to keep <map>/<mutex> out of this widely-included header.
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Cached handle to one fault site. Declare as a file-local object in the
+/// .cc that plants the site, then consult it on the failure-prone path:
+///
+///   static FaultSite kCsvReadFault{"engine.csv.read",
+///                                  Status::Code::kIoError};
+///   ...
+///   SGB_RETURN_IF_ERROR(kCsvReadFault.Check());
+///
+/// Check() is safe from any thread.
+class FaultSite {
+ public:
+  FaultSite(const char* name, Status::Code code = Status::Code::kInternal);
+
+  /// OK, or — when the site's armed policy fires on this hit — a Status of
+  /// the site's code with a "fault injected" message.
+  Status Check();
+
+  const char* name() const { return name_; }
+
+ private:
+  const char* name_;
+  Status::Code code_;
+  FaultRegistry::SiteState* state_;
+};
+
+}  // namespace sgb
+
+#endif  // SGB_COMMON_FAULT_INJECTION_H_

@@ -1,0 +1,56 @@
+#include "common/memory_tracker.h"
+
+#include <cstdlib>
+
+namespace sgb {
+
+bool MemoryTracker::ConsumeLocal(size_t bytes) {
+  const size_t now = usage_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  const size_t limit = limit_.load(std::memory_order_relaxed);
+  if (limit != 0 && now > limit) {
+    usage_.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+Status MemoryTracker::TryConsume(size_t bytes) {
+  if (bytes == 0) return Status::OK();
+  if (!ConsumeLocal(bytes)) {
+    return Status::ResourceExhausted(
+        "memory budget exceeded on tracker '" + name_ + "': usage " +
+        std::to_string(usage_bytes()) + "B + " + std::to_string(bytes) +
+        "B > limit " + std::to_string(limit_bytes()) + "B");
+  }
+  if (parent_ != nullptr) {
+    Status parent_status = parent_->TryConsume(bytes);
+    if (!parent_status.ok()) {
+      usage_.fetch_sub(bytes, std::memory_order_relaxed);
+      return parent_status;
+    }
+  }
+  return Status::OK();
+}
+
+void MemoryTracker::Release(size_t bytes) {
+  if (bytes == 0) return;
+  usage_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (parent_ != nullptr) parent_->Release(bytes);
+}
+
+MemoryTracker& MemoryTracker::EngineGlobal() {
+  static auto* tracker = [] {
+    size_t limit = 0;
+    if (const char* env = std::getenv("SGB_ENGINE_MEMORY_LIMIT")) {
+      limit = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+    }
+    return new MemoryTracker("engine", nullptr, limit);
+  }();
+  return *tracker;
+}
+
+}  // namespace sgb

@@ -1,0 +1,86 @@
+#ifndef SGB_COMMON_MEMORY_TRACKER_H_
+#define SGB_COMMON_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace sgb {
+
+/// Hierarchical byte-accounting for query execution, in the style of the
+/// ClickHouse/Impala memory trackers: every tracker charges itself and then
+/// its parent, so a per-query tracker rolls up into the engine-global one.
+/// Operators, the SGB cores, the grid/R-tree indexes and the row-batch
+/// buffers all charge the tracker of the query they run under; a query
+/// whose charge would push any tracker in the chain past its limit fails
+/// with `Status::ResourceExhausted` instead of OOM-ing the process.
+///
+/// All methods are thread-safe and lock-free (parallel SGB workers charge
+/// the same per-query tracker concurrently). Charges are estimates
+/// (ApproxRowVectorBytes-style), not malloc-exact: the point is bounding
+/// and observing the dominant buffers, not bit-exact accounting.
+class MemoryTracker {
+ public:
+  /// `limit_bytes` == 0 means unlimited. The parent, when given, must
+  /// outlive this tracker.
+  explicit MemoryTracker(std::string name, MemoryTracker* parent = nullptr,
+                         size_t limit_bytes = 0)
+      : name_(std::move(name)), parent_(parent), limit_(limit_bytes) {}
+
+  /// Releases any outstanding usage from the parent chain, so a destroyed
+  /// per-query tracker never leaks accounting into the engine-global one.
+  ~MemoryTracker() {
+    const size_t outstanding = usage_.load(std::memory_order_relaxed);
+    if (outstanding > 0 && parent_ != nullptr) parent_->Release(outstanding);
+  }
+
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  /// Charges `bytes` against this tracker and every ancestor. On a limit
+  /// breach anywhere in the chain the partial charge is rolled back and
+  /// ResourceExhausted (naming the breached tracker and its limit) is
+  /// returned; usage is unchanged in that case.
+  Status TryConsume(size_t bytes);
+
+  /// Undoes a successful TryConsume (whole chain).
+  void Release(size_t bytes);
+
+  size_t usage_bytes() const { return usage_.load(std::memory_order_relaxed); }
+  size_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+  size_t limit_bytes() const { return limit_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+  /// 0 = unlimited. Applies to future TryConsume calls only.
+  void set_limit_bytes(size_t bytes) {
+    limit_.store(bytes, std::memory_order_relaxed);
+  }
+
+  /// Zeroes the peak watermark (usage is untouched); used between bench
+  /// phases and tests.
+  void ResetPeak() {
+    peak_.store(usage_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+
+  /// The engine-wide root tracker every per-query tracker parents to.
+  /// Unlimited by default; `SGB_ENGINE_MEMORY_LIMIT` (bytes) in the
+  /// environment sets a process-wide limit at first use.
+  static MemoryTracker& EngineGlobal();
+
+ private:
+  /// Charges only this tracker; returns false (and rolls back) on breach.
+  bool ConsumeLocal(size_t bytes);
+
+  const std::string name_;
+  MemoryTracker* const parent_;
+  std::atomic<size_t> limit_;
+  std::atomic<size_t> usage_{0};
+  std::atomic<size_t> peak_{0};
+};
+
+}  // namespace sgb
+
+#endif  // SGB_COMMON_MEMORY_TRACKER_H_

@@ -20,6 +20,14 @@ const char* CodeName(Status::Code code) {
       return "NotSupported";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case Status::Code::kCancelled:
+      return "Cancelled";
+    case Status::Code::kIoError:
+      return "IoError";
   }
   return "Unknown";
 }

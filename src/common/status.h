@@ -20,6 +20,10 @@ class Status {
     kBindError,
     kNotSupported,
     kInternal,
+    kResourceExhausted,  ///< a memory budget or other quota was exceeded
+    kDeadlineExceeded,   ///< the query ran past its wall-clock deadline
+    kCancelled,          ///< the query was cancelled cooperatively
+    kIoError,            ///< a file/stream operation failed
   };
 
   Status() = default;
@@ -44,6 +48,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/fault_injection.h"
+#include "common/query_context.h"
+
 namespace sgb {
 
 namespace {
@@ -80,6 +83,16 @@ size_t ThreadPool::ResolveDop(int dop) {
   return hw == 0 ? 1 : hw;
 }
 
+// File-scope so the site registers at static-init time and shows up in
+// FaultRegistry::Sites() before any pool work runs.
+static FaultSite g_submit_fault("common.threadpool.submit",
+                                Status::Code::kInternal);
+
+void ThreadPool::CheckSubmitFault() {
+  Status status = g_submit_fault.Check();
+  if (!status.ok()) throw QueryAbort(std::move(status));
+}
+
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -107,6 +120,7 @@ void ThreadPool::ParallelFor(
     const std::function<void(size_t slot, size_t begin, size_t end)>& body,
     size_t grain) {
   if (n == 0) return;
+  CheckSubmitFault();
   dop = std::max<size_t>(dop, 1);
   if (grain == 0) {
     grain = std::max<size_t>(1, n / (dop * 8));

@@ -50,9 +50,12 @@ class ThreadPool {
   /// 0 (auto) maps to the hardware thread count (at least 1).
   static size_t ResolveDop(int dop);
 
-  /// Queues `fn` for execution on a pool worker.
+  /// Queues `fn` for execution on a pool worker. Throws QueryAbort when the
+  /// "common.threadpool.submit" fault site is armed and fires (tests use
+  /// this to exercise scheduling-failure paths).
   template <typename F, typename R = std::invoke_result_t<std::decay_t<F>>>
   std::future<R> Submit(F&& fn) {
+    CheckSubmitFault();
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
     Enqueue([task]() { (*task)(); });
@@ -69,6 +72,11 @@ class ThreadPool {
                    size_t grain = 0);
 
  private:
+  /// Consults the "common.threadpool.submit" fault site; throws QueryAbort
+  /// when an armed fault fires. Called before any task lands in the queue,
+  /// so an injected submit failure never strands a half-spawned loop.
+  static void CheckSubmitFault();
+
   void Enqueue(std::function<void()> task);
   void WorkerLoop();
 

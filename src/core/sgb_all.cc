@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/fault_injection.h"
+#include "common/query_context.h"
 #include "common/thread_pool.h"
 #include "geom/convex_hull.h"
 #include "geom/epsilon_rect.h"
@@ -15,6 +17,11 @@
 
 namespace sgb::core {
 
+// Fires when a round commits to building its Groups_IX R-tree, exercising
+// index-construction failure inside the core.
+static FaultSite g_rtree_build_fault("core.rtree.build",
+                                     Status::Code::kInternal);
+
 namespace {
 
 using geom::Metric;
@@ -24,6 +31,11 @@ using geom::Rect;
 /// Minimum input size for the parallel path: below this the partitioning
 /// overhead dominates any possible speedup.
 constexpr size_t kMinParallelPoints = 64;
+
+/// How many points a core loop processes between governance checks. Matches
+/// the operator layer's per-row stride so worst-case cancel latency is the
+/// same whichever layer is the bottleneck.
+constexpr size_t kAbortCheckStride = 64;
 
 /// Relabels per-runner group ids into the output numbering of the Grouping
 /// contract: dense, 0-based, in order of first appearance in the input.
@@ -339,9 +351,18 @@ class SgbAllRunner {
     groups_.clear();
     groups_ix_ = index::RTree();
     use_index_ = options_.algorithm == SgbAllAlgorithm::kIndexed;
+    if (use_index_) {
+      Status fault = g_rtree_build_fault.Check();
+      if (!fault.ok()) throw QueryAbort(std::move(fault));
+    }
 
     std::vector<size_t> deferred;
+    size_t processed = 0;
     for (const size_t point_index : todo) {
+      if (options_.query_ctx != nullptr &&
+          processed++ % kAbortCheckStride == 0) {
+        ThrowIfAborted(options_.query_ctx);
+      }
       ProcessPoint(point_index, clause, &deferred);
     }
 
@@ -400,7 +421,8 @@ Grouping RunParallel(std::span<const Point> points,
   index::UnionFind forest(n);
   std::vector<index::GridPartitionStats> grid_stats;
   index::ParallelSimilarityUnion(points, Metric::kLInf, 3.0 * options.epsilon,
-                                 dop, pool, &forest, &grid_stats);
+                                 dop, pool, &forest, &grid_stats,
+                                 options.query_ctx);
 
   // Dense component ids in order of first appearance, plus member lists
   // (each ascending, i.e. in canonical input order).
@@ -488,8 +510,20 @@ Result<Grouping> SgbAll(std::span<const Point> points,
   // are cheap to group serially anyway.
   const bool parallel = dop > 1 && points.size() >= kMinParallelPoints &&
                         options.epsilon > 0.0;
-  Grouping result = parallel ? RunParallel(points, options, stats, dop)
-                             : RunSerial(points, options, stats);
+  Grouping result;
+  try {
+    // Bookkeeping charge: the assignment/universe vectors (serial) plus the
+    // component-decomposition vectors (parallel), all O(n) words.
+    ScopedMemoryCharge bookkeeping(
+        options.query_ctx,
+        points.size() * sizeof(size_t) * (parallel ? 6 : 2));
+    result = parallel ? RunParallel(points, options, stats, dop)
+                      : RunSerial(points, options, stats);
+  } catch (const QueryAbort& abort) {
+    // Governance aborts from runner loops (including those rethrown out of
+    // ParallelFor workers) surface as the core's Status.
+    return abort.status();
+  }
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetCounter("sgb.all.invocations").Add(1);
   registry.GetCounter("sgb.all.points").Add(points.size());

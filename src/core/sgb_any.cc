@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/query_context.h"
 #include "common/thread_pool.h"
 #include "geom/kernels.h"
 #include "geom/rect.h"
@@ -21,6 +22,10 @@ using geom::Rect;
 /// Minimum input size for the parallel path: below this the partitioning
 /// overhead dominates any possible speedup.
 constexpr size_t kMinParallelPoints = 64;
+
+/// Points processed between governance checks in the serial loops (the
+/// parallel path checks inside the grid-partitioned union instead).
+constexpr size_t kAbortCheckStride = 64;
 
 Grouping LabelComponents(std::span<const Point> points,
                          index::UnionFind& forest) {
@@ -48,6 +53,9 @@ Grouping RunAllPairs(std::span<const Point> points,
   geom::BlockSimilarity sim(options.metric, options.epsilon);
   std::vector<uint64_t> mask(geom::KernelMaskWords(points.size()));
   for (size_t i = 0; i < points.size(); ++i) {
+    if (options.query_ctx != nullptr && i % kAbortCheckStride == 0) {
+      ThrowIfAborted(options.query_ctx);
+    }
     if (stats != nullptr) stats->distance_computations += i;
     sim.Match(points[i], cols.xs(), cols.ys(), i, mask.data());
     geom::ForEachSetBit(mask.data(), i, [&](size_t j) {
@@ -73,6 +81,9 @@ Grouping RunIndexed(std::span<const Point> points,
   // Hoists ε² out of the per-neighbour L2 verification.
   const geom::SimilarityPredicate similar(options.metric, options.epsilon);
   for (size_t i = 0; i < points.size(); ++i) {
+    if (options.query_ctx != nullptr && i % kAbortCheckStride == 0) {
+      ThrowIfAborted(options.query_ctx);
+    }
     const Point& p = points[i];
     if (stats != nullptr) ++stats->index_window_queries;
     const Rect window = Rect::Around(p, options.epsilon);
@@ -108,7 +119,7 @@ Grouping RunParallel(std::span<const Point> points,
   std::vector<index::GridPartitionStats> grid_stats;
   index::ParallelSimilarityUnion(points, options.metric, options.epsilon,
                                  dop, ThreadPool::Default(), &forest,
-                                 &grid_stats);
+                                 &grid_stats, options.query_ctx);
   if (stats != nullptr) {
     size_t partitions = 0;
     for (const index::GridPartitionStats& w : grid_stats) {
@@ -150,14 +161,23 @@ Result<Grouping> SgbAny(std::span<const Point> points,
   const bool parallel = dop > 1 && points.size() >= kMinParallelPoints &&
                         options.epsilon > 0.0;
   Result<Grouping> result = [&]() -> Result<Grouping> {
-    if (parallel) return RunParallel(points, options, stats, dop);
-    switch (options.algorithm) {
-      case SgbAnyAlgorithm::kAllPairs:
-        return RunAllPairs(points, options, stats);
-      case SgbAnyAlgorithm::kIndexed:
-        return RunIndexed(points, options, stats);
+    try {
+      // Bookkeeping charge: union-find forest + labeling, O(n) words.
+      ScopedMemoryCharge bookkeeping(options.query_ctx,
+                                     points.size() * sizeof(size_t) * 2);
+      if (parallel) return RunParallel(points, options, stats, dop);
+      switch (options.algorithm) {
+        case SgbAnyAlgorithm::kAllPairs:
+          return RunAllPairs(points, options, stats);
+        case SgbAnyAlgorithm::kIndexed:
+          return RunIndexed(points, options, stats);
+      }
+      return Status::Internal("SGB-Any: unknown algorithm");
+    } catch (const QueryAbort& abort) {
+      // Governance aborts from the serial loops or (rethrown) ParallelFor
+      // workers surface as the core's Status.
+      return abort.status();
     }
-    return Status::Internal("SGB-Any: unknown algorithm");
   }();
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetCounter("sgb.any.invocations").Add(1);

@@ -7,6 +7,10 @@
 
 #include "geom/point.h"
 
+namespace sgb {
+class QueryContext;  // common/query_context.h
+}
+
 namespace sgb::core {
 
 /// ON-OVERLAP arbitration for SGB-All (Section 4.1): what to do when a point
@@ -71,6 +75,11 @@ struct SgbAllOptions {
   /// k workers, 0 means "auto" (one worker per hardware thread). Results
   /// are identical for every setting (docs/PARALLELISM.md).
   int degree_of_parallelism = 1;
+  /// Governance context of the query this run executes under (non-owning;
+  /// null = ungoverned). The core checks it for cancellation/deadline at
+  /// point-stride granularity and charges its index/bookkeeping memory
+  /// against its budget.
+  QueryContext* query_ctx = nullptr;
 };
 
 /// Options for the SGB-Any operator:
@@ -84,6 +93,8 @@ struct SgbAnyOptions {
   /// (one worker per hardware thread). Results are identical for every
   /// setting (docs/PARALLELISM.md).
   int degree_of_parallelism = 1;
+  /// Governance context (see SgbAllOptions::query_ctx).
+  QueryContext* query_ctx = nullptr;
 };
 
 /// The result of a similarity grouping: a group id per input point, in input

@@ -6,19 +6,39 @@
 #include <sstream>
 #include <vector>
 
+#include "common/fault_injection.h"
+
 namespace sgb::engine {
+
+// I/O-boundary sites: armed, they simulate a failing read/write of the
+// underlying file without touching the filesystem.
+static FaultSite g_csv_read_fault("engine.csv.read", Status::Code::kIoError);
+static FaultSite g_csv_write_fault("engine.csv.write",
+                                   Status::Code::kIoError);
 
 namespace {
 
-/// Splits CSV text into rows of raw cells, honoring quotes.
-Result<std::vector<std::vector<std::string>>> SplitCells(
-    const std::string& text, char delimiter) {
+/// Raw cells per row plus the 1-based physical line each row started on
+/// (quoted fields may span lines, so row index != line number).
+struct SplitResult {
   std::vector<std::vector<std::string>> rows;
+  std::vector<size_t> line_of_row;
+};
+
+/// Splits CSV text into rows of raw cells, honoring quotes and tracking
+/// line numbers for error reporting.
+Result<SplitResult> SplitCells(const std::string& text, char delimiter,
+                               size_t max_line_bytes) {
+  SplitResult out;
   std::vector<std::string> row;
   std::string cell;
   bool in_quotes = false;
   bool cell_was_quoted = false;
   bool any_content = false;
+  size_t line = 1;        // current physical line
+  size_t row_line = 1;    // line the in-progress row started on
+  size_t quote_line = 1;  // line the open quote started on
+  size_t line_bytes = 0;
 
   auto end_cell = [&] {
     row.push_back(cell);
@@ -27,28 +47,44 @@ Result<std::vector<std::vector<std::string>>> SplitCells(
   };
   auto end_row = [&] {
     end_cell();
-    rows.push_back(std::move(row));
+    out.rows.push_back(std::move(row));
+    out.line_of_row.push_back(row_line);
     row.clear();
     any_content = false;
   };
 
   for (size_t i = 0; i < text.size(); ++i) {
     const char c = text[i];
+    if (c != '\n') {
+      ++line_bytes;
+      if (max_line_bytes > 0 && line_bytes > max_line_bytes) {
+        return Status::InvalidArgument(
+            "CSV: line " + std::to_string(line) + " exceeds the " +
+            std::to_string(max_line_bytes) + "-byte line limit");
+      }
+    }
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < text.size() && text[i + 1] == '"') {
           cell += '"';
           ++i;
+          ++line_bytes;
         } else {
           in_quotes = false;
         }
       } else {
+        if (c == '\n') {
+          ++line;
+          line_bytes = 0;
+        }
         cell += c;
       }
       continue;
     }
+    if (!any_content && cell.empty() && row.empty()) row_line = line;
     if (c == '"' && cell.empty() && !cell_was_quoted) {
       in_quotes = true;
+      quote_line = line;
       cell_was_quoted = true;
       any_content = true;
       continue;
@@ -60,6 +96,8 @@ Result<std::vector<std::vector<std::string>>> SplitCells(
     }
     if (c == '\n') {
       if (any_content || !cell.empty()) end_row();
+      ++line;
+      line_bytes = 0;
       continue;
     }
     if (c == '\r') continue;
@@ -67,10 +105,12 @@ Result<std::vector<std::vector<std::string>>> SplitCells(
     any_content = true;
   }
   if (in_quotes) {
-    return Status::InvalidArgument("CSV: unterminated quoted field");
+    return Status::InvalidArgument(
+        "CSV: unterminated quoted field opened on line " +
+        std::to_string(quote_line));
   }
   if (any_content || !cell.empty()) end_row();
-  return rows;
+  return out;
 }
 
 bool ParseInt(const std::string& s, int64_t* out) {
@@ -104,9 +144,13 @@ bool NeedsQuoting(const std::string& s, char delimiter) {
 
 Result<TablePtr> ReadCsvFromString(const std::string& text,
                                    const CsvOptions& options) {
-  auto cells = SplitCells(text, options.delimiter);
+  if (text.empty()) {
+    return Status::InvalidArgument("CSV: empty input");
+  }
+  auto cells = SplitCells(text, options.delimiter, options.max_line_bytes);
   if (!cells.ok()) return cells.status();
-  const auto& rows = cells.value();
+  const auto& rows = cells.value().rows;
+  const auto& line_of_row = cells.value().line_of_row;
   if (rows.empty()) {
     return Status::InvalidArgument("CSV: no rows");
   }
@@ -125,7 +169,7 @@ Result<TablePtr> ReadCsvFromString(const std::string& text,
   for (size_t r = first_data; r < rows.size(); ++r) {
     if (rows[r].size() != ncols) {
       return Status::InvalidArgument(
-          "CSV: row " + std::to_string(r + 1) + " has " +
+          "CSV: row on line " + std::to_string(line_of_row[r]) + " has " +
           std::to_string(rows[r].size()) + " cells, expected " +
           std::to_string(ncols));
     }
@@ -189,12 +233,16 @@ Result<TablePtr> ReadCsvFromString(const std::string& text,
 
 Result<TablePtr> ReadCsvFile(const std::string& path,
                              const CsvOptions& options) {
+  SGB_RETURN_IF_ERROR(g_csv_read_fault.Check());
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::NotFound("cannot open CSV file '" + path + "'");
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("read error on CSV file '" + path + "'");
+  }
   return ReadCsvFromString(buffer.str(), options);
 }
 
@@ -233,13 +281,14 @@ std::string WriteCsvToString(const Table& table, const CsvOptions& options) {
 
 Status WriteCsvFile(const Table& table, const std::string& path,
                     const CsvOptions& options) {
+  SGB_RETURN_IF_ERROR(g_csv_write_fault.Check());
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     return Status::InvalidArgument("cannot open '" + path + "' for writing");
   }
   out << WriteCsvToString(table, options);
   return out.good() ? Status::OK()
-                    : Status::Internal("short write to '" + path + "'");
+                    : Status::IoError("short write to '" + path + "'");
 }
 
 }  // namespace sgb::engine

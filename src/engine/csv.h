@@ -12,15 +12,22 @@ struct CsvOptions {
   char delimiter = ',';
   /// First row holds column names; otherwise columns are named c0, c1, ...
   bool has_header = true;
+  /// Maximum bytes in one physical line (0 = unlimited). A defense against
+  /// malformed/hostile inputs (e.g. a file with no newlines) ballooning a
+  /// single row; exceeding it fails with InvalidArgument naming the line.
+  size_t max_line_bytes = 1 << 20;
 };
 
 /// Parses CSV text into a Table. Column types are inferred per column from
 /// the data rows (INT64 if every non-empty cell parses as an integer,
 /// DOUBLE if every non-empty cell parses as a number, STRING otherwise);
 /// empty cells become NULL. Quoted fields ("a,b", "" escapes) are
-/// supported; CRLF line endings are accepted.
+/// supported; CRLF line endings are accepted. A header-only input yields an
+/// empty table with the header's schema.
 ///
-/// Errors: InvalidArgument on ragged rows or unterminated quotes.
+/// Errors: InvalidArgument on empty input, ragged rows (named by 1-based
+/// line number), unterminated quotes (named by the line the quote opened
+/// on), and overlong lines.
 Result<TablePtr> ReadCsvFromString(const std::string& text,
                                    const CsvOptions& options = {});
 

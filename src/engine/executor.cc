@@ -1,5 +1,7 @@
 #include "engine/executor.h"
 
+#include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -11,11 +13,14 @@ namespace sgb::engine {
 
 namespace {
 
-/// Plans the statement under trace spans shared by every entry point.
+/// Plans the statement under trace spans shared by every entry point. A SET
+/// statement is surfaced through `set` with a null OperatorPtr (entry
+/// points without a `set` sink reject it).
 Result<OperatorPtr> PlanStatement(const Catalog& catalog,
                                   const std::string& sql,
                                   const sql::PlannerOptions& options,
                                   sql::ExplainMode* mode,
+                                  std::optional<sql::SetStatement>* set,
                                   obs::QueryTrace* trace) {
   Result<sql::ParsedStatement> stmt = [&] {
     obs::ScopedSpan span(trace, "parse");
@@ -23,6 +28,14 @@ Result<OperatorPtr> PlanStatement(const Catalog& catalog,
   }();
   if (!stmt.ok()) return stmt.status();
   if (mode != nullptr) *mode = stmt.value().explain;
+  if (stmt.value().set.has_value()) {
+    if (set == nullptr) {
+      return Status::InvalidArgument(
+          "SET statements are only valid through Database::Query");
+    }
+    *set = std::move(stmt.value().set);
+    return OperatorPtr{};
+  }
   obs::ScopedSpan span(trace, "plan");
   return sql::PlanQuery(catalog, *stmt.value().select, options);
 }
@@ -65,42 +78,128 @@ Result<Table> Execute(Operator& root, obs::QueryTrace* trace) {
 }  // namespace
 
 Result<OperatorPtr> Database::Prepare(const std::string& sql) const {
-  return PlanStatement(catalog_, sql, planner_options_, nullptr, nullptr);
+  return PlanStatement(catalog_, sql, planner_options_, nullptr, nullptr,
+                       nullptr);
 }
 
 Result<Table> Database::Query(const std::string& sql,
                               obs::QueryTrace* trace) const {
   sql::ExplainMode mode = sql::ExplainMode::kNone;
-  auto plan = PlanStatement(catalog_, sql, planner_options_, &mode, trace);
+  std::optional<sql::SetStatement> set;
+  auto plan =
+      PlanStatement(catalog_, sql, planner_options_, &mode, &set, trace);
   if (!plan.ok()) return plan.status();
+  if (set.has_value()) return ApplySet(*set);
 
   switch (mode) {
     case sql::ExplainMode::kPlan:
       return PlanTextTable(ExplainPlan(*plan.value()));
     case sql::ExplainMode::kAnalyze: {
-      auto result = Execute(*plan.value(), trace);
+      size_t peak_bytes = 0;
+      auto result = RunPlan(*plan.value(), trace, &peak_bytes);
       if (!result.ok()) return result.status();
-      return PlanTextTable(ExplainAnalyzePlan(*plan.value()));
+      return PlanTextTable(ExplainAnalyzePlan(*plan.value()) + "peak_mem=" +
+                           FormatMemoryBytes(peak_bytes) + "\n");
     }
     case sql::ExplainMode::kNone:
       break;
   }
-  return Execute(*plan.value(), trace);
+  return RunPlan(*plan.value(), trace, nullptr);
 }
 
 Result<std::string> Database::Explain(const std::string& sql) const {
-  auto plan = PlanStatement(catalog_, sql, planner_options_, nullptr, nullptr);
+  auto plan = PlanStatement(catalog_, sql, planner_options_, nullptr, nullptr,
+                            nullptr);
   if (!plan.ok()) return plan.status();
   return ExplainPlan(*plan.value());
 }
 
 Result<std::string> Database::ExplainAnalyze(const std::string& sql,
                                              obs::QueryTrace* trace) const {
-  auto plan = PlanStatement(catalog_, sql, planner_options_, nullptr, trace);
+  auto plan = PlanStatement(catalog_, sql, planner_options_, nullptr, nullptr,
+                            trace);
   if (!plan.ok()) return plan.status();
-  auto result = Execute(*plan.value(), trace);
+  size_t peak_bytes = 0;
+  auto result = RunPlan(*plan.value(), trace, &peak_bytes);
   if (!result.ok()) return result.status();
-  return ExplainAnalyzePlan(*plan.value());
+  return ExplainAnalyzePlan(*plan.value()) + "peak_mem=" +
+         FormatMemoryBytes(peak_bytes) + "\n";
+}
+
+void Database::Cancel() const {
+  std::lock_guard<std::mutex> lock(active_->mu);
+  for (QueryContext* ctx : active_->contexts) ctx->Cancel();
+}
+
+Result<Table> Database::ApplySet(const sql::SetStatement& set) const {
+  if (set.value < 0) {
+    return Status::InvalidArgument("SET " + set.name +
+                                   ": value must be >= 0");
+  }
+  if (set.name == "timeout") {
+    governance_.timeout_ms = set.value;
+  } else if (set.name == "memory_budget") {
+    governance_.memory_budget_bytes = static_cast<size_t>(set.value);
+  } else if (set.name == "parallel") {
+    planner_options_.default_sgb_dop = static_cast<int>(set.value);
+  } else {
+    return Status::InvalidArgument(
+        "unknown setting '" + set.name +
+        "' (expected timeout, memory_budget, or parallel)");
+  }
+  Schema schema;
+  schema.AddColumn(Column{"set", DataType::kString, ""});
+  Table table(schema);
+  SGB_RETURN_IF_ERROR(table.Append(
+      Row{Value::Str(set.name + " = " + std::to_string(set.value))}));
+  return table;
+}
+
+Result<Table> Database::RunPlan(Operator& root, obs::QueryTrace* trace,
+                                size_t* peak_bytes) const {
+  QueryContext ctx(governance_.memory_budget_bytes);
+  if (governance_.timeout_ms > 0) ctx.SetTimeout(governance_.timeout_ms);
+  root.SetQueryContext(&ctx);
+  {
+    std::lock_guard<std::mutex> lock(active_->mu);
+    active_->contexts.push_back(&ctx);
+  }
+
+  Result<Table> result = Execute(root, trace);
+
+  {
+    std::lock_guard<std::mutex> lock(active_->mu);
+    auto& contexts = active_->contexts;
+    contexts.erase(std::remove(contexts.begin(), contexts.end(), &ctx),
+                   contexts.end());
+  }
+  const size_t peak = ctx.memory().peak_bytes();
+  if (peak_bytes != nullptr) *peak_bytes = peak;
+  // Detach before `ctx` dies: the plan can be re-executed or rendered later.
+  root.SetQueryContext(nullptr);
+
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("mem.query.peak").Set(static_cast<double>(peak));
+  registry.GetGauge("mem.engine.usage")
+      .Set(static_cast<double>(MemoryTracker::EngineGlobal().usage_bytes()));
+  registry.GetGauge("mem.engine.peak")
+      .Set(static_cast<double>(MemoryTracker::EngineGlobal().peak_bytes()));
+  if (!result.ok()) {
+    switch (result.status().code()) {
+      case Status::Code::kCancelled:
+        registry.GetCounter("query.cancelled").Add(1);
+        break;
+      case Status::Code::kDeadlineExceeded:
+        registry.GetCounter("query.timeout").Add(1);
+        break;
+      case Status::Code::kResourceExhausted:
+        registry.GetCounter("query.mem_exceeded").Add(1);
+        break;
+      default:
+        break;
+    }
+  }
+  return result;
 }
 
 }  // namespace sgb::engine

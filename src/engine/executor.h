@@ -1,7 +1,11 @@
 #ifndef SGB_ENGINE_EXECUTOR_H_
 #define SGB_ENGINE_EXECUTOR_H_
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/catalog.h"
@@ -66,9 +70,62 @@ class Database {
   void set_default_sgb_dop(int dop) { planner_options_.default_sgb_dop = dop; }
   int default_sgb_dop() const { return planner_options_.default_sgb_dop; }
 
+  // ---- Governance (docs/ROBUSTNESS.md) ----------------------------------
+  //
+  // Each Query() run executes under a QueryContext: a per-query
+  // MemoryTracker (parented to MemoryTracker::EngineGlobal()) bounded by
+  // the session budget, plus a cancel flag and wall-clock deadline checked
+  // cooperatively at batch/morsel granularity. Breaches surface as
+  // Status::ResourceExhausted / DeadlineExceeded / Cancelled — the engine
+  // never OOMs or wedges on a runaway query. The knobs are also reachable
+  // from SQL: `SET timeout = <ms>`, `SET memory_budget = <bytes>`,
+  // `SET parallel = <dop>`.
+
+  /// Wall-clock timeout applied to each subsequent query (0 = none).
+  void set_timeout_ms(int64_t ms) { governance_.timeout_ms = ms; }
+  int64_t timeout_ms() const { return governance_.timeout_ms; }
+
+  /// Per-query memory budget in bytes (0 = unlimited).
+  void set_memory_budget_bytes(size_t bytes) {
+    governance_.memory_budget_bytes = bytes;
+  }
+  size_t memory_budget_bytes() const {
+    return governance_.memory_budget_bytes;
+  }
+
+  /// Cooperatively cancels every query currently executing on this
+  /// Database. Callable from any thread; the running queries fail with
+  /// Status::Cancelled at their next governance check and the Database
+  /// remains fully usable afterwards.
+  void Cancel() const;
+
  private:
+  struct Governance {
+    int64_t timeout_ms = 0;            ///< 0 = no deadline
+    size_t memory_budget_bytes = 0;    ///< 0 = unlimited
+  };
+
+  Result<Table> ApplySet(const sql::SetStatement& set) const;
+
+  /// Executes `root` under a fresh QueryContext built from the session
+  /// governance, maintaining the active-query registry and the `mem.*` /
+  /// `query.*` metrics. `peak_bytes`, when non-null, receives the query's
+  /// peak tracked memory (the EXPLAIN ANALYZE `peak_mem=` value).
+  Result<Table> RunPlan(Operator& root, obs::QueryTrace* trace,
+                        size_t* peak_bytes) const;
+
+  /// Registry of the queries executing right now; behind a shared_ptr so
+  /// Database stays movable (tests build and return them by value).
+  struct ActiveQueries {
+    std::mutex mu;
+    std::vector<QueryContext*> contexts;
+  };
+
   Catalog catalog_;
-  sql::PlannerOptions planner_options_;
+  // Mutable: Query() is const but SET statements adjust session state.
+  mutable sql::PlannerOptions planner_options_;
+  mutable Governance governance_;
+  std::shared_ptr<ActiveQueries> active_ = std::make_shared<ActiveQueries>();
 };
 
 }  // namespace sgb::engine

@@ -5,9 +5,15 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "obs/metrics.h"
 
 namespace sgb::engine {
+
+// Fires on batch-buffer population — the engine's highest-frequency
+// allocation path — so tests can exercise mid-query resource failures.
+static FaultSite g_batch_alloc_fault("engine.batch.alloc",
+                                     Status::Code::kResourceExhausted);
 
 size_t ApproxRowVectorBytes(const std::vector<Row>& rows) {
   size_t total = rows.capacity() * sizeof(Row);
@@ -20,6 +26,11 @@ bool Operator::NextBatch(RowBatch* out) {
   // stays valid across MetricsRegistry::Reset().
   static obs::Counter& batches_counter =
       obs::MetricsRegistry::Global().GetCounter("engine.batches");
+  ThrowIfAborted(ctx_);
+  {
+    Status fault = g_batch_alloc_fault.Check();
+    if (!fault.ok()) throw QueryAbort(std::move(fault));
+  }
   out->Clear();
   const auto t0 = std::chrono::steady_clock::now();
   const bool ok = NextBatchImpl(out);
@@ -30,6 +41,33 @@ bool Operator::NextBatch(RowBatch* out) {
     batches_counter.Add(1);
   }
   return ok;
+}
+
+void Operator::SetQueryContext(QueryContext* ctx) {
+  // Settle any outstanding charge against the context it was made on;
+  // otherwise a later Open() would release it against the new one.
+  if (ctx != ctx_) ReleaseCharge();
+  ctx_ = ctx;
+  // children() returns const pointers for plan rendering, but children are
+  // owned (mutable) nodes; casting back is how the base class threads the
+  // context without per-operator plumbing.
+  for (const Operator* child : children()) {
+    const_cast<Operator*>(child)->SetQueryContext(ctx);
+  }
+}
+
+void Operator::ChargeMemory(size_t bytes) {
+  stats_.peak_memory_bytes =
+      std::max<uint64_t>(stats_.peak_memory_bytes, bytes);
+  if (ctx_ == nullptr) return;
+  if (bytes > charged_bytes_) {
+    Status status = ctx_->memory().TryConsume(bytes - charged_bytes_);
+    if (!status.ok()) throw QueryAbort(std::move(status));
+    charged_bytes_ = bytes;
+  } else if (bytes < charged_bytes_) {
+    ctx_->memory().Release(charged_bytes_ - bytes);
+    charged_bytes_ = bytes;
+  }
 }
 
 namespace {
@@ -223,10 +261,10 @@ class HashAggregateOp final : public Operator {
       results_.push_back(std::move(out));
     }
     mutable_stats().extra["groups"] = results_.size();
-    mutable_stats().peak_memory_bytes =
-        ApproxRowVectorBytes(key_order) + ApproxRowVectorBytes(results_) +
-        key_order.size() *
-            (sizeof(std::unique_ptr<AggregateState>) * aggregates_.size());
+    ChargeMemory(ApproxRowVectorBytes(key_order) +
+                 ApproxRowVectorBytes(results_) +
+                 key_order.size() * (sizeof(std::unique_ptr<AggregateState>) *
+                                     aggregates_.size()));
   }
 
   bool NextImpl(Row* out) override {
@@ -288,7 +326,7 @@ class HashJoinOp final : public Operator {
       build_bytes += key.capacity() * sizeof(Value) + ApproxRowVectorBytes(rows);
     }
     mutable_stats().extra["build_rows"] = build_rows;
-    mutable_stats().peak_memory_bytes = build_bytes;
+    ChargeMemory(build_bytes);
     left_->Open();
     matches_ = nullptr;
     match_index_ = 0;
@@ -354,7 +392,7 @@ class NestedLoopJoinOp final : public Operator {
     right_rows_.clear();
     Row row;
     while (right_->Next(&row)) right_rows_.push_back(row);
-    mutable_stats().peak_memory_bytes = ApproxRowVectorBytes(right_rows_);
+    ChargeMemory(ApproxRowVectorBytes(right_rows_));
     left_->Open();
     have_left_ = false;
     right_index_ = 0;
@@ -416,7 +454,7 @@ class SortOp final : public Operator {
     next_ = 0;
     Row row;
     while (child_->Next(&row)) rows_.push_back(std::move(row));
-    mutable_stats().peak_memory_bytes = ApproxRowVectorBytes(rows_);
+    ChargeMemory(ApproxRowVectorBytes(rows_));
     std::stable_sort(rows_.begin(), rows_.end(),
                      [this](const Row& a, const Row& b) {
                        for (const SortKey& k : keys_) {
@@ -536,9 +574,7 @@ std::string ExplainPlan(const Operator& root) {
   return out;
 }
 
-namespace {
-
-std::string FormatBytes(uint64_t bytes) {
+std::string FormatMemoryBytes(uint64_t bytes) {
   char buf[32];
   if (bytes >= 1024 * 1024) {
     std::snprintf(buf, sizeof buf, "%.1fMB",
@@ -552,6 +588,8 @@ std::string FormatBytes(uint64_t bytes) {
   }
   return buf;
 }
+
+namespace {
 
 void ExplainAnalyzeRec(const Operator& op, int depth, std::string* out) {
   const OperatorStats& stats = op.stats();
@@ -570,7 +608,7 @@ void ExplainAnalyzeRec(const Operator& op, int depth, std::string* out) {
     *out += buf;
   }
   if (stats.peak_memory_bytes > 0) {
-    *out += " mem=" + FormatBytes(stats.peak_memory_bytes);
+    *out += " mem=" + FormatMemoryBytes(stats.peak_memory_bytes);
   }
   for (const auto& [key, value] : stats.extra) {
     *out += ' ' + key + '=' + std::to_string(value);
@@ -589,16 +627,49 @@ std::string ExplainAnalyzePlan(const Operator& root) {
   return out;
 }
 
-Result<Table> Materialize(Operator& root) {
-  Table table(root.schema());
-  root.Open();
-  RowBatch batch;
-  while (root.NextBatch(&batch)) {
-    for (Row& row : batch.rows()) {
-      SGB_RETURN_IF_ERROR(table.Append(std::move(row)));
-    }
+namespace {
+
+/// Releases the result-table charge on every exit path of Materialize —
+/// the query tracker only outlives the call by a moment, so the bytes of
+/// the returned table must not stay charged against the budget.
+struct ResultTableCharge {
+  QueryContext* ctx;
+  size_t charged = 0;
+  ~ResultTableCharge() {
+    if (ctx != nullptr && charged > 0) ctx->memory().Release(charged);
   }
-  return table;
+  Status Update(const Table& table) {
+    if (ctx == nullptr) return Status::OK();
+    const size_t now = ApproxRowVectorBytes(table.rows());
+    if (now > charged) {
+      SGB_RETURN_IF_ERROR(ctx->memory().TryConsume(now - charged));
+      charged = now;
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Result<Table> Materialize(Operator& root) {
+  ResultTableCharge charge{root.query_context()};
+  try {
+    Table table(root.schema());
+    root.Open();
+    RowBatch batch;
+    while (root.NextBatch(&batch)) {
+      for (Row& row : batch.rows()) {
+        SGB_RETURN_IF_ERROR(table.Append(std::move(row)));
+      }
+      SGB_RETURN_IF_ERROR(charge.Update(table));
+    }
+    return table;
+  } catch (const QueryAbort& abort) {
+    // Governance failures (cancel, deadline, budget, injected faults)
+    // travel as exceptions through the bool-returning operator interface
+    // and become a plain Status here.
+    return abort.status();
+  }
 }
 
 }  // namespace sgb::engine

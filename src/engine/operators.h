@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "engine/aggregate.h"
 #include "engine/expression.h"
 #include "engine/schema.h"
@@ -86,12 +87,20 @@ class Operator {
 
   void Open() {
     stats_ = OperatorStats{};
+    ReleaseCharge();
+    ThrowIfAborted(ctx_);
     const auto t0 = std::chrono::steady_clock::now();
     OpenImpl();
     stats_.open_ns = ElapsedNs(t0);
   }
 
   bool Next(Row* out) {
+    // Governance check at row-stride granularity: cheap relative to the two
+    // clock reads the stats already pay per row.
+    if (ctx_ != nullptr &&
+        stats_.next_calls % QueryContext::kNextCheckInterval == 0) {
+      ThrowIfAborted(ctx_);
+    }
     const auto t0 = std::chrono::steady_clock::now();
     const bool ok = NextImpl(out);
     stats_.next_ns += ElapsedNs(t0);
@@ -109,6 +118,14 @@ class Operator {
 
   /// Counters from the most recent (possibly still running) execution.
   const OperatorStats& stats() const { return stats_; }
+
+  /// Attaches the per-execution governance context (cancel flag, deadline,
+  /// memory budget) to this operator and, recursively, to every child.
+  /// Called by Database::Query before Open(); a null context (the default)
+  /// disables all governance checks.
+  void SetQueryContext(QueryContext* ctx);
+
+  QueryContext* query_context() const { return ctx_; }
 
  protected:
   virtual void OpenImpl() = 0;
@@ -128,7 +145,26 @@ class Operator {
   /// For subclasses publishing memory estimates or extra counters.
   OperatorStats& mutable_stats() { return stats_; }
 
+  /// Publishes `bytes` as this operator's materialized-state high-water
+  /// mark AND charges the delta against the query's memory tracker (when a
+  /// context is attached), throwing QueryAbort with ResourceExhausted when
+  /// the budget does not cover it. Call with the current total held by the
+  /// operator; repeated calls re-charge only the difference. The charge is
+  /// released on the next Open() and rolled up by the per-query tracker's
+  /// destructor at query end.
+  void ChargeMemory(size_t bytes);
+
+  /// Raises the governance abort (cancel/deadline) from inside an Impl.
+  void CheckAbort() const { ThrowIfAborted(ctx_); }
+
  private:
+  void ReleaseCharge() {
+    if (ctx_ != nullptr && charged_bytes_ > 0) {
+      ctx_->memory().Release(charged_bytes_);
+    }
+    charged_bytes_ = 0;
+  }
+
   static uint64_t ElapsedNs(std::chrono::steady_clock::time_point t0) {
     return static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -137,6 +173,8 @@ class Operator {
   }
 
   OperatorStats stats_;
+  QueryContext* ctx_ = nullptr;
+  size_t charged_bytes_ = 0;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -200,6 +238,10 @@ std::string ExplainAnalyzePlan(const Operator& root);
 /// Rough bytes held by a materialized row vector (Row headers + Value
 /// slots; string payloads are not walked). Used for peak-memory estimates.
 size_t ApproxRowVectorBytes(const std::vector<Row>& rows);
+
+/// Human-readable byte count ("2.1KB", "3.0MB") — the formatting used for
+/// mem=/peak_mem= annotations in EXPLAIN ANALYZE.
+std::string FormatMemoryBytes(uint64_t bytes);
 
 }  // namespace sgb::engine
 

@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "core/sgb_all.h"
 #include "core/sgb_any.h"
 #include "core/sgb_nd.h"
 
 namespace sgb::engine {
+
+// Fires between input buffering and the core grouping run — the point
+// where the SGB operator commits to its most expensive phase.
+static FaultSite g_sgb_build_fault("engine.sgb.build",
+                                   Status::Code::kInternal);
 
 namespace {
 
@@ -104,7 +110,11 @@ class SgbOperatorBase : public Operator {
     while (child_->NextBatch(&batch)) {
       for (Row& row : batch.rows()) rows_.push_back(std::move(row));
     }
-    mutable_stats().peak_memory_bytes = ApproxRowVectorBytes(rows_);
+    ChargeMemory(ApproxRowVectorBytes(rows_));
+    {
+      Status fault = g_sgb_build_fault.Check();
+      if (!fault.ok()) throw QueryAbort(std::move(fault));
+    }
 
     size_t num_groups = 0;
     const std::vector<size_t> group_of = Label(rows_, &num_groups);
@@ -132,6 +142,7 @@ class SgbOperatorBase : public Operator {
       results_.push_back(std::move(out));
     }
     rows_.clear();
+    ChargeMemory(ApproxRowVectorBytes(results_));
   }
 
   bool NextImpl(Row* out) override {
@@ -197,17 +208,23 @@ class SgbOperator2d final : public SgbOperatorBase {
 
     core::Grouping grouping;
     if (const auto* all = std::get_if<core::SgbAllOptions>(&mode_)) {
+      core::SgbAllOptions opts = *all;
+      opts.query_ctx = query_context();
       core::SgbAllStats core_stats;
-      Result<core::Grouping> r = core::SgbAll(points, *all, &core_stats);
+      Result<core::Grouping> r = core::SgbAll(points, opts, &core_stats);
       PublishSgbAllStats(core_stats, &mutable_stats());
-      // Options are validated at plan time; core failure here is a bug.
-      grouping = r.ok() ? std::move(r.value()) : core::Grouping{};
+      // Options are validated at plan time, so a non-OK result here is a
+      // governance abort (cancel/deadline/budget/fault) from the core.
+      if (!r.ok()) throw QueryAbort(r.status());
+      grouping = std::move(r.value());
     } else {
+      core::SgbAnyOptions opts = std::get<core::SgbAnyOptions>(mode_);
+      opts.query_ctx = query_context();
       core::SgbAnyStats core_stats;
-      Result<core::Grouping> r = core::SgbAny(
-          points, std::get<core::SgbAnyOptions>(mode_), &core_stats);
+      Result<core::Grouping> r = core::SgbAny(points, opts, &core_stats);
       PublishSgbAnyStats(core_stats, &mutable_stats());
-      grouping = r.ok() ? std::move(r.value()) : core::Grouping{};
+      if (!r.ok()) throw QueryAbort(r.status());
+      grouping = std::move(r.value());
     }
 
     std::vector<size_t> group_of(rows.size(), kNoGroup);
@@ -263,16 +280,21 @@ class SgbOperator3d final : public SgbOperatorBase {
 
     core::Grouping grouping;
     if (const auto* all = std::get_if<core::SgbAllOptions>(&mode_)) {
+      core::SgbAllOptions opts = *all;
+      opts.query_ctx = query_context();
       core::SgbAllStats core_stats;
-      Result<core::Grouping> r = core::SgbAllNd<3>(points, *all, &core_stats);
+      Result<core::Grouping> r = core::SgbAllNd<3>(points, opts, &core_stats);
       PublishSgbAllStats(core_stats, &mutable_stats());
-      grouping = r.ok() ? std::move(r).value() : core::Grouping{};
+      if (!r.ok()) throw QueryAbort(r.status());
+      grouping = std::move(r).value();
     } else {
+      core::SgbAnyOptions opts = std::get<core::SgbAnyOptions>(mode_);
+      opts.query_ctx = query_context();
       core::SgbAnyStats core_stats;
-      Result<core::Grouping> r = core::SgbAnyNd<3>(
-          points, std::get<core::SgbAnyOptions>(mode_), &core_stats);
+      Result<core::Grouping> r = core::SgbAnyNd<3>(points, opts, &core_stats);
       PublishSgbAnyStats(core_stats, &mutable_stats());
-      grouping = r.ok() ? std::move(r).value() : core::Grouping{};
+      if (!r.ok()) throw QueryAbort(r.status());
+      grouping = std::move(r).value();
     }
 
     std::vector<size_t> group_of(rows.size(), kNoGroup);

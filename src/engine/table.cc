@@ -2,7 +2,14 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
+
 namespace sgb::engine {
+
+// The storage growth path: every materialized result row lands here, so an
+// armed fault simulates running out of table storage mid-query.
+static FaultSite g_table_append_fault("engine.table.append",
+                                      Status::Code::kResourceExhausted);
 
 Status Table::Append(Row row) {
   if (row.size() != schema_.size()) {
@@ -10,6 +17,7 @@ Status Table::Append(Row row) {
         "row arity " + std::to_string(row.size()) +
         " does not match schema arity " + std::to_string(schema_.size()));
   }
+  SGB_RETURN_IF_ERROR(g_table_append_fault.Check());
   rows_.push_back(std::move(row));
   return Status::OK();
 }

@@ -35,6 +35,13 @@ class GridIndex {
 
   size_t size() const { return size_; }
 
+  /// Formula-based estimate of the grid's heap footprint, for memory
+  /// accounting: SoA coordinates + id per point, hash node per cell.
+  size_t ApproxMemoryBytes() const {
+    return size_ * (2 * sizeof(double) + sizeof(uint64_t)) +
+           cells_.size() * (sizeof(CellKey) + sizeof(Cell) + sizeof(void*));
+  }
+
  private:
   struct CellKey {
     int64_t cx;

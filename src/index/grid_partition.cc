@@ -5,10 +5,16 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/fault_injection.h"
+#include "common/query_context.h"
 #include "common/thread_pool.h"
 #include "geom/kernels.h"
 
 namespace sgb::index {
+
+// Fires at grid-build entry, before any cell structures are allocated.
+static FaultSite g_grid_build_fault("index.grid.build",
+                                    Status::Code::kInternal);
 
 namespace {
 
@@ -54,12 +60,24 @@ struct Edge {
 void ParallelSimilarityUnion(std::span<const Point> points, Metric metric,
                              double radius, size_t dop, ThreadPool& pool,
                              UnionFind* forest,
-                             std::vector<GridPartitionStats>* worker_stats) {
+                             std::vector<GridPartitionStats>* worker_stats,
+                             QueryContext* ctx) {
   dop = std::max<size_t>(dop, 1);
   if (worker_stats != nullptr) {
     worker_stats->assign(dop, GridPartitionStats{});
   }
   if (points.empty()) return;
+
+  {
+    Status fault = g_grid_build_fault.Check();
+    if (!fault.ok()) throw QueryAbort(std::move(fault));
+  }
+  // The cell structures below hold roughly one (key, member index, SoA
+  // coordinate pair) triple per point; charge it up front so a budgeted
+  // query fails before the build, not mid-way through it.
+  ScopedMemoryCharge grid_charge(
+      ctx, points.size() * (sizeof(CellKey) + sizeof(size_t) +
+                            2 * sizeof(double)));
 
   // ---- Build: hash every point into its grid cell. --------------------
   std::unordered_map<CellKey, size_t, CellKeyHash> cell_index;
@@ -131,6 +149,7 @@ void ParallelSimilarityUnion(std::span<const Point> points, Metric metric,
         for (size_t p = part_begin; p < part_end; ++p) {
           const auto [begin, end] = part_range[p];
           for (size_t k = begin; k < end; ++k) {
+            ThrowIfAborted(ctx);  // per-cell; ParallelFor rethrows on caller
             const size_t ci = order[k];
             const CellKey key = cell_keys[ci];
             const std::vector<size_t>& members = cell_points[ci];

@@ -11,6 +11,7 @@
 
 namespace sgb {
 class ThreadPool;
+class QueryContext;
 }
 
 namespace sgb::index {
@@ -46,10 +47,17 @@ struct GridPartitionStats {
 /// `worker_stats`, when non-null, is resized to `dop` and filled with the
 /// per-slot breakdown (the EXPLAIN ANALYZE per-partition counters).
 /// Requires radius > 0 and finite.
+///
+/// `ctx`, when non-null, is the governing query: the grid build charges its
+/// cell structures against the context's memory budget, workers check for
+/// cancellation/deadline per cell, and a governance failure propagates as a
+/// QueryAbort exception out of this call (rethrown from workers by
+/// ParallelFor). The "index.grid.build" fault site fires here too.
 void ParallelSimilarityUnion(std::span<const geom::Point> points,
                              geom::Metric metric, double radius, size_t dop,
                              ThreadPool& pool, UnionFind* forest,
-                             std::vector<GridPartitionStats>* worker_stats);
+                             std::vector<GridPartitionStats>* worker_stats,
+                             QueryContext* ctx = nullptr);
 
 }  // namespace sgb::index
 

@@ -66,6 +66,17 @@ class RTree {
   /// Tree height (a lone leaf has height 1); exposed for tests/ablations.
   int height() const { return height_; }
 
+  /// Formula-based estimate of the tree's heap footprint, for memory
+  /// accounting: entries plus interior nodes at the minimum fill factor.
+  /// Not malloc-exact — governance charges bound dominant structures.
+  size_t ApproxMemoryBytes() const {
+    // Each entry is a Rect + payload; nodes add a Rect + vector header per
+    // ~min_entries_ entries across all levels (geometric series ≈ 2x).
+    const size_t per_entry = sizeof(geom::Rect) + sizeof(uint64_t) +
+                             sizeof(void*);
+    return size_ * per_entry + (size_ / (min_entries_ + 1) + 1) * 64;
+  }
+
   /// Verifies structural invariants (uniform leaf depth, fill factors,
   /// covering rectangles). Test-only helper.
   bool CheckInvariants() const;

@@ -123,11 +123,21 @@ enum class ExplainMode {
   kAnalyze,  ///< EXPLAIN ANALYZE: execute, render the plan with counters
 };
 
+/// SET <knob> = <n> — session-level governance knobs:
+///   SET timeout = <ms>            (0 disables the deadline)
+///   SET memory_budget = <bytes>   (0 removes the budget)
+///   SET parallel = <dop>          (session default DOP; 0 = auto)
+struct SetStatement {
+  std::string name;  ///< knob name, lower-cased by the parser
+  int64_t value = 0;
+};
+
 /// A full parsed statement: an optional EXPLAIN [ANALYZE] prefix wrapping
-/// one SELECT.
+/// one SELECT, or a SET statement (`set` engaged, `select` null).
 struct ParsedStatement {
   ExplainMode explain = ExplainMode::kNone;
   std::unique_ptr<SelectStatement> select;
+  std::optional<SetStatement> set;
 };
 
 }  // namespace sgb::sql

@@ -57,6 +57,16 @@ class Parser {
 
   Result<ParsedStatement> ParseFullStatement() {
     ParsedStatement out;
+    if (MatchKw("SET")) {
+      auto set = ParseSet();
+      if (!set.ok()) return set.status();
+      out.set = std::move(set).value();
+      Match(TokenType::kSemicolon);
+      if (Peek().type != TokenType::kEnd) {
+        return Error("unexpected trailing input");
+      }
+      return out;
+    }
     if (MatchKw("EXPLAIN")) {
       out.explain =
           MatchKw("ANALYZE") ? ExplainMode::kAnalyze : ExplainMode::kPlan;
@@ -114,6 +124,27 @@ class Parser {
                                 std::to_string(Peek().position));
     }
     return Status::OK();
+  }
+
+  // ---- SET --------------------------------------------------------------
+
+  /// `SET <ident> = <integer>` (the '=' is optional). Knob names are
+  /// lower-cased here; validation of the name/value is the executor's job,
+  /// where the set of live knobs is known.
+  Result<SetStatement> ParseSet() {
+    if (Peek().type != TokenType::kIdent) {
+      return Error("expected a setting name after SET");
+    }
+    SetStatement out;
+    out.name = Consume().text;
+    std::transform(out.name.begin(), out.name.end(), out.name.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    Match(TokenType::kEq);
+    if (Peek().type != TokenType::kNumber || !Peek().is_integer) {
+      return Error("expected an integer value in SET");
+    }
+    out.value = static_cast<int64_t>(Consume().number);
+    return out;
   }
 
   /// Matches a multi-word keyword whose words may be separated by '-' or

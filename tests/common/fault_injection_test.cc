@@ -1,0 +1,149 @@
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace sgb {
+namespace {
+
+// The registry is process-global; every test starts and ends from a clean
+// slate so armings never leak across tests (or into other suites when the
+// whole binary runs in one process).
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::Global().Reset(); }
+  void TearDown() override { FaultRegistry::Global().Reset(); }
+};
+
+TEST_F(FaultInjectionTest, DisarmedSiteAlwaysPasses) {
+  FaultSite site("test.disarmed");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(site.Check().ok());
+  }
+  EXPECT_EQ(FaultRegistry::Global().Hits("test.disarmed"), 100u);
+  EXPECT_EQ(FaultRegistry::Global().Injected("test.disarmed"), 0u);
+}
+
+TEST_F(FaultInjectionTest, NthHitFiresExactlyOnce) {
+  FaultSite site("test.nth", Status::Code::kIoError);
+  FaultRegistry::Global().ArmNthHit("test.nth", 3);
+  EXPECT_TRUE(site.Check().ok());
+  EXPECT_TRUE(site.Check().ok());
+  Status status = site.Check();  // the 3rd hit
+  EXPECT_EQ(status.code(), Status::Code::kIoError);
+  EXPECT_NE(status.message().find("test.nth"), std::string::npos);
+  // Single-shot: the site self-disarms after firing.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(site.Check().ok());
+  }
+  EXPECT_EQ(FaultRegistry::Global().Injected("test.nth"), 1u);
+}
+
+TEST_F(FaultInjectionTest, NthHitCountsFromArming) {
+  FaultSite site("test.nth_rearm");
+  // Hits before arming don't count toward the Nth target.
+  EXPECT_TRUE(site.Check().ok());
+  EXPECT_TRUE(site.Check().ok());
+  FaultRegistry::Global().ArmNthHit("test.nth_rearm", 1);
+  EXPECT_FALSE(site.Check().ok());  // very next hit fires
+}
+
+TEST_F(FaultInjectionTest, ProbabilityZeroNeverFires) {
+  FaultSite site("test.prob0");
+  FaultRegistry::Global().ArmProbability("test.prob0", 0.0, 7);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(site.Check().ok());
+  }
+  EXPECT_EQ(FaultRegistry::Global().Injected("test.prob0"), 0u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityOneAlwaysFires) {
+  FaultSite site("test.prob1");
+  FaultRegistry::Global().ArmProbability("test.prob1", 1.0, 7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(site.Check().ok());
+  }
+  EXPECT_EQ(FaultRegistry::Global().Injected("test.prob1"), 50u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityIsSeedDeterministic) {
+  // The same (seed, hit-index) sequence must produce the same fire pattern
+  // on every run — that is what makes probabilistic fuzz failures
+  // reproducible.
+  auto pattern = [](uint64_t seed) {
+    FaultRegistry::Global().Reset();
+    FaultSite site("test.prob_det");
+    FaultRegistry::Global().ArmProbability("test.prob_det", 0.5, seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!site.Check().ok());
+    return fired;
+  };
+  const auto a = pattern(1234);
+  const auto b = pattern(1234);
+  const auto c = pattern(5678);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // astronomically unlikely to collide over 64 hits
+  // p=0.5 over 64 hits: both outcomes must actually occur.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+}
+
+TEST_F(FaultInjectionTest, DisarmStopsFiring) {
+  FaultSite site("test.disarm");
+  FaultRegistry::Global().ArmProbability("test.disarm", 1.0, 1);
+  EXPECT_FALSE(site.Check().ok());
+  FaultRegistry::Global().Disarm("test.disarm");
+  EXPECT_TRUE(site.Check().ok());
+}
+
+TEST_F(FaultInjectionTest, ResetClearsCountersAndArming) {
+  FaultSite site("test.reset");
+  FaultRegistry::Global().ArmProbability("test.reset", 1.0, 1);
+  EXPECT_FALSE(site.Check().ok());
+  FaultRegistry::Global().Reset();
+  EXPECT_EQ(FaultRegistry::Global().Hits("test.reset"), 0u);
+  EXPECT_EQ(FaultRegistry::Global().Injected("test.reset"), 0u);
+  EXPECT_TRUE(site.Check().ok());
+}
+
+TEST_F(FaultInjectionTest, ArmingUnknownSiteCreatesIt) {
+  FaultRegistry::Global().ArmNthHit("test.preregistered", 1);
+  const auto sites = FaultRegistry::Global().Sites();
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "test.preregistered"),
+            sites.end());
+  // The site object created later picks up the pre-armed state.
+  FaultSite site("test.preregistered");
+  EXPECT_FALSE(site.Check().ok());
+}
+
+TEST_F(FaultInjectionTest, EngineSitesRegisteredAtStaticInit) {
+  // The library's planted sites self-register from their file-local
+  // FaultSite objects, so they are visible without ever being executed.
+  // This binary links the full sgb library; the thread-pool site lives in
+  // always-linked common code.
+  const auto sites = FaultRegistry::Global().Sites();
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "common.threadpool.submit"),
+            sites.end())
+      << "expected common.threadpool.submit among " << sites.size()
+      << " registered sites";
+  // Sites() is name-sorted.
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+}
+
+TEST_F(FaultInjectionTest, StatusCarriesConfiguredCode) {
+  FaultSite internal("test.code_internal");
+  FaultSite io("test.code_io", Status::Code::kIoError);
+  FaultSite mem("test.code_mem", Status::Code::kResourceExhausted);
+  FaultRegistry::Global().ArmNthHit("test.code_internal", 1);
+  FaultRegistry::Global().ArmNthHit("test.code_io", 1);
+  FaultRegistry::Global().ArmNthHit("test.code_mem", 1);
+  EXPECT_EQ(internal.Check().code(), Status::Code::kInternal);
+  EXPECT_EQ(io.Check().code(), Status::Code::kIoError);
+  EXPECT_EQ(mem.Check().code(), Status::Code::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace sgb

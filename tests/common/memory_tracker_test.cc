@@ -1,0 +1,150 @@
+#include "common/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sgb {
+namespace {
+
+TEST(MemoryTrackerTest, ConsumeReleaseRoundTrip) {
+  MemoryTracker tracker("t");
+  EXPECT_EQ(tracker.usage_bytes(), 0u);
+  ASSERT_TRUE(tracker.TryConsume(100).ok());
+  EXPECT_EQ(tracker.usage_bytes(), 100u);
+  EXPECT_EQ(tracker.peak_bytes(), 100u);
+  tracker.Release(40);
+  EXPECT_EQ(tracker.usage_bytes(), 60u);
+  EXPECT_EQ(tracker.peak_bytes(), 100u);  // peak is a watermark
+  tracker.Release(60);
+  EXPECT_EQ(tracker.usage_bytes(), 0u);
+}
+
+TEST(MemoryTrackerTest, LimitBreachReturnsResourceExhausted) {
+  MemoryTracker tracker("budgeted", nullptr, 128);
+  ASSERT_TRUE(tracker.TryConsume(100).ok());
+  Status status = tracker.TryConsume(100);
+  EXPECT_EQ(status.code(), Status::Code::kResourceExhausted);
+  // The failed charge must not stick: usage is unchanged and the headroom
+  // is still chargeable.
+  EXPECT_EQ(tracker.usage_bytes(), 100u);
+  EXPECT_TRUE(tracker.TryConsume(28).ok());
+  // The error names the breached tracker for diagnosability.
+  EXPECT_NE(status.message().find("budgeted"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(MemoryTrackerTest, ZeroLimitMeansUnlimited) {
+  MemoryTracker tracker("unbounded");
+  EXPECT_TRUE(tracker.TryConsume(size_t{1} << 40).ok());
+  tracker.Release(size_t{1} << 40);
+}
+
+TEST(MemoryTrackerTest, ChargesPropagateToParent) {
+  MemoryTracker parent("parent");
+  MemoryTracker child("child", &parent);
+  ASSERT_TRUE(child.TryConsume(64).ok());
+  EXPECT_EQ(child.usage_bytes(), 64u);
+  EXPECT_EQ(parent.usage_bytes(), 64u);
+  child.Release(64);
+  EXPECT_EQ(parent.usage_bytes(), 0u);
+}
+
+TEST(MemoryTrackerTest, ParentBreachRollsBackChild) {
+  MemoryTracker parent("parent", nullptr, 100);
+  MemoryTracker child("child", &parent);  // child itself unlimited
+  Status status = child.TryConsume(200);
+  EXPECT_EQ(status.code(), Status::Code::kResourceExhausted);
+  EXPECT_EQ(child.usage_bytes(), 0u);
+  EXPECT_EQ(parent.usage_bytes(), 0u);
+  EXPECT_NE(status.message().find("parent"), std::string::npos);
+}
+
+TEST(MemoryTrackerTest, DestructorReleasesOutstandingFromParent) {
+  MemoryTracker parent("parent");
+  {
+    MemoryTracker child("child", &parent);
+    ASSERT_TRUE(child.TryConsume(512).ok());
+    EXPECT_EQ(parent.usage_bytes(), 512u);
+    // Child dies with 512 bytes still charged.
+  }
+  EXPECT_EQ(parent.usage_bytes(), 0u);
+}
+
+TEST(MemoryTrackerTest, SetLimitAppliesToFutureCharges) {
+  MemoryTracker tracker("t");
+  ASSERT_TRUE(tracker.TryConsume(1000).ok());
+  tracker.set_limit_bytes(500);  // already above the new limit
+  EXPECT_EQ(tracker.TryConsume(1).code(),
+            Status::Code::kResourceExhausted);
+  tracker.Release(1000);
+  EXPECT_TRUE(tracker.TryConsume(400).ok());
+  tracker.Release(400);
+}
+
+TEST(MemoryTrackerTest, ResetPeakSnapsToCurrentUsage) {
+  MemoryTracker tracker("t");
+  ASSERT_TRUE(tracker.TryConsume(100).ok());
+  tracker.Release(80);
+  EXPECT_EQ(tracker.peak_bytes(), 100u);
+  tracker.ResetPeak();
+  EXPECT_EQ(tracker.peak_bytes(), 20u);
+  tracker.Release(20);
+}
+
+TEST(MemoryTrackerTest, ConcurrentChargesBalanceToZero) {
+  MemoryTracker parent("parent");
+  MemoryTracker child("child", &parent);
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&child] {
+      for (int i = 0; i < kIterations; ++i) {
+        ASSERT_TRUE(child.TryConsume(16).ok());
+        child.Release(16);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(child.usage_bytes(), 0u);
+  EXPECT_EQ(parent.usage_bytes(), 0u);
+  EXPECT_GE(child.peak_bytes(), 16u);
+}
+
+TEST(MemoryTrackerTest, ConcurrentChargesRespectLimit) {
+  // With a limit of kThreads/2 slots, concurrent charge/release never
+  // observes usage above the limit and failures roll back cleanly.
+  constexpr size_t kSlot = 64;
+  MemoryTracker tracker("bounded", nullptr, 4 * kSlot);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&tracker] {
+      for (int i = 0; i < 1000; ++i) {
+        if (tracker.TryConsume(kSlot).ok()) {
+          EXPECT_LE(tracker.usage_bytes(), 4 * kSlot);
+          tracker.Release(kSlot);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(tracker.usage_bytes(), 0u);
+}
+
+TEST(MemoryTrackerTest, EngineGlobalIsSingletonRoot) {
+  MemoryTracker& global = MemoryTracker::EngineGlobal();
+  EXPECT_EQ(&global, &MemoryTracker::EngineGlobal());
+  const size_t before = global.usage_bytes();
+  {
+    MemoryTracker query("query", &global);
+    ASSERT_TRUE(query.TryConsume(128).ok());
+    EXPECT_EQ(global.usage_bytes(), before + 128);
+  }
+  EXPECT_EQ(global.usage_bytes(), before);
+}
+
+}  // namespace
+}  // namespace sgb

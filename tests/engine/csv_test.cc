@@ -58,12 +58,103 @@ TEST(CsvTest, RaggedRowIsError) {
   EXPECT_FALSE(ReadCsvFromString("a,b\n1\n").ok());
 }
 
+TEST(CsvTest, RaggedRowErrorNamesLineAndArity) {
+  // Line 3 (header is line 1) is short by one cell; the error pinpoints it.
+  auto result = ReadCsvFromString("a,b\n1,2\n3\n4,5\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+  const std::string& message = result.status().message();
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("1 cells"), std::string::npos) << message;
+  EXPECT_NE(message.find("expected 2"), std::string::npos) << message;
+}
+
 TEST(CsvTest, UnterminatedQuoteIsError) {
   EXPECT_FALSE(ReadCsvFromString("a\n\"oops\n").ok());
 }
 
+TEST(CsvTest, UnterminatedQuoteErrorNamesOpeningLine) {
+  // The quote opens on line 2 and swallows the rest of the input; the
+  // error must name line 2, not the last line scanned.
+  auto result = ReadCsvFromString("a\n\"never closed\nmore\nlines\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos)
+      << result.status().ToString();
+}
+
 TEST(CsvTest, EmptyInputIsError) {
-  EXPECT_FALSE(ReadCsvFromString("").ok());
+  auto result = ReadCsvFromString("");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("empty"), std::string::npos);
+}
+
+TEST(CsvTest, HeaderOnlyInputYieldsEmptyTableWithSchema) {
+  const auto table = ReadCsvFromString("id,name\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table.value()->NumRows(), 0u);
+  ASSERT_EQ(table.value()->schema().size(), 2u);
+  EXPECT_EQ(table.value()->schema().column(0).name, "id");
+  EXPECT_EQ(table.value()->schema().column(1).name, "name");
+}
+
+TEST(CsvTest, HeaderOnlyWithoutTrailingNewlineAlsoWorks) {
+  const auto table = ReadCsvFromString("id,name");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table.value()->NumRows(), 0u);
+}
+
+TEST(CsvTest, OverlongLineIsRejectedWithLineNumber) {
+  CsvOptions options;
+  options.max_line_bytes = 16;
+  const std::string long_line(64, 'x');
+  auto result = ReadCsvFromString("a\nok\n" + long_line + "\n", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+  const std::string& message = result.status().message();
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("16-byte"), std::string::npos) << message;
+}
+
+TEST(CsvTest, NoNewlineAtAllHitsLineLimitNotOom) {
+  // A hostile "one giant line" input fails fast at the limit instead of
+  // accumulating the whole file into a single cell.
+  CsvOptions options;
+  options.max_line_bytes = 1024;
+  const std::string giant(8192, 'z');
+  auto result = ReadCsvFromString(giant, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(CsvTest, ZeroLineLimitMeansUnlimited) {
+  CsvOptions options;
+  options.max_line_bytes = 0;
+  const std::string wide = "a\n" + std::string(1 << 16, 'y') + "\n";
+  ASSERT_TRUE(ReadCsvFromString(wide, options).ok());
+}
+
+TEST(CsvTest, QuotedNewlinesSpanLinesAndKeepLineAccounting) {
+  // The quoted cell swallows a newline, so the row after it sits on line 4;
+  // a ragged row there must still be reported as line 4.
+  const auto table = ReadCsvFromString("a,b\n\"line1\nline2\",x\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table.value()->rows()[0][0].AsString(), "line1\nline2");
+
+  auto ragged = ReadCsvFromString("a,b\n\"line1\nline2\",x\nonly_one\n");
+  ASSERT_FALSE(ragged.ok());
+  EXPECT_NE(ragged.status().message().find("line 4"), std::string::npos)
+      << ragged.status().ToString();
+}
+
+TEST(CsvTest, CrlfQuotedAndRaggedInteract) {
+  // CRLF terminators with quoted delimiters: 2 data rows, quotes honored.
+  const auto table = ReadCsvFromString(
+      "name,score\r\n\"a,b\",1\r\n\"c\",2\r\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ(table.value()->NumRows(), 2u);
+  EXPECT_EQ(table.value()->rows()[0][0].AsString(), "a,b");
+  EXPECT_EQ(table.value()->rows()[1][1].AsInt(), 2);
 }
 
 TEST(CsvTest, RoundTrip) {

@@ -1,0 +1,412 @@
+// Differential fuzz harness for the SGB cores and the engine pipeline.
+//
+// Each case draws a seeded point set (uniform / clustered / adversarial
+// duplicates / non-finite coordinates) and a random configuration
+// ({L2, LInf} x {JOIN-ANY, ELIMINATE, FORM-NEW-GROUP} x dop {1, 4}), then
+// cross-checks every implementation tier against the All-Pairs oracle:
+// SGB-All {AllPairs, BoundsChecking, Indexed} and SGB-Any
+// {AllPairs, Indexed}, serial and parallel, must produce bit-identical
+// groupings. A separate pass drives the same grouping through the engine's
+// batch pipeline at several RowBatch capacities and cross-checks the
+// materialized tables.
+//
+// On a mismatch the failing input is minimized by greedy point removal and
+// printed as a paste-able repro, so a fuzz failure in CI localizes itself.
+//
+// Knobs (environment):
+//   SGB_FUZZ_CASES  number of cases per test (default 200)
+//   SGB_FUZZ_SEED   master seed (default 20260806)
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/sgb_all.h"
+#include "core/sgb_any.h"
+#include "engine/csv.h"
+#include "engine/executor.h"
+
+namespace sgb::core {
+namespace {
+
+using geom::Metric;
+using geom::Point;
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+size_t FuzzCases() { return EnvU64("SGB_FUZZ_CASES", 200); }
+uint64_t FuzzSeed() { return EnvU64("SGB_FUZZ_SEED", 20260806); }
+
+enum class PointKind { kUniform, kClustered, kDuplicates, kNonFinite };
+
+const char* KindName(PointKind kind) {
+  switch (kind) {
+    case PointKind::kUniform: return "uniform";
+    case PointKind::kClustered: return "clustered";
+    case PointKind::kDuplicates: return "duplicates";
+    case PointKind::kNonFinite: return "non-finite";
+  }
+  return "?";
+}
+
+std::vector<Point> GeneratePoints(Rng& rng, PointKind kind, size_t n) {
+  std::vector<Point> pts;
+  pts.reserve(n);
+  switch (kind) {
+    case PointKind::kUniform:
+      for (size_t i = 0; i < n; ++i) {
+        pts.push_back({rng.NextUniform(0, 8), rng.NextUniform(0, 8)});
+      }
+      break;
+    case PointKind::kClustered: {
+      const size_t hotspots = 1 + rng.NextBounded(5);
+      std::vector<Point> centers;
+      for (size_t i = 0; i < hotspots; ++i) {
+        centers.push_back({rng.NextUniform(0, 8), rng.NextUniform(0, 8)});
+      }
+      for (size_t i = 0; i < n; ++i) {
+        const Point& c = centers[rng.NextBounded(hotspots)];
+        pts.push_back({rng.NextGaussian(c.x, 0.3), rng.NextGaussian(c.y, 0.3)});
+      }
+      break;
+    }
+    case PointKind::kDuplicates:
+      // Snap to a coarse lattice: many exact duplicates, collinear runs,
+      // and distances that land exactly on epsilon multiples — the
+      // adversarial regime for tie-breaking and boundary predicates.
+      for (size_t i = 0; i < n; ++i) {
+        pts.push_back({0.5 * static_cast<double>(rng.NextBounded(9)),
+                       0.5 * static_cast<double>(rng.NextBounded(9))});
+      }
+      break;
+    case PointKind::kNonFinite: {
+      constexpr double kSpecials[] = {
+          std::numeric_limits<double>::quiet_NaN(),
+          std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity(),
+      };
+      for (size_t i = 0; i < n; ++i) {
+        Point p{rng.NextUniform(0, 8), rng.NextUniform(0, 8)};
+        if (rng.NextBounded(4) == 0) p.x = kSpecials[rng.NextBounded(3)];
+        if (rng.NextBounded(4) == 0) p.y = kSpecials[rng.NextBounded(3)];
+        pts.push_back(p);
+      }
+      break;
+    }
+  }
+  return pts;
+}
+
+struct CaseConfig {
+  PointKind kind = PointKind::kUniform;
+  Metric metric = Metric::kL2;
+  double epsilon = 0.5;
+  OverlapClause clause = OverlapClause::kJoinAny;
+  uint64_t join_seed = 0;
+
+  std::string ToText() const {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "kind=%s metric=%s epsilon=%.17g clause=%s join_seed=%llu",
+                  KindName(kind),
+                  metric == Metric::kL2 ? "L2" : "LInf", epsilon,
+                  ToString(clause),
+                  static_cast<unsigned long long>(join_seed));
+    return buf;
+  }
+};
+
+CaseConfig DrawConfig(Rng& rng) {
+  CaseConfig config;
+  config.kind = static_cast<PointKind>(rng.NextBounded(4));
+  config.metric = rng.NextBounded(2) == 0 ? Metric::kL2 : Metric::kLInf;
+  config.epsilon = rng.NextUniform(0.05, 2.0);
+  constexpr OverlapClause kClauses[] = {OverlapClause::kJoinAny,
+                                        OverlapClause::kEliminate,
+                                        OverlapClause::kFormNewGroup};
+  config.clause = kClauses[rng.NextBounded(3)];
+  config.join_seed = rng.NextU64();
+  return config;
+}
+
+SgbAllOptions AllOptions(const CaseConfig& config, SgbAllAlgorithm algorithm,
+                         int dop) {
+  SgbAllOptions options;
+  options.epsilon = config.epsilon;
+  options.metric = config.metric;
+  options.on_overlap = config.clause;
+  options.seed = config.join_seed;
+  options.algorithm = algorithm;
+  options.degree_of_parallelism = dop;
+  return options;
+}
+
+SgbAnyOptions AnyOptions(const CaseConfig& config, SgbAnyAlgorithm algorithm,
+                         int dop) {
+  SgbAnyOptions options;
+  options.epsilon = config.epsilon;
+  options.metric = config.metric;
+  options.algorithm = algorithm;
+  options.degree_of_parallelism = dop;
+  return options;
+}
+
+/// Paste-able repro: the config plus every point at full precision.
+std::string Repro(const CaseConfig& config, const std::vector<Point>& pts) {
+  std::string out = "repro: " + config.ToText() + "\npoints = {\n";
+  char buf[96];
+  for (const Point& p : pts) {
+    std::snprintf(buf, sizeof(buf), "  {%.17g, %.17g},\n", p.x, p.y);
+    out += buf;
+  }
+  out += "};";
+  return out;
+}
+
+/// Greedy delta-debugging: drop any point whose removal keeps the mismatch,
+/// repeating until a pass removes nothing. `mismatch` returns true when the
+/// divergence is still present on the candidate input.
+template <typename MismatchFn>
+std::vector<Point> Minimize(std::vector<Point> pts, MismatchFn mismatch) {
+  bool shrunk = true;
+  while (shrunk && pts.size() > 1) {
+    shrunk = false;
+    for (size_t i = 0; i < pts.size();) {
+      std::vector<Point> candidate = pts;
+      candidate.erase(candidate.begin() + static_cast<ptrdiff_t>(i));
+      if (mismatch(candidate)) {
+        pts = std::move(candidate);
+        shrunk = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return pts;
+}
+
+/// Both runs must succeed and agree exactly; reports a minimized repro
+/// otherwise. Returns false on divergence so callers can stop early.
+template <typename RunFn>
+bool CheckAgainstOracle(const std::vector<Point>& pts,
+                        const CaseConfig& config, const Grouping& oracle,
+                        RunFn run, const char* variant) {
+  auto result = run(pts);
+  if (result.ok() && result.value().group_of == oracle.group_of) return true;
+
+  auto mismatch = [&run, &config](const std::vector<Point>& candidate) {
+    // Recompute the oracle on the shrunk input; any error counts as a
+    // still-live divergence.
+    auto fresh_oracle = SgbAll(candidate, AllOptions(
+        config, SgbAllAlgorithm::kAllPairs, 1));
+    auto fresh = run(candidate);
+    if (!fresh_oracle.ok() || !fresh.ok()) return true;
+    return fresh_oracle.value().group_of != fresh.value().group_of;
+  };
+  const auto minimal = Minimize(pts, mismatch);
+  ADD_FAILURE() << variant << " diverges from the All-Pairs oracle\n"
+                << (result.ok() ? "(grouping mismatch)"
+                                : result.status().ToString())
+                << "\n"
+                << Repro(config, minimal);
+  return false;
+}
+
+/// SGB-Any variant of the above (its own oracle).
+template <typename RunFn>
+bool CheckAnyAgainstOracle(const std::vector<Point>& pts,
+                           const CaseConfig& config, const Grouping& oracle,
+                           RunFn run, const char* variant) {
+  auto result = run(pts);
+  if (result.ok() && result.value().group_of == oracle.group_of) return true;
+
+  auto mismatch = [&run, &config](const std::vector<Point>& candidate) {
+    auto fresh_oracle = SgbAny(candidate, AnyOptions(
+        config, SgbAnyAlgorithm::kAllPairs, 1));
+    auto fresh = run(candidate);
+    if (!fresh_oracle.ok() || !fresh.ok()) return true;
+    return fresh_oracle.value().group_of != fresh.value().group_of;
+  };
+  const auto minimal = Minimize(pts, mismatch);
+  ADD_FAILURE() << variant << " diverges from the All-Pairs oracle\n"
+                << (result.ok() ? "(grouping mismatch)"
+                                : result.status().ToString())
+                << "\n"
+                << Repro(config, minimal);
+  return false;
+}
+
+/// Every grouping — even over garbage coordinates — must be well-formed:
+/// one entry per point, ids dense below num_groups or kEliminated.
+void ExpectValidShape(const Grouping& grouping, size_t n,
+                      const CaseConfig& config) {
+  ASSERT_EQ(grouping.group_of.size(), n) << config.ToText();
+  for (const size_t g : grouping.group_of) {
+    EXPECT_TRUE(g < grouping.num_groups || g == Grouping::kEliminated)
+        << config.ToText();
+  }
+}
+
+TEST(SgbFuzzTest, DifferentialCrossCheckAgainstAllPairsOracle) {
+  Rng rng(FuzzSeed());
+  const size_t cases = FuzzCases();
+  size_t non_finite_cases = 0;
+  for (size_t c = 0; c < cases; ++c) {
+    const CaseConfig config = DrawConfig(rng);
+    const size_t n = rng.NextBounded(121);  // includes the empty input
+    const auto pts = GeneratePoints(rng, config.kind, n);
+    SCOPED_TRACE("case " + std::to_string(c) + ": " + config.ToText() +
+                 " n=" + std::to_string(n));
+
+    if (config.kind == PointKind::kNonFinite) {
+      // NaN breaks the metric axioms, so the tiers may legitimately
+      // disagree; the contract is weaker — never crash, always produce a
+      // well-formed grouping. Serial tiers only: the parallel grid
+      // partitioner requires finite coordinates (docs/ROBUSTNESS.md).
+      ++non_finite_cases;
+      for (const SgbAllAlgorithm algorithm :
+           {SgbAllAlgorithm::kAllPairs, SgbAllAlgorithm::kBoundsChecking,
+            SgbAllAlgorithm::kIndexed}) {
+        auto result = SgbAll(pts, AllOptions(config, algorithm, 1));
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        ExpectValidShape(result.value(), n, config);
+      }
+      for (const SgbAnyAlgorithm algorithm :
+           {SgbAnyAlgorithm::kAllPairs, SgbAnyAlgorithm::kIndexed}) {
+        auto result = SgbAny(pts, AnyOptions(config, algorithm, 1));
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        ExpectValidShape(result.value(), n, config);
+      }
+      continue;
+    }
+
+    // SGB-All: All-Pairs is the oracle; every tier and dop must match it.
+    auto all_oracle = SgbAll(pts, AllOptions(
+        config, SgbAllAlgorithm::kAllPairs, 1));
+    ASSERT_TRUE(all_oracle.ok()) << all_oracle.status().ToString();
+    ExpectValidShape(all_oracle.value(), n, config);
+    bool ok = true;
+    for (const SgbAllAlgorithm algorithm :
+         {SgbAllAlgorithm::kBoundsChecking, SgbAllAlgorithm::kIndexed}) {
+      for (const int dop : {1, 4}) {
+        const std::string variant =
+            std::string("SgbAll/") + ToString(algorithm) + "/dop" +
+            std::to_string(dop);
+        ok &= CheckAgainstOracle(
+            pts, config, all_oracle.value(),
+            [&config, algorithm, dop](const std::vector<Point>& input) {
+              return SgbAll(input, AllOptions(config, algorithm, dop));
+            },
+            variant.c_str());
+      }
+    }
+    ok &= CheckAgainstOracle(
+        pts, config, all_oracle.value(),
+        [&config](const std::vector<Point>& input) {
+          return SgbAll(input,
+                        AllOptions(config, SgbAllAlgorithm::kAllPairs, 4));
+        },
+        "SgbAll/AllPairs/dop4");
+
+    // SGB-Any: same pattern with its own oracle.
+    auto any_oracle = SgbAny(pts, AnyOptions(
+        config, SgbAnyAlgorithm::kAllPairs, 1));
+    ASSERT_TRUE(any_oracle.ok()) << any_oracle.status().ToString();
+    ExpectValidShape(any_oracle.value(), n, config);
+    for (const SgbAnyAlgorithm algorithm :
+         {SgbAnyAlgorithm::kAllPairs, SgbAnyAlgorithm::kIndexed}) {
+      for (const int dop : {1, 4}) {
+        if (algorithm == SgbAnyAlgorithm::kAllPairs && dop == 1) continue;
+        const std::string variant =
+            std::string("SgbAny/") + ToString(algorithm) + "/dop" +
+            std::to_string(dop);
+        ok &= CheckAnyAgainstOracle(
+            pts, config, any_oracle.value(),
+            [&config, algorithm, dop](const std::vector<Point>& input) {
+              return SgbAny(input, AnyOptions(config, algorithm, dop));
+            },
+            variant.c_str());
+      }
+    }
+    if (!ok) break;  // one minimized repro is enough
+  }
+  EXPECT_GT(non_finite_cases, 0u)
+      << "fuzz sweep never drew the non-finite generator; raise "
+         "SGB_FUZZ_CASES";
+}
+
+// The batch pipeline must be a pure chunking of the row pipeline: driving
+// the same plan with different RowBatch capacities cannot change the
+// result table.
+TEST(SgbFuzzTest, BatchSizesProduceIdenticalResults) {
+  using engine::Column;
+  using engine::Database;
+  using engine::DataType;
+  using engine::Row;
+  using engine::RowBatch;
+  using engine::Schema;
+  using engine::Table;
+  using engine::Value;
+
+  Rng rng(FuzzSeed() ^ 0xBA7C4);
+  const size_t cases = std::max<size_t>(FuzzCases() / 8, 8);
+  for (size_t c = 0; c < cases; ++c) {
+    CaseConfig config = DrawConfig(rng);
+    if (config.kind == PointKind::kNonFinite) config.kind = PointKind::kUniform;
+    const size_t n = 1 + rng.NextBounded(120);
+    const auto pts = GeneratePoints(rng, config.kind, n);
+    SCOPED_TRACE("case " + std::to_string(c) + ": " + config.ToText() +
+                 " n=" + std::to_string(n));
+
+    Database db;
+    auto table = std::make_shared<Table>(Schema({
+        Column{"x", DataType::kDouble, ""},
+        Column{"y", DataType::kDouble, ""},
+    }));
+    for (const Point& p : pts) {
+      ASSERT_TRUE(
+          table->Append({Value::Double(p.x), Value::Double(p.y)}).ok());
+    }
+    db.Register("pts", table);
+
+    char sql[256];
+    std::snprintf(sql, sizeof(sql),
+                  "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY "
+                  "%s WITHIN %.17g",
+                  config.metric == Metric::kL2 ? "L2" : "LINF",
+                  config.epsilon);
+
+    auto reference = db.Query(sql);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    const std::string want = engine::WriteCsvToString(reference.value());
+
+    for (const size_t capacity : {size_t{1}, size_t{3}, size_t{64}}) {
+      auto plan = db.Prepare(sql);
+      ASSERT_TRUE(plan.ok());
+      Table got(plan.value()->schema());
+      plan.value()->Open();
+      RowBatch batch(capacity);
+      while (plan.value()->NextBatch(&batch)) {
+        for (Row& row : batch.rows()) {
+          ASSERT_TRUE(got.Append(std::move(row)).ok());
+        }
+      }
+      EXPECT_EQ(engine::WriteCsvToString(got), want)
+          << "batch capacity " << capacity;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgb::core
