@@ -6,12 +6,26 @@
 #include <cstddef>
 #include <exception>
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "common/memory_tracker.h"
 #include "common/status.h"
 
 namespace sgb {
+
+/// Out-of-core execution settings carried by the QueryContext. Disabled by
+/// default: a budget breach then fails with ResourceExhausted exactly as
+/// before. When enabled (SET spill = 1), the blocking operators spill to
+/// temp files under `directory` instead, repartitioning recursively with
+/// `fanout`-way fan-out down to at most `max_depth` levels before giving
+/// up with an honest ResourceExhausted (docs/ROBUSTNESS.md).
+struct SpillConfig {
+  bool enabled = false;
+  std::string directory;  ///< empty = SpillFile::SpillDirectory()
+  size_t fanout = 8;
+  int max_depth = 6;
+};
 
 /// Per-execution governance state threaded through the operator tree and
 /// into the SGB cores: a cooperative cancel flag, an optional wall-clock
@@ -66,10 +80,31 @@ class QueryContext {
   MemoryTracker& memory() { return memory_; }
   const MemoryTracker& memory() const { return memory_; }
 
+  /// Configured by Database::Query before execution starts.
+  void set_spill(SpillConfig config) { spill_ = std::move(config); }
+  const SpillConfig& spill() const { return spill_; }
+
+  /// Operators record each spill event (one partitioning pass or sorted
+  /// run written) here; Database aggregates the totals into the
+  /// query.spilled metric and the EXPLAIN ANALYZE `spilled=` line.
+  void AddSpill(uint64_t bytes) {
+    spill_events_.fetch_add(1, std::memory_order_relaxed);
+    spill_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  uint64_t spill_events() const {
+    return spill_events_.load(std::memory_order_relaxed);
+  }
+  uint64_t spill_bytes() const {
+    return spill_bytes_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<bool> cancelled_{false};
   std::optional<Clock::time_point> deadline_;
   MemoryTracker memory_;
+  SpillConfig spill_;
+  std::atomic<uint64_t> spill_events_{0};
+  std::atomic<uint64_t> spill_bytes_{0};
 };
 
 /// The abort channel for the bool-returning Volcano interface: governance

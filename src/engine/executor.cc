@@ -1,6 +1,7 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <utility>
 
@@ -75,6 +76,18 @@ Result<Table> Execute(Operator& root, obs::QueryTrace* trace) {
   return result;
 }
 
+/// EXPLAIN ANALYZE footer: peak memory plus, when the query spilled, the
+/// spill totals (docs/ROBUSTNESS.md "Spill-to-disk").
+std::string GovernanceFooter(size_t peak_bytes, uint64_t spill_events,
+                             uint64_t spill_bytes) {
+  std::string footer = "peak_mem=" + FormatMemoryBytes(peak_bytes) + "\n";
+  if (spill_events > 0) {
+    footer += "spilled=" + std::to_string(spill_events) + "\n";
+    footer += "spill_bytes=" + std::to_string(spill_bytes) + "\n";
+  }
+  return footer;
+}
+
 }  // namespace
 
 Result<OperatorPtr> Database::Prepare(const std::string& sql) const {
@@ -95,11 +108,13 @@ Result<Table> Database::Query(const std::string& sql,
     case sql::ExplainMode::kPlan:
       return PlanTextTable(ExplainPlan(*plan.value()));
     case sql::ExplainMode::kAnalyze: {
-      size_t peak_bytes = 0;
-      auto result = RunPlan(*plan.value(), trace, &peak_bytes);
+      RunStats stats;
+      auto result = RunPlan(*plan.value(), trace, &stats);
       if (!result.ok()) return result.status();
-      return PlanTextTable(ExplainAnalyzePlan(*plan.value()) + "peak_mem=" +
-                           FormatMemoryBytes(peak_bytes) + "\n");
+      return PlanTextTable(
+          ExplainAnalyzePlan(*plan.value()) +
+          GovernanceFooter(stats.peak_bytes, stats.spill_events,
+                           stats.spill_bytes));
     }
     case sql::ExplainMode::kNone:
       break;
@@ -119,11 +134,12 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql,
   auto plan = PlanStatement(catalog_, sql, planner_options_, nullptr, nullptr,
                             trace);
   if (!plan.ok()) return plan.status();
-  size_t peak_bytes = 0;
-  auto result = RunPlan(*plan.value(), trace, &peak_bytes);
+  RunStats stats;
+  auto result = RunPlan(*plan.value(), trace, &stats);
   if (!result.ok()) return result.status();
-  return ExplainAnalyzePlan(*plan.value()) + "peak_mem=" +
-         FormatMemoryBytes(peak_bytes) + "\n";
+  return ExplainAnalyzePlan(*plan.value()) +
+         GovernanceFooter(stats.peak_bytes, stats.spill_events,
+                          stats.spill_bytes);
 }
 
 void Database::Cancel() const {
@@ -132,6 +148,32 @@ void Database::Cancel() const {
 }
 
 Result<Table> Database::ApplySet(const sql::SetStatement& set) const {
+  if (!set.text_value.empty()) {
+    // Identifier-valued settings.
+    if (set.name == "admission") {
+      if (set.text_value == "off") {
+        governance_.admission = AdmissionMode::kOff;
+      } else if (set.text_value == "queue") {
+        governance_.admission = AdmissionMode::kQueue;
+      } else if (set.text_value == "shed") {
+        governance_.admission = AdmissionMode::kShed;
+      } else {
+        return Status::InvalidArgument("SET admission: expected queue, "
+                                       "shed, or off, got '" +
+                                       set.text_value + "'");
+      }
+    } else {
+      return Status::InvalidArgument(
+          "SET " + set.name + ": expected an integer value, got '" +
+          set.text_value + "'");
+    }
+    Schema schema;
+    schema.AddColumn(Column{"set", DataType::kString, ""});
+    Table table(schema);
+    SGB_RETURN_IF_ERROR(
+        table.Append(Row{Value::Str(set.name + " = " + set.text_value)}));
+    return table;
+  }
   if (set.value < 0) {
     return Status::InvalidArgument("SET " + set.name +
                                    ": value must be >= 0");
@@ -142,10 +184,15 @@ Result<Table> Database::ApplySet(const sql::SetStatement& set) const {
     governance_.memory_budget_bytes = static_cast<size_t>(set.value);
   } else if (set.name == "parallel") {
     planner_options_.default_sgb_dop = static_cast<int>(set.value);
+  } else if (set.name == "spill") {
+    governance_.spill_enabled = set.value != 0;
+  } else if (set.name == "admission_budget") {
+    governance_.admission_budget_bytes = static_cast<size_t>(set.value);
   } else {
     return Status::InvalidArgument(
         "unknown setting '" + set.name +
-        "' (expected timeout, memory_budget, or parallel)");
+        "' (expected timeout, memory_budget, parallel, spill, admission, "
+        "or admission_budget)");
   }
   Schema schema;
   schema.AddColumn(Column{"set", DataType::kString, ""});
@@ -155,10 +202,70 @@ Result<Table> Database::ApplySet(const sql::SetStatement& set) const {
   return table;
 }
 
+Status Database::AdmitQuery(size_t estimate, bool* admitted) const {
+  *admitted = false;
+  if (governance_.admission == AdmissionMode::kOff) return Status::OK();
+  const size_t limit = governance_.admission_budget_bytes != 0
+                           ? governance_.admission_budget_bytes
+                           : MemoryTracker::EngineGlobal().limit_bytes();
+  if (limit == 0) return Status::OK();  // No headroom defined: admit.
+
+  auto& registry = obs::MetricsRegistry::Global();
+  std::unique_lock<std::mutex> lock(active_->mu);
+  if (estimate > limit) {
+    // Larger than the whole headroom: queueing can never help.
+    registry.GetCounter("query.shed").Add(1);
+    return Status::ResourceExhausted(
+        "admission: estimated footprint " + std::to_string(estimate) +
+        "B exceeds the engine headroom " + std::to_string(limit) + "B");
+  }
+  if (active_->admitted_bytes + estimate <= limit) {
+    active_->admitted_bytes += estimate;
+    *admitted = true;
+    return Status::OK();
+  }
+  if (governance_.admission == AdmissionMode::kShed) {
+    registry.GetCounter("query.shed").Add(1);
+    return Status::ResourceExhausted(
+        "admission: engine headroom exhausted (" +
+        std::to_string(active_->admitted_bytes) + "B admitted of " +
+        std::to_string(limit) + "B); query shed");
+  }
+
+  // Queue mode: wait for enough admitted queries to finish. Releases are
+  // signaled through `cv`, but we also poll so a timeout set mid-wait or a
+  // release on another Database sharing the engine tracker cannot wedge us.
+  registry.GetCounter("query.queued").Add(1);
+  const bool has_deadline = governance_.timeout_ms > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(governance_.timeout_ms);
+  while (active_->admitted_bytes + estimate > limit) {
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded(
+          "admission: queued past the session timeout (" +
+          std::to_string(governance_.timeout_ms) + "ms)");
+    }
+    active_->cv.wait_for(lock, std::chrono::milliseconds(10));
+  }
+  active_->admitted_bytes += estimate;
+  *admitted = true;
+  return Status::OK();
+}
+
 Result<Table> Database::RunPlan(Operator& root, obs::QueryTrace* trace,
-                                size_t* peak_bytes) const {
+                                RunStats* run_stats) const {
+  const size_t estimate = root.EstimateFootprintBytes();
+  bool admitted = false;
+  SGB_RETURN_IF_ERROR(AdmitQuery(estimate, &admitted));
+
   QueryContext ctx(governance_.memory_budget_bytes);
   if (governance_.timeout_ms > 0) ctx.SetTimeout(governance_.timeout_ms);
+  if (governance_.spill_enabled) {
+    SpillConfig spill;
+    spill.enabled = true;
+    spill.directory = governance_.spill_directory;
+    ctx.set_spill(spill);
+  }
   root.SetQueryContext(&ctx);
   {
     std::lock_guard<std::mutex> lock(active_->mu);
@@ -172,13 +279,22 @@ Result<Table> Database::RunPlan(Operator& root, obs::QueryTrace* trace,
     auto& contexts = active_->contexts;
     contexts.erase(std::remove(contexts.begin(), contexts.end(), &ctx),
                    contexts.end());
+    if (admitted) {
+      active_->admitted_bytes -= std::min(active_->admitted_bytes, estimate);
+    }
   }
+  if (admitted) active_->cv.notify_all();
   const size_t peak = ctx.memory().peak_bytes();
-  if (peak_bytes != nullptr) *peak_bytes = peak;
+  if (run_stats != nullptr) {
+    run_stats->peak_bytes = peak;
+    run_stats->spill_events = ctx.spill_events();
+    run_stats->spill_bytes = ctx.spill_bytes();
+  }
   // Detach before `ctx` dies: the plan can be re-executed or rendered later.
   root.SetQueryContext(nullptr);
 
   auto& registry = obs::MetricsRegistry::Global();
+  if (ctx.spill_events() > 0) registry.GetCounter("query.spilled").Add(1);
   registry.GetGauge("mem.query.peak").Set(static_cast<double>(peak));
   registry.GetGauge("mem.engine.usage")
       .Set(static_cast<double>(MemoryTracker::EngineGlobal().usage_bytes()));

@@ -1,6 +1,7 @@
 #ifndef SGB_ENGINE_EXECUTOR_H_
 #define SGB_ENGINE_EXECUTOR_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -14,6 +15,14 @@
 #include "sql/planner.h"
 
 namespace sgb::engine {
+
+/// What Database does when a query's estimated footprint does not fit the
+/// engine headroom at plan time (docs/ROBUSTNESS.md "Admission control").
+enum class AdmissionMode {
+  kOff,    ///< admit everything (the historical behavior)
+  kQueue,  ///< wait until enough admitted queries finish
+  kShed,   ///< fail fast with ResourceExhausted
+};
 
 /// Top-level facade tying the SQL front end to the engine: register tables,
 /// run SQL strings, get materialized results. This is the entry point the
@@ -93,6 +102,39 @@ class Database {
     return governance_.memory_budget_bytes;
   }
 
+  /// Out-of-core fallback (`SET spill = 1`): when enabled, the blocking
+  /// operators (hash aggregate/join, sort, the SGB drain) spill to temp
+  /// files on a budget breach and retry per-partition instead of failing
+  /// with ResourceExhausted. Results are unchanged; EXPLAIN ANALYZE gains
+  /// `spilled=` / `spill_bytes=` lines when a query spilled.
+  void set_spill_enabled(bool enabled) { governance_.spill_enabled = enabled; }
+  bool spill_enabled() const { return governance_.spill_enabled; }
+
+  /// Spill temp-file directory (empty = SGB_SPILL_DIR / TMPDIR / /tmp).
+  void set_spill_directory(std::string dir) {
+    governance_.spill_directory = std::move(dir);
+  }
+  const std::string& spill_directory() const {
+    return governance_.spill_directory;
+  }
+
+  /// Admission control (`SET admission = queue|shed|off`): gate each query
+  /// at plan time on its estimated footprint against the engine headroom.
+  void set_admission_mode(AdmissionMode mode) {
+    governance_.admission = mode;
+  }
+  AdmissionMode admission_mode() const { return governance_.admission; }
+
+  /// Admission headroom in bytes; 0 falls back to the engine-global
+  /// tracker's limit (SGB_ENGINE_MEMORY_LIMIT). With both zero, admission
+  /// is a no-op even when a mode is set.
+  void set_admission_budget_bytes(size_t bytes) {
+    governance_.admission_budget_bytes = bytes;
+  }
+  size_t admission_budget_bytes() const {
+    return governance_.admission_budget_bytes;
+  }
+
   /// Cooperatively cancels every query currently executing on this
   /// Database. Callable from any thread; the running queries fail with
   /// Status::Cancelled at their next governance check and the Database
@@ -103,22 +145,42 @@ class Database {
   struct Governance {
     int64_t timeout_ms = 0;            ///< 0 = no deadline
     size_t memory_budget_bytes = 0;    ///< 0 = unlimited
+    bool spill_enabled = false;
+    std::string spill_directory;       ///< empty = environment default
+    AdmissionMode admission = AdmissionMode::kOff;
+    size_t admission_budget_bytes = 0;  ///< 0 = engine-global limit
+  };
+
+  /// Per-run governance outcomes surfaced to EXPLAIN ANALYZE.
+  struct RunStats {
+    size_t peak_bytes = 0;
+    uint64_t spill_events = 0;
+    uint64_t spill_bytes = 0;
   };
 
   Result<Table> ApplySet(const sql::SetStatement& set) const;
 
+  /// Admission gate: decides at plan time whether a query whose estimated
+  /// footprint is `estimate` bytes may run now. Queue mode blocks until
+  /// headroom frees up (bounded by the session timeout when one is set);
+  /// shed mode fails fast. `*admitted` reports whether headroom was
+  /// actually reserved (and must be released after the run).
+  Status AdmitQuery(size_t estimate, bool* admitted) const;
+
   /// Executes `root` under a fresh QueryContext built from the session
   /// governance, maintaining the active-query registry and the `mem.*` /
-  /// `query.*` metrics. `peak_bytes`, when non-null, receives the query's
-  /// peak tracked memory (the EXPLAIN ANALYZE `peak_mem=` value).
+  /// `query.*` metrics. `run_stats`, when non-null, receives the query's
+  /// peak tracked memory and spill totals (the EXPLAIN ANALYZE footer).
   Result<Table> RunPlan(Operator& root, obs::QueryTrace* trace,
-                        size_t* peak_bytes) const;
+                        RunStats* run_stats) const;
 
   /// Registry of the queries executing right now; behind a shared_ptr so
   /// Database stays movable (tests build and return them by value).
   struct ActiveQueries {
     std::mutex mu;
+    std::condition_variable cv;  ///< signaled when admitted queries finish
     std::vector<QueryContext*> contexts;
+    size_t admitted_bytes = 0;   ///< estimated footprints currently admitted
   };
 
   Catalog catalog_;

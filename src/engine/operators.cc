@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <numeric>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
 #include "common/fault_injection.h"
+#include "engine/spill.h"
 #include "obs/metrics.h"
 
 namespace sgb::engine {
@@ -70,7 +73,79 @@ void Operator::ChargeMemory(size_t bytes) {
   }
 }
 
+bool Operator::TryChargeMemory(size_t bytes) {
+  if (ctx_ == nullptr || bytes <= charged_bytes_) {
+    ChargeMemory(bytes);  // peak update and/or release; cannot throw
+    return true;
+  }
+  Status status = ctx_->memory().TryConsume(bytes - charged_bytes_);
+  if (!status.ok()) return false;
+  charged_bytes_ = bytes;
+  stats_.peak_memory_bytes =
+      std::max<uint64_t>(stats_.peak_memory_bytes, bytes);
+  return true;
+}
+
 namespace {
+
+void ThrowIfError(Status status) {
+  if (!status.ok()) throw QueryAbort(std::move(status));
+}
+
+std::unique_ptr<SpillFile> CreateSpillFileOrThrow(const std::string& dir) {
+  Result<std::unique_ptr<SpillFile>> file = SpillFile::Create(dir);
+  if (!file.ok()) throw QueryAbort(file.status());
+  return std::move(file).value();
+}
+
+bool NextOrThrow(SpillFile* file, Row* row) {
+  Result<bool> more = file->Next(row);
+  if (!more.ok()) throw QueryAbort(more.status());
+  return more.value();
+}
+
+/// One spill event = one batch of bytes moved to disk (a tee log, a
+/// partitioning pass, or a sorted run). Rolls into the QueryContext totals
+/// (the `spilled=` EXPLAIN ANALYZE line and the query.spilled metric) and
+/// the operator's own `spilled`/`spill_bytes` extras.
+void RecordSpillEvent(QueryContext* ctx, uint64_t bytes,
+                      OperatorStats* stats) {
+  if (ctx != nullptr) ctx->AddSpill(bytes);
+  stats->extra["spilled"] += 1;
+  stats->extra["spill_bytes"] += bytes;
+  obs::MetricsRegistry::Global().GetCounter("spill.events").Add(1);
+}
+
+/// Grace execution produces results partition-major; `seqs` carries each
+/// result row's position in the in-memory output order (rows spill with a
+/// trailing arrival-sequence column). Permutes `results` back so spilled
+/// output is bit-identical to the in-memory run, order included. Stable,
+/// because join output repeats one probe sequence per matched build row.
+void RestoreSpilledOrder(std::vector<Row>* results,
+                         std::vector<uint64_t>* seqs) {
+  std::vector<size_t> idx(results->size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    return (*seqs)[a] < (*seqs)[b];
+  });
+  std::vector<Row> ordered;
+  ordered.reserve(results->size());
+  for (size_t i : idx) ordered.push_back(std::move((*results)[i]));
+  *results = std::move(ordered);
+  seqs->clear();
+  seqs->shrink_to_fit();
+}
+
+/// Pops the trailing arrival-sequence column a spilled row was tagged with.
+uint64_t PopRowSeq(Row* row) {
+  const uint64_t seq = static_cast<uint64_t>(row->back().AsInt());
+  row->pop_back();
+  return seq;
+}
+
+/// Ballpark per-entry overhead of an unordered_map node (bucket slot,
+/// next pointer, hash) used by the incremental build-side estimates.
+constexpr size_t kMapNodeBytes = 64;
 
 class TableScanOp final : public Operator {
  public:
@@ -85,6 +160,10 @@ class TableScanOp final : public Operator {
     return schema_.size() > 0 && !schema_.column(0).qualifier.empty()
                ? "TableScan " + schema_.column(0).qualifier
                : std::string("TableScan");
+  }
+  size_t EstimateFootprintBytes() const override {
+    return table_->NumRows() *
+           (sizeof(Row) + schema_.size() * sizeof(Value));
   }
   void OpenImpl() override { next_ = 0; }
   bool NextImpl(Row* out) override {
@@ -217,12 +296,15 @@ class HashAggregateOp final : public Operator {
   void OpenImpl() override {
     child_->Open();
     results_.clear();
+    result_seqs_.clear();
     next_ = 0;
+    results_bytes_ = 0;
+    if (SpillEnabled()) {
+      OpenWithSpill();
+      return;
+    }
 
-    struct GroupEntry {
-      std::vector<std::unique_ptr<AggregateState>> states;
-    };
-    std::unordered_map<Row, GroupEntry, RowHash, RowEq> groups;
+    GroupMap groups;
     std::vector<Row> key_order;  // deterministic output order
 
     Row row;
@@ -243,23 +325,12 @@ class HashAggregateOp final : public Operator {
 
     // Global aggregation emits one row even when the input was empty.
     if (group_exprs_.empty() && groups.empty()) {
-      Row out;
-      for (const AggregateSpec& a : aggregates_) {
-        out.push_back(CreateAggregateState(a)->Finalize());
-      }
-      results_.push_back(std::move(out));
+      EmitGlobalDefaultRow();
       mutable_stats().extra["groups"] = results_.size();
       return;
     }
 
-    results_.reserve(key_order.size());
-    for (const Row& key : key_order) {
-      Row out = key;
-      for (const auto& state : groups[key].states) {
-        out.push_back(state->Finalize());
-      }
-      results_.push_back(std::move(out));
-    }
+    FinalizeGroups(&groups, key_order);
     mutable_stats().extra["groups"] = results_.size();
     ChargeMemory(ApproxRowVectorBytes(key_order) +
                  ApproxRowVectorBytes(results_) +
@@ -274,12 +345,214 @@ class HashAggregateOp final : public Operator {
   }
 
  private:
+  struct GroupEntry {
+    std::vector<std::unique_ptr<AggregateState>> states;
+  };
+  using GroupMap = std::unordered_map<Row, GroupEntry, RowHash, RowEq>;
+
+  Row EvalKey(const Row& row) const {
+    Row key;
+    key.reserve(group_exprs_.size());
+    for (const ExprPtr& e : group_exprs_) key.push_back(e->Evaluate(row));
+    return key;
+  }
+
+  /// Feeds `row` into its group (creating states on first sight) and
+  /// returns the estimated bytes the insertion added to the hash table.
+  size_t AddToGroups(GroupMap* groups, std::vector<Row>* key_order, Row key,
+                     const Row& row) const {
+    size_t delta = 0;
+    auto [it, inserted] = groups->try_emplace(std::move(key));
+    if (inserted) {
+      key_order->push_back(it->first);
+      it->second.states.reserve(aggregates_.size());
+      for (const AggregateSpec& a : aggregates_) {
+        it->second.states.push_back(CreateAggregateState(a));
+      }
+      delta = 2 * (sizeof(Row) + it->first.capacity() * sizeof(Value)) +
+              kMapNodeBytes +
+              aggregates_.size() *
+                  (sizeof(std::unique_ptr<AggregateState>) + 48);
+    }
+    for (auto& state : it->second.states) state->Add(row);
+    return delta;
+  }
+
+  void EmitGlobalDefaultRow() {
+    Row out;
+    for (const AggregateSpec& a : aggregates_) {
+      out.push_back(CreateAggregateState(a)->Finalize());
+    }
+    results_.push_back(std::move(out));
+  }
+
+  void FinalizeGroups(GroupMap* groups, const std::vector<Row>& key_order) {
+    results_.reserve(results_.size() + key_order.size());
+    for (const Row& key : key_order) {
+      Row out;
+      out.reserve(key.size() + aggregates_.size());
+      out.insert(out.end(), key.begin(), key.end());
+      for (const auto& state : (*groups)[key].states) {
+        out.push_back(state->Finalize());
+      }
+      results_.push_back(std::move(out));
+    }
+  }
+
+  /// Grace aggregation (docs/ROBUSTNESS.md "Spill-to-disk"): aggregate in
+  /// memory while teeing the raw input to a spill log; on a budget breach,
+  /// drop the hash table, partition the log plus the remaining input by
+  /// group-key hash, and re-aggregate each partition — recursively
+  /// repartitioning partitions that still do not fit. Spilled rows carry a
+  /// trailing arrival-sequence column so the finalized results can be
+  /// restored to first-appearance order, keeping spilled output
+  /// bit-identical to the in-memory run. AggregateState is deliberately
+  /// opaque (Add/Finalize only), which is why raw rows spill rather than
+  /// partial states.
+  void OpenWithSpill() {
+    QueryContext* ctx = query_context();
+    const SpillConfig& cfg = ctx->spill();
+    GroupMap groups;
+    std::vector<Row> key_order;
+    size_t mem_estimate = 0;
+    uint64_t next_seq = 0;
+    std::unique_ptr<SpillFile> tee;       // replay log; read only on breach
+    std::unique_ptr<SpillPartitionSet> overflow;
+    Row row;
+    while (child_->Next(&row)) {
+      Row key = EvalKey(row);
+      const uint64_t row_seq = next_seq++;
+      if (overflow != nullptr) {
+        row.push_back(Value::Int(static_cast<int64_t>(row_seq)));
+        ThrowIfError(overflow->Add(RowHash{}(key), row));
+        continue;
+      }
+      if (tee == nullptr) tee = CreateSpillFileOrThrow(cfg.directory);
+      ThrowIfError(tee->Append(row));
+      mem_estimate += AddToGroups(&groups, &key_order, std::move(key), row);
+      if (TryChargeMemory(mem_estimate)) continue;
+      // Budget breached: fall back to grace aggregation. The tee log
+      // replays the input consumed so far, in arrival order.
+      groups.clear();
+      key_order.clear();
+      ChargeMemory(0);
+      ThrowIfError(tee->FinishWrites());
+      RecordSpillEvent(ctx, tee->bytes(), &mutable_stats());
+      overflow = std::make_unique<SpillPartitionSet>(cfg.fanout, /*level=*/0,
+                                                     cfg.directory);
+      Row replay;
+      uint64_t replay_seq = 0;
+      while (NextOrThrow(tee.get(), &replay)) {
+        const size_t hash = RowHash{}(EvalKey(replay));
+        replay.push_back(Value::Int(static_cast<int64_t>(replay_seq++)));
+        ThrowIfError(overflow->Add(hash, replay));
+      }
+      tee.reset();
+    }
+    if (overflow == nullptr) {  // everything fit after all
+      tee.reset();
+      if (group_exprs_.empty() && groups.empty()) {
+        EmitGlobalDefaultRow();
+      } else {
+        FinalizeGroups(&groups, key_order);
+      }
+      mutable_stats().extra["groups"] = results_.size();
+      ChargeMemory(ApproxRowVectorBytes(results_));
+      return;
+    }
+    ThrowIfError(overflow->FinishWrites());
+    RecordSpillEvent(ctx, overflow->bytes(), &mutable_stats());
+    for (size_t i = 0; i < overflow->fanout(); ++i) {
+      std::unique_ptr<SpillFile> part = overflow->TakePartition(i);
+      if (part != nullptr) ProcessPartition(std::move(part), /*level=*/1);
+    }
+    overflow.reset();
+    RestoreSpilledOrder(&results_, &result_seqs_);
+    if (group_exprs_.empty() && results_.empty()) EmitGlobalDefaultRow();
+    mutable_stats().extra["groups"] = results_.size();
+    results_bytes_ = ApproxRowVectorBytes(results_);
+    ChargeMemory(results_bytes_);
+  }
+
+  /// Aggregates one spilled partition in memory, repartitioning at the
+  /// next hash-salt level when it still does not fit. `level` is the salt
+  /// for that next repartition.
+  void ProcessPartition(std::unique_ptr<SpillFile> file, int level) {
+    CheckAbort();
+    QueryContext* ctx = query_context();
+    const SpillConfig& cfg = ctx->spill();
+    GroupMap groups;
+    std::vector<Row> key_order;
+    // First-appearance sequence per group: partition files preserve arrival
+    // order (the tee replays in order and later adds append in order), so
+    // the first row seen for a key carries the group's global rank.
+    std::vector<uint64_t> seq_order;
+    size_t mem_estimate = 0;
+    ThrowIfError(file->Rewind());
+    Row row;
+    bool fits = true;
+    while (NextOrThrow(file.get(), &row)) {
+      const uint64_t seq = PopRowSeq(&row);
+      const size_t groups_before = key_order.size();
+      mem_estimate += AddToGroups(&groups, &key_order, EvalKey(row), row);
+      if (key_order.size() > groups_before) seq_order.push_back(seq);
+      if (!TryChargeMemory(results_bytes_ + mem_estimate)) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) {
+      FinalizeGroups(&groups, key_order);
+      result_seqs_.insert(result_seqs_.end(), seq_order.begin(),
+                          seq_order.end());
+      groups.clear();
+      results_bytes_ = ApproxRowVectorBytes(results_);
+      ChargeMemory(results_bytes_);
+      return;
+    }
+    groups.clear();
+    key_order.clear();
+    ChargeMemory(results_bytes_);
+    if (level >= cfg.max_depth) {
+      throw QueryAbort(Status::ResourceExhausted(
+          "spill: aggregate partition exceeds the memory budget at max "
+          "recursion depth " +
+          std::to_string(cfg.max_depth)));
+    }
+    ThrowIfError(file->Rewind());
+    auto children = std::make_unique<SpillPartitionSet>(cfg.fanout, level,
+                                                        cfg.directory);
+    while (NextOrThrow(file.get(), &row)) {
+      ThrowIfError(children->Add(RowHash{}(EvalKey(row)), row));
+    }
+    ThrowIfError(children->FinishWrites());
+    RecordSpillEvent(ctx, children->bytes(), &mutable_stats());
+    // Rows whose key hashes are all identical land in one child at every
+    // level; recursing on them would never terminate.
+    for (size_t i = 0; i < children->fanout(); ++i) {
+      if (children->partition_rows(i) == file->rows()) {
+        throw QueryAbort(Status::ResourceExhausted(
+            "spill: aggregate partition with identical key hashes cannot "
+            "be repartitioned and exceeds the memory budget"));
+      }
+    }
+    file.reset();  // delete the parent temp file before recursing
+    for (size_t i = 0; i < children->fanout(); ++i) {
+      std::unique_ptr<SpillFile> part = children->TakePartition(i);
+      if (part != nullptr) ProcessPartition(std::move(part), level + 1);
+    }
+  }
+
   OperatorPtr child_;
   std::vector<ExprPtr> group_exprs_;
   std::vector<AggregateSpec> aggregates_;
   Schema schema_;
   std::vector<Row> results_;
+  /// Spilled mode only: in-memory output rank of each results_ row,
+  /// consumed by RestoreSpilledOrder.
+  std::vector<uint64_t> result_seqs_;
   size_t next_ = 0;
+  size_t results_bytes_ = 0;
 };
 
 class HashJoinOp final : public Operator {
@@ -309,14 +582,19 @@ class HashJoinOp final : public Operator {
     // Build side: right input.
     right_->Open();
     build_.clear();
+    spilled_mode_ = false;
+    results_.clear();
+    result_seqs_.clear();
+    next_ = 0;
+    results_bytes_ = 0;
+    if (SpillEnabled()) {
+      OpenWithSpill();
+      return;
+    }
     Row row;
     while (right_->Next(&row)) {
       Row key;
-      key.reserve(right_keys_.size());
-      for (const ExprPtr& e : right_keys_) key.push_back(e->Evaluate(row));
-      bool has_null = false;
-      for (const Value& v : key) has_null = has_null || v.is_null();
-      if (has_null) continue;  // NULL keys never join
+      if (!EvalKeyInto(right_keys_, row, &key)) continue;  // NULLs never join
       build_[std::move(key)].push_back(row);
     }
     size_t build_rows = 0;
@@ -333,6 +611,11 @@ class HashJoinOp final : public Operator {
   }
 
   bool NextImpl(Row* out) override {
+    if (spilled_mode_) {
+      if (next_ >= results_.size()) return false;
+      *out = std::move(results_[next_++]);
+      return true;
+    }
     while (true) {
       if (matches_ != nullptr && match_index_ < matches_->size()) {
         *out = probe_row_;
@@ -343,13 +626,7 @@ class HashJoinOp final : public Operator {
       matches_ = nullptr;
       if (!left_->Next(&probe_row_)) return false;
       Row key;
-      key.reserve(left_keys_.size());
-      for (const ExprPtr& e : left_keys_) {
-        key.push_back(e->Evaluate(probe_row_));
-      }
-      bool has_null = false;
-      for (const Value& v : key) has_null = has_null || v.is_null();
-      if (has_null) continue;
+      if (!EvalKeyInto(left_keys_, probe_row_, &key)) continue;
       const auto it = build_.find(key);
       if (it == build_.end()) continue;
       matches_ = &it->second;
@@ -358,15 +635,203 @@ class HashJoinOp final : public Operator {
   }
 
  private:
+  using BuildMap = std::unordered_map<Row, std::vector<Row>, RowHash, RowEq>;
+
+  /// Evaluates the key expressions into `key`; false when any component is
+  /// NULL (such rows never join on either side).
+  static bool EvalKeyInto(const std::vector<ExprPtr>& exprs, const Row& row,
+                          Row* key) {
+    key->clear();
+    key->reserve(exprs.size());
+    for (const ExprPtr& e : exprs) key->push_back(e->Evaluate(row));
+    for (const Value& v : *key) {
+      if (v.is_null()) return false;
+    }
+    return true;
+  }
+
+  /// Grace hash join: build in memory while teeing build rows to a spill
+  /// log; on a budget breach, partition both inputs by key hash with the
+  /// same routing so each partition pair joins independently, recursively
+  /// repartitioning build partitions that still do not fit. Probe rows
+  /// spill with a trailing arrival-sequence column; the materialized
+  /// output is restored to probe order before streaming, so spilled output
+  /// is bit-identical to the in-memory run.
+  void OpenWithSpill() {
+    QueryContext* ctx = query_context();
+    const SpillConfig& cfg = ctx->spill();
+    size_t mem_estimate = 0;
+    std::unique_ptr<SpillFile> tee;
+    std::unique_ptr<SpillPartitionSet> right_parts;
+    Row row;
+    Row key;
+    while (right_->Next(&row)) {
+      if (!EvalKeyInto(right_keys_, row, &key)) continue;
+      const size_t hash = RowHash{}(key);
+      if (right_parts != nullptr) {
+        ThrowIfError(right_parts->Add(hash, row));
+        continue;
+      }
+      if (tee == nullptr) tee = CreateSpillFileOrThrow(cfg.directory);
+      ThrowIfError(tee->Append(row));
+      mem_estimate += 2 * sizeof(Row) +
+                      (key.capacity() + row.capacity()) * sizeof(Value) +
+                      kMapNodeBytes;
+      build_[key].push_back(row);
+      if (TryChargeMemory(mem_estimate)) continue;
+      // Budget breached: drop the build table; the tee log replays the
+      // build rows consumed so far.
+      build_.clear();
+      ChargeMemory(0);
+      ThrowIfError(tee->FinishWrites());
+      RecordSpillEvent(ctx, tee->bytes(), &mutable_stats());
+      right_parts = std::make_unique<SpillPartitionSet>(
+          cfg.fanout, /*level=*/0, cfg.directory);
+      Row replay;
+      while (NextOrThrow(tee.get(), &replay)) {
+        EvalKeyInto(right_keys_, replay, &key);  // teed rows are non-NULL
+        ThrowIfError(right_parts->Add(RowHash{}(key), replay));
+      }
+      tee.reset();
+    }
+    if (right_parts == nullptr) {  // build side fit: stream-probe as usual
+      tee.reset();
+      size_t build_rows = 0;
+      for (const auto& [k, rows] : build_) build_rows += rows.size();
+      mutable_stats().extra["build_rows"] = build_rows;
+      left_->Open();
+      matches_ = nullptr;
+      match_index_ = 0;
+      return;
+    }
+    ThrowIfError(right_parts->FinishWrites());
+    // Partition the probe side with the same level-0 routing, so rows that
+    // can join always meet in the same partition pair.
+    left_->Open();
+    auto left_parts = std::make_unique<SpillPartitionSet>(
+        cfg.fanout, /*level=*/0, cfg.directory);
+    uint64_t probe_seq = 0;
+    while (left_->Next(&row)) {
+      if (!EvalKeyInto(left_keys_, row, &key)) continue;
+      row.push_back(Value::Int(static_cast<int64_t>(probe_seq++)));
+      ThrowIfError(left_parts->Add(RowHash{}(key), row));
+    }
+    ThrowIfError(left_parts->FinishWrites());
+    RecordSpillEvent(ctx, right_parts->bytes() + left_parts->bytes(),
+                     &mutable_stats());
+    spilled_mode_ = true;
+    for (size_t i = 0; i < right_parts->fanout(); ++i) {
+      ProcessJoinPartition(right_parts->TakePartition(i),
+                           left_parts->TakePartition(i), /*level=*/1);
+    }
+    RestoreSpilledOrder(&results_, &result_seqs_);
+    results_bytes_ = ApproxRowVectorBytes(results_);
+    ChargeMemory(results_bytes_);
+  }
+
+  /// Joins one partition pair: build the right file in memory and stream
+  /// the left file against it, or repartition both files at the next hash
+  /// level when the build side still does not fit.
+  void ProcessJoinPartition(std::unique_ptr<SpillFile> right_file,
+                            std::unique_ptr<SpillFile> left_file, int level) {
+    if (right_file == nullptr || left_file == nullptr) return;  // no matches
+    CheckAbort();
+    QueryContext* ctx = query_context();
+    const SpillConfig& cfg = ctx->spill();
+    BuildMap build;
+    size_t mem_estimate = 0;
+    ThrowIfError(right_file->Rewind());
+    Row row;
+    Row key;
+    bool fits = true;
+    while (NextOrThrow(right_file.get(), &row)) {
+      EvalKeyInto(right_keys_, row, &key);
+      mem_estimate += 2 * sizeof(Row) +
+                      (key.capacity() + row.capacity()) * sizeof(Value) +
+                      kMapNodeBytes;
+      build[key].push_back(row);
+      if (!TryChargeMemory(results_bytes_ + mem_estimate)) {
+        fits = false;
+        break;
+      }
+    }
+    if (!fits) {
+      build.clear();
+      ChargeMemory(results_bytes_);
+      if (level >= cfg.max_depth) {
+        throw QueryAbort(Status::ResourceExhausted(
+            "spill: join build partition exceeds the memory budget at max "
+            "recursion depth " +
+            std::to_string(cfg.max_depth)));
+      }
+      ThrowIfError(right_file->Rewind());
+      auto right_children = std::make_unique<SpillPartitionSet>(
+          cfg.fanout, level, cfg.directory);
+      while (NextOrThrow(right_file.get(), &row)) {
+        EvalKeyInto(right_keys_, row, &key);
+        ThrowIfError(right_children->Add(RowHash{}(key), row));
+      }
+      ThrowIfError(right_children->FinishWrites());
+      for (size_t i = 0; i < right_children->fanout(); ++i) {
+        if (right_children->partition_rows(i) == right_file->rows()) {
+          throw QueryAbort(Status::ResourceExhausted(
+              "spill: join build partition with identical key hashes "
+              "cannot be repartitioned and exceeds the memory budget"));
+        }
+      }
+      auto left_children = std::make_unique<SpillPartitionSet>(
+          cfg.fanout, level, cfg.directory);
+      ThrowIfError(left_file->Rewind());
+      while (NextOrThrow(left_file.get(), &row)) {
+        EvalKeyInto(left_keys_, row, &key);
+        ThrowIfError(left_children->Add(RowHash{}(key), row));
+      }
+      ThrowIfError(left_children->FinishWrites());
+      RecordSpillEvent(ctx, right_children->bytes() + left_children->bytes(),
+                       &mutable_stats());
+      right_file.reset();
+      left_file.reset();
+      for (size_t i = 0; i < right_children->fanout(); ++i) {
+        ProcessJoinPartition(right_children->TakePartition(i),
+                             left_children->TakePartition(i), level + 1);
+      }
+      return;
+    }
+    ThrowIfError(left_file->Rewind());
+    while (NextOrThrow(left_file.get(), &row)) {
+      const uint64_t seq = PopRowSeq(&row);
+      EvalKeyInto(left_keys_, row, &key);
+      const auto it = build.find(key);
+      if (it == build.end()) continue;
+      for (const Row& right_row : it->second) {
+        Row joined = row;
+        joined.insert(joined.end(), right_row.begin(), right_row.end());
+        results_.push_back(std::move(joined));
+        result_seqs_.push_back(seq);
+      }
+    }
+    build.clear();
+    results_bytes_ = ApproxRowVectorBytes(results_);
+    ChargeMemory(results_bytes_);
+  }
+
   OperatorPtr left_;
   OperatorPtr right_;
   std::vector<ExprPtr> left_keys_;
   std::vector<ExprPtr> right_keys_;
   Schema schema_;
-  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> build_;
+  BuildMap build_;
   Row probe_row_;
   const std::vector<Row>* matches_ = nullptr;
   size_t match_index_ = 0;
+  // Spilled-mode output: materialized join result, restored to probe order.
+  bool spilled_mode_ = false;
+  std::vector<Row> results_;
+  /// Spilled mode only: probe sequence of each results_ row, consumed by
+  /// RestoreSpilledOrder.
+  std::vector<uint64_t> result_seqs_;
+  size_t next_ = 0;
+  size_t results_bytes_ = 0;
 };
 
 class NestedLoopJoinOp final : public Operator {
@@ -452,31 +917,117 @@ class SortOp final : public Operator {
     child_->Open();
     rows_.clear();
     next_ = 0;
+    runs_.clear();
+    heads_.clear();
+    merging_ = false;
+    if (SpillEnabled()) {
+      OpenWithSpill();
+      return;
+    }
     Row row;
     while (child_->Next(&row)) rows_.push_back(std::move(row));
     ChargeMemory(ApproxRowVectorBytes(rows_));
-    std::stable_sort(rows_.begin(), rows_.end(),
-                     [this](const Row& a, const Row& b) {
-                       for (const SortKey& k : keys_) {
-                         const int c = Value::Compare(k.expr->Evaluate(a),
-                                                      k.expr->Evaluate(b));
-                         if (c != 0) return k.ascending ? c < 0 : c > 0;
-                       }
-                       return false;
-                     });
+    SortRows();
   }
 
   bool NextImpl(Row* out) override {
+    if (merging_) {
+      // K-way merge, linear scan over the run heads (run counts are small).
+      // Strict less-than keeps the earliest run on ties; runs are
+      // consecutive input segments sorted stably, so the merged order is
+      // bit-identical to the in-memory stable sort.
+      int best = -1;
+      for (size_t i = 0; i < heads_.size(); ++i) {
+        if (!heads_[i].has_value()) continue;
+        if (best < 0 || RowLess(*heads_[i], *heads_[best])) {
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) return false;
+      *out = std::move(*heads_[best]);
+      AdvanceRun(static_cast<size_t>(best));
+      return true;
+    }
     if (next_ >= rows_.size()) return false;
     *out = std::move(rows_[next_++]);
     return true;
   }
 
  private:
+  bool RowLess(const Row& a, const Row& b) const {
+    for (const SortKey& k : keys_) {
+      const int c =
+          Value::Compare(k.expr->Evaluate(a), k.expr->Evaluate(b));
+      if (c != 0) return k.ascending ? c < 0 : c > 0;
+    }
+    return false;
+  }
+
+  void SortRows() {
+    std::stable_sort(
+        rows_.begin(), rows_.end(),
+        [this](const Row& a, const Row& b) { return RowLess(a, b); });
+  }
+
+  /// External sort: accumulate rows until the budget pushes back, flush
+  /// them as a stably sorted run, and merge the runs lazily in NextImpl.
+  void OpenWithSpill() {
+    const SpillConfig& cfg = query_context()->spill();
+    size_t mem_estimate = 0;
+    Row row;
+    while (child_->Next(&row)) {
+      mem_estimate += sizeof(Row) + row.capacity() * sizeof(Value);
+      rows_.push_back(std::move(row));
+      if (TryChargeMemory(mem_estimate)) continue;
+      SortRows();
+      WriteRun(cfg);
+      rows_.clear();
+      mem_estimate = 0;
+      ChargeMemory(0);
+    }
+    if (runs_.empty()) {  // everything fit: plain in-memory sort
+      ChargeMemory(ApproxRowVectorBytes(rows_));
+      SortRows();
+      return;
+    }
+    if (!rows_.empty()) {
+      SortRows();
+      WriteRun(cfg);
+      rows_.clear();
+      ChargeMemory(0);
+    }
+    mutable_stats().extra["runs"] = runs_.size();
+    heads_.resize(runs_.size());
+    for (size_t i = 0; i < runs_.size(); ++i) AdvanceRun(i);
+    merging_ = true;
+  }
+
+  void WriteRun(const SpillConfig& cfg) {
+    CheckAbort();
+    std::unique_ptr<SpillFile> run = CreateSpillFileOrThrow(cfg.directory);
+    for (const Row& row : rows_) ThrowIfError(run->Append(row));
+    ThrowIfError(run->FinishWrites());
+    RecordSpillEvent(query_context(), run->bytes(), &mutable_stats());
+    runs_.push_back(std::move(run));
+  }
+
+  void AdvanceRun(size_t i) {
+    Row row;
+    if (NextOrThrow(runs_[i].get(), &row)) {
+      heads_[i] = std::move(row);
+    } else {
+      heads_[i].reset();
+    }
+  }
+
   OperatorPtr child_;
   std::vector<SortKey> keys_;
   std::vector<Row> rows_;
   size_t next_ = 0;
+  // Spilled-mode state: sorted runs and their current merge heads.
+  std::vector<std::unique_ptr<SpillFile>> runs_;
+  std::vector<std::optional<Row>> heads_;
+  bool merging_ = false;
 };
 
 class LimitOp final : public Operator {

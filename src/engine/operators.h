@@ -127,6 +127,19 @@ class Operator {
 
   QueryContext* query_context() const { return ctx_; }
 
+  /// Plan-time footprint estimate for admission control: roughly how many
+  /// bytes this subtree will hold at peak. The default sums the children
+  /// (a blocking operator's state is on the order of its input); TableScan
+  /// anchors the recursion with rows × row-width. Deliberately coarse —
+  /// admission only needs the right order of magnitude.
+  virtual size_t EstimateFootprintBytes() const {
+    size_t total = 0;
+    for (const Operator* child : children()) {
+      total += child->EstimateFootprintBytes();
+    }
+    return total;
+  }
+
  protected:
   virtual void OpenImpl() = 0;
   virtual bool NextImpl(Row* out) = 0;
@@ -153,6 +166,18 @@ class Operator {
   /// released on the next Open() and rolled up by the per-query tracker's
   /// destructor at query end.
   void ChargeMemory(size_t bytes);
+
+  /// Non-throwing variant of ChargeMemory for spill-capable operators:
+  /// returns false (leaving the existing charge untouched) when the budget
+  /// does not cover `bytes`, so the caller can switch to its out-of-core
+  /// path instead of aborting the query.
+  bool TryChargeMemory(size_t bytes);
+
+  /// Whether this execution should spill instead of failing on a budget
+  /// breach (SET spill = 1 carried by the QueryContext).
+  bool SpillEnabled() const {
+    return ctx_ != nullptr && ctx_->spill().enabled;
+  }
 
   /// Raises the governance abort (cancel/deadline) from inside an Impl.
   void CheckAbort() const { ThrowIfAborted(ctx_); }

@@ -7,6 +7,8 @@
 #include "core/sgb_all.h"
 #include "core/sgb_any.h"
 #include "core/sgb_nd.h"
+#include "engine/spill.h"
+#include "obs/metrics.h"
 
 namespace sgb::engine {
 
@@ -16,6 +18,22 @@ static FaultSite g_sgb_build_fault("engine.sgb.build",
                                    Status::Code::kInternal);
 
 namespace {
+
+void ThrowIfError(Status status) {
+  if (!status.ok()) throw QueryAbort(std::move(status));
+}
+
+std::unique_ptr<SpillFile> CreateSpillFileOrThrow(const std::string& dir) {
+  Result<std::unique_ptr<SpillFile>> file = SpillFile::Create(dir);
+  if (!file.ok()) throw QueryAbort(file.status());
+  return std::move(file).value();
+}
+
+bool NextOrThrow(SpillFile* file, Row* row) {
+  Result<bool> more = file->Next(row);
+  if (!more.ok()) throw QueryAbort(more.status());
+  return more.value();
+}
 
 std::string DescribeDop(int dop) {
   if (dop == 1) return "";  // serial is the default; keep labels terse
@@ -105,19 +123,66 @@ class SgbOperatorBase : public Operator {
     rows_.clear();
     results_.clear();
     next_ = 0;
+    spilled_rows_.reset();
+    ResetPoints();
 
+    // Drain the child. The coordinate columns are extracted per row as it
+    // arrives (they must stay in RAM for the grouping core); the full row
+    // payloads — the dominant memory — are what the spill path moves to
+    // disk when the budget pushes back. Rows are spilled in input order,
+    // so the streamed re-aggregation below is bit-identical to the
+    // in-memory one.
+    size_t row_count = 0;
     RowBatch batch;
-    while (child_->NextBatch(&batch)) {
-      for (Row& row : batch.rows()) rows_.push_back(std::move(row));
+    if (SpillEnabled()) {
+      size_t mem_estimate = 0;
+      while (child_->NextBatch(&batch)) {
+        for (Row& row : batch.rows()) {
+          AddPoint(row, row_count++);
+          if (spilled_rows_ != nullptr) {
+            ThrowIfError(spilled_rows_->Append(row));
+            continue;
+          }
+          mem_estimate += sizeof(Row) + row.capacity() * sizeof(Value);
+          rows_.push_back(std::move(row));
+          if (TryChargeMemory(mem_estimate + PointBytes())) continue;
+          // Budget breached: move the buffered rows to disk and keep
+          // streaming the remaining input straight there.
+          SpillBufferedRows();
+        }
+      }
+      if (spilled_rows_ != nullptr) FinishSpill();
+    } else {
+      while (child_->NextBatch(&batch)) {
+        for (Row& row : batch.rows()) {
+          AddPoint(row, row_count++);
+          rows_.push_back(std::move(row));
+        }
+      }
+      ChargeMemory(ApproxRowVectorBytes(rows_) + PointBytes());
     }
-    ChargeMemory(ApproxRowVectorBytes(rows_));
     {
       Status fault = g_sgb_build_fault.Check();
       if (!fault.ok()) throw QueryAbort(std::move(fault));
     }
 
     size_t num_groups = 0;
-    const std::vector<size_t> group_of = Label(rows_, &num_groups);
+    std::vector<size_t> group_of;
+    // The grouping core makes its own transient charges (union-find
+    // bookkeeping, grid cells). When the drain fit in memory but left no
+    // headroom for them, spill the buffered rows after the fact and label
+    // again against the freed budget.
+    try {
+      group_of = LabelPoints(row_count, &num_groups);
+    } catch (const QueryAbort& abort) {
+      if (!SpillEnabled() || spilled_rows_ != nullptr ||
+          abort.status().code() != Status::Code::kResourceExhausted) {
+        throw;
+      }
+      SpillBufferedRows();
+      FinishSpill();
+      group_of = LabelPoints(row_count, &num_groups);
+    }
     mutable_stats().extra["groups"] = num_groups;
 
     std::vector<std::vector<std::unique_ptr<AggregateState>>> states(
@@ -128,10 +193,23 @@ class SgbOperatorBase : public Operator {
         group_states.push_back(CreateAggregateState(a));
       }
     }
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      const size_t g = group_of[i];
-      if (g == kNoGroup) continue;
-      for (auto& state : states[g]) state->Add(rows_[i]);
+    if (spilled_rows_ == nullptr) {
+      for (size_t i = 0; i < rows_.size(); ++i) {
+        const size_t g = group_of[i];
+        if (g == kNoGroup) continue;
+        for (auto& state : states[g]) state->Add(rows_[i]);
+      }
+    } else {
+      // Stream the spilled rows back in input order; the aggregation adds
+      // in exactly the order the in-memory loop would.
+      Row row;
+      size_t i = 0;
+      while (NextOrThrow(spilled_rows_.get(), &row)) {
+        const size_t g = group_of[i++];
+        if (g == kNoGroup) continue;
+        for (auto& state : states[g]) state->Add(row);
+      }
+      spilled_rows_.reset();
     }
     results_.reserve(num_groups);
     for (size_t g = 0; g < num_groups; ++g) {
@@ -142,7 +220,7 @@ class SgbOperatorBase : public Operator {
       results_.push_back(std::move(out));
     }
     rows_.clear();
-    ChargeMemory(ApproxRowVectorBytes(results_));
+    ChargeMemory(PointBytes() + ApproxRowVectorBytes(results_));
   }
 
   bool NextImpl(Row* out) override {
@@ -160,19 +238,50 @@ class SgbOperatorBase : public Operator {
  protected:
   static constexpr size_t kNoGroup = static_cast<size_t>(-1);
 
-  /// Assigns a group id in [0, *num_groups) — or kNoGroup — to every row.
-  /// Implementations publish their core-algorithm counters (distance
-  /// computations, rectangle tests, ...) into mutable_stats().extra.
-  virtual std::vector<size_t> Label(const std::vector<Row>& rows,
-                                    size_t* num_groups) = 0;
+  /// Incremental labeling interface. The base drains the child calling
+  /// AddPoint(row, input_index) per row — implementations extract and keep
+  /// only the coordinate columns (PointBytes() reports how much RAM that
+  /// is) — then calls LabelPoints once, which runs the grouping core and
+  /// assigns a group id in [0, *num_groups) — or kNoGroup — to every input
+  /// index. Implementations publish their core-algorithm counters
+  /// (distance computations, rectangle tests, ...) into
+  /// mutable_stats().extra.
+  virtual void ResetPoints() = 0;
+  virtual void AddPoint(const Row& row, size_t index) = 0;
+  virtual size_t PointBytes() const = 0;
+  virtual std::vector<size_t> LabelPoints(size_t num_rows,
+                                          size_t* num_groups) = 0;
 
  private:
+  /// Moves the in-memory row buffer to a spill file (preserving input
+  /// order) and drops its budget charge; only the coordinate SoA stays
+  /// resident. The aggregation pass streams the file back.
+  void SpillBufferedRows() {
+    spilled_rows_ = CreateSpillFileOrThrow(query_context()->spill().directory);
+    for (const Row& buffered : rows_) {
+      ThrowIfError(spilled_rows_->Append(buffered));
+    }
+    rows_.clear();
+    ChargeMemory(PointBytes());
+  }
+
+  void FinishSpill() {
+    ThrowIfError(spilled_rows_->FinishWrites());
+    if (query_context() != nullptr) {
+      query_context()->AddSpill(spilled_rows_->bytes());
+    }
+    mutable_stats().extra["spilled"] += 1;
+    mutable_stats().extra["spill_bytes"] += spilled_rows_->bytes();
+    obs::MetricsRegistry::Global().GetCounter("spill.events").Add(1);
+  }
+
   OperatorPtr child_;
   std::vector<AggregateSpec> aggregates_;
   Schema schema_;
   std::vector<Row> rows_;
   std::vector<Row> results_;
   size_t next_ = 0;
+  std::unique_ptr<SpillFile> spilled_rows_;  ///< input rows, when spilling
 };
 
 class SgbOperator2d final : public SgbOperatorBase {
@@ -193,25 +302,32 @@ class SgbOperator2d final : public SgbOperatorBase {
   std::string label() const override { return name() + DescribeMode(mode_); }
 
  protected:
-  std::vector<size_t> Label(const std::vector<Row>& rows,
-                            size_t* num_groups) override {
-    std::vector<geom::Point> points;
-    std::vector<size_t> point_row;  // input row of each grouped point
-    points.reserve(rows.size());
-    for (size_t i = 0; i < rows.size(); ++i) {
-      const Value x = x_expr_->Evaluate(rows[i]);
-      const Value y = y_expr_->Evaluate(rows[i]);
-      if (x.is_null() || y.is_null()) continue;
-      points.push_back(geom::Point{x.ToDouble(), y.ToDouble()});
-      point_row.push_back(i);
-    }
+  void ResetPoints() override {
+    points_.clear();
+    point_row_.clear();
+  }
 
+  void AddPoint(const Row& row, size_t index) override {
+    const Value x = x_expr_->Evaluate(row);
+    const Value y = y_expr_->Evaluate(row);
+    if (x.is_null() || y.is_null()) return;
+    points_.push_back(geom::Point{x.ToDouble(), y.ToDouble()});
+    point_row_.push_back(index);
+  }
+
+  size_t PointBytes() const override {
+    return points_.capacity() * sizeof(geom::Point) +
+           point_row_.capacity() * sizeof(size_t);
+  }
+
+  std::vector<size_t> LabelPoints(size_t num_rows,
+                                  size_t* num_groups) override {
     core::Grouping grouping;
     if (const auto* all = std::get_if<core::SgbAllOptions>(&mode_)) {
       core::SgbAllOptions opts = *all;
       opts.query_ctx = query_context();
       core::SgbAllStats core_stats;
-      Result<core::Grouping> r = core::SgbAll(points, opts, &core_stats);
+      Result<core::Grouping> r = core::SgbAll(points_, opts, &core_stats);
       PublishSgbAllStats(core_stats, &mutable_stats());
       // Options are validated at plan time, so a non-OK result here is a
       // governance abort (cancel/deadline/budget/fault) from the core.
@@ -221,19 +337,20 @@ class SgbOperator2d final : public SgbOperatorBase {
       core::SgbAnyOptions opts = std::get<core::SgbAnyOptions>(mode_);
       opts.query_ctx = query_context();
       core::SgbAnyStats core_stats;
-      Result<core::Grouping> r = core::SgbAny(points, opts, &core_stats);
+      Result<core::Grouping> r = core::SgbAny(points_, opts, &core_stats);
       PublishSgbAnyStats(core_stats, &mutable_stats());
       if (!r.ok()) throw QueryAbort(r.status());
       grouping = std::move(r.value());
     }
 
-    std::vector<size_t> group_of(rows.size(), kNoGroup);
-    for (size_t k = 0; k < point_row.size(); ++k) {
+    std::vector<size_t> group_of(num_rows, kNoGroup);
+    for (size_t k = 0; k < point_row_.size(); ++k) {
       if (grouping.group_of[k] != core::Grouping::kEliminated) {
-        group_of[point_row[k]] = grouping.group_of[k];
+        group_of[point_row_[k]] = grouping.group_of[k];
       }
     }
     *num_groups = grouping.num_groups;
+    ResetPoints();
     return group_of;
   }
 
@@ -241,6 +358,8 @@ class SgbOperator2d final : public SgbOperatorBase {
   ExprPtr x_expr_;
   ExprPtr y_expr_;
   SgbMode mode_;
+  std::vector<geom::Point> points_;
+  std::vector<size_t> point_row_;  // input row of each grouped point
 };
 
 class SgbOperator3d final : public SgbOperatorBase {
@@ -263,27 +382,34 @@ class SgbOperator3d final : public SgbOperatorBase {
   std::string label() const override { return name() + DescribeMode(mode_); }
 
  protected:
-  std::vector<size_t> Label(const std::vector<Row>& rows,
-                            size_t* num_groups) override {
-    std::vector<geom::PointN<3>> points;
-    std::vector<size_t> point_row;
-    points.reserve(rows.size());
-    for (size_t i = 0; i < rows.size(); ++i) {
-      const Value x = x_expr_->Evaluate(rows[i]);
-      const Value y = y_expr_->Evaluate(rows[i]);
-      const Value z = z_expr_->Evaluate(rows[i]);
-      if (x.is_null() || y.is_null() || z.is_null()) continue;
-      points.push_back(
-          geom::PointN<3>{{x.ToDouble(), y.ToDouble(), z.ToDouble()}});
-      point_row.push_back(i);
-    }
+  void ResetPoints() override {
+    points_.clear();
+    point_row_.clear();
+  }
 
+  void AddPoint(const Row& row, size_t index) override {
+    const Value x = x_expr_->Evaluate(row);
+    const Value y = y_expr_->Evaluate(row);
+    const Value z = z_expr_->Evaluate(row);
+    if (x.is_null() || y.is_null() || z.is_null()) return;
+    points_.push_back(
+        geom::PointN<3>{{x.ToDouble(), y.ToDouble(), z.ToDouble()}});
+    point_row_.push_back(index);
+  }
+
+  size_t PointBytes() const override {
+    return points_.capacity() * sizeof(geom::PointN<3>) +
+           point_row_.capacity() * sizeof(size_t);
+  }
+
+  std::vector<size_t> LabelPoints(size_t num_rows,
+                                  size_t* num_groups) override {
     core::Grouping grouping;
     if (const auto* all = std::get_if<core::SgbAllOptions>(&mode_)) {
       core::SgbAllOptions opts = *all;
       opts.query_ctx = query_context();
       core::SgbAllStats core_stats;
-      Result<core::Grouping> r = core::SgbAllNd<3>(points, opts, &core_stats);
+      Result<core::Grouping> r = core::SgbAllNd<3>(points_, opts, &core_stats);
       PublishSgbAllStats(core_stats, &mutable_stats());
       if (!r.ok()) throw QueryAbort(r.status());
       grouping = std::move(r).value();
@@ -291,19 +417,20 @@ class SgbOperator3d final : public SgbOperatorBase {
       core::SgbAnyOptions opts = std::get<core::SgbAnyOptions>(mode_);
       opts.query_ctx = query_context();
       core::SgbAnyStats core_stats;
-      Result<core::Grouping> r = core::SgbAnyNd<3>(points, opts, &core_stats);
+      Result<core::Grouping> r = core::SgbAnyNd<3>(points_, opts, &core_stats);
       PublishSgbAnyStats(core_stats, &mutable_stats());
       if (!r.ok()) throw QueryAbort(r.status());
       grouping = std::move(r).value();
     }
 
-    std::vector<size_t> group_of(rows.size(), kNoGroup);
-    for (size_t k = 0; k < point_row.size(); ++k) {
+    std::vector<size_t> group_of(num_rows, kNoGroup);
+    for (size_t k = 0; k < point_row_.size(); ++k) {
       if (grouping.group_of[k] != core::Grouping::kEliminated) {
-        group_of[point_row[k]] = grouping.group_of[k];
+        group_of[point_row_[k]] = grouping.group_of[k];
       }
     }
     *num_groups = grouping.num_groups;
+    ResetPoints();
     return group_of;
   }
 
@@ -312,6 +439,8 @@ class SgbOperator3d final : public SgbOperatorBase {
   ExprPtr y_expr_;
   ExprPtr z_expr_;
   SgbMode mode_;
+  std::vector<geom::PointN<3>> points_;
+  std::vector<size_t> point_row_;
 };
 
 class SgbOperator1d final : public SgbOperatorBase {
@@ -325,46 +454,56 @@ class SgbOperator1d final : public SgbOperatorBase {
   std::string name() const override { return "SimilarityGroupBy1d"; }
 
  protected:
-  std::vector<size_t> Label(const std::vector<Row>& rows,
-                            size_t* num_groups) override {
-    std::vector<double> values;
-    std::vector<size_t> value_row;
-    values.reserve(rows.size());
-    for (size_t i = 0; i < rows.size(); ++i) {
-      const Value v = value_expr_->Evaluate(rows[i]);
-      if (v.is_null() || !v.IsNumeric()) continue;
-      values.push_back(v.ToDouble());
-      value_row.push_back(i);
-    }
+  void ResetPoints() override {
+    values_.clear();
+    value_row_.clear();
+  }
 
+  void AddPoint(const Row& row, size_t index) override {
+    const Value v = value_expr_->Evaluate(row);
+    if (v.is_null() || !v.IsNumeric()) return;
+    values_.push_back(v.ToDouble());
+    value_row_.push_back(index);
+  }
+
+  size_t PointBytes() const override {
+    return values_.capacity() * sizeof(double) +
+           value_row_.capacity() * sizeof(size_t);
+  }
+
+  std::vector<size_t> LabelPoints(size_t num_rows,
+                                  size_t* num_groups) override {
     Result<core::Grouping1D> r = [&]() -> Result<core::Grouping1D> {
       if (const auto* u = std::get_if<Sgb1dUnsupervised>(&mode_)) {
-        return core::SgbUnsupervised(values, u->max_separation,
+        return core::SgbUnsupervised(values_, u->max_separation,
                                      u->max_diameter);
       }
       if (const auto* a = std::get_if<Sgb1dAround>(&mode_)) {
-        return core::SgbAround(values, a->centers, a->max_separation,
+        return core::SgbAround(values_, a->centers, a->max_separation,
                                a->max_diameter);
       }
       const auto& d = std::get<Sgb1dDelimited>(mode_);
-      return core::SgbDelimited(values, d.delimiters);
+      return core::SgbDelimited(values_, d.delimiters);
     }();
     const core::Grouping1D grouping =
         r.ok() ? std::move(r.value()) : core::Grouping1D{};
 
-    std::vector<size_t> group_of(rows.size(), kNoGroup);
-    for (size_t k = 0; k < value_row.size(); ++k) {
+    std::vector<size_t> group_of(num_rows, kNoGroup);
+    for (size_t k = 0; k < value_row_.size(); ++k) {
       if (grouping.group_of[k] != core::Grouping1D::kUngrouped) {
-        group_of[value_row[k]] = grouping.group_of[k];
+        group_of[value_row_[k]] = grouping.group_of[k];
       }
     }
     *num_groups = grouping.num_groups;
+    ResetPoints();
     return group_of;
   }
 
  private:
   ExprPtr value_expr_;
   Sgb1dMode mode_;
+  std::vector<double> values_;
+  std::vector<size_t> value_row_;
 };
 
 }  // namespace

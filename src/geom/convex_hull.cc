@@ -93,14 +93,20 @@ void IncrementalHull::Rebuild(std::span<const Point> members) {
 
 bool IncrementalHull::WithinEpsilonOfAll(const Point& p,
                                          double epsilon) const {
-  if (hull_.empty()) return true;
-  // Shortcut (a): interior points of a valid SGB-All group's hull are
-  // within ε of every member (Section 6.4). Precondition: the maintained
-  // point set is a valid group (all pairs within ε under L2).
-  if (PointInConvexHull(p, hull_)) return true;
-  // Exact test (b): the farthest member from p is a hull vertex.
-  const size_t far = FarthestHullVertex(p, hull_);
-  return DistanceL2Squared(p, hull_[far]) <= epsilon * epsilon;
+  // Exact: the farthest member from p is a hull vertex (every member
+  // dropped during hulling lies in the vertices' convex hull), so p is
+  // within ε of all members iff it is within ε of all vertices. This
+  // subsumes the Section 6.4 interior-point shortcut — for a valid group
+  // (all member pairs within ε) an interior p has d(p, v) ≤ max_m d(m, v)
+  // ≤ ε for every vertex v — and unlike an edge-walk interior test it
+  // stays sound when floating-point noise on near-collinear members
+  // degrades the hull to a sliver, whose "interior" under a tolerance is
+  // the entire line through it.
+  const double eps2 = epsilon * epsilon;
+  for (const Point& v : hull_) {
+    if (DistanceL2Squared(p, v) > eps2) return false;
+  }
+  return true;
 }
 
 }  // namespace sgb::geom

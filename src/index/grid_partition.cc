@@ -16,6 +16,11 @@ namespace sgb::index {
 static FaultSite g_grid_build_fault("index.grid.build",
                                     Status::Code::kInternal);
 
+// Fires when hashing a point allocates a new cell — the growth path whose
+// interruption must not leave the cell arrays out of step with the index.
+static FaultSite g_grid_rehash_fault("index.grid.rehash",
+                                     Status::Code::kInternal);
+
 namespace {
 
 using geom::Metric;
@@ -92,6 +97,11 @@ void ParallelSimilarityUnion(std::span<const Point> points, Metric metric,
                       CellCoord(points[i].y, radius)};
     auto [it, inserted] = cell_index.try_emplace(key, cell_keys.size());
     if (inserted) {
+      Status fault = g_grid_rehash_fault.Check();
+      if (!fault.ok()) {
+        cell_index.erase(it);  // Keep the index and arrays in step.
+        throw QueryAbort(std::move(fault));
+      }
       cell_keys.push_back(key);
       cell_points.emplace_back();
       cell_soa.emplace_back();

@@ -5,7 +5,15 @@
 #include <cmath>
 #include <limits>
 
+#include "common/fault_injection.h"
+#include "common/query_context.h"
+
 namespace sgb::index {
+
+// Fires when a node actually overflows and must split — the structural
+// mutation an interrupted insert would leave half-done.
+static FaultSite g_rtree_split_fault("index.rtree.split",
+                                     Status::Code::kInternal);
 
 using geom::Rect;
 
@@ -38,6 +46,10 @@ RTree& RTree::operator=(RTree&&) noexcept = default;
 std::unique_ptr<RTree::Node> RTree::MaybeSplit(Node* node) {
   if (node->entries.size() <= max_entries_) return nullptr;
 
+  {
+    Status fault = g_rtree_split_fault.Check();
+    if (!fault.ok()) throw QueryAbort(std::move(fault));
+  }
   std::vector<Entry> pool = std::move(node->entries);
   node->entries.clear();
 

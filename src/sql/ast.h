@@ -123,13 +123,19 @@ enum class ExplainMode {
   kAnalyze,  ///< EXPLAIN ANALYZE: execute, render the plan with counters
 };
 
-/// SET <knob> = <n> — session-level governance knobs:
+/// SET <knob> = <n | ident> — session-level governance knobs:
 ///   SET timeout = <ms>            (0 disables the deadline)
 ///   SET memory_budget = <bytes>   (0 removes the budget)
 ///   SET parallel = <dop>          (session default DOP; 0 = auto)
+///   SET spill = <0|1>             (out-of-core fallback for budget breaches)
+///   SET admission = queue|shed|off  (admission control mode)
+///   SET admission_budget = <bytes>  (admission headroom; 0 = engine limit)
 struct SetStatement {
   std::string name;  ///< knob name, lower-cased by the parser
   int64_t value = 0;
+  /// Identifier-valued settings (SET admission = queue); empty for
+  /// integer-valued ones. Lower-cased by the parser.
+  std::string text_value;
 };
 
 /// A full parsed statement: an optional EXPLAIN [ANALYZE] prefix wrapping

@@ -128,9 +128,10 @@ class Parser {
 
   // ---- SET --------------------------------------------------------------
 
-  /// `SET <ident> = <integer>` (the '=' is optional). Knob names are
-  /// lower-cased here; validation of the name/value is the executor's job,
-  /// where the set of live knobs is known.
+  /// `SET <ident> = <integer | ident>` (the '=' is optional). Knob names
+  /// and identifier values are lower-cased here; validation of the
+  /// name/value is the executor's job, where the set of live knobs is
+  /// known.
   Result<SetStatement> ParseSet() {
     if (Peek().type != TokenType::kIdent) {
       return Error("expected a setting name after SET");
@@ -140,8 +141,15 @@ class Parser {
     std::transform(out.name.begin(), out.name.end(), out.name.begin(),
                    [](unsigned char c) { return std::tolower(c); });
     Match(TokenType::kEq);
+    if (Peek().type == TokenType::kIdent) {
+      out.text_value = Consume().text;
+      std::transform(out.text_value.begin(), out.text_value.end(),
+                     out.text_value.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      return out;
+    }
     if (Peek().type != TokenType::kNumber || !Peek().is_integer) {
-      return Error("expected an integer value in SET");
+      return Error("expected an integer or identifier value in SET");
     }
     out.value = static_cast<int64_t>(Consume().number);
     return out;

@@ -1,9 +1,15 @@
 #include "workload/checkin.h"
 
+#include "common/fault_injection.h"
+#include "common/query_context.h"
 #include "common/random.h"
 #include "workload/distributions.h"
 
 namespace sgb::workload {
+
+// Fires at generation entry, before any check-ins are materialized.
+static FaultSite g_checkin_generate_fault("workload.checkin.generate",
+                                          Status::Code::kInternal);
 
 using engine::Column;
 using engine::DataType;
@@ -35,6 +41,10 @@ CheckinConfig GowallaLike(size_t num_checkins, uint64_t seed) {
 }
 
 std::vector<geom::Point> GenerateCheckins(const CheckinConfig& config) {
+  {
+    Status fault = g_checkin_generate_fault.Check();
+    if (!fault.ok()) throw QueryAbort(std::move(fault));
+  }
   Rng rng(config.seed);
 
   // Hotspot centers scattered uniformly; popularity is Zipf-distributed.

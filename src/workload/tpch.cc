@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/fault_injection.h"
+#include "common/query_context.h"
 #include "common/random.h"
 
 namespace sgb::workload {
@@ -65,7 +67,15 @@ void TpchData::RegisterAll(engine::Catalog& catalog) const {
   catalog.Register("supplier", supplier);
 }
 
+// Fires at generation entry, before any tables are materialized.
+static FaultSite g_tpch_generate_fault("workload.tpch.generate",
+                                       Status::Code::kInternal);
+
 TpchData GenerateTpch(const TpchConfig& config) {
+  {
+    Status fault = g_tpch_generate_fault.Check();
+    if (!fault.ok()) throw QueryAbort(std::move(fault));
+  }
   Rng rng(config.seed);
   const auto scaled = [&config](size_t per_sf) {
     const double n = static_cast<double>(per_sf) * config.scale_factor;

@@ -20,7 +20,10 @@
 #include "common/random.h"
 #include "engine/csv.h"
 #include "engine/executor.h"
+#include "engine/spill.h"
 #include "obs/metrics.h"
+#include "workload/checkin.h"
+#include "workload/tpch.h"
 
 namespace sgb::engine {
 namespace {
@@ -33,6 +36,10 @@ constexpr char kSgbAllQuery[] =
 constexpr char kSgbParallelQuery[] =
     "SELECT count(*) FROM pts GROUP BY x, y "
     "DISTANCE-TO-ANY L2 WITHIN 0.4 PARALLEL 4";
+// Narrow result (count only): the group map dwarfs the materialized
+// result, so a budget between the two forces the spill path yet leaves the
+// per-partition retries plenty of headroom.
+constexpr char kSpillAggQuery[] = "SELECT count(*) FROM ints GROUP BY k";
 
 /// Clustered points in [0, extent)^2 so similarity grouping does real work.
 Database PointsDb(size_t n, double extent = 10.0, uint64_t seed = 7) {
@@ -49,6 +56,34 @@ Database PointsDb(size_t n, double extent = 10.0, uint64_t seed = 7) {
   }
   db.Register("pts", pts);
   return db;
+}
+
+/// Wide rows with ~1000 distinct keys: a plain hash aggregate over them
+/// breaches a ~180 kB budget mid-build, which is what forces the spill
+/// paths (and their fault sites) to engage.
+void RegisterIntsTable(Database& db, size_t n = 1000) {
+  auto table = std::make_shared<Table>(Schema({
+      Column{"k", DataType::kInt64, ""},
+      Column{"payload", DataType::kString, ""},
+  }));
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(table
+                    ->Append({Value::Int(static_cast<int64_t>(i)),
+                              Value::Str(std::string(64, 'x'))})
+                    .ok());
+  }
+  db.Register("ints", table);
+}
+
+/// Runs the aggregate under a budget that forces spilling; restores the
+/// session knobs so the other fault cases see the default governance.
+Status SpilledAggStatus(Database& db) {
+  db.set_memory_budget_bytes(180000);
+  db.set_spill_enabled(true);
+  const Status status = db.Query(kSpillAggQuery).status();
+  db.set_spill_enabled(false);
+  db.set_memory_budget_bytes(0);
+  return status;
 }
 
 class GovernanceTest : public ::testing::Test {
@@ -73,9 +108,29 @@ TEST_F(GovernanceTest, SetStatementAdjustsSessionState) {
   ASSERT_TRUE(db.Query("SET parallel = 4").ok());
   EXPECT_EQ(db.default_sgb_dop(), 4);
 
+  ASSERT_TRUE(db.Query("SET spill = 1").ok());
+  EXPECT_TRUE(db.spill_enabled());
+  ASSERT_TRUE(db.Query("SET spill = 0").ok());
+  EXPECT_FALSE(db.spill_enabled());
+
+  auto admission = db.Query("SET admission = queue");
+  ASSERT_TRUE(admission.ok()) << admission.status().ToString();
+  EXPECT_EQ(admission.value().rows()[0][0].AsString(), "admission = queue");
+  EXPECT_EQ(db.admission_mode(), AdmissionMode::kQueue);
+  ASSERT_TRUE(db.Query("SET admission = off").ok());
+  EXPECT_EQ(db.admission_mode(), AdmissionMode::kOff);
+  ASSERT_TRUE(db.Query("SET admission_budget = 4096").ok());
+  EXPECT_EQ(db.admission_budget_bytes(), 4096u);
+
   // Zero removes the knob again.
   ASSERT_TRUE(db.Query("SET timeout = 0").ok());
   EXPECT_EQ(db.timeout_ms(), 0);
+
+  // Identifier values are only meaningful for admission.
+  EXPECT_EQ(db.Query("SET timeout = queue").status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(db.Query("SET admission = sideways").status().code(),
+            Status::Code::kInvalidArgument);
 }
 
 TEST_F(GovernanceTest, SetStatementRejectsUnknownKnob) {
@@ -258,22 +313,58 @@ TEST_F(GovernanceTest, EveryRegisteredFaultSiteFiresAndRecovers) {
        }},
       {"index.grid.build", Status::Code::kInternal,
        [](Database& db) { return db.Query(kSgbParallelQuery).status(); }},
+      {"index.grid.rehash", Status::Code::kInternal,
+       [](Database& db) { return db.Query(kSgbParallelQuery).status(); }},
       {"core.rtree.build", Status::Code::kInternal,
        [](Database& db) { return db.Query(kSgbAllQuery).status(); }},
+      {"index.rtree.split", Status::Code::kInternal,
+       [](Database& db) { return db.Query(kSgbAllQuery).status(); }},
+      {"engine.spill.write", Status::Code::kIoError,
+       [](Database& db) { return SpilledAggStatus(db); }},
+      {"engine.spill.read", Status::Code::kIoError,
+       [](Database& db) { return SpilledAggStatus(db); }},
+      {"workload.checkin.generate", Status::Code::kInternal,
+       [](Database&) {
+         try {
+           workload::GenerateCheckins(workload::BrightkiteLike(64, 1));
+           return Status::OK();
+         } catch (const QueryAbort& abort) {
+           return abort.status();
+         }
+       }},
+      {"workload.tpch.generate", Status::Code::kInternal,
+       [](Database&) {
+         workload::TpchConfig config;
+         config.scale_factor = 0.005;
+         try {
+           workload::GenerateTpch(config);
+           return Status::OK();
+         } catch (const QueryAbort& abort) {
+           return abort.status();
+         }
+       }},
   };
 
-  // Every planted site must be visible before any code path executed it —
-  // that is what makes this coverage check trustworthy.
+  // The coverage check is bidirectional: every case names a planted site,
+  // and every planted site has a case. A new fault site cannot land
+  // without a recovery test riding along.
   const auto sites = FaultRegistry::Global().Sites();
   for (const FaultCase& c : cases) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), c.site), sites.end())
         << "site not registered: " << c.site;
   }
+  for (const auto& site : sites) {
+    EXPECT_TRUE(std::any_of(cases.begin(), cases.end(),
+                            [&](const FaultCase& c) { return site == c.site; }))
+        << "registered fault site has no coverage case: " << site;
+  }
 
   Database db = PointsDb(300);
+  RegisterIntsTable(db);
   // Seed the CSV file so the read-fault trigger exercises a real read path.
   ASSERT_TRUE(
       WriteCsvFile(*db.catalog().Get("pts").value(), csv_path).ok());
+  const size_t engine_before = MemoryTracker::EngineGlobal().usage_bytes();
 
   for (const FaultCase& c : cases) {
     SCOPED_TRACE(c.site);
@@ -286,12 +377,17 @@ TEST_F(GovernanceTest, EveryRegisteredFaultSiteFiresAndRecovers) {
         << faulted.ToString();
     EXPECT_GE(FaultRegistry::Global().Injected(c.site), 1u);
     EXPECT_GE(FaultRegistry::Global().Hits(c.site), 1u);
+    // The abort unwound cleanly: no temp spill files survive it and the
+    // engine-global accounting is back where it started.
+    EXPECT_EQ(SpillFile::LiveFileCount(), 0u);
+    EXPECT_EQ(MemoryTracker::EngineGlobal().usage_bytes(), engine_before);
 
     // Disarmed, the identical operation succeeds: the fault left no broken
     // state behind.
     FaultRegistry::Global().Reset();
     const Status clean = c.trigger(db);
     EXPECT_TRUE(clean.ok()) << c.site << ": " << clean.ToString();
+    EXPECT_EQ(SpillFile::LiveFileCount(), 0u);
   }
 }
 

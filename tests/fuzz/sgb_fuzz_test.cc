@@ -32,6 +32,9 @@
 #include "core/sgb_any.h"
 #include "engine/csv.h"
 #include "engine/executor.h"
+#include "engine/spill.h"
+#include "fuzz_generators.h"
+#include "obs/metrics.h"
 
 namespace sgb::core {
 namespace {
@@ -47,132 +50,6 @@ uint64_t EnvU64(const char* name, uint64_t fallback) {
 
 size_t FuzzCases() { return EnvU64("SGB_FUZZ_CASES", 200); }
 uint64_t FuzzSeed() { return EnvU64("SGB_FUZZ_SEED", 20260806); }
-
-enum class PointKind { kUniform, kClustered, kDuplicates, kNonFinite };
-
-const char* KindName(PointKind kind) {
-  switch (kind) {
-    case PointKind::kUniform: return "uniform";
-    case PointKind::kClustered: return "clustered";
-    case PointKind::kDuplicates: return "duplicates";
-    case PointKind::kNonFinite: return "non-finite";
-  }
-  return "?";
-}
-
-std::vector<Point> GeneratePoints(Rng& rng, PointKind kind, size_t n) {
-  std::vector<Point> pts;
-  pts.reserve(n);
-  switch (kind) {
-    case PointKind::kUniform:
-      for (size_t i = 0; i < n; ++i) {
-        pts.push_back({rng.NextUniform(0, 8), rng.NextUniform(0, 8)});
-      }
-      break;
-    case PointKind::kClustered: {
-      const size_t hotspots = 1 + rng.NextBounded(5);
-      std::vector<Point> centers;
-      for (size_t i = 0; i < hotspots; ++i) {
-        centers.push_back({rng.NextUniform(0, 8), rng.NextUniform(0, 8)});
-      }
-      for (size_t i = 0; i < n; ++i) {
-        const Point& c = centers[rng.NextBounded(hotspots)];
-        pts.push_back({rng.NextGaussian(c.x, 0.3), rng.NextGaussian(c.y, 0.3)});
-      }
-      break;
-    }
-    case PointKind::kDuplicates:
-      // Snap to a coarse lattice: many exact duplicates, collinear runs,
-      // and distances that land exactly on epsilon multiples — the
-      // adversarial regime for tie-breaking and boundary predicates.
-      for (size_t i = 0; i < n; ++i) {
-        pts.push_back({0.5 * static_cast<double>(rng.NextBounded(9)),
-                       0.5 * static_cast<double>(rng.NextBounded(9))});
-      }
-      break;
-    case PointKind::kNonFinite: {
-      constexpr double kSpecials[] = {
-          std::numeric_limits<double>::quiet_NaN(),
-          std::numeric_limits<double>::infinity(),
-          -std::numeric_limits<double>::infinity(),
-      };
-      for (size_t i = 0; i < n; ++i) {
-        Point p{rng.NextUniform(0, 8), rng.NextUniform(0, 8)};
-        if (rng.NextBounded(4) == 0) p.x = kSpecials[rng.NextBounded(3)];
-        if (rng.NextBounded(4) == 0) p.y = kSpecials[rng.NextBounded(3)];
-        pts.push_back(p);
-      }
-      break;
-    }
-  }
-  return pts;
-}
-
-struct CaseConfig {
-  PointKind kind = PointKind::kUniform;
-  Metric metric = Metric::kL2;
-  double epsilon = 0.5;
-  OverlapClause clause = OverlapClause::kJoinAny;
-  uint64_t join_seed = 0;
-
-  std::string ToText() const {
-    char buf[160];
-    std::snprintf(buf, sizeof(buf),
-                  "kind=%s metric=%s epsilon=%.17g clause=%s join_seed=%llu",
-                  KindName(kind),
-                  metric == Metric::kL2 ? "L2" : "LInf", epsilon,
-                  ToString(clause),
-                  static_cast<unsigned long long>(join_seed));
-    return buf;
-  }
-};
-
-CaseConfig DrawConfig(Rng& rng) {
-  CaseConfig config;
-  config.kind = static_cast<PointKind>(rng.NextBounded(4));
-  config.metric = rng.NextBounded(2) == 0 ? Metric::kL2 : Metric::kLInf;
-  config.epsilon = rng.NextUniform(0.05, 2.0);
-  constexpr OverlapClause kClauses[] = {OverlapClause::kJoinAny,
-                                        OverlapClause::kEliminate,
-                                        OverlapClause::kFormNewGroup};
-  config.clause = kClauses[rng.NextBounded(3)];
-  config.join_seed = rng.NextU64();
-  return config;
-}
-
-SgbAllOptions AllOptions(const CaseConfig& config, SgbAllAlgorithm algorithm,
-                         int dop) {
-  SgbAllOptions options;
-  options.epsilon = config.epsilon;
-  options.metric = config.metric;
-  options.on_overlap = config.clause;
-  options.seed = config.join_seed;
-  options.algorithm = algorithm;
-  options.degree_of_parallelism = dop;
-  return options;
-}
-
-SgbAnyOptions AnyOptions(const CaseConfig& config, SgbAnyAlgorithm algorithm,
-                         int dop) {
-  SgbAnyOptions options;
-  options.epsilon = config.epsilon;
-  options.metric = config.metric;
-  options.algorithm = algorithm;
-  options.degree_of_parallelism = dop;
-  return options;
-}
-
-/// Paste-able repro: the config plus every point at full precision.
-std::string Repro(const CaseConfig& config, const std::vector<Point>& pts) {
-  std::string out = "repro: " + config.ToText() + "\npoints = {\n";
-  char buf[96];
-  for (const Point& p : pts) {
-    std::snprintf(buf, sizeof(buf), "  {%.17g, %.17g},\n", p.x, p.y);
-    out += buf;
-  }
-  out += "};";
-  return out;
-}
 
 /// Greedy delta-debugging: drop any point whose removal keeps the mismatch,
 /// repeating until a pass removes nothing. `mismatch` returns true when the
@@ -406,6 +283,108 @@ TEST(SgbFuzzTest, BatchSizesProduceIdenticalResults) {
           << "batch capacity " << capacity;
     }
   }
+}
+
+// The spill dimension of the differential harness: every case also runs
+// under a budget tight enough to force the SGB drain out of core, and the
+// spilled grouping must be bit-identical to the in-memory oracle — across
+// batch capacities 1/3/64, exactly like the in-memory sweep above.
+TEST(SgbFuzzTest, SpilledExecutionMatchesInMemoryOracle) {
+  using engine::Column;
+  using engine::Database;
+  using engine::DataType;
+  using engine::Row;
+  using engine::RowBatch;
+  using engine::Schema;
+  using engine::Table;
+  using engine::Value;
+
+  Rng rng(FuzzSeed() ^ 0x5B111ULL);
+  const size_t cases = std::max<size_t>(FuzzCases() / 8, 8);
+  size_t spilled_cases = 0;
+  for (size_t c = 0; c < cases; ++c) {
+    CaseConfig config = DrawConfig(rng);
+    if (config.kind == PointKind::kNonFinite) config.kind = PointKind::kUniform;
+    const size_t n = 60 + rng.NextBounded(90);
+    const auto pts = GeneratePoints(rng, config.kind, n);
+    SCOPED_TRACE("case " + std::to_string(c) + ": " + config.ToText() +
+                 " n=" + std::to_string(n));
+
+    Database db;
+    auto table = std::make_shared<Table>(Schema({
+        Column{"x", DataType::kDouble, ""},
+        Column{"y", DataType::kDouble, ""},
+    }));
+    for (const Point& p : pts) {
+      ASSERT_TRUE(
+          table->Append({Value::Double(p.x), Value::Double(p.y)}).ok());
+    }
+    db.Register("pts", table);
+
+    char sql[256];
+    std::snprintf(sql, sizeof(sql),
+                  "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY "
+                  "%s WITHIN %.17g",
+                  config.metric == Metric::kL2 ? "L2" : "LINF",
+                  config.epsilon);
+
+    // In-memory oracle, and the peak it actually charged.
+    auto reference = db.Query(sql);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    const std::string want = engine::WriteCsvToString(reference.value());
+    const size_t peak = static_cast<size_t>(
+        obs::MetricsRegistry::Global().GetGauge("mem.query.peak").value());
+    ASSERT_GT(peak, 0u);
+    // Any budget strictly below the peak makes the plain run breach, but the
+    // spilled run can only evict buffered rows — the point coordinates and
+    // the retained result groups must stay resident. When a tiny epsilon
+    // makes nearly every point its own group, that resident floor approaches
+    // points + results, which can exceed half the peak; 7/8 clears the floor
+    // in every regime while still forcing the drain out of core.
+    const size_t budget = peak - peak / 8;
+
+    // A budget below the in-memory peak must make the plain run fail...
+    db.set_memory_budget_bytes(budget);
+    auto budgeted = db.Query(sql);
+    ASSERT_FALSE(budgeted.ok()) << "budget " << budget << " did not bite";
+    ASSERT_EQ(budgeted.status().code(), Status::Code::kResourceExhausted)
+        << budgeted.status().ToString();
+
+    // ...and the spill-enabled run must recover it bit-identically, at
+    // every batch capacity.
+    for (const size_t capacity : {size_t{1}, size_t{3}, size_t{64}}) {
+      auto plan = db.Prepare(sql);
+      ASSERT_TRUE(plan.ok());
+      QueryContext ctx(budget);
+      SpillConfig spill;
+      spill.enabled = true;
+      ctx.set_spill(spill);
+      plan.value()->SetQueryContext(&ctx);
+      Table got(plan.value()->schema());
+      Status run = Status::OK();
+      try {
+        plan.value()->Open();
+        RowBatch batch(capacity);
+        while (plan.value()->NextBatch(&batch)) {
+          for (Row& row : batch.rows()) {
+            ASSERT_TRUE(got.Append(std::move(row)).ok());
+          }
+        }
+      } catch (const QueryAbort& abort) {
+        run = abort.status();
+      }
+      ASSERT_TRUE(run.ok()) << "batch capacity " << capacity << ": "
+                            << run.ToString();
+      EXPECT_EQ(engine::WriteCsvToString(got), want)
+          << "batch capacity " << capacity;
+      if (ctx.spill_events() > 0) ++spilled_cases;
+      plan.value()->SetQueryContext(nullptr);
+    }
+    EXPECT_EQ(engine::SpillFile::LiveFileCount(), 0u);
+    db.set_memory_budget_bytes(0);
+  }
+  // The sweep is only meaningful if the budget actually forced spilling.
+  EXPECT_GT(spilled_cases, 0u);
 }
 
 }  // namespace
