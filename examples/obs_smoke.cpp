@@ -1,0 +1,153 @@
+// Observability smoke driver (docs/OBSERVABILITY.md, CI `obs-smoke` job):
+// runs a mixed workload — successes, a timeout, a shed, a plan error, a
+// parallel similarity grouping — then exercises every introspection
+// surface end to end:
+//
+//   1. SELECT over system.query_log / system.metrics / system.tables,
+//   2. PROFILE on the parallel SGB statement (span tree as rows),
+//   3. SET trace = 1 + Database::ExportTrace to Chrome trace-event JSON.
+//
+// Usage: obs_smoke [trace-output.json]   (default: sgb_trace.json)
+//
+// Exits non-zero on the first unexpected outcome; CI then validates the
+// exported file with `python3 -m json.tool` plus a required-keys check.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "engine/executor.h"
+
+using sgb::Rng;
+using sgb::engine::Column;
+using sgb::engine::Database;
+using sgb::engine::DataType;
+using sgb::engine::Row;
+using sgb::engine::Schema;
+using sgb::engine::Table;
+using sgb::engine::Value;
+
+namespace {
+
+constexpr char kSgbQuery[] =
+    "SELECT count(*) FROM pts GROUP BY x, y "
+    "DISTANCE-TO-ANY L2 WITHIN 0.4 PARALLEL 4";
+
+bool Fail(const std::string& what) {
+  std::fprintf(stderr, "obs_smoke: FAILED: %s\n", what.c_str());
+  return false;
+}
+
+bool ExpectOk(const sgb::Result<Table>& result, const std::string& what) {
+  if (!result.ok()) {
+    return Fail(what + ": " + result.status().ToString());
+  }
+  return true;
+}
+
+void PrintTable(const char* title, const Table& table, size_t max_rows) {
+  std::printf("-- %s\n", title);
+  size_t shown = 0;
+  for (const Row& row : table.rows()) {
+    if (shown++ >= max_rows) {
+      std::printf("  ... (%zu rows total)\n", table.NumRows());
+      break;
+    }
+    std::printf(" ");
+    for (const Value& v : row) std::printf(" %s", v.ToString().c_str());
+    std::printf("\n");
+  }
+}
+
+bool Run(const std::string& trace_path) {
+  Database db;
+  auto pts = std::make_shared<Table>(Schema({
+      Column{"x", DataType::kDouble, ""},
+      Column{"y", DataType::kDouble, ""},
+  }));
+  Rng rng(20260808);
+  for (size_t i = 0; i < 20000; ++i) {
+    if (!pts->Append({Value::Double(rng.NextUniform(0, 10)),
+                      Value::Double(rng.NextUniform(0, 10))})
+             .ok()) {
+      return Fail("table build");
+    }
+  }
+  db.Register("pts", pts);
+
+  // ---- Mixed workload: ok, timeout, shed, error ------------------------
+  if (!ExpectOk(db.Query("SET trace = 1"), "SET trace")) return false;
+  if (!ExpectOk(db.Query("SET slow_query_micros = 1"), "SET slow")) {
+    return false;
+  }
+  if (!ExpectOk(db.Query("SELECT count(*) FROM pts"), "count")) return false;
+  if (!ExpectOk(db.Query(kSgbQuery), "parallel SGB")) return false;
+
+  db.set_timeout_ms(1);
+  if (db.Query(kSgbQuery).ok()) return Fail("timeout did not fire");
+  db.set_timeout_ms(0);
+
+  db.set_admission_mode(sgb::engine::AdmissionMode::kShed);
+  db.set_admission_budget_bytes(1);
+  if (db.Query("SELECT count(*) FROM pts").ok()) {
+    return Fail("shed did not fire");
+  }
+  db.set_admission_mode(sgb::engine::AdmissionMode::kOff);
+  db.set_admission_budget_bytes(0);
+
+  if (db.Query("SELECT count(*) FROM no_such_table").ok()) {
+    return Fail("plan error did not fire");
+  }
+
+  // ---- System tables ---------------------------------------------------
+  auto statuses = db.Query(
+      "SELECT status, count(*) AS n FROM system.query_log "
+      "GROUP BY status ORDER BY status");
+  if (!ExpectOk(statuses, "system.query_log GROUP BY status")) return false;
+  PrintTable("system.query_log by status", statuses.value(), 10);
+  if (statuses.value().NumRows() < 4) {
+    return Fail("expected >= 4 distinct statuses (ok/timeout/shed/error)");
+  }
+
+  auto slow = db.Query(
+      "SELECT query, wall_micros FROM system.query_log WHERE slow = 1");
+  if (!ExpectOk(slow, "slow-query filter")) return false;
+  if (slow.value().NumRows() == 0) return Fail("no slow-flagged queries");
+
+  auto metrics = db.Query(
+      "SELECT name, value FROM system.metrics "
+      "WHERE kind = 'counter' AND value > 0");
+  if (!ExpectOk(metrics, "system.metrics")) return false;
+  if (metrics.value().NumRows() == 0) return Fail("no nonzero counters");
+
+  auto tables = db.Query("SELECT name, kind FROM system.tables ORDER BY name");
+  if (!ExpectOk(tables, "system.tables")) return false;
+  PrintTable("system.tables", tables.value(), 10);
+
+  // ---- PROFILE ---------------------------------------------------------
+  auto profile = db.Query(std::string("PROFILE ") + kSgbQuery);
+  if (!ExpectOk(profile, "PROFILE")) return false;
+  PrintTable("PROFILE (parallel SGB)", profile.value(), 24);
+  bool saw_worker = false;
+  for (const Row& row : profile.value().rows()) {
+    if (row[3].AsString() == "sgb.worker") saw_worker = true;
+  }
+  if (!saw_worker) return Fail("PROFILE has no sgb.worker span");
+
+  // ---- Chrome trace export ---------------------------------------------
+  if (db.trace_log().event_count() == 0) return Fail("empty trace log");
+  sgb::Status status = db.ExportTrace(trace_path);
+  if (!status.ok()) return Fail("ExportTrace: " + status.ToString());
+  std::printf("-- exported %zu trace events to %s\n",
+              db.trace_log().event_count(), trace_path.c_str());
+  std::printf("obs_smoke: OK\n");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string trace_path = argc > 1 ? argv[1] : "sgb_trace.json";
+  return Run(trace_path) ? 0 : 1;
+}

@@ -14,6 +14,10 @@
 
 namespace sgb {
 
+namespace obs {
+class QueryTrace;
+}  // namespace obs
+
 /// Out-of-core execution settings carried by the QueryContext. Disabled by
 /// default: a budget breach then fails with ResourceExhausted exactly as
 /// before. When enabled (SET spill = 1), the blocking operators spill to
@@ -98,6 +102,13 @@ class QueryContext {
     return spill_bytes_.load(std::memory_order_relaxed);
   }
 
+  /// Span sink for this execution (null = not traced). Set by
+  /// Database::Query before execution starts; the SGB cores, spill paths,
+  /// and parallel workers record spans through it. QueryTrace is
+  /// thread-safe, so workers need no coordination here.
+  void set_trace(obs::QueryTrace* trace) { trace_ = trace; }
+  obs::QueryTrace* trace() const { return trace_; }
+
  private:
   std::atomic<bool> cancelled_{false};
   std::optional<Clock::time_point> deadline_;
@@ -105,6 +116,7 @@ class QueryContext {
   SpillConfig spill_;
   std::atomic<uint64_t> spill_events_{0};
   std::atomic<uint64_t> spill_bytes_{0};
+  obs::QueryTrace* trace_ = nullptr;
 };
 
 /// The abort channel for the bool-returning Volcano interface: governance

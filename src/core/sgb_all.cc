@@ -14,6 +14,7 @@
 #include "index/rtree.h"
 #include "index/union_find.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sgb::core {
 
@@ -450,16 +451,29 @@ Grouping RunParallel(std::span<const Point> points,
   std::vector<size_t> assignment(n, Grouping::kEliminated);
   std::vector<SgbAllStats> slot_stats(dop);
   std::vector<size_t> slot_points(dop, 0);
+  // Worker spans need an explicit parent: ParallelFor workers run on pool
+  // threads with no open-span stack of their own.
+  obs::QueryTrace* trace =
+      options.query_ctx != nullptr ? options.query_ctx->trace() : nullptr;
+  const uint64_t parent_span =
+      trace != nullptr ? trace->CurrentSpanId() : 0;
   pool.ParallelFor(
       comp_order.size(), dop,
       [&](size_t slot, size_t begin, size_t end) {
+        obs::ScopedSpan worker_span(trace, "sgb.worker", parent_span);
+        size_t worker_points = 0;
         for (size_t k = begin; k < end; ++k) {
           const std::vector<size_t>& members = comp_members[comp_order[k]];
           slot_points[slot] += members.size();
+          worker_points += members.size();
           SgbAllRunner runner(points, options, &slot_stats[slot],
                               assignment);
           runner.Run(members);
         }
+        worker_span.AddAttribute("components",
+                                 static_cast<double>(end - begin));
+        worker_span.AddAttribute("points",
+                                 static_cast<double>(worker_points));
       },
       /*grain=*/1);
 

@@ -20,23 +20,43 @@ void Catalog::Register(const std::string& name, TablePtr table) {
   tables_[Lower(name)] = std::move(table);
 }
 
+void Catalog::RegisterProvider(const std::string& name,
+                               TableProviderFn provider) {
+  providers_[Lower(name)] = std::move(provider);
+}
+
 Result<TablePtr> Catalog::Get(const std::string& name) const {
-  const auto it = tables_.find(Lower(name));
-  if (it == tables_.end()) {
-    return Status::NotFound("no table named '" + name + "'");
-  }
-  return it->second;
+  const std::string key = Lower(name);
+  const auto it = tables_.find(key);
+  if (it != tables_.end()) return it->second;
+  const auto pit = providers_.find(key);
+  if (pit != providers_.end()) return pit->second(*this);
+  return Status::NotFound("no table named '" + name + "'");
 }
 
 bool Catalog::Contains(const std::string& name) const {
-  return tables_.count(Lower(name)) > 0;
+  const std::string key = Lower(name);
+  return tables_.count(key) > 0 || providers_.count(key) > 0;
 }
 
 std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> names;
+  names.reserve(tables_.size() + providers_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  for (const auto& [name, provider] : providers_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<std::string> Catalog::StoredTableNames() const {
+  std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
   return names;
+}
+
+bool Catalog::IsVirtual(const std::string& name) const {
+  return providers_.count(Lower(name)) > 0;
 }
 
 }  // namespace sgb::engine

@@ -1,6 +1,7 @@
 #ifndef SGB_ENGINE_CATALOG_H_
 #define SGB_ENGINE_CATALOG_H_
 
+#include <functional>
 #include <map>
 #include <string>
 
@@ -11,20 +12,43 @@ namespace sgb::engine {
 
 /// Name -> table registry; the planner resolves FROM items against it.
 /// Table names are case-insensitive (normalized to lower case).
+///
+/// Besides stored tables the catalog serves *virtual* tables: a registered
+/// provider function is invoked on every lookup and materializes a fresh
+/// snapshot (the system.* introspection tables — live metrics, the query
+/// log — are served this way, so a SELECT always sees current state). From
+/// the planner's point of view a provider is indistinguishable from a
+/// stored table; filters, aggregates, joins, and SGB compose untouched.
 class Catalog {
  public:
+  /// Materializes one snapshot of a virtual table. Receives the catalog so
+  /// providers like system.tables can enumerate it.
+  using TableProviderFn =
+      std::function<Result<TablePtr>(const Catalog& catalog)>;
+
   /// Registers or replaces a table.
   void Register(const std::string& name, TablePtr table);
 
-  /// NotFound when no such table is registered.
+  /// Registers or replaces a virtual table backed by `provider`.
+  void RegisterProvider(const std::string& name, TableProviderFn provider);
+
+  /// NotFound when no such table is registered. Virtual tables return a
+  /// fresh snapshot per call.
   Result<TablePtr> Get(const std::string& name) const;
 
   bool Contains(const std::string& name) const;
 
+  /// Stored and virtual table names, sorted.
   std::vector<std::string> TableNames() const;
+
+  /// Stored table names only (no providers), sorted.
+  std::vector<std::string> StoredTableNames() const;
+
+  bool IsVirtual(const std::string& name) const;
 
  private:
   std::map<std::string, TablePtr> tables_;
+  std::map<std::string, TableProviderFn> providers_;
 };
 
 }  // namespace sgb::engine

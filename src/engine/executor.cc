@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <ctime>
 #include <optional>
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "engine/system_tables.h"
 #include "obs/metrics.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
@@ -14,21 +16,74 @@ namespace sgb::engine {
 
 namespace {
 
+/// Process CPU time in microseconds (0 where the clock is unavailable).
+/// Per-query CPU is the delta across the statement; on a busy engine it
+/// includes concurrent queries' work — it is a load signal, not an exact
+/// attribution.
+int64_t ProcessCpuMicros() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return int64_t{ts.tv_sec} * 1'000'000 + ts.tv_nsec / 1000;
+  }
+#endif
+  return 0;
+}
+
+int64_t ElapsedMicros(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The query log's tier/dop columns, derived from the statement's
+/// similarity clause before planning.
+void FillSgbInfo(const sql::SelectStatement& stmt,
+                 const sql::PlannerOptions& options, std::string* tier,
+                 int64_t* dop) {
+  using Kind = sql::SimilarityClause::Kind;
+  switch (stmt.similarity.kind) {
+    case Kind::kNone:
+      *tier = "none";
+      *dop = 0;
+      return;
+    case Kind::kAll:
+      *tier = "sgb-all";
+      break;
+    case Kind::kAny:
+      *tier = "sgb-any";
+      break;
+    default:
+      *tier = "sgb-1d";
+      break;
+  }
+  *dop = stmt.similarity.dop.value_or(options.default_sgb_dop);
+}
+
 /// Plans the statement under trace spans shared by every entry point. A SET
 /// statement is surfaced through `set` with a null OperatorPtr (entry
-/// points without a `set` sink reject it).
+/// points without a `set` sink reject it). `plan_micros`/`tier`/`dop`
+/// (null-safe) receive the query log's planning cost and SGB columns;
+/// `profile` whether the statement carried a PROFILE prefix.
 Result<OperatorPtr> PlanStatement(const Catalog& catalog,
                                   const std::string& sql,
                                   const sql::PlannerOptions& options,
-                                  sql::ExplainMode* mode,
+                                  sql::ExplainMode* mode, bool* profile,
                                   std::optional<sql::SetStatement>* set,
-                                  obs::QueryTrace* trace) {
+                                  obs::QueryTrace* trace,
+                                  int64_t* plan_micros, std::string* tier,
+                                  int64_t* dop) {
+  const auto t0 = std::chrono::steady_clock::now();
   Result<sql::ParsedStatement> stmt = [&] {
     obs::ScopedSpan span(trace, "parse");
     return sql::ParseStatement(sql);
   }();
-  if (!stmt.ok()) return stmt.status();
+  if (!stmt.ok()) {
+    if (plan_micros != nullptr) *plan_micros = ElapsedMicros(t0);
+    return stmt.status();
+  }
   if (mode != nullptr) *mode = stmt.value().explain;
+  if (profile != nullptr) *profile = stmt.value().profile;
   if (stmt.value().set.has_value()) {
     if (set == nullptr) {
       return Status::InvalidArgument(
@@ -37,8 +92,15 @@ Result<OperatorPtr> PlanStatement(const Catalog& catalog,
     *set = std::move(stmt.value().set);
     return OperatorPtr{};
   }
-  obs::ScopedSpan span(trace, "plan");
-  return sql::PlanQuery(catalog, *stmt.value().select, options);
+  if (tier != nullptr && dop != nullptr) {
+    FillSgbInfo(*stmt.value().select, options, tier, dop);
+  }
+  auto plan = [&] {
+    obs::ScopedSpan span(trace, "plan");
+    return sql::PlanQuery(catalog, *stmt.value().select, options);
+  }();
+  if (plan_micros != nullptr) *plan_micros = ElapsedMicros(t0);
+  return plan;
 }
 
 /// Wraps a rendered plan string as a one-column `plan` table, one row per
@@ -76,11 +138,16 @@ Result<Table> Execute(Operator& root, obs::QueryTrace* trace) {
   return result;
 }
 
-/// EXPLAIN ANALYZE footer: peak memory plus, when the query spilled, the
-/// spill totals (docs/ROBUSTNESS.md "Spill-to-disk").
+/// EXPLAIN ANALYZE footer: peak memory, the statement's phase timings
+/// (admission queue / planning / execution), plus, when the query spilled,
+/// the spill totals (docs/ROBUSTNESS.md "Spill-to-disk").
 std::string GovernanceFooter(size_t peak_bytes, uint64_t spill_events,
-                             uint64_t spill_bytes) {
+                             uint64_t spill_bytes, int64_t queue_micros,
+                             int64_t plan_micros, int64_t exec_micros) {
   std::string footer = "peak_mem=" + FormatMemoryBytes(peak_bytes) + "\n";
+  footer += "queue_micros=" + std::to_string(queue_micros) + "\n";
+  footer += "plan_micros=" + std::to_string(plan_micros) + "\n";
+  footer += "exec_micros=" + std::to_string(exec_micros) + "\n";
   if (spill_events > 0) {
     footer += "spilled=" + std::to_string(spill_events) + "\n";
     footer += "spill_bytes=" + std::to_string(spill_bytes) + "\n";
@@ -88,58 +155,189 @@ std::string GovernanceFooter(size_t peak_bytes, uint64_t spill_events,
   return footer;
 }
 
+/// Preorder walk collecting one system.operator_stats row per plan node.
+void CollectOperatorStats(const Operator& op, uint64_t query_id,
+                          int64_t depth, int64_t* index,
+                          std::vector<obs::OperatorStatsEntry>* out) {
+  obs::OperatorStatsEntry e;
+  e.query_id = query_id;
+  e.op_index = (*index)++;
+  e.depth = depth;
+  e.op = op.name();
+  const OperatorStats& s = op.stats();
+  e.rows = static_cast<int64_t>(s.rows_produced);
+  e.batches = static_cast<int64_t>(s.batches);
+  e.open_micros = static_cast<int64_t>(s.open_ns / 1000);
+  e.next_micros = static_cast<int64_t>(s.next_ns / 1000);
+  e.peak_memory_bytes = static_cast<int64_t>(s.peak_memory_bytes);
+  out->push_back(std::move(e));
+  for (const Operator* child : op.children()) {
+    CollectOperatorStats(*child, query_id, depth + 1, index, out);
+  }
+}
+
+/// Rows read from storage: the sum of every TableScan's output.
+int64_t SumScanRows(const Operator& op) {
+  int64_t total =
+      op.name() == "TableScan"
+          ? static_cast<int64_t>(op.stats().rows_produced)
+          : 0;
+  for (const Operator* child : op.children()) total += SumScanRows(*child);
+  return total;
+}
+
+Schema ProfileSchema() {
+  Schema s;
+  s.AddColumn(Column{"id", DataType::kInt64, ""});
+  s.AddColumn(Column{"parent_id", DataType::kInt64, ""});
+  s.AddColumn(Column{"thread", DataType::kInt64, ""});
+  s.AddColumn(Column{"operator", DataType::kString, ""});
+  s.AddColumn(Column{"phase", DataType::kString, ""});
+  s.AddColumn(Column{"start_us", DataType::kInt64, ""});
+  s.AddColumn(Column{"end_us", DataType::kInt64, ""});
+  s.AddColumn(Column{"wall_us", DataType::kInt64, ""});
+  s.AddColumn(Column{"self_us", DataType::kInt64, ""});
+  s.AddColumn(Column{"mem_bytes", DataType::kDouble, ""});
+  s.AddColumn(Column{"kernels", DataType::kDouble, ""});
+  return s;
+}
+
+/// One PROFILE row per span, preorder. `phase` is the top-level ancestor
+/// (parse/plan/execute; "query" for the root itself). `self_us` is wall
+/// time minus the direct children's wall time, clamped at 0 — for spans
+/// whose children ran in parallel the children can overlap, so self time
+/// is a lower bound there.
+Status AppendProfileRows(const obs::TraceSpan& span, const std::string& phase,
+                         Table* table) {
+  uint64_t child_ns = 0;
+  for (const obs::TraceSpan& child : span.children) {
+    child_ns += child.duration_ns;
+  }
+  const uint64_t self_ns =
+      span.duration_ns > child_ns ? span.duration_ns - child_ns : 0;
+  const auto attr = [&span](const char* key) {
+    const auto it = span.attributes.find(key);
+    return it == span.attributes.end() ? Value::Null()
+                                       : Value::Double(it->second);
+  };
+  // start/end truncate the span's ns endpoints (truncation is monotone, so
+  // child intervals stay inside their parent's); wall is their difference,
+  // keeping end = start + wall exact in the output.
+  const int64_t start_us = static_cast<int64_t>(span.start_ns / 1000);
+  const int64_t end_us =
+      static_cast<int64_t>((span.start_ns + span.duration_ns) / 1000);
+  SGB_RETURN_IF_ERROR(table->Append(
+      Row{Value::Int(static_cast<int64_t>(span.id)),
+          Value::Int(static_cast<int64_t>(span.parent_id)),
+          Value::Int(static_cast<int64_t>(span.tid)), Value::Str(span.name),
+          Value::Str(phase), Value::Int(start_us), Value::Int(end_us),
+          Value::Int(end_us - start_us),
+          Value::Int(static_cast<int64_t>(self_ns / 1000)),
+          attr("mem_bytes"), attr("kernels")}));
+  for (const obs::TraceSpan& child : span.children) {
+    SGB_RETURN_IF_ERROR(AppendProfileRows(
+        child, span.id == 0 ? child.name : phase, table));
+  }
+  return Status::OK();
+}
+
+Result<Table> ProfileTable(const obs::TraceSpan& root) {
+  Table table(ProfileSchema());
+  SGB_RETURN_IF_ERROR(AppendProfileRows(root, "query", &table));
+  return table;
+}
+
 }  // namespace
+
+Database::Database() {
+  RegisterSystemTables(&catalog_, query_log_);
+}
 
 Result<OperatorPtr> Database::Prepare(const std::string& sql) const {
   return PlanStatement(catalog_, sql, planner_options_, nullptr, nullptr,
-                       nullptr);
+                       nullptr, nullptr, nullptr, nullptr, nullptr);
 }
 
 Result<Table> Database::Query(const std::string& sql,
-                              obs::QueryTrace* trace) const {
+                              obs::QueryTrace* caller_trace) const {
+  // Every execution records into a trace (the caller's, or a local one):
+  // the query log, PROFILE, and SET trace = 1 all read from it. Tracing is
+  // side-effect-free with respect to results.
+  obs::QueryTrace local_trace;
+  obs::QueryTrace* trace =
+      caller_trace != nullptr ? caller_trace : &local_trace;
+
+  StatementInfo info;
+  info.text = sql;
+  info.wall_start = std::chrono::steady_clock::now();
+  info.cpu_start_micros = ProcessCpuMicros();
+
   sql::ExplainMode mode = sql::ExplainMode::kNone;
+  bool profile = false;
   std::optional<sql::SetStatement> set;
-  auto plan =
-      PlanStatement(catalog_, sql, planner_options_, &mode, &set, trace);
-  if (!plan.ok()) return plan.status();
+  auto plan = PlanStatement(catalog_, sql, planner_options_, &mode, &profile,
+                            &set, trace, &info.plan_micros, &info.tier,
+                            &info.dop);
+  if (!plan.ok()) {
+    LogFailedStatement(info);
+    return plan.status();
+  }
   if (set.has_value()) return ApplySet(*set);
 
-  switch (mode) {
-    case sql::ExplainMode::kPlan:
-      return PlanTextTable(ExplainPlan(*plan.value()));
-    case sql::ExplainMode::kAnalyze: {
-      RunStats stats;
-      auto result = RunPlan(*plan.value(), trace, &stats);
-      if (!result.ok()) return result.status();
-      return PlanTextTable(
-          ExplainAnalyzePlan(*plan.value()) +
-          GovernanceFooter(stats.peak_bytes, stats.spill_events,
-                           stats.spill_bytes));
-    }
-    case sql::ExplainMode::kNone:
-      break;
+  if (mode == sql::ExplainMode::kPlan) {
+    return PlanTextTable(ExplainPlan(*plan.value()));
   }
-  return RunPlan(*plan.value(), trace, nullptr);
+
+  RunStats stats;
+  Result<Table> result = RunPlan(*plan.value(), trace, &stats, info);
+
+  if (mode == sql::ExplainMode::kAnalyze) {
+    if (!result.ok()) return result.status();
+    return PlanTextTable(
+        ExplainAnalyzePlan(*plan.value()) +
+        GovernanceFooter(stats.peak_bytes, stats.spill_events,
+                         stats.spill_bytes, stats.queue_micros,
+                         stats.plan_micros, stats.exec_micros));
+  }
+  if (profile) {
+    if (!result.ok()) return result.status();
+    return ProfileTable(trace->root());
+  }
+  return result;
 }
 
 Result<std::string> Database::Explain(const std::string& sql) const {
   auto plan = PlanStatement(catalog_, sql, planner_options_, nullptr, nullptr,
-                            nullptr);
+                            nullptr, nullptr, nullptr, nullptr, nullptr);
   if (!plan.ok()) return plan.status();
   return ExplainPlan(*plan.value());
 }
 
-Result<std::string> Database::ExplainAnalyze(const std::string& sql,
-                                             obs::QueryTrace* trace) const {
+Result<std::string> Database::ExplainAnalyze(
+    const std::string& sql, obs::QueryTrace* caller_trace) const {
+  obs::QueryTrace local_trace;
+  obs::QueryTrace* trace =
+      caller_trace != nullptr ? caller_trace : &local_trace;
+
+  StatementInfo info;
+  info.text = sql;
+  info.wall_start = std::chrono::steady_clock::now();
+  info.cpu_start_micros = ProcessCpuMicros();
+
   auto plan = PlanStatement(catalog_, sql, planner_options_, nullptr, nullptr,
-                            trace);
-  if (!plan.ok()) return plan.status();
+                            nullptr, trace, &info.plan_micros, &info.tier,
+                            &info.dop);
+  if (!plan.ok()) {
+    LogFailedStatement(info);
+    return plan.status();
+  }
   RunStats stats;
-  auto result = RunPlan(*plan.value(), trace, &stats);
+  auto result = RunPlan(*plan.value(), trace, &stats, info);
   if (!result.ok()) return result.status();
   return ExplainAnalyzePlan(*plan.value()) +
          GovernanceFooter(stats.peak_bytes, stats.spill_events,
-                          stats.spill_bytes);
+                          stats.spill_bytes, stats.queue_micros,
+                          stats.plan_micros, stats.exec_micros);
 }
 
 void Database::Cancel() const {
@@ -188,11 +386,15 @@ Result<Table> Database::ApplySet(const sql::SetStatement& set) const {
     governance_.spill_enabled = set.value != 0;
   } else if (set.name == "admission_budget") {
     governance_.admission_budget_bytes = static_cast<size_t>(set.value);
+  } else if (set.name == "trace") {
+    governance_.trace_enabled = set.value != 0;
+  } else if (set.name == "slow_query_micros") {
+    governance_.slow_query_micros = set.value;
   } else {
     return Status::InvalidArgument(
         "unknown setting '" + set.name +
         "' (expected timeout, memory_budget, parallel, spill, admission, "
-        "or admission_budget)");
+        "admission_budget, trace, or slow_query_micros)");
   }
   Schema schema;
   schema.AddColumn(Column{"set", DataType::kString, ""});
@@ -202,8 +404,12 @@ Result<Table> Database::ApplySet(const sql::SetStatement& set) const {
   return table;
 }
 
-Status Database::AdmitQuery(size_t estimate, bool* admitted) const {
+Status Database::AdmitQuery(size_t estimate, bool* admitted,
+                            std::string* outcome, int64_t* queue_micros,
+                            obs::QueryTrace* trace) const {
   *admitted = false;
+  *outcome = "admitted";
+  *queue_micros = 0;
   if (governance_.admission == AdmissionMode::kOff) return Status::OK();
   const size_t limit = governance_.admission_budget_bytes != 0
                            ? governance_.admission_budget_bytes
@@ -215,6 +421,7 @@ Status Database::AdmitQuery(size_t estimate, bool* admitted) const {
   if (estimate > limit) {
     // Larger than the whole headroom: queueing can never help.
     registry.GetCounter("query.shed").Add(1);
+    *outcome = "shed";
     return Status::ResourceExhausted(
         "admission: estimated footprint " + std::to_string(estimate) +
         "B exceeds the engine headroom " + std::to_string(limit) + "B");
@@ -226,6 +433,7 @@ Status Database::AdmitQuery(size_t estimate, bool* admitted) const {
   }
   if (governance_.admission == AdmissionMode::kShed) {
     registry.GetCounter("query.shed").Add(1);
+    *outcome = "shed";
     return Status::ResourceExhausted(
         "admission: engine headroom exhausted (" +
         std::to_string(active_->admitted_bytes) + "B admitted of " +
@@ -236,27 +444,107 @@ Status Database::AdmitQuery(size_t estimate, bool* admitted) const {
   // signaled through `cv`, but we also poll so a timeout set mid-wait or a
   // release on another Database sharing the engine tracker cannot wedge us.
   registry.GetCounter("query.queued").Add(1);
+  *outcome = "queued";
+  const auto wait_start = std::chrono::steady_clock::now();
+  obs::ScopedSpan wait_span(trace, "admission.wait");
   const bool has_deadline = governance_.timeout_ms > 0;
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(governance_.timeout_ms);
   while (active_->admitted_bytes + estimate > limit) {
     if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      *queue_micros = ElapsedMicros(wait_start);
       return Status::DeadlineExceeded(
           "admission: queued past the session timeout (" +
           std::to_string(governance_.timeout_ms) + "ms)");
     }
     active_->cv.wait_for(lock, std::chrono::milliseconds(10));
   }
+  *queue_micros = ElapsedMicros(wait_start);
+  wait_span.AddAttribute("queue_micros",
+                         static_cast<double>(*queue_micros));
   active_->admitted_bytes += estimate;
   *admitted = true;
   return Status::OK();
 }
 
+void Database::LogFailedStatement(const StatementInfo& info) const {
+  obs::QueryLogEntry entry;
+  entry.id = query_log_->NextId();
+  entry.text = info.text;
+  entry.status = "error";
+  entry.plan_micros = info.plan_micros;
+  entry.wall_micros = ElapsedMicros(info.wall_start);
+  entry.cpu_micros =
+      std::max<int64_t>(0, ProcessCpuMicros() - info.cpu_start_micros);
+  entry.tier = info.tier;
+  entry.dop = info.dop;
+  query_log_->Record(std::move(entry), {});
+}
+
 Result<Table> Database::RunPlan(Operator& root, obs::QueryTrace* trace,
-                                RunStats* run_stats) const {
+                                RunStats* run_stats,
+                                const StatementInfo& info) const {
+  auto& registry = obs::MetricsRegistry::Global();
+
+  obs::QueryLogEntry entry;
+  entry.id = query_log_->NextId();
+  entry.text = info.text;
+  entry.plan_micros = info.plan_micros;
+  entry.dop = info.dop;
+  entry.tier = info.tier;
+  const uint64_t query_id = entry.id;
+
   const size_t estimate = root.EstimateFootprintBytes();
+  entry.estimated_bytes = static_cast<int64_t>(estimate);
+
+  const auto finish_entry = [&](Status::Code code, bool executed_ok) {
+    entry.wall_micros = ElapsedMicros(info.wall_start);
+    entry.cpu_micros =
+        std::max<int64_t>(0, ProcessCpuMicros() - info.cpu_start_micros);
+    if (governance_.slow_query_micros > 0 &&
+        entry.wall_micros > governance_.slow_query_micros) {
+      entry.slow = true;
+      registry.GetCounter("query.slow").Add(1);
+    }
+    if (executed_ok) {
+      entry.status = "ok";
+      return;
+    }
+    switch (code) {
+      case Status::Code::kCancelled:
+        entry.status = "cancelled";
+        break;
+      case Status::Code::kDeadlineExceeded:
+        entry.status = "timeout";
+        break;
+      case Status::Code::kResourceExhausted:
+        entry.status = "mem_exceeded";
+        break;
+      default:
+        entry.status = "error";
+        break;
+    }
+  };
+
   bool admitted = false;
-  SGB_RETURN_IF_ERROR(AdmitQuery(estimate, &admitted));
+  Status admit = AdmitQuery(estimate, &admitted, &entry.admission,
+                            &entry.queue_micros, trace);
+  if (run_stats != nullptr) {
+    run_stats->queue_micros = entry.queue_micros;
+    run_stats->plan_micros = info.plan_micros;
+  }
+  if (!admit.ok()) {
+    finish_entry(admit.code(), false);
+    // The admission gate's ResourceExhausted is a shed, not an in-flight
+    // budget breach.
+    if (admit.code() == Status::Code::kResourceExhausted) {
+      entry.status = "shed";
+    }
+    trace->Finish();
+    query_log_->Record(std::move(entry), {});
+    if (governance_.trace_enabled) trace_log_->Append(*trace, query_id);
+    return admit;
+  }
 
   QueryContext ctx(governance_.memory_budget_bytes);
   if (governance_.timeout_ms > 0) ctx.SetTimeout(governance_.timeout_ms);
@@ -266,13 +554,16 @@ Result<Table> Database::RunPlan(Operator& root, obs::QueryTrace* trace,
     spill.directory = governance_.spill_directory;
     ctx.set_spill(spill);
   }
+  ctx.set_trace(trace);
   root.SetQueryContext(&ctx);
   {
     std::lock_guard<std::mutex> lock(active_->mu);
     active_->contexts.push_back(&ctx);
   }
 
+  const auto exec_start = std::chrono::steady_clock::now();
   Result<Table> result = Execute(root, trace);
+  entry.exec_micros = ElapsedMicros(exec_start);
 
   {
     std::lock_guard<std::mutex> lock(active_->mu);
@@ -289,11 +580,18 @@ Result<Table> Database::RunPlan(Operator& root, obs::QueryTrace* trace,
     run_stats->peak_bytes = peak;
     run_stats->spill_events = ctx.spill_events();
     run_stats->spill_bytes = ctx.spill_bytes();
+    run_stats->exec_micros = entry.exec_micros;
+  }
+  entry.peak_memory_bytes = static_cast<int64_t>(peak);
+  entry.spill_events = static_cast<int64_t>(ctx.spill_events());
+  entry.spill_bytes = static_cast<int64_t>(ctx.spill_bytes());
+  entry.rows_in = SumScanRows(root);
+  if (result.ok()) {
+    entry.rows_out = static_cast<int64_t>(result.value().NumRows());
   }
   // Detach before `ctx` dies: the plan can be re-executed or rendered later.
   root.SetQueryContext(nullptr);
 
-  auto& registry = obs::MetricsRegistry::Global();
   if (ctx.spill_events() > 0) registry.GetCounter("query.spilled").Add(1);
   registry.GetGauge("mem.query.peak").Set(static_cast<double>(peak));
   registry.GetGauge("mem.engine.usage")
@@ -315,6 +613,15 @@ Result<Table> Database::RunPlan(Operator& root, obs::QueryTrace* trace,
         break;
     }
   }
+
+  finish_entry(result.ok() ? Status::Code::kOk : result.status().code(),
+               result.ok());
+  std::vector<obs::OperatorStatsEntry> op_stats;
+  int64_t op_index = 0;
+  CollectOperatorStats(root, query_id, 0, &op_index, &op_stats);
+  trace->Finish();
+  query_log_->Record(std::move(entry), std::move(op_stats));
+  if (governance_.trace_enabled) trace_log_->Append(*trace, query_id);
   return result;
 }
 

@@ -11,7 +11,9 @@
 #include "common/status.h"
 #include "engine/catalog.h"
 #include "engine/operators.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "sql/planner.h"
 
 namespace sgb::engine {
@@ -45,6 +47,8 @@ enum class AdmissionMode {
 /// computations).
 class Database {
  public:
+  Database();
+
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
 
@@ -141,6 +145,42 @@ class Database {
   /// remains fully usable afterwards.
   void Cancel() const;
 
+  // ---- Introspection (docs/OBSERVABILITY.md) ----------------------------
+  //
+  // Every executed statement — whatever its outcome — lands in the query
+  // log, queryable as `SELECT * FROM system.query_log` alongside
+  // system.metrics, system.operator_stats, and system.tables.
+  // `PROFILE <select>` executes the statement and returns its span tree as
+  // rows. `SET trace = 1` additionally accumulates every traced span into
+  // the session TraceLog for Chrome/Perfetto export.
+
+  /// The bounded ring buffer behind system.query_log/operator_stats.
+  obs::QueryLog& query_log() const { return *query_log_; }
+
+  /// Session span accumulator behind `SET trace = 1`.
+  obs::TraceLog& trace_log() const { return *trace_log_; }
+
+  /// Writes the session TraceLog as Chrome trace-event JSON
+  /// ({"traceEvents":[...]}, loadable in chrome://tracing / Perfetto).
+  Status ExportTrace(const std::string& path) const {
+    return trace_log_->WriteChromeJson(path);
+  }
+
+  /// Session trace capture (`SET trace = 1`). Enabling traces has no
+  /// effect on query results — only on what the TraceLog accumulates.
+  void set_trace_enabled(bool enabled) {
+    governance_.trace_enabled = enabled;
+  }
+  bool trace_enabled() const { return governance_.trace_enabled; }
+
+  /// Slow-query threshold in microseconds (`SET slow_query_micros = n`);
+  /// statements whose wall time exceeds it are flagged `slow` in the query
+  /// log and counted in `query.slow`. 0 disables the flag.
+  void set_slow_query_micros(int64_t micros) {
+    governance_.slow_query_micros = micros;
+  }
+  int64_t slow_query_micros() const { return governance_.slow_query_micros; }
+
  private:
   struct Governance {
     int64_t timeout_ms = 0;            ///< 0 = no deadline
@@ -149,6 +189,8 @@ class Database {
     std::string spill_directory;       ///< empty = environment default
     AdmissionMode admission = AdmissionMode::kOff;
     size_t admission_budget_bytes = 0;  ///< 0 = engine-global limit
+    bool trace_enabled = false;         ///< SET trace = 1
+    int64_t slow_query_micros = 0;      ///< SET slow_query_micros = n
   };
 
   /// Per-run governance outcomes surfaced to EXPLAIN ANALYZE.
@@ -156,6 +198,21 @@ class Database {
     size_t peak_bytes = 0;
     uint64_t spill_events = 0;
     uint64_t spill_bytes = 0;
+    int64_t queue_micros = 0;
+    int64_t plan_micros = 0;
+    int64_t exec_micros = 0;
+  };
+
+  /// Statement-level context RunPlan needs to write the query-log entry:
+  /// the submitted text, the plan phase's cost, the SGB tier/DOP the
+  /// statement carries, and the lifecycle start marks.
+  struct StatementInfo {
+    std::string text;
+    int64_t plan_micros = 0;
+    int64_t dop = 0;
+    std::string tier = "none";
+    std::chrono::steady_clock::time_point wall_start{};
+    int64_t cpu_start_micros = 0;
   };
 
   Result<Table> ApplySet(const sql::SetStatement& set) const;
@@ -164,15 +221,27 @@ class Database {
   /// footprint is `estimate` bytes may run now. Queue mode blocks until
   /// headroom frees up (bounded by the session timeout when one is set);
   /// shed mode fails fast. `*admitted` reports whether headroom was
-  /// actually reserved (and must be released after the run).
-  Status AdmitQuery(size_t estimate, bool* admitted) const;
+  /// actually reserved (and must be released after the run); `*outcome`
+  /// gets the query log's admission column (admitted|queued|shed),
+  /// `*queue_micros` the time spent waiting, and `trace` an
+  /// `admission.wait` span when the query queued.
+  Status AdmitQuery(size_t estimate, bool* admitted, std::string* outcome,
+                    int64_t* queue_micros, obs::QueryTrace* trace) const;
 
   /// Executes `root` under a fresh QueryContext built from the session
   /// governance, maintaining the active-query registry and the `mem.*` /
-  /// `query.*` metrics. `run_stats`, when non-null, receives the query's
-  /// peak tracked memory and spill totals (the EXPLAIN ANALYZE footer).
+  /// `query.*` metrics, and records exactly one query-log entry whatever
+  /// the outcome (ok, cancelled, timeout, mem_exceeded, shed, error).
+  /// `run_stats`, when non-null, receives the query's peak tracked memory,
+  /// spill totals, and phase timings (the EXPLAIN ANALYZE footer). The
+  /// trace is Finish()ed and, with `SET trace = 1`, appended to the
+  /// session TraceLog.
   Result<Table> RunPlan(Operator& root, obs::QueryTrace* trace,
-                        RunStats* run_stats) const;
+                        RunStats* run_stats, const StatementInfo& info) const;
+
+  /// Records a query-log entry for a statement that failed before
+  /// execution (parse/bind/plan errors).
+  void LogFailedStatement(const StatementInfo& info) const;
 
   /// Registry of the queries executing right now; behind a shared_ptr so
   /// Database stays movable (tests build and return them by value).
@@ -188,6 +257,12 @@ class Database {
   mutable sql::PlannerOptions planner_options_;
   mutable Governance governance_;
   std::shared_ptr<ActiveQueries> active_ = std::make_shared<ActiveQueries>();
+  // Behind shared_ptrs so Database stays movable: the system-table
+  // providers registered on catalog_ capture these by value.
+  std::shared_ptr<obs::QueryLog> query_log_ =
+      std::make_shared<obs::QueryLog>();
+  std::shared_ptr<obs::TraceLog> trace_log_ =
+      std::make_shared<obs::TraceLog>();
 };
 
 }  // namespace sgb::engine

@@ -10,6 +10,7 @@
 #include "common/fault_injection.h"
 #include "engine/spill.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sgb::engine {
 
@@ -110,7 +111,15 @@ bool NextOrThrow(SpillFile* file, Row* row) {
 /// the operator's own `spilled`/`spill_bytes` extras.
 void RecordSpillEvent(QueryContext* ctx, uint64_t bytes,
                       OperatorStats* stats) {
-  if (ctx != nullptr) ctx->AddSpill(bytes);
+  if (ctx != nullptr) {
+    ctx->AddSpill(bytes);
+    if (ctx->trace() != nullptr) {
+      // Marker span (the write itself already happened); it puts each
+      // spill on the Chrome-trace timeline with its volume.
+      obs::ScopedSpan span(ctx->trace(), "spill.write");
+      span.AddAttribute("bytes", static_cast<double>(bytes));
+    }
+  }
   stats->extra["spilled"] += 1;
   stats->extra["spill_bytes"] += bytes;
   obs::MetricsRegistry::Global().GetCounter("spill.events").Add(1);

@@ -9,6 +9,7 @@
 #include "core/sgb_nd.h"
 #include "engine/spill.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sgb::engine {
 
@@ -168,20 +169,42 @@ class SgbOperatorBase : public Operator {
 
     size_t num_groups = 0;
     std::vector<size_t> group_of;
-    // The grouping core makes its own transient charges (union-find
-    // bookkeeping, grid cells). When the drain fit in memory but left no
-    // headroom for them, spill the buffered rows after the fact and label
-    // again against the freed budget.
-    try {
-      group_of = LabelPoints(row_count, &num_groups);
-    } catch (const QueryAbort& abort) {
-      if (!SpillEnabled() || spilled_rows_ != nullptr ||
-          abort.status().code() != Status::Code::kResourceExhausted) {
-        throw;
+    {
+      // The grouping phase is the operator's hot core; it gets its own
+      // trace span with the group count, memory delta, and SIMD kernel
+      // invocations attached (PROFILE's mem_bytes/kernels columns).
+      auto& kernel_counter = obs::MetricsRegistry::Global().GetCounter(
+          "sgb.kernel.invocations");
+      const uint64_t kernels_before = kernel_counter.value();
+      const size_t mem_before =
+          query_context() != nullptr ? query_context()->memory().usage_bytes()
+                                     : 0;
+      obs::ScopedSpan group_span(Trace(), "sgb.group");
+      // The grouping core makes its own transient charges (union-find
+      // bookkeeping, grid cells). When the drain fit in memory but left no
+      // headroom for them, spill the buffered rows after the fact and label
+      // again against the freed budget.
+      try {
+        group_of = LabelPoints(row_count, &num_groups);
+      } catch (const QueryAbort& abort) {
+        if (!SpillEnabled() || spilled_rows_ != nullptr ||
+            abort.status().code() != Status::Code::kResourceExhausted) {
+          throw;
+        }
+        SpillBufferedRows();
+        FinishSpill();
+        group_of = LabelPoints(row_count, &num_groups);
       }
-      SpillBufferedRows();
-      FinishSpill();
-      group_of = LabelPoints(row_count, &num_groups);
+      group_span.AddAttribute("groups", static_cast<double>(num_groups));
+      group_span.AddAttribute(
+          "kernels",
+          static_cast<double>(kernel_counter.value() - kernels_before));
+      if (query_context() != nullptr) {
+        group_span.AddAttribute(
+            "mem_bytes",
+            static_cast<double>(query_context()->memory().usage_bytes()) -
+                static_cast<double>(mem_before));
+      }
     }
     mutable_stats().extra["groups"] = num_groups;
 
@@ -202,6 +225,9 @@ class SgbOperatorBase : public Operator {
     } else {
       // Stream the spilled rows back in input order; the aggregation adds
       // in exactly the order the in-memory loop would.
+      obs::ScopedSpan read_span(Trace(), "spill.read");
+      read_span.AddAttribute("bytes",
+                             static_cast<double>(spilled_rows_->bytes()));
       Row row;
       size_t i = 0;
       while (NextOrThrow(spilled_rows_.get(), &row)) {
@@ -253,14 +279,21 @@ class SgbOperatorBase : public Operator {
                                           size_t* num_groups) = 0;
 
  private:
+  /// Span sink for this execution (null when untraced).
+  obs::QueryTrace* Trace() const {
+    return query_context() != nullptr ? query_context()->trace() : nullptr;
+  }
+
   /// Moves the in-memory row buffer to a spill file (preserving input
   /// order) and drops its budget charge; only the coordinate SoA stays
   /// resident. The aggregation pass streams the file back.
   void SpillBufferedRows() {
+    obs::ScopedSpan write_span(Trace(), "spill.write");
     spilled_rows_ = CreateSpillFileOrThrow(query_context()->spill().directory);
     for (const Row& buffered : rows_) {
       ThrowIfError(spilled_rows_->Append(buffered));
     }
+    write_span.AddAttribute("rows", static_cast<double>(rows_.size()));
     rows_.clear();
     ChargeMemory(PointBytes());
   }

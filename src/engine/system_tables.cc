@@ -1,0 +1,183 @@
+#include "engine/system_tables.h"
+
+#include <utility>
+
+#include "engine/operators.h"
+#include "obs/metrics.h"
+
+namespace sgb::engine {
+
+namespace {
+
+Schema MetricsSchema() {
+  Schema s;
+  s.AddColumn(Column{"name", DataType::kString, ""});
+  s.AddColumn(Column{"kind", DataType::kString, ""});
+  s.AddColumn(Column{"value", DataType::kDouble, ""});
+  s.AddColumn(Column{"count", DataType::kInt64, ""});
+  s.AddColumn(Column{"sum", DataType::kInt64, ""});
+  s.AddColumn(Column{"min", DataType::kInt64, ""});
+  s.AddColumn(Column{"max", DataType::kInt64, ""});
+  s.AddColumn(Column{"mean", DataType::kDouble, ""});
+  s.AddColumn(Column{"p50", DataType::kDouble, ""});
+  s.AddColumn(Column{"p90", DataType::kDouble, ""});
+  s.AddColumn(Column{"p95", DataType::kDouble, ""});
+  s.AddColumn(Column{"p99", DataType::kDouble, ""});
+  return s;
+}
+
+/// One row per metric: counters first, then gauges, then histograms, each
+/// group name-sorted (MetricsSnapshot's maps are ordered), so the listing
+/// is stable across runs given the same registered names.
+Result<TablePtr> MetricsProvider(const Catalog&) {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  auto table = std::make_shared<Table>(MetricsSchema());
+  table->Reserve(snap.counters.size() + snap.gauges.size() +
+                 snap.histograms.size());
+  for (const auto& [name, v] : snap.counters) {
+    SGB_RETURN_IF_ERROR(table->Append(
+        Row{Value::Str(name), Value::Str("counter"),
+            Value::Double(static_cast<double>(v)), Value::Null(),
+            Value::Null(), Value::Null(), Value::Null(), Value::Null(),
+            Value::Null(), Value::Null(), Value::Null(), Value::Null()}));
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    SGB_RETURN_IF_ERROR(table->Append(
+        Row{Value::Str(name), Value::Str("gauge"), Value::Double(v),
+            Value::Null(), Value::Null(), Value::Null(), Value::Null(),
+            Value::Null(), Value::Null(), Value::Null(), Value::Null(),
+            Value::Null()}));
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    SGB_RETURN_IF_ERROR(table->Append(
+        Row{Value::Str(name), Value::Str("histogram"), Value::Null(),
+            Value::Int(static_cast<int64_t>(h.count)),
+            Value::Int(static_cast<int64_t>(h.sum)),
+            Value::Int(static_cast<int64_t>(h.min)),
+            Value::Int(static_cast<int64_t>(h.max)), Value::Double(h.mean),
+            Value::Double(h.p50), Value::Double(h.p90), Value::Double(h.p95),
+            Value::Double(h.p99)}));
+  }
+  return TablePtr(std::move(table));
+}
+
+Schema QueryLogSchema() {
+  Schema s;
+  s.AddColumn(Column{"id", DataType::kInt64, ""});
+  s.AddColumn(Column{"query", DataType::kString, ""});
+  s.AddColumn(Column{"status", DataType::kString, ""});
+  s.AddColumn(Column{"slow", DataType::kInt64, ""});
+  s.AddColumn(Column{"admission", DataType::kString, ""});
+  s.AddColumn(Column{"queue_micros", DataType::kInt64, ""});
+  s.AddColumn(Column{"plan_micros", DataType::kInt64, ""});
+  s.AddColumn(Column{"exec_micros", DataType::kInt64, ""});
+  s.AddColumn(Column{"wall_micros", DataType::kInt64, ""});
+  s.AddColumn(Column{"cpu_micros", DataType::kInt64, ""});
+  s.AddColumn(Column{"rows_in", DataType::kInt64, ""});
+  s.AddColumn(Column{"rows_out", DataType::kInt64, ""});
+  s.AddColumn(Column{"peak_memory_bytes", DataType::kInt64, ""});
+  s.AddColumn(Column{"estimated_bytes", DataType::kInt64, ""});
+  s.AddColumn(Column{"spill_events", DataType::kInt64, ""});
+  s.AddColumn(Column{"spill_bytes", DataType::kInt64, ""});
+  s.AddColumn(Column{"dop", DataType::kInt64, ""});
+  s.AddColumn(Column{"tier", DataType::kString, ""});
+  return s;
+}
+
+Schema OperatorStatsSchema() {
+  Schema s;
+  s.AddColumn(Column{"query_id", DataType::kInt64, ""});
+  s.AddColumn(Column{"op_index", DataType::kInt64, ""});
+  s.AddColumn(Column{"depth", DataType::kInt64, ""});
+  s.AddColumn(Column{"operator", DataType::kString, ""});
+  s.AddColumn(Column{"rows", DataType::kInt64, ""});
+  s.AddColumn(Column{"batches", DataType::kInt64, ""});
+  s.AddColumn(Column{"open_micros", DataType::kInt64, ""});
+  s.AddColumn(Column{"next_micros", DataType::kInt64, ""});
+  s.AddColumn(Column{"peak_memory_bytes", DataType::kInt64, ""});
+  return s;
+}
+
+Schema TablesSchema() {
+  Schema s;
+  s.AddColumn(Column{"name", DataType::kString, ""});
+  s.AddColumn(Column{"kind", DataType::kString, ""});
+  s.AddColumn(Column{"rows", DataType::kInt64, ""});
+  s.AddColumn(Column{"columns", DataType::kInt64, ""});
+  s.AddColumn(Column{"bytes", DataType::kInt64, ""});
+  return s;
+}
+
+/// Stored tables report live row/byte counts; virtual tables are listed
+/// with NULL sizes (materializing them here would recurse into providers —
+/// including this one).
+Result<TablePtr> TablesProvider(const Catalog& catalog) {
+  auto table = std::make_shared<Table>(TablesSchema());
+  for (const std::string& name : catalog.TableNames()) {
+    if (catalog.IsVirtual(name)) {
+      SGB_RETURN_IF_ERROR(table->Append(
+          Row{Value::Str(name), Value::Str("system"), Value::Null(),
+              Value::Null(), Value::Null()}));
+      continue;
+    }
+    Result<TablePtr> stored = catalog.Get(name);
+    if (!stored.ok()) return stored.status();
+    const Table& t = *stored.value();
+    SGB_RETURN_IF_ERROR(table->Append(
+        Row{Value::Str(name), Value::Str("table"),
+            Value::Int(static_cast<int64_t>(t.NumRows())),
+            Value::Int(static_cast<int64_t>(t.schema().size())),
+            Value::Int(static_cast<int64_t>(ApproxRowVectorBytes(t.rows())))}));
+  }
+  return TablePtr(std::move(table));
+}
+
+}  // namespace
+
+void RegisterSystemTables(Catalog* catalog,
+                          std::shared_ptr<obs::QueryLog> query_log) {
+  catalog->RegisterProvider("system.metrics", MetricsProvider);
+
+  catalog->RegisterProvider(
+      "system.query_log",
+      [query_log](const Catalog&) -> Result<TablePtr> {
+        auto table = std::make_shared<Table>(QueryLogSchema());
+        const auto entries = query_log->Entries();
+        table->Reserve(entries.size());
+        for (const obs::QueryLogEntry& e : entries) {
+          SGB_RETURN_IF_ERROR(table->Append(
+              Row{Value::Int(static_cast<int64_t>(e.id)), Value::Str(e.text),
+                  Value::Str(e.status), Value::Int(e.slow ? 1 : 0),
+                  Value::Str(e.admission), Value::Int(e.queue_micros),
+                  Value::Int(e.plan_micros), Value::Int(e.exec_micros),
+                  Value::Int(e.wall_micros), Value::Int(e.cpu_micros),
+                  Value::Int(e.rows_in), Value::Int(e.rows_out),
+                  Value::Int(e.peak_memory_bytes),
+                  Value::Int(e.estimated_bytes), Value::Int(e.spill_events),
+                  Value::Int(e.spill_bytes), Value::Int(e.dop),
+                  Value::Str(e.tier)}));
+        }
+        return TablePtr(std::move(table));
+      });
+
+  catalog->RegisterProvider(
+      "system.operator_stats",
+      [query_log](const Catalog&) -> Result<TablePtr> {
+        auto table = std::make_shared<Table>(OperatorStatsSchema());
+        const auto ops = query_log->OperatorStats();
+        table->Reserve(ops.size());
+        for (const obs::OperatorStatsEntry& o : ops) {
+          SGB_RETURN_IF_ERROR(table->Append(
+              Row{Value::Int(static_cast<int64_t>(o.query_id)),
+                  Value::Int(o.op_index), Value::Int(o.depth),
+                  Value::Str(o.op), Value::Int(o.rows), Value::Int(o.batches),
+                  Value::Int(o.open_micros), Value::Int(o.next_micros),
+                  Value::Int(o.peak_memory_bytes)}));
+        }
+        return TablePtr(std::move(table));
+      });
+
+  catalog->RegisterProvider("system.tables", TablesProvider);
+}
+
+}  // namespace sgb::engine

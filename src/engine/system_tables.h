@@ -1,0 +1,28 @@
+#ifndef SGB_ENGINE_SYSTEM_TABLES_H_
+#define SGB_ENGINE_SYSTEM_TABLES_H_
+
+#include <memory>
+
+#include "engine/catalog.h"
+#include "obs/query_log.h"
+
+namespace sgb::engine {
+
+/// Registers the virtual system.* introspection tables on `catalog`
+/// (docs/OBSERVABILITY.md "System tables"):
+///
+///   system.metrics        one row per registered metric, live snapshot
+///   system.query_log      the bounded ring buffer of recent statements
+///   system.operator_stats per-operator counters for recent statements
+///   system.tables         catalog listing with row counts and byte sizes
+///
+/// Each SELECT against one of these materializes a fresh snapshot, so they
+/// compose with filters, aggregates, and SGB like any stored table. Row
+/// ordering is deterministic: metrics and tables are name-sorted,
+/// query_log/operator_stats are oldest-first.
+void RegisterSystemTables(Catalog* catalog,
+                          std::shared_ptr<obs::QueryLog> query_log);
+
+}  // namespace sgb::engine
+
+#endif  // SGB_ENGINE_SYSTEM_TABLES_H_

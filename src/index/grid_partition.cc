@@ -9,6 +9,7 @@
 #include "common/query_context.h"
 #include "common/thread_pool.h"
 #include "geom/kernels.h"
+#include "obs/trace.h"
 
 namespace sgb::index {
 
@@ -150,9 +151,17 @@ void ParallelSimilarityUnion(std::span<const Point> points, Metric metric,
   std::vector<GridPartitionStats> slot_stats(dop);
   std::vector<std::vector<Edge>> slot_edges(dop);
   const geom::BlockSimilarity sim(metric, radius);
+  // Worker spans parent to whatever span is open on the calling thread
+  // (the explicit-parent form: worker threads have no stack to inherit).
+  obs::QueryTrace* trace = ctx != nullptr ? ctx->trace() : nullptr;
+  const uint64_t parent_span =
+      trace != nullptr ? trace->CurrentSpanId() : 0;
   pool.ParallelFor(
       num_parts, dop,
       [&](size_t slot, size_t part_begin, size_t part_end) {
+        obs::ScopedSpan worker_span(trace, "sgb.worker", parent_span);
+        worker_span.AddAttribute("partitions",
+                                 static_cast<double>(part_end - part_begin));
         GridPartitionStats& stats = slot_stats[slot];
         std::vector<Edge>& edges = slot_edges[slot];
         std::vector<uint64_t> mask;  // worker-local kernel scratch

@@ -55,11 +55,17 @@ double Histogram::Mean() const {
 }
 
 double Histogram::Percentile(double p) const {
-  const uint64_t n = count();
-  if (n == 0) return 0.0;
   if (p < 0.0) p = 0.0;
   if (p > 100.0) p = 100.0;
-  const double rank = p / 100.0 * static_cast<double>(n);
+  return ValueAtQuantile(p / 100.0);
+}
+
+double Histogram::ValueAtQuantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(n);
   double seen = 0.0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
     const uint64_t b = buckets_[i].load(std::memory_order_relaxed);
@@ -130,8 +136,9 @@ std::string MetricsSnapshot::ToText() const {
   for (const auto& [name, h] : histograms) {
     std::snprintf(buf, sizeof buf,
                   "histogram %-48s count=%" PRIu64 " mean=%.2f p50=%.0f"
-                  " p90=%.0f p99=%.0f max=%" PRIu64 "\n",
-                  name.c_str(), h.count, h.mean, h.p50, h.p90, h.p99, h.max);
+                  " p90=%.0f p95=%.0f p99=%.0f max=%" PRIu64 "\n",
+                  name.c_str(), h.count, h.mean, h.p50, h.p90, h.p95, h.p99,
+                  h.max);
     out += buf;
   }
   return out;
@@ -165,6 +172,7 @@ std::string MetricsSnapshot::ToJson() const {
     out += ",\"mean\":" + JsonDouble(h.mean);
     out += ",\"p50\":" + JsonDouble(h.p50);
     out += ",\"p90\":" + JsonDouble(h.p90);
+    out += ",\"p95\":" + JsonDouble(h.p95);
     out += ",\"p99\":" + JsonDouble(h.p99);
     out += '}';
   }
@@ -224,6 +232,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     s.mean = h->Mean();
     s.p50 = h->Percentile(50);
     s.p90 = h->Percentile(90);
+    s.p95 = h->Percentile(95);
     s.p99 = h->Percentile(99);
     snap.histograms[name] = s;
   }

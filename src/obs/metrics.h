@@ -65,6 +65,14 @@ class Histogram {
   /// Interpolated value at percentile `p` in [0, 100]; 0 when empty.
   double Percentile(double p) const;
 
+  /// Value at quantile `q` in [0, 1] — same estimator as Percentile()
+  /// (Percentile(p) == ValueAtQuantile(p / 100)). Convenience accessors
+  /// below match the names the bench harnesses export.
+  double ValueAtQuantile(double q) const;
+  double P50() const { return ValueAtQuantile(0.50); }
+  double P95() const { return ValueAtQuantile(0.95); }
+  double P99() const { return ValueAtQuantile(0.99); }
+
   void Reset();
 
   /// Upper bound (inclusive) of bucket `index`; exposed for tests.
@@ -90,6 +98,7 @@ struct MetricsSnapshot {
     double mean = 0.0;
     double p50 = 0.0;
     double p90 = 0.0;
+    double p95 = 0.0;
     double p99 = 0.0;
   };
 

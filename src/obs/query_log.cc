@@ -1,0 +1,46 @@
+#include "obs/query_log.h"
+
+namespace sgb::obs {
+
+QueryLog::QueryLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+uint64_t QueryLog::NextId() {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void QueryLog::Record(QueryLogEntry entry,
+                      std::vector<OperatorStatsEntry> ops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.push_back(Slot{std::move(entry), std::move(ops)});
+  while (slots_.size() > capacity_) slots_.pop_front();
+}
+
+std::vector<QueryLogEntry> QueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryLogEntry> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) out.push_back(slot.entry);
+  return out;
+}
+
+std::vector<OperatorStatsEntry> QueryLog::OperatorStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<OperatorStatsEntry> out;
+  for (const Slot& slot : slots_) {
+    out.insert(out.end(), slot.ops.begin(), slot.ops.end());
+  }
+  return out;
+}
+
+size_t QueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+void QueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+}
+
+}  // namespace sgb::obs

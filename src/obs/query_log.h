@@ -1,0 +1,92 @@
+#ifndef SGB_OBS_QUERY_LOG_H_
+#define SGB_OBS_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sgb::obs {
+
+/// One finished (or aborted) statement in the engine's query log. Every
+/// Materialize-style execution produces exactly one entry, whatever its
+/// outcome — ok, cancelled, timeout, mem_exceeded, shed, or error — so the
+/// log is the ground truth for "what ran and what did it cost".
+struct QueryLogEntry {
+  uint64_t id = 0;           ///< monotonically increasing statement id
+  std::string text;          ///< statement text as submitted
+  std::string status;        ///< ok|cancelled|timeout|mem_exceeded|shed|error
+  bool slow = false;         ///< wall_micros exceeded `slow_query_micros`
+  std::string admission;     ///< admitted|queued|shed (off mode ⇒ admitted)
+  int64_t queue_micros = 0;  ///< admission queue wait
+  int64_t plan_micros = 0;   ///< parse + bind + plan
+  int64_t exec_micros = 0;   ///< operator tree execution
+  int64_t wall_micros = 0;   ///< full statement lifecycle (queue+plan+exec)
+  int64_t cpu_micros = 0;    ///< process CPU time consumed (0 if unknown)
+  int64_t rows_in = 0;       ///< rows produced by the plan's table scans
+  int64_t rows_out = 0;      ///< rows returned to the client
+  int64_t peak_memory_bytes = 0;   ///< per-query tracker high-water mark
+  int64_t estimated_bytes = 0;     ///< plan-time footprint estimate
+  int64_t spill_events = 0;
+  int64_t spill_bytes = 0;
+  int64_t dop = 0;           ///< SGB degree of parallelism (0 when no SGB)
+  std::string tier;          ///< none|sgb-all|sgb-any|sgb-1d
+};
+
+/// Per-operator execution counters for one logged query; rows of the
+/// system.operator_stats table. `op_index` is the operator's preorder
+/// position in the plan, `depth` its nesting level.
+struct OperatorStatsEntry {
+  uint64_t query_id = 0;
+  int64_t op_index = 0;
+  int64_t depth = 0;
+  std::string op;
+  int64_t rows = 0;
+  int64_t batches = 0;
+  int64_t open_micros = 0;
+  int64_t next_micros = 0;
+  int64_t peak_memory_bytes = 0;
+};
+
+/// Bounded, thread-safe ring buffer of recent queries plus their
+/// per-operator stats. When full, the oldest query (and its operator rows)
+/// is evicted, so memory stays O(capacity) regardless of workload length.
+class QueryLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit QueryLog(size_t capacity = kDefaultCapacity);
+
+  /// Allocates the next statement id (thread-safe, never reused).
+  uint64_t NextId();
+
+  /// Appends one finished query, evicting the oldest beyond capacity.
+  void Record(QueryLogEntry entry, std::vector<OperatorStatsEntry> ops);
+
+  /// Snapshot of retained entries, oldest first.
+  std::vector<QueryLogEntry> Entries() const;
+
+  /// Snapshot of retained per-operator rows, oldest query first.
+  std::vector<OperatorStatsEntry> OperatorStats() const;
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  void Clear();
+
+ private:
+  struct Slot {
+    QueryLogEntry entry;
+    std::vector<OperatorStatsEntry> ops;
+  };
+
+  const size_t capacity_;
+  std::atomic<uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::deque<Slot> slots_;
+};
+
+}  // namespace sgb::obs
+
+#endif  // SGB_OBS_QUERY_LOG_H_

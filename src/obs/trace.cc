@@ -5,7 +5,14 @@
 namespace sgb::obs {
 
 QueryTrace::QueryTrace() : t0_(std::chrono::steady_clock::now()) {
-  root_.name = "query";
+  Rec root;
+  root.name = "query";
+  root.start_ns = 0;
+  root.parent_id = 0;
+  root.tid = 0;
+  recs_.push_back(std::move(root));
+  threads_[std::this_thread::get_id()] = ThreadState{};
+  next_tid_ = 1;
 }
 
 uint64_t QueryTrace::NowNs() const {
@@ -15,42 +22,139 @@ uint64_t QueryTrace::NowNs() const {
           .count());
 }
 
-namespace {
-
-TraceSpan* Resolve(TraceSpan* root, const std::vector<size_t>& path) {
-  TraceSpan* span = root;
-  for (const size_t i : path) span = &span->children[i];
-  return span;
+QueryTrace::ThreadState& QueryTrace::StateForThisThread() {
+  auto [it, inserted] = threads_.try_emplace(std::this_thread::get_id());
+  if (inserted) it->second.tid = next_tid_++;
+  return it->second;
 }
 
-}  // namespace
-
 void QueryTrace::Start(std::string name) {
-  TraceSpan* parent = Resolve(&root_, open_path_);
-  TraceSpan child;
-  child.name = std::move(name);
-  child.start_ns = NowNs();
-  open_path_.push_back(parent->children.size());
-  parent->children.push_back(std::move(child));
+  const uint64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  ThreadState& state = StateForThisThread();
+  Rec rec;
+  rec.name = std::move(name);
+  rec.start_ns = now;
+  rec.parent_id = state.open.empty() ? 0 : state.open.back();
+  rec.tid = state.tid;
+  state.open.push_back(recs_.size());
+  recs_.push_back(std::move(rec));
+  dirty_ = true;
 }
 
 void QueryTrace::End() {
-  if (open_path_.empty()) return;
-  TraceSpan* span = Resolve(&root_, open_path_);
-  span->duration_ns = NowNs() - span->start_ns;
-  open_path_.pop_back();
+  const uint64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  ThreadState& state = StateForThisThread();
+  if (state.open.empty()) return;
+  Rec& rec = recs_[state.open.back()];
+  rec.duration_ns = now - rec.start_ns;
+  rec.open = false;
+  state.open.pop_back();
+  dirty_ = true;
 }
 
 void QueryTrace::AddAttribute(const std::string& key, double value) {
-  Resolve(&root_, open_path_)->attributes[key] = value;
+  std::lock_guard<std::mutex> lock(mu_);
+  ThreadState& state = StateForThisThread();
+  const uint64_t id = state.open.empty() ? 0 : state.open.back();
+  recs_[id].attributes[key] = value;
+  dirty_ = true;
+}
+
+uint64_t QueryTrace::BeginSpan(std::string name, uint64_t parent_id) {
+  const uint64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  ThreadState& state = StateForThisThread();
+  Rec rec;
+  rec.name = std::move(name);
+  rec.start_ns = now;
+  rec.parent_id = parent_id < recs_.size() ? parent_id : 0;
+  rec.tid = state.tid;
+  const uint64_t id = recs_.size();
+  recs_.push_back(std::move(rec));
+  dirty_ = true;
+  return id;
+}
+
+void QueryTrace::EndSpan(uint64_t id) {
+  const uint64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id >= recs_.size() || !recs_[id].open) return;
+  recs_[id].duration_ns = now - recs_[id].start_ns;
+  recs_[id].open = false;
+  dirty_ = true;
+}
+
+void QueryTrace::AddSpanAttribute(uint64_t id, const std::string& key,
+                                  double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= recs_.size()) return;
+  recs_[id].attributes[key] = value;
+  dirty_ = true;
+}
+
+uint64_t QueryTrace::CurrentSpanId() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = threads_.find(std::this_thread::get_id());
+  if (it == threads_.end() || it->second.open.empty()) return 0;
+  return it->second.open.back();
 }
 
 void QueryTrace::Finish() {
-  while (!open_path_.empty()) End();
+  const uint64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 1; i < recs_.size(); ++i) {
+    if (recs_[i].open) {
+      recs_[i].duration_ns = now - recs_[i].start_ns;
+      recs_[i].open = false;
+    }
+  }
+  for (auto& [thread_id, state] : threads_) state.open.clear();
   if (!finished_) {
-    root_.duration_ns = NowNs();
+    recs_[0].duration_ns = now;
+    recs_[0].open = false;
     finished_ = true;
   }
+  dirty_ = true;
+}
+
+uint64_t QueryTrace::thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_.size();
+}
+
+/// Rebuilds the nested tree from the flat records. Children keep creation
+/// (record) order, matching the single-threaded behavior of the original
+/// nested implementation.
+void QueryTrace::RebuildLocked() const {
+  const size_t n = recs_.size();
+  std::vector<std::vector<uint64_t>> kids(n);
+  for (size_t i = 1; i < n; ++i) kids[recs_[i].parent_id].push_back(i);
+
+  cached_root_ = TraceSpan{};
+  auto fill = [&](auto&& self, uint64_t id, TraceSpan* dst) -> void {
+    const Rec& rec = recs_[id];
+    dst->name = rec.name;
+    dst->start_ns = rec.start_ns;
+    dst->duration_ns = rec.duration_ns;
+    dst->id = id;
+    dst->parent_id = rec.parent_id;
+    dst->tid = rec.tid;
+    dst->attributes = rec.attributes;
+    dst->children.resize(kids[id].size());
+    for (size_t k = 0; k < kids[id].size(); ++k) {
+      self(self, kids[id][k], &dst->children[k]);
+    }
+  };
+  fill(fill, 0, &cached_root_);
+  dirty_ = false;
+}
+
+const TraceSpan& QueryTrace::root() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dirty_) RebuildLocked();
+  return cached_root_;
 }
 
 namespace {
@@ -67,6 +171,11 @@ void RenderText(const TraceSpan& span, int depth, std::string* out) {
   char buf[64];
   std::snprintf(buf, sizeof buf, " %.3fms", span.DurationMillis());
   *out += buf;
+  if (span.tid != 0) {
+    std::snprintf(buf, sizeof buf, " tid=%llu",
+                  static_cast<unsigned long long>(span.tid));
+    *out += buf;
+  }
   if (!span.attributes.empty()) {
     *out += " (";
     bool first = true;
@@ -87,6 +196,7 @@ void RenderJson(const TraceSpan& span, std::string* out) {
   *out += "{\"name\":\"" + span.name + "\"";
   *out += ",\"start_ns\":" + std::to_string(span.start_ns);
   *out += ",\"duration_ns\":" + std::to_string(span.duration_ns);
+  if (span.tid != 0) *out += ",\"tid\":" + std::to_string(span.tid);
   if (!span.attributes.empty()) {
     *out += ",\"attributes\":{";
     bool first = true;
@@ -115,14 +225,14 @@ void RenderJson(const TraceSpan& span, std::string* out) {
 std::string QueryTrace::ToText() {
   Finish();
   std::string out;
-  RenderText(root_, 0, &out);
+  RenderText(root(), 0, &out);
   return out;
 }
 
 std::string QueryTrace::ToJson() {
   Finish();
   std::string out;
-  RenderJson(root_, &out);
+  RenderJson(root(), &out);
   return out;
 }
 

@@ -4,7 +4,9 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace sgb::obs {
@@ -16,6 +18,13 @@ struct TraceSpan {
   std::string name;
   uint64_t start_ns = 0;
   uint64_t duration_ns = 0;
+  /// Stable span id (0 = the root), its parent's id, and the trace-local
+  /// thread ordinal that recorded it (0 = the thread that created the
+  /// trace). These let PROFILE and the Chrome exporter attribute parallel
+  /// worker activity without guessing from nesting alone.
+  uint64_t id = 0;
+  uint64_t parent_id = 0;
+  uint64_t tid = 0;
   std::map<std::string, double> attributes;  // name-sorted, deterministic
   std::vector<TraceSpan> children;
 
@@ -25,27 +34,63 @@ struct TraceSpan {
 };
 
 /// Records a hierarchy of timed spans for one query: the executor opens
-/// spans for parse/plan/execute, operators or callers may nest deeper.
-/// Spans must be ended in LIFO order (use ScopedSpan). Not thread-safe —
-/// one trace belongs to one query on one thread.
+/// spans for parse/plan/execute; operators, spill paths, and parallel SGB
+/// workers nest deeper. Internally the trace is a flat, mutex-protected
+/// record list with per-thread open-span stacks, so concurrent workers may
+/// record spans into the same trace; the nested TraceSpan tree returned by
+/// root() is rebuilt on demand.
+///
+/// Two usage styles:
+///  * Stack style (Start/End/AddAttribute, or ScopedSpan): spans nest
+///    under the calling thread's innermost open span, LIFO per thread. A
+///    thread with no open span parents under the root.
+///  * Explicit-parent style (BeginSpan/EndSpan, or the ScopedSpan overload
+///    taking a parent id): for worker threads whose logical parent is a
+///    span opened on another thread. Capture CurrentSpanId() before
+///    fanning out and pass it to each worker.
 class QueryTrace {
  public:
   QueryTrace();
 
-  /// Opens a child span of the innermost open span (or of the root).
+  /// Opens a child span of the calling thread's innermost open span (or of
+  /// the root).
   void Start(std::string name);
 
-  /// Closes the innermost open span, fixing its duration.
+  /// Closes the calling thread's innermost open span, fixing its duration.
   void End();
 
-  /// Attaches `value` to the innermost open span (the root when none).
+  /// Attaches `value` to the calling thread's innermost open span (the
+  /// root when none).
   void AddAttribute(const std::string& key, double value);
+
+  /// Opens a span as an explicit child of `parent_id` (0 = root), without
+  /// touching any thread's open stack. Returns the new span's id.
+  uint64_t BeginSpan(std::string name, uint64_t parent_id);
+
+  /// Closes a span opened with BeginSpan().
+  void EndSpan(uint64_t id);
+
+  /// Attaches `value` to the span with the given id.
+  void AddSpanAttribute(uint64_t id, const std::string& key, double value);
+
+  /// Id of the calling thread's innermost open span; 0 (the root) when the
+  /// thread has none open.
+  uint64_t CurrentSpanId() const;
 
   /// Closes any still-open spans and fixes the root duration. Called
   /// implicitly by ToText()/ToJson() if needed.
   void Finish();
 
-  const TraceSpan& root() const { return root_; }
+  /// The span tree (rebuilt from the flat records when stale). Children
+  /// appear in creation order. Valid to call before Finish(); open spans
+  /// then report duration 0.
+  const TraceSpan& root() const;
+
+  /// Steady-clock instant all span offsets are relative to.
+  std::chrono::steady_clock::time_point start_time() const { return t0_; }
+
+  /// Number of distinct threads that have recorded into this trace.
+  uint64_t thread_count() const;
 
   /// Indented listing:
   ///   query 1.234ms
@@ -58,35 +103,75 @@ class QueryTrace {
   std::string ToJson();
 
  private:
+  /// Flat span record; index in recs_ is the span id (0 = root).
+  struct Rec {
+    std::string name;
+    uint64_t start_ns = 0;
+    uint64_t duration_ns = 0;
+    uint64_t parent_id = 0;
+    uint64_t tid = 0;
+    bool open = true;
+    std::map<std::string, double> attributes;
+  };
+
+  struct ThreadState {
+    uint64_t tid = 0;
+    std::vector<uint64_t> open;  // span ids, innermost last
+  };
+
   uint64_t NowNs() const;
+  ThreadState& StateForThisThread();  // requires mu_ held
+  void RebuildLocked() const;         // requires mu_ held
 
   std::chrono::steady_clock::time_point t0_;
-  TraceSpan root_;
-  /// Indexes into the nested children vectors identifying the open span
-  /// path; stable across reallocation (unlike raw pointers).
-  std::vector<size_t> open_path_;
+  mutable std::mutex mu_;
+  std::vector<Rec> recs_;
+  std::map<std::thread::id, ThreadState> threads_;
+  uint64_t next_tid_ = 0;
   bool finished_ = false;
+  mutable TraceSpan cached_root_;
+  mutable bool dirty_ = true;
 };
 
-/// RAII span: Start() on construction, End() on destruction. A null trace
-/// makes every operation a no-op, so call sites need no branching.
+/// RAII span: opens on construction, ends on destruction. A null trace
+/// makes every operation a no-op, so call sites need no branching. The
+/// two-argument form uses the thread's open stack; the parent-id form
+/// records an explicit-parent span (for cross-thread workers).
 class ScopedSpan {
  public:
   ScopedSpan(QueryTrace* trace, std::string name) : trace_(trace) {
     if (trace_ != nullptr) trace_->Start(std::move(name));
   }
+  ScopedSpan(QueryTrace* trace, std::string name, uint64_t parent_id)
+      : trace_(trace), by_id_(true) {
+    if (trace_ != nullptr) {
+      id_ = trace_->BeginSpan(std::move(name), parent_id);
+    }
+  }
   ~ScopedSpan() {
-    if (trace_ != nullptr) trace_->End();
+    if (trace_ == nullptr) return;
+    if (by_id_) {
+      trace_->EndSpan(id_);
+    } else {
+      trace_->End();
+    }
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
   void AddAttribute(const std::string& key, double value) {
-    if (trace_ != nullptr) trace_->AddAttribute(key, value);
+    if (trace_ == nullptr) return;
+    if (by_id_) {
+      trace_->AddSpanAttribute(id_, key, value);
+    } else {
+      trace_->AddAttribute(key, value);
+    }
   }
 
  private:
   QueryTrace* trace_;
+  bool by_id_ = false;
+  uint64_t id_ = 0;
 };
 
 }  // namespace sgb::obs

@@ -1,0 +1,117 @@
+#include "obs/trace_export.h"
+
+#include <cstdio>
+
+namespace sgb::obs {
+
+TraceLog::TraceLog() : t0_(std::chrono::steady_clock::now()) {}
+
+void TraceLog::AppendSpan(const TraceSpan& span, uint64_t base_us,
+                          uint64_t query_id) {
+  Event ev;
+  ev.name = span.name;
+  ev.ts_us = base_us + span.start_ns / 1000;
+  ev.dur_us = span.duration_ns / 1000;
+  ev.tid = span.tid;
+  ev.query_id = query_id;
+  ev.args = span.attributes;
+  if (ev.tid > max_tid_) max_tid_ = ev.tid;
+  events_.push_back(std::move(ev));
+  for (const TraceSpan& child : span.children) {
+    AppendSpan(child, base_us, query_id);
+  }
+}
+
+void TraceLog::Append(const QueryTrace& trace, uint64_t query_id) {
+  const auto offset = trace.start_time() - t0_;
+  const uint64_t base_us = offset.count() <= 0
+                               ? 0
+                               : static_cast<uint64_t>(
+                                     std::chrono::duration_cast<
+                                         std::chrono::microseconds>(offset)
+                                         .count());
+  const TraceSpan& root = trace.root();
+  std::lock_guard<std::mutex> lock(mu_);
+  AppendSpan(root, base_us, query_id);
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string TraceLog::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"sgb-engine\"}}";
+  for (uint64_t t = 0; t <= max_tid_; ++t) {
+    out += ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(t) + ",\"args\":{\"name\":\"" +
+           (t == 0 ? std::string("session") : "worker-" + std::to_string(t)) +
+           "\"}}";
+  }
+  for (const Event& ev : events_) {
+    out += ",{\"name\":\"" + JsonEscape(ev.name) + "\"";
+    out += ",\"cat\":\"query\",\"ph\":\"X\"";
+    out += ",\"ts\":" + std::to_string(ev.ts_us);
+    out += ",\"dur\":" + std::to_string(ev.dur_us);
+    out += ",\"pid\":1,\"tid\":" + std::to_string(ev.tid);
+    out += ",\"args\":{\"query_id\":" + std::to_string(ev.query_id);
+    for (const auto& [key, value] : ev.args) {
+      out += ",\"" + JsonEscape(key) + "\":" + JsonDouble(value);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status TraceLog::WriteChromeJson(const std::string& path) const {
+  const std::string json = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("trace export: cannot open " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IoError("trace export: short write to " + path);
+  }
+  return Status::OK();
+}
+
+size_t TraceLog::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  max_tid_ = 0;
+}
+
+}  // namespace sgb::obs

@@ -1,0 +1,62 @@
+#ifndef SGB_OBS_TRACE_EXPORT_H_
+#define SGB_OBS_TRACE_EXPORT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace sgb::obs {
+
+/// Session-level span accumulator that serializes to the Chrome trace-event
+/// JSON format ({"traceEvents":[...]}), loadable in chrome://tracing and
+/// Perfetto. Enabled with `SET trace = 1`; each traced query's span tree is
+/// appended with timestamps re-based onto the session clock, so queries line
+/// up on one timeline. Thread lanes are the trace-local thread ordinals
+/// (lane 0 = the session thread, lanes 1.. = pool workers).
+class TraceLog {
+ public:
+  TraceLog();
+
+  /// Appends every span of `trace` as a complete ("ph":"X") event. The
+  /// trace should be Finish()ed first; open spans would export with zero
+  /// duration.
+  void Append(const QueryTrace& trace, uint64_t query_id);
+
+  /// {"traceEvents":[...]} with process/thread metadata events first, then
+  /// span events in append order. Timestamps are microseconds since the
+  /// TraceLog was created.
+  std::string ToChromeJson() const;
+
+  /// Writes ToChromeJson() to `path` (IoError on failure).
+  Status WriteChromeJson(const std::string& path) const;
+
+  size_t event_count() const;
+  void Clear();
+
+ private:
+  struct Event {
+    std::string name;
+    uint64_t ts_us = 0;
+    uint64_t dur_us = 0;
+    uint64_t tid = 0;
+    uint64_t query_id = 0;
+    std::map<std::string, double> args;
+  };
+
+  void AppendSpan(const TraceSpan& span, uint64_t base_us, uint64_t query_id);
+
+  std::chrono::steady_clock::time_point t0_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  uint64_t max_tid_ = 0;
+};
+
+}  // namespace sgb::obs
+
+#endif  // SGB_OBS_TRACE_EXPORT_H_

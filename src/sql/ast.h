@@ -130,6 +130,8 @@ enum class ExplainMode {
 ///   SET spill = <0|1>             (out-of-core fallback for budget breaches)
 ///   SET admission = queue|shed|off  (admission control mode)
 ///   SET admission_budget = <bytes>  (admission headroom; 0 = engine limit)
+///   SET trace = <0|1>             (capture spans into the session TraceLog)
+///   SET slow_query_micros = <us>  (slow-query threshold; 0 disables)
 struct SetStatement {
   std::string name;  ///< knob name, lower-cased by the parser
   int64_t value = 0;
@@ -138,10 +140,13 @@ struct SetStatement {
   std::string text_value;
 };
 
-/// A full parsed statement: an optional EXPLAIN [ANALYZE] prefix wrapping
-/// one SELECT, or a SET statement (`set` engaged, `select` null).
+/// A full parsed statement: an optional EXPLAIN [ANALYZE] or PROFILE
+/// prefix wrapping one SELECT, or a SET statement (`set` engaged, `select`
+/// null). PROFILE executes the statement and returns its span tree as rows
+/// (one per span) instead of the statement's own result.
 struct ParsedStatement {
   ExplainMode explain = ExplainMode::kNone;
+  bool profile = false;
   std::unique_ptr<SelectStatement> select;
   std::optional<SetStatement> set;
 };

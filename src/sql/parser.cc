@@ -67,7 +67,9 @@ class Parser {
       }
       return out;
     }
-    if (MatchKw("EXPLAIN")) {
+    if (MatchKw("PROFILE")) {
+      out.profile = true;
+    } else if (MatchKw("EXPLAIN")) {
       out.explain =
           MatchKw("ANALYZE") ? ExplainMode::kAnalyze : ExplainMode::kPlan;
     }
@@ -212,6 +214,14 @@ class Parser {
       } else {
         if (Peek().type != TokenType::kIdent) return Error("expected table");
         ref.table_name = Consume().text;
+        // Dotted names (system.query_log) are a single catalog entry, not
+        // a schema hierarchy.
+        if (Match(TokenType::kDot)) {
+          if (Peek().type != TokenType::kIdent) {
+            return Error("expected table name after '.'");
+          }
+          ref.table_name += "." + Consume().text;
+        }
       }
       if (MatchKw("AS")) {
         if (Peek().type != TokenType::kIdent) return Error("expected alias");

@@ -387,5 +387,59 @@ TEST(SgbFuzzTest, SpilledExecutionMatchesInMemoryOracle) {
   EXPECT_GT(spilled_cases, 0u);
 }
 
+// The observability dimension of the differential harness: tracing, the
+// query log, and the slow-query flag are bystanders — enabling all of them
+// must leave every grouping bit-identical to the untraced run
+// (docs/OBSERVABILITY.md).
+TEST(SgbFuzzTest, TracedExecutionMatchesUntraced) {
+  using engine::Column;
+  using engine::Database;
+  using engine::DataType;
+  using engine::Schema;
+  using engine::Table;
+  using engine::Value;
+
+  Rng rng(FuzzSeed() ^ 0x0B5E);
+  const size_t cases = std::max<size_t>(FuzzCases() / 8, 8);
+  for (size_t c = 0; c < cases; ++c) {
+    CaseConfig config = DrawConfig(rng);
+    if (config.kind == PointKind::kNonFinite) config.kind = PointKind::kUniform;
+    const size_t n = 1 + rng.NextBounded(120);
+    const auto pts = GeneratePoints(rng, config.kind, n);
+    SCOPED_TRACE("case " + std::to_string(c) + ": " + config.ToText() +
+                 " n=" + std::to_string(n));
+
+    Database db;
+    auto table = std::make_shared<Table>(Schema({
+        Column{"x", DataType::kDouble, ""},
+        Column{"y", DataType::kDouble, ""},
+    }));
+    for (const Point& p : pts) {
+      ASSERT_TRUE(
+          table->Append({Value::Double(p.x), Value::Double(p.y)}).ok());
+    }
+    db.Register("pts", table);
+
+    char sql[256];
+    std::snprintf(sql, sizeof(sql),
+                  "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY "
+                  "%s WITHIN %.17g PARALLEL %d",
+                  config.metric == Metric::kL2 ? "L2" : "LINF",
+                  config.epsilon, 1 + static_cast<int>(rng.NextBounded(4)));
+
+    auto reference = db.Query(sql);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    const std::string want = engine::WriteCsvToString(reference.value());
+
+    ASSERT_TRUE(db.Query("SET trace = 1").ok());
+    ASSERT_TRUE(db.Query("SET slow_query_micros = 1").ok());
+    auto traced = db.Query(sql);
+    ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+    EXPECT_EQ(engine::WriteCsvToString(traced.value()), want)
+        << "SET trace = 1 changed the result";
+    EXPECT_GT(db.trace_log().event_count(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace sgb::core

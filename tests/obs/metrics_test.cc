@@ -72,6 +72,33 @@ TEST(HistogramTest, PercentilesAreOrderedAndWithinRange) {
   EXPECT_NEAR(p50, 500.0, 500.0 / Histogram::kSubBuckets + 1);
 }
 
+TEST(HistogramTest, ValueAtQuantileMatchesPercentile) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.50), h.Percentile(50));
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.95), h.Percentile(95));
+  EXPECT_DOUBLE_EQ(h.P50(), h.Percentile(50));
+  EXPECT_DOUBLE_EQ(h.P95(), h.Percentile(95));
+  EXPECT_DOUBLE_EQ(h.P99(), h.Percentile(99));
+  EXPECT_LE(h.P50(), h.P95());
+  EXPECT_LE(h.P95(), h.P99());
+  // Out-of-range quantiles clamp instead of misbehaving.
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(-1.0), h.ValueAtQuantile(0.0));
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(2.0), h.ValueAtQuantile(1.0));
+}
+
+TEST(HistogramTest, SummaryCarriesP95) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("lat_us");
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  const MetricsSnapshot snap = registry.Snapshot();
+  const auto it = snap.histograms.find("lat_us");
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_GE(it->second.p95, it->second.p50);
+  EXPECT_LE(it->second.p95, it->second.p99);
+  EXPECT_GT(it->second.p95, 0.0);
+}
+
 TEST(HistogramTest, ResetClearsEverything) {
   Histogram h;
   h.Record(7);

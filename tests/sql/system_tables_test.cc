@@ -1,0 +1,365 @@
+// SQL-queryable introspection (docs/OBSERVABILITY.md): the system.*
+// virtual tables compose with the ordinary SELECT pipeline — filters,
+// aggregates, ORDER BY, even similarity grouping — and the query log
+// records exactly one entry per executed statement with an honest status,
+// whatever the outcome.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/random.h"
+#include "engine/executor.h"
+#include "obs/metrics.h"
+#include "obs/query_log.h"
+
+namespace sgb::engine {
+namespace {
+
+constexpr char kSgbQuery[] =
+    "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.4";
+
+Database PointsDb(size_t n, double extent = 10.0, uint64_t seed = 7) {
+  Database db;
+  auto pts = std::make_shared<Table>(Schema({
+      Column{"x", DataType::kDouble, ""},
+      Column{"y", DataType::kDouble, ""},
+  }));
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(pts->Append({Value::Double(rng.NextUniform(0, extent)),
+                             Value::Double(rng.NextUniform(0, extent))})
+                    .ok());
+  }
+  db.Register("pts", pts);
+  return db;
+}
+
+/// The retained log entry for `text`, failing the test when the count
+/// differs from one — each statement must log exactly once.
+obs::QueryLogEntry EntryFor(const Database& db, const std::string& text) {
+  obs::QueryLogEntry found;
+  int matches = 0;
+  for (const obs::QueryLogEntry& e : db.query_log().Entries()) {
+    if (e.text == text) {
+      found = e;
+      ++matches;
+    }
+  }
+  EXPECT_EQ(matches, 1) << "entries for: " << text;
+  return found;
+}
+
+// ---- Query log ----------------------------------------------------------
+
+TEST(SystemTablesTest, SuccessfulQueryLogsOkEntryWithCosts) {
+  Database db = PointsDb(500);
+  ASSERT_TRUE(db.Query(kSgbQuery).ok());
+
+  const obs::QueryLogEntry e = EntryFor(db, kSgbQuery);
+  EXPECT_EQ(e.status, "ok");
+  EXPECT_EQ(e.admission, "admitted");
+  EXPECT_EQ(e.tier, "sgb-any");
+  EXPECT_EQ(e.rows_in, 500);
+  // One count(*) row per similarity group.
+  EXPECT_GT(e.rows_out, 0);
+  EXPECT_GT(e.wall_micros, 0);
+  EXPECT_GT(e.exec_micros, 0);
+  EXPECT_GE(e.wall_micros, e.exec_micros);
+  EXPECT_GT(e.peak_memory_bytes, 0);
+  EXPECT_GT(e.estimated_bytes, 0);
+  EXPECT_FALSE(e.slow);
+}
+
+TEST(SystemTablesTest, EveryOutcomeLogsExactlyOneEntry) {
+  Database db = PointsDb(30000);
+
+  // timeout
+  db.set_timeout_ms(1);
+  EXPECT_EQ(db.Query(kSgbQuery).status().code(),
+            Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(EntryFor(db, kSgbQuery).status, "timeout");
+  db.set_timeout_ms(0);
+
+  // mem_exceeded (distinct text so EntryFor sees exactly one match)
+  db.set_memory_budget_bytes(1024);
+  const std::string budget_query =
+      "SELECT count(*) FROM pts "
+      "GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.5";
+  EXPECT_EQ(db.Query(budget_query).status().code(),
+            Status::Code::kResourceExhausted);
+  EXPECT_EQ(EntryFor(db, budget_query).status, "mem_exceeded");
+  db.set_memory_budget_bytes(0);
+
+  // shed: a 1-byte admission headroom rejects any real estimate up front.
+  db.set_admission_mode(AdmissionMode::kShed);
+  db.set_admission_budget_bytes(1);
+  const std::string shed_query = "SELECT count(*) FROM pts";
+  EXPECT_EQ(db.Query(shed_query).status().code(),
+            Status::Code::kResourceExhausted);
+  const obs::QueryLogEntry shed = EntryFor(db, shed_query);
+  EXPECT_EQ(shed.status, "shed");
+  EXPECT_EQ(shed.admission, "shed");
+  db.set_admission_mode(AdmissionMode::kOff);
+  db.set_admission_budget_bytes(0);
+
+  // error (unknown table): fails at plan time, still logged.
+  const std::string bad_query = "SELECT count(*) FROM nonexistent";
+  EXPECT_FALSE(db.Query(bad_query).ok());
+  EXPECT_EQ(EntryFor(db, bad_query).status, "error");
+
+  // error (fault injection): a planted fault surfaces as one error entry.
+  FaultRegistry::Global().ArmNthHit("index.grid.build", 1);
+  const std::string fault_query =
+      std::string(kSgbQuery) + " PARALLEL 2";
+  EXPECT_FALSE(db.Query(fault_query).ok());
+  EXPECT_EQ(EntryFor(db, fault_query).status, "error");
+  FaultRegistry::Global().Reset();
+}
+
+TEST(SystemTablesTest, CancelledQueryLogsCancelledEntry) {
+  Database db = PointsDb(60000, 40.0);
+  std::atomic<bool> done{false};
+  Status status = Status::OK();
+  std::thread runner([&] {
+    status = db.Query(kSgbQuery).status();
+    done.store(true);
+  });
+  while (!done.load()) {
+    db.Cancel();
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  runner.join();
+  ASSERT_EQ(status.code(), Status::Code::kCancelled) << status.ToString();
+  EXPECT_EQ(EntryFor(db, kSgbQuery).status, "cancelled");
+}
+
+TEST(SystemTablesTest, SpilledQueryLogsSpillTotals) {
+  Database db;
+  auto table = std::make_shared<Table>(Schema({
+      Column{"k", DataType::kInt64, ""},
+      Column{"payload", DataType::kString, ""},
+  }));
+  for (size_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(table
+                    ->Append({Value::Int(static_cast<int64_t>(i)),
+                              Value::Str(std::string(64, 'x'))})
+                    .ok());
+  }
+  db.Register("ints", table);
+  db.set_memory_budget_bytes(180000);
+  db.set_spill_enabled(true);
+  const std::string query = "SELECT count(*) FROM ints GROUP BY k";
+  ASSERT_TRUE(db.Query(query).ok());
+
+  const obs::QueryLogEntry e = EntryFor(db, query);
+  EXPECT_EQ(e.status, "ok");
+  EXPECT_GT(e.spill_events, 0);
+  EXPECT_GT(e.spill_bytes, 0);
+}
+
+TEST(SystemTablesTest, SlowQueryFlaggedAndCounted) {
+  Database db = PointsDb(2000);
+  const uint64_t slow_before =
+      obs::MetricsRegistry::Global().GetCounter("query.slow").value();
+  ASSERT_TRUE(db.Query("SET slow_query_micros = 1").ok());
+  ASSERT_TRUE(db.Query(kSgbQuery).ok());
+  EXPECT_TRUE(EntryFor(db, kSgbQuery).slow);
+  EXPECT_GT(obs::MetricsRegistry::Global().GetCounter("query.slow").value(),
+            slow_before);
+
+  // With the threshold lifted the next run is not flagged.
+  ASSERT_TRUE(db.Query("SET slow_query_micros = 0").ok());
+  const std::string fast = "SELECT count(*) FROM pts";
+  ASSERT_TRUE(db.Query(fast).ok());
+  EXPECT_FALSE(EntryFor(db, fast).slow);
+}
+
+TEST(SystemTablesTest, SetAndExplainStatementsAreNotLogged) {
+  Database db = PointsDb(10);
+  ASSERT_TRUE(db.Query("SET timeout = 0").ok());
+  ASSERT_TRUE(db.Query("EXPLAIN SELECT count(*) FROM pts").ok());
+  for (const obs::QueryLogEntry& e : db.query_log().Entries()) {
+    EXPECT_EQ(e.text.find("SET"), std::string::npos) << e.text;
+    EXPECT_EQ(e.text.find("EXPLAIN SELECT"), std::string::npos) << e.text;
+  }
+}
+
+// ---- system.query_log via SQL -------------------------------------------
+
+TEST(SystemTablesTest, QueryLogGroupByStatusAfterMixedWorkload) {
+  Database db = PointsDb(30000);
+  // ok
+  ASSERT_TRUE(db.Query("SELECT count(*) FROM pts").ok());
+  // timeout
+  db.set_timeout_ms(1);
+  EXPECT_FALSE(db.Query(kSgbQuery).ok());
+  db.set_timeout_ms(0);
+  // mem_exceeded
+  db.set_memory_budget_bytes(1024);
+  EXPECT_FALSE(db.Query(kSgbQuery).ok());
+  db.set_memory_budget_bytes(0);
+  // shed
+  db.set_admission_mode(AdmissionMode::kShed);
+  db.set_admission_budget_bytes(1);
+  EXPECT_FALSE(db.Query("SELECT count(*) FROM pts WHERE x > 0").ok());
+  db.set_admission_mode(AdmissionMode::kOff);
+  db.set_admission_budget_bytes(0);
+  // error
+  EXPECT_FALSE(db.Query("SELECT count(*) FROM no_such_table").ok());
+
+  const auto result = db.Query(
+      "SELECT status, count(*) AS n FROM system.query_log "
+      "GROUP BY status ORDER BY status");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::map<std::string, int64_t> by_status;
+  for (const Row& row : result.value().rows()) {
+    by_status[row[0].AsString()] = row[1].AsInt();
+  }
+  EXPECT_EQ(by_status["ok"], 1);
+  EXPECT_EQ(by_status["timeout"], 1);
+  EXPECT_EQ(by_status["mem_exceeded"], 1);
+  EXPECT_EQ(by_status["shed"], 1);
+  EXPECT_EQ(by_status["error"], 1);
+}
+
+TEST(SystemTablesTest, QueryLogComposesWithFiltersAndProjection) {
+  Database db = PointsDb(100);
+  ASSERT_TRUE(db.Query("SELECT count(*) FROM pts").ok());
+  ASSERT_TRUE(db.Query(kSgbQuery).ok());
+
+  const auto tiers = db.Query(
+      "SELECT query, tier FROM system.query_log WHERE tier = 'sgb-any'");
+  ASSERT_TRUE(tiers.ok()) << tiers.status().ToString();
+  ASSERT_EQ(tiers.value().NumRows(), 1u);
+  EXPECT_EQ(tiers.value().rows()[0][0].AsString(), kSgbQuery);
+
+  const auto slow = db.Query(
+      "SELECT count(*) FROM system.query_log WHERE wall_micros < 0");
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(slow.value().rows()[0][0].AsInt(), 0);
+}
+
+TEST(SystemTablesTest, OperatorStatsJoinableByQueryId) {
+  Database db = PointsDb(200);
+  ASSERT_TRUE(db.Query(kSgbQuery).ok());
+  const obs::QueryLogEntry e = EntryFor(db, kSgbQuery);
+
+  const auto ops = db.Query(
+      "SELECT op_index, operator, rows FROM system.operator_stats "
+      "WHERE query_id = " +
+      std::to_string(e.id) + " ORDER BY op_index");
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  ASSERT_GE(ops.value().NumRows(), 2u);
+  bool saw_scan = false;
+  for (const Row& row : ops.value().rows()) {
+    if (row[1].AsString() == "TableScan") {
+      saw_scan = true;
+      EXPECT_EQ(row[2].AsInt(), 200);
+    }
+  }
+  EXPECT_TRUE(saw_scan);
+}
+
+// ---- system.metrics / system.tables -------------------------------------
+
+TEST(SystemTablesTest, MetricsTableListsKindsWithStableOrder) {
+  Database db = PointsDb(100);
+  ASSERT_TRUE(db.Query(kSgbQuery).ok());  // touch counters + histograms
+
+  const auto result =
+      db.Query("SELECT name, kind FROM system.metrics");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result.value().NumRows(), 0u);
+
+  // Counters, then gauges, then histograms; name-sorted within each kind.
+  const std::vector<std::string> kind_order = {"counter", "gauge",
+                                               "histogram"};
+  size_t kind_idx = 0;
+  std::string prev_name;
+  for (const Row& row : result.value().rows()) {
+    const std::string kind = row[1].AsString();
+    while (kind_idx < kind_order.size() && kind != kind_order[kind_idx]) {
+      ++kind_idx;
+      prev_name.clear();
+    }
+    ASSERT_LT(kind_idx, kind_order.size()) << "unexpected kind " << kind;
+    if (!prev_name.empty()) {
+      EXPECT_LE(prev_name, row[0].AsString());
+    }
+    prev_name = row[0].AsString();
+  }
+
+  // A second scan returns the identical listing (determinism guard) —
+  // modulo counters the scan itself bumps, the names and order match.
+  const auto again = db.Query("SELECT name, kind FROM system.metrics");
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again.value().NumRows(), result.value().NumRows());
+  for (size_t i = 0; i < result.value().NumRows(); ++i) {
+    EXPECT_EQ(result.value().rows()[i][0].AsString(),
+              again.value().rows()[i][0].AsString());
+  }
+}
+
+TEST(SystemTablesTest, MetricsTableExposesHistogramQuantiles) {
+  Database db = PointsDb(50);
+  ASSERT_TRUE(db.Query("SELECT count(*) FROM pts").ok());
+  const auto result = db.Query(
+      "SELECT p50, p95, p99 FROM system.metrics "
+      "WHERE name = 'engine.query_us'");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().NumRows(), 1u);
+  const Row& row = result.value().rows()[0];
+  EXPECT_LE(row[0].AsDouble(), row[1].AsDouble());
+  EXPECT_LE(row[1].AsDouble(), row[2].AsDouble());
+}
+
+TEST(SystemTablesTest, TablesTableListsStoredAndVirtualTables) {
+  Database db = PointsDb(25);
+  const auto result = db.Query(
+      "SELECT name, kind, rows FROM system.tables ORDER BY name");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  std::map<std::string, std::string> kinds;
+  int64_t pts_rows = -1;
+  for (const Row& row : result.value().rows()) {
+    kinds[row[0].AsString()] = row[1].AsString();
+    if (row[0].AsString() == "pts") pts_rows = row[2].AsInt();
+  }
+  EXPECT_EQ(kinds["pts"], "table");
+  EXPECT_EQ(pts_rows, 25);
+  EXPECT_EQ(kinds["system.metrics"], "system");
+  EXPECT_EQ(kinds["system.query_log"], "system");
+  EXPECT_EQ(kinds["system.operator_stats"], "system");
+  EXPECT_EQ(kinds["system.tables"], "system");
+}
+
+// ---- Determinism: observability never changes results -------------------
+
+TEST(SystemTablesTest, TraceAndLogDoNotChangeResults) {
+  Database db = PointsDb(800);
+  const auto plain = db.Query(kSgbQuery);
+  ASSERT_TRUE(plain.ok());
+
+  ASSERT_TRUE(db.Query("SET trace = 1").ok());
+  ASSERT_TRUE(db.Query("SET slow_query_micros = 1").ok());
+  const auto traced = db.Query(kSgbQuery);
+  ASSERT_TRUE(traced.ok());
+  EXPECT_GT(db.trace_log().event_count(), 0u);
+
+  ASSERT_EQ(plain.value().NumRows(), traced.value().NumRows());
+  for (size_t i = 0; i < plain.value().NumRows(); ++i) {
+    EXPECT_EQ(plain.value().rows()[i][0].AsInt(),
+              traced.value().rows()[i][0].AsInt());
+  }
+}
+
+}  // namespace
+}  // namespace sgb::engine
