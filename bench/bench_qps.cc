@@ -1,0 +1,224 @@
+// Multi-client QPS harness for the server front end (docs/SERVER.md):
+// starts an in-process server over the synthetic check-in workload, drives
+// it with N concurrent wire clients x M queries each of a mixed read/SGB/
+// system-table/prepared-statement workload, and reports throughput and
+// latency percentiles (via the obs histogram registry) as JSON.
+//
+//   bench_qps [--clients N] [--queries M] [--rows R] [--json PATH]
+//
+// Exit code is non-zero when any client statement fails, when any
+// system.query_log row has status `error`, or when a client's result for a
+// deterministic query diverges from a single-session replay — so CI can
+// gate on the bare exit status (the qps-smoke job does).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "engine/executor.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "workload/checkin.h"
+
+namespace {
+
+struct BenchQuery {
+  std::string sql;
+  bool deterministic;  ///< included in the divergence check
+};
+
+std::vector<BenchQuery> MixedWorkload() {
+  return {
+      {"SELECT count(*) FROM checkins", true},
+      {"SELECT count(*) FROM checkins WHERE latitude > 40.0", true},
+      {"SELECT count(*) FROM checkins GROUP BY latitude, longitude "
+       "DISTANCE-TO-ANY L2 WITHIN 0.2",
+       true},
+      {"SELECT count(*) FROM checkins GROUP BY latitude, longitude "
+       "DISTANCE-TO-ALL L2 WITHIN 0.2 ON-OVERLAP ELIMINATE",
+       true},
+      {"SELECT user_id, count(*) AS visits FROM checkins "
+       "GROUP BY user_id ORDER BY visits DESC, user_id LIMIT 5",
+       true},
+      {"SELECT count(*) FROM system.sessions", false},
+      {"SELECT count(*) FROM system.metrics", false},
+  };
+}
+
+struct ClientOutcome {
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  // Last result rows per deterministic workload index, for the
+  // divergence check against single-session replay.
+  std::vector<std::vector<std::vector<std::string>>> results;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t clients = 8;
+  size_t queries = 200;
+  size_t rows = 10000;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--clients") == 0) {
+      clients = std::stoul(next("--clients"));
+    } else if (std::strcmp(argv[i], "--queries") == 0) {
+      queries = std::stoul(next("--queries"));
+    } else if (std::strcmp(argv[i], "--rows") == 0) {
+      rows = std::stoul(next("--rows"));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = next("--json");
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  sgb::engine::Database db;
+  db.Register("checkins",
+              sgb::workload::GenerateCheckinTable(
+                  sgb::workload::BrightkiteLike(rows)));
+
+  sgb::server::ServerOptions options;
+  options.tcp = true;
+  options.max_sessions = clients + 8;
+  sgb::server::Server server(&db, options);
+  if (auto status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<BenchQuery> workload = MixedWorkload();
+  auto& histogram =
+      sgb::obs::MetricsRegistry::Global().GetHistogram("bench.qps_query_us");
+  std::vector<ClientOutcome> outcomes(clients);
+
+  sgb::Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientOutcome& outcome = outcomes[c];
+      outcome.results.resize(workload.size());
+      auto connected =
+          sgb::server::Client::ConnectLoopback(server.tcp_port());
+      if (!connected.ok()) {
+        outcome.errors += queries;
+        return;
+      }
+      sgb::server::Client client = std::move(connected).value();
+      // Every client prepares the hottest statement once and executes it
+      // through the prepared path, exercising the session plan cache.
+      const bool prepared =
+          client.Prepare("hot", workload[0].sql).ok();
+      for (size_t q = 0; q < queries; ++q) {
+        const size_t w = q % workload.size();
+        sgb::Stopwatch latency;
+        auto result = (w == 0 && prepared)
+                          ? client.Execute("hot")
+                          : client.Query(workload[w].sql);
+        histogram.Record(
+            static_cast<uint64_t>(latency.ElapsedMicros()));
+        if (result.ok()) {
+          ++outcome.ok;
+          if (workload[w].deterministic) {
+            outcome.results[w] = std::move(result.value().rows);
+          }
+        } else {
+          ++outcome.errors;
+          std::fprintf(stderr, "client %zu query failed: %s\n", c,
+                       result.status().ToString().c_str());
+        }
+      }
+      (void)client.Quit();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_ms = wall.ElapsedMillis();
+
+  // Single-session replay is the divergence ground truth: every client's
+  // last result for each deterministic query must be bit-identical to a
+  // fresh session running the same statement.
+  size_t divergences = 0;
+  {
+    auto replay = sgb::server::Client::ConnectLoopback(server.tcp_port());
+    if (!replay.ok()) {
+      std::fprintf(stderr, "replay connect failed\n");
+      ++divergences;
+    } else {
+      for (size_t w = 0; w < workload.size(); ++w) {
+        if (!workload[w].deterministic) continue;
+        auto truth = replay.value().Query(workload[w].sql);
+        if (!truth.ok()) {
+          std::fprintf(stderr, "replay failed: %s\n", workload[w].sql.c_str());
+          ++divergences;
+          continue;
+        }
+        for (size_t c = 0; c < clients; ++c) {
+          if (outcomes[c].results[w].empty()) continue;  // client errored out
+          if (outcomes[c].results[w] != truth.value().rows) {
+            std::fprintf(stderr, "client %zu diverged on: %s\n", c,
+                         workload[w].sql.c_str());
+            ++divergences;
+          }
+        }
+      }
+    }
+  }
+
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  for (const auto& outcome : outcomes) {
+    ok += outcome.ok;
+    errors += outcome.errors;
+  }
+  uint64_t log_error_rows = 0;
+  for (const auto& entry : db.query_log().Entries()) {
+    if (entry.status == "error") ++log_error_rows;
+  }
+  server.Stop();
+
+  const double qps =
+      elapsed_ms > 0 ? static_cast<double>(ok) / (elapsed_ms / 1000.0) : 0;
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"clients\": %zu,\n"
+      "  \"queries_per_client\": %zu,\n"
+      "  \"rows\": %zu,\n"
+      "  \"ok\": %llu,\n"
+      "  \"errors\": %llu,\n"
+      "  \"divergences\": %zu,\n"
+      "  \"query_log_error_rows\": %llu,\n"
+      "  \"elapsed_ms\": %.1f,\n"
+      "  \"qps\": %.1f,\n"
+      "  \"p50_us\": %.0f,\n"
+      "  \"p99_us\": %.0f\n"
+      "}\n",
+      clients, queries, rows, static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(errors), divergences,
+      static_cast<unsigned long long>(log_error_rows), elapsed_ms, qps,
+      histogram.P50(), histogram.P99());
+  std::fputs(json, stdout);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json;
+  }
+  return (errors == 0 && divergences == 0 && log_error_rows == 0) ? 0 : 1;
+}

@@ -1,0 +1,143 @@
+// Server front-end smoke driver (docs/SERVER.md, README "Quick start"):
+// boots the multi-session server on a unix socket inside this process,
+// connects two wire clients, and walks the whole protocol surface —
+// PING, DDL + INSERT, a similarity-group-by over the wire, per-session
+// SET isolation, prepared statements, and the system.sessions view.
+//
+// Usage: server_smoke [unix-socket-path]   (default: /tmp/sgb_smoke.sock)
+//
+// Exits non-zero on the first unexpected outcome; the CI qps-smoke job
+// runs it before the bench_qps gauntlet.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "engine/executor.h"
+#include "server/client.h"
+#include "server/server.h"
+
+using sgb::Rng;
+using sgb::engine::Column;
+using sgb::engine::Database;
+using sgb::engine::DataType;
+using sgb::engine::Schema;
+using sgb::engine::Table;
+using sgb::engine::Value;
+using sgb::server::Client;
+using sgb::server::QueryResult;
+using sgb::server::Server;
+using sgb::server::ServerOptions;
+
+namespace {
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "server_smoke: FAILED: %s\n", what.c_str());
+  return 1;
+}
+
+void PrintResult(const char* title, const QueryResult& result,
+                 size_t max_rows = 5) {
+  std::printf("-- %s\n", title);
+  for (size_t c = 0; c < result.columns.size(); ++c) {
+    std::printf("%s%s", c ? "\t" : "", result.columns[c].c_str());
+  }
+  std::printf("\n");
+  for (size_t r = 0; r < result.rows.size() && r < max_rows; ++r) {
+    for (size_t c = 0; c < result.rows[r].size(); ++c) {
+      std::printf("%s%s", c ? "\t" : "", result.rows[r][c].c_str());
+    }
+    std::printf("\n");
+  }
+  if (result.rows.size() > max_rows) {
+    std::printf("... (%zu rows total)\n", result.rows.size());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string socket_path =
+      argc > 1 ? argv[1]
+               : "/tmp/sgb_smoke_" + std::to_string(::getpid()) + ".sock";
+
+  // An embedded Database with some clustered 2-D points to group.
+  Database db;
+  auto pts = std::make_shared<Table>(Schema({
+      Column{"x", DataType::kDouble, ""},
+      Column{"y", DataType::kDouble, ""},
+  }));
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    (void)pts->Append({Value::Double(rng.NextUniform(0, 10)),
+                       Value::Double(rng.NextUniform(0, 10))});
+  }
+  db.Register("pts", pts);
+
+  ServerOptions options;
+  options.unix_path = socket_path;
+  Server server(&db, options);
+  if (auto status = server.Start(); !status.ok()) {
+    return Fail("server start: " + status.ToString());
+  }
+  std::printf("server listening on %s\n", socket_path.c_str());
+
+  auto c1 = Client::ConnectUnixSocket(socket_path);
+  auto c2 = Client::ConnectUnixSocket(socket_path);
+  if (!c1.ok() || !c2.ok()) return Fail("client connect");
+  if (!c1.value().Ping().ok()) return Fail("ping");
+
+  // Session 1 creates an append-only table and loads it over the wire.
+  if (!c1.value()
+           .Query("CREATE TABLE cities (name TEXT, pop INT)")
+           .ok()) {
+    return Fail("create table");
+  }
+  if (!c1.value()
+           .Query("INSERT INTO cities VALUES ('quito', 2011), "
+                  "('oslo', 709), ('lyon', 522)")
+           .ok()) {
+    return Fail("insert");
+  }
+
+  // Session 2 reads the committed rows through its own snapshot.
+  auto cities = c2.value().Query(
+      "SELECT name, pop FROM cities ORDER BY pop DESC");
+  if (!cities.ok()) return Fail("select: " + cities.status().ToString());
+  PrintResult("cities by population", cities.value());
+
+  // A similarity group-by (the paper's operator) over the wire.
+  auto sgb = c2.value().Query(
+      "SELECT count(*) FROM pts GROUP BY x, y "
+      "DISTANCE-TO-ANY L2 WITHIN 0.4");
+  if (!sgb.ok()) return Fail("sgb: " + sgb.status().ToString());
+  PrintResult("similarity groups over the wire", sgb.value());
+
+  // SET is session-scoped: c1's timeout never leaks into c2.
+  if (!c1.value().Query("SET timeout = 1234").ok()) return Fail("set");
+  auto sessions = c2.value().Query(
+      "SELECT id, peer, timeout_ms, queries FROM system.sessions");
+  if (!sessions.ok()) return Fail("system.sessions");
+  PrintResult("system.sessions", sessions.value());
+
+  // Prepared statements live on the session that PREPAREd them.
+  if (!c2.value().Prepare("grp", "SELECT count(*) FROM cities").ok()) {
+    return Fail("prepare");
+  }
+  auto prepped = c2.value().Execute("grp");
+  if (!prepped.ok() || prepped.value().rows[0][0] != "3") {
+    return Fail("execute prepared");
+  }
+  if (c1.value().Execute("grp").ok()) {
+    return Fail("prepared statement leaked across sessions");
+  }
+
+  (void)c1.value().Quit();
+  (void)c2.value().Quit();
+  server.Stop();
+  std::printf("server_smoke: OK\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+#ifndef SGB_ENGINE_APPEND_TABLE_H_
+#define SGB_ENGINE_APPEND_TABLE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/operators.h"
+#include "engine/schema.h"
+#include "engine/table.h"
+
+namespace sgb::engine {
+
+/// A mutable, append-only table supporting single-writer-at-a-time appends
+/// and fully concurrent lock-free snapshot reads — the storage behind
+/// CREATE TABLE / INSERT and the server's multi-session traffic
+/// (docs/SERVER.md "Snapshot semantics").
+///
+/// Storage is chunked: rows live in fixed-size chunks whose addresses never
+/// change once allocated, and the published row count is an atomic updated
+/// with release ordering only after every row of an Append() is in place.
+/// A reader that loads the count with acquire ordering may then index any
+/// row below it without locking — it can never see a torn row or a torn
+/// statement (an INSERT's rows become visible all at once), and writers
+/// never block readers.
+///
+/// Capacity is bounded at kMaxChunks * kChunkRows rows (the chunk directory
+/// is preallocated so it never reallocates under readers); appends beyond
+/// that fail with ResourceExhausted.
+class AppendOnlyTable {
+ public:
+  static constexpr size_t kChunkRows = 1024;
+  static constexpr size_t kMaxChunks = 8192;  ///< ~8.4M row capacity
+
+  explicit AppendOnlyTable(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+
+  /// The published row count: every row below it is immutable and safe to
+  /// read from any thread.
+  size_t SnapshotRows() const {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  /// Row `i`; the caller must have observed SnapshotRows() > i.
+  const Row& row(size_t i) const {
+    return chunks_[i / kChunkRows][i % kChunkRows];
+  }
+
+  /// Appends `rows` as one atomic statement: concurrent snapshots see
+  /// either none or all of them. Arity must match the schema; values are
+  /// coerced to the column types (int <-> double; NULL always admitted).
+  /// Fault site: `engine.append.insert` (once per call).
+  Status Append(std::vector<Row> rows);
+
+  /// Approximate resident bytes (for system.tables / admission estimates).
+  size_t ApproxBytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Copies the snapshot into a plain immutable Table (Catalog::Get uses
+  /// this so non-scan consumers — CSV export, subquery folding — see
+  /// append-only tables like any other).
+  Table MaterializeSnapshot() const;
+
+ private:
+  Schema schema_;
+  /// Fixed-size chunk directory: slots are allocated front to back under
+  /// `write_mu_`; a slot, once set, never changes. Readers only touch
+  /// slots wholly below the published size.
+  std::vector<std::unique_ptr<Row[]>> chunks_;
+  std::atomic<size_t> size_{0};
+  std::atomic<size_t> bytes_{0};
+  std::mutex write_mu_;  ///< serializes writers; readers never take it
+};
+
+using AppendTablePtr = std::shared_ptr<AppendOnlyTable>;
+
+/// Snapshot scan: pins the table's published row count at Open() and emits
+/// exactly those rows, so a scan is repeatable within one execution and
+/// never observes concurrent appends mid-flight. Reports name()
+/// "TableScan" like the immutable-table scan so rows_in accounting and
+/// EXPLAIN output stay uniform.
+OperatorPtr MakeAppendScan(std::shared_ptr<const AppendOnlyTable> table,
+                           const std::string& qualifier = "");
+
+}  // namespace sgb::engine
+
+#endif  // SGB_ENGINE_APPEND_TABLE_H_

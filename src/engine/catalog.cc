@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 namespace sgb::engine {
 
@@ -17,46 +20,124 @@ std::string Lower(const std::string& s) {
 }  // namespace
 
 void Catalog::Register(const std::string& name, TablePtr table) {
-  tables_[Lower(name)] = std::move(table);
+  {
+    std::unique_lock<std::shared_mutex> lock(rep_->mu);
+    const std::string key = Lower(name);
+    rep_->tables[key] = std::move(table);
+    rep_->appendables.erase(key);
+  }
+  BumpVersion();
 }
 
 void Catalog::RegisterProvider(const std::string& name,
                                TableProviderFn provider) {
-  providers_[Lower(name)] = std::move(provider);
+  {
+    std::unique_lock<std::shared_mutex> lock(rep_->mu);
+    rep_->providers[Lower(name)] = std::move(provider);
+  }
+  BumpVersion();
+}
+
+Status Catalog::CreateAppendable(const std::string& name, Schema schema,
+                                 bool if_not_exists) const {
+  const std::string key = Lower(name);
+  {
+    std::unique_lock<std::shared_mutex> lock(rep_->mu);
+    const bool exists = rep_->tables.count(key) > 0 ||
+                        rep_->appendables.count(key) > 0 ||
+                        rep_->providers.count(key) > 0;
+    if (exists) {
+      if (if_not_exists) return Status::OK();
+      return Status::InvalidArgument("table '" + name + "' already exists");
+    }
+    rep_->appendables[key] = std::make_shared<AppendOnlyTable>(
+        std::move(schema));
+  }
+  BumpVersion();
+  return Status::OK();
+}
+
+Status Catalog::Drop(const std::string& name, bool if_exists) const {
+  const std::string key = Lower(name);
+  {
+    std::unique_lock<std::shared_mutex> lock(rep_->mu);
+    if (rep_->providers.count(key) > 0) {
+      return Status::InvalidArgument("cannot drop system table '" + name +
+                                     "'");
+    }
+    if (rep_->tables.erase(key) == 0 && rep_->appendables.erase(key) == 0) {
+      if (if_exists) return Status::OK();
+      return Status::NotFound("no table named '" + name + "'");
+    }
+  }
+  BumpVersion();
+  return Status::OK();
 }
 
 Result<TablePtr> Catalog::Get(const std::string& name) const {
   const std::string key = Lower(name);
-  const auto it = tables_.find(key);
-  if (it != tables_.end()) return it->second;
-  const auto pit = providers_.find(key);
-  if (pit != providers_.end()) return pit->second(*this);
-  return Status::NotFound("no table named '" + name + "'");
+  TableProviderFn provider;
+  {
+    std::shared_lock<std::shared_mutex> lock(rep_->mu);
+    const auto it = rep_->tables.find(key);
+    if (it != rep_->tables.end()) return it->second;
+    const auto ait = rep_->appendables.find(key);
+    if (ait != rep_->appendables.end()) {
+      return TablePtr(
+          std::make_shared<Table>(ait->second->MaterializeSnapshot()));
+    }
+    const auto pit = rep_->providers.find(key);
+    if (pit == rep_->providers.end()) {
+      return Status::NotFound("no table named '" + name + "'");
+    }
+    // Invoke outside the lock: providers (system.tables) re-enter the
+    // catalog, and shared_mutex is not reentrant.
+    provider = pit->second;
+  }
+  return provider(*this);
+}
+
+AppendTablePtr Catalog::FindAppendable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(rep_->mu);
+  const auto it = rep_->appendables.find(Lower(name));
+  return it == rep_->appendables.end() ? nullptr : it->second;
 }
 
 bool Catalog::Contains(const std::string& name) const {
   const std::string key = Lower(name);
-  return tables_.count(key) > 0 || providers_.count(key) > 0;
+  std::shared_lock<std::shared_mutex> lock(rep_->mu);
+  return rep_->tables.count(key) > 0 || rep_->appendables.count(key) > 0 ||
+         rep_->providers.count(key) > 0;
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock<std::shared_mutex> lock(rep_->mu);
   std::vector<std::string> names;
-  names.reserve(tables_.size() + providers_.size());
-  for (const auto& [name, table] : tables_) names.push_back(name);
-  for (const auto& [name, provider] : providers_) names.push_back(name);
+  names.reserve(rep_->tables.size() + rep_->appendables.size() +
+                rep_->providers.size());
+  for (const auto& [name, table] : rep_->tables) names.push_back(name);
+  for (const auto& [name, table] : rep_->appendables) names.push_back(name);
+  for (const auto& [name, provider] : rep_->providers) names.push_back(name);
   std::sort(names.begin(), names.end());
   return names;
 }
 
 std::vector<std::string> Catalog::StoredTableNames() const {
+  std::shared_lock<std::shared_mutex> lock(rep_->mu);
   std::vector<std::string> names;
-  names.reserve(tables_.size());
-  for (const auto& [name, table] : tables_) names.push_back(name);
+  names.reserve(rep_->tables.size());
+  for (const auto& [name, table] : rep_->tables) names.push_back(name);
   return names;
 }
 
 bool Catalog::IsVirtual(const std::string& name) const {
-  return providers_.count(Lower(name)) > 0;
+  std::shared_lock<std::shared_mutex> lock(rep_->mu);
+  return rep_->providers.count(Lower(name)) > 0;
+}
+
+bool Catalog::IsAppendable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(rep_->mu);
+  return rep_->appendables.count(Lower(name)) > 0;
 }
 
 }  // namespace sgb::engine

@@ -1,11 +1,16 @@
 #ifndef SGB_ENGINE_CATALOG_H_
 #define SGB_ENGINE_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 
 #include "common/status.h"
+#include "engine/append_table.h"
 #include "engine/table.h"
 
 namespace sgb::engine {
@@ -13,12 +18,20 @@ namespace sgb::engine {
 /// Name -> table registry; the planner resolves FROM items against it.
 /// Table names are case-insensitive (normalized to lower case).
 ///
-/// Besides stored tables the catalog serves *virtual* tables: a registered
-/// provider function is invoked on every lookup and materializes a fresh
-/// snapshot (the system.* introspection tables — live metrics, the query
-/// log — are served this way, so a SELECT always sees current state). From
-/// the planner's point of view a provider is indistinguishable from a
-/// stored table; filters, aggregates, joins, and SGB compose untouched.
+/// Three kinds of entries share the namespace:
+///  * *stored* tables — immutable TablePtr snapshots (Register);
+///  * *append-only* tables — mutable AppendOnlyTable instances created by
+///    CREATE TABLE and fed by INSERT, scanned via pinned snapshots;
+///  * *virtual* tables — a registered provider function is invoked on
+///    every lookup and materializes a fresh snapshot (the system.*
+///    introspection tables are served this way).
+///
+/// Thread safety: every method may be called concurrently from any thread
+/// (the server's sessions plan, create, and drop tables in parallel). The
+/// registry is guarded by a shared mutex; provider callbacks are invoked
+/// *after* the lock is released, so a provider may re-enter the catalog
+/// (system.tables enumerates it). `version()` increments on every DDL
+/// mutation — plan caches use it to invalidate stale plans.
 class Catalog {
  public:
   /// Materializes one snapshot of a virtual table. Receives the catalog so
@@ -26,29 +39,71 @@ class Catalog {
   using TableProviderFn =
       std::function<Result<TablePtr>(const Catalog& catalog)>;
 
-  /// Registers or replaces a table.
+  /// Registers or replaces a stored table.
   void Register(const std::string& name, TablePtr table);
 
   /// Registers or replaces a virtual table backed by `provider`.
   void RegisterProvider(const std::string& name, TableProviderFn provider);
 
+  /// Creates an empty append-only table. AlreadyExists surfaces as
+  /// InvalidArgument unless `if_not_exists`. Const: SQL DDL arrives
+  /// through the const Database::Query path; the registry state lives
+  /// behind rep_ and is internally synchronized.
+  Status CreateAppendable(const std::string& name, Schema schema,
+                          bool if_not_exists = false) const;
+
+  /// Drops a stored or append-only table (open snapshot scans keep the
+  /// dropped storage alive until they finish). Virtual tables cannot be
+  /// dropped; a missing name is NotFound unless `if_exists`.
+  Status Drop(const std::string& name, bool if_exists = false) const;
+
   /// NotFound when no such table is registered. Virtual tables return a
-  /// fresh snapshot per call.
+  /// fresh snapshot per call; append-only tables a materialized copy of
+  /// the current snapshot (scans use FindAppendable instead — no copy).
   Result<TablePtr> Get(const std::string& name) const;
+
+  /// The append-only table registered under `name`, or null. Scans hold
+  /// the returned pointer and pin a row-count snapshot at Open.
+  AppendTablePtr FindAppendable(const std::string& name) const;
 
   bool Contains(const std::string& name) const;
 
-  /// Stored and virtual table names, sorted.
+  /// Stored, append-only, and virtual table names, sorted.
   std::vector<std::string> TableNames() const;
 
-  /// Stored table names only (no providers), sorted.
+  /// Stored table names only (no providers/appendables), sorted.
   std::vector<std::string> StoredTableNames() const;
 
   bool IsVirtual(const std::string& name) const;
+  bool IsAppendable(const std::string& name) const;
+
+  /// Monotone DDL counter: bumped by Register/RegisterProvider/
+  /// CreateAppendable/Drop. A cached plan built at version v is safe to
+  /// reuse while version() == v.
+  uint64_t version() const {
+    return rep_->version.load(std::memory_order_acquire);
+  }
+
+  Catalog() : rep_(std::make_unique<Rep>()) {}
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
 
  private:
-  std::map<std::string, TablePtr> tables_;
-  std::map<std::string, TableProviderFn> providers_;
+  // Mutexes and atomics are not movable; the state lives behind a pointer
+  // so Database (which embeds a Catalog) can be returned by value.
+  struct Rep {
+    mutable std::shared_mutex mu;
+    std::map<std::string, TablePtr> tables;
+    std::map<std::string, AppendTablePtr> appendables;
+    std::map<std::string, TableProviderFn> providers;
+    std::atomic<uint64_t> version{0};
+  };
+
+  void BumpVersion() const {
+    rep_->version.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  std::unique_ptr<Rep> rep_;
 };
 
 }  // namespace sgb::engine

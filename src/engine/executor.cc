@@ -36,6 +36,22 @@ int64_t ElapsedMicros(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// The query log's status column for a failed statement.
+std::string StatusToLogString(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "ok";
+    case Status::Code::kCancelled:
+      return "cancelled";
+    case Status::Code::kDeadlineExceeded:
+      return "timeout";
+    case Status::Code::kResourceExhausted:
+      return "mem_exceeded";
+    default:
+      return "error";
+  }
+}
+
 /// The query log's tier/dop columns, derived from the statement's
 /// similarity clause before planning.
 void FillSgbInfo(const sql::SelectStatement& stmt,
@@ -60,19 +76,73 @@ void FillSgbInfo(const sql::SelectStatement& stmt,
   *dop = stmt.similarity.dop.value_or(options.default_sgb_dop);
 }
 
-/// Plans the statement under trace spans shared by every entry point. A SET
-/// statement is surfaced through `set` with a null OperatorPtr (entry
-/// points without a `set` sink reject it). `plan_micros`/`tier`/`dop`
-/// (null-safe) receive the query log's planning cost and SGB columns;
-/// `profile` whether the statement carried a PROFILE prefix.
+/// The parsed non-SELECT statement kinds Query() executes directly.
+struct NonSelect {
+  std::optional<sql::SetStatement> set;
+  std::optional<sql::CreateTableStatement> create;
+  std::optional<sql::InsertStatement> insert;
+  std::optional<sql::DropTableStatement> drop;
+
+  bool engaged() const {
+    return set.has_value() || create.has_value() || insert.has_value() ||
+           drop.has_value();
+  }
+};
+
+bool ExprHasSubquery(const sql::ParsedExpr& e) {
+  if (e.kind == sql::ParsedExpr::Kind::kInSubquery) return true;
+  if (e.left != nullptr && ExprHasSubquery(*e.left)) return true;
+  if (e.right != nullptr && ExprHasSubquery(*e.right)) return true;
+  for (const auto& arg : e.args) {
+    if (arg != nullptr && ExprHasSubquery(*arg)) return true;
+  }
+  return false;
+}
+
+/// Whether a plan for `stmt` stays valid across executions at a fixed
+/// catalog version. Virtual (system.*) tables materialize their snapshot
+/// at plan time, and IN (SELECT ...) subqueries are folded at plan time,
+/// so either one would freeze results; those statements are replanned
+/// every run. Append-only tables are safe — their scans pin a fresh
+/// snapshot at every Open.
+bool SelectIsCacheSafe(const sql::SelectStatement& stmt,
+                       const Catalog& catalog) {
+  for (const sql::TableRef& ref : stmt.from) {
+    if (ref.subquery != nullptr) {
+      if (!SelectIsCacheSafe(*ref.subquery, catalog)) return false;
+      continue;
+    }
+    if (catalog.IsVirtual(ref.table_name)) return false;
+  }
+  for (const auto& item : stmt.items) {
+    if (item.expr != nullptr && ExprHasSubquery(*item.expr)) return false;
+  }
+  if (stmt.where != nullptr && ExprHasSubquery(*stmt.where)) return false;
+  for (const auto& g : stmt.group_by) {
+    if (g != nullptr && ExprHasSubquery(*g)) return false;
+  }
+  if (stmt.having != nullptr && ExprHasSubquery(*stmt.having)) return false;
+  for (const auto& o : stmt.order_by) {
+    if (o.expr != nullptr && ExprHasSubquery(*o.expr)) return false;
+  }
+  return true;
+}
+
+/// Plans the statement under trace spans shared by every entry point. A
+/// non-SELECT statement (SET/CREATE/INSERT/DROP) is surfaced through
+/// `non_select` with a null OperatorPtr (entry points without a sink
+/// reject it). `plan_micros`/`tier`/`dop` (null-safe) receive the query
+/// log's planning cost and SGB columns; `profile` whether the statement
+/// carried a PROFILE prefix; `cache_safe` whether the resulting plan may
+/// be reused at a fixed catalog version.
 Result<OperatorPtr> PlanStatement(const Catalog& catalog,
                                   const std::string& sql,
                                   const sql::PlannerOptions& options,
                                   sql::ExplainMode* mode, bool* profile,
-                                  std::optional<sql::SetStatement>* set,
+                                  NonSelect* non_select,
                                   obs::QueryTrace* trace,
                                   int64_t* plan_micros, std::string* tier,
-                                  int64_t* dop) {
+                                  int64_t* dop, bool* cache_safe = nullptr) {
   const auto t0 = std::chrono::steady_clock::now();
   Result<sql::ParsedStatement> stmt = [&] {
     obs::ScopedSpan span(trace, "parse");
@@ -84,16 +154,24 @@ Result<OperatorPtr> PlanStatement(const Catalog& catalog,
   }
   if (mode != nullptr) *mode = stmt.value().explain;
   if (profile != nullptr) *profile = stmt.value().profile;
-  if (stmt.value().set.has_value()) {
-    if (set == nullptr) {
+  if (stmt.value().select == nullptr) {
+    if (non_select == nullptr) {
       return Status::InvalidArgument(
-          "SET statements are only valid through Database::Query");
+          "SET/CREATE/INSERT/DROP statements are only valid through "
+          "Database::Query");
     }
-    *set = std::move(stmt.value().set);
+    non_select->set = std::move(stmt.value().set);
+    non_select->create = std::move(stmt.value().create);
+    non_select->insert = std::move(stmt.value().insert);
+    non_select->drop = std::move(stmt.value().drop);
+    if (plan_micros != nullptr) *plan_micros = ElapsedMicros(t0);
     return OperatorPtr{};
   }
   if (tier != nullptr && dop != nullptr) {
     FillSgbInfo(*stmt.value().select, options, tier, dop);
+  }
+  if (cache_safe != nullptr) {
+    *cache_safe = SelectIsCacheSafe(*stmt.value().select, catalog);
   }
   auto plan = [&] {
     obs::ScopedSpan span(trace, "plan");
@@ -117,6 +195,15 @@ Result<Table> PlanTextTable(const std::string& text) {
         table.Append(Row{Value::Str(text.substr(start, end - start))}));
     start = end + 1;
   }
+  return table;
+}
+
+/// One-column acknowledgement table for SET/CREATE/INSERT/DROP.
+Result<Table> AckTable(const std::string& column, const std::string& text) {
+  Schema schema;
+  schema.AddColumn(Column{column, DataType::kString, ""});
+  Table table(schema);
+  SGB_RETURN_IF_ERROR(table.Append(Row{Value::Str(text)}));
   return table;
 }
 
@@ -247,18 +334,26 @@ Result<Table> ProfileTable(const obs::TraceSpan& root) {
   return table;
 }
 
+/// Whether the statement text can participate in the plan cache at all
+/// (only bare SELECTs are cached; the cheap prefix test avoids counting
+/// SET/DDL/EXPLAIN against the hit/miss ratio).
+bool LooksLikeSelect(const std::string& normalized) {
+  return normalized.rfind("select", 0) == 0;
+}
+
 }  // namespace
 
 Database::Database() {
-  RegisterSystemTables(&catalog_, query_log_);
+  RegisterSystemTables(&catalog_, query_log_, sessions_);
 }
 
 Result<OperatorPtr> Database::Prepare(const std::string& sql) const {
-  return PlanStatement(catalog_, sql, planner_options_, nullptr, nullptr,
-                       nullptr, nullptr, nullptr, nullptr, nullptr);
+  return PlanStatement(catalog_, sql, default_session_->PlannerOptionsSnapshot(),
+                       nullptr, nullptr, nullptr, nullptr, nullptr, nullptr,
+                       nullptr);
 }
 
-Result<Table> Database::Query(const std::string& sql,
+Result<Table> Database::Query(Session& session, const std::string& sql,
                               obs::QueryTrace* caller_trace) const {
   // Every execution records into a trace (the caller's, or a local one):
   // the query log, PROFILE, and SET trace = 1 all read from it. Tracing is
@@ -272,24 +367,61 @@ Result<Table> Database::Query(const std::string& sql,
   info.wall_start = std::chrono::steady_clock::now();
   info.cpu_start_micros = ProcessCpuMicros();
 
+  // One consistent governance/planner view per statement: a concurrent SET
+  // on this session applies from the next statement on.
+  const SessionGovernance gov = session.GovernanceSnapshot();
+  const sql::PlannerOptions options = session.PlannerOptionsSnapshot();
+
+  // Plan-cache fast path: check a matching plan *out* (no two threads ever
+  // drive one operator tree), run it, check it back in.
+  const std::string cache_key = Session::NormalizeSql(sql);
+  const bool cacheable_text = LooksLikeSelect(cache_key);
+  const uint64_t catalog_version = catalog_.version();
+  if (cacheable_text) {
+    if (auto cached = session.TakeCachedPlan(cache_key, catalog_version)) {
+      info.tier = cached->tier;
+      info.dop = cached->dop;
+      RunStats stats;
+      Result<Table> result =
+          RunPlan(session, gov, *cached->plan, trace, &stats, info);
+      // A plan that spilled holds its run files in operator state until it
+      // is destroyed — drop it instead of pinning disk in the cache.
+      if (stats.spill_events == 0) {
+        session.StoreCachedPlan(cache_key, std::move(*cached));
+      }
+      return result;
+    }
+  }
+
   sql::ExplainMode mode = sql::ExplainMode::kNone;
   bool profile = false;
-  std::optional<sql::SetStatement> set;
-  auto plan = PlanStatement(catalog_, sql, planner_options_, &mode, &profile,
-                            &set, trace, &info.plan_micros, &info.tier,
-                            &info.dop);
+  NonSelect non_select;
+  bool cache_safe = false;
+  auto plan = PlanStatement(catalog_, sql, options, &mode, &profile,
+                            &non_select, trace, &info.plan_micros, &info.tier,
+                            &info.dop, &cache_safe);
   if (!plan.ok()) {
-    LogFailedStatement(info);
+    LogFailedStatement(session, info);
     return plan.status();
   }
-  if (set.has_value()) return ApplySet(*set);
+  if (non_select.set.has_value()) return ApplySet(session, *non_select.set);
+  if (non_select.create.has_value()) {
+    return ExecuteCreate(session, *non_select.create, &info);
+  }
+  if (non_select.insert.has_value()) {
+    return ExecuteInsert(session, *non_select.insert, &info);
+  }
+  if (non_select.drop.has_value()) {
+    return ExecuteDrop(session, *non_select.drop, &info);
+  }
 
   if (mode == sql::ExplainMode::kPlan) {
     return PlanTextTable(ExplainPlan(*plan.value()));
   }
 
   RunStats stats;
-  Result<Table> result = RunPlan(*plan.value(), trace, &stats, info);
+  Result<Table> result = RunPlan(session, gov, *plan.value(), trace, &stats,
+                                 info);
 
   if (mode == sql::ExplainMode::kAnalyze) {
     if (!result.ok()) return result.status();
@@ -303,12 +435,23 @@ Result<Table> Database::Query(const std::string& sql,
     if (!result.ok()) return result.status();
     return ProfileTable(trace->root());
   }
+  if (result.ok() && cacheable_text && cache_safe &&
+      stats.spill_events == 0) {
+    CachedPlan entry;
+    entry.plan = std::move(plan).value();
+    entry.catalog_version = catalog_version;
+    entry.tier = info.tier;
+    entry.dop = info.dop;
+    session.StoreCachedPlan(cache_key, std::move(entry));
+  }
   return result;
 }
 
 Result<std::string> Database::Explain(const std::string& sql) const {
-  auto plan = PlanStatement(catalog_, sql, planner_options_, nullptr, nullptr,
-                            nullptr, nullptr, nullptr, nullptr, nullptr);
+  auto plan = PlanStatement(catalog_, sql,
+                            default_session_->PlannerOptionsSnapshot(),
+                            nullptr, nullptr, nullptr, nullptr, nullptr,
+                            nullptr, nullptr);
   if (!plan.ok()) return plan.status();
   return ExplainPlan(*plan.value());
 }
@@ -319,20 +462,22 @@ Result<std::string> Database::ExplainAnalyze(
   obs::QueryTrace* trace =
       caller_trace != nullptr ? caller_trace : &local_trace;
 
+  Session& session = *default_session_;
   StatementInfo info;
   info.text = sql;
   info.wall_start = std::chrono::steady_clock::now();
   info.cpu_start_micros = ProcessCpuMicros();
 
-  auto plan = PlanStatement(catalog_, sql, planner_options_, nullptr, nullptr,
-                            nullptr, trace, &info.plan_micros, &info.tier,
-                            &info.dop);
+  const SessionGovernance gov = session.GovernanceSnapshot();
+  auto plan = PlanStatement(catalog_, sql, session.PlannerOptionsSnapshot(),
+                            nullptr, nullptr, nullptr, trace,
+                            &info.plan_micros, &info.tier, &info.dop);
   if (!plan.ok()) {
-    LogFailedStatement(info);
+    LogFailedStatement(session, info);
     return plan.status();
   }
   RunStats stats;
-  auto result = RunPlan(*plan.value(), trace, &stats, info);
+  auto result = RunPlan(session, gov, *plan.value(), trace, &stats, info);
   if (!result.ok()) return result.status();
   return ExplainAnalyzePlan(*plan.value()) +
          GovernanceFooter(stats.peak_bytes, stats.spill_events,
@@ -340,21 +485,57 @@ Result<std::string> Database::ExplainAnalyze(
                           stats.plan_micros, stats.exec_micros);
 }
 
+Status Database::PrepareStatement(Session& session, const std::string& name,
+                                  const std::string& sql) const {
+  sql::ExplainMode mode = sql::ExplainMode::kNone;
+  bool profile = false;
+  bool cache_safe = false;
+  std::string tier = "none";
+  int64_t dop = 0;
+  const uint64_t catalog_version = catalog_.version();
+  auto plan = PlanStatement(catalog_, sql,
+                            session.PlannerOptionsSnapshot(), &mode, &profile,
+                            nullptr, nullptr, nullptr, &tier, &dop,
+                            &cache_safe);
+  if (!plan.ok()) return plan.status();
+  session.DefinePrepared(name, sql);
+  const std::string cache_key = Session::NormalizeSql(sql);
+  if (mode == sql::ExplainMode::kNone && !profile && cache_safe &&
+      LooksLikeSelect(cache_key)) {
+    CachedPlan entry;
+    entry.plan = std::move(plan).value();
+    entry.catalog_version = catalog_version;
+    entry.tier = tier;
+    entry.dop = dop;
+    session.StoreCachedPlan(cache_key, std::move(entry));
+  }
+  return Status::OK();
+}
+
+Result<Table> Database::ExecutePrepared(Session& session,
+                                        const std::string& name,
+                                        obs::QueryTrace* trace) const {
+  auto sql = session.LookupPrepared(name);
+  if (!sql.ok()) return sql.status();
+  return Query(session, sql.value(), trace);
+}
+
 void Database::Cancel() const {
   std::lock_guard<std::mutex> lock(active_->mu);
   for (QueryContext* ctx : active_->contexts) ctx->Cancel();
 }
 
-Result<Table> Database::ApplySet(const sql::SetStatement& set) const {
+Result<Table> Database::ApplySet(Session& session,
+                                 const sql::SetStatement& set) const {
   if (!set.text_value.empty()) {
     // Identifier-valued settings.
     if (set.name == "admission") {
       if (set.text_value == "off") {
-        governance_.admission = AdmissionMode::kOff;
+        session.set_admission_mode(AdmissionMode::kOff);
       } else if (set.text_value == "queue") {
-        governance_.admission = AdmissionMode::kQueue;
+        session.set_admission_mode(AdmissionMode::kQueue);
       } else if (set.text_value == "shed") {
-        governance_.admission = AdmissionMode::kShed;
+        session.set_admission_mode(AdmissionMode::kShed);
       } else {
         return Status::InvalidArgument("SET admission: expected queue, "
                                        "shed, or off, got '" +
@@ -365,54 +546,88 @@ Result<Table> Database::ApplySet(const sql::SetStatement& set) const {
           "SET " + set.name + ": expected an integer value, got '" +
           set.text_value + "'");
     }
-    Schema schema;
-    schema.AddColumn(Column{"set", DataType::kString, ""});
-    Table table(schema);
-    SGB_RETURN_IF_ERROR(
-        table.Append(Row{Value::Str(set.name + " = " + set.text_value)}));
-    return table;
+    return AckTable("set", set.name + " = " + set.text_value);
   }
   if (set.value < 0) {
     return Status::InvalidArgument("SET " + set.name +
                                    ": value must be >= 0");
   }
   if (set.name == "timeout") {
-    governance_.timeout_ms = set.value;
+    session.set_timeout_ms(set.value);
   } else if (set.name == "memory_budget") {
-    governance_.memory_budget_bytes = static_cast<size_t>(set.value);
+    session.set_memory_budget_bytes(static_cast<size_t>(set.value));
   } else if (set.name == "parallel") {
-    planner_options_.default_sgb_dop = static_cast<int>(set.value);
+    session.set_default_sgb_dop(static_cast<int>(set.value));
   } else if (set.name == "spill") {
-    governance_.spill_enabled = set.value != 0;
+    session.set_spill_enabled(set.value != 0);
   } else if (set.name == "admission_budget") {
-    governance_.admission_budget_bytes = static_cast<size_t>(set.value);
+    session.set_admission_budget_bytes(static_cast<size_t>(set.value));
   } else if (set.name == "trace") {
-    governance_.trace_enabled = set.value != 0;
+    session.set_trace_enabled(set.value != 0);
   } else if (set.name == "slow_query_micros") {
-    governance_.slow_query_micros = set.value;
+    session.set_slow_query_micros(set.value);
   } else {
     return Status::InvalidArgument(
         "unknown setting '" + set.name +
         "' (expected timeout, memory_budget, parallel, spill, admission, "
         "admission_budget, trace, or slow_query_micros)");
   }
-  Schema schema;
-  schema.AddColumn(Column{"set", DataType::kString, ""});
-  Table table(schema);
-  SGB_RETURN_IF_ERROR(table.Append(
-      Row{Value::Str(set.name + " = " + std::to_string(set.value))}));
-  return table;
+  return AckTable("set", set.name + " = " + std::to_string(set.value));
 }
 
-Status Database::AdmitQuery(size_t estimate, bool* admitted,
-                            std::string* outcome, int64_t* queue_micros,
+Result<Table> Database::ExecuteCreate(Session& session,
+                                      const sql::CreateTableStatement& create,
+                                      StatementInfo* info) const {
+  Schema schema;
+  for (const Column& col : create.columns) schema.AddColumn(col);
+  const Status status =
+      catalog_.CreateAppendable(create.table, std::move(schema),
+                                create.if_not_exists);
+  LogSimpleStatement(session, *info, status, 0);
+  if (!status.ok()) return status;
+  return AckTable("create", "CREATE TABLE " + create.table);
+}
+
+Result<Table> Database::ExecuteInsert(Session& session,
+                                      const sql::InsertStatement& insert,
+                                      StatementInfo* info) const {
+  AppendTablePtr table = catalog_.FindAppendable(insert.table);
+  if (table == nullptr) {
+    const Status status =
+        catalog_.Contains(insert.table)
+            ? Status::InvalidArgument(
+                  "table '" + insert.table +
+                  "' does not accept INSERT (only CREATE TABLE tables do)")
+            : Status::NotFound("no table named '" + insert.table + "'");
+    LogSimpleStatement(session, *info, status, 0);
+    return status;
+  }
+  const int64_t n = static_cast<int64_t>(insert.rows.size());
+  const Status status = table->Append(insert.rows);
+  LogSimpleStatement(session, *info, status, status.ok() ? n : 0);
+  if (!status.ok()) return status;
+  return AckTable("insert", "INSERT " + std::to_string(n));
+}
+
+Result<Table> Database::ExecuteDrop(Session& session,
+                                    const sql::DropTableStatement& drop,
+                                    StatementInfo* info) const {
+  const Status status = catalog_.Drop(drop.table, drop.if_exists);
+  LogSimpleStatement(session, *info, status, 0);
+  if (!status.ok()) return status;
+  return AckTable("drop", "DROP TABLE " + drop.table);
+}
+
+Status Database::AdmitQuery(const SessionGovernance& gov, size_t estimate,
+                            bool* admitted, std::string* outcome,
+                            int64_t* queue_micros,
                             obs::QueryTrace* trace) const {
   *admitted = false;
   *outcome = "admitted";
   *queue_micros = 0;
-  if (governance_.admission == AdmissionMode::kOff) return Status::OK();
-  const size_t limit = governance_.admission_budget_bytes != 0
-                           ? governance_.admission_budget_bytes
+  if (gov.admission == AdmissionMode::kOff) return Status::OK();
+  const size_t limit = gov.admission_budget_bytes != 0
+                           ? gov.admission_budget_bytes
                            : MemoryTracker::EngineGlobal().limit_bytes();
   if (limit == 0) return Status::OK();  // No headroom defined: admit.
 
@@ -431,7 +646,7 @@ Status Database::AdmitQuery(size_t estimate, bool* admitted,
     *admitted = true;
     return Status::OK();
   }
-  if (governance_.admission == AdmissionMode::kShed) {
+  if (gov.admission == AdmissionMode::kShed) {
     registry.GetCounter("query.shed").Add(1);
     *outcome = "shed";
     return Status::ResourceExhausted(
@@ -447,15 +662,15 @@ Status Database::AdmitQuery(size_t estimate, bool* admitted,
   *outcome = "queued";
   const auto wait_start = std::chrono::steady_clock::now();
   obs::ScopedSpan wait_span(trace, "admission.wait");
-  const bool has_deadline = governance_.timeout_ms > 0;
+  const bool has_deadline = gov.timeout_ms > 0;
   const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(governance_.timeout_ms);
+                        std::chrono::milliseconds(gov.timeout_ms);
   while (active_->admitted_bytes + estimate > limit) {
     if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
       *queue_micros = ElapsedMicros(wait_start);
       return Status::DeadlineExceeded(
           "admission: queued past the session timeout (" +
-          std::to_string(governance_.timeout_ms) + "ms)");
+          std::to_string(gov.timeout_ms) + "ms)");
     }
     active_->cv.wait_for(lock, std::chrono::milliseconds(10));
   }
@@ -467,9 +682,11 @@ Status Database::AdmitQuery(size_t estimate, bool* admitted,
   return Status::OK();
 }
 
-void Database::LogFailedStatement(const StatementInfo& info) const {
+void Database::LogFailedStatement(Session& session,
+                                  const StatementInfo& info) const {
   obs::QueryLogEntry entry;
   entry.id = query_log_->NextId();
+  entry.session_id = static_cast<int64_t>(session.id());
   entry.text = info.text;
   entry.status = "error";
   entry.plan_micros = info.plan_micros;
@@ -478,16 +695,37 @@ void Database::LogFailedStatement(const StatementInfo& info) const {
       std::max<int64_t>(0, ProcessCpuMicros() - info.cpu_start_micros);
   entry.tier = info.tier;
   entry.dop = info.dop;
+  session.RecordStatement(false, 0);
   query_log_->Record(std::move(entry), {});
 }
 
-Result<Table> Database::RunPlan(Operator& root, obs::QueryTrace* trace,
-                                RunStats* run_stats,
+void Database::LogSimpleStatement(Session& session, const StatementInfo& info,
+                                  const Status& status,
+                                  int64_t rows_out) const {
+  obs::QueryLogEntry entry;
+  entry.id = query_log_->NextId();
+  entry.session_id = static_cast<int64_t>(session.id());
+  entry.text = info.text;
+  entry.status = StatusToLogString(status.code());
+  entry.plan_micros = info.plan_micros;
+  entry.wall_micros = ElapsedMicros(info.wall_start);
+  entry.cpu_micros =
+      std::max<int64_t>(0, ProcessCpuMicros() - info.cpu_start_micros);
+  entry.rows_out = rows_out;
+  entry.tier = info.tier;
+  session.RecordStatement(status.ok(), rows_out);
+  query_log_->Record(std::move(entry), {});
+}
+
+Result<Table> Database::RunPlan(Session& session,
+                                const SessionGovernance& gov, Operator& root,
+                                obs::QueryTrace* trace, RunStats* run_stats,
                                 const StatementInfo& info) const {
   auto& registry = obs::MetricsRegistry::Global();
 
   obs::QueryLogEntry entry;
   entry.id = query_log_->NextId();
+  entry.session_id = static_cast<int64_t>(session.id());
   entry.text = info.text;
   entry.plan_micros = info.plan_micros;
   entry.dop = info.dop;
@@ -501,33 +739,16 @@ Result<Table> Database::RunPlan(Operator& root, obs::QueryTrace* trace,
     entry.wall_micros = ElapsedMicros(info.wall_start);
     entry.cpu_micros =
         std::max<int64_t>(0, ProcessCpuMicros() - info.cpu_start_micros);
-    if (governance_.slow_query_micros > 0 &&
-        entry.wall_micros > governance_.slow_query_micros) {
+    if (gov.slow_query_micros > 0 &&
+        entry.wall_micros > gov.slow_query_micros) {
       entry.slow = true;
       registry.GetCounter("query.slow").Add(1);
     }
-    if (executed_ok) {
-      entry.status = "ok";
-      return;
-    }
-    switch (code) {
-      case Status::Code::kCancelled:
-        entry.status = "cancelled";
-        break;
-      case Status::Code::kDeadlineExceeded:
-        entry.status = "timeout";
-        break;
-      case Status::Code::kResourceExhausted:
-        entry.status = "mem_exceeded";
-        break;
-      default:
-        entry.status = "error";
-        break;
-    }
+    entry.status = executed_ok ? "ok" : StatusToLogString(code);
   };
 
   bool admitted = false;
-  Status admit = AdmitQuery(estimate, &admitted, &entry.admission,
+  Status admit = AdmitQuery(gov, estimate, &admitted, &entry.admission,
                             &entry.queue_micros, trace);
   if (run_stats != nullptr) {
     run_stats->queue_micros = entry.queue_micros;
@@ -541,17 +762,18 @@ Result<Table> Database::RunPlan(Operator& root, obs::QueryTrace* trace,
       entry.status = "shed";
     }
     trace->Finish();
+    session.RecordStatement(false, 0);
     query_log_->Record(std::move(entry), {});
-    if (governance_.trace_enabled) trace_log_->Append(*trace, query_id);
+    if (gov.trace_enabled) trace_log_->Append(*trace, query_id);
     return admit;
   }
 
-  QueryContext ctx(governance_.memory_budget_bytes);
-  if (governance_.timeout_ms > 0) ctx.SetTimeout(governance_.timeout_ms);
-  if (governance_.spill_enabled) {
+  QueryContext ctx(gov.memory_budget_bytes);
+  if (gov.timeout_ms > 0) ctx.SetTimeout(gov.timeout_ms);
+  if (gov.spill_enabled) {
     SpillConfig spill;
     spill.enabled = true;
-    spill.directory = governance_.spill_directory;
+    spill.directory = gov.spill_directory;
     ctx.set_spill(spill);
   }
   ctx.set_trace(trace);
@@ -560,11 +782,13 @@ Result<Table> Database::RunPlan(Operator& root, obs::QueryTrace* trace,
     std::lock_guard<std::mutex> lock(active_->mu);
     active_->contexts.push_back(&ctx);
   }
+  session.RegisterContext(&ctx);
 
   const auto exec_start = std::chrono::steady_clock::now();
   Result<Table> result = Execute(root, trace);
   entry.exec_micros = ElapsedMicros(exec_start);
 
+  session.UnregisterContext(&ctx);
   {
     std::lock_guard<std::mutex> lock(active_->mu);
     auto& contexts = active_->contexts;
@@ -620,8 +844,9 @@ Result<Table> Database::RunPlan(Operator& root, obs::QueryTrace* trace,
   int64_t op_index = 0;
   CollectOperatorStats(root, query_id, 0, &op_index, &op_stats);
   trace->Finish();
+  session.RecordStatement(result.ok(), entry.rows_out);
   query_log_->Record(std::move(entry), std::move(op_stats));
-  if (governance_.trace_enabled) trace_log_->Append(*trace, query_id);
+  if (gov.trace_enabled) trace_log_->Append(*trace, query_id);
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "engine/catalog.h"
 #include "engine/operators.h"
+#include "engine/session.h"
 #include "obs/query_log.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
@@ -18,17 +19,9 @@
 
 namespace sgb::engine {
 
-/// What Database does when a query's estimated footprint does not fit the
-/// engine headroom at plan time (docs/ROBUSTNESS.md "Admission control").
-enum class AdmissionMode {
-  kOff,    ///< admit everything (the historical behavior)
-  kQueue,  ///< wait until enough admitted queries finish
-  kShed,   ///< fail fast with ResourceExhausted
-};
-
 /// Top-level facade tying the SQL front end to the engine: register tables,
 /// run SQL strings, get materialized results. This is the entry point the
-/// examples and the SQL-level benchmarks use.
+/// examples, the SQL-level benchmarks, and the server front end use.
 ///
 ///   Database db;
 ///   db.Register("gpspoints", table);
@@ -36,6 +29,14 @@ enum class AdmissionMode {
 ///       "SELECT count(*) FROM gpspoints "
 ///       "GROUP BY lat, lon DISTANCE-TO-ALL LINF WITHIN 3 "
 ///       "ON-OVERLAP ELIMINATE");
+///
+/// Concurrency (docs/SERVER.md): a Database hosts many Sessions, each with
+/// its own governance knobs, plan cache, and prepared statements; every
+/// session-less legacy call runs on a built-in default session, so the
+/// historical single-session API is unchanged. Statements from different
+/// sessions execute concurrently; DDL-created tables are append-only and
+/// scanned through pinned snapshots, so readers never block writers and
+/// never observe a torn INSERT.
 ///
 /// Observability: every Query() run bumps `engine.queries` and records its
 /// wall time into the `engine.query_us` histogram of the global
@@ -56,14 +57,37 @@ class Database {
     catalog_.Register(name, std::move(table));
   }
 
+  // ---- Sessions (docs/SERVER.md) ----------------------------------------
+
+  /// Creates a new session (fresh governance defaults, empty plan cache);
+  /// it appears in system.sessions until released. `peer` labels the
+  /// origin ("unix:fd=7", "tcp:127.0.0.1:52114", "local").
+  SessionPtr CreateSession(std::string peer = "local") const {
+    return std::make_shared<Session>(sessions_, std::move(peer));
+  }
+
+  /// The built-in session the legacy session-less API runs on.
+  Session& default_session() const { return *default_session_; }
+
+  /// The registry behind system.sessions.
+  SessionRegistry& sessions() const { return *sessions_; }
+
   /// Parses + plans the SQL (ignoring any EXPLAIN prefix); the returned
   /// operator can be Open()/Next()ed repeatedly.
   Result<OperatorPtr> Prepare(const std::string& sql) const;
 
-  /// Parses, plans and fully materializes the result table. A statement
-  /// prefixed with EXPLAIN [ANALYZE] instead returns a single-column
-  /// `plan` table holding the (annotated) plan, one row per line.
+  /// Parses, plans and fully materializes the result table on the default
+  /// session. A statement prefixed with EXPLAIN [ANALYZE] instead returns
+  /// a single-column `plan` table holding the (annotated) plan, one row
+  /// per line.
   Result<Table> Query(const std::string& sql,
+                      obs::QueryTrace* trace = nullptr) const {
+    return Query(*default_session_, sql, trace);
+  }
+
+  /// Runs one statement on `session`: SELECT (cached plans are reused),
+  /// EXPLAIN [ANALYZE], PROFILE, SET, CREATE TABLE, INSERT, DROP TABLE.
+  Result<Table> Query(Session& session, const std::string& sql,
                       obs::QueryTrace* trace = nullptr) const;
 
   /// EXPLAIN: renders the physical plan the SQL would execute. Accepts the
@@ -76,12 +100,24 @@ class Database {
   Result<std::string> ExplainAnalyze(const std::string& sql,
                                      obs::QueryTrace* trace = nullptr) const;
 
+  /// Validates `sql` (parse + plan; must be a result-producing statement)
+  /// and binds it to `name` on the session; the plan cache is warmed, so
+  /// the first ExecutePrepared skips planning.
+  Status PrepareStatement(Session& session, const std::string& name,
+                          const std::string& sql) const;
+
+  /// Runs a statement previously bound with PrepareStatement.
+  Result<Table> ExecutePrepared(Session& session, const std::string& name,
+                                obs::QueryTrace* trace = nullptr) const;
+
   /// Session default degree of parallelism for SGB operators (1 = serial,
   /// k > 1 = up to k workers, 0 = auto). Applies to queries without an
   /// explicit PARALLEL clause; grouping results are identical at every
   /// setting (docs/PARALLELISM.md).
-  void set_default_sgb_dop(int dop) { planner_options_.default_sgb_dop = dop; }
-  int default_sgb_dop() const { return planner_options_.default_sgb_dop; }
+  void set_default_sgb_dop(int dop) {
+    default_session_->set_default_sgb_dop(dop);
+  }
+  int default_sgb_dop() const { return default_session_->default_sgb_dop(); }
 
   // ---- Governance (docs/ROBUSTNESS.md) ----------------------------------
   //
@@ -92,18 +128,19 @@ class Database {
   // Status::ResourceExhausted / DeadlineExceeded / Cancelled — the engine
   // never OOMs or wedges on a runaway query. The knobs are also reachable
   // from SQL: `SET timeout = <ms>`, `SET memory_budget = <bytes>`,
-  // `SET parallel = <dop>`.
+  // `SET parallel = <dop>`. They are per-session; these accessors adjust
+  // the default session.
 
   /// Wall-clock timeout applied to each subsequent query (0 = none).
-  void set_timeout_ms(int64_t ms) { governance_.timeout_ms = ms; }
-  int64_t timeout_ms() const { return governance_.timeout_ms; }
+  void set_timeout_ms(int64_t ms) { default_session_->set_timeout_ms(ms); }
+  int64_t timeout_ms() const { return default_session_->timeout_ms(); }
 
   /// Per-query memory budget in bytes (0 = unlimited).
   void set_memory_budget_bytes(size_t bytes) {
-    governance_.memory_budget_bytes = bytes;
+    default_session_->set_memory_budget_bytes(bytes);
   }
   size_t memory_budget_bytes() const {
-    return governance_.memory_budget_bytes;
+    return default_session_->memory_budget_bytes();
   }
 
   /// Out-of-core fallback (`SET spill = 1`): when enabled, the blocking
@@ -111,88 +148,85 @@ class Database {
   /// files on a budget breach and retry per-partition instead of failing
   /// with ResourceExhausted. Results are unchanged; EXPLAIN ANALYZE gains
   /// `spilled=` / `spill_bytes=` lines when a query spilled.
-  void set_spill_enabled(bool enabled) { governance_.spill_enabled = enabled; }
-  bool spill_enabled() const { return governance_.spill_enabled; }
+  void set_spill_enabled(bool enabled) {
+    default_session_->set_spill_enabled(enabled);
+  }
+  bool spill_enabled() const { return default_session_->spill_enabled(); }
 
   /// Spill temp-file directory (empty = SGB_SPILL_DIR / TMPDIR / /tmp).
   void set_spill_directory(std::string dir) {
-    governance_.spill_directory = std::move(dir);
+    default_session_->set_spill_directory(std::move(dir));
   }
-  const std::string& spill_directory() const {
-    return governance_.spill_directory;
+  std::string spill_directory() const {
+    return default_session_->spill_directory();
   }
 
   /// Admission control (`SET admission = queue|shed|off`): gate each query
   /// at plan time on its estimated footprint against the engine headroom.
   void set_admission_mode(AdmissionMode mode) {
-    governance_.admission = mode;
+    default_session_->set_admission_mode(mode);
   }
-  AdmissionMode admission_mode() const { return governance_.admission; }
+  AdmissionMode admission_mode() const {
+    return default_session_->admission_mode();
+  }
 
   /// Admission headroom in bytes; 0 falls back to the engine-global
   /// tracker's limit (SGB_ENGINE_MEMORY_LIMIT). With both zero, admission
   /// is a no-op even when a mode is set.
   void set_admission_budget_bytes(size_t bytes) {
-    governance_.admission_budget_bytes = bytes;
+    default_session_->set_admission_budget_bytes(bytes);
   }
   size_t admission_budget_bytes() const {
-    return governance_.admission_budget_bytes;
+    return default_session_->admission_budget_bytes();
   }
 
   /// Cooperatively cancels every query currently executing on this
-  /// Database. Callable from any thread; the running queries fail with
-  /// Status::Cancelled at their next governance check and the Database
-  /// remains fully usable afterwards.
+  /// Database — all sessions. Callable from any thread; the running
+  /// queries fail with Status::Cancelled at their next governance check
+  /// and the Database remains fully usable afterwards. To cancel one
+  /// session's queries only, use Session::CancelActive().
   void Cancel() const;
 
   // ---- Introspection (docs/OBSERVABILITY.md) ----------------------------
   //
   // Every executed statement — whatever its outcome — lands in the query
   // log, queryable as `SELECT * FROM system.query_log` alongside
-  // system.metrics, system.operator_stats, and system.tables.
-  // `PROFILE <select>` executes the statement and returns its span tree as
-  // rows. `SET trace = 1` additionally accumulates every traced span into
-  // the session TraceLog for Chrome/Perfetto export.
+  // system.metrics, system.operator_stats, system.tables, and
+  // system.sessions. `PROFILE <select>` executes the statement and returns
+  // its span tree as rows. `SET trace = 1` additionally accumulates every
+  // traced span into the session TraceLog for Chrome/Perfetto export.
 
   /// The bounded ring buffer behind system.query_log/operator_stats.
   obs::QueryLog& query_log() const { return *query_log_; }
 
-  /// Session span accumulator behind `SET trace = 1`.
+  /// Span accumulator behind `SET trace = 1` (shared by all sessions).
   obs::TraceLog& trace_log() const { return *trace_log_; }
 
-  /// Writes the session TraceLog as Chrome trace-event JSON
+  /// Writes the TraceLog as Chrome trace-event JSON
   /// ({"traceEvents":[...]}, loadable in chrome://tracing / Perfetto).
   Status ExportTrace(const std::string& path) const {
     return trace_log_->WriteChromeJson(path);
   }
 
-  /// Session trace capture (`SET trace = 1`). Enabling traces has no
-  /// effect on query results — only on what the TraceLog accumulates.
+  /// Trace capture on the default session (`SET trace = 1`). Enabling
+  /// traces has no effect on query results — only on what the TraceLog
+  /// accumulates.
   void set_trace_enabled(bool enabled) {
-    governance_.trace_enabled = enabled;
+    default_session_->set_trace_enabled(enabled);
   }
-  bool trace_enabled() const { return governance_.trace_enabled; }
+  bool trace_enabled() const { return default_session_->trace_enabled(); }
 
   /// Slow-query threshold in microseconds (`SET slow_query_micros = n`);
   /// statements whose wall time exceeds it are flagged `slow` in the query
   /// log and counted in `query.slow`. 0 disables the flag.
   void set_slow_query_micros(int64_t micros) {
-    governance_.slow_query_micros = micros;
+    default_session_->set_slow_query_micros(micros);
   }
-  int64_t slow_query_micros() const { return governance_.slow_query_micros; }
+  int64_t slow_query_micros() const {
+    return default_session_->slow_query_micros();
+  }
 
  private:
-  struct Governance {
-    int64_t timeout_ms = 0;            ///< 0 = no deadline
-    size_t memory_budget_bytes = 0;    ///< 0 = unlimited
-    bool spill_enabled = false;
-    std::string spill_directory;       ///< empty = environment default
-    AdmissionMode admission = AdmissionMode::kOff;
-    size_t admission_budget_bytes = 0;  ///< 0 = engine-global limit
-    bool trace_enabled = false;         ///< SET trace = 1
-    int64_t slow_query_micros = 0;      ///< SET slow_query_micros = n
-  };
-
   /// Per-run governance outcomes surfaced to EXPLAIN ANALYZE.
   struct RunStats {
     size_t peak_bytes = 0;
@@ -215,7 +249,20 @@ class Database {
     int64_t cpu_start_micros = 0;
   };
 
-  Result<Table> ApplySet(const sql::SetStatement& set) const;
+  Result<Table> ApplySet(Session& session,
+                         const sql::SetStatement& set) const;
+
+  /// Executes CREATE TABLE / INSERT / DROP TABLE against the catalog's
+  /// append-only tables, recording one query-log entry each.
+  Result<Table> ExecuteCreate(Session& session,
+                              const sql::CreateTableStatement& create,
+                              StatementInfo* info) const;
+  Result<Table> ExecuteInsert(Session& session,
+                              const sql::InsertStatement& insert,
+                              StatementInfo* info) const;
+  Result<Table> ExecuteDrop(Session& session,
+                            const sql::DropTableStatement& drop,
+                            StatementInfo* info) const;
 
   /// Admission gate: decides at plan time whether a query whose estimated
   /// footprint is `estimate` bytes may run now. Queue mode blocks until
@@ -225,26 +272,34 @@ class Database {
   /// gets the query log's admission column (admitted|queued|shed),
   /// `*queue_micros` the time spent waiting, and `trace` an
   /// `admission.wait` span when the query queued.
-  Status AdmitQuery(size_t estimate, bool* admitted, std::string* outcome,
+  Status AdmitQuery(const SessionGovernance& gov, size_t estimate,
+                    bool* admitted, std::string* outcome,
                     int64_t* queue_micros, obs::QueryTrace* trace) const;
 
-  /// Executes `root` under a fresh QueryContext built from the session
-  /// governance, maintaining the active-query registry and the `mem.*` /
-  /// `query.*` metrics, and records exactly one query-log entry whatever
-  /// the outcome (ok, cancelled, timeout, mem_exceeded, shed, error).
+  /// Executes `root` under a fresh QueryContext built from the session's
+  /// governance snapshot `gov`, maintaining both the Database-wide and the
+  /// session's active-query registries and the `mem.*` / `query.*`
+  /// metrics, and records exactly one query-log entry whatever the
+  /// outcome (ok, cancelled, timeout, mem_exceeded, shed, error).
   /// `run_stats`, when non-null, receives the query's peak tracked memory,
   /// spill totals, and phase timings (the EXPLAIN ANALYZE footer). The
   /// trace is Finish()ed and, with `SET trace = 1`, appended to the
-  /// session TraceLog.
-  Result<Table> RunPlan(Operator& root, obs::QueryTrace* trace,
+  /// TraceLog.
+  Result<Table> RunPlan(Session& session, const SessionGovernance& gov,
+                        Operator& root, obs::QueryTrace* trace,
                         RunStats* run_stats, const StatementInfo& info) const;
 
   /// Records a query-log entry for a statement that failed before
   /// execution (parse/bind/plan errors).
-  void LogFailedStatement(const StatementInfo& info) const;
+  void LogFailedStatement(Session& session, const StatementInfo& info) const;
 
-  /// Registry of the queries executing right now; behind a shared_ptr so
-  /// Database stays movable (tests build and return them by value).
+  /// Records a query-log entry for a non-plan statement (DDL/DML).
+  void LogSimpleStatement(Session& session, const StatementInfo& info,
+                          const Status& status, int64_t rows_out) const;
+
+  /// Registry of the queries executing right now across every session;
+  /// behind a shared_ptr so Database stays movable (tests build and
+  /// return them by value).
   struct ActiveQueries {
     std::mutex mu;
     std::condition_variable cv;  ///< signaled when admitted queries finish
@@ -253,9 +308,6 @@ class Database {
   };
 
   Catalog catalog_;
-  // Mutable: Query() is const but SET statements adjust session state.
-  mutable sql::PlannerOptions planner_options_;
-  mutable Governance governance_;
   std::shared_ptr<ActiveQueries> active_ = std::make_shared<ActiveQueries>();
   // Behind shared_ptrs so Database stays movable: the system-table
   // providers registered on catalog_ capture these by value.
@@ -263,6 +315,10 @@ class Database {
       std::make_shared<obs::QueryLog>();
   std::shared_ptr<obs::TraceLog> trace_log_ =
       std::make_shared<obs::TraceLog>();
+  std::shared_ptr<SessionRegistry> sessions_ =
+      std::make_shared<SessionRegistry>();
+  std::shared_ptr<Session> default_session_ =
+      std::make_shared<Session>(sessions_, "local");
 };
 
 }  // namespace sgb::engine

@@ -64,6 +64,7 @@ Result<TablePtr> MetricsProvider(const Catalog&) {
 Schema QueryLogSchema() {
   Schema s;
   s.AddColumn(Column{"id", DataType::kInt64, ""});
+  s.AddColumn(Column{"session_id", DataType::kInt64, ""});
   s.AddColumn(Column{"query", DataType::kString, ""});
   s.AddColumn(Column{"status", DataType::kString, ""});
   s.AddColumn(Column{"slow", DataType::kInt64, ""});
@@ -108,7 +109,8 @@ Schema TablesSchema() {
   return s;
 }
 
-/// Stored tables report live row/byte counts; virtual tables are listed
+/// Stored tables report live row/byte counts; append-only tables report
+/// their current snapshot without copying it; virtual tables are listed
 /// with NULL sizes (materializing them here would recurse into providers —
 /// including this one).
 Result<TablePtr> TablesProvider(const Catalog& catalog) {
@@ -118,6 +120,14 @@ Result<TablePtr> TablesProvider(const Catalog& catalog) {
       SGB_RETURN_IF_ERROR(table->Append(
           Row{Value::Str(name), Value::Str("system"), Value::Null(),
               Value::Null(), Value::Null()}));
+      continue;
+    }
+    if (AppendTablePtr appendable = catalog.FindAppendable(name)) {
+      SGB_RETURN_IF_ERROR(table->Append(
+          Row{Value::Str(name), Value::Str("appendable"),
+              Value::Int(static_cast<int64_t>(appendable->SnapshotRows())),
+              Value::Int(static_cast<int64_t>(appendable->schema().size())),
+              Value::Int(static_cast<int64_t>(appendable->ApproxBytes()))}));
       continue;
     }
     Result<TablePtr> stored = catalog.Get(name);
@@ -132,10 +142,42 @@ Result<TablePtr> TablesProvider(const Catalog& catalog) {
   return TablePtr(std::move(table));
 }
 
+Schema SessionsSchema() {
+  Schema s;
+  s.AddColumn(Column{"id", DataType::kInt64, ""});
+  s.AddColumn(Column{"peer", DataType::kString, ""});
+  s.AddColumn(Column{"state", DataType::kString, ""});
+  s.AddColumn(Column{"queries", DataType::kInt64, ""});
+  s.AddColumn(Column{"errors", DataType::kInt64, ""});
+  s.AddColumn(Column{"rows_returned", DataType::kInt64, ""});
+  s.AddColumn(Column{"plan_cache_hits", DataType::kInt64, ""});
+  s.AddColumn(Column{"plan_cache_misses", DataType::kInt64, ""});
+  s.AddColumn(Column{"prepared", DataType::kInt64, ""});
+  s.AddColumn(Column{"timeout_ms", DataType::kInt64, ""});
+  s.AddColumn(Column{"memory_budget_bytes", DataType::kInt64, ""});
+  s.AddColumn(Column{"spill", DataType::kInt64, ""});
+  s.AddColumn(Column{"trace", DataType::kInt64, ""});
+  s.AddColumn(Column{"parallel", DataType::kInt64, ""});
+  s.AddColumn(Column{"admission", DataType::kString, ""});
+  return s;
+}
+
+const char* AdmissionModeName(AdmissionMode mode) {
+  switch (mode) {
+    case AdmissionMode::kQueue:
+      return "queue";
+    case AdmissionMode::kShed:
+      return "shed";
+    default:
+      return "off";
+  }
+}
+
 }  // namespace
 
 void RegisterSystemTables(Catalog* catalog,
-                          std::shared_ptr<obs::QueryLog> query_log) {
+                          std::shared_ptr<obs::QueryLog> query_log,
+                          std::shared_ptr<SessionRegistry> sessions) {
   catalog->RegisterProvider("system.metrics", MetricsProvider);
 
   catalog->RegisterProvider(
@@ -146,7 +188,8 @@ void RegisterSystemTables(Catalog* catalog,
         table->Reserve(entries.size());
         for (const obs::QueryLogEntry& e : entries) {
           SGB_RETURN_IF_ERROR(table->Append(
-              Row{Value::Int(static_cast<int64_t>(e.id)), Value::Str(e.text),
+              Row{Value::Int(static_cast<int64_t>(e.id)),
+                  Value::Int(e.session_id), Value::Str(e.text),
                   Value::Str(e.status), Value::Int(e.slow ? 1 : 0),
                   Value::Str(e.admission), Value::Int(e.queue_micros),
                   Value::Int(e.plan_micros), Value::Int(e.exec_micros),
@@ -178,6 +221,34 @@ void RegisterSystemTables(Catalog* catalog,
       });
 
   catalog->RegisterProvider("system.tables", TablesProvider);
+
+  catalog->RegisterProvider(
+      "system.sessions",
+      [sessions](const Catalog&) -> Result<TablePtr> {
+        auto table = std::make_shared<Table>(SessionsSchema());
+        Status status = Status::OK();
+        sessions->ForEach([&](const Session& s) {
+          if (!status.ok()) return;
+          status = table->Append(
+              Row{Value::Int(static_cast<int64_t>(s.id())),
+                  Value::Str(s.peer()),
+                  Value::Str(s.active_queries() > 0 ? "active" : "idle"),
+                  Value::Int(static_cast<int64_t>(s.queries())),
+                  Value::Int(static_cast<int64_t>(s.errors())),
+                  Value::Int(static_cast<int64_t>(s.rows_returned())),
+                  Value::Int(static_cast<int64_t>(s.plan_cache_hits())),
+                  Value::Int(static_cast<int64_t>(s.plan_cache_misses())),
+                  Value::Int(static_cast<int64_t>(s.prepared_count())),
+                  Value::Int(s.timeout_ms()),
+                  Value::Int(static_cast<int64_t>(s.memory_budget_bytes())),
+                  Value::Int(s.spill_enabled() ? 1 : 0),
+                  Value::Int(s.trace_enabled() ? 1 : 0),
+                  Value::Int(s.default_sgb_dop()),
+                  Value::Str(AdmissionModeName(s.admission_mode()))});
+        });
+        SGB_RETURN_IF_ERROR(status);
+        return TablePtr(std::move(table));
+      });
 }
 
 }  // namespace sgb::engine

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "engine/catalog.h"
+#include "engine/session.h"
 #include "obs/query_log.h"
 
 namespace sgb::engine {
@@ -15,13 +16,15 @@ namespace sgb::engine {
 ///   system.query_log      the bounded ring buffer of recent statements
 ///   system.operator_stats per-operator counters for recent statements
 ///   system.tables         catalog listing with row counts and byte sizes
+///   system.sessions       one row per live session with its knobs/counters
 ///
 /// Each SELECT against one of these materializes a fresh snapshot, so they
 /// compose with filters, aggregates, and SGB like any stored table. Row
 /// ordering is deterministic: metrics and tables are name-sorted,
-/// query_log/operator_stats are oldest-first.
+/// query_log/operator_stats are oldest-first, sessions are id-ordered.
 void RegisterSystemTables(Catalog* catalog,
-                          std::shared_ptr<obs::QueryLog> query_log);
+                          std::shared_ptr<obs::QueryLog> query_log,
+                          std::shared_ptr<SessionRegistry> sessions);
 
 }  // namespace sgb::engine
 

@@ -5,12 +5,20 @@ namespace sgb::obs {
 QueryLog::QueryLog(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
+QueryLog& QueryLog::GlobalMirror() {
+  static QueryLog* mirror = new QueryLog(4 * kDefaultCapacity);
+  return *mirror;
+}
+
 uint64_t QueryLog::NextId() {
   return next_id_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void QueryLog::Record(QueryLogEntry entry,
                       std::vector<OperatorStatsEntry> ops) {
+  if (this != &GlobalMirror()) {
+    GlobalMirror().Record(entry, {});
+  }
   std::lock_guard<std::mutex> lock(mu_);
   slots_.push_back(Slot{std::move(entry), std::move(ops)});
   while (slots_.size() > capacity_) slots_.pop_front();

@@ -16,6 +16,7 @@ namespace sgb::obs {
 /// log is the ground truth for "what ran and what did it cost".
 struct QueryLogEntry {
   uint64_t id = 0;           ///< monotonically increasing statement id
+  int64_t session_id = 0;    ///< session that ran it (0 = unknown)
   std::string text;          ///< statement text as submitted
   std::string status;        ///< ok|cancelled|timeout|mem_exceeded|shed|error
   bool slow = false;         ///< wall_micros exceeded `slow_query_micros`
@@ -58,6 +59,13 @@ class QueryLog {
   static constexpr size_t kDefaultCapacity = 256;
 
   explicit QueryLog(size_t capacity = kDefaultCapacity);
+
+  /// Process-wide mirror of every entry recorded by any log in this
+  /// process. Per-Database logs die with their Database, so post-mortem
+  /// consumers (the CI failure-diagnostics dump) read the mirror instead;
+  /// it keeps the most recent 4 * kDefaultCapacity entries without their
+  /// per-operator rows.
+  static QueryLog& GlobalMirror();
 
   /// Allocates the next statement id (thread-safe, never reused).
   uint64_t NextId();

@@ -1,0 +1,181 @@
+#include "server/protocol.h"
+
+#include <cctype>
+
+namespace sgb::server {
+
+namespace {
+
+/// First whitespace-delimited token of `line` starting at `*pos`,
+/// advancing `*pos` past it and any following spaces.
+std::string NextToken(const std::string& line, size_t* pos) {
+  while (*pos < line.size() && line[*pos] == ' ') ++*pos;
+  const size_t start = *pos;
+  while (*pos < line.size() && line[*pos] != ' ') ++*pos;
+  std::string token = line.substr(start, *pos - start);
+  while (*pos < line.size() && line[*pos] == ' ') ++*pos;
+  return token;
+}
+
+}  // namespace
+
+Result<Command> ParseCommand(const std::string& line) {
+  size_t pos = 0;
+  std::string verb = NextToken(line, &pos);
+  for (char& c : verb) c = static_cast<char>(std::toupper(c));
+  Command cmd;
+  if (verb == "PING") {
+    cmd.kind = Command::Kind::kPing;
+    return cmd;
+  }
+  if (verb == "QUIT") {
+    cmd.kind = Command::Kind::kQuit;
+    return cmd;
+  }
+  if (verb == "QUERY") {
+    cmd.kind = Command::Kind::kQuery;
+    cmd.sql = UnescapeField(line.substr(pos));
+    if (cmd.sql.empty()) {
+      return Status::InvalidArgument("QUERY requires a statement");
+    }
+    return cmd;
+  }
+  if (verb == "PREPARE") {
+    cmd.kind = Command::Kind::kPrepare;
+    cmd.name = NextToken(line, &pos);
+    cmd.sql = UnescapeField(line.substr(pos));
+    if (cmd.name.empty() || cmd.sql.empty()) {
+      return Status::InvalidArgument("PREPARE requires a name and a statement");
+    }
+    return cmd;
+  }
+  if (verb == "EXECUTE") {
+    cmd.kind = Command::Kind::kExecute;
+    cmd.name = NextToken(line, &pos);
+    if (cmd.name.empty()) {
+      return Status::InvalidArgument("EXECUTE requires a statement name");
+    }
+    return cmd;
+  }
+  return Status::InvalidArgument(
+      "unknown command '" + verb +
+      "' (expected QUERY, PREPARE, EXECUTE, PING, or QUIT)");
+}
+
+std::string EscapeField(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeField(const std::string& field) {
+  std::string out;
+  out.reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    if (field[i] != '\\' || i + 1 >= field.size()) {
+      out.push_back(field[i]);
+      continue;
+    }
+    const char next = field[++i];
+    switch (next) {
+      case '\\':
+        out.push_back('\\');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      default:
+        out.push_back('\\');
+        out.push_back(next);
+    }
+  }
+  return out;
+}
+
+std::string FormatHeader(const engine::Table& table) {
+  std::string out;
+  const engine::Schema& schema = table.schema();
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (i > 0) out.push_back('\t');
+    out += EscapeField(schema.column(i).name);
+  }
+  return out;
+}
+
+std::string FormatRow(const engine::Row& row) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back('\t');
+    out += row[i].is_null() ? "NULL" : EscapeField(row[i].ToString());
+  }
+  return out;
+}
+
+std::string StatusCodeToken(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "ok";
+    case Status::Code::kInvalidArgument:
+      return "invalid_argument";
+    case Status::Code::kNotFound:
+      return "not_found";
+    case Status::Code::kParseError:
+      return "parse_error";
+    case Status::Code::kBindError:
+      return "bind_error";
+    case Status::Code::kNotSupported:
+      return "not_supported";
+    case Status::Code::kInternal:
+      return "internal";
+    case Status::Code::kResourceExhausted:
+      return "resource_exhausted";
+    case Status::Code::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Status::Code::kCancelled:
+      return "cancelled";
+    case Status::Code::kIoError:
+      return "io_error";
+  }
+  return "internal";
+}
+
+Status::Code ParseStatusCodeToken(const std::string& token) {
+  if (token == "ok") return Status::Code::kOk;
+  if (token == "invalid_argument") return Status::Code::kInvalidArgument;
+  if (token == "not_found") return Status::Code::kNotFound;
+  if (token == "parse_error") return Status::Code::kParseError;
+  if (token == "bind_error") return Status::Code::kBindError;
+  if (token == "not_supported") return Status::Code::kNotSupported;
+  if (token == "internal") return Status::Code::kInternal;
+  if (token == "resource_exhausted") return Status::Code::kResourceExhausted;
+  if (token == "deadline_exceeded") return Status::Code::kDeadlineExceeded;
+  if (token == "cancelled") return Status::Code::kCancelled;
+  if (token == "io_error") return Status::Code::kIoError;
+  return Status::Code::kInternal;
+}
+
+}  // namespace sgb::server

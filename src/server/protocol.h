@@ -1,0 +1,63 @@
+#ifndef SGB_SERVER_PROTOCOL_H_
+#define SGB_SERVER_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/table.h"
+
+namespace sgb::server {
+
+/// The line-based wire protocol both the server loop and the client driver
+/// speak (docs/SERVER.md "Wire protocol"). Every message is one
+/// '\n'-terminated line; fields within result lines are tab-separated with
+/// '\\', '\t', '\n', '\r' escaped, so arbitrary SQL strings round-trip.
+///
+/// Client -> server:
+///   QUERY <sql>            run one statement
+///   PREPARE <name> <sql>   validate + bind a named statement
+///   EXECUTE <name>         run a prepared statement
+///   PING                   liveness probe
+///   QUIT                   close the session
+///
+/// Server -> client:
+///   OK <nrows> <ncols>     then 1 header line + nrows data lines
+///                          (ncols = 0 means no header/rows follow)
+///   ERR <code> <message>   statement failed; code is a Status token
+///   PONG                   reply to PING
+///   BYE                    reply to QUIT; the server closes after it
+
+/// One parsed client command.
+struct Command {
+  enum class Kind { kQuery, kPrepare, kExecute, kPing, kQuit };
+  Kind kind = Kind::kPing;
+  std::string name;  ///< PREPARE/EXECUTE statement name
+  std::string sql;   ///< QUERY/PREPARE statement text
+};
+
+/// Parses one client line. InvalidArgument on unknown verbs or missing
+/// operands; the server answers those with an ERR line and keeps serving.
+Result<Command> ParseCommand(const std::string& line);
+
+/// Escapes '\\' -> "\\\\", '\t' -> "\\t", '\n' -> "\\n", '\r' -> "\\r".
+std::string EscapeField(const std::string& raw);
+
+/// Inverse of EscapeField; unknown escapes pass through verbatim.
+std::string UnescapeField(const std::string& field);
+
+/// Tab-separated escaped column names of `table`.
+std::string FormatHeader(const engine::Table& table);
+
+/// Tab-separated escaped values of one row (NULL prints as "NULL").
+std::string FormatRow(const engine::Row& row);
+
+/// Stable short tokens for Status codes on ERR lines ("invalid_argument",
+/// "cancelled", ...) and the inverse mapping (kInternal for unknown
+/// tokens, so newer servers degrade gracefully against older clients).
+std::string StatusCodeToken(Status::Code code);
+Status::Code ParseStatusCodeToken(const std::string& token);
+
+}  // namespace sgb::server
+
+#endif  // SGB_SERVER_PROTOCOL_H_

@@ -1,0 +1,111 @@
+#ifndef SGB_SERVER_SERVER_H_
+#define SGB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.h"
+#include "common/status.h"
+#include "engine/executor.h"
+
+namespace sgb::server {
+
+struct ServerOptions {
+  /// Listen on a unix-domain socket at this path (empty = no unix
+  /// listener). The path must fit sockaddr_un (~100 bytes).
+  std::string unix_path;
+
+  /// Listen on 127.0.0.1:`tcp_port` (0 picks an ephemeral port, read back
+  /// from Server::tcp_port()).
+  bool tcp = false;
+  uint16_t tcp_port = 0;
+
+  /// Connections beyond this are answered with `ERR resource_exhausted
+  /// busy ...` and closed — the gate against accept floods.
+  size_t max_sessions = 64;
+};
+
+/// The concurrent multi-session front end (docs/SERVER.md): accepts
+/// connections on a unix socket and/or TCP loopback, gives each one its
+/// own engine Session, and serves the line protocol until the client
+/// QUITs or disconnects. One thread per connection plus one accept thread
+/// per listener and one watchdog thread.
+///
+/// The watchdog polls connections that are mid-statement for peer
+/// hangups; a dropped connection cancels that session's running queries
+/// (they land in system.query_log as `cancelled`) without disturbing any
+/// other session.
+///
+/// The Database outlives the Server; Stop() (also run by the destructor)
+/// closes the listeners, cancels and joins every connection, and leaves
+/// the Database fully usable.
+class Server {
+ public:
+  Server(const engine::Database* db, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the configured listeners and starts serving. InvalidArgument
+  /// when no listener is configured; IoError when a bind fails.
+  Status Start();
+
+  /// Idempotent; blocks until every connection thread has exited.
+  void Stop();
+
+  uint16_t tcp_port() const { return tcp_port_; }
+  const std::string& unix_path() const { return options_.unix_path; }
+
+  size_t active_connections() const;
+  uint64_t total_connections() const {
+    return total_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    Socket socket;
+    engine::SessionPtr session;
+    std::thread thread;
+    std::atomic<bool> busy{false};  ///< executing a statement right now
+    std::atomic<bool> done{false};  ///< serve loop exited
+  };
+
+  void AcceptLoop(Listener* listener, const char* transport);
+  void ServeConnection(const std::shared_ptr<Connection>& conn);
+  void WatchdogLoop();
+
+  /// Serves one already-parsed command; returns false when the session
+  /// should close (QUIT or a dead peer).
+  bool ServeCommand(Connection& conn, const std::string& line);
+
+  Status WriteTable(Connection& conn, const engine::Table& table);
+  Status WriteError(Connection& conn, const Status& error);
+
+  /// Joins finished connection threads and drops their slots.
+  void ReapFinished();
+
+  const engine::Database* db_;
+  ServerOptions options_;
+  uint16_t tcp_port_ = 0;
+
+  Listener unix_listener_;
+  Listener tcp_listener_;
+  std::vector<std::thread> accept_threads_;
+  std::thread watchdog_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<uint64_t> total_connections_{0};
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+};
+
+}  // namespace sgb::server
+
+#endif  // SGB_SERVER_SERVER_H_

@@ -8,6 +8,7 @@
 
 #include "core/sgb_types.h"
 #include "engine/expression.h"
+#include "engine/schema.h"
 #include "engine/value.h"
 #include "geom/point.h"
 
@@ -140,8 +141,32 @@ struct SetStatement {
   std::string text_value;
 };
 
+/// CREATE TABLE [IF NOT EXISTS] name (col TYPE, ...) — creates an empty
+/// append-only table. Types: INT/INTEGER/BIGINT, DOUBLE/FLOAT/REAL,
+/// TEXT/STRING/VARCHAR.
+struct CreateTableStatement {
+  std::string table;
+  bool if_not_exists = false;
+  std::vector<engine::Column> columns;
+};
+
+/// INSERT INTO name VALUES (lit, ...), (lit, ...) — literal rows only
+/// (NULL, optionally signed numbers, strings). One statement appends
+/// atomically: concurrent snapshot scans see all of its rows or none.
+struct InsertStatement {
+  std::string table;
+  std::vector<engine::Row> rows;
+};
+
+/// DROP TABLE [IF EXISTS] name.
+struct DropTableStatement {
+  std::string table;
+  bool if_exists = false;
+};
+
 /// A full parsed statement: an optional EXPLAIN [ANALYZE] or PROFILE
-/// prefix wrapping one SELECT, or a SET statement (`set` engaged, `select`
+/// prefix wrapping one SELECT; or a SET / CREATE TABLE / INSERT /
+/// DROP TABLE statement (exactly one of the optionals engaged, `select`
 /// null). PROFILE executes the statement and returns its span tree as rows
 /// (one per span) instead of the statement's own result.
 struct ParsedStatement {
@@ -149,6 +174,9 @@ struct ParsedStatement {
   bool profile = false;
   std::unique_ptr<SelectStatement> select;
   std::optional<SetStatement> set;
+  std::optional<CreateTableStatement> create;
+  std::optional<InsertStatement> insert;
+  std::optional<DropTableStatement> drop;
 };
 
 }  // namespace sgb::sql

@@ -61,11 +61,25 @@ class Parser {
       auto set = ParseSet();
       if (!set.ok()) return set.status();
       out.set = std::move(set).value();
-      Match(TokenType::kSemicolon);
-      if (Peek().type != TokenType::kEnd) {
-        return Error("unexpected trailing input");
-      }
-      return out;
+      return FinishNonSelect(std::move(out));
+    }
+    if (MatchKw("CREATE")) {
+      auto create = ParseCreateTable();
+      if (!create.ok()) return create.status();
+      out.create = std::move(create).value();
+      return FinishNonSelect(std::move(out));
+    }
+    if (MatchKw("INSERT")) {
+      auto insert = ParseInsert();
+      if (!insert.ok()) return insert.status();
+      out.insert = std::move(insert).value();
+      return FinishNonSelect(std::move(out));
+    }
+    if (MatchKw("DROP")) {
+      auto drop = ParseDropTable();
+      if (!drop.ok()) return drop.status();
+      out.drop = std::move(drop).value();
+      return FinishNonSelect(std::move(out));
     }
     if (MatchKw("PROFILE")) {
       out.profile = true;
@@ -154,6 +168,126 @@ class Parser {
       return Error("expected an integer or identifier value in SET");
     }
     out.value = static_cast<int64_t>(Consume().number);
+    return out;
+  }
+
+  /// Consumes the optional trailing ';' of a SET/CREATE/INSERT/DROP
+  /// statement and rejects trailing input.
+  Result<ParsedStatement> FinishNonSelect(ParsedStatement out) {
+    Match(TokenType::kSemicolon);
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return out;
+  }
+
+  Result<std::string> ParseTableName(const char* what) {
+    if (Peek().type != TokenType::kIdent) {
+      return Error(std::string("expected ") + what);
+    }
+    return Consume().text;
+  }
+
+  /// CREATE TABLE [IF NOT EXISTS] name (col TYPE, ...)
+  Result<CreateTableStatement> ParseCreateTable() {
+    SGB_RETURN_IF_ERROR(ExpectKw("TABLE"));
+    CreateTableStatement out;
+    if (PeekKw("IF")) {
+      Consume();
+      SGB_RETURN_IF_ERROR(ExpectKw("NOT"));
+      SGB_RETURN_IF_ERROR(ExpectKw("EXISTS"));
+      out.if_not_exists = true;
+    }
+    auto name = ParseTableName("table name after CREATE TABLE");
+    if (!name.ok()) return name.status();
+    out.table = std::move(name).value();
+    SGB_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    do {
+      if (Peek().type != TokenType::kIdent) {
+        return Error("expected column name");
+      }
+      engine::Column col;
+      col.name = Consume().text;
+      if (Peek().type != TokenType::kIdent) {
+        return Error("expected column type");
+      }
+      const std::string type = Consume().text;
+      if (EqualsCi(type, "INT") || EqualsCi(type, "INTEGER") ||
+          EqualsCi(type, "BIGINT")) {
+        col.type = engine::DataType::kInt64;
+      } else if (EqualsCi(type, "DOUBLE") || EqualsCi(type, "FLOAT") ||
+                 EqualsCi(type, "REAL")) {
+        col.type = engine::DataType::kDouble;
+      } else if (EqualsCi(type, "TEXT") || EqualsCi(type, "STRING") ||
+                 EqualsCi(type, "VARCHAR")) {
+        col.type = engine::DataType::kString;
+      } else {
+        return Error("unknown column type '" + type +
+                     "' (expected INT, DOUBLE, or TEXT)");
+      }
+      out.columns.push_back(std::move(col));
+    } while (Match(TokenType::kComma));
+    SGB_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    if (out.columns.empty()) {
+      return Error("CREATE TABLE requires at least one column");
+    }
+    return out;
+  }
+
+  /// One literal of an INSERT row: NULL, [-]number, or 'string'.
+  Result<Value> ParseInsertLiteral() {
+    if (MatchKw("NULL")) return Value::Null();
+    bool negate = false;
+    if (Match(TokenType::kMinus)) negate = true;
+    const Token& t = Peek();
+    if (t.type == TokenType::kNumber) {
+      const Token tok = Consume();
+      if (tok.is_integer) {
+        const int64_t v = static_cast<int64_t>(tok.number);
+        return Value::Int(negate ? -v : v);
+      }
+      return Value::Double(negate ? -tok.number : tok.number);
+    }
+    if (!negate && t.type == TokenType::kString) {
+      return Value::Str(Consume().text);
+    }
+    return Error("expected a literal value in INSERT");
+  }
+
+  /// INSERT INTO name VALUES (lit, ...), (lit, ...)
+  Result<InsertStatement> ParseInsert() {
+    SGB_RETURN_IF_ERROR(ExpectKw("INTO"));
+    InsertStatement out;
+    auto name = ParseTableName("table name after INSERT INTO");
+    if (!name.ok()) return name.status();
+    out.table = std::move(name).value();
+    SGB_RETURN_IF_ERROR(ExpectKw("VALUES"));
+    do {
+      SGB_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+      engine::Row row;
+      do {
+        auto lit = ParseInsertLiteral();
+        if (!lit.ok()) return lit.status();
+        row.push_back(std::move(lit).value());
+      } while (Match(TokenType::kComma));
+      SGB_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+      out.rows.push_back(std::move(row));
+    } while (Match(TokenType::kComma));
+    return out;
+  }
+
+  /// DROP TABLE [IF EXISTS] name
+  Result<DropTableStatement> ParseDropTable() {
+    SGB_RETURN_IF_ERROR(ExpectKw("TABLE"));
+    DropTableStatement out;
+    if (PeekKw("IF")) {
+      Consume();
+      SGB_RETURN_IF_ERROR(ExpectKw("EXISTS"));
+      out.if_exists = true;
+    }
+    auto name = ParseTableName("table name after DROP TABLE");
+    if (!name.ok()) return name.status();
+    out.table = std::move(name).value();
     return out;
   }
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "engine/append_table.h"
 #include "engine/sgb_operator.h"
 
 namespace sgb::sql {
@@ -169,10 +170,15 @@ class PlannerImpl {
       return OperatorPtr(
           std::make_unique<RenameOp>(std::move(sub).value(), ref.alias));
     }
-    auto table = catalog_.Get(ref.table_name);
-    if (!table.ok()) return table.status();
     const std::string qualifier =
         ref.alias.empty() ? ref.table_name : ref.alias;
+    // Append-only tables scan through a pinned snapshot instead of a
+    // materialized copy, so readers never block (or copy) writers.
+    if (auto appendable = catalog_.FindAppendable(ref.table_name)) {
+      return engine::MakeAppendScan(std::move(appendable), qualifier);
+    }
+    auto table = catalog_.Get(ref.table_name);
+    if (!table.ok()) return table.status();
     return engine::MakeTableScan(std::move(table).value(), qualifier);
   }
 

@@ -18,6 +18,7 @@
 #include "common/fault_injection.h"
 #include "common/query_context.h"
 #include "common/random.h"
+#include "common/socket.h"
 #include "engine/csv.h"
 #include "engine/executor.h"
 #include "engine/spill.h"
@@ -342,6 +343,44 @@ TEST_F(GovernanceTest, EveryRegisteredFaultSiteFiresAndRecovers) {
          } catch (const QueryAbort& abort) {
            return abort.status();
          }
+       }},
+      {"engine.append.insert", Status::Code::kResourceExhausted,
+       [](Database& db) {
+         auto create =
+             db.Query("CREATE TABLE IF NOT EXISTS fault_rows (x INT)");
+         if (!create.ok()) return create.status();
+         return db.Query("INSERT INTO fault_rows VALUES (1), (2)").status();
+       }},
+      {"server.accept", Status::Code::kIoError,
+       [](Database&) {
+         auto listener = Listener::ListenTcp(0);
+         if (!listener.ok()) return listener.status();
+         auto client = ConnectTcp(listener.value().port());
+         if (!client.ok()) return client.status();
+         return listener.value().Accept().status();
+       }},
+      {"server.read", Status::Code::kIoError,
+       [](Database&) {
+         auto listener = Listener::ListenTcp(0);
+         if (!listener.ok()) return listener.status();
+         auto client = ConnectTcp(listener.value().port());
+         if (!client.ok()) return client.status();
+         SGB_RETURN_IF_ERROR(client.value().WriteAll("ping\n"));
+         auto conn = listener.value().Accept();
+         if (!conn.ok()) return conn.status();
+         LineReader reader(&conn.value());
+         std::string line;
+         return reader.ReadLine(&line).status();
+       }},
+      {"server.write", Status::Code::kIoError,
+       [](Database&) {
+         auto listener = Listener::ListenTcp(0);
+         if (!listener.ok()) return listener.status();
+         auto client = ConnectTcp(listener.value().port());
+         if (!client.ok()) return client.status();
+         auto conn = listener.value().Accept();
+         if (!conn.ok()) return conn.status();
+         return conn.value().WriteAll("pong\n");
        }},
   };
 

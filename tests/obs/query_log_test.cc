@@ -143,5 +143,27 @@ TEST(QueryLogTest, ConcurrentWritersAndReadersStayBounded) {
   for (const auto& e : entries) EXPECT_TRUE(ids.insert(e.id).second);
 }
 
+TEST(QueryLogTest, GlobalMirrorSeesEveryLogsEntries) {
+  // Per-Database logs die with their Database; the process-wide mirror
+  // keeps their entries for post-mortem dumps (tests/sgb_test_main.cc).
+  const size_t before = QueryLog::GlobalMirror().size();
+  {
+    QueryLog log(4);
+    auto entry = MakeEntry(log, "SELECT mirrored");
+    OperatorStatsEntry op;
+    op.query_id = entry.id;
+    op.op = "TableScan";
+    log.Record(std::move(entry), {op});
+  }
+  const auto mirrored = QueryLog::GlobalMirror().Entries();
+  EXPECT_GT(mirrored.size(), before);
+  EXPECT_EQ(mirrored.back().text, "SELECT mirrored");
+  // The mirror keeps entries only — per-operator rows stay with the
+  // owning log, which is gone.
+  for (const auto& op : QueryLog::GlobalMirror().OperatorStats()) {
+    EXPECT_NE(op.op, "TableScan") << "mirror should not retain op rows";
+  }
+}
+
 }  // namespace
 }  // namespace sgb::obs

@@ -1,0 +1,240 @@
+// Session-layer tests (docs/SERVER.md "Sessions"): governance isolation
+// between concurrent sessions, the per-session plan cache, and prepared
+// statements — at the engine API level and through the wire.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/executor.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace sgb::engine {
+namespace {
+
+Database PointsDb(size_t n) {
+  Database db;
+  auto pts = std::make_shared<Table>(Schema({
+      Column{"x", DataType::kDouble, ""},
+      Column{"y", DataType::kDouble, ""},
+  }));
+  Rng rng(7);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(pts->Append({Value::Double(rng.NextUniform(0, 10)),
+                             Value::Double(rng.NextUniform(0, 10))})
+                    .ok());
+  }
+  db.Register("pts", pts);
+  return db;
+}
+
+TEST(SessionTest, SetIsScopedToTheIssuingSession) {
+  Database db = PointsDb(10);
+  SessionPtr s1 = db.CreateSession("test:s1");
+  SessionPtr s2 = db.CreateSession("test:s2");
+
+  ASSERT_TRUE(db.Query(*s1, "SET timeout = 1234").ok());
+  ASSERT_TRUE(db.Query(*s1, "SET memory_budget = 4096").ok());
+  ASSERT_TRUE(db.Query(*s1, "SET spill = 1").ok());
+
+  EXPECT_EQ(s1->timeout_ms(), 1234);
+  EXPECT_EQ(s1->memory_budget_bytes(), 4096u);
+  EXPECT_TRUE(s1->spill_enabled());
+
+  // Neither the sibling session nor the legacy default session moved.
+  EXPECT_EQ(s2->timeout_ms(), 0);
+  EXPECT_EQ(s2->memory_budget_bytes(), 0u);
+  EXPECT_FALSE(s2->spill_enabled());
+  EXPECT_EQ(db.timeout_ms(), 0);
+  EXPECT_FALSE(db.spill_enabled());
+}
+
+TEST(SessionTest, GovernanceActsOnlyOnItsOwnSession) {
+  Database db = PointsDb(5000);
+  SessionPtr tight = db.CreateSession("test:tight");
+  SessionPtr roomy = db.CreateSession("test:roomy");
+
+  // A 1-byte budget kills the query on `tight` but must not leak into
+  // `roomy`, which runs the identical statement concurrently.
+  ASSERT_TRUE(db.Query(*tight, "SET memory_budget = 1").ok());
+  const char* kQuery = "SELECT count(*) FROM pts";
+
+  Status tight_status = Status::OK();
+  Status roomy_status = Status::OK();
+  std::thread t1([&] { tight_status = db.Query(*tight, kQuery).status(); });
+  std::thread t2([&] { roomy_status = db.Query(*roomy, kQuery).status(); });
+  t1.join();
+  t2.join();
+
+  EXPECT_EQ(tight_status.code(), Status::Code::kResourceExhausted)
+      << tight_status.ToString();
+  EXPECT_TRUE(roomy_status.ok()) << roomy_status.ToString();
+}
+
+TEST(SessionTest, ConcurrentSetsNeverCrossTalk) {
+  Database db = PointsDb(10);
+  SessionPtr a = db.CreateSession("test:a");
+  SessionPtr b = db.CreateSession("test:b");
+
+  // Each thread sets and reads back only its own session; any value from
+  // the sibling's range is cross-talk. Also a useful TSan workload.
+  std::atomic<bool> failed{false};
+  auto worker = [&](Session& session, int64_t base) {
+    for (int i = 0; i < 200; ++i) {
+      const int64_t value = base + i;
+      const std::string sql = "SET timeout = " + std::to_string(value);
+      if (!db.Query(session, sql).ok()) failed.store(true);
+      const int64_t got = session.timeout_ms();
+      if (got < base || got >= base + 200) failed.store(true);
+    }
+  };
+  std::thread t1([&] { worker(*a, 1000); });
+  std::thread t2([&] { worker(*b, 100000); });
+  t1.join();
+  t2.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(SessionTest, PlanCacheHitsOnRepeatAndSurvivesInserts) {
+  Database db;
+  SessionPtr s = db.CreateSession("test:cache");
+  ASSERT_TRUE(db.Query(*s, "CREATE TABLE ticks (v INT)").ok());
+  ASSERT_TRUE(db.Query(*s, "INSERT INTO ticks VALUES (1)").ok());
+
+  const char* kCount = "SELECT count(*) FROM ticks";
+  auto first = db.Query(*s, kCount);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().rows()[0][0].AsInt(), 1);
+  const uint64_t hits_after_first = s->plan_cache_hits();
+
+  // The second run reuses the cached plan; its scan re-pins the snapshot
+  // at Open, so freshly inserted rows are visible through the same plan.
+  ASSERT_TRUE(db.Query(*s, "INSERT INTO ticks VALUES (2), (3)").ok());
+  auto second = db.Query(*s, kCount);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().rows()[0][0].AsInt(), 3);
+  EXPECT_EQ(s->plan_cache_hits(), hits_after_first + 1);
+}
+
+TEST(SessionTest, PlanCacheKeyNormalizesWhitespaceAndCase) {
+  Database db = PointsDb(10);
+  SessionPtr s = db.CreateSession("test:norm");
+  ASSERT_TRUE(db.Query(*s, "SELECT count(*) FROM pts").ok());
+  const uint64_t hits_before = s->plan_cache_hits();
+  ASSERT_TRUE(db.Query(*s, "  select   COUNT(*)   from pts  ").ok());
+  EXPECT_EQ(s->plan_cache_hits(), hits_before + 1);
+
+  // Case inside string literals is significant, so these must not share
+  // a cache slot with each other.
+  EXPECT_EQ(Session::NormalizeSql("SELECT 'ABC' FROM t"),
+            "select 'ABC' from t");
+  EXPECT_NE(Session::NormalizeSql("SELECT 'ABC' FROM t"),
+            Session::NormalizeSql("SELECT 'abc' FROM t"));
+}
+
+TEST(SessionTest, DdlInvalidatesCachedPlans) {
+  Database db;
+  SessionPtr s = db.CreateSession("test:ddl");
+  ASSERT_TRUE(db.Query(*s, "CREATE TABLE reshaped (v INT)").ok());
+  ASSERT_TRUE(db.Query(*s, "INSERT INTO reshaped VALUES (5)").ok());
+  const char* kQuery = "SELECT count(*) FROM reshaped";
+  ASSERT_TRUE(db.Query(*s, kQuery).ok());
+  ASSERT_TRUE(db.Query(*s, kQuery).ok());  // now cached and re-stored
+
+  ASSERT_TRUE(db.Query(*s, "DROP TABLE reshaped").ok());
+  ASSERT_TRUE(
+      db.Query(*s, "CREATE TABLE reshaped (a INT, b TEXT)").ok());
+  ASSERT_TRUE(db.Query(*s, "INSERT INTO reshaped VALUES (1, 'x')").ok());
+
+  // The cached plan was built against the dropped table; the catalog
+  // version check forces a replan instead of executing a stale tree.
+  auto after = db.Query(*s, kQuery);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after.value().rows()[0][0].AsInt(), 1);
+}
+
+TEST(SessionTest, SystemTableQueriesAreNeverCached) {
+  Database db = PointsDb(10);
+  SessionPtr s = db.CreateSession("test:virtual");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(db.Query(*s, "SELECT count(*) FROM system.metrics").ok());
+  }
+  // system.* results must reflect the live engine, so their plans are
+  // rebuilt every time: zero hits no matter how often they repeat.
+  EXPECT_EQ(s->plan_cache_hits(), 0u);
+}
+
+TEST(SessionTest, PreparedStatementsValidateAndExecute) {
+  Database db = PointsDb(30);
+  SessionPtr s = db.CreateSession("test:prep");
+
+  EXPECT_FALSE(db.PrepareStatement(*s, "bad", "SELEKT nope").ok());
+  EXPECT_FALSE(db.PrepareStatement(*s, "ddl", "SET timeout = 1").ok());
+  EXPECT_EQ(db.ExecutePrepared(*s, "missing").status().code(),
+            Status::Code::kNotFound);
+
+  ASSERT_TRUE(
+      db.PrepareStatement(*s, "cnt", "SELECT count(*) FROM pts").ok());
+  EXPECT_EQ(s->prepared_count(), 1u);
+  auto result = db.ExecutePrepared(*s, "cnt");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows()[0][0].AsInt(), 30);
+
+  // PrepareStatement warms the plan cache, so the first execution is
+  // already a hit.
+  EXPECT_GE(s->plan_cache_hits(), 1u);
+}
+
+}  // namespace
+}  // namespace sgb::engine
+
+namespace sgb::server {
+namespace {
+
+TEST(SessionWireTest, SettingsDoNotLeakBetweenConnections) {
+  engine::Database db;
+  ServerOptions options;
+  options.unix_path = "/tmp/sgb_sess_wire_" +
+                      std::to_string(::getpid()) + ".sock";
+  Server server(&db, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto c1 = Client::ConnectUnixSocket(options.unix_path);
+  auto c2 = Client::ConnectUnixSocket(options.unix_path);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+
+  ASSERT_TRUE(c1.value().Query("SET timeout = 777").ok());
+  ASSERT_TRUE(c2.value().Query("SET timeout = 888").ok());
+  ASSERT_TRUE(c1.value().Query("SET spill = 1").ok());
+
+  // Each connection reads the whole session table and checks both rows:
+  // its own settings and the sibling's, as system.sessions reports them.
+  auto sessions = c1.value().Query(
+      "SELECT timeout_ms, spill FROM system.sessions");
+  ASSERT_TRUE(sessions.ok()) << sessions.status().ToString();
+  int saw_777 = 0;
+  int saw_888 = 0;
+  for (const auto& row : sessions.value().rows) {
+    if (row[0] == "777") {
+      ++saw_777;
+      EXPECT_EQ(row[1], "1");  // spill was set on the same session
+    }
+    if (row[0] == "888") {
+      ++saw_888;
+      EXPECT_EQ(row[1], "0");  // spill must not have leaked over
+    }
+  }
+  EXPECT_EQ(saw_777, 1);
+  EXPECT_EQ(saw_888, 1);
+}
+
+}  // namespace
+}  // namespace sgb::server

@@ -1,0 +1,86 @@
+// gtest entry point shared by every sgb test binary. Identical to
+// GTest::gtest_main until a run fails: then, if SGB_TEST_DIAG_DIR names a
+// directory, it dumps post-mortem state there — the global metrics
+// snapshot and the process-wide query-log mirror — so the CI failure
+// artifacts carry what actually ran (and how it ended) inside the dying
+// binary, not just ctest's pass/fail lines.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/query_log.h"
+
+namespace {
+
+std::string ProgramName(const char* argv0) {
+  const std::string path = argv0 ? argv0 : "sgb_test";
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// One escaped field: the query-log dump is tab-separated, so the
+// statement text must not smuggle in separators or newlines.
+std::string EscapeTsv(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void DumpDiagnostics(const std::string& dir, const std::string& prog) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "sgb_test_main: cannot create %s: %s\n",
+                 dir.c_str(), ec.message().c_str());
+    return;
+  }
+
+  {
+    std::ofstream out(dir + "/" + prog + "-metrics.json");
+    out << sgb::obs::MetricsRegistry::Global().Snapshot().ToJson() << "\n";
+  }
+
+  {
+    std::ofstream out(dir + "/" + prog + "-query-log.tsv");
+    out << "id\tsession_id\tstatus\tadmission\ttier\twall_micros\t"
+           "rows_out\tpeak_memory_bytes\tspill_events\ttext\n";
+    for (const auto& e : sgb::obs::QueryLog::GlobalMirror().Entries()) {
+      out << e.id << '\t' << e.session_id << '\t' << e.status << '\t'
+          << e.admission << '\t' << e.tier << '\t' << e.wall_micros << '\t'
+          << e.rows_out << '\t' << e.peak_memory_bytes << '\t'
+          << e.spill_events << '\t' << EscapeTsv(e.text) << '\n';
+    }
+  }
+
+  std::fprintf(stderr,
+               "sgb_test_main: wrote failure diagnostics to %s/%s-*.{json,tsv}\n",
+               dir.c_str(), prog.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  const int rc = RUN_ALL_TESTS();
+  if (rc != 0) {
+    if (const char* dir = std::getenv("SGB_TEST_DIAG_DIR")) {
+      DumpDiagnostics(dir, ProgramName(argc > 0 ? argv[0] : nullptr));
+    }
+  }
+  return rc;
+}
