@@ -1,0 +1,278 @@
+// Tier-crossover sweep for the cost-based planner (docs/PLANNER.md):
+// uniform point sets at several sizes and epsilons, each SGB tier forced
+// in turn and timed, then the cost model's auto choice timed against them.
+// A plain GROUP BY strategy sweep (hash vs sort) rides along. Reports the
+// full grid as JSON.
+//
+//   bench_planner [--scale S] [--reps R] [--json PATH]
+//
+// Exit code is non-zero when, at any grid point, the auto plan is slower
+// than the worst forced configuration, or more than 10% (plus a small
+// absolute allowance for timer noise on sub-millisecond points) slower
+// than the best forced configuration — the acceptance gate the CI
+// planner-smoke job runs. The per-tier timings in the report are the
+// calibration inputs for the planner's cost constants (docs/PLANNER.md
+// "Calibration").
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/executor.h"
+#include "obs/query_log.h"
+
+namespace {
+
+using sgb::Rng;
+using sgb::engine::Column;
+using sgb::engine::Database;
+using sgb::engine::DataType;
+using sgb::engine::Schema;
+using sgb::engine::Table;
+using sgb::engine::Value;
+
+double Now() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Minimum wall time of `reps` runs — the min is the least noisy
+/// summary for a deterministic single-threaded workload.
+double TimeQuery(Database& db, const std::string& sql, int reps) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = Now();
+    auto result = db.Query(sql);
+    const double ms = Now() - t0;
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n%s\n",
+                   result.status().ToString().c_str(), sql.c_str());
+      std::exit(1);
+    }
+    best = std::min(best, ms);
+  }
+  return best;
+}
+
+/// What the cost model actually picked for the last run of `sql`
+/// (the query log's strategy column).
+std::string ChosenStrategy(const Database& db, const std::string& sql) {
+  std::string strategy;
+  for (const auto& e : db.query_log().Entries()) {
+    if (e.text == sql) strategy = e.strategy;
+  }
+  return strategy;
+}
+
+Database PointsDb(size_t n, double extent) {
+  Database db;
+  auto pts = std::make_shared<Table>(Schema({
+      Column{"x", DataType::kDouble, ""},
+      Column{"y", DataType::kDouble, ""},
+  }));
+  Rng rng(42);
+  for (size_t i = 0; i < n; ++i) {
+    if (!pts->Append({Value::Double(rng.NextUniform(0, extent)),
+                      Value::Double(rng.NextUniform(0, extent))})
+             .ok()) {
+      std::exit(1);
+    }
+  }
+  db.Register("pts", pts);
+  return db;
+}
+
+struct GridPoint {
+  std::string label;
+  std::map<std::string, double> forced_ms;  ///< config -> min wall ms
+  double auto_ms = 0;
+  std::string chosen;
+};
+
+bool Gate(const GridPoint& p, double rel_slack, double abs_slack_ms) {
+  double best = std::numeric_limits<double>::infinity();
+  double worst = 0;
+  for (const auto& [name, ms] : p.forced_ms) {
+    best = std::min(best, ms);
+    worst = std::max(worst, ms);
+  }
+  const bool not_worse_than_worst =
+      p.auto_ms <= worst * (1.0 + rel_slack) + abs_slack_ms;
+  const bool near_best =
+      p.auto_ms <= best * (1.0 + rel_slack) + abs_slack_ms;
+  if (!not_worse_than_worst || !near_best) {
+    std::fprintf(stderr,
+                 "GATE FAIL %s: auto=%.3fms (chose %s) best=%.3fms "
+                 "worst=%.3fms\n",
+                 p.label.c_str(), p.auto_ms, p.chosen.c_str(), best, worst);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  int reps = 3;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--scale") == 0) {
+      scale = std::stod(next("--scale"));
+    } else if (std::strcmp(argv[i], "--reps") == 0) {
+      reps = std::stoi(next("--reps"));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = next("--json");
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::vector<GridPoint> grid;
+  bool ok = true;
+
+  // ---- SGB tier crossover ----------------------------------------------
+  // Fixed 10x10 extent: epsilon sweeps the density from "almost every
+  // point isolated" (indexed tier territory) through mid-density (bounds
+  // checking viable) to "few big groups" (where All-Pairs' simplicity can
+  // win at small n).
+  for (const size_t base_n : {size_t{500}, size_t{2000}, size_t{6000}}) {
+    const size_t n = std::max<size_t>(50, static_cast<size_t>(base_n * scale));
+    for (const double eps : {0.02, 0.2, 0.8}) {
+      for (const char* kind : {"ALL", "ANY"}) {
+        Database db = PointsDb(n, 10.0);
+        if (!db.Query("ANALYZE pts").ok()) return 1;
+        char sql[256];
+        std::snprintf(sql, sizeof(sql),
+                      "SELECT count(*) FROM pts GROUP BY x, y "
+                      "DISTANCE-TO-%s L2 WITHIN %g",
+                      kind, eps);
+
+        GridPoint p;
+        p.label = std::string("sgb-") + (kind[0] == 'A' && kind[1] == 'L'
+                                             ? "all"
+                                             : "any") +
+                  " n=" + std::to_string(n) + " eps=" + std::to_string(eps);
+        const std::vector<const char*> tiers =
+            std::strcmp(kind, "ALL") == 0
+                ? std::vector<const char*>{"all_pairs", "bounds", "indexed"}
+                : std::vector<const char*>{"all_pairs", "indexed"};
+        for (const char* tier : tiers) {
+          if (!db.Query(std::string("SET sgb_tier = ") + tier).ok()) return 1;
+          TimeQuery(db, sql, 1);  // warm the table snapshot
+          p.forced_ms[tier] = TimeQuery(db, sql, reps);
+        }
+        if (!db.Query("SET sgb_tier = auto").ok()) return 1;
+        TimeQuery(db, sql, 1);
+        p.auto_ms = TimeQuery(db, sql, reps);
+        p.chosen = ChosenStrategy(db, sql);
+        ok &= Gate(p, 0.10, 2.0);
+        grid.push_back(std::move(p));
+      }
+    }
+  }
+
+  // ---- plain GROUP BY strategy crossover -------------------------------
+  // Wide extent makes x effectively all-distinct (sort regime); the
+  // modulo-style dense-key shape stays in the hash regime.
+  for (const size_t base_n : {size_t{2000}, size_t{20000}}) {
+    const size_t n = std::max<size_t>(100, static_cast<size_t>(base_n * scale));
+    for (const bool dense_keys : {true, false}) {
+      Database db;
+      auto t = std::make_shared<Table>(Schema({
+          Column{"k", DataType::kInt64, ""},
+          Column{"v", DataType::kDouble, ""},
+      }));
+      Rng rng(7);
+      const int64_t key_space =
+          dense_keys ? std::max<int64_t>(2, static_cast<int64_t>(n) / 50)
+                     : std::numeric_limits<int64_t>::max() / 2;
+      for (size_t i = 0; i < n; ++i) {
+        if (!t->Append({Value::Int(rng.NextInt(0, key_space - 1)),
+                        Value::Double(rng.NextDouble())})
+                 .ok()) {
+          return 1;
+        }
+      }
+      db.Register("t", t);
+      if (!db.Query("ANALYZE t").ok()) return 1;
+      const std::string sql = "SELECT k, count(*), sum(v) FROM t GROUP BY k";
+
+      GridPoint p;
+      p.label = std::string("agg n=") + std::to_string(n) +
+                (dense_keys ? " dense-keys" : " distinct-keys");
+      for (const char* strategy : {"hash", "sort"}) {
+        if (!db.Query(std::string("SET agg_strategy = ") + strategy).ok()) {
+          return 1;
+        }
+        TimeQuery(db, sql, 1);
+        p.forced_ms[strategy] = TimeQuery(db, sql, reps);
+      }
+      if (!db.Query("SET agg_strategy = auto").ok()) return 1;
+      TimeQuery(db, sql, 1);
+      p.auto_ms = TimeQuery(db, sql, reps);
+      p.chosen = ChosenStrategy(db, sql);
+      ok &= Gate(p, 0.10, 2.0);
+      grid.push_back(std::move(p));
+    }
+  }
+
+  // ---- report ----------------------------------------------------------
+  std::string json = "{\n  \"scale\": " + std::to_string(scale) +
+                     ",\n  \"points\": [\n";
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const GridPoint& p = grid[i];
+    json += "    {\"label\": \"" + p.label + "\", \"auto_ms\": " +
+            std::to_string(p.auto_ms) + ", \"chosen\": \"" + p.chosen +
+            "\", \"forced_ms\": {";
+    bool first = true;
+    for (const auto& [name, ms] : p.forced_ms) {
+      if (!first) json += ", ";
+      first = false;
+      json += "\"" + std::string(name) + "\": " + std::to_string(ms);
+    }
+    json += "}}";
+    json += i + 1 < grid.size() ? ",\n" : "\n";
+  }
+  json += "  ],\n  \"gate\": \"" + std::string(ok ? "pass" : "fail") +
+          "\"\n}\n";
+  std::cout << json;
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json;
+  }
+
+  for (const GridPoint& p : grid) {
+    double best = std::numeric_limits<double>::infinity();
+    std::string best_name;
+    for (const auto& [name, ms] : p.forced_ms) {
+      if (ms < best) {
+        best = ms;
+        best_name = name;
+      }
+    }
+    std::fprintf(stderr, "%-36s auto=%8.3fms (%s) best=%8.3fms (%s)\n",
+                 p.label.c_str(), p.auto_ms, p.chosen.c_str(), best,
+                 best_name.c_str());
+  }
+  return ok ? 0 : 1;
+}

@@ -25,6 +25,7 @@ void Catalog::Register(const std::string& name, TablePtr table) {
     const std::string key = Lower(name);
     rep_->tables[key] = std::move(table);
     rep_->appendables.erase(key);
+    rep_->stats.erase(key);  // replacing a table invalidates its statistics
   }
   BumpVersion();
 }
@@ -69,6 +70,7 @@ Status Catalog::Drop(const std::string& name, bool if_exists) const {
       if (if_exists) return Status::OK();
       return Status::NotFound("no table named '" + name + "'");
     }
+    rep_->stats.erase(key);
   }
   BumpVersion();
   return Status::OK();
@@ -133,6 +135,51 @@ std::vector<std::string> Catalog::StoredTableNames() const {
 bool Catalog::IsVirtual(const std::string& name) const {
   std::shared_lock<std::shared_mutex> lock(rep_->mu);
   return rep_->providers.count(Lower(name)) > 0;
+}
+
+void Catalog::SetStats(const std::string& name, stats::TableStatsPtr s) const {
+  {
+    std::unique_lock<std::shared_mutex> lock(rep_->mu);
+    StatsEntry& entry = rep_->stats[Lower(name)];
+    entry.rows_at_bump = s ? s->row_count : 0;
+    entry.stats = std::move(s);
+  }
+  BumpVersion();
+}
+
+stats::TableStatsPtr Catalog::GetStats(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(rep_->mu);
+  const auto it = rep_->stats.find(Lower(name));
+  return it == rep_->stats.end() ? nullptr : it->second.stats;
+}
+
+bool Catalog::AddStatsRowDelta(const std::string& name,
+                               uint64_t delta) const {
+  bool bump = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(rep_->mu);
+    const auto it = rep_->stats.find(Lower(name));
+    if (it == rep_->stats.end() || it->second.stats == nullptr) return false;
+    auto updated = std::make_shared<stats::TableStats>(*it->second.stats);
+    updated->row_count += delta;
+    const uint64_t threshold =
+        std::max<uint64_t>(1, updated->analyzed_rows / 10);
+    if (updated->row_count - it->second.rows_at_bump >= threshold) {
+      it->second.rows_at_bump = updated->row_count;
+      bump = true;
+    }
+    it->second.stats = std::move(updated);
+  }
+  if (bump) BumpVersion();
+  return bump;
+}
+
+std::vector<std::string> Catalog::StatsNames() const {
+  std::shared_lock<std::shared_mutex> lock(rep_->mu);
+  std::vector<std::string> names;
+  names.reserve(rep_->stats.size());
+  for (const auto& [name, entry] : rep_->stats) names.push_back(name);
+  return names;
 }
 
 bool Catalog::IsAppendable(const std::string& name) const {

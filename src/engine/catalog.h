@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "engine/append_table.h"
 #include "engine/table.h"
+#include "stats/table_stats.h"
 
 namespace sgb::engine {
 
@@ -77,9 +78,30 @@ class Catalog {
   bool IsVirtual(const std::string& name) const;
   bool IsAppendable(const std::string& name) const;
 
+  /// Statistics lifecycle. Stats are immutable shared snapshots keyed by
+  /// table name; ANALYZE swaps in a fresh snapshot and bumps version() so
+  /// session plan caches re-plan against the new statistics. Const for the
+  /// same reason as CreateAppendable: internally synchronized state reached
+  /// through the const query path.
+  void SetStats(const std::string& name, stats::TableStatsPtr s) const;
+
+  /// Stats for `name`, or null when the table was never analyzed.
+  stats::TableStatsPtr GetStats(const std::string& name) const;
+
+  /// Incremental refresh: adds `delta` to the stored stats' live row count
+  /// (INSERT path; no-op when the table has no stats). Bumps version() —
+  /// invalidating cached plans — only once the cumulative growth since the
+  /// last bump reaches 10% of the analyzed row count, so insert-heavy
+  /// workloads keep their plan cache. Returns whether a bump happened.
+  bool AddStatsRowDelta(const std::string& name, uint64_t delta) const;
+
+  /// Names of tables with statistics, sorted.
+  std::vector<std::string> StatsNames() const;
+
   /// Monotone DDL counter: bumped by Register/RegisterProvider/
-  /// CreateAppendable/Drop. A cached plan built at version v is safe to
-  /// reuse while version() == v.
+  /// CreateAppendable/Drop, by SetStats (ANALYZE), and by
+  /// AddStatsRowDelta when growth crosses its refresh threshold. A cached
+  /// plan built at version v is safe to reuse while version() == v.
   uint64_t version() const {
     return rep_->version.load(std::memory_order_acquire);
   }
@@ -91,11 +113,17 @@ class Catalog {
  private:
   // Mutexes and atomics are not movable; the state lives behind a pointer
   // so Database (which embeds a Catalog) can be returned by value.
+  struct StatsEntry {
+    stats::TableStatsPtr stats;
+    uint64_t rows_at_bump = 0;  ///< live row count at the last version bump
+  };
+
   struct Rep {
     mutable std::shared_mutex mu;
     std::map<std::string, TablePtr> tables;
     std::map<std::string, AppendTablePtr> appendables;
     std::map<std::string, TableProviderFn> providers;
+    std::map<std::string, StatsEntry> stats;
     std::atomic<uint64_t> version{0};
   };
 

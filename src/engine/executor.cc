@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
+#include "stats/table_stats.h"
 
 namespace sgb::engine {
 
@@ -82,10 +83,11 @@ struct NonSelect {
   std::optional<sql::CreateTableStatement> create;
   std::optional<sql::InsertStatement> insert;
   std::optional<sql::DropTableStatement> drop;
+  std::optional<sql::AnalyzeStatement> analyze;
 
   bool engaged() const {
     return set.has_value() || create.has_value() || insert.has_value() ||
-           drop.has_value();
+           drop.has_value() || analyze.has_value();
   }
 };
 
@@ -142,7 +144,8 @@ Result<OperatorPtr> PlanStatement(const Catalog& catalog,
                                   NonSelect* non_select,
                                   obs::QueryTrace* trace,
                                   int64_t* plan_micros, std::string* tier,
-                                  int64_t* dop, bool* cache_safe = nullptr) {
+                                  int64_t* dop, bool* cache_safe = nullptr,
+                                  sql::PlanInfo* plan_info = nullptr) {
   const auto t0 = std::chrono::steady_clock::now();
   Result<sql::ParsedStatement> stmt = [&] {
     obs::ScopedSpan span(trace, "parse");
@@ -164,6 +167,7 @@ Result<OperatorPtr> PlanStatement(const Catalog& catalog,
     non_select->create = std::move(stmt.value().create);
     non_select->insert = std::move(stmt.value().insert);
     non_select->drop = std::move(stmt.value().drop);
+    non_select->analyze = std::move(stmt.value().analyze);
     if (plan_micros != nullptr) *plan_micros = ElapsedMicros(t0);
     return OperatorPtr{};
   }
@@ -175,9 +179,14 @@ Result<OperatorPtr> PlanStatement(const Catalog& catalog,
   }
   auto plan = [&] {
     obs::ScopedSpan span(trace, "plan");
-    return sql::PlanQuery(catalog, *stmt.value().select, options);
+    return sql::PlanQuery(catalog, *stmt.value().select, options, plan_info);
   }();
   if (plan_micros != nullptr) *plan_micros = ElapsedMicros(t0);
+  // The cost model may override the pre-planning dop (auto-parallel SGB).
+  if (plan.ok() && plan_info != nullptr && !plan_info->tier.empty() &&
+      dop != nullptr) {
+    *dop = plan_info->chosen_dop;
+  }
   return plan;
 }
 
@@ -381,6 +390,9 @@ Result<Table> Database::Query(Session& session, const std::string& sql,
     if (auto cached = session.TakeCachedPlan(cache_key, catalog_version)) {
       info.tier = cached->tier;
       info.dop = cached->dop;
+      info.est_rows = cached->est_rows;
+      info.est_bytes = cached->est_bytes;
+      info.strategy = cached->strategy;
       RunStats stats;
       Result<Table> result =
           RunPlan(session, gov, *cached->plan, trace, &stats, info);
@@ -397,9 +409,10 @@ Result<Table> Database::Query(Session& session, const std::string& sql,
   bool profile = false;
   NonSelect non_select;
   bool cache_safe = false;
+  sql::PlanInfo plan_info;
   auto plan = PlanStatement(catalog_, sql, options, &mode, &profile,
                             &non_select, trace, &info.plan_micros, &info.tier,
-                            &info.dop, &cache_safe);
+                            &info.dop, &cache_safe, &plan_info);
   if (!plan.ok()) {
     LogFailedStatement(session, info);
     return plan.status();
@@ -414,6 +427,13 @@ Result<Table> Database::Query(Session& session, const std::string& sql,
   if (non_select.drop.has_value()) {
     return ExecuteDrop(session, *non_select.drop, &info);
   }
+  if (non_select.analyze.has_value()) {
+    return ExecuteAnalyze(session, *non_select.analyze, &info);
+  }
+  info.est_rows = static_cast<int64_t>(plan_info.est_rows);
+  info.est_bytes = static_cast<size_t>(plan_info.est_bytes);
+  info.strategy =
+      !plan_info.tier.empty() ? plan_info.tier : plan_info.strategy;
 
   if (mode == sql::ExplainMode::kPlan) {
     return PlanTextTable(ExplainPlan(*plan.value()));
@@ -442,6 +462,9 @@ Result<Table> Database::Query(Session& session, const std::string& sql,
     entry.catalog_version = catalog_version;
     entry.tier = info.tier;
     entry.dop = info.dop;
+    entry.est_rows = info.est_rows;
+    entry.est_bytes = info.est_bytes;
+    entry.strategy = info.strategy;
     session.StoreCachedPlan(cache_key, std::move(entry));
   }
   return result;
@@ -541,6 +564,32 @@ Result<Table> Database::ApplySet(Session& session,
                                        "shed, or off, got '" +
                                        set.text_value + "'");
       }
+    } else if (set.name == "sgb_tier") {
+      if (set.text_value == "auto") {
+        session.set_sgb_tier(sql::TierPolicy::kAuto);
+      } else if (set.text_value == "all_pairs") {
+        session.set_sgb_tier(sql::TierPolicy::kAllPairs);
+      } else if (set.text_value == "bounds") {
+        session.set_sgb_tier(sql::TierPolicy::kBounds);
+      } else if (set.text_value == "indexed") {
+        session.set_sgb_tier(sql::TierPolicy::kIndexed);
+      } else {
+        return Status::InvalidArgument(
+            "SET sgb_tier: expected auto, all_pairs, bounds, or indexed, "
+            "got '" + set.text_value + "'");
+      }
+    } else if (set.name == "agg_strategy") {
+      if (set.text_value == "auto") {
+        session.set_agg_strategy(sql::AggStrategy::kAuto);
+      } else if (set.text_value == "hash") {
+        session.set_agg_strategy(sql::AggStrategy::kHash);
+      } else if (set.text_value == "sort") {
+        session.set_agg_strategy(sql::AggStrategy::kSort);
+      } else {
+        return Status::InvalidArgument(
+            "SET agg_strategy: expected auto, hash, or sort, got '" +
+            set.text_value + "'");
+      }
     } else {
       return Status::InvalidArgument(
           "SET " + set.name + ": expected an integer value, got '" +
@@ -570,7 +619,8 @@ Result<Table> Database::ApplySet(Session& session,
     return Status::InvalidArgument(
         "unknown setting '" + set.name +
         "' (expected timeout, memory_budget, parallel, spill, admission, "
-        "admission_budget, trace, or slow_query_micros)");
+        "admission_budget, trace, slow_query_micros, sgb_tier, or "
+        "agg_strategy)");
   }
   return AckTable("set", set.name + " = " + std::to_string(set.value));
 }
@@ -604,6 +654,12 @@ Result<Table> Database::ExecuteInsert(Session& session,
   }
   const int64_t n = static_cast<int64_t>(insert.rows.size());
   const Status status = table->Append(insert.rows);
+  if (status.ok()) {
+    // Keep the optimizer's row counts fresh: growth beyond 10% of the last
+    // ANALYZE bumps the catalog version, invalidating cached plans whose
+    // cost-model choices are now stale.
+    catalog_.AddStatsRowDelta(insert.table, insert.rows.size());
+  }
   LogSimpleStatement(session, *info, status, status.ok() ? n : 0);
   if (!status.ok()) return status;
   return AckTable("insert", "INSERT " + std::to_string(n));
@@ -616,6 +672,44 @@ Result<Table> Database::ExecuteDrop(Session& session,
   LogSimpleStatement(session, *info, status, 0);
   if (!status.ok()) return status;
   return AckTable("drop", "DROP TABLE " + drop.table);
+}
+
+Result<Table> Database::ExecuteAnalyze(Session& session,
+                                       const sql::AnalyzeStatement& analyze,
+                                       StatementInfo* info) const {
+  std::vector<std::string> names;
+  if (!analyze.table.empty()) {
+    if (catalog_.IsVirtual(analyze.table)) {
+      const Status status = Status::InvalidArgument(
+          "ANALYZE: system table '" + analyze.table +
+          "' has no statistics");
+      LogSimpleStatement(session, *info, status, 0);
+      return status;
+    }
+    names.push_back(analyze.table);
+  } else {
+    for (const std::string& name : catalog_.TableNames()) {
+      if (!catalog_.IsVirtual(name)) names.push_back(name);
+    }
+  }
+  int64_t rows = 0;
+  for (const std::string& name : names) {
+    auto table = catalog_.Get(name);
+    if (!table.ok()) {
+      LogSimpleStatement(session, *info, table.status(), 0);
+      return table.status();
+    }
+    auto stats = std::make_shared<stats::TableStats>(
+        stats::ComputeTableStats(name, *table.value()));
+    rows += static_cast<int64_t>(stats->row_count);
+    catalog_.SetStats(name, std::move(stats));
+  }
+  const Status status = Status::OK();
+  LogSimpleStatement(session, *info, status, rows);
+  return AckTable("analyze",
+                  "ANALYZE " + std::to_string(names.size()) + " table" +
+                      (names.size() == 1 ? "" : "s") + ", " +
+                      std::to_string(rows) + " rows");
 }
 
 Status Database::AdmitQuery(const SessionGovernance& gov, size_t estimate,
@@ -730,9 +824,17 @@ Result<Table> Database::RunPlan(Session& session,
   entry.plan_micros = info.plan_micros;
   entry.dop = info.dop;
   entry.tier = info.tier;
+  entry.est_rows = info.est_rows;
+  entry.strategy = info.strategy;
   const uint64_t query_id = entry.id;
 
-  const size_t estimate = root.EstimateFootprintBytes();
+  // Prefer the cost model's stats-driven footprint over the operators'
+  // coarse structural guess; without ANALYZE the plan carries no estimate
+  // and admission behaves exactly as before.
+  const auto& plan_est = root.plan_estimate();
+  const size_t estimate = plan_est.bytes >= 0
+                              ? static_cast<size_t>(plan_est.bytes)
+                              : root.EstimateFootprintBytes();
   entry.estimated_bytes = static_cast<int64_t>(estimate);
 
   const auto finish_entry = [&](Status::Code code, bool executed_ok) {

@@ -245,6 +245,9 @@ class Database {
     int64_t plan_micros = 0;
     int64_t dop = 0;
     std::string tier = "none";
+    int64_t est_rows = 0;     ///< cost-model row estimate (0 = no stats)
+    size_t est_bytes = 0;     ///< cost-model footprint estimate
+    std::string strategy;     ///< chosen SGB tier / group-by strategy
     std::chrono::steady_clock::time_point wall_start{};
     int64_t cpu_start_micros = 0;
   };
@@ -263,6 +266,13 @@ class Database {
   Result<Table> ExecuteDrop(Session& session,
                             const sql::DropTableStatement& drop,
                             StatementInfo* info) const;
+
+  /// ANALYZE [table]: scans the named table (or every stored/appendable
+  /// table) and installs fresh statistics in the catalog, bumping the
+  /// catalog version so cached plans replan against them.
+  Result<Table> ExecuteAnalyze(Session& session,
+                               const sql::AnalyzeStatement& analyze,
+                               StatementInfo* info) const;
 
   /// Admission gate: decides at plan time whether a query whose estimated
   /// footprint is `estimate` bytes may run now. Queue mode blocks until

@@ -1,6 +1,7 @@
 #include "engine/operators.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
 #include <optional>
@@ -282,10 +283,12 @@ class HashAggregateOp final : public Operator {
  public:
   HashAggregateOp(OperatorPtr child, std::vector<ExprPtr> group_exprs,
                   std::vector<Column> group_columns,
-                  std::vector<AggregateSpec> aggregates)
+                  std::vector<AggregateSpec> aggregates,
+                  size_t est_groups)
       : child_(std::move(child)),
         group_exprs_(std::move(group_exprs)),
-        aggregates_(std::move(aggregates)) {
+        aggregates_(std::move(aggregates)),
+        est_groups_(est_groups) {
     Schema s(std::move(group_columns));
     for (const AggregateSpec& a : aggregates_) {
       s.AddColumn(Column{a.output_name, AggregateOutputType(a.kind), ""});
@@ -315,6 +318,14 @@ class HashAggregateOp final : public Operator {
 
     GroupMap groups;
     std::vector<Row> key_order;  // deterministic output order
+    if (est_groups_ > 0) {
+      // Stats-predicted group count: size the table once instead of
+      // rehash-growing, and charge the predicted footprint up front so a
+      // budget breach surfaces before the build, not mid-growth.
+      groups.reserve(est_groups_);
+      key_order.reserve(est_groups_);
+      ChargeMemory(est_groups_ * PredictedGroupBytes());
+    }
 
     Row row;
     while (child_->Next(&row)) {
@@ -335,12 +346,12 @@ class HashAggregateOp final : public Operator {
     // Global aggregation emits one row even when the input was empty.
     if (group_exprs_.empty() && groups.empty()) {
       EmitGlobalDefaultRow();
-      mutable_stats().extra["groups"] = results_.size();
+      PublishGroupCount();
       return;
     }
 
     FinalizeGroups(&groups, key_order);
-    mutable_stats().extra["groups"] = results_.size();
+    PublishGroupCount();
     ChargeMemory(ApproxRowVectorBytes(key_order) +
                  ApproxRowVectorBytes(results_) +
                  key_order.size() * (sizeof(std::unique_ptr<AggregateState>) *
@@ -364,6 +375,22 @@ class HashAggregateOp final : public Operator {
     key.reserve(group_exprs_.size());
     for (const ExprPtr& e : group_exprs_) key.push_back(e->Evaluate(row));
     return key;
+  }
+
+  /// Estimated bytes one group adds to the hash table — the per-insert
+  /// delta of AddToGroups with the key at its natural capacity. Used to
+  /// pre-charge the predicted footprint when a stats estimate exists.
+  size_t PredictedGroupBytes() const {
+    return 2 * (sizeof(Row) + group_exprs_.size() * sizeof(Value)) +
+           kMapNodeBytes +
+           aggregates_.size() * (sizeof(std::unique_ptr<AggregateState>) + 48);
+  }
+
+  /// Publishes actual groups beside the plan-time estimate so estimate
+  /// drift shows up in EXPLAIN ANALYZE and system.operator_stats.
+  void PublishGroupCount() {
+    mutable_stats().extra["groups"] = results_.size();
+    if (est_groups_ > 0) mutable_stats().extra["est_groups"] = est_groups_;
   }
 
   /// Feeds `row` into its group (creating states on first sight) and
@@ -423,6 +450,7 @@ class HashAggregateOp final : public Operator {
     const SpillConfig& cfg = ctx->spill();
     GroupMap groups;
     std::vector<Row> key_order;
+    if (est_groups_ > 0) groups.reserve(est_groups_);
     size_t mem_estimate = 0;
     uint64_t next_seq = 0;
     std::unique_ptr<SpillFile> tee;       // replay log; read only on breach
@@ -465,7 +493,7 @@ class HashAggregateOp final : public Operator {
       } else {
         FinalizeGroups(&groups, key_order);
       }
-      mutable_stats().extra["groups"] = results_.size();
+      PublishGroupCount();
       ChargeMemory(ApproxRowVectorBytes(results_));
       return;
     }
@@ -478,7 +506,7 @@ class HashAggregateOp final : public Operator {
     overflow.reset();
     RestoreSpilledOrder(&results_, &result_seqs_);
     if (group_exprs_.empty() && results_.empty()) EmitGlobalDefaultRow();
-    mutable_stats().extra["groups"] = results_.size();
+    PublishGroupCount();
     results_bytes_ = ApproxRowVectorBytes(results_);
     ChargeMemory(results_bytes_);
   }
@@ -556,12 +584,138 @@ class HashAggregateOp final : public Operator {
   std::vector<ExprPtr> group_exprs_;
   std::vector<AggregateSpec> aggregates_;
   Schema schema_;
+  size_t est_groups_ = 0;  ///< stats-predicted group count (0 = unknown)
   std::vector<Row> results_;
   /// Spilled mode only: in-memory output rank of each results_ row,
   /// consumed by RestoreSpilledOrder.
   std::vector<uint64_t> result_seqs_;
   size_t next_ = 0;
   size_t results_bytes_ = 0;
+};
+
+/// Sort-based GROUP BY: materializes the input, sorts row indices by group
+/// key, aggregates adjacent runs, then emits groups in first-appearance
+/// order — bit-identical output to HashAggregateOp, so the planner's
+/// hash-vs-sort choice never changes results. Chosen by the cost model when
+/// the predicted group count approaches the row count (the hash table's
+/// per-group node overhead dominates there; a sort touches each row once
+/// with no per-group allocations).
+class SortAggregateOp final : public Operator {
+ public:
+  SortAggregateOp(OperatorPtr child, std::vector<ExprPtr> group_exprs,
+                  std::vector<Column> group_columns,
+                  std::vector<AggregateSpec> aggregates)
+      : child_(std::move(child)),
+        group_exprs_(std::move(group_exprs)),
+        aggregates_(std::move(aggregates)) {
+    Schema s(std::move(group_columns));
+    for (const AggregateSpec& a : aggregates_) {
+      s.AddColumn(Column{a.output_name, AggregateOutputType(a.kind), ""});
+    }
+    schema_ = std::move(s);
+  }
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "SortAggregate"; }
+  std::string label() const override {
+    return "SortAggregate (keys=" + std::to_string(group_exprs_.size()) +
+           ", aggs=" + std::to_string(aggregates_.size()) + ")";
+  }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+  void OpenImpl() override {
+    child_->Open();
+    results_.clear();
+    next_ = 0;
+
+    std::vector<Row> input;
+    std::vector<Row> keys;
+    Row row;
+    while (child_->Next(&row)) {
+      Row key;
+      key.reserve(group_exprs_.size());
+      for (const ExprPtr& e : group_exprs_) key.push_back(e->Evaluate(row));
+      keys.push_back(std::move(key));
+      input.push_back(std::move(row));
+    }
+    ChargeMemory(ApproxRowVectorBytes(input) + ApproxRowVectorBytes(keys));
+
+    if (group_exprs_.empty() && input.empty()) {
+      Row out;
+      for (const AggregateSpec& a : aggregates_) {
+        out.push_back(CreateAggregateState(a)->Finalize());
+      }
+      results_.push_back(std::move(out));
+      mutable_stats().extra["groups"] = results_.size();
+      return;
+    }
+
+    std::vector<size_t> order(input.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&keys](size_t a, size_t b) {
+                       const Row& ka = keys[a];
+                       const Row& kb = keys[b];
+                       for (size_t i = 0; i < ka.size(); ++i) {
+                         const int c = Value::Compare(ka[i], kb[i]);
+                         if (c != 0) return c < 0;
+                       }
+                       return false;
+                     });
+
+    // Aggregate each equal-key run; a stable sort makes the run's first
+    // element the group's earliest arrival, so sorting finished groups by
+    // that index restores first-appearance order.
+    std::vector<std::pair<size_t, Row>> finished;
+    size_t run_start = 0;
+    while (run_start < order.size()) {
+      CheckAbort();
+      size_t run_end = run_start + 1;
+      while (run_end < order.size() &&
+             RowEq{}(keys[order[run_start]], keys[order[run_end]])) {
+        ++run_end;
+      }
+      std::vector<std::unique_ptr<AggregateState>> states;
+      states.reserve(aggregates_.size());
+      for (const AggregateSpec& a : aggregates_) {
+        states.push_back(CreateAggregateState(a));
+      }
+      size_t first = order[run_start];
+      for (size_t i = run_start; i < run_end; ++i) {
+        first = std::min(first, order[i]);
+        for (auto& state : states) state->Add(input[order[i]]);
+      }
+      Row out;
+      const Row& key = keys[order[run_start]];
+      out.reserve(key.size() + aggregates_.size());
+      out.insert(out.end(), key.begin(), key.end());
+      for (auto& state : states) out.push_back(state->Finalize());
+      finished.emplace_back(first, std::move(out));
+      run_start = run_end;
+    }
+    std::sort(finished.begin(), finished.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    results_.reserve(finished.size());
+    for (auto& [first, out] : finished) results_.push_back(std::move(out));
+    mutable_stats().extra["groups"] = results_.size();
+    ChargeMemory(ApproxRowVectorBytes(input) + ApproxRowVectorBytes(keys) +
+                 ApproxRowVectorBytes(results_));
+  }
+
+  bool NextImpl(Row* out) override {
+    if (next_ >= results_.size()) return false;
+    *out = std::move(results_[next_++]);
+    return true;
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggregateSpec> aggregates_;
+  Schema schema_;
+  std::vector<Row> results_;
+  size_t next_ = 0;
 };
 
 class HashJoinOp final : public Operator {
@@ -1087,8 +1241,18 @@ OperatorPtr MakeProject(OperatorPtr child, std::vector<ExprPtr> exprs,
 OperatorPtr MakeHashAggregate(OperatorPtr child,
                               std::vector<ExprPtr> group_exprs,
                               std::vector<Column> group_columns,
-                              std::vector<AggregateSpec> aggregates) {
+                              std::vector<AggregateSpec> aggregates,
+                              size_t est_groups) {
   return std::make_unique<HashAggregateOp>(
+      std::move(child), std::move(group_exprs), std::move(group_columns),
+      std::move(aggregates), est_groups);
+}
+
+OperatorPtr MakeSortAggregate(OperatorPtr child,
+                              std::vector<ExprPtr> group_exprs,
+                              std::vector<Column> group_columns,
+                              std::vector<AggregateSpec> aggregates) {
+  return std::make_unique<SortAggregateOp>(
       std::move(child), std::move(group_exprs), std::move(group_columns),
       std::move(aggregates));
 }
@@ -1117,9 +1281,35 @@ OperatorPtr MakeLimit(OperatorPtr child, size_t limit) {
 
 namespace {
 
+/// Renders a cost-model annotation: " (est_rows=N est_bytes=… note)".
+/// Empty string when the planner had no statistics for this node.
+std::string FormatPlanEstimate(const Operator& op) {
+  const Operator::PlanEstimate& est = op.plan_estimate();
+  if (est.rows < 0 && est.bytes < 0 && est.note.empty()) return "";
+  std::string out = " (";
+  bool first = true;
+  if (est.rows >= 0) {
+    out += "est_rows=" + std::to_string(static_cast<long long>(
+                             std::llround(est.rows)));
+    first = false;
+  }
+  if (est.bytes >= 0) {
+    if (!first) out += ' ';
+    out += "est_bytes=" +
+           FormatMemoryBytes(static_cast<uint64_t>(std::llround(est.bytes)));
+    first = false;
+  }
+  if (!est.note.empty()) {
+    if (!first) out += ' ';
+    out += est.note;
+  }
+  return out + ")";
+}
+
 void ExplainRec(const Operator& op, int depth, std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
   *out += op.label();
+  *out += FormatPlanEstimate(op);
   *out += '\n';
   for (const Operator* child : op.children()) {
     ExplainRec(*child, depth + 1, out);
@@ -1156,9 +1346,17 @@ void ExplainAnalyzeRec(const Operator& op, int depth, std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
   *out += op.label();
   char buf[64];
-  std::snprintf(buf, sizeof buf, " (rows=%llu time=%.3fms",
-                static_cast<unsigned long long>(stats.rows_produced),
-                stats.TotalMillis());
+  std::snprintf(buf, sizeof buf, " (rows=%llu",
+                static_cast<unsigned long long>(stats.rows_produced));
+  *out += buf;
+  if (op.plan_estimate().rows >= 0) {
+    // Estimate beside actual: the plan-vs-actual drift EXPLAIN ANALYZE
+    // tests gate on.
+    std::snprintf(buf, sizeof buf, " est_rows=%lld",
+                  static_cast<long long>(std::llround(op.plan_estimate().rows)));
+    *out += buf;
+  }
+  std::snprintf(buf, sizeof buf, " time=%.3fms", stats.TotalMillis());
   *out += buf;
   if (stats.batches > 0) {
     std::snprintf(buf, sizeof buf, " batches=%llu batch_size=%llu",

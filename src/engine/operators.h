@@ -131,7 +131,9 @@ class Operator {
   /// bytes this subtree will hold at peak. The default sums the children
   /// (a blocking operator's state is on the order of its input); TableScan
   /// anchors the recursion with rows × row-width. Deliberately coarse —
-  /// admission only needs the right order of magnitude.
+  /// admission only needs the right order of magnitude. When the planner's
+  /// cost model annotated this node (plan_estimate().bytes >= 0), the
+  /// statistics-driven estimate wins.
   virtual size_t EstimateFootprintBytes() const {
     size_t total = 0;
     for (const Operator* child : children()) {
@@ -139,6 +141,24 @@ class Operator {
     }
     return total;
   }
+
+  /// Cost-model annotation attached by the planner when table statistics
+  /// were available. rows/bytes < 0 mean "not annotated". EXPLAIN renders
+  /// annotated nodes with est_rows=/est_bytes= (and the note, which carries
+  /// decisions like "tier=bounds reason=low-density"); EXPLAIN ANALYZE
+  /// prints est_rows beside the actual row count so estimate drift is
+  /// visible; admission control prefers the root's bytes over
+  /// EstimateFootprintBytes().
+  struct PlanEstimate {
+    double rows = -1;
+    double bytes = -1;
+    std::string note;
+  };
+
+  void set_plan_estimate(PlanEstimate estimate) {
+    plan_estimate_ = std::move(estimate);
+  }
+  const PlanEstimate& plan_estimate() const { return plan_estimate_; }
 
  protected:
   virtual void OpenImpl() = 0;
@@ -200,6 +220,7 @@ class Operator {
   OperatorStats stats_;
   QueryContext* ctx_ = nullptr;
   size_t charged_bytes_ = 0;
+  PlanEstimate plan_estimate_;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -217,7 +238,23 @@ OperatorPtr MakeProject(OperatorPtr child, std::vector<ExprPtr> exprs,
 /// Standard hash-based GROUP BY: one output row per distinct key, columns
 /// are [group exprs..., aggregates...]. With no group expressions, a single
 /// global group is emitted even for empty input (SQL semantics).
+/// `est_groups` (0 = unknown) seeds the hash table and output reservations
+/// from the stats-predicted group count so the table is sized once instead
+/// of rehash-growing; the estimate is logged as the `est_groups` operator
+/// extra beside the actual `groups`.
 OperatorPtr MakeHashAggregate(OperatorPtr child,
+                              std::vector<ExprPtr> group_exprs,
+                              std::vector<Column> group_columns,
+                              std::vector<AggregateSpec> aggregates,
+                              size_t est_groups = 0);
+
+/// Sort-based GROUP BY: sorts the input by key and aggregates adjacent
+/// runs. Output rows and their order are bit-identical to the hash
+/// aggregate (first-appearance order), so the planner can switch strategy
+/// per the hash-vs-sort cost regimes without changing results. Preferable
+/// when the predicted group count approaches the row count (the hash
+/// table's per-group overhead dominates).
+OperatorPtr MakeSortAggregate(OperatorPtr child,
                               std::vector<ExprPtr> group_exprs,
                               std::vector<Column> group_columns,
                               std::vector<AggregateSpec> aggregates);

@@ -46,7 +46,13 @@ SessionGovernance Session::GovernanceSnapshot() const {
 
 sql::PlannerOptions Session::PlannerOptionsSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return planner_options_;
+  sql::PlannerOptions options = planner_options_;
+  // Governance knobs the cost model reads: the memory headroom for
+  // hash-vs-sort regime rules, and whether spilling rules out the
+  // (non-spillable) sort aggregate.
+  options.memory_budget_bytes = governance_.memory_budget_bytes;
+  options.spill_enabled = governance_.spill_enabled;
+  return options;
 }
 
 void Session::set_timeout_ms(int64_t ms) {
@@ -60,6 +66,7 @@ int64_t Session::timeout_ms() const {
 void Session::set_memory_budget_bytes(size_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   governance_.memory_budget_bytes = bytes;
+  InvalidateCachedPlansLocked();  // the cost model reads the budget
 }
 size_t Session::memory_budget_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -68,6 +75,7 @@ size_t Session::memory_budget_bytes() const {
 void Session::set_spill_enabled(bool enabled) {
   std::lock_guard<std::mutex> lock(mu_);
   governance_.spill_enabled = enabled;
+  InvalidateCachedPlansLocked();  // rules the sort aggregate in or out
 }
 bool Session::spill_enabled() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -116,10 +124,34 @@ int64_t Session::slow_query_micros() const {
 void Session::set_default_sgb_dop(int dop) {
   std::lock_guard<std::mutex> lock(mu_);
   planner_options_.default_sgb_dop = dop;
+  InvalidateCachedPlansLocked();
 }
 int Session::default_sgb_dop() const {
   std::lock_guard<std::mutex> lock(mu_);
   return planner_options_.default_sgb_dop;
+}
+void Session::set_sgb_tier(sql::TierPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  planner_options_.sgb_tier = policy;
+  InvalidateCachedPlansLocked();
+}
+sql::TierPolicy Session::sgb_tier() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return planner_options_.sgb_tier;
+}
+void Session::set_agg_strategy(sql::AggStrategy strategy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  planner_options_.agg_strategy = strategy;
+  InvalidateCachedPlansLocked();
+}
+
+void Session::InvalidateCachedPlansLocked() {
+  cache_lru_.clear();
+  cache_index_.clear();
+}
+sql::AggStrategy Session::agg_strategy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return planner_options_.agg_strategy;
 }
 
 // ---- Plan cache -----------------------------------------------------------

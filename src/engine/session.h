@@ -51,6 +51,9 @@ struct CachedPlan {
   uint64_t catalog_version = 0;  ///< valid while Catalog::version() matches
   std::string tier = "none";
   int64_t dop = 0;
+  int64_t est_rows = 0;       ///< cost-model row estimate (0 = no stats)
+  size_t est_bytes = 0;       ///< cost-model footprint estimate
+  std::string strategy;       ///< chosen group-by strategy / SGB tier detail
 };
 
 class Session;
@@ -125,6 +128,10 @@ class Session {
   int64_t slow_query_micros() const;
   void set_default_sgb_dop(int dop);
   int default_sgb_dop() const;
+  void set_sgb_tier(sql::TierPolicy policy);
+  sql::TierPolicy sgb_tier() const;
+  void set_agg_strategy(sql::AggStrategy strategy);
+  sql::AggStrategy agg_strategy() const;
 
   // ---- Plan cache -------------------------------------------------------
 
@@ -194,6 +201,11 @@ class Session {
 
  private:
   using CacheList = std::list<std::pair<std::string, CachedPlan>>;
+
+  /// Drops every cached plan (callers hold mu_). Planner-affecting knobs
+  /// (sgb_tier, agg_strategy, parallel, memory budget, spill) call this so
+  /// a SET is never shadowed by a plan built under the old options.
+  void InvalidateCachedPlansLocked();
 
   std::shared_ptr<SessionRegistry> registry_;
   std::string peer_;

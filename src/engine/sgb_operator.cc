@@ -207,6 +207,12 @@ class SgbOperatorBase : public Operator {
       }
     }
     mutable_stats().extra["groups"] = num_groups;
+    // Cost-model prediction beside the actual, so EXPLAIN ANALYZE shows the
+    // estimator's drift per plan node (absent when ANALYZE never ran).
+    if (plan_estimate().rows >= 0) {
+      mutable_stats().extra["est_groups"] =
+          static_cast<uint64_t>(plan_estimate().rows);
+    }
 
     std::vector<std::vector<std::unique_ptr<AggregateState>>> states(
         num_groups);

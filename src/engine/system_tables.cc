@@ -4,6 +4,7 @@
 
 #include "engine/operators.h"
 #include "obs/metrics.h"
+#include "stats/table_stats.h"
 
 namespace sgb::engine {
 
@@ -82,6 +83,8 @@ Schema QueryLogSchema() {
   s.AddColumn(Column{"spill_bytes", DataType::kInt64, ""});
   s.AddColumn(Column{"dop", DataType::kInt64, ""});
   s.AddColumn(Column{"tier", DataType::kString, ""});
+  s.AddColumn(Column{"est_rows", DataType::kInt64, ""});
+  s.AddColumn(Column{"strategy", DataType::kString, ""});
   return s;
 }
 
@@ -162,6 +165,59 @@ Schema SessionsSchema() {
   return s;
 }
 
+Schema StatsSchema() {
+  Schema s;
+  s.AddColumn(Column{"table_name", DataType::kString, ""});
+  s.AddColumn(Column{"column_name", DataType::kString, ""});
+  s.AddColumn(Column{"row_count", DataType::kInt64, ""});
+  s.AddColumn(Column{"analyzed_rows", DataType::kInt64, ""});
+  s.AddColumn(Column{"avg_row_bytes", DataType::kInt64, ""});
+  s.AddColumn(Column{"null_count", DataType::kInt64, ""});
+  s.AddColumn(Column{"min", DataType::kDouble, ""});
+  s.AddColumn(Column{"max", DataType::kDouble, ""});
+  s.AddColumn(Column{"ndv", DataType::kInt64, ""});
+  s.AddColumn(Column{"grid_axis", DataType::kInt64, ""});
+  s.AddColumn(Column{"point_ndv", DataType::kInt64, ""});
+  s.AddColumn(Column{"grid_cells", DataType::kInt64, ""});
+  return s;
+}
+
+/// One row per (analyzed table, column). Table-level figures — row counts,
+/// duplicate-point NDV, occupied histogram cells — repeat on every row of
+/// their table; `grid_axis` is 1/2 on the histogram's x/y column, NULL on
+/// the rest. Tables never ANALYZEd do not appear.
+Result<TablePtr> StatsProvider(const Catalog& catalog) {
+  auto table = std::make_shared<Table>(StatsSchema());
+  for (const std::string& name : catalog.StatsNames()) {
+    const stats::TableStatsPtr ts = catalog.GetStats(name);
+    if (ts == nullptr) continue;
+    const Value point_ndv = ts->grid.has_value()
+                                ? Value::Int(static_cast<int64_t>(ts->point_ndv))
+                                : Value::Null();
+    const Value grid_cells =
+        ts->grid.has_value()
+            ? Value::Int(static_cast<int64_t>(ts->grid->OccupiedCells()))
+            : Value::Null();
+    for (size_t i = 0; i < ts->columns.size(); ++i) {
+      const stats::ColumnStats& c = ts->columns[i];
+      Value axis = Value::Null();
+      if (static_cast<int>(i) == ts->grid_col_x) axis = Value::Int(1);
+      if (static_cast<int>(i) == ts->grid_col_y) axis = Value::Int(2);
+      SGB_RETURN_IF_ERROR(table->Append(
+          Row{Value::Str(ts->table), Value::Str(c.name),
+              Value::Int(static_cast<int64_t>(ts->row_count)),
+              Value::Int(static_cast<int64_t>(ts->analyzed_rows)),
+              Value::Int(static_cast<int64_t>(ts->avg_row_bytes)),
+              Value::Int(static_cast<int64_t>(c.null_count)),
+              c.has_range ? Value::Double(c.min) : Value::Null(),
+              c.has_range ? Value::Double(c.max) : Value::Null(),
+              Value::Int(static_cast<int64_t>(c.ndv)), axis, point_ndv,
+              grid_cells}));
+    }
+  }
+  return TablePtr(std::move(table));
+}
+
 const char* AdmissionModeName(AdmissionMode mode) {
   switch (mode) {
     case AdmissionMode::kQueue:
@@ -198,7 +254,8 @@ void RegisterSystemTables(Catalog* catalog,
                   Value::Int(e.peak_memory_bytes),
                   Value::Int(e.estimated_bytes), Value::Int(e.spill_events),
                   Value::Int(e.spill_bytes), Value::Int(e.dop),
-                  Value::Str(e.tier)}));
+                  Value::Str(e.tier), Value::Int(e.est_rows),
+                  Value::Str(e.strategy)}));
         }
         return TablePtr(std::move(table));
       });
@@ -221,6 +278,8 @@ void RegisterSystemTables(Catalog* catalog,
       });
 
   catalog->RegisterProvider("system.tables", TablesProvider);
+
+  catalog->RegisterProvider("system.stats", StatsProvider);
 
   catalog->RegisterProvider(
       "system.sessions",

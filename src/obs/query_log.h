@@ -34,6 +34,8 @@ struct QueryLogEntry {
   int64_t spill_bytes = 0;
   int64_t dop = 0;           ///< SGB degree of parallelism (0 when no SGB)
   std::string tier;          ///< none|sgb-all|sgb-any|sgb-1d
+  int64_t est_rows = 0;      ///< cost-model row estimate (0 = no statistics)
+  std::string strategy;      ///< chosen SGB tier / group-by strategy ("" none)
 };
 
 /// Per-operator execution counters for one logged query; rows of the

@@ -133,6 +133,8 @@ enum class ExplainMode {
 ///   SET admission_budget = <bytes>  (admission headroom; 0 = engine limit)
 ///   SET trace = <0|1>             (capture spans into the session TraceLog)
 ///   SET slow_query_micros = <us>  (slow-query threshold; 0 disables)
+///   SET sgb_tier = auto|all_pairs|bounds|indexed  (SGB tier; auto = cost model)
+///   SET agg_strategy = auto|hash|sort  (plain GROUP BY strategy)
 struct SetStatement {
   std::string name;  ///< knob name, lower-cased by the parser
   int64_t value = 0;
@@ -164,6 +166,15 @@ struct DropTableStatement {
   bool if_exists = false;
 };
 
+/// ANALYZE [name] — full-scans the named table (or, with no name, every
+/// stored and append-only table) and stores fresh statistics in the
+/// catalog: row count, per-column min/max/NDV/null counts, and a 2-D grid
+/// density histogram over the first two numeric columns. Bumps the catalog
+/// version so cached plans re-plan against the new statistics.
+struct AnalyzeStatement {
+  std::string table;  ///< empty = all stored + append-only tables
+};
+
 /// A full parsed statement: an optional EXPLAIN [ANALYZE] or PROFILE
 /// prefix wrapping one SELECT; or a SET / CREATE TABLE / INSERT /
 /// DROP TABLE statement (exactly one of the optionals engaged, `select`
@@ -177,6 +188,7 @@ struct ParsedStatement {
   std::optional<CreateTableStatement> create;
   std::optional<InsertStatement> insert;
   std::optional<DropTableStatement> drop;
+  std::optional<AnalyzeStatement> analyze;
 };
 
 }  // namespace sgb::sql

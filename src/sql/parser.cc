@@ -81,6 +81,23 @@ class Parser {
       out.drop = std::move(drop).value();
       return FinishNonSelect(std::move(out));
     }
+    if (MatchKw("ANALYZE")) {
+      AnalyzeStatement analyze;
+      if (Peek().type == TokenType::kIdent) {
+        analyze.table = Consume().text;
+        // Qualified names (system.tables) so the executor can reject
+        // virtual tables by their catalog name rather than a parse error.
+        while (Peek().type == TokenType::kDot) {
+          Consume();
+          if (Peek().type != TokenType::kIdent) {
+            return Status::ParseError("ANALYZE: expected name after '.'");
+          }
+          analyze.table += "." + Consume().text;
+        }
+      }
+      out.analyze = std::move(analyze);
+      return FinishNonSelect(std::move(out));
+    }
     if (MatchKw("PROFILE")) {
       out.profile = true;
     } else if (MatchKw("EXPLAIN")) {

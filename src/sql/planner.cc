@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <set>
 #include <unordered_map>
 #include <utility>
 
 #include "engine/append_table.h"
 #include "engine/sgb_operator.h"
+#include "stats/table_stats.h"
 
 namespace sgb::sql {
 
@@ -69,10 +73,44 @@ void CollectAggregates(const ParsedExpr& e,
   for (const auto& arg : e.args) CollectAggregates(*arg, out);
 }
 
+// ---- cost model constants -------------------------------------------------
+//
+// Abstract work factors for the SGB tiers, in units of "one distance
+// computation" (~25ns on the reference machine). Only the ratios matter;
+// they are fitted to the measured forced-tier matrix from
+// bench/bench_planner.cc (docs/PLANNER.md, "Calibration").
+/// SGB-All All-Pairs: per candidate pair, including overlap handling.
+constexpr double kApPairCostAll = 1.0;
+/// SGB-Any All-Pairs: per candidate pair; the union-find merge is far
+/// cheaper than SGB-All's membership bookkeeping (~2ns/pair measured).
+constexpr double kApPairCostAny = 0.04;
+constexpr double kBcGroupCost = 0.12;  ///< Bounds-Checking: cheap bound test
+constexpr double kRefineCost = 1.6;    ///< per ε-close pair refined
+constexpr double kIxBuildCost = 40.0;  ///< per-point index maintenance
+constexpr double kIxProbeCost = 2.0;   ///< per-point probe × log(groups)
+/// Predicted work above which an unpinned SGB goes parallel (dop = 0).
+constexpr double kParallelWorkThreshold = 8e6;
+/// Plain GROUP BY: input rows below which sort aggregation never pays.
+constexpr double kSortAggMinRows = 1024;
+/// Fallback selectivities when statistics cannot price a predicate.
+constexpr double kDefaultCompareSel = 1.0 / 3.0;
+constexpr double kDefaultEqSel = 0.1;
+
+std::string FormatApprox(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
+}
+
+const char* MetricWord(geom::Metric m) {
+  return m == geom::Metric::kLInf ? "linf" : "l2";
+}
+
 class PlannerImpl {
  public:
-  PlannerImpl(const Catalog& catalog, const PlannerOptions& options)
-      : catalog_(catalog), options_(options) {}
+  PlannerImpl(const Catalog& catalog, const PlannerOptions& options,
+              PlanInfo* info)
+      : catalog_(catalog), options_(options), info_(info) {}
 
   Result<OperatorPtr> PlanSelect(const SelectStatement& stmt) {
     // ---- FROM + WHERE ---------------------------------------------------
@@ -106,8 +144,21 @@ class PlannerImpl {
       if (bound_count != 1) continue;
       auto bound = BindScalar(*conjuncts[c], items[bound_item]->schema());
       if (!bound.ok()) return bound.status();
+      stats::TableStatsPtr ts = StatsFor(items[bound_item].get());
+      const double in_rows = EstRows(*items[bound_item]);
+      const double in_bytes = EstBytes(*items[bound_item]);
+      double sel = -1.0;
+      if (in_rows >= 0) {
+        sel = ConjunctSelectivity(*conjuncts[c], ts.get(),
+                                  items[bound_item]->schema());
+      }
       items[bound_item] = engine::MakeFilter(std::move(items[bound_item]),
                                              std::move(bound).value());
+      if (sel >= 0) {
+        Annotate(items[bound_item].get(), in_rows * sel, in_bytes,
+                 "sel=" + FormatApprox(sel));
+        if (ts != nullptr) stats_by_op_[items[bound_item].get()] = ts;
+      }
       used[c] = true;
     }
 
@@ -124,17 +175,32 @@ class PlannerImpl {
     }
 
     ExprPtr residual;
-    for (size_t i = 0; i < conjuncts.size(); ++i) {
-      if (used[i]) continue;
-      auto bound = BindScalar(*conjuncts[i], plan->schema());
-      if (!bound.ok()) return bound.status();
-      residual = residual == nullptr
-                     ? std::move(bound).value()
-                     : engine::MakeBinary(BinaryOp::kAnd, std::move(residual),
-                                          std::move(bound).value());
+    double residual_sel = 1.0;
+    {
+      stats::TableStatsPtr ts = StatsFor(plan.get());
+      for (size_t i = 0; i < conjuncts.size(); ++i) {
+        if (used[i]) continue;
+        residual_sel *=
+            ConjunctSelectivity(*conjuncts[i], ts.get(), plan->schema());
+        auto bound = BindScalar(*conjuncts[i], plan->schema());
+        if (!bound.ok()) return bound.status();
+        residual = residual == nullptr
+                       ? std::move(bound).value()
+                       : engine::MakeBinary(BinaryOp::kAnd,
+                                            std::move(residual),
+                                            std::move(bound).value());
+      }
     }
     if (residual != nullptr) {
+      stats::TableStatsPtr ts = StatsFor(plan.get());
+      const double in_rows = EstRows(*plan);
+      const double in_bytes = EstBytes(*plan);
       plan = engine::MakeFilter(std::move(plan), std::move(residual));
+      if (in_rows >= 0) {
+        Annotate(plan.get(), in_rows * residual_sel, in_bytes,
+                 "sel=" + FormatApprox(residual_sel));
+        if (ts != nullptr) stats_by_op_[plan.get()] = ts;
+      }
     }
 
     // ---- grouping / aggregation -----------------------------------------
@@ -167,19 +233,31 @@ class PlannerImpl {
     if (ref.subquery != nullptr) {
       auto sub = PlanSelect(*ref.subquery);
       if (!sub.ok()) return sub.status();
-      return OperatorPtr(
-          std::make_unique<RenameOp>(std::move(sub).value(), ref.alias));
+      OperatorPtr renamed =
+          std::make_unique<RenameOp>(std::move(sub).value(), ref.alias);
+      Inherit(renamed);
+      return renamed;
     }
     const std::string qualifier =
         ref.alias.empty() ? ref.table_name : ref.alias;
     // Append-only tables scan through a pinned snapshot instead of a
     // materialized copy, so readers never block (or copy) writers.
+    OperatorPtr scan;
     if (auto appendable = catalog_.FindAppendable(ref.table_name)) {
-      return engine::MakeAppendScan(std::move(appendable), qualifier);
+      scan = engine::MakeAppendScan(std::move(appendable), qualifier);
+    } else {
+      auto table = catalog_.Get(ref.table_name);
+      if (!table.ok()) return table.status();
+      scan = engine::MakeTableScan(std::move(table).value(), qualifier);
     }
-    auto table = catalog_.Get(ref.table_name);
-    if (!table.ok()) return table.status();
-    return engine::MakeTableScan(std::move(table).value(), qualifier);
+    if (stats::TableStatsPtr ts = catalog_.GetStats(ref.table_name)) {
+      const double rows = static_cast<double>(ts->row_count);
+      Annotate(scan.get(), rows,
+               rows * static_cast<double>(ts->avg_row_bytes), "analyzed");
+      stats_by_op_[scan.get()] = ts;
+      info_->used_stats = true;
+    }
+    return scan;
   }
 
   static void SplitConjuncts(const ParsedExpr& e,
@@ -197,6 +275,10 @@ class PlannerImpl {
   Result<OperatorPtr> JoinItem(OperatorPtr left, OperatorPtr right,
                                const std::vector<const ParsedExpr*>& conjuncts,
                                std::vector<bool>* used) {
+    const double left_rows = EstRows(*left);
+    const double left_bytes = EstBytes(*left);
+    const double right_rows = EstRows(*right);
+    const double right_bytes = EstBytes(*right);
     std::vector<ExprPtr> left_keys;
     std::vector<ExprPtr> right_keys;
     for (size_t i = 0; i < conjuncts.size(); ++i) {
@@ -224,12 +306,204 @@ class PlannerImpl {
       }
     }
     if (!left_keys.empty()) {
-      return engine::MakeHashJoin(std::move(left), std::move(right),
-                                  std::move(left_keys),
-                                  std::move(right_keys));
+      OperatorPtr join = engine::MakeHashJoin(std::move(left),
+                                              std::move(right),
+                                              std::move(left_keys),
+                                              std::move(right_keys));
+      if (left_rows >= 0 && right_rows >= 0) {
+        // Equi-join on a key-ish column: output near the larger input; the
+        // build side is held twice (rows + hash table).
+        Annotate(join.get(), std::max(left_rows, right_rows),
+                 std::max(0.0, left_bytes) + std::max(0.0, right_bytes) * 2);
+      }
+      return join;
     }
-    return engine::MakeNestedLoopJoin(std::move(left), std::move(right),
-                                      nullptr);
+    OperatorPtr join = engine::MakeNestedLoopJoin(std::move(left),
+                                                  std::move(right), nullptr);
+    if (left_rows >= 0 && right_rows >= 0) {
+      Annotate(join.get(), left_rows * right_rows,
+               std::max(0.0, left_bytes) + std::max(0.0, right_bytes));
+    }
+    return join;
+  }
+
+  // ---- cost model ---------------------------------------------------------
+
+  static void Annotate(Operator* op, double rows, double bytes,
+                       std::string note = std::string()) {
+    Operator::PlanEstimate est;
+    est.rows = rows;
+    est.bytes = bytes;
+    est.note = std::move(note);
+    op->set_plan_estimate(std::move(est));
+  }
+
+  static double EstRows(const Operator& op) {
+    return op.plan_estimate().rows;
+  }
+  static double EstBytes(const Operator& op) {
+    return op.plan_estimate().bytes;
+  }
+
+  stats::TableStatsPtr StatsFor(const Operator* op) const {
+    const auto it = stats_by_op_.find(op);
+    return it == stats_by_op_.end() ? nullptr : it->second;
+  }
+
+  /// Copies the first child's row/byte estimate onto a pass-through
+  /// operator (Project, Rename, Sort).
+  static void Inherit(const OperatorPtr& op) {
+    const auto kids = op->children();
+    if (kids.empty()) return;
+    const Operator::PlanEstimate& child = kids[0]->plan_estimate();
+    if (child.rows < 0 && child.bytes < 0) return;
+    Annotate(op.get(), child.rows, child.bytes);
+  }
+
+  /// Maps a parsed column reference to its ANALYZE statistics. When the
+  /// operator's schema still matches the base table column-for-column the
+  /// resolved index is authoritative; otherwise fall back to name lookup.
+  const stats::ColumnStats* ResolveColumnStats(const ParsedExpr& col,
+                                               const stats::TableStats* ts,
+                                               const Schema& schema) const {
+    if (ts == nullptr || col.kind != ParsedExpr::Kind::kColumn) {
+      return nullptr;
+    }
+    const Schema::Lookup lookup = schema.Find(col.qualifier, col.name);
+    if (lookup.outcome == Schema::LookupOutcome::kFound &&
+        schema.size() == ts->columns.size() &&
+        lookup.index < ts->columns.size()) {
+      return &ts->columns[lookup.index];
+    }
+    return ts->FindColumn(col.name);
+  }
+
+  double EqualitySelectivity(const ParsedExpr& col,
+                             const stats::TableStats* ts,
+                             const Schema& schema) const {
+    const stats::ColumnStats* cs = ResolveColumnStats(col, ts, schema);
+    if (cs == nullptr || cs->ndv == 0) return kDefaultEqSel;
+    return 1.0 / static_cast<double>(cs->ndv);
+  }
+
+  /// Fraction of input rows a WHERE conjunct keeps. Statistics-driven for
+  /// column-vs-literal predicates (1/ndv for equality, min/max range
+  /// fraction for comparisons); textbook defaults otherwise.
+  double ConjunctSelectivity(const ParsedExpr& e, const stats::TableStats* ts,
+                             const Schema& schema) const {
+    using Kind = ParsedExpr::Kind;
+    if (e.kind == Kind::kNot && e.left != nullptr) {
+      return std::clamp(1.0 - ConjunctSelectivity(*e.left, ts, schema),
+                        0.001, 1.0);
+    }
+    if (e.kind == Kind::kInList && e.left != nullptr) {
+      const double per = EqualitySelectivity(*e.left, ts, schema);
+      return std::clamp(per * static_cast<double>(e.args.size()), 0.0, 1.0);
+    }
+    if (e.kind != Kind::kBinary) return kDefaultCompareSel;
+    if (e.op == BinaryOp::kAnd) {
+      return ConjunctSelectivity(*e.left, ts, schema) *
+             ConjunctSelectivity(*e.right, ts, schema);
+    }
+    if (e.op == BinaryOp::kOr) {
+      const double a = ConjunctSelectivity(*e.left, ts, schema);
+      const double b = ConjunctSelectivity(*e.right, ts, schema);
+      return std::clamp(a + b - a * b, 0.0, 1.0);
+    }
+    const ParsedExpr* col = nullptr;
+    const ParsedExpr* lit = nullptr;
+    bool flipped = false;
+    if (e.left->kind == Kind::kColumn && e.right->kind == Kind::kLiteral) {
+      col = e.left.get();
+      lit = e.right.get();
+    } else if (e.right->kind == Kind::kColumn &&
+               e.left->kind == Kind::kLiteral) {
+      col = e.right.get();
+      lit = e.left.get();
+      flipped = true;
+    }
+    switch (e.op) {
+      case BinaryOp::kEq:
+        return col != nullptr ? EqualitySelectivity(*col, ts, schema)
+                              : kDefaultEqSel;
+      case BinaryOp::kNe:
+        return std::clamp(
+            1.0 - (col != nullptr ? EqualitySelectivity(*col, ts, schema)
+                                  : kDefaultEqSel),
+            0.0, 1.0);
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe: {
+        const stats::ColumnStats* cs =
+            col != nullptr ? ResolveColumnStats(*col, ts, schema) : nullptr;
+        if (cs == nullptr || !cs->has_range || lit == nullptr ||
+            !lit->literal.IsNumeric() || cs->max <= cs->min) {
+          return kDefaultCompareSel;
+        }
+        double frac =
+            (lit->literal.ToDouble() - cs->min) / (cs->max - cs->min);
+        frac = std::clamp(frac, 0.0, 1.0);
+        bool keep_below = e.op == BinaryOp::kLt || e.op == BinaryOp::kLe;
+        if (flipped) keep_below = !keep_below;  // 5 < x  ==  x > 5
+        return std::clamp(keep_below ? frac : 1.0 - frac, 0.001, 1.0);
+      }
+      default:
+        return kDefaultCompareSel;
+    }
+  }
+
+  /// Narrows the similarity operator's input to the columns the GROUP BY
+  /// and aggregate arguments actually touch. Only fires over a single
+  /// analyzed table (StatsFor chain intact) where every reference resolves
+  /// unambiguously; binding happens after, against the projected schema.
+  OperatorPtr TryPushProjection(const SelectStatement& stmt,
+                                const std::vector<const ParsedExpr*>& agg_calls,
+                                OperatorPtr plan) {
+    stats::TableStatsPtr ts = StatsFor(plan.get());
+    if (ts == nullptr) return plan;
+    const Schema& schema = plan->schema();
+    std::vector<const ParsedExpr*> stack;
+    for (const ParsedExprPtr& g : stmt.group_by) stack.push_back(g.get());
+    for (const ParsedExpr* call : agg_calls) {
+      for (const auto& arg : call->args) stack.push_back(arg.get());
+    }
+    std::set<size_t> needed;
+    while (!stack.empty()) {
+      const ParsedExpr* e = stack.back();
+      stack.pop_back();
+      if (e->kind == ParsedExpr::Kind::kColumn) {
+        const Schema::Lookup lookup = schema.Find(e->qualifier, e->name);
+        if (lookup.outcome != Schema::LookupOutcome::kFound) return plan;
+        needed.insert(lookup.index);
+        continue;
+      }
+      if (e->kind == ParsedExpr::Kind::kInSubquery) return plan;
+      if (e->left != nullptr) stack.push_back(e->left.get());
+      if (e->right != nullptr) stack.push_back(e->right.get());
+      for (const auto& arg : e->args) stack.push_back(arg.get());
+    }
+    if (needed.empty() || needed.size() >= schema.size()) return plan;
+    std::vector<ExprPtr> exprs;
+    std::vector<Column> columns;
+    for (size_t idx : needed) {
+      exprs.push_back(engine::MakeColumnRef(
+          idx, "#" + std::to_string(idx) + "(" + schema.column(idx).name +
+                   ")"));
+      columns.push_back(schema.column(idx));
+    }
+    const double rows = EstRows(*plan);
+    const double bytes = EstBytes(*plan);
+    const double keep =
+        static_cast<double>(columns.size()) / static_cast<double>(schema.size());
+    OperatorPtr proj = engine::MakeProject(std::move(plan), std::move(exprs),
+                                           std::move(columns));
+    if (rows >= 0) {
+      Annotate(proj.get(), rows, bytes >= 0 ? bytes * keep : bytes,
+               "pushdown");
+    }
+    stats_by_op_[proj.get()] = ts;
+    return proj;
   }
 
   // ---- scalar binding ---------------------------------------------------
@@ -351,6 +625,7 @@ class PlannerImpl {
       }
       plan = engine::MakeProject(std::move(plan), std::move(exprs),
                                  std::move(columns));
+      Inherit(plan);
     }
     return FinishOrderLimit(stmt, std::move(plan));
   }
@@ -360,6 +635,9 @@ class PlannerImpl {
   Result<OperatorPtr> FinishGroupedQuery(
       const SelectStatement& stmt, OperatorPtr plan,
       const std::vector<const ParsedExpr*>& agg_calls) {
+    if (stmt.similarity.kind != SimilarityClause::Kind::kNone) {
+      plan = TryPushProjection(stmt, agg_calls, std::move(plan));
+    }
     const Schema child_schema = plan->schema();
 
     // Bind group expressions and remember their canonical bound text for
@@ -433,10 +711,9 @@ class PlannerImpl {
         group_columns.push_back(Column{name, DataType::kNull, ""});
       }
       agg_col_offset = group_exprs.size();
-      plan = engine::MakeHashAggregate(std::move(plan),
-                                       std::move(group_exprs),
-                                       std::move(group_columns),
-                                       std::move(specs));
+      plan = BuildPlainAggregate(stmt, std::move(plan),
+                                 std::move(group_exprs),
+                                 std::move(group_columns), std::move(specs));
     }
 
     // Post-grouping contexts (SELECT list, HAVING, ORDER BY) are rebound
@@ -445,9 +722,15 @@ class PlannerImpl {
                          agg_col_offset, similarity, plan->schema()};
 
     if (stmt.having != nullptr) {
+      const double in_rows = EstRows(*plan);
+      const double in_bytes = EstBytes(*plan);
       auto bound = RebindPostGroup(*stmt.having, ctx);
       if (!bound.ok()) return bound.status();
       plan = engine::MakeFilter(std::move(plan), std::move(bound).value());
+      if (in_rows >= 0) {
+        Annotate(plan.get(), in_rows * kDefaultCompareSel, in_bytes,
+                 "sel=" + FormatApprox(kDefaultCompareSel));
+      }
     }
 
     std::vector<ExprPtr> exprs;
@@ -462,7 +745,102 @@ class PlannerImpl {
     }
     plan = engine::MakeProject(std::move(plan), std::move(exprs),
                                std::move(columns));
+    Inherit(plan);
     return FinishOrderLimit(stmt, std::move(plan));
+  }
+
+  /// Plain GROUP BY: picks hash vs sort aggregation and seeds the hash
+  /// table with the predicted group count. Calibration (docs/PLANNER.md)
+  /// measured hash faster than sort up to 1M all-distinct keys on the
+  /// reference machine, so auto treats sort purely as the bounded-memory
+  /// strategy: it is chosen only when nearly every row opens a fresh group
+  /// AND the predicted hash table would crowd the session memory budget.
+  /// The sort aggregate cannot spill, so auto never picks it for
+  /// spill-enabled statements.
+  OperatorPtr BuildPlainAggregate(const SelectStatement& stmt,
+                                  OperatorPtr plan,
+                                  std::vector<ExprPtr> group_exprs,
+                                  std::vector<Column> group_columns,
+                                  std::vector<AggregateSpec> specs) {
+    stats::TableStatsPtr ts = StatsFor(plan.get());
+    const double in_rows = EstRows(*plan);
+    const double in_bytes = EstBytes(*plan);
+    size_t est_groups = 0;
+    if (ts != nullptr && in_rows >= 0) {
+      double g = 1.0;
+      for (const ParsedExprPtr& gexpr : stmt.group_by) {
+        double ndv = std::sqrt(std::max(0.0, in_rows));
+        const stats::ColumnStats* cs =
+            ResolveColumnStats(*gexpr, ts.get(), plan->schema());
+        if (cs != nullptr && cs->ndv > 0) {
+          ndv = static_cast<double>(cs->ndv);
+        }
+        g *= std::max(1.0, ndv);
+      }
+      est_groups = static_cast<size_t>(
+          std::clamp(g, 1.0, std::max(1.0, in_rows)));
+    }
+
+    bool use_sort = false;
+    std::string reason;
+    switch (options_.agg_strategy) {
+      case AggStrategy::kHash:
+        reason = "agg_strategy=hash (forced)";
+        break;
+      case AggStrategy::kSort:
+        use_sort = true;
+        reason = "agg_strategy=sort (forced)";
+        break;
+      case AggStrategy::kAuto: {
+        const double hash_bytes = static_cast<double>(est_groups) * 128.0;
+        const bool budget_pressure =
+            options_.memory_budget_bytes > 0 &&
+            hash_bytes >
+                0.5 * static_cast<double>(options_.memory_budget_bytes);
+        if (est_groups > 0 && in_rows > kSortAggMinRows &&
+            static_cast<double>(est_groups) > 0.5 * in_rows &&
+            budget_pressure && !options_.spill_enabled) {
+          use_sort = true;
+          reason = "cost model: est " +
+                   FormatApprox(static_cast<double>(est_groups)) +
+                   " groups' hash table would crowd the " +
+                   FormatApprox(
+                       static_cast<double>(options_.memory_budget_bytes)) +
+                   "-byte memory budget";
+        } else if (est_groups > 0) {
+          reason = "cost model: est " +
+                   FormatApprox(static_cast<double>(est_groups)) +
+                   " groups over " + FormatApprox(in_rows) + " rows";
+        } else {
+          reason = "no statistics: hash default";
+        }
+        break;
+      }
+    }
+    if (info_->strategy.empty()) {
+      info_->strategy = use_sort ? "sort" : "hash";
+      if (info_->reason.empty()) info_->reason = reason;
+    }
+
+    OperatorPtr op =
+        use_sort ? engine::MakeSortAggregate(std::move(plan),
+                                             std::move(group_exprs),
+                                             std::move(group_columns),
+                                             std::move(specs))
+                 : engine::MakeHashAggregate(std::move(plan),
+                                             std::move(group_exprs),
+                                             std::move(group_columns),
+                                             std::move(specs), est_groups);
+    if (est_groups > 0) {
+      Annotate(op.get(), static_cast<double>(est_groups),
+               std::max(0.0, in_bytes) +
+                   static_cast<double>(est_groups) * 128.0,
+               std::string("strategy=") + (use_sort ? "sort" : "hash"));
+    } else {
+      Annotate(op.get(), -1.0, -1.0,
+               std::string("strategy=") + (use_sort ? "sort" : "hash"));
+    }
+    return op;
   }
 
   static bool EqualsCiCount(const std::string& name) {
@@ -484,39 +862,156 @@ class PlannerImpl {
               "DISTANCE-TO-ALL/ANY requires two or three GROUP BY "
               "expressions");
         }
+        if (!(sim.epsilon >= 0.0)) {
+          return Status::BindError("WITHIN threshold must be >= 0");
+        }
         // The query's PARALLEL clause wins over the session default.
-        const int dop = sim.dop.value_or(options_.default_sgb_dop);
+        int dop = sim.dop.value_or(options_.default_sgb_dop);
         if (dop < 0) {
           return Status::BindError(
               "PARALLEL degree must be >= 0 (0 = auto)");
         }
+
+        // ---- ε-selectivity estimates ----------------------------------
+        stats::TableStatsPtr ts = StatsFor(plan.get());
+        const double in_rows = EstRows(*plan);
+        const double in_bytes = EstBytes(*plan);
+        const bool is_all = sim.kind == SimilarityClause::Kind::kAll;
+        const std::string metric = MetricWord(sim.metric);
+        double n = -1.0;
+        double pairs = -1.0;
+        double groups = -1.0;
+        double cost_ap = -1.0;
+        double cost_bc = -1.0;
+        double cost_ix = -1.0;
+        if (ts != nullptr && ts->row_count > 0) {
+          const double sel =
+              in_rows >= 0
+                  ? std::clamp(
+                        in_rows / static_cast<double>(ts->row_count), 0.0,
+                        1.0)
+                  : 1.0;
+          n = in_rows >= 0 ? in_rows : static_cast<double>(ts->row_count);
+          pairs = ts->EstimateEpsilonPairs(sim.epsilon, metric, sel);
+          groups = ts->EstimateEpsilonGroups(
+              sim.epsilon, metric, sel,
+              /*transitive=*/sim.kind == SimilarityClause::Kind::kAny);
+          const double g = std::max(1.0, groups);
+          const double p = std::max(0.0, pairs);
+          cost_ap = (is_all ? kApPairCostAll : kApPairCostAny) * n * n;
+          cost_bc = kBcGroupCost * n * g + kRefineCost * p;
+          cost_ix = kIxBuildCost * n +
+                    kIxProbeCost * n * std::log2(g + 2.0) +
+                    kRefineCost * p;
+        }
+
+        // ---- tier selection -------------------------------------------
+        enum Tier { kTierAllPairs, kTierBounds, kTierIndexed };
+        Tier tier = kTierIndexed;
+        std::string reason;
+        switch (options_.sgb_tier) {
+          case TierPolicy::kAllPairs:
+            tier = kTierAllPairs;
+            reason = "sgb_tier=all_pairs (forced)";
+            break;
+          case TierPolicy::kBounds:
+            tier = is_all ? kTierBounds : kTierIndexed;
+            reason = is_all ? "sgb_tier=bounds (forced)"
+                            : "sgb_tier=bounds (forced; SGB-Any has no "
+                              "bounds tier, using indexed)";
+            break;
+          case TierPolicy::kIndexed:
+            tier = kTierIndexed;
+            reason = "sgb_tier=indexed (forced)";
+            break;
+          case TierPolicy::kAuto: {
+            if (n < 0) {
+              reason = "no statistics: indexed default";
+              break;
+            }
+            tier = kTierIndexed;
+            double best = cost_ix;
+            if (is_all && cost_bc < best) {
+              tier = kTierBounds;
+              best = cost_bc;
+            }
+            if (cost_ap < best) {
+              tier = kTierAllPairs;
+            }
+            reason = "cost model: n=" + FormatApprox(n) +
+                     " pairs=" + FormatApprox(std::max(0.0, pairs)) +
+                     " groups=" + FormatApprox(std::max(1.0, groups)) +
+                     " cost(ap)=" + FormatApprox(cost_ap) +
+                     (is_all ? " cost(bc)=" + FormatApprox(cost_bc) : "") +
+                     " cost(ix)=" + FormatApprox(cost_ix);
+            break;
+          }
+        }
+        const double work = tier == kTierAllPairs   ? cost_ap
+                            : tier == kTierBounds   ? cost_bc
+                                                    : cost_ix;
+
+        // ---- dop selection --------------------------------------------
+        // Only when neither the query (PARALLEL) nor the session
+        // (SET parallel) pinned a degree; results are identical at any
+        // dop, so this is purely a throughput decision.
+        bool auto_dop = false;
+        if (!sim.dop.has_value() && options_.default_sgb_dop == 1 &&
+            work > kParallelWorkThreshold) {
+          dop = 0;  // one worker per hardware thread
+          auto_dop = true;
+        }
+
         engine::SgbMode mode;
-        if (sim.kind == SimilarityClause::Kind::kAll) {
+        if (is_all) {
           core::SgbAllOptions options;
           options.epsilon = sim.epsilon;
           options.metric = sim.metric;
           options.on_overlap = sim.on_overlap;
           options.degree_of_parallelism = dop;
+          options.algorithm = tier == kTierAllPairs
+                                  ? core::SgbAllAlgorithm::kAllPairs
+                              : tier == kTierBounds
+                                  ? core::SgbAllAlgorithm::kBoundsChecking
+                                  : core::SgbAllAlgorithm::kIndexed;
           mode = options;
         } else {
           core::SgbAnyOptions options;
           options.epsilon = sim.epsilon;
           options.metric = sim.metric;
           options.degree_of_parallelism = dop;
+          options.algorithm = tier == kTierAllPairs
+                                  ? core::SgbAnyAlgorithm::kAllPairs
+                                  : core::SgbAnyAlgorithm::kIndexed;
           mode = options;
         }
-        if (!(sim.epsilon >= 0.0)) {
-          return Status::BindError("WITHIN threshold must be >= 0");
-        }
+        OperatorPtr op;
         if (group_exprs.size() == 3) {
-          return engine::MakeSimilarityGroupBy3d(
+          op = engine::MakeSimilarityGroupBy3d(
               std::move(plan), std::move(group_exprs[0]),
               std::move(group_exprs[1]), std::move(group_exprs[2]),
               std::move(mode), std::move(specs));
+        } else {
+          op = engine::MakeSimilarityGroupBy(
+              std::move(plan), std::move(group_exprs[0]),
+              std::move(group_exprs[1]), std::move(mode), std::move(specs));
         }
-        return engine::MakeSimilarityGroupBy(
-            std::move(plan), std::move(group_exprs[0]),
-            std::move(group_exprs[1]), std::move(mode), std::move(specs));
+        const char* tier_word = tier == kTierAllPairs ? "all-pairs"
+                                : tier == kTierBounds ? "bounds"
+                                                      : "indexed";
+        if (n >= 0) {
+          Annotate(op.get(), std::max(1.0, groups),
+                   std::max(0.0, in_bytes) + n * 96.0,
+                   std::string("tier=") + tier_word +
+                       (auto_dop ? " dop=auto" : "") +
+                       " est_pairs=" + FormatApprox(std::max(0.0, pairs)));
+        } else {
+          Annotate(op.get(), -1.0, -1.0, std::string("tier=") + tier_word);
+        }
+        info_->tier = tier_word;
+        info_->reason = reason;
+        info_->chosen_dop = dop;
+        return op;
       }
       case SimilarityClause::Kind::kUnsupervised:
       case SimilarityClause::Kind::kAround:
@@ -689,15 +1184,28 @@ class PlannerImpl {
         keys.push_back(std::move(key));
       }
       plan = engine::MakeSort(std::move(plan), std::move(keys));
+      Inherit(plan);
     }
     if (stmt.limit.has_value()) {
+      const double in_rows = EstRows(*plan);
+      const double in_bytes = EstBytes(*plan);
       plan = engine::MakeLimit(std::move(plan), *stmt.limit);
+      if (in_rows >= 0) {
+        Annotate(plan.get(),
+                 std::min(in_rows, static_cast<double>(*stmt.limit)),
+                 in_bytes);
+      }
     }
     return plan;
   }
 
   const Catalog& catalog_;
   const PlannerOptions options_;
+  PlanInfo* const info_;
+  /// Base-table statistics still visible at an operator's output: scans,
+  /// then filters/projections over a single analyzed table. Joins and
+  /// aggregates break the chain.
+  std::unordered_map<const Operator*, stats::TableStatsPtr> stats_by_op_;
 };
 
 }  // namespace
@@ -710,8 +1218,47 @@ Result<OperatorPtr> PlanQuery(const Catalog& catalog,
 Result<OperatorPtr> PlanQuery(const Catalog& catalog,
                               const SelectStatement& stmt,
                               const PlannerOptions& options) {
-  PlannerImpl planner(catalog, options);
-  return planner.PlanSelect(stmt);
+  return PlanQuery(catalog, stmt, options, nullptr);
+}
+
+Result<OperatorPtr> PlanQuery(const Catalog& catalog,
+                              const SelectStatement& stmt,
+                              const PlannerOptions& options, PlanInfo* info) {
+  PlanInfo local;
+  PlannerImpl planner(catalog, options, info != nullptr ? info : &local);
+  auto plan = planner.PlanSelect(stmt);
+  if (plan.ok() && info != nullptr) {
+    const engine::Operator::PlanEstimate& est = plan.value()->plan_estimate();
+    if (est.rows >= 0) info->est_rows = est.rows;
+    if (est.bytes >= 0) info->est_bytes = est.bytes;
+  }
+  return plan;
+}
+
+const char* ToString(TierPolicy policy) {
+  switch (policy) {
+    case TierPolicy::kAuto:
+      return "auto";
+    case TierPolicy::kAllPairs:
+      return "all_pairs";
+    case TierPolicy::kBounds:
+      return "bounds";
+    case TierPolicy::kIndexed:
+      return "indexed";
+  }
+  return "auto";
+}
+
+const char* ToString(AggStrategy strategy) {
+  switch (strategy) {
+    case AggStrategy::kAuto:
+      return "auto";
+    case AggStrategy::kHash:
+      return "hash";
+    case AggStrategy::kSort:
+      return "sort";
+  }
+  return "auto";
 }
 
 }  // namespace sgb::sql

@@ -21,14 +21,55 @@ namespace sgb::sql {
 ///  * DISTANCE-TO-ALL / DISTANCE-TO-ANY require exactly two GROUP BY
 ///    expressions; the 1-D clauses require exactly one.
 ///
+/// SGB tier policy (SET sgb_tier). kAuto consults the cost model when the
+/// scanned table has statistics and falls back to the historical default
+/// (Indexed) otherwise; the other values force a tier. SGB-Any has no
+/// bounds-checking tier, so kBounds maps to Indexed there.
+enum class TierPolicy {
+  kAuto,
+  kAllPairs,
+  kBounds,
+  kIndexed,
+};
+
+/// Plain GROUP BY strategy (SET agg_strategy). kAuto uses the cost model's
+/// hash-vs-sort regime rules when statistics exist, hash otherwise.
+enum class AggStrategy {
+  kAuto,
+  kHash,
+  kSort,
+};
+
 /// Session-level planning knobs.
 struct PlannerOptions {
   /// Degree of parallelism given to SGB operators when the query carries no
   /// PARALLEL clause: 1 = serial (default), k > 1 = up to k workers,
   /// 0 = auto (one worker per hardware thread). A PARALLEL clause on the
-  /// query always wins. Results are identical at every setting
-  /// (docs/PARALLELISM.md).
+  /// query always wins; with neither, the cost model may raise the dop for
+  /// predictably large similarity workloads. Results are identical at every
+  /// setting (docs/PARALLELISM.md).
   int default_sgb_dop = 1;
+  TierPolicy sgb_tier = TierPolicy::kAuto;
+  AggStrategy agg_strategy = AggStrategy::kAuto;
+  /// Memory headroom the hash-vs-sort regime rules compare hash-table
+  /// footprints against (the statement's budget; 0 = unbounded).
+  size_t memory_budget_bytes = 0;
+  /// Whether the statement may spill. The sort aggregate cannot spill, so
+  /// the auto strategy never picks it when spilling is on.
+  bool spill_enabled = false;
+};
+
+/// What the cost model decided for one planned statement: the executor
+/// copies this into the query log and the admission controller uses the
+/// byte estimate. Zero/empty fields mean "no statistics were available".
+struct PlanInfo {
+  double est_rows = 0;     ///< estimated rows out of the plan root
+  double est_bytes = 0;    ///< estimated peak operator footprint
+  std::string tier;        ///< chosen SGB tier ("" when the plan has no SGB)
+  std::string strategy;    ///< "hash" | "sort" for plain GROUP BY, "" else
+  std::string reason;      ///< one-line justification of the choice
+  int chosen_dop = 0;      ///< dop the SGB operator actually got
+  bool used_stats = false; ///< estimates derived from ANALYZE statistics
 };
 
 /// Errors: BindError / NotSupported with context.
@@ -38,6 +79,14 @@ Result<engine::OperatorPtr> PlanQuery(const engine::Catalog& catalog,
 Result<engine::OperatorPtr> PlanQuery(const engine::Catalog& catalog,
                                       const SelectStatement& stmt,
                                       const PlannerOptions& options);
+
+Result<engine::OperatorPtr> PlanQuery(const engine::Catalog& catalog,
+                                      const SelectStatement& stmt,
+                                      const PlannerOptions& options,
+                                      PlanInfo* info);
+
+const char* ToString(TierPolicy policy);
+const char* ToString(AggStrategy strategy);
 
 }  // namespace sgb::sql
 

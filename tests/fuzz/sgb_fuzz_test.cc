@@ -387,6 +387,62 @@ TEST(SgbFuzzTest, SpilledExecutionMatchesInMemoryOracle) {
   EXPECT_GT(spilled_cases, 0u);
 }
 
+// The cost-model dimension of the differential harness: tier selection is
+// a pure performance decision, so whatever tier the planner's cost model
+// picks from ANALYZE statistics, the grouping must stay bit-identical to
+// the forced All-Pairs reference (docs/PLANNER.md).
+TEST(SgbFuzzTest, AutoChosenTiersMatchForcedAllPairs) {
+  using engine::Column;
+  using engine::Database;
+  using engine::DataType;
+  using engine::Schema;
+  using engine::Table;
+  using engine::Value;
+
+  Rng rng(FuzzSeed() ^ 0xC057);
+  const size_t cases = std::max<size_t>(FuzzCases() / 8, 8);
+  for (size_t c = 0; c < cases; ++c) {
+    CaseConfig config = DrawConfig(rng);
+    if (config.kind == PointKind::kNonFinite) config.kind = PointKind::kUniform;
+    const size_t n = 20 + rng.NextBounded(100);
+    const auto pts = GeneratePoints(rng, config.kind, n);
+    SCOPED_TRACE("case " + std::to_string(c) + ": " + config.ToText() +
+                 " n=" + std::to_string(n));
+
+    Database db;
+    auto table = std::make_shared<Table>(Schema({
+        Column{"x", DataType::kDouble, ""},
+        Column{"y", DataType::kDouble, ""},
+    }));
+    for (const Point& p : pts) {
+      ASSERT_TRUE(
+          table->Append({Value::Double(p.x), Value::Double(p.y)}).ok());
+    }
+    db.Register("pts", table);
+    ASSERT_TRUE(db.Query("ANALYZE pts").ok());
+
+    const bool any = rng.NextBounded(2) == 0;
+    char sql[256];
+    std::snprintf(sql, sizeof(sql),
+                  "SELECT group_id, count(*) FROM pts GROUP BY x, y "
+                  "DISTANCE-TO-%s %s WITHIN %.17g",
+                  any ? "ANY" : "ALL",
+                  config.metric == Metric::kL2 ? "L2" : "LINF",
+                  config.epsilon);
+
+    ASSERT_TRUE(db.Query("SET sgb_tier = all_pairs").ok());
+    auto reference = db.Query(sql);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    const std::string want = engine::WriteCsvToString(reference.value());
+
+    ASSERT_TRUE(db.Query("SET sgb_tier = auto").ok());
+    auto chosen = db.Query(sql);
+    ASSERT_TRUE(chosen.ok()) << chosen.status().ToString();
+    EXPECT_EQ(engine::WriteCsvToString(chosen.value()), want)
+        << "auto-chosen tier diverges from forced All-Pairs";
+  }
+}
+
 // The observability dimension of the differential harness: tracing, the
 // query log, and the slow-query flag are bystanders — enabling all of them
 // must leave every grouping bit-identical to the untraced run

@@ -1,0 +1,261 @@
+// The ANALYZE statistics layer (docs/PLANNER.md): the KMV distinct
+// sketch, per-column summaries, and the 2-D grid density histogram whose
+// ε-pair / ε-group estimates drive SGB tier selection. The property tests
+// sweep the fuzz harness's point distributions (uniform, lattice,
+// clustered) and check the estimators against brute-force ground truth
+// within bounded factors — the cost model only needs order-of-magnitude
+// accuracy to rank tiers, so the bounds are deliberately loose.
+
+#include "stats/table_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/table.h"
+
+namespace sgb::stats {
+namespace {
+
+using engine::Column;
+using engine::DataType;
+using engine::Row;
+using engine::Schema;
+using engine::Table;
+using engine::Value;
+
+Schema PointSchema() {
+  return Schema({
+      Column{"x", DataType::kDouble, ""},
+      Column{"y", DataType::kDouble, ""},
+  });
+}
+
+Table PointTable(const std::vector<std::pair<double, double>>& pts) {
+  Table t(PointSchema());
+  for (const auto& [x, y] : pts) {
+    EXPECT_TRUE(t.Append({Value::Double(x), Value::Double(y)}).ok());
+  }
+  return t;
+}
+
+double Dist(const std::pair<double, double>& a,
+            const std::pair<double, double>& b, const std::string& metric) {
+  const double dx = std::abs(a.first - b.first);
+  const double dy = std::abs(a.second - b.second);
+  if (metric == "linf") return std::max(dx, dy);
+  if (metric == "l1") return dx + dy;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Ground truth the histogram estimates approximate: exact unordered
+/// ε-close pair count.
+double ExactPairs(const std::vector<std::pair<double, double>>& pts,
+                  double epsilon, const std::string& metric) {
+  double pairs = 0;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (size_t j = i + 1; j < pts.size(); ++j) {
+      if (Dist(pts[i], pts[j], metric) <= epsilon) ++pairs;
+    }
+  }
+  return pairs;
+}
+
+std::vector<std::pair<double, double>> UniformPoints(size_t n, double extent,
+                                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.emplace_back(rng.NextUniform(0, extent), rng.NextUniform(0, extent));
+  }
+  return pts;
+}
+
+/// Integer lattice with duplicates: every coordinate repeats, so the
+/// duplicate-pair correction (point_ndv) carries most of the estimate.
+std::vector<std::pair<double, double>> LatticePoints(size_t n, int side,
+                                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.emplace_back(static_cast<double>(rng.NextInt(0, side - 1)),
+                     static_cast<double>(rng.NextInt(0, side - 1)));
+  }
+  return pts;
+}
+
+std::vector<std::pair<double, double>> ClusteredPoints(size_t n,
+                                                       size_t clusters,
+                                                       double extent,
+                                                       double spread,
+                                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<double, double>> centers;
+  for (size_t c = 0; c < clusters; ++c) {
+    centers.emplace_back(rng.NextUniform(0, extent),
+                         rng.NextUniform(0, extent));
+  }
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& c = centers[rng.NextBounded(clusters)];
+    pts.emplace_back(rng.NextGaussian(c.first, spread),
+                     rng.NextGaussian(c.second, spread));
+  }
+  return pts;
+}
+
+// ---- DistinctSketch -----------------------------------------------------
+
+TEST(DistinctSketchTest, ExactBelowCapacity) {
+  DistinctSketch sketch;
+  for (uint64_t v = 0; v < 500; ++v) sketch.Add(v);
+  for (uint64_t v = 0; v < 500; ++v) sketch.Add(v);  // duplicates ignored
+  EXPECT_EQ(sketch.Estimate(), 500u);
+}
+
+TEST(DistinctSketchTest, KmvEstimateWithinFifteenPercent) {
+  const uint64_t kDistinct = 50'000;
+  DistinctSketch sketch;
+  for (uint64_t v = 0; v < kDistinct; ++v) sketch.Add(v);
+  const double est = static_cast<double>(sketch.Estimate());
+  EXPECT_GT(est, kDistinct * 0.85);
+  EXPECT_LT(est, kDistinct * 1.15);
+}
+
+// ---- ComputeTableStats --------------------------------------------------
+
+TEST(TableStatsTest, ColumnSummariesAndGrid) {
+  Table t(Schema({
+      Column{"x", DataType::kDouble, ""},
+      Column{"y", DataType::kDouble, ""},
+      Column{"tag", DataType::kString, ""},
+  }));
+  ASSERT_TRUE(
+      t.Append({Value::Double(1), Value::Double(10), Value::Str("a")}).ok());
+  ASSERT_TRUE(
+      t.Append({Value::Double(4), Value::Double(12), Value::Str("b")}).ok());
+  ASSERT_TRUE(
+      t.Append({Value::Double(2), Value::Null(), Value::Str("a")}).ok());
+
+  const TableStats s = ComputeTableStats("t", t);
+  EXPECT_EQ(s.table, "t");
+  EXPECT_EQ(s.row_count, 3u);
+  EXPECT_EQ(s.analyzed_rows, 3u);
+  EXPECT_GT(s.avg_row_bytes, 0u);
+  ASSERT_EQ(s.columns.size(), 3u);
+
+  EXPECT_TRUE(s.columns[0].has_range);
+  EXPECT_DOUBLE_EQ(s.columns[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(s.columns[0].max, 4.0);
+  EXPECT_EQ(s.columns[0].ndv, 3u);
+  EXPECT_EQ(s.columns[1].null_count, 1u);
+  EXPECT_EQ(s.columns[1].ndv, 2u);
+  EXPECT_FALSE(s.columns[2].has_range);  // strings: NDV only
+  EXPECT_EQ(s.columns[2].ndv, 2u);
+
+  ASSERT_TRUE(s.grid.has_value());
+  EXPECT_EQ(s.grid_col_x, 0);
+  EXPECT_EQ(s.grid_col_y, 1);
+  EXPECT_EQ(s.grid->total(), 2u);  // the null-y row has no point
+}
+
+TEST(TableStatsTest, NoGridWithoutTwoNumericColumns) {
+  Table t(Schema({
+      Column{"name", DataType::kString, ""},
+      Column{"v", DataType::kDouble, ""},
+  }));
+  ASSERT_TRUE(t.Append({Value::Str("a"), Value::Double(1)}).ok());
+  const TableStats s = ComputeTableStats("t", t);
+  EXPECT_FALSE(s.grid.has_value());
+  // Pessimistic fallbacks still answer: every pair close, sqrt(n) groups.
+  EXPECT_DOUBLE_EQ(s.EstimateEpsilonPairs(1.0, "l2"), 0.0);  // n == 1
+}
+
+// ---- ε-pair estimation, property-style over the fuzz generators --------
+
+struct GeneratorCase {
+  std::string name;
+  std::vector<std::pair<double, double>> pts;
+  double epsilon;
+  /// Accepted estimate/exact ratio band. Uniform data is the histogram's
+  /// home turf; lattice and clustered data stress the duplicate correction
+  /// and the uniform-within-cell assumption, so their bands are wider.
+  double lo;
+  double hi;
+};
+
+TEST(GridEstimatorTest, PairEstimateWithinBoundedFactorOfExact) {
+  std::vector<GeneratorCase> cases;
+  cases.push_back({"uniform", UniformPoints(2000, 10.0, 11), 0.3, 0.5, 2.0});
+  cases.push_back({"uniform-dense", UniformPoints(1500, 4.0, 12), 0.5, 0.5,
+                   2.0});
+  cases.push_back({"lattice", LatticePoints(2000, 20, 13), 0.5, 0.3, 3.0});
+  cases.push_back(
+      {"clustered", ClusteredPoints(2000, 8, 10.0, 0.25, 14), 0.2, 0.25, 4.0});
+
+  for (const auto& c : cases) {
+    for (const std::string metric : {"l2", "linf"}) {
+      const double exact = ExactPairs(c.pts, c.epsilon, metric);
+      if (exact < 50) continue;  // ratio bands need a meaningful baseline
+      const TableStats s = ComputeTableStats(c.name, PointTable(c.pts));
+      ASSERT_TRUE(s.grid.has_value()) << c.name;
+      const double est = s.EstimateEpsilonPairs(c.epsilon, metric);
+      const double ratio = est / exact;
+      EXPECT_GE(ratio, c.lo) << c.name << " metric=" << metric
+                             << " exact=" << exact << " est=" << est;
+      EXPECT_LE(ratio, c.hi) << c.name << " metric=" << metric
+                             << " exact=" << exact << " est=" << est;
+    }
+  }
+}
+
+TEST(GridEstimatorTest, GroupEstimateTracksDensityRegimes) {
+  // Isolated points: far fewer ε-pairs than points ⇒ group count near n.
+  const auto sparse = UniformPoints(1000, 100.0, 21);
+  const TableStats s1 = ComputeTableStats("sparse", PointTable(sparse));
+  EXPECT_GT(s1.EstimateEpsilonGroups(0.05, "l2"), 900.0);
+
+  // One tight blob: everything ε-close ⇒ a handful of groups.
+  const auto blob = ClusteredPoints(1000, 1, 10.0, 0.05, 22);
+  const TableStats s2 = ComputeTableStats("blob", PointTable(blob));
+  EXPECT_LT(s2.EstimateEpsilonGroups(1.0, "l2"), 50.0);
+}
+
+TEST(GridEstimatorTest, SelectivityThinsPairsSuperlinearly) {
+  const auto pts = UniformPoints(2000, 10.0, 31);
+  const TableStats s = ComputeTableStats("u", PointTable(pts));
+  const double full = s.EstimateEpsilonPairs(0.4, "l2", 1.0);
+  const double half = s.EstimateEpsilonPairs(0.4, "l2", 0.5);
+  ASSERT_GT(full, 0.0);
+  // Uniform thinning at rate s keeps ~s² of the pairs.
+  EXPECT_LT(half, 0.35 * full);
+  EXPECT_GT(half, 0.15 * full);
+}
+
+TEST(GridEstimatorTest, ScaleFactorExtrapolatesGrowth) {
+  const auto pts = UniformPoints(1000, 10.0, 41);
+  TableStats s = ComputeTableStats("u", PointTable(pts));
+  const double base = s.EstimateEpsilonPairs(0.4, "l2");
+  s.row_count = 2000;  // incremental refresh: doubled without re-ANALYZE
+  const double grown = s.EstimateEpsilonPairs(0.4, "l2");
+  EXPECT_GT(grown, 3.0 * base);  // pair counts scale ~quadratically
+  EXPECT_LT(grown, 5.0 * base);
+}
+
+TEST(GridEstimatorTest, PairsNeverExceedAllPairs) {
+  const auto pts = LatticePoints(500, 2, 51);  // 4 distinct positions
+  const TableStats s = ComputeTableStats("dup", PointTable(pts));
+  const double n = 500.0;
+  EXPECT_LE(s.EstimateEpsilonPairs(100.0, "l2"), n * (n - 1.0) / 2.0);
+}
+
+}  // namespace
+}  // namespace sgb::stats
