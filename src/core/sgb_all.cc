@@ -299,8 +299,15 @@ class SgbAllRunner {
     } else {
       switch (clause) {
         case OverlapClause::kJoinAny: {
+          // Identity keys (when provided) make the pick insertion-stable;
+          // see SgbAllOptions::arbitration_keys.
+          const size_t arb =
+              options_.arbitration_keys.empty()
+                  ? point_index
+                  : static_cast<size_t>(
+                        options_.arbitration_keys[point_index]);
           const size_t pick =
-              JoinAnyPick(options_.seed, point_index, candidates.size());
+              JoinAnyPick(options_.seed, arb, candidates.size());
           InsertIntoGroup(candidates[pick], point_index);
           break;
         }

@@ -1,0 +1,170 @@
+#ifndef SGB_CORE_SGB_INCREMENTAL_H_
+#define SGB_CORE_SGB_INCREMENTAL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/sgb_all.h"
+#include "core/sgb_any.h"
+#include "core/sgb_types.h"
+#include "geom/point.h"
+#include "index/rtree.h"
+#include "index/union_find.h"
+
+namespace sgb {
+class MemoryTracker;   // common/memory_tracker.h
+class QueryContext;    // common/query_context.h
+}  // namespace sgb
+
+namespace sgb::core {
+
+/// One structural change to a maintained grouping caused by one arrival
+/// (docs/STREAMING.md "Delta events"). For SGB-Any the kinds are exact:
+/// groups are connected components of the ε-graph, so an arrival either
+/// starts a new component, extends one, or bridges several. For SGB-All the
+/// kinds describe the arrival's ε-reachable prior state — kGroupFormed is
+/// exact (a point with no ε-neighbour can never satisfy distance-to-all
+/// against an existing group), while kMemberAdded / kGroupsMerged classify
+/// by the interaction components the arrival's ε-neighbours belong to; the
+/// final arbitration (ON-OVERLAP) settles at window close.
+struct DeltaEvent {
+  enum class Kind {
+    kGroupFormed,   ///< no ε-neighbour among maintained points
+    kMemberAdded,   ///< ε-neighbours all in one prior group/component
+    kGroupsMerged,  ///< ε-neighbours span >= 2 prior groups/components
+  };
+
+  Kind kind = Kind::kGroupFormed;
+  size_t point_index = 0;    ///< arrival index within the maintained window
+  size_t merged_groups = 0;  ///< distinct prior groups touched (kind-merged)
+};
+
+const char* ToString(DeltaEvent::Kind kind);
+
+/// Incrementally maintained SGB-Any over one window of arrivals
+/// (docs/STREAMING.md). SGB-Any groups are the connected components of the
+/// ε-neighbour graph — an order-insensitive structure — so maintenance is
+/// union-find merge-on-arrival (Procedure 8's window query feeding
+/// Procedure 9's MergeGroupsInsert, one point at a time) and the maintained
+/// grouping is bit-identical to batch SgbAny over any permutation of the
+/// same points. Groups only ever merge within a window, never split
+/// (monotonicity), which is what makes per-arrival deltas well-defined.
+///
+/// Governance: persistent state (points, R-tree, forest) is charged against
+/// `memory` (nullable) as it grows and released on destruction; Insert and
+/// Snapshot check `query_ctx()` for cancellation. Not thread-safe; the
+/// owner serializes access (ContinuousQueryManager holds one per window).
+class IncrementalSgbAny {
+ public:
+  explicit IncrementalSgbAny(const SgbAnyOptions& options,
+                             MemoryTracker* memory = nullptr);
+  ~IncrementalSgbAny();
+
+  IncrementalSgbAny(const IncrementalSgbAny&) = delete;
+  IncrementalSgbAny& operator=(const IncrementalSgbAny&) = delete;
+
+  /// The governance context consulted by Insert/Snapshot (nullable). The
+  /// owner points this at the context of the operation driving maintenance.
+  void set_query_ctx(QueryContext* ctx) { options_.query_ctx = ctx; }
+
+  /// Adds one arrival, merging it into every ε-reachable group. Returns
+  /// the structural delta. Fails (without mutating) on cancellation or a
+  /// memory-budget breach.
+  Result<DeltaEvent> Insert(const geom::Point& p);
+
+  /// The maintained grouping over the points re-ordered by
+  /// `canonical_order` (a permutation of [0, size())): entry k labels point
+  /// canonical_order[k], with dense group ids numbered by first appearance
+  /// in that order — directly comparable to batch SgbAny over the same
+  /// re-ordered point array.
+  Result<Grouping> Snapshot(std::span<const size_t> canonical_order);
+
+  size_t size() const { return points_.size(); }
+  size_t num_groups() const { return forest_.NumSets(); }
+  const geom::Point& point(size_t i) const { return points_[i]; }
+  const std::vector<geom::Point>& points() const { return points_; }
+
+ private:
+  Status ChargeOnePoint();
+
+  SgbAnyOptions options_;
+  MemoryTracker* memory_;
+  size_t charged_bytes_ = 0;
+
+  std::vector<geom::Point> points_;  ///< arrival order
+  index::RTree points_ix_;           ///< Points_IX over arrivals
+  index::UnionFind forest_;          ///< ε-graph connected components
+};
+
+/// Incrementally maintained SGB-All over one window of arrivals
+/// (docs/STREAMING.md). SGB-All is order-sensitive, so the maintained
+/// result is defined against the window's canonical order, not arrival
+/// order. The structure tracked per arrival is the exact decomposition of
+/// docs/PARALLELISM.md: the connected components of the 3ε L∞ interaction
+/// graph, under which SGB-All factors exactly — running the serial core on
+/// each component alone reproduces the whole-window serial result.
+///
+/// An arrival unions itself with its 3ε-neighbours and dirties only the
+/// component it lands in; Snapshot re-runs the serial core (with identity
+/// arbitration keys, so JOIN-ANY picks are insertion-stable) on dirty
+/// components only and reuses the cached per-point assignment everywhere
+/// else. This is the "bounded regrouping" contract: the work a snapshot
+/// does is confined to the 3ε-neighbourhood closure of the points that
+/// arrived since the previous snapshot, observable through the
+/// distance-computation counters it reports.
+///
+/// Governance as in IncrementalSgbAny. Not thread-safe.
+class IncrementalSgbAll {
+ public:
+  explicit IncrementalSgbAll(const SgbAllOptions& options,
+                             MemoryTracker* memory = nullptr);
+  ~IncrementalSgbAll();
+
+  IncrementalSgbAll(const IncrementalSgbAll&) = delete;
+  IncrementalSgbAll& operator=(const IncrementalSgbAll&) = delete;
+
+  void set_query_ctx(QueryContext* ctx) { options_.query_ctx = ctx; }
+
+  /// Adds one arrival with its identity arbitration key (the same key the
+  /// batch differential re-execution must use; see
+  /// SgbAllOptions::arbitration_keys). Fails (without mutating) on
+  /// cancellation or a memory-budget breach.
+  Result<DeltaEvent> Insert(const geom::Point& p, uint64_t arbitration_key);
+
+  /// The maintained grouping over the points re-ordered by
+  /// `canonical_order`, labeled by first appearance in that order —
+  /// bit-identical to serial batch SgbAll over the same re-ordered array
+  /// with the matching arbitration keys. `stats`, when given, accumulates
+  /// the counters of the dirty-component re-runs only, so callers can
+  /// assert the bounded-regrouping property.
+  Result<Grouping> Snapshot(std::span<const size_t> canonical_order,
+                            SgbAllStats* stats = nullptr);
+
+  size_t size() const { return points_.size(); }
+  const geom::Point& point(size_t i) const { return points_[i]; }
+  const std::vector<geom::Point>& points() const { return points_; }
+  uint64_t arbitration_key(size_t i) const { return keys_[i]; }
+
+ private:
+  Status ChargeOnePoint();
+
+  SgbAllOptions options_;
+  MemoryTracker* memory_;
+  size_t charged_bytes_ = 0;
+
+  std::vector<geom::Point> points_;  ///< arrival order
+  std::vector<uint64_t> keys_;       ///< identity arbitration keys
+  index::RTree interaction_ix_;      ///< arrivals, queried at 3ε L∞
+  index::UnionFind components_;      ///< 3ε interaction components
+  std::vector<char> dirty_;          ///< arrived since last recompute
+  /// Component-local group id per point from the component's last re-run
+  /// (kEliminated for ON-OVERLAP ELIMINATE casualties); valid while the
+  /// component stays clean.
+  std::vector<size_t> cached_local_;
+};
+
+}  // namespace sgb::core
+
+#endif  // SGB_CORE_SGB_INCREMENTAL_H_

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "geom/point.h"
@@ -80,6 +81,15 @@ struct SgbAllOptions {
   /// point-stride granularity and charges its index/bookkeeping memory
   /// against its budget.
   QueryContext* query_ctx = nullptr;
+  /// Optional per-point arbitration keys (parallel to `points`; empty = use
+  /// the point's input index). When set, the JOIN-ANY pick hashes
+  /// (seed, arbitration_keys[i]) instead of (seed, i), making the pick a
+  /// pure function of the point's identity rather than its position. The
+  /// incremental maintenance path (docs/STREAMING.md) relies on this:
+  /// a late arrival shifts the canonical indices of every later point, but
+  /// with identity keys the batch re-execution and the maintained state
+  /// arbitrate identically. Non-owning; must outlive the call.
+  std::span<const uint64_t> arbitration_keys;
 };
 
 /// Options for the SGB-Any operator:

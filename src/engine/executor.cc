@@ -84,10 +84,13 @@ struct NonSelect {
   std::optional<sql::InsertStatement> insert;
   std::optional<sql::DropTableStatement> drop;
   std::optional<sql::AnalyzeStatement> analyze;
+  std::optional<sql::CreateContinuousStatement> create_continuous;
+  std::optional<sql::DropContinuousStatement> drop_continuous;
 
   bool engaged() const {
     return set.has_value() || create.has_value() || insert.has_value() ||
-           drop.has_value() || analyze.has_value();
+           drop.has_value() || analyze.has_value() ||
+           create_continuous.has_value() || drop_continuous.has_value();
   }
 };
 
@@ -168,8 +171,14 @@ Result<OperatorPtr> PlanStatement(const Catalog& catalog,
     non_select->insert = std::move(stmt.value().insert);
     non_select->drop = std::move(stmt.value().drop);
     non_select->analyze = std::move(stmt.value().analyze);
+    non_select->create_continuous = std::move(stmt.value().create_continuous);
+    non_select->drop_continuous = std::move(stmt.value().drop_continuous);
     if (plan_micros != nullptr) *plan_micros = ElapsedMicros(t0);
     return OperatorPtr{};
+  }
+  if (stmt.value().select->window.has_value()) {
+    return Status::InvalidArgument(
+        "WINDOW is only valid inside CREATE CONTINUOUS QUERY ... AS SELECT");
   }
   if (tier != nullptr && dop != nullptr) {
     FillSgbInfo(*stmt.value().select, options, tier, dop);
@@ -354,6 +363,7 @@ bool LooksLikeSelect(const std::string& normalized) {
 
 Database::Database() {
   RegisterSystemTables(&catalog_, query_log_, sessions_);
+  RegisterContinuousSystemTable(&catalog_, continuous_);
 }
 
 Result<OperatorPtr> Database::Prepare(const std::string& sql) const {
@@ -429,6 +439,13 @@ Result<Table> Database::Query(Session& session, const std::string& sql,
   }
   if (non_select.analyze.has_value()) {
     return ExecuteAnalyze(session, *non_select.analyze, &info);
+  }
+  if (non_select.create_continuous.has_value()) {
+    return ExecuteCreateContinuous(
+        session, std::move(*non_select.create_continuous), &info);
+  }
+  if (non_select.drop_continuous.has_value()) {
+    return ExecuteDropContinuous(session, *non_select.drop_continuous, &info);
   }
   info.est_rows = static_cast<int64_t>(plan_info.est_rows);
   info.est_bytes = static_cast<size_t>(plan_info.est_bytes);
@@ -544,8 +561,11 @@ Result<Table> Database::ExecutePrepared(Session& session,
 }
 
 void Database::Cancel() const {
-  std::lock_guard<std::mutex> lock(active_->mu);
-  for (QueryContext* ctx : active_->contexts) ctx->Cancel();
+  {
+    std::lock_guard<std::mutex> lock(active_->mu);
+    for (QueryContext* ctx : active_->contexts) ctx->Cancel();
+  }
+  continuous_->CancelActive();
 }
 
 Result<Table> Database::ApplySet(Session& session,
@@ -653,12 +673,17 @@ Result<Table> Database::ExecuteInsert(Session& session,
     return status;
   }
   const int64_t n = static_cast<int64_t>(insert.rows.size());
-  const Status status = table->Append(insert.rows);
+  Status status = table->Append(insert.rows);
   if (status.ok()) {
     // Keep the optimizer's row counts fresh: growth beyond 10% of the last
     // ANALYZE bumps the catalog version, invalidating cached plans whose
     // cost-model choices are now stale.
     catalog_.AddStatsRowDelta(insert.table, insert.rows.size());
+    // Continuous-query maintenance (docs/STREAMING.md): a failure here —
+    // budget breach, cancellation, a divergent or fault-injected window
+    // close — fails the INSERT, but the rows above stay appended; the next
+    // INSERT retries the close.
+    status = continuous_->OnInsert(catalog_, insert.table, insert.rows);
   }
   LogSimpleStatement(session, *info, status, status.ok() ? n : 0);
   if (!status.ok()) return status;
@@ -710,6 +735,26 @@ Result<Table> Database::ExecuteAnalyze(Session& session,
                   "ANALYZE " + std::to_string(names.size()) + " table" +
                       (names.size() == 1 ? "" : "s") + ", " +
                       std::to_string(rows) + " rows");
+}
+
+Result<Table> Database::ExecuteCreateContinuous(
+    Session& session, sql::CreateContinuousStatement stmt,
+    StatementInfo* info) const {
+  const std::string name = stmt.name;
+  const Status status =
+      continuous_->Create(catalog_, std::move(stmt), info->text);
+  LogSimpleStatement(session, *info, status, 0);
+  if (!status.ok()) return status;
+  return AckTable("create", "CREATE CONTINUOUS QUERY " + name);
+}
+
+Result<Table> Database::ExecuteDropContinuous(
+    Session& session, const sql::DropContinuousStatement& drop,
+    StatementInfo* info) const {
+  const Status status = continuous_->Drop(drop.name, drop.if_exists);
+  LogSimpleStatement(session, *info, status, 0);
+  if (!status.ok()) return status;
+  return AckTable("drop", "DROP CONTINUOUS QUERY " + drop.name);
 }
 
 Status Database::AdmitQuery(const SessionGovernance& gov, size_t estimate,

@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "engine/catalog.h"
+#include "engine/continuous.h"
 #include "engine/operators.h"
 #include "engine/session.h"
 #include "obs/query_log.h"
@@ -71,6 +72,11 @@ class Database {
 
   /// The registry behind system.sessions.
   SessionRegistry& sessions() const { return *sessions_; }
+
+  /// The CREATE CONTINUOUS QUERY registry (docs/STREAMING.md): incremental
+  /// window maintenance, delta subscriptions (the server's SUBSCRIBE verb),
+  /// and the system.continuous_queries surface.
+  ContinuousQueryManager& continuous() const { return *continuous_; }
 
   /// Parses + plans the SQL (ignoring any EXPLAIN prefix); the returned
   /// operator can be Open()/Next()ed repeatedly.
@@ -274,6 +280,15 @@ class Database {
                                const sql::AnalyzeStatement& analyze,
                                StatementInfo* info) const;
 
+  /// CREATE/DROP CONTINUOUS QUERY against the continuous-query registry
+  /// (docs/STREAMING.md), recording one query-log entry each.
+  Result<Table> ExecuteCreateContinuous(Session& session,
+                                        sql::CreateContinuousStatement stmt,
+                                        StatementInfo* info) const;
+  Result<Table> ExecuteDropContinuous(Session& session,
+                                      const sql::DropContinuousStatement& drop,
+                                      StatementInfo* info) const;
+
   /// Admission gate: decides at plan time whether a query whose estimated
   /// footprint is `estimate` bytes may run now. Queue mode blocks until
   /// headroom frees up (bounded by the session timeout when one is set);
@@ -327,6 +342,8 @@ class Database {
       std::make_shared<obs::TraceLog>();
   std::shared_ptr<SessionRegistry> sessions_ =
       std::make_shared<SessionRegistry>();
+  std::shared_ptr<ContinuousQueryManager> continuous_ =
+      std::make_shared<ContinuousQueryManager>();
   std::shared_ptr<Session> default_session_ =
       std::make_shared<Session>(sessions_, "local");
 };

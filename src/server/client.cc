@@ -51,11 +51,42 @@ Result<Client> Client::ConnectLoopback(uint16_t port) {
   return Client(std::make_unique<Socket>(std::move(socket).value()));
 }
 
+Status Client::BufferEventLine(const std::string& line) {
+  std::vector<std::string> fields = SplitFields(line.substr(6));
+  if (fields.size() != 6) {
+    return Status::IoError("malformed EVENT line: " + line);
+  }
+  DeltaEvent event;
+  event.query = std::move(fields[0]);
+  try {
+    event.window_start = std::stod(fields[1]);
+    event.window_end = std::stod(fields[2]);
+    event.point = std::stoll(fields[4]);
+    event.groups = std::stoll(fields[5]);
+  } catch (...) {
+    return Status::IoError("malformed EVENT line: " + line);
+  }
+  event.kind = std::move(fields[3]);
+  events_.push_back(std::move(event));
+  return Status::OK();
+}
+
+Result<bool> Client::ReadResponseLine(std::string* line) {
+  for (;;) {
+    auto more = reader_->ReadLine(line);
+    if (!more.ok() || !more.value()) return more;
+    if (line->rfind("EVENT ", 0) != 0) return true;
+    // Asynchronous group-delta push (protocol.h): buffer it and keep
+    // reading for the actual response.
+    SGB_RETURN_IF_ERROR(BufferEventLine(*line));
+  }
+}
+
 Result<QueryResult> Client::RoundTrip(const std::string& line) {
   if (!connected()) return Status::IoError("client is not connected");
   SGB_RETURN_IF_ERROR(socket_->WriteAll(line + "\n"));
   std::string response;
-  auto more = reader_->ReadLine(&response);
+  auto more = ReadResponseLine(&response);
   if (!more.ok()) return more.status();
   if (!more.value()) {
     return Status::IoError("server closed the connection");
@@ -114,11 +145,42 @@ Result<QueryResult> Client::Execute(const std::string& name) {
   return RoundTrip("EXECUTE " + name);
 }
 
+Status Client::Subscribe(const std::string& name) {
+  return RoundTrip("SUBSCRIBE " + name).status();
+}
+
+Status Client::Unsubscribe(const std::string& name) {
+  return RoundTrip("UNSUBSCRIBE " + name).status();
+}
+
+Result<DeltaEvent> Client::NextEvent() {
+  while (events_.empty()) {
+    if (!connected()) return Status::IoError("client is not connected");
+    // Unlike ReadResponseLine, return after the FIRST buffered event —
+    // no response line is in flight, so looping for one would block
+    // forever. A non-EVENT line here is a protocol violation.
+    std::string line;
+    auto more = reader_->ReadLine(&line);
+    if (!more.ok()) return more.status();
+    if (!more.value()) {
+      return Status::IoError("server closed the connection");
+    }
+    if (line.rfind("EVENT ", 0) != 0) {
+      return Status::IoError("unexpected server line while waiting for an "
+                             "event: " + line);
+    }
+    SGB_RETURN_IF_ERROR(BufferEventLine(line));
+  }
+  DeltaEvent event = std::move(events_.front());
+  events_.pop_front();
+  return event;
+}
+
 Status Client::Ping() {
   if (!connected()) return Status::IoError("client is not connected");
   SGB_RETURN_IF_ERROR(socket_->WriteAll("PING\n"));
   std::string response;
-  auto more = reader_->ReadLine(&response);
+  auto more = ReadResponseLine(&response);
   if (!more.ok()) return more.status();
   if (!more.value() || response != "PONG") {
     return Status::IoError("expected PONG, got '" + response + "'");
@@ -130,7 +192,7 @@ Status Client::Quit() {
   if (!connected()) return Status::IoError("client is not connected");
   SGB_RETURN_IF_ERROR(socket_->WriteAll("QUIT\n"));
   std::string response;
-  auto more = reader_->ReadLine(&response);
+  auto more = ReadResponseLine(&response);
   socket_->Close();
   if (!more.ok()) return more.status();
   if (!more.value() || response != "BYE") {

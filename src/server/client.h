@@ -2,6 +2,7 @@
 #define SGB_SERVER_CLIENT_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +19,18 @@ namespace sgb::server {
 struct QueryResult {
   std::vector<std::string> columns;
   std::vector<std::vector<std::string>> rows;
+};
+
+/// One decoded EVENT push from a SUBSCRIBEd continuous query
+/// (docs/STREAMING.md): a group delta of one window close.
+struct DeltaEvent {
+  std::string query;
+  double window_start = 0.0;
+  double window_end = 0.0;
+  std::string kind;    ///< group_formed | member_added | groups_merged |
+                       ///< window_closed
+  int64_t point = -1;  ///< arrival sequence number (-1 on window_closed)
+  int64_t groups = 0;
 };
 
 /// Driver-style synchronous client for the line protocol (protocol.h).
@@ -43,6 +56,22 @@ class Client {
   /// Runs a previously prepared statement.
   Result<QueryResult> Execute(const std::string& name);
 
+  /// Attaches this connection to the named continuous query: every window
+  /// close from now on pushes its group deltas as EVENT lines, surfaced
+  /// through NextEvent().
+  Status Subscribe(const std::string& name);
+
+  /// Detaches a Subscribe(); already-pushed events stay readable.
+  Status Unsubscribe(const std::string& name);
+
+  /// Pops the oldest buffered delta event; when none is buffered, blocks
+  /// reading the socket until one arrives (drive window closes from
+  /// another connection, or Unsubscribe first to avoid blocking forever).
+  Result<DeltaEvent> NextEvent();
+
+  /// Buffered delta events waiting in NextEvent()'s queue.
+  size_t pending_events() const { return events_.size(); }
+
   /// Liveness probe; ok when the server answers PONG.
   Status Ping();
 
@@ -63,8 +92,16 @@ class Client {
   /// Sends `line` (terminator appended) and decodes the response.
   Result<QueryResult> RoundTrip(const std::string& line);
 
+  /// Reads the next *response* line, buffering any interleaved EVENT
+  /// pushes into events_. Returns false on clean EOF.
+  Result<bool> ReadResponseLine(std::string* line);
+
+  /// Parses one "EVENT ..." wire line and appends it to events_.
+  Status BufferEventLine(const std::string& line);
+
   std::unique_ptr<Socket> socket_;
   std::unique_ptr<LineReader> reader_;  ///< points at *socket_
+  std::deque<DeltaEvent> events_;       ///< EVENT pushes not yet consumed
 };
 
 }  // namespace sgb::server

@@ -57,9 +57,28 @@ Result<Command> ParseCommand(const std::string& line) {
     }
     return cmd;
   }
+  if (verb == "SUBSCRIBE") {
+    cmd.kind = Command::Kind::kSubscribe;
+    cmd.name = NextToken(line, &pos);
+    if (cmd.name.empty()) {
+      return Status::InvalidArgument(
+          "SUBSCRIBE requires a continuous query name");
+    }
+    return cmd;
+  }
+  if (verb == "UNSUBSCRIBE") {
+    cmd.kind = Command::Kind::kUnsubscribe;
+    cmd.name = NextToken(line, &pos);
+    if (cmd.name.empty()) {
+      return Status::InvalidArgument(
+          "UNSUBSCRIBE requires a continuous query name");
+    }
+    return cmd;
+  }
   return Status::InvalidArgument(
       "unknown command '" + verb +
-      "' (expected QUERY, PREPARE, EXECUTE, PING, or QUIT)");
+      "' (expected QUERY, PREPARE, EXECUTE, SUBSCRIBE, UNSUBSCRIBE, PING, "
+      "or QUIT)");
 }
 
 std::string EscapeField(const std::string& raw) {

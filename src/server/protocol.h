@@ -18,6 +18,8 @@ namespace sgb::server {
 ///   QUERY <sql>            run one statement
 ///   PREPARE <name> <sql>   validate + bind a named statement
 ///   EXECUTE <name>         run a prepared statement
+///   SUBSCRIBE <name>       stream a continuous query's group deltas
+///   UNSUBSCRIBE <name>     stop streaming that query's deltas
 ///   PING                   liveness probe
 ///   QUIT                   close the session
 ///
@@ -27,12 +29,27 @@ namespace sgb::server {
 ///   ERR <code> <message>   statement failed; code is a Status token
 ///   PONG                   reply to PING
 ///   BYE                    reply to QUIT; the server closes after it
+///   EVENT <fields>         asynchronous group-delta push for a SUBSCRIBEd
+///                          continuous query (docs/STREAMING.md): six
+///                          tab-separated escaped fields — query,
+///                          window_start, window_end, kind, point, groups.
+///                          Responses are written atomically, so an EVENT
+///                          line only ever appears where a response line
+///                          could begin, never inside a result set.
 
 /// One parsed client command.
 struct Command {
-  enum class Kind { kQuery, kPrepare, kExecute, kPing, kQuit };
+  enum class Kind {
+    kQuery,
+    kPrepare,
+    kExecute,
+    kSubscribe,
+    kUnsubscribe,
+    kPing,
+    kQuit,
+  };
   Kind kind = Kind::kPing;
-  std::string name;  ///< PREPARE/EXECUTE statement name
+  std::string name;  ///< PREPARE/EXECUTE/SUBSCRIBE/UNSUBSCRIBE name
   std::string sql;   ///< QUERY/PREPARE statement text
 };
 

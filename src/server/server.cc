@@ -21,6 +21,35 @@ namespace {
 
 constexpr auto kWatchdogInterval = std::chrono::milliseconds(20);
 
+/// Round-trip double rendering for EVENT window bounds.
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// One EVENT line per group delta (protocol.h): six tab-separated escaped
+/// fields after the verb.
+std::string FormatEventLines(const engine::DeltaBatch& batch) {
+  std::string out;
+  for (const engine::GroupDelta& delta : batch.deltas) {
+    out += "EVENT ";
+    out += EscapeField(batch.query);
+    out.push_back('\t');
+    out += FormatDouble(batch.window_start);
+    out.push_back('\t');
+    out += FormatDouble(batch.window_end);
+    out.push_back('\t');
+    out += EscapeField(delta.kind);
+    out.push_back('\t');
+    out += std::to_string(delta.point);
+    out.push_back('\t');
+    out += std::to_string(delta.groups);
+    out.push_back('\n');
+  }
+  return out;
+}
+
 }  // namespace
 
 Server::Server(const engine::Database* db, ServerOptions options)
@@ -161,7 +190,16 @@ void Server::ServeConnection(const std::shared_ptr<Connection>& conn) {
   for (;;) {
     auto more = reader.ReadLine(&line);
     if (!more.ok() || !more.value()) break;  // read error or clean EOF
-    if (!ServeCommand(*conn, line)) break;
+    if (!ServeCommand(conn, line)) break;
+  }
+  // Detach this connection's delta subscriptions before the socket dies so
+  // window closes stop paying for doomed writes.
+  {
+    std::lock_guard<std::mutex> lock(conn->subs_mu);
+    for (const auto& [name, id] : conn->subscriptions) {
+      db_->continuous().Unsubscribe(id);
+    }
+    conn->subscriptions.clear();
   }
   // Shutdown (not Close): the watchdog may hold this Connection and poll
   // its fd; keeping the descriptor open prevents fd-number reuse races.
@@ -172,23 +210,37 @@ void Server::ServeConnection(const std::shared_ptr<Connection>& conn) {
       .Set(static_cast<double>(active_connections()));
 }
 
-bool Server::ServeCommand(Connection& conn, const std::string& line) {
+bool Server::ServeCommand(const std::shared_ptr<Connection>& conn_ptr,
+                          const std::string& line) {
+  Connection& conn = *conn_ptr;
   auto& registry = obs::MetricsRegistry::Global();
   auto parsed = ParseCommand(line);
   if (!parsed.ok()) return WriteError(conn, parsed.status()).ok();
   const Command& cmd = parsed.value();
   switch (cmd.kind) {
     case Command::Kind::kPing:
-      return conn.socket.WriteAll("PONG\n").ok();
+      return WriteLocked(conn, "PONG\n").ok();
     case Command::Kind::kQuit:
-      (void)conn.socket.WriteAll("BYE\n");
+      (void)WriteLocked(conn, "BYE\n");
       return false;
     case Command::Kind::kPrepare: {
       registry.GetCounter("server.statements").Add(1);
       const Status status =
           db_->PrepareStatement(*conn.session, cmd.name, cmd.sql);
       if (!status.ok()) return WriteError(conn, status).ok();
-      return conn.socket.WriteAll("OK 0 0\n").ok();
+      return WriteLocked(conn, "OK 0 0\n").ok();
+    }
+    case Command::Kind::kSubscribe: {
+      registry.GetCounter("server.statements").Add(1);
+      const Status status = SubscribeConnection(conn_ptr, cmd.name);
+      if (!status.ok()) return WriteError(conn, status).ok();
+      return WriteLocked(conn, "OK 0 0\n").ok();
+    }
+    case Command::Kind::kUnsubscribe: {
+      registry.GetCounter("server.statements").Add(1);
+      const Status status = UnsubscribeConnection(conn, cmd.name);
+      if (!status.ok()) return WriteError(conn, status).ok();
+      return WriteLocked(conn, "OK 0 0\n").ok();
     }
     case Command::Kind::kQuery:
     case Command::Kind::kExecute: {
@@ -206,6 +258,60 @@ bool Server::ServeCommand(Connection& conn, const std::string& line) {
   return false;
 }
 
+Status Server::SubscribeConnection(const std::shared_ptr<Connection>& conn,
+                                   const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(conn->subs_mu);
+    if (conn->subscriptions.count(name) != 0) {
+      return Status::InvalidArgument("already subscribed to '" + name + "'");
+    }
+  }
+  // The callback runs on whatever thread drives a window close. It holds
+  // the connection weakly: once the connection is gone (or its socket
+  // write fails) it returns false, detaching itself.
+  std::weak_ptr<Connection> weak = conn;
+  auto subscription = db_->continuous().Subscribe(
+      name, [weak](const engine::DeltaBatch& batch) {
+        std::shared_ptr<Connection> conn = weak.lock();
+        if (conn == nullptr || conn->done.load(std::memory_order_acquire)) {
+          return false;
+        }
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        if (!conn->socket.WriteAll(FormatEventLines(batch)).ok()) {
+          return false;
+        }
+        obs::MetricsRegistry::Global()
+            .GetCounter("server.delta_batches")
+            .Add(1);
+        return true;
+      });
+  if (!subscription.ok()) return subscription.status();
+  std::lock_guard<std::mutex> lock(conn->subs_mu);
+  conn->subscriptions.emplace(name, subscription.value());
+  return Status::OK();
+}
+
+Status Server::UnsubscribeConnection(Connection& conn,
+                                     const std::string& name) {
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn.subs_mu);
+    auto it = conn.subscriptions.find(name);
+    if (it == conn.subscriptions.end()) {
+      return Status::NotFound("not subscribed to '" + name + "'");
+    }
+    id = it->second;
+    conn.subscriptions.erase(it);
+  }
+  db_->continuous().Unsubscribe(id);
+  return Status::OK();
+}
+
+Status Server::WriteLocked(Connection& conn, const std::string& out) {
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  return conn.socket.WriteAll(out);
+}
+
 Status Server::WriteTable(Connection& conn, const engine::Table& table) {
   const size_t ncols = table.schema().size();
   std::string out = "OK " + std::to_string(table.NumRows()) + " " +
@@ -218,12 +324,12 @@ Status Server::WriteTable(Connection& conn, const engine::Table& table) {
       out.push_back('\n');
     }
   }
-  return conn.socket.WriteAll(out);
+  return WriteLocked(conn, out);
 }
 
 Status Server::WriteError(Connection& conn, const Status& error) {
-  return conn.socket.WriteAll("ERR " + StatusCodeToken(error.code()) + " " +
-                              EscapeField(error.message()) + "\n");
+  return WriteLocked(conn, "ERR " + StatusCodeToken(error.code()) + " " +
+                               EscapeField(error.message()) + "\n");
 }
 
 void Server::WatchdogLoop() {

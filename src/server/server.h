@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -74,6 +75,14 @@ class Server {
     std::thread thread;
     std::atomic<bool> busy{false};  ///< executing a statement right now
     std::atomic<bool> done{false};  ///< serve loop exited
+    /// Serializes all socket writes: responses (written atomically as one
+    /// buffer) never interleave with the asynchronous EVENT pushes the
+    /// continuous-query subscriptions emit from other threads.
+    std::mutex write_mu;
+    /// This connection's continuous-query subscriptions (name -> id),
+    /// detached when the connection closes.
+    std::mutex subs_mu;
+    std::map<std::string, uint64_t> subscriptions;
   };
 
   void AcceptLoop(Listener* listener, const char* transport);
@@ -82,8 +91,16 @@ class Server {
 
   /// Serves one already-parsed command; returns false when the session
   /// should close (QUIT or a dead peer).
-  bool ServeCommand(Connection& conn, const std::string& line);
+  bool ServeCommand(const std::shared_ptr<Connection>& conn,
+                    const std::string& line);
 
+  /// SUBSCRIBE/UNSUBSCRIBE: attach or detach a group-delta stream for one
+  /// continuous query (docs/STREAMING.md).
+  Status SubscribeConnection(const std::shared_ptr<Connection>& conn,
+                             const std::string& name);
+  Status UnsubscribeConnection(Connection& conn, const std::string& name);
+
+  Status WriteLocked(Connection& conn, const std::string& out);
   Status WriteTable(Connection& conn, const engine::Table& table);
   Status WriteError(Connection& conn, const Status& error);
 

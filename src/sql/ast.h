@@ -87,6 +87,23 @@ struct SimilarityClause {
   std::vector<double> delimiters;
 };
 
+/// The event-time window of a continuous query (docs/STREAMING.md):
+///   WINDOW TUMBLING <size> ON <col>
+///   WINDOW SLIDING <size> ADVANCE <adv> ON <col>
+/// Sizes are in the units of the (numeric) time column. A tumbling window
+/// is a sliding window whose advance equals its size.
+struct WindowClause {
+  enum class Kind {
+    kTumbling,
+    kSliding,
+  };
+
+  Kind kind = Kind::kTumbling;
+  double size = 0.0;
+  double advance = 0.0;  ///< tumbling: set equal to size by the parser
+  std::string time_column;
+};
+
 struct SelectItem {
   ParsedExprPtr expr;
   std::string alias;  // empty when none given
@@ -115,6 +132,9 @@ struct SelectStatement {
   ParsedExprPtr having;
   std::vector<OrderItem> order_by;
   std::optional<size_t> limit;
+  /// Only valid inside CREATE CONTINUOUS QUERY; the batch planner rejects
+  /// windowed SELECTs.
+  std::optional<WindowClause> window;
 };
 
 /// How a statement's plan should be surfaced.
@@ -175,6 +195,22 @@ struct AnalyzeStatement {
   std::string table;  ///< empty = all stored + append-only tables
 };
 
+/// CREATE CONTINUOUS QUERY [IF NOT EXISTS] name AS SELECT ... WINDOW ... —
+/// registers an incrementally maintained similarity group-by over an
+/// append-only table (docs/STREAMING.md). The inner SELECT must carry a
+/// SIMILARITY GROUP BY (DISTANCE-TO-ALL/ANY) and a WINDOW clause.
+struct CreateContinuousStatement {
+  std::string name;
+  bool if_not_exists = false;
+  std::unique_ptr<SelectStatement> select;
+};
+
+/// DROP CONTINUOUS QUERY [IF EXISTS] name.
+struct DropContinuousStatement {
+  std::string name;
+  bool if_exists = false;
+};
+
 /// A full parsed statement: an optional EXPLAIN [ANALYZE] or PROFILE
 /// prefix wrapping one SELECT; or a SET / CREATE TABLE / INSERT /
 /// DROP TABLE statement (exactly one of the optionals engaged, `select`
@@ -189,6 +225,8 @@ struct ParsedStatement {
   std::optional<InsertStatement> insert;
   std::optional<DropTableStatement> drop;
   std::optional<AnalyzeStatement> analyze;
+  std::optional<CreateContinuousStatement> create_continuous;
+  std::optional<DropContinuousStatement> drop_continuous;
 };
 
 }  // namespace sgb::sql

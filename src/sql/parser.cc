@@ -32,7 +32,7 @@ bool IsReservedWord(const std::string& word) {
       "ORDER",   "LIMIT",    "AS",      "AND",       "OR",      "NOT",
       "IN",      "ASC",      "DESC",    "DISTANCE",  "WITHIN",  "USING",
       "ON",      "OVERLAP",  "AROUND",  "DELIMITED", "BETWEEN", "DATE",
-      "DISTINCT",
+      "DISTINCT", "WINDOW",
       "MAXIMUM_ELEMENT_SEPARATION",     "MAXIMUM_GROUP_DIAMETER",
   };
   for (const char* r : kReserved) {
@@ -64,6 +64,12 @@ class Parser {
       return FinishNonSelect(std::move(out));
     }
     if (MatchKw("CREATE")) {
+      if (MatchKw("CONTINUOUS")) {
+        auto create = ParseCreateContinuous();
+        if (!create.ok()) return create.status();
+        out.create_continuous = std::move(create).value();
+        return FinishNonSelect(std::move(out));
+      }
       auto create = ParseCreateTable();
       if (!create.ok()) return create.status();
       out.create = std::move(create).value();
@@ -76,6 +82,12 @@ class Parser {
       return FinishNonSelect(std::move(out));
     }
     if (MatchKw("DROP")) {
+      if (MatchKw("CONTINUOUS")) {
+        auto drop = ParseDropContinuous();
+        if (!drop.ok()) return drop.status();
+        out.drop_continuous = std::move(drop).value();
+        return FinishNonSelect(std::move(out));
+      }
       auto drop = ParseDropTable();
       if (!drop.ok()) return drop.status();
       out.drop = std::move(drop).value();
@@ -293,6 +305,43 @@ class Parser {
     return out;
   }
 
+  /// CREATE CONTINUOUS QUERY [IF NOT EXISTS] name AS SELECT ...
+  /// (the leading CREATE CONTINUOUS is consumed by the caller)
+  Result<CreateContinuousStatement> ParseCreateContinuous() {
+    SGB_RETURN_IF_ERROR(ExpectKw("QUERY"));
+    CreateContinuousStatement out;
+    if (PeekKw("IF")) {
+      Consume();
+      SGB_RETURN_IF_ERROR(ExpectKw("NOT"));
+      SGB_RETURN_IF_ERROR(ExpectKw("EXISTS"));
+      out.if_not_exists = true;
+    }
+    auto name = ParseTableName("query name after CREATE CONTINUOUS QUERY");
+    if (!name.ok()) return name.status();
+    out.name = std::move(name).value();
+    SGB_RETURN_IF_ERROR(ExpectKw("AS"));
+    auto select = ParseSelect();
+    if (!select.ok()) return select.status();
+    out.select = std::move(select).value();
+    return out;
+  }
+
+  /// DROP CONTINUOUS QUERY [IF EXISTS] name
+  /// (the leading DROP CONTINUOUS is consumed by the caller)
+  Result<DropContinuousStatement> ParseDropContinuous() {
+    SGB_RETURN_IF_ERROR(ExpectKw("QUERY"));
+    DropContinuousStatement out;
+    if (PeekKw("IF")) {
+      Consume();
+      SGB_RETURN_IF_ERROR(ExpectKw("EXISTS"));
+      out.if_exists = true;
+    }
+    auto name = ParseTableName("query name after DROP CONTINUOUS QUERY");
+    if (!name.ok()) return name.status();
+    out.name = std::move(name).value();
+    return out;
+  }
+
   /// DROP TABLE [IF EXISTS] name
   Result<DropTableStatement> ParseDropTable() {
     SGB_RETURN_IF_ERROR(ExpectKw("TABLE"));
@@ -401,6 +450,34 @@ class Parser {
         stmt->group_by.push_back(std::move(expr).value());
       } while (Match(TokenType::kComma));
       SGB_RETURN_IF_ERROR(ParseSimilarity(&stmt->similarity));
+    }
+
+    if (MatchKw("WINDOW")) {
+      WindowClause w;
+      if (MatchKw("TUMBLING")) {
+        w.kind = WindowClause::Kind::kTumbling;
+      } else if (MatchKw("SLIDING")) {
+        w.kind = WindowClause::Kind::kSliding;
+      } else {
+        return Error("expected TUMBLING or SLIDING after WINDOW");
+      }
+      auto size = ParseNumber();
+      if (!size.ok()) return size.status();
+      w.size = size.value();
+      if (w.kind == WindowClause::Kind::kSliding) {
+        SGB_RETURN_IF_ERROR(ExpectKw("ADVANCE"));
+        auto advance = ParseNumber();
+        if (!advance.ok()) return advance.status();
+        w.advance = advance.value();
+      } else {
+        w.advance = w.size;
+      }
+      SGB_RETURN_IF_ERROR(ExpectKw("ON"));
+      if (Peek().type != TokenType::kIdent) {
+        return Error("expected time column after WINDOW ... ON");
+      }
+      w.time_column = Consume().text;
+      stmt->window = std::move(w);
     }
 
     if (MatchKw("HAVING")) {

@@ -1,5 +1,8 @@
 #include "workload/checkin.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "common/fault_injection.h"
 #include "common/query_context.h"
 #include "common/random.h"
@@ -92,6 +95,45 @@ engine::TablePtr GenerateCheckinTable(const CheckinConfig& config,
     (void)table->Append(std::move(row));
   }
   return table;
+}
+
+std::vector<engine::Row> GenerateCheckinStream(
+    const CheckinStreamConfig& config, size_t users) {
+  const std::vector<geom::Point> checkins = GenerateCheckins(config.base);
+  Rng rng(config.seed);
+
+  std::vector<double> times(checkins.size());
+  for (double& t : times) t = rng.NextUniform(0.0, config.duration);
+
+  // Arrival order: event-time order displaced by at most the jitter. A
+  // check-in's arrival rank is its event time plus a uniform delay in
+  // [0, jitter), so it can only arrive after check-ins stamped up to
+  // `jitter` later than it — bounded disorder, like a real feed.
+  std::vector<size_t> order(checkins.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::vector<double> arrival_rank(checkins.size());
+  for (size_t i = 0; i < checkins.size(); ++i) {
+    arrival_rank[i] =
+        times[i] + rng.NextUniform(0.0, config.out_of_order_jitter);
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (arrival_rank[a] != arrival_rank[b]) {
+      return arrival_rank[a] < arrival_rank[b];
+    }
+    return a < b;
+  });
+
+  std::vector<Row> rows;
+  rows.reserve(checkins.size());
+  for (size_t i : order) {
+    Row row;
+    row.push_back(Value::Int(rng.NextInt(1, static_cast<int64_t>(users))));
+    row.push_back(Value::Double(times[i]));
+    row.push_back(Value::Double(checkins[i].x));
+    row.push_back(Value::Double(checkins[i].y));
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 }  // namespace sgb::workload

@@ -43,6 +43,27 @@ std::vector<geom::Point> GenerateCheckins(const CheckinConfig& config);
 engine::TablePtr GenerateCheckinTable(const CheckinConfig& config,
                                       size_t users = 1000);
 
+/// A timestamped check-in stream for the continuous-query driver
+/// (docs/STREAMING.md): the spatial mixture of `base` paired with event
+/// times spread over [0, duration), delivered in an arrival order that is
+/// mostly increasing but jittered — each check-in may arrive up to
+/// `out_of_order_jitter` time units later than a check-in stamped after
+/// it, which exercises the watermark/late-row machinery.
+struct CheckinStreamConfig {
+  CheckinConfig base;
+  /// Event-time extent; timestamps are uniform over [0, duration).
+  double duration = 100.0;
+  /// Maximum event-time displacement between stamp order and arrival
+  /// order (0 = arrivals exactly in event-time order).
+  double out_of_order_jitter = 5.0;
+  uint64_t seed = 17;
+};
+
+/// Rows of (user_id, event_time, x, y) in *arrival* order; `users` caps
+/// the user-id range.
+std::vector<engine::Row> GenerateCheckinStream(
+    const CheckinStreamConfig& config, size_t users = 1000);
+
 }  // namespace sgb::workload
 
 #endif  // SGB_WORKLOAD_CHECKIN_H_

@@ -351,6 +351,33 @@ TEST_F(GovernanceTest, EveryRegisteredFaultSiteFiresAndRecovers) {
          if (!create.ok()) return create.status();
          return db.Query("INSERT INTO fault_rows VALUES (1), (2)").status();
        }},
+      {"continuous.window_close", Status::Code::kInternal,
+       // Each invocation builds a fresh continuous query, drives one
+       // window to its close (where the armed fault fires as the INSERT's
+       // status), and drops the query again so the streaming tracker
+       // drains back to baseline either way. The epoch keeps event times
+       // strictly increasing across the armed and disarmed runs.
+       [epoch = 0.0](Database& db) mutable {
+         auto setup = db.Query(
+             "CREATE TABLE IF NOT EXISTS cq_rows "
+             "(t DOUBLE, x DOUBLE, y DOUBLE)");
+         if (!setup.ok()) return setup.status();
+         auto cq = db.Query(
+             "CREATE CONTINUOUS QUERY cq_fault AS SELECT count(*) "
+             "FROM cq_rows GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.5 "
+             "WINDOW TUMBLING 5 ON t");
+         if (!cq.ok()) return cq.status();
+         const double t0 = epoch;
+         epoch += 100.0;
+         const Status insert =
+             db.Query("INSERT INTO cq_rows VALUES (" + std::to_string(t0) +
+                      ", 1, 1), (" + std::to_string(t0 + 1) + ", 1.2, 1), (" +
+                      std::to_string(t0 + 50) + ", 9, 9)")
+                 .status();
+         auto drop = db.Query("DROP CONTINUOUS QUERY cq_fault");
+         if (!drop.ok()) return drop.status();
+         return insert;
+       }},
       {"server.accept", Status::Code::kIoError,
        [](Database&) {
          auto listener = Listener::ListenTcp(0);

@@ -19,10 +19,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +33,7 @@
 #include "common/random.h"
 #include "core/sgb_all.h"
 #include "core/sgb_any.h"
+#include "engine/continuous.h"
 #include "engine/csv.h"
 #include "engine/executor.h"
 #include "engine/spill.h"
@@ -495,6 +499,246 @@ TEST(SgbFuzzTest, TracedExecutionMatchesUntraced) {
         << "SET trace = 1 changed the result";
     EXPECT_GT(db.trace_log().event_count(), 0u);
   }
+}
+
+// The streaming dimension of the differential harness
+// (docs/STREAMING.md): each case draws a random window schedule (tumbling
+// or sliding, random size/advance) and feeds a random point stream as
+// randomized multi-row INSERT batches through a CREATE CONTINUOUS QUERY.
+// An independent simulation of the documented window semantics (covering
+// windows, closed-window-only lateness, watermark-driven closes at
+// statement end) predicts exactly which windows close with which rows,
+// and every predicted close is re-derived from the serial All-Pairs core
+// over the window's canonical (t, x, y) order — with the engine's own
+// content-derived arbitration keys for SGB-All — then compared against
+// the stream's published close records. A mismatch is greedily minimized
+// by row removal and printed as a paste-able repro.
+TEST(SgbFuzzTest, StreamingClosesMatchAllPairsOracle) {
+  using engine::ContinuousQueryManager;
+  using engine::Database;
+  using engine::DeltaBatch;
+
+  struct StreamRow {
+    size_t batch = 0;  ///< which INSERT statement carries the row
+    double t = 0;
+    double x = 0;
+    double y = 0;
+  };
+  struct CloseRec {
+    double start = 0;
+    double end = 0;
+    size_t rows = 0;
+    size_t groups = 0;
+    size_t eliminated = 0;
+    bool operator==(const CloseRec&) const = default;
+  };
+
+  Rng rng(FuzzSeed() ^ 0x57AE);
+  const size_t cases = std::max<size_t>(FuzzCases() / 8, 8);
+  size_t total_closes = 0;
+  for (size_t c = 0; c < cases; ++c) {
+    CaseConfig config = DrawConfig(rng);
+    if (config.kind == PointKind::kNonFinite) config.kind = PointKind::kUniform;
+    const bool any_kind = rng.NextBounded(2) == 0;
+    const int dop = rng.NextBounded(2) == 0 ? 1 : 4;
+    const double size = static_cast<double>(2 + rng.NextBounded(9));
+    const bool sliding = rng.NextBounded(2) == 0;
+    const double advance =
+        sliding ? static_cast<double>(
+                      1 + rng.NextBounded(static_cast<uint64_t>(size)))
+                : size;
+
+    const size_t n = 20 + rng.NextBounded(60);
+    const auto pts = GeneratePoints(rng, config.kind, n);
+    std::vector<StreamRow> rows;
+    rows.reserve(n + 1);
+    size_t batch = 0;
+    size_t left_in_batch = 1 + rng.NextBounded(8);
+    for (size_t i = 0; i < n; ++i) {
+      if (left_in_batch == 0) {
+        ++batch;
+        left_in_batch = 1 + rng.NextBounded(8);
+      }
+      --left_in_batch;
+      rows.push_back({batch, rng.NextUniform(0, 30), pts[i].x, pts[i].y});
+    }
+    // Flush sentinel: far enough out that the watermark passes every real
+    // window (its own window stays open, so it never appears in a close).
+    rows.push_back({batch + 1, 1000.0, 500.0, 500.0});
+
+    char clause[192];
+    std::snprintf(clause, sizeof(clause),
+                  "DISTANCE-TO-%s %s WITHIN %.17g%s%s PARALLEL %d "
+                  "WINDOW %s",
+                  any_kind ? "ANY" : "ALL",
+                  config.metric == Metric::kL2 ? "L2" : "LINF",
+                  config.epsilon, any_kind ? "" : " ON-OVERLAP ",
+                  any_kind ? "" : ToString(config.clause), dop,
+                  sliding ? "SLIDING" : "TUMBLING");
+    char window[96];
+    if (sliding) {
+      std::snprintf(window, sizeof(window), " %.17g ADVANCE %.17g ON t",
+                    size, advance);
+    } else {
+      std::snprintf(window, sizeof(window), " %.17g ON t", size);
+    }
+    const std::string cq_sql =
+        "CREATE CONTINUOUS QUERY fz AS SELECT count(*) FROM stream "
+        "GROUP BY x, y " + std::string(clause) + window;
+    SCOPED_TRACE("case " + std::to_string(c) + ": " + cq_sql);
+
+    // Drives the rows through a fresh engine as per-batch INSERT
+    // statements and returns the published close records.
+    auto run = [&cq_sql](const std::vector<StreamRow>& input)
+        -> Result<std::vector<CloseRec>> {
+      Database db;
+      SGB_RETURN_IF_ERROR(
+          db.Query("CREATE TABLE stream (t DOUBLE, x DOUBLE, y DOUBLE)")
+              .status());
+      SGB_RETURN_IF_ERROR(db.Query(cq_sql).status());
+      std::vector<CloseRec> closes;
+      auto sub = db.continuous().Subscribe(
+          "fz", [&closes](const DeltaBatch& b) {
+            closes.push_back(CloseRec{b.window_start, b.window_end, b.rows,
+                                      b.num_groups, b.eliminated});
+            return true;
+          });
+      SGB_RETURN_IF_ERROR(sub.status());
+      for (size_t i = 0; i < input.size();) {
+        const size_t stmt = input[i].batch;
+        const size_t first = i;
+        std::string sql = "INSERT INTO stream VALUES ";
+        char literal[128];
+        while (i < input.size() && input[i].batch == stmt) {
+          std::snprintf(literal, sizeof(literal),
+                        "%s(%.17g, %.17g, %.17g)", i == first ? "" : ", ",
+                        input[i].t, input[i].x, input[i].y);
+          sql += literal;
+          ++i;
+        }
+        SGB_RETURN_IF_ERROR(db.Query(sql).status());
+      }
+      return closes;
+    };
+
+    // Independent prediction: simulate the window bookkeeping row by row,
+    // then re-derive every close from the serial All-Pairs core.
+    auto expect = [&](const std::vector<StreamRow>& input)
+        -> std::vector<CloseRec> {
+      std::map<int64_t, std::vector<StreamRow>> open;
+      int64_t next_unclosed = std::numeric_limits<int64_t>::min();
+      bool has_watermark = false;
+      double watermark = 0;
+      std::vector<CloseRec> closes;
+      auto oracle = [&](const std::vector<StreamRow>& in_window,
+                        double start, double end) {
+        std::vector<StreamRow> sorted = in_window;
+        std::stable_sort(sorted.begin(), sorted.end(),
+                         [](const StreamRow& a, const StreamRow& b) {
+                           if (a.t != b.t) return a.t < b.t;
+                           if (a.x != b.x) return a.x < b.x;
+                           return a.y < b.y;
+                         });
+        std::vector<Point> wpts;
+        std::vector<uint64_t> keys;
+        for (const StreamRow& r : sorted) {
+          wpts.push_back({r.x, r.y});
+          keys.push_back(engine::ArrivalKey(r.t, r.x, r.y));
+        }
+        Grouping grouping;
+        if (any_kind) {
+          SgbAnyOptions options;
+          options.epsilon = config.epsilon;
+          options.metric = config.metric;
+          grouping = SgbAny(wpts, options).value();
+        } else {
+          SgbAllOptions options;
+          options.epsilon = config.epsilon;
+          options.metric = config.metric;
+          options.on_overlap = config.clause;
+          options.arbitration_keys = keys;
+          grouping = SgbAll(wpts, options).value();
+        }
+        closes.push_back(CloseRec{start, end, sorted.size(),
+                                  grouping.num_groups,
+                                  grouping.NumEliminated()});
+      };
+      for (size_t i = 0; i < input.size();) {
+        const size_t stmt = input[i].batch;
+        double stmt_max = -std::numeric_limits<double>::infinity();
+        for (; i < input.size() && input[i].batch == stmt; ++i) {
+          const StreamRow& r = input[i];
+          const auto floor_div = [](double v, double d) {
+            return static_cast<int64_t>(std::floor(v / d));
+          };
+          const int64_t i_max = floor_div(r.t, advance);
+          const int64_t i_min = floor_div(r.t - size, advance) + 1;
+          for (int64_t w = i_min; w <= i_max; ++w) {
+            const double start = static_cast<double>(w) * advance;
+            if (r.t < start || r.t >= start + size) continue;
+            // Late rows — w < next_unclosed — are dropped, matching the
+            // closed-window-only lateness rule.
+            if (w >= next_unclosed) open[w].push_back(r);
+          }
+          stmt_max = std::max(stmt_max, r.t);
+        }
+        if (!has_watermark || stmt_max > watermark) {
+          has_watermark = true;
+          watermark = std::max(watermark, stmt_max);
+        }
+        while (!open.empty()) {
+          const auto it = open.begin();
+          const double start = static_cast<double>(it->first) * advance;
+          if (!(has_watermark && start + size <= watermark)) break;
+          oracle(it->second, start, start + size);
+          next_unclosed = it->first + 1;
+          open.erase(it);
+        }
+      }
+      return closes;
+    };
+
+    auto got = run(rows);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    total_closes += got.value().size();
+    if (got.value() == expect(rows)) continue;
+
+    // Divergence: greedily shrink the stream while it still diverges,
+    // then print the minimal stream as a repro.
+    auto mismatch = [&](const std::vector<StreamRow>& candidate) {
+      auto fresh = run(candidate);
+      if (!fresh.ok()) return true;
+      return fresh.value() != expect(candidate);
+    };
+    std::vector<StreamRow> minimal = rows;
+    bool shrunk = true;
+    while (shrunk && minimal.size() > 1) {
+      shrunk = false;
+      for (size_t i = 0; i < minimal.size();) {
+        std::vector<StreamRow> candidate = minimal;
+        candidate.erase(candidate.begin() + static_cast<ptrdiff_t>(i));
+        if (mismatch(candidate)) {
+          minimal = std::move(candidate);
+          shrunk = true;
+        } else {
+          ++i;
+        }
+      }
+    }
+    std::string repro = "repro: " + cq_sql + "\nstream = {  // batch, t, x, y\n";
+    char buf[160];
+    for (const StreamRow& r : minimal) {
+      std::snprintf(buf, sizeof(buf), "  {%zu, %.17g, %.17g, %.17g},\n",
+                    r.batch, r.t, r.x, r.y);
+      repro += buf;
+    }
+    repro += "};";
+    ADD_FAILURE() << "streaming closes diverge from the All-Pairs oracle\n"
+                  << repro;
+    break;  // one minimized repro is enough
+  }
+  // The sweep is only meaningful if windows actually closed.
+  EXPECT_GT(total_closes, 0u);
 }
 
 }  // namespace
