@@ -53,6 +53,22 @@ Result<Value> CoerceToColumn(const Value& v, const Column& col) {
 
 }  // namespace
 
+Status CoerceRowsToSchema(const Schema& schema, std::vector<Row>* rows) {
+  for (Row& row : *rows) {
+    if (row.size() != schema.size()) {
+      return Status::InvalidArgument(
+          "INSERT arity " + std::to_string(row.size()) +
+          " does not match table arity " + std::to_string(schema.size()));
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      auto coerced = CoerceToColumn(row[c], schema.column(c));
+      if (!coerced.ok()) return coerced.status();
+      row[c] = std::move(coerced).value();
+    }
+  }
+  return Status::OK();
+}
+
 AppendOnlyTable::AppendOnlyTable(Schema schema)
     : schema_(std::move(schema)), chunks_(kMaxChunks) {}
 
@@ -60,18 +76,7 @@ Status AppendOnlyTable::Append(std::vector<Row> rows) {
   SGB_RETURN_IF_ERROR(g_append_insert_fault.Check());
   // Validate + coerce before taking the writer lock; a bad statement
   // appends nothing.
-  for (Row& row : rows) {
-    if (row.size() != schema_.size()) {
-      return Status::InvalidArgument(
-          "INSERT arity " + std::to_string(row.size()) +
-          " does not match table arity " + std::to_string(schema_.size()));
-    }
-    for (size_t c = 0; c < row.size(); ++c) {
-      auto coerced = CoerceToColumn(row[c], schema_.column(c));
-      if (!coerced.ok()) return coerced.status();
-      row[c] = std::move(coerced).value();
-    }
-  }
+  SGB_RETURN_IF_ERROR(CoerceRowsToSchema(schema_, &rows));
 
   std::lock_guard<std::mutex> lock(write_mu_);
   const size_t start = size_.load(std::memory_order_relaxed);

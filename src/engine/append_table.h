@@ -14,6 +14,12 @@
 
 namespace sgb::engine {
 
+/// Validates INSERT arity and coerces every value to its column type, in
+/// place (int <-> double; NULL always admitted; a string into a numeric
+/// column is InvalidArgument). Shared by the append-only (in-memory) and
+/// paged (disk-backed) storage backends so both enforce identical typing.
+Status CoerceRowsToSchema(const Schema& schema, std::vector<Row>* rows);
+
 /// A mutable, append-only table supporting single-writer-at-a-time appends
 /// and fully concurrent lock-free snapshot reads — the storage behind
 /// CREATE TABLE / INSERT and the server's multi-session traffic

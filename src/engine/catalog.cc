@@ -46,6 +46,7 @@ Status Catalog::CreateAppendable(const std::string& name, Schema schema,
     std::unique_lock<std::shared_mutex> lock(rep_->mu);
     const bool exists = rep_->tables.count(key) > 0 ||
                         rep_->appendables.count(key) > 0 ||
+                        rep_->paged.count(key) > 0 ||
                         rep_->providers.count(key) > 0;
     if (exists) {
       if (if_not_exists) return Status::OK();
@@ -66,7 +67,8 @@ Status Catalog::Drop(const std::string& name, bool if_exists) const {
       return Status::InvalidArgument("cannot drop system table '" + name +
                                      "'");
     }
-    if (rep_->tables.erase(key) == 0 && rep_->appendables.erase(key) == 0) {
+    if (rep_->tables.erase(key) == 0 && rep_->appendables.erase(key) == 0 &&
+        rep_->paged.erase(key) == 0) {
       if (if_exists) return Status::OK();
       return Status::NotFound("no table named '" + name + "'");
     }
@@ -88,6 +90,13 @@ Result<TablePtr> Catalog::Get(const std::string& name) const {
       return TablePtr(
           std::make_shared<Table>(ait->second->MaterializeSnapshot()));
     }
+    const auto git = rep_->paged.find(key);
+    if (git != rep_->paged.end()) {
+      auto snapshot = git->second->MaterializeSnapshot();
+      if (!snapshot.ok()) return snapshot.status();
+      return TablePtr(
+          std::make_shared<Table>(std::move(snapshot).value()));
+    }
     const auto pit = rep_->providers.find(key);
     if (pit == rep_->providers.end()) {
       return Status::NotFound("no table named '" + name + "'");
@@ -105,20 +114,49 @@ AppendTablePtr Catalog::FindAppendable(const std::string& name) const {
   return it == rep_->appendables.end() ? nullptr : it->second;
 }
 
+Status Catalog::RegisterPaged(const std::string& name,
+                              storage::PagedTablePtr table) const {
+  const std::string key = Lower(name);
+  {
+    std::unique_lock<std::shared_mutex> lock(rep_->mu);
+    const bool conflict = rep_->tables.count(key) > 0 ||
+                          rep_->appendables.count(key) > 0 ||
+                          rep_->providers.count(key) > 0;
+    if (conflict) {
+      return Status::InvalidArgument("table '" + name + "' already exists");
+    }
+    rep_->paged[key] = std::move(table);
+  }
+  BumpVersion();
+  return Status::OK();
+}
+
+storage::PagedTablePtr Catalog::FindPaged(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(rep_->mu);
+  const auto it = rep_->paged.find(Lower(name));
+  return it == rep_->paged.end() ? nullptr : it->second;
+}
+
+bool Catalog::IsPaged(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(rep_->mu);
+  return rep_->paged.count(Lower(name)) > 0;
+}
+
 bool Catalog::Contains(const std::string& name) const {
   const std::string key = Lower(name);
   std::shared_lock<std::shared_mutex> lock(rep_->mu);
   return rep_->tables.count(key) > 0 || rep_->appendables.count(key) > 0 ||
-         rep_->providers.count(key) > 0;
+         rep_->paged.count(key) > 0 || rep_->providers.count(key) > 0;
 }
 
 std::vector<std::string> Catalog::TableNames() const {
   std::shared_lock<std::shared_mutex> lock(rep_->mu);
   std::vector<std::string> names;
   names.reserve(rep_->tables.size() + rep_->appendables.size() +
-                rep_->providers.size());
+                rep_->paged.size() + rep_->providers.size());
   for (const auto& [name, table] : rep_->tables) names.push_back(name);
   for (const auto& [name, table] : rep_->appendables) names.push_back(name);
+  for (const auto& [name, table] : rep_->paged) names.push_back(name);
   for (const auto& [name, provider] : rep_->providers) names.push_back(name);
   std::sort(names.begin(), names.end());
   return names;

@@ -13,16 +13,20 @@
 #include "engine/append_table.h"
 #include "engine/table.h"
 #include "stats/table_stats.h"
+#include "storage/paged_table.h"
 
 namespace sgb::engine {
 
 /// Name -> table registry; the planner resolves FROM items against it.
 /// Table names are case-insensitive (normalized to lower case).
 ///
-/// Three kinds of entries share the namespace:
+/// Four kinds of entries share the namespace:
 ///  * *stored* tables — immutable TablePtr snapshots (Register);
 ///  * *append-only* tables — mutable AppendOnlyTable instances created by
 ///    CREATE TABLE and fed by INSERT, scanned via pinned snapshots;
+///  * *paged* tables — disk-backed storage::PagedTable instances owned by
+///    the StorageEngine of a disk-backed Database (docs/STORAGE.md); the
+///    engine mirrors its DDL into the catalog so the planner resolves them;
 ///  * *virtual* tables — a registered provider function is invoked on
 ///    every lookup and materializes a fresh snapshot (the system.*
 ///    introspection tables are served this way).
@@ -66,6 +70,17 @@ class Catalog {
   /// The append-only table registered under `name`, or null. Scans hold
   /// the returned pointer and pin a row-count snapshot at Open.
   AppendTablePtr FindAppendable(const std::string& name) const;
+
+  /// Mirrors a StorageEngine table into the catalog (disk-backed DDL path).
+  /// InvalidArgument when the name is taken by a non-paged entry.
+  Status RegisterPaged(const std::string& name,
+                       storage::PagedTablePtr table) const;
+
+  /// The paged table registered under `name`, or null. Scans hold the
+  /// returned pointer and pin a row-count snapshot at Open.
+  storage::PagedTablePtr FindPaged(const std::string& name) const;
+
+  bool IsPaged(const std::string& name) const;
 
   bool Contains(const std::string& name) const;
 
@@ -122,6 +137,7 @@ class Catalog {
     mutable std::shared_mutex mu;
     std::map<std::string, TablePtr> tables;
     std::map<std::string, AppendTablePtr> appendables;
+    std::map<std::string, storage::PagedTablePtr> paged;
     std::map<std::string, TableProviderFn> providers;
     std::map<std::string, StatsEntry> stats;
     std::atomic<uint64_t> version{0};

@@ -1,6 +1,7 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <ctime>
 #include <optional>
@@ -86,13 +87,24 @@ struct NonSelect {
   std::optional<sql::AnalyzeStatement> analyze;
   std::optional<sql::CreateContinuousStatement> create_continuous;
   std::optional<sql::DropContinuousStatement> drop_continuous;
+  std::optional<sql::CheckpointStatement> checkpoint;
 
   bool engaged() const {
     return set.has_value() || create.has_value() || insert.has_value() ||
            drop.has_value() || analyze.has_value() ||
-           create_continuous.has_value() || drop_continuous.has_value();
+           create_continuous.has_value() || drop_continuous.has_value() ||
+           checkpoint.has_value();
   }
 };
+
+/// Catalog keys are lower-cased; the storage engine stores names verbatim,
+/// so the executor lowers them once here to keep the two views aligned.
+std::string LowerName(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
 
 bool ExprHasSubquery(const sql::ParsedExpr& e) {
   if (e.kind == sql::ParsedExpr::Kind::kInSubquery) return true;
@@ -173,6 +185,7 @@ Result<OperatorPtr> PlanStatement(const Catalog& catalog,
     non_select->analyze = std::move(stmt.value().analyze);
     non_select->create_continuous = std::move(stmt.value().create_continuous);
     non_select->drop_continuous = std::move(stmt.value().drop_continuous);
+    non_select->checkpoint = stmt.value().checkpoint;
     if (plan_micros != nullptr) *plan_micros = ElapsedMicros(t0);
     return OperatorPtr{};
   }
@@ -366,6 +379,22 @@ Database::Database() {
   RegisterContinuousSystemTable(&catalog_, continuous_);
 }
 
+Result<Database> Database::Open(const std::string& directory,
+                                const storage::StorageOptions& options) {
+  auto engine = storage::StorageEngine::Open(directory, options);
+  if (!engine.ok()) return engine.status();
+  Database db;
+  db.storage_ = std::move(engine).value();
+  // Mirror every recovered table into the catalog so the planner, system
+  // tables, and continuous queries see them like any other table.
+  for (const std::string& name : db.storage_->TableNames()) {
+    SGB_RETURN_IF_ERROR(
+        db.catalog_.RegisterPaged(name, db.storage_->Find(name)));
+  }
+  RegisterStorageSystemTables(&db.catalog_, db.storage_);
+  return db;
+}
+
 Result<OperatorPtr> Database::Prepare(const std::string& sql) const {
   return PlanStatement(catalog_, sql, default_session_->PlannerOptionsSnapshot(),
                        nullptr, nullptr, nullptr, nullptr, nullptr, nullptr,
@@ -446,6 +475,9 @@ Result<Table> Database::Query(Session& session, const std::string& sql,
   }
   if (non_select.drop_continuous.has_value()) {
     return ExecuteDropContinuous(session, *non_select.drop_continuous, &info);
+  }
+  if (non_select.checkpoint.has_value()) {
+    return ExecuteCheckpoint(session, &info);
   }
   info.est_rows = static_cast<int64_t>(plan_info.est_rows);
   info.est_bytes = static_cast<size_t>(plan_info.est_bytes);
@@ -610,6 +642,14 @@ Result<Table> Database::ApplySet(Session& session,
             "SET agg_strategy: expected auto, hash, or sort, got '" +
             set.text_value + "'");
       }
+    } else if (set.name == "eviction") {
+      if (storage_ == nullptr) {
+        return Status::InvalidArgument(
+            "SET eviction requires a disk-backed database (Database::Open)");
+      }
+      auto kind = storage::ParseEvictionPolicy(set.text_value);
+      if (!kind.ok()) return kind.status();
+      SGB_RETURN_IF_ERROR(storage_->SetEvictionPolicy(kind.value()));
     } else {
       return Status::InvalidArgument(
           "SET " + set.name + ": expected an integer value, got '" +
@@ -635,12 +675,20 @@ Result<Table> Database::ApplySet(Session& session,
     session.set_trace_enabled(set.value != 0);
   } else if (set.name == "slow_query_micros") {
     session.set_slow_query_micros(set.value);
+  } else if (set.name == "buffer_pool_bytes") {
+    if (storage_ == nullptr) {
+      return Status::InvalidArgument(
+          "SET buffer_pool_bytes requires a disk-backed database "
+          "(Database::Open)");
+    }
+    SGB_RETURN_IF_ERROR(
+        storage_->SetBufferPoolBytes(static_cast<size_t>(set.value)));
   } else {
     return Status::InvalidArgument(
         "unknown setting '" + set.name +
         "' (expected timeout, memory_budget, parallel, spill, admission, "
-        "admission_budget, trace, slow_query_micros, sgb_tier, or "
-        "agg_strategy)");
+        "admission_budget, trace, slow_query_micros, sgb_tier, "
+        "agg_strategy, buffer_pool_bytes, or eviction)");
   }
   return AckTable("set", set.name + " = " + std::to_string(set.value));
 }
@@ -650,9 +698,28 @@ Result<Table> Database::ExecuteCreate(Session& session,
                                       StatementInfo* info) const {
   Schema schema;
   for (const Column& col : create.columns) schema.AddColumn(col);
-  const Status status =
-      catalog_.CreateAppendable(create.table, std::move(schema),
-                                create.if_not_exists);
+  Status status;
+  if (storage_ != nullptr) {
+    // Disk-backed database: the table lives in the storage engine (WAL +
+    // pages) and is mirrored into the catalog for the planner.
+    const std::string name = LowerName(create.table);
+    if (catalog_.Contains(name) && !catalog_.IsPaged(name)) {
+      status = create.if_not_exists
+                   ? Status::OK()
+                   : Status::InvalidArgument("table '" + create.table +
+                                             "' already exists");
+    } else {
+      bool created = false;
+      status = storage_->CreateTable(name, schema, create.if_not_exists,
+                                     &created);
+      if (status.ok() && created) {
+        status = catalog_.RegisterPaged(name, storage_->Find(name));
+      }
+    }
+  } else {
+    status = catalog_.CreateAppendable(create.table, std::move(schema),
+                                       create.if_not_exists);
+  }
   LogSimpleStatement(session, *info, status, 0);
   if (!status.ok()) return status;
   return AckTable("create", "CREATE TABLE " + create.table);
@@ -661,6 +728,17 @@ Result<Table> Database::ExecuteCreate(Session& session,
 Result<Table> Database::ExecuteInsert(Session& session,
                                       const sql::InsertStatement& insert,
                                       StatementInfo* info) const {
+  if (storage_ != nullptr && catalog_.IsPaged(insert.table)) {
+    const int64_t n = static_cast<int64_t>(insert.rows.size());
+    Status status = storage_->Insert(LowerName(insert.table), insert.rows);
+    if (status.ok()) {
+      catalog_.AddStatsRowDelta(insert.table, insert.rows.size());
+      status = continuous_->OnInsert(catalog_, insert.table, insert.rows);
+    }
+    LogSimpleStatement(session, *info, status, status.ok() ? n : 0);
+    if (!status.ok()) return status;
+    return AckTable("insert", "INSERT " + std::to_string(n));
+  }
   AppendTablePtr table = catalog_.FindAppendable(insert.table);
   if (table == nullptr) {
     const Status status =
@@ -693,7 +771,14 @@ Result<Table> Database::ExecuteInsert(Session& session,
 Result<Table> Database::ExecuteDrop(Session& session,
                                     const sql::DropTableStatement& drop,
                                     StatementInfo* info) const {
-  const Status status = catalog_.Drop(drop.table, drop.if_exists);
+  Status status;
+  if (storage_ != nullptr && catalog_.IsPaged(drop.table)) {
+    // WAL the drop first; only a durably dropped table leaves the catalog.
+    status = storage_->DropTable(LowerName(drop.table), drop.if_exists);
+    if (status.ok()) status = catalog_.Drop(drop.table, drop.if_exists);
+  } else {
+    status = catalog_.Drop(drop.table, drop.if_exists);
+  }
   LogSimpleStatement(session, *info, status, 0);
   if (!status.ok()) return status;
   return AckTable("drop", "DROP TABLE " + drop.table);
@@ -755,6 +840,19 @@ Result<Table> Database::ExecuteDropContinuous(
   LogSimpleStatement(session, *info, status, 0);
   if (!status.ok()) return status;
   return AckTable("drop", "DROP CONTINUOUS QUERY " + drop.name);
+}
+
+Result<Table> Database::ExecuteCheckpoint(Session& session,
+                                          StatementInfo* info) const {
+  const Status status =
+      storage_ == nullptr
+          ? Status::InvalidArgument(
+                "CHECKPOINT requires a disk-backed database "
+                "(Database::Open)")
+          : storage_->Checkpoint();
+  LogSimpleStatement(session, *info, status, 0);
+  if (!status.ok()) return status;
+  return AckTable("checkpoint", "CHECKPOINT");
 }
 
 Status Database::AdmitQuery(const SessionGovernance& gov, size_t estimate,

@@ -17,6 +17,7 @@
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "sql/planner.h"
+#include "storage/storage_engine.h"
 
 namespace sgb::engine {
 
@@ -50,6 +51,19 @@ namespace sgb::engine {
 class Database {
  public:
   Database();
+
+  /// Opens (or creates) a *disk-backed* database rooted at `directory`
+  /// (docs/STORAGE.md). CREATE TABLE / INSERT / DROP TABLE run against the
+  /// paged storage engine: rows land in slotted pages cached by a buffer
+  /// pool, every INSERT is WAL-logged and fsynced before it is
+  /// acknowledged, and reopening the directory after a crash replays the
+  /// WAL back to the exact pre-crash state. Queries are unchanged — paged
+  /// tables stream through the same operators as in-memory ones.
+  static Result<Database> Open(const std::string& directory,
+                               const storage::StorageOptions& options = {});
+
+  /// The paged storage engine, or null for an in-memory Database.
+  storage::StorageEngine* storage() const { return storage_.get(); }
 
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
@@ -289,6 +303,11 @@ class Database {
                                       const sql::DropContinuousStatement& drop,
                                       StatementInfo* info) const;
 
+  /// CHECKPOINT: flush dirty pages, publish a fresh manifest, truncate the
+  /// WAL (docs/STORAGE.md). InvalidArgument on an in-memory Database.
+  Result<Table> ExecuteCheckpoint(Session& session,
+                                  StatementInfo* info) const;
+
   /// Admission gate: decides at plan time whether a query whose estimated
   /// footprint is `estimate` bytes may run now. Queue mode blocks until
   /// headroom frees up (bounded by the session timeout when one is set);
@@ -346,6 +365,9 @@ class Database {
       std::make_shared<ContinuousQueryManager>();
   std::shared_ptr<Session> default_session_ =
       std::make_shared<Session>(sessions_, "local");
+  /// Set by Open(): the paged storage engine behind a disk-backed
+  /// Database. Shared so system-table providers can capture it.
+  std::shared_ptr<storage::StorageEngine> storage_;
 };
 
 }  // namespace sgb::engine

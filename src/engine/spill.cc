@@ -8,6 +8,7 @@
 
 #include "common/fault_injection.h"
 #include "obs/metrics.h"
+#include "storage/file_registry.h"
 
 namespace sgb::engine {
 
@@ -20,9 +21,6 @@ static FaultSite g_spill_read_fault("engine.spill.read",
                                     Status::Code::kIoError);
 
 namespace {
-
-std::atomic<uint64_t> g_live_files{0};
-std::atomic<uint64_t> g_file_counter{0};
 
 void AppendVarint(uint64_t v, std::string* out) {
   while (v >= 0x80) {
@@ -163,15 +161,17 @@ std::string SpillFile::SpillDirectory() {
 }
 
 uint64_t SpillFile::LiveFileCount() {
-  return g_live_files.load(std::memory_order_relaxed);
+  // Spill names and live counts come from the shared storage FileRegistry
+  // (one namespace with segment page files and WALs), so this probe and the
+  // registry's total stay consistent.
+  return storage::FileRegistry::Global().LiveCount(
+      storage::FileRegistry::kSpill);
 }
 
 Result<std::unique_ptr<SpillFile>> SpillFile::Create(const std::string& dir) {
   const std::string base = dir.empty() ? SpillDirectory() : dir;
-  const uint64_t id = g_file_counter.fetch_add(1, std::memory_order_relaxed);
-  std::string path = base + "/sgb-spill-" +
-                     std::to_string(static_cast<long long>(::getpid())) + "-" +
-                     std::to_string(id) + ".spill";
+  std::string path = storage::FileRegistry::Global().MakeTempName(
+      base, storage::FileRegistry::kSpill);
   std::FILE* file = std::fopen(path.c_str(), "wb+");
   if (file == nullptr) {
     return Status::IoError("spill: cannot create temp file " + path);
@@ -182,13 +182,13 @@ Result<std::unique_ptr<SpillFile>> SpillFile::Create(const std::string& dir) {
 
 SpillFile::SpillFile(std::string path, std::FILE* file)
     : path_(std::move(path)), file_(file) {
-  g_live_files.fetch_add(1, std::memory_order_relaxed);
+  storage::FileRegistry::Global().Acquire(storage::FileRegistry::kSpill);
 }
 
 SpillFile::~SpillFile() {
   if (file_ != nullptr) std::fclose(file_);
   std::remove(path_.c_str());
-  g_live_files.fetch_sub(1, std::memory_order_relaxed);
+  storage::FileRegistry::Global().Release(storage::FileRegistry::kSpill);
 }
 
 Status SpillFile::Append(const Row& row) {

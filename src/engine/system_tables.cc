@@ -5,6 +5,7 @@
 #include "engine/operators.h"
 #include "obs/metrics.h"
 #include "stats/table_stats.h"
+#include "storage/storage_engine.h"
 
 namespace sgb::engine {
 
@@ -131,6 +132,14 @@ Result<TablePtr> TablesProvider(const Catalog& catalog) {
               Value::Int(static_cast<int64_t>(appendable->SnapshotRows())),
               Value::Int(static_cast<int64_t>(appendable->schema().size())),
               Value::Int(static_cast<int64_t>(appendable->ApproxBytes()))}));
+      continue;
+    }
+    if (storage::PagedTablePtr paged = catalog.FindPaged(name)) {
+      SGB_RETURN_IF_ERROR(table->Append(
+          Row{Value::Str(name), Value::Str("paged"),
+              Value::Int(static_cast<int64_t>(paged->SnapshotRows())),
+              Value::Int(static_cast<int64_t>(paged->schema().size())),
+              Value::Int(static_cast<int64_t>(paged->ApproxBytes()))}));
       continue;
     }
     Result<TablePtr> stored = catalog.Get(name);
@@ -306,6 +315,48 @@ void RegisterSystemTables(Catalog* catalog,
                   Value::Str(AdmissionModeName(s.admission_mode()))});
         });
         SGB_RETURN_IF_ERROR(status);
+        return TablePtr(std::move(table));
+      });
+}
+
+void RegisterStorageSystemTables(
+    Catalog* catalog, std::shared_ptr<storage::StorageEngine> storage) {
+  catalog->RegisterProvider(
+      "system.buffer_pool",
+      [storage](const Catalog&) -> Result<TablePtr> {
+        Schema schema;
+        schema.AddColumn(Column{"hits", DataType::kInt64, ""});
+        schema.AddColumn(Column{"misses", DataType::kInt64, ""});
+        schema.AddColumn(Column{"evictions", DataType::kInt64, ""});
+        schema.AddColumn(Column{"writebacks", DataType::kInt64, ""});
+        schema.AddColumn(Column{"capacity_pages", DataType::kInt64, ""});
+        schema.AddColumn(Column{"resident_pages", DataType::kInt64, ""});
+        schema.AddColumn(Column{"dirty_pages", DataType::kInt64, ""});
+        schema.AddColumn(Column{"pinned_pages", DataType::kInt64, ""});
+        schema.AddColumn(Column{"page_size", DataType::kInt64, ""});
+        schema.AddColumn(Column{"policy", DataType::kString, ""});
+        schema.AddColumn(Column{"checkpoints", DataType::kInt64, ""});
+        schema.AddColumn(Column{"wal_bytes", DataType::kInt64, ""});
+        schema.AddColumn(Column{"wal_replayed", DataType::kInt64, ""});
+        schema.AddColumn(Column{"crashed", DataType::kInt64, ""});
+        auto table = std::make_shared<Table>(std::move(schema));
+        const storage::BufferPoolStats bp = storage->buffer_stats();
+        const storage::StorageStats st = storage->stats();
+        SGB_RETURN_IF_ERROR(table->Append(
+            Row{Value::Int(static_cast<int64_t>(bp.hits)),
+                Value::Int(static_cast<int64_t>(bp.misses)),
+                Value::Int(static_cast<int64_t>(bp.evictions)),
+                Value::Int(static_cast<int64_t>(bp.writebacks)),
+                Value::Int(static_cast<int64_t>(bp.capacity_pages)),
+                Value::Int(static_cast<int64_t>(bp.resident_pages)),
+                Value::Int(static_cast<int64_t>(bp.dirty_pages)),
+                Value::Int(static_cast<int64_t>(bp.pinned_pages)),
+                Value::Int(static_cast<int64_t>(bp.page_size)),
+                Value::Str(bp.policy),
+                Value::Int(static_cast<int64_t>(st.checkpoints)),
+                Value::Int(static_cast<int64_t>(st.wal_bytes)),
+                Value::Int(static_cast<int64_t>(st.wal_replayed_records)),
+                Value::Int(st.crashed ? 1 : 0)}));
         return TablePtr(std::move(table));
       });
 }

@@ -7,6 +7,10 @@
 #include "engine/session.h"
 #include "obs/query_log.h"
 
+namespace sgb::storage {
+class StorageEngine;
+}  // namespace sgb::storage
+
 namespace sgb::engine {
 
 /// Registers the virtual system.* introspection tables on `catalog`
@@ -25,6 +29,13 @@ namespace sgb::engine {
 void RegisterSystemTables(Catalog* catalog,
                           std::shared_ptr<obs::QueryLog> query_log,
                           std::shared_ptr<SessionRegistry> sessions);
+
+/// Registers system.buffer_pool on a disk-backed Database: one row with
+/// the live buffer-pool counters (hits/misses/evictions/writebacks,
+/// residency, policy) and storage counters (checkpoints, WAL size,
+/// replayed records, crashed flag). See docs/STORAGE.md.
+void RegisterStorageSystemTables(
+    Catalog* catalog, std::shared_ptr<storage::StorageEngine> storage);
 
 }  // namespace sgb::engine
 

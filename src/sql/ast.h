@@ -211,6 +211,11 @@ struct DropContinuousStatement {
   bool if_exists = false;
 };
 
+/// CHECKPOINT — flushes every dirty page, fsyncs the segments, atomically
+/// publishes a new storage manifest, and truncates the WAL (docs/STORAGE.md
+/// "Checkpoint protocol"). Only valid on a disk-backed database.
+struct CheckpointStatement {};
+
 /// A full parsed statement: an optional EXPLAIN [ANALYZE] or PROFILE
 /// prefix wrapping one SELECT; or a SET / CREATE TABLE / INSERT /
 /// DROP TABLE statement (exactly one of the optionals engaged, `select`
@@ -227,6 +232,7 @@ struct ParsedStatement {
   std::optional<AnalyzeStatement> analyze;
   std::optional<CreateContinuousStatement> create_continuous;
   std::optional<DropContinuousStatement> drop_continuous;
+  std::optional<CheckpointStatement> checkpoint;
 };
 
 }  // namespace sgb::sql

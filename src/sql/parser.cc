@@ -110,6 +110,10 @@ class Parser {
       out.analyze = std::move(analyze);
       return FinishNonSelect(std::move(out));
     }
+    if (MatchKw("CHECKPOINT")) {
+      out.checkpoint = CheckpointStatement{};
+      return FinishNonSelect(std::move(out));
+    }
     if (MatchKw("PROFILE")) {
       out.profile = true;
     } else if (MatchKw("EXPLAIN")) {
@@ -186,7 +190,10 @@ class Parser {
     std::transform(out.name.begin(), out.name.end(), out.name.begin(),
                    [](unsigned char c) { return std::tolower(c); });
     Match(TokenType::kEq);
-    if (Peek().type == TokenType::kIdent) {
+    // Identifier or string values ('2q' needs the quotes: a leading digit
+    // cannot lex as an identifier).
+    if (Peek().type == TokenType::kIdent ||
+        Peek().type == TokenType::kString) {
       out.text_value = Consume().text;
       std::transform(out.text_value.begin(), out.text_value.end(),
                      out.text_value.begin(),

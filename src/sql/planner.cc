@@ -11,6 +11,7 @@
 #include "engine/append_table.h"
 #include "engine/sgb_operator.h"
 #include "stats/table_stats.h"
+#include "storage/paged_table.h"
 
 namespace sgb::sql {
 
@@ -240,11 +241,15 @@ class PlannerImpl {
     }
     const std::string qualifier =
         ref.alias.empty() ? ref.table_name : ref.alias;
-    // Append-only tables scan through a pinned snapshot instead of a
-    // materialized copy, so readers never block (or copy) writers.
+    // Append-only and paged tables scan through a pinned snapshot instead
+    // of a materialized copy, so readers never block (or copy) writers —
+    // and a paged table streams pages through the buffer pool, so a table
+    // larger than memory scans without materializing.
     OperatorPtr scan;
     if (auto appendable = catalog_.FindAppendable(ref.table_name)) {
       scan = engine::MakeAppendScan(std::move(appendable), qualifier);
+    } else if (auto paged = catalog_.FindPaged(ref.table_name)) {
+      scan = storage::MakePagedScan(std::move(paged), qualifier);
     } else {
       auto table = catalog_.Get(ref.table_name);
       if (!table.ok()) return table.status();

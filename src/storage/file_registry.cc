@@ -1,0 +1,70 @@
+#include "storage/file_registry.h"
+
+#include <unistd.h>
+
+#include <atomic>
+
+namespace sgb::storage {
+
+namespace {
+
+struct Counters {
+  std::atomic<uint64_t> live[FileRegistry::kKindCount];
+  std::atomic<uint64_t> name_counter{0};
+};
+
+Counters& GlobalCounters() {
+  static Counters counters;
+  return counters;
+}
+
+}  // namespace
+
+FileRegistry& FileRegistry::Global() {
+  static FileRegistry registry;
+  return registry;
+}
+
+const char* FileRegistry::KindName(Kind kind) {
+  switch (kind) {
+    case kSpill:
+      return "spill";
+    case kPage:
+      return "page";
+    case kWal:
+      return "wal";
+    default:
+      return "file";
+  }
+}
+
+std::string FileRegistry::MakeTempName(const std::string& dir, Kind kind) {
+  const uint64_t id = GlobalCounters().name_counter.fetch_add(
+      1, std::memory_order_relaxed);
+  const char* name = KindName(kind);
+  return dir + "/sgb-" + name + "-" +
+         std::to_string(static_cast<long long>(::getpid())) + "-" +
+         std::to_string(id) + "." + name;
+}
+
+void FileRegistry::Acquire(Kind kind) {
+  GlobalCounters().live[kind].fetch_add(1, std::memory_order_relaxed);
+}
+
+void FileRegistry::Release(Kind kind) {
+  GlobalCounters().live[kind].fetch_sub(1, std::memory_order_relaxed);
+}
+
+uint64_t FileRegistry::LiveCount() const {
+  uint64_t total = 0;
+  for (int k = 0; k < kKindCount; ++k) {
+    total += GlobalCounters().live[k].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t FileRegistry::LiveCount(Kind kind) const {
+  return GlobalCounters().live[kind].load(std::memory_order_relaxed);
+}
+
+}  // namespace sgb::storage

@@ -1,0 +1,50 @@
+#ifndef SGB_STORAGE_FILE_REGISTRY_H_
+#define SGB_STORAGE_FILE_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sgb::storage {
+
+/// Process-wide accounting of every file the engine keeps open or on disk
+/// on its own behalf: spill temp files, table segment (page) files, and
+/// write-ahead logs. One registry serves two jobs:
+///
+///  * a single temp-file *namespace*: MakeTempName() hands out
+///    `sgb-<kind>-<pid>-<n>.<kind>` names from one shared counter, so every
+///    engine-created temp file is recognizable by prefix and no two
+///    subsystems can collide;
+///  * a single *leak probe*: Acquire()/Release() bracket the lifetime of
+///    each live file object, and LiveCount() / LiveCount(kind) let tests
+///    assert that spills are unlinked and segments/WALs are closed after
+///    every query, crash, and Database teardown — the
+///    `SpillFile::LiveFileCount()`-style checks now cover the storage
+///    engine's files through the same mechanism.
+///
+/// Kinds in use: "spill" (unlinked on release), "page" (segment page
+/// files; closed on release, deleted only by DROP TABLE), "wal".
+/// All methods are thread-safe and lock-free.
+class FileRegistry {
+ public:
+  enum Kind { kSpill = 0, kPage = 1, kWal = 2, kKindCount = 3 };
+
+  static FileRegistry& Global();
+
+  /// `dir` + "/" + a process-unique engine temp-file name for `kind`.
+  std::string MakeTempName(const std::string& dir, Kind kind);
+
+  /// Bracket a live file object's lifetime (open handle or undeleted temp
+  /// file). Every Acquire must be matched by exactly one Release.
+  void Acquire(Kind kind);
+  void Release(Kind kind);
+
+  /// Live files across every kind / for one kind.
+  uint64_t LiveCount() const;
+  uint64_t LiveCount(Kind kind) const;
+
+  static const char* KindName(Kind kind);
+};
+
+}  // namespace sgb::storage
+
+#endif  // SGB_STORAGE_FILE_REGISTRY_H_

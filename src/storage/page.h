@@ -1,0 +1,152 @@
+#ifndef SGB_STORAGE_PAGE_H_
+#define SGB_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace sgb::storage {
+
+/// CRC-32 (ISO-HDLC polynomial, the zlib crc32) over `n` bytes.
+uint32_t Crc32(const void* data, size_t n);
+
+/// Fixed-size slotted page (docs/STORAGE.md "Page layout").
+///
+///   [ header | record heap (grows up) ... free ... | slot dir (grows down) ]
+///
+/// Header, little-endian at offset 0:
+///   u32 checksum    CRC-32 of bytes [4, page_size) — stamped at flush time
+///   u16 slot_count
+///   u16 free_off    first free byte of the record heap
+///
+/// Slot directory entries are {u16 off, u16 len}, slot i ending at
+/// page_size - 4*i. Records are append-only: a record's bytes and its slot
+/// entry never move or change once written, so the byte prefix holding the
+/// first k records is IDENTICAL in every later version of the page. That
+/// prefix-stability is what makes torn page writes recoverable without
+/// full-page images (docs/STORAGE.md "Recovery protocol"), and what lets
+/// concurrent readers touch slots below a published count while a writer
+/// appends above it: writer and readers never access the same bytes, and
+/// readers never read the mutable header fields.
+///
+/// SlottedPage is a non-owning view over a frame's bytes; all methods are
+/// cheap. Page sizes are powers of two in [kMinPageSize, kMaxPageSize].
+class SlottedPage {
+ public:
+  static constexpr size_t kHeaderBytes = 8;
+  static constexpr size_t kSlotBytes = 4;
+  static constexpr size_t kMinPageSize = 256;
+  static constexpr size_t kMaxPageSize = 64 * 1024;
+
+  SlottedPage(uint8_t* data, size_t page_size)
+      : data_(data), page_size_(page_size) {}
+
+  /// Zeroes the header (fresh empty page). The body is left as-is; record
+  /// bytes are written before their slot entry publishes them.
+  void Init() {
+    PutU32(0, 0);
+    PutU16(4, 0);
+    PutU16(6, kHeaderBytes);
+  }
+
+  size_t page_size() const { return page_size_; }
+  size_t slot_count() const { return GetU16(4); }
+  size_t free_off() const { return GetU16(6); }
+
+  size_t FreeBytes() const {
+    const size_t dir_top = page_size_ - kSlotBytes * slot_count();
+    const size_t off = free_off();
+    return dir_top > off ? dir_top - off : 0;
+  }
+
+  bool HasRoomFor(size_t record_bytes) const {
+    return FreeBytes() >= record_bytes + kSlotBytes;
+  }
+
+  /// Appends `bytes` as the next record and returns its slot index, or -1
+  /// when the page has no room. Order of writes matters for concurrent
+  /// readers: record bytes land first, then the slot entry, then the
+  /// mutable header fields (which readers never touch).
+  int AddRecord(std::string_view bytes) {
+    if (!HasRoomFor(bytes.size())) return -1;
+    const size_t slot = slot_count();
+    const size_t off = free_off();
+    std::memcpy(data_ + off, bytes.data(), bytes.size());
+    const size_t entry = page_size_ - kSlotBytes * (slot + 1);
+    PutU16(entry, static_cast<uint16_t>(off));
+    PutU16(entry + 2, static_cast<uint16_t>(bytes.size()));
+    PutU16(6, static_cast<uint16_t>(off + bytes.size()));
+    PutU16(4, static_cast<uint16_t>(slot + 1));
+    return static_cast<int>(slot);
+  }
+
+  /// Record `slot`'s bytes. Callers must have observed a published count
+  /// above `slot`; only the immutable slot entry and record bytes are read.
+  std::string_view Record(size_t slot) const {
+    const size_t entry = page_size_ - kSlotBytes * (slot + 1);
+    const size_t off = GetU16(entry);
+    const size_t len = GetU16(entry + 2);
+    return std::string_view(reinterpret_cast<const char*>(data_ + off), len);
+  }
+
+  /// Whether slots [0, count) describe a well-formed contiguous record run
+  /// (offsets start at the header, are adjacent, and stay inside the page).
+  /// Recovery uses this to validate a torn tail page's durable prefix.
+  bool ValidatePrefix(size_t count) const {
+    size_t expect_off = kHeaderBytes;
+    for (size_t s = 0; s < count; ++s) {
+      const size_t entry_at = page_size_ - kSlotBytes * (s + 1);
+      if (entry_at <= expect_off) return false;  // dir would overlap heap
+      const size_t off = GetU16(entry_at);
+      const size_t len = GetU16(entry_at + 2);
+      if (off != expect_off || off + len > page_size_) return false;
+      expect_off = off + len;
+    }
+    return true;
+  }
+
+  /// Truncates the page to its first `count` records (recovery trims a tail
+  /// page back to the durable state; requires ValidatePrefix(count)).
+  void TrimToPrefix(size_t count) {
+    size_t off = kHeaderBytes;
+    if (count > 0) {
+      const size_t entry = page_size_ - kSlotBytes * count;
+      off = static_cast<size_t>(GetU16(entry)) + GetU16(entry + 2);
+    }
+    PutU16(4, static_cast<uint16_t>(count));
+    PutU16(6, static_cast<uint16_t>(off));
+  }
+
+  /// Stamps / checks the whole-page checksum. Only flush paths call these
+  /// (never concurrent with a writer appending to the same page).
+  void UpdateChecksum() { PutU32(0, Crc32(data_ + 4, page_size_ - 4)); }
+  bool ChecksumValid() const {
+    return GetU32(0) == Crc32(data_ + 4, page_size_ - 4);
+  }
+
+ private:
+  uint16_t GetU16(size_t at) const {
+    return static_cast<uint16_t>(data_[at]) |
+           static_cast<uint16_t>(data_[at + 1]) << 8;
+  }
+  uint32_t GetU32(size_t at) const {
+    return static_cast<uint32_t>(GetU16(at)) |
+           static_cast<uint32_t>(GetU16(at + 2)) << 16;
+  }
+  void PutU16(size_t at, uint16_t v) {
+    data_[at] = static_cast<uint8_t>(v);
+    data_[at + 1] = static_cast<uint8_t>(v >> 8);
+  }
+  void PutU32(size_t at, uint32_t v) {
+    PutU16(at, static_cast<uint16_t>(v));
+    PutU16(at + 2, static_cast<uint16_t>(v >> 16));
+  }
+
+  uint8_t* data_;
+  size_t page_size_;
+};
+
+}  // namespace sgb::storage
+
+#endif  // SGB_STORAGE_PAGE_H_

@@ -1,0 +1,61 @@
+#ifndef SGB_STORAGE_PAGE_FILE_H_
+#define SGB_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/file_registry.h"
+
+namespace sgb::storage {
+
+/// One table segment on disk: a flat array of fixed-size pages, accessed
+/// with positional reads/writes (pread/pwrite — safe from any thread for
+/// distinct pages). Open handles are tracked in the global FileRegistry
+/// ("page" kind) so leak probes cover segments alongside spill files.
+///
+/// Fault sites:
+///  * `storage.page.write` — fired *mid-write*: the first half of the page
+///    reaches the file, then the write "crashes", leaving a torn page on
+///    disk exactly like a power loss between sectors;
+///  * `storage.page.read` — a clean read failure (retryable).
+class PageFile {
+ public:
+  /// Opens `path`, creating it when missing.
+  static Result<std::unique_ptr<PageFile>> Open(const std::string& path,
+                                                size_t page_size);
+
+  ~PageFile();
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Reads page `page_no` (must be < NumPages()) into `buf`.
+  Status Read(uint64_t page_no, uint8_t* buf);
+
+  /// Writes page `page_no`, extending the file as needed.
+  Status Write(uint64_t page_no, const uint8_t* buf);
+
+  Status Sync();
+
+  /// Drops every page at or beyond `num_pages`.
+  Status Truncate(uint64_t num_pages);
+
+  /// Page count derived from the current file size (partial trailing bytes
+  /// from a torn append count as a full — torn — page).
+  Result<uint64_t> NumPages();
+
+  const std::string& path() const { return path_; }
+  size_t page_size() const { return page_size_; }
+
+ private:
+  PageFile(std::string path, int fd, size_t page_size);
+
+  std::string path_;
+  int fd_;
+  size_t page_size_;
+};
+
+}  // namespace sgb::storage
+
+#endif  // SGB_STORAGE_PAGE_FILE_H_

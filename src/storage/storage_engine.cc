@@ -1,0 +1,705 @@
+#include "storage/storage_engine.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "engine/append_table.h"  // CoerceRowsToSchema
+#include "engine/spill.h"         // EncodeRow/DecodeRow
+#include "obs/metrics.h"
+#include "storage/page.h"
+
+namespace sgb::storage {
+
+// A manifest that fails to write is a *clean* error: the previous manifest
+// and the current WAL epoch are untouched, so the engine keeps running and
+// the checkpoint can simply be retried.
+static FaultSite g_manifest_write_fault("storage.manifest.write",
+                                        Status::Code::kIoError);
+
+namespace {
+
+// ---- WAL payload codec --------------------------------------------------
+// Fixed-width little-endian integers + length-prefixed strings. Row bodies
+// reuse the spill codec (EncodeRow/DecodeRow), which is bit-exact.
+
+void AppendU32(std::string* out, uint32_t v) {
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+               static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out->append(b, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  AppendU32(out, static_cast<uint32_t>(v));
+  AppendU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void AppendStr(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+bool ReadU32(std::string_view in, size_t* off, uint32_t* v) {
+  if (in.size() - *off < 4) return false;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(in.data()) + *off;
+  *v = static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+       static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+  *off += 4;
+  return true;
+}
+
+bool ReadU64(std::string_view in, size_t* off, uint64_t* v) {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  if (!ReadU32(in, off, &lo) || !ReadU32(in, off, &hi)) return false;
+  *v = static_cast<uint64_t>(hi) << 32 | lo;
+  return true;
+}
+
+bool ReadStr(std::string_view in, size_t* off, std::string* out) {
+  uint32_t len = 0;
+  if (!ReadU32(in, off, &len)) return false;
+  if (in.size() - *off < len) return false;
+  out->assign(in.data() + *off, len);
+  *off += len;
+  return true;
+}
+
+Status CorruptPayload(const char* what) {
+  return Status::Internal(std::string("wal replay: corrupt ") + what +
+                          " payload");
+}
+
+// ---- small filesystem helpers -------------------------------------------
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("storage: cannot open directory " + dir + ": " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("storage: fsync failed on directory " + dir +
+                           ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// Reads the whole file; `*exists=false` (and empty contents) when absent.
+Result<std::string> ReadFileIfExists(const std::string& path, bool* exists) {
+  *exists = false;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::string();
+    return Status::IoError("storage: cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  *exists = true;
+  std::string contents;
+  char buf[1 << 16];
+  ssize_t r;
+  while ((r = ::read(fd, buf, sizeof buf)) > 0) {
+    contents.append(buf, static_cast<size_t>(r));
+  }
+  const bool failed = r < 0;
+  ::close(fd);
+  if (failed) {
+    return Status::IoError("storage: read failed on " + path + ": " +
+                           std::strerror(errno));
+  }
+  return contents;
+}
+
+bool ValidName(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    if (c <= ' ' || c == '/' || c == 0x7f) return false;
+  }
+  return true;
+}
+
+std::string EncodeCreatePayload(const std::string& name,
+                                const engine::Schema& schema) {
+  std::string payload;
+  AppendStr(&payload, name);
+  AppendU32(&payload, static_cast<uint32_t>(schema.size()));
+  for (size_t c = 0; c < schema.size(); ++c) {
+    const engine::Column& col = schema.column(c);
+    AppendStr(&payload, col.name);
+    payload.push_back(static_cast<char>(col.type));
+  }
+  return payload;
+}
+
+}  // namespace
+
+// ---- open / recovery ----------------------------------------------------
+
+StorageEngine::StorageEngine(std::string dir, StorageOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+std::string StorageEngine::SegmentPath(uint64_t table_id) const {
+  return dir_ + "/t" + std::to_string(table_id) + ".seg";
+}
+
+std::string StorageEngine::WalPath(uint64_t epoch) const {
+  return dir_ + "/wal-" + std::to_string(epoch) + ".log";
+}
+
+std::string StorageEngine::ManifestPath() const { return dir_ + "/MANIFEST"; }
+
+Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
+    const std::string& directory, const StorageOptions& options) {
+  if (::mkdir(directory.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("storage: cannot create directory " + directory +
+                           ": " + std::strerror(errno));
+  }
+  std::unique_ptr<StorageEngine> engine(
+      new StorageEngine(directory, options));
+
+  bool have_manifest = false;
+  auto manifest = ReadFileIfExists(engine->ManifestPath(), &have_manifest);
+  if (!manifest.ok()) return manifest.status();
+  if (have_manifest) {
+    SGB_RETURN_IF_ERROR(engine->ParseManifest(manifest.value()));
+  }
+  const size_t page_size = engine->options_.page_size;
+  if (page_size < SlottedPage::kMinPageSize ||
+      page_size > SlottedPage::kMaxPageSize ||
+      (page_size & (page_size - 1)) != 0) {
+    return Status::InvalidArgument(
+        "storage: page_size must be a power of two in [" +
+        std::to_string(SlottedPage::kMinPageSize) + ", " +
+        std::to_string(SlottedPage::kMaxPageSize) + "], got " +
+        std::to_string(page_size));
+  }
+  // A leftover MANIFEST.tmp is a checkpoint that crashed before its atomic
+  // rename — the published manifest is still authoritative.
+  ::unlink((directory + "/MANIFEST.tmp").c_str());
+
+  engine->pool_ = std::make_shared<BufferManager>(
+      engine->options_.buffer_pool_bytes, page_size,
+      engine->options_.eviction, &MemoryTracker::EngineGlobal());
+
+  for (const ManifestTable& mt : engine->manifest_tables_) {
+    SGB_RETURN_IF_ERROR(engine->RecoverSegment(
+        mt.name, mt.id, mt.schema, mt.pages, mt.rows, mt.tail_records));
+  }
+  engine->manifest_tables_.clear();
+
+  // Stale WAL epochs (a checkpoint crashed after publishing the manifest
+  // but before deleting the old log) are redundant by construction.
+  if (DIR* d = ::opendir(directory.c_str())) {
+    const std::string keep = "wal-" + std::to_string(engine->wal_epoch_) +
+                             ".log";
+    while (struct dirent* e = ::readdir(d)) {
+      const std::string fn = e->d_name;
+      if (fn.rfind("wal-", 0) == 0 && fn != keep) {
+        ::unlink((directory + "/" + fn).c_str());
+      }
+    }
+    ::closedir(d);
+  }
+
+  SGB_RETURN_IF_ERROR(engine->ReplayWal());
+
+  auto wal = WriteAheadLog::Open(engine->WalPath(engine->wal_epoch_));
+  if (!wal.ok()) return wal.status();
+  engine->wal_ = std::move(wal).value();
+
+  if (engine->wal_replayed_records_ > 0) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("storage.recoveries").Add(1);
+    registry.GetCounter("storage.wal.replayed")
+        .Add(engine->wal_replayed_records_);
+  }
+  engine->recovered_ = true;
+  return engine;
+}
+
+Status StorageEngine::ParseManifest(const std::string& contents) {
+  std::istringstream in(contents);
+  std::string line;
+  if (!std::getline(in, line) || line != "sgb-manifest 1") {
+    return Status::Internal("manifest: bad header in " + ManifestPath());
+  }
+  ManifestTable* current = nullptr;
+  size_t cols_left = 0;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "page_size") {
+      fields >> options_.page_size;
+    } else if (tag == "wal_epoch") {
+      fields >> wal_epoch_;
+    } else if (tag == "next_table_id") {
+      fields >> next_table_id_;
+    } else if (tag == "table") {
+      if (cols_left != 0) {
+        return Status::Internal("manifest: table with missing columns");
+      }
+      manifest_tables_.emplace_back();
+      current = &manifest_tables_.back();
+      uint32_t ncols = 0;
+      fields >> current->id >> current->pages >> current->rows >>
+          current->tail_records >> ncols >> current->name;
+      cols_left = ncols;
+    } else if (tag == "col") {
+      if (current == nullptr || cols_left == 0) {
+        return Status::Internal("manifest: col line outside a table");
+      }
+      int type = 0;
+      std::string cname;
+      fields >> type >> cname;
+      current->schema.AddColumn(
+          {cname, static_cast<engine::DataType>(type), ""});
+      --cols_left;
+    } else if (tag == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return Status::Internal("manifest: unknown line '" + line + "'");
+    }
+    if (fields.fail()) {
+      return Status::Internal("manifest: malformed line '" + line + "'");
+    }
+  }
+  if (!saw_end || cols_left != 0) {
+    // The manifest is published with fsync+rename, so a truncated one is
+    // real corruption, not a crash artifact.
+    return Status::Internal("manifest: truncated " + ManifestPath());
+  }
+  return Status::OK();
+}
+
+Status StorageEngine::RecoverSegment(const std::string& name,
+                                     uint64_t table_id,
+                                     const engine::Schema& schema,
+                                     uint64_t pages, uint64_t rows,
+                                     uint32_t tail_records) {
+  auto file = PageFile::Open(SegmentPath(table_id), options_.page_size);
+  if (!file.ok()) return file.status();
+  std::vector<uint8_t> scratch(options_.page_size);
+  std::vector<uint32_t> rows_per_page;
+  rows_per_page.reserve(pages);
+  uint64_t total = 0;
+  for (uint64_t p = 0; p < pages; ++p) {
+    SGB_RETURN_IF_ERROR(file.value()->Read(p, scratch.data()));
+    SlottedPage page(scratch.data(), options_.page_size);
+    if (p + 1 < pages) {
+      // Non-tail manifest pages were flushed and fsynced before the
+      // manifest was published, and append-only pages below the tail are
+      // never rewritten — so their checksums must hold.
+      if (!page.ChecksumValid() ||
+          !page.ValidatePrefix(page.slot_count())) {
+        return Status::IoError("recovery: segment " + SegmentPath(table_id) +
+                               " page " + std::to_string(p) +
+                               " is corrupt");
+      }
+      rows_per_page.push_back(static_cast<uint32_t>(page.slot_count()));
+      total += page.slot_count();
+    } else {
+      // The tail page may have been rewritten in place after the
+      // checkpoint and torn by the crash. Append-only prefix stability
+      // guarantees the first `tail_records` records are byte-identical in
+      // every version of the page, so no checksum is required — just a
+      // well-formed prefix, which is then trimmed back to the durable
+      // state (replay rebuilds everything past it).
+      if (!page.ValidatePrefix(tail_records)) {
+        return Status::IoError("recovery: segment " + SegmentPath(table_id) +
+                               " tail page fails prefix validation");
+      }
+      page.TrimToPrefix(tail_records);
+      page.UpdateChecksum();
+      SGB_RETURN_IF_ERROR(file.value()->Write(p, scratch.data()));
+      rows_per_page.push_back(tail_records);
+      total += tail_records;
+    }
+  }
+  SGB_RETURN_IF_ERROR(file.value()->Truncate(pages));
+  if (total != rows) {
+    return Status::Internal("recovery: manifest row count for '" + name +
+                            "' (" + std::to_string(rows) +
+                            ") does not match its pages (" +
+                            std::to_string(total) + ")");
+  }
+  auto table = std::make_shared<PagedTable>(
+      name, schema, pool_, std::move(file).value(), table_id);
+  table->RestoreMeta(std::move(rows_per_page), rows);
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
+Status StorageEngine::ReplayWal() {
+  auto records = WriteAheadLog::ReadAll(WalPath(wal_epoch_), nullptr);
+  if (!records.ok()) return records.status();
+  for (const WalRecord& record : records.value()) {
+    switch (record.type) {
+      case WalRecordType::kCreateTable:
+        SGB_RETURN_IF_ERROR(ReplayCreate(record.payload));
+        break;
+      case WalRecordType::kInsert:
+        SGB_RETURN_IF_ERROR(ReplayInsert(record.payload));
+        break;
+      case WalRecordType::kDropTable:
+        SGB_RETURN_IF_ERROR(ReplayDrop(record.payload));
+        break;
+      default:
+        return Status::Internal("wal replay: unknown record type " +
+                                std::to_string(static_cast<int>(record.type)));
+    }
+    ++wal_replayed_records_;
+  }
+  return Status::OK();
+}
+
+Status StorageEngine::ReplayCreate(const std::string& payload) {
+  size_t off = 0;
+  std::string name;
+  uint32_t ncols = 0;
+  if (!ReadStr(payload, &off, &name) || !ReadU32(payload, &off, &ncols)) {
+    return CorruptPayload("create");
+  }
+  engine::Schema schema;
+  for (uint32_t c = 0; c < ncols; ++c) {
+    std::string cname;
+    if (!ReadStr(payload, &off, &cname) || off >= payload.size()) {
+      return CorruptPayload("create");
+    }
+    const auto type = static_cast<engine::DataType>(payload[off++]);
+    schema.AddColumn({std::move(cname), type, ""});
+  }
+  // Idempotent: the table exists when the create was already durable in
+  // the manifest (stale-record replay).
+  if (tables_.count(name) != 0) return Status::OK();
+  return CreateTableLocked(name, schema);
+}
+
+Status StorageEngine::ReplayInsert(const std::string& payload) {
+  size_t off = 0;
+  std::string name;
+  uint64_t first_row = 0;
+  uint32_t nrows = 0;
+  if (!ReadStr(payload, &off, &name) || !ReadU64(payload, &off, &first_row) ||
+      !ReadU32(payload, &off, &nrows)) {
+    return CorruptPayload("insert");
+  }
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::Internal("wal replay: insert into unknown table '" +
+                            name + "'");
+  }
+  // Walk the row encodings to find record boundaries (DecodeRow is the
+  // validator too — a CRC-valid frame should never fail here).
+  std::vector<std::string_view> records;
+  records.reserve(nrows);
+  for (uint32_t r = 0; r < nrows; ++r) {
+    const size_t begin = off;
+    engine::Row row;
+    SGB_RETURN_IF_ERROR(
+        engine::DecodeRow(payload.data(), payload.size(), &off, &row));
+    records.emplace_back(payload.data() + begin, off - begin);
+  }
+  const size_t current = it->second->SnapshotRows();
+  if (first_row + nrows <= current) return Status::OK();  // already applied
+  if (first_row > current) {
+    return Status::Internal("wal replay: row gap in table '" + name +
+                            "' (log starts at row " +
+                            std::to_string(first_row) + ", table has " +
+                            std::to_string(current) + ")");
+  }
+  // Apply only the suffix the durable pages are missing.
+  records.erase(records.begin(),
+                records.begin() + static_cast<ptrdiff_t>(current - first_row));
+  return it->second->AppendEncoded(records);
+}
+
+Status StorageEngine::ReplayDrop(const std::string& payload) {
+  size_t off = 0;
+  std::string name;
+  if (!ReadStr(payload, &off, &name)) return CorruptPayload("drop");
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::OK();  // already gone
+  it->second->MarkDropped();
+  tables_.erase(it);
+  return Status::OK();
+}
+
+// ---- mutations ----------------------------------------------------------
+
+Status StorageEngine::CheckNotCrashed() const {
+  if (!crashed()) return Status::OK();
+  return Status::IoError(
+      "storage engine is poisoned after a simulated crash; reopen the "
+      "database to recover");
+}
+
+Status StorageEngine::Poison(Status status) {
+  crashed_.store(true, std::memory_order_release);
+  obs::MetricsRegistry::Global().GetCounter("storage.crashes").Add(1);
+  return status;
+}
+
+Status StorageEngine::CreateTableLocked(const std::string& name,
+                                        const engine::Schema& schema) {
+  const uint64_t id = next_table_id_++;
+  const std::string path = SegmentPath(id);
+  // A leftover file under this id is from a dropped table whose unlink
+  // raced a crash; the new table starts empty.
+  ::unlink(path.c_str());
+  auto file = PageFile::Open(path, options_.page_size);
+  if (!file.ok()) return file.status();
+  tables_[name] = std::make_shared<PagedTable>(
+      name, schema, pool_, std::move(file).value(), id);
+  return Status::OK();
+}
+
+Status StorageEngine::CreateTable(const std::string& name,
+                                  const engine::Schema& schema,
+                                  bool if_not_exists, bool* created) {
+  if (created != nullptr) *created = false;
+  SGB_RETURN_IF_ERROR(CheckNotCrashed());
+  if (!ValidName(name)) {
+    return Status::InvalidArgument("invalid table name '" + name + "'");
+  }
+  if (schema.size() == 0) {
+    return Status::InvalidArgument("CREATE TABLE needs at least one column");
+  }
+  for (size_t c = 0; c < schema.size(); ++c) {
+    if (!ValidName(schema.column(c).name)) {
+      return Status::InvalidArgument("invalid column name '" +
+                                     schema.column(c).name + "'");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(name) != 0) {
+    if (if_not_exists) return Status::OK();
+    return Status::InvalidArgument("table '" + name + "' already exists");
+  }
+  Status status = wal_->Append(WalRecordType::kCreateTable,
+                               EncodeCreatePayload(name, schema));
+  if (!status.ok()) return Poison(std::move(status));
+  status = wal_->Sync();
+  if (!status.ok()) return Poison(std::move(status));
+  status = CreateTableLocked(name, schema);
+  if (!status.ok()) return Poison(std::move(status));
+  if (created != nullptr) *created = true;
+  return Status::OK();
+}
+
+Status StorageEngine::DropTable(const std::string& name, bool if_exists) {
+  SGB_RETURN_IF_ERROR(CheckNotCrashed());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    if (if_exists) return Status::OK();
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  std::string payload;
+  AppendStr(&payload, name);
+  Status status = wal_->Append(WalRecordType::kDropTable, payload);
+  if (!status.ok()) return Poison(std::move(status));
+  status = wal_->Sync();
+  if (!status.ok()) return Poison(std::move(status));
+  // In-flight scans hold shared_ptrs; the segment file is unlinked when
+  // the last one drops.
+  it->second->MarkDropped();
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Status StorageEngine::Insert(const std::string& name,
+                             std::vector<engine::Row> rows) {
+  SGB_RETURN_IF_ERROR(CheckNotCrashed());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  const PagedTablePtr& table = it->second;
+  // Everything that can fail *cleanly* happens before the WAL commit:
+  // arity/type validation and the row-fits-a-page check.
+  SGB_RETURN_IF_ERROR(engine::CoerceRowsToSchema(table->schema(), &rows));
+  std::vector<std::string> encoded(rows.size());
+  const size_t max_record = PagedTable::MaxRecordBytes(pool_->page_size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    engine::EncodeRow(rows[r], &encoded[r]);
+    if (encoded[r].size() > max_record) {
+      return Status::InvalidArgument(
+          "row of " + std::to_string(encoded[r].size()) +
+          " encoded bytes does not fit a " +
+          std::to_string(pool_->page_size()) + "-byte page");
+    }
+  }
+  std::string payload;
+  AppendStr(&payload, name);
+  AppendU64(&payload, table->SnapshotRows());
+  AppendU32(&payload, static_cast<uint32_t>(encoded.size()));
+  for (const std::string& record : encoded) payload.append(record);
+
+  Status status = wal_->Append(WalRecordType::kInsert, payload);
+  if (!status.ok()) return Poison(std::move(status));
+  status = wal_->Sync();  // the commit point
+  if (!status.ok()) return Poison(std::move(status));
+  std::vector<std::string_view> views(encoded.begin(), encoded.end());
+  status = table->AppendEncoded(views);
+  if (!status.ok()) return Poison(std::move(status));
+  obs::MetricsRegistry::Global()
+      .GetCounter("storage.rows_inserted")
+      .Add(encoded.size());
+  return Status::OK();
+}
+
+Status StorageEngine::Checkpoint() {
+  SGB_RETURN_IF_ERROR(CheckNotCrashed());
+  std::lock_guard<std::mutex> lock(mu_);
+  // 1. Make every page durable before the manifest can reference it.
+  for (auto& [name, table] : tables_) {
+    Status status = table->Flush();
+    if (!status.ok()) return Poison(std::move(status));
+    status = table->file()->Sync();
+    if (!status.ok()) return Poison(std::move(status));
+  }
+  // 2. A fresh, empty WAL epoch, durable before the manifest points at it.
+  const uint64_t new_epoch = wal_epoch_ + 1;
+  const std::string new_wal_path = WalPath(new_epoch);
+  ::unlink(new_wal_path.c_str());
+  auto new_wal = WriteAheadLog::Open(new_wal_path);
+  if (!new_wal.ok()) return new_wal.status();  // clean: nothing published
+  Status status = SyncDir(dir_);
+  if (!status.ok()) {
+    ::unlink(new_wal_path.c_str());
+    return status;
+  }
+  // 3. Atomically publish the new manifest (tmp + fsync + rename).
+  status = WriteManifest(new_epoch);
+  if (!status.ok()) {
+    ::unlink(new_wal_path.c_str());
+    return status;  // clean: the old manifest + old WAL are intact
+  }
+  // 4. The old epoch is now redundant.
+  const std::string old_wal_path = WalPath(wal_epoch_);
+  wal_ = std::move(new_wal).value();
+  wal_epoch_ = new_epoch;
+  ::unlink(old_wal_path.c_str());
+  ++checkpoints_;
+  obs::MetricsRegistry::Global().GetCounter("storage.checkpoints").Add(1);
+  return Status::OK();
+}
+
+Status StorageEngine::WriteManifest(uint64_t wal_epoch) {
+  SGB_RETURN_IF_ERROR(g_manifest_write_fault.Check());
+  std::ostringstream out;
+  out << "sgb-manifest 1\n";
+  out << "page_size " << options_.page_size << "\n";
+  out << "wal_epoch " << wal_epoch << "\n";
+  out << "next_table_id " << next_table_id_ << "\n";
+  for (const auto& [name, table] : tables_) {
+    const PagedTable::Meta meta = table->MetaSnapshot();
+    const engine::Schema& schema = table->schema();
+    out << "table " << table->table_id() << ' ' << meta.pages << ' '
+        << meta.rows << ' ' << meta.tail_records << ' ' << schema.size()
+        << ' ' << name << "\n";
+    for (size_t c = 0; c < schema.size(); ++c) {
+      out << "col " << static_cast<int>(schema.column(c).type) << ' '
+          << schema.column(c).name << "\n";
+    }
+  }
+  out << "end\n";
+  const std::string body = out.str();
+
+  const std::string tmp = dir_ + "/MANIFEST.tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("storage: cannot create " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  size_t done = 0;
+  while (done < body.size()) {
+    const ssize_t w = ::write(fd, body.data() + done, body.size() - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::IoError("storage: write failed on " +
+                                            tmp + ": " +
+                                            std::strerror(errno));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+    done += static_cast<size_t>(w);
+  }
+  if (::fsync(fd) != 0) {
+    const Status status = Status::IoError("storage: fsync failed on " + tmp +
+                                          ": " + std::strerror(errno));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), ManifestPath().c_str()) != 0) {
+    const Status status = Status::IoError("storage: rename failed for " +
+                                          tmp + ": " + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  return SyncDir(dir_);
+}
+
+// ---- reads / knobs ------------------------------------------------------
+
+PagedTablePtr StorageEngine::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> StorageEngine::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Status StorageEngine::SetBufferPoolBytes(size_t bytes) {
+  return pool_->SetCapacityBytes(bytes);
+}
+
+Status StorageEngine::SetEvictionPolicy(EvictionPolicyKind kind) {
+  return pool_->SetPolicy(kind);
+}
+
+StorageStats StorageEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StorageStats stats;
+  stats.checkpoints = checkpoints_;
+  stats.wal_replayed_records = wal_replayed_records_;
+  stats.wal_bytes = wal_ != nullptr ? wal_->bytes() : 0;
+  stats.crashed = crashed();
+  return stats;
+}
+
+StorageEngine::~StorageEngine() {
+  // Best-effort checkpoint on clean close; a poisoned engine leaves the
+  // directory exactly as the "crash" did, which is what recovery tests
+  // reopen against. An engine whose Open() failed partway must not
+  // checkpoint either: its table map is incomplete, and publishing a
+  // manifest from it would discard every table recovery did not reach.
+  if (recovered_ && !crashed() && options_.checkpoint_on_close) {
+    (void)Checkpoint();
+  }
+}
+
+}  // namespace sgb::storage

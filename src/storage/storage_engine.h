@@ -1,0 +1,162 @@
+#ifndef SGB_STORAGE_STORAGE_ENGINE_H_
+#define SGB_STORAGE_STORAGE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/schema.h"
+#include "engine/value.h"
+#include "storage/buffer_manager.h"
+#include "storage/paged_table.h"
+#include "storage/wal.h"
+
+namespace sgb::storage {
+
+/// Knobs for Open(). When the directory already holds a manifest, the
+/// manifest's page size wins (pages on disk have a fixed geometry); the
+/// pool size and eviction policy always come from the options and remain
+/// settable at runtime (SET buffer_pool_bytes / SET eviction).
+struct StorageOptions {
+  size_t page_size = 8192;
+  size_t buffer_pool_bytes = 4 * 1024 * 1024;
+  EvictionPolicyKind eviction = EvictionPolicyKind::kLru;
+  bool checkpoint_on_close = true;
+};
+
+/// Counters for system.buffer_pool / diagnostics.
+struct StorageStats {
+  uint64_t checkpoints = 0;
+  uint64_t wal_replayed_records = 0;  ///< from the last Open()
+  uint64_t wal_bytes = 0;
+  bool crashed = false;
+};
+
+/// The durable storage engine behind CREATE TABLE ... / INSERT / scans:
+/// one directory holding a manifest, one WAL epoch file, and one segment
+/// file per table, all sharing one BufferManager (docs/STORAGE.md).
+///
+/// Durability contract: a statement is durable once its WAL frame is
+/// fsynced (Append+Sync precede the in-memory apply). Checkpoint() flushes
+/// dirty pages, fsyncs segments, atomically publishes a new manifest that
+/// points at a fresh empty WAL epoch, and deletes the old epoch — so the
+/// log stays short and recovery replays only post-checkpoint statements.
+///
+/// Crash semantics (docs/STORAGE.md "Crash semantics"): a failure at
+/// `storage.wal.append`, `storage.wal.fsync`, or `storage.page.write`
+/// poisons the engine — the WAL and pages may disagree with memory, so
+/// every further mutation is refused, close skips the checkpoint, and the
+/// on-disk state is exactly what a power loss would leave. Reopening the
+/// directory recovers: manifest pages are checksum-verified, the tail page
+/// of each segment is trimmed to its durable record prefix (append-only
+/// pages make torn rewrites harmless — the prefix bytes are identical in
+/// every version), and the WAL replays idempotently. `storage.page.read`
+/// and `storage.manifest.write` failures are clean and retryable.
+///
+/// Thread safety: mutations (DDL, INSERT, Checkpoint) serialize on one
+/// mutation lock; Find()/TableNames()/stats are safe from any thread, and
+/// scans never take the mutation lock (PagedTable snapshots).
+class StorageEngine {
+ public:
+  /// Opens (creating if needed) the storage directory and runs recovery.
+  static Result<std::unique_ptr<StorageEngine>> Open(
+      const std::string& directory, const StorageOptions& options);
+
+  /// Checkpoints (best effort) unless crashed or disabled, then closes.
+  ~StorageEngine();
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  /// `*created` (optional) reports whether a table was actually created
+  /// (false on the IF NOT EXISTS fast path).
+  Status CreateTable(const std::string& name, const engine::Schema& schema,
+                     bool if_not_exists, bool* created);
+  Status DropTable(const std::string& name, bool if_exists);
+
+  /// WAL-first durable insert: coerce, encode, append+fsync the WAL frame,
+  /// then apply to pages. Any post-commit failure poisons the engine.
+  Status Insert(const std::string& name, std::vector<engine::Row> rows);
+
+  Status Checkpoint();
+
+  PagedTablePtr Find(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  Status SetBufferPoolBytes(size_t bytes);
+  Status SetEvictionPolicy(EvictionPolicyKind kind);
+
+  BufferPoolStats buffer_stats() const { return pool_->stats(); }
+  StorageStats stats() const;
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  const std::string& directory() const { return dir_; }
+  size_t page_size() const { return pool_->page_size(); }
+  BufferManager* pool() { return pool_.get(); }
+
+ private:
+  StorageEngine(std::string dir, StorageOptions options);
+
+  std::string SegmentPath(uint64_t table_id) const;
+  std::string WalPath(uint64_t epoch) const;
+  std::string ManifestPath() const;
+
+  Status CheckNotCrashed() const;
+  /// Marks the engine crashed and returns `status` unchanged.
+  Status Poison(Status status);
+
+  /// Reads/validates/trims one segment per the manifest and registers the
+  /// table (recovery step 2; docs/STORAGE.md "Recovery protocol").
+  Status RecoverSegment(const std::string& name, uint64_t table_id,
+                        const engine::Schema& schema, uint64_t pages,
+                        uint64_t rows, uint32_t tail_records);
+  Status ReplayWal();
+  Status ReplayCreate(const std::string& payload);
+  Status ReplayInsert(const std::string& payload);
+  Status ReplayDrop(const std::string& payload);
+
+  /// Writes MANIFEST.tmp, fsyncs, renames over MANIFEST, fsyncs the
+  /// directory. Fault site `storage.manifest.write` (clean failure).
+  Status WriteManifest(uint64_t wal_epoch);
+  Status ParseManifest(const std::string& contents);
+
+  /// Creates the in-memory table + fresh segment file (shared by live
+  /// CREATE TABLE and WAL replay).
+  Status CreateTableLocked(const std::string& name,
+                           const engine::Schema& schema);
+
+  const std::string dir_;
+  StorageOptions options_;
+  std::shared_ptr<BufferManager> pool_;
+  std::unique_ptr<WriteAheadLog> wal_;
+
+  mutable std::mutex mu_;  ///< mutation lock; also guards tables_ updates
+  std::map<std::string, PagedTablePtr> tables_;  ///< ordered: manifest determinism
+  uint64_t wal_epoch_ = 0;
+  uint64_t next_table_id_ = 1;
+  std::atomic<bool> crashed_{false};
+  /// Set at the end of a successful Open(); the destructor only
+  /// checkpoints a fully recovered engine (a partial one would publish a
+  /// manifest missing the tables recovery never reached).
+  bool recovered_ = false;
+  uint64_t checkpoints_ = 0;
+  uint64_t wal_replayed_records_ = 0;
+
+  /// Parsed manifest state consumed by Open()'s recovery.
+  struct ManifestTable {
+    std::string name;
+    uint64_t id = 0;
+    uint64_t pages = 0;
+    uint64_t rows = 0;
+    uint32_t tail_records = 0;
+    engine::Schema schema;
+  };
+  std::vector<ManifestTable> manifest_tables_;
+};
+
+}  // namespace sgb::storage
+
+#endif  // SGB_STORAGE_STORAGE_ENGINE_H_

@@ -295,6 +295,21 @@ struct FaultCase {
   std::function<Status(Database&)> trigger;
 };
 
+/// Opens (or creates) the disk-backed database at `dir` and runs `stmts`
+/// in order, returning the first failure. Every call is a fresh Open, so
+/// the disarmed re-run of a storage fault case exercises recovery of
+/// whatever on-disk state the armed (crashed) run left behind.
+Status StorageRun(const std::string& dir,
+                  const std::vector<std::string>& stmts) {
+  auto db = Database::Open(dir);
+  if (!db.ok()) return db.status();
+  for (const std::string& s : stmts) {
+    auto result = db.value().Query(s);
+    if (!result.ok()) return result.status();
+  }
+  return Status::OK();
+}
+
 TEST_F(GovernanceTest, EveryRegisteredFaultSiteFiresAndRecovers) {
   const std::string csv_path = ::testing::TempDir() + "/sgb_fault_io.csv";
   const std::vector<FaultCase> cases = {
@@ -377,6 +392,47 @@ TEST_F(GovernanceTest, EveryRegisteredFaultSiteFiresAndRecovers) {
          auto drop = db.Query("DROP CONTINUOUS QUERY cq_fault");
          if (!drop.ok()) return drop.status();
          return insert;
+       }},
+      // Storage sites (docs/STORAGE.md "Crash semantics"): the armed run
+      // leaves the directory exactly as a power loss would; the disarmed
+      // re-run reopens it, recovering through manifest + WAL replay.
+      {"storage.wal.append", Status::Code::kIoError,
+       [dir = ::testing::TempDir() + "/sgb_fault_wal_append"](Database&) {
+         return StorageRun(dir, {"CREATE TABLE IF NOT EXISTS t (x INT)",
+                                 "INSERT INTO t VALUES (1), (2)"});
+       }},
+      {"storage.wal.fsync", Status::Code::kIoError,
+       [dir = ::testing::TempDir() + "/sgb_fault_wal_fsync"](Database&) {
+         return StorageRun(dir, {"CREATE TABLE IF NOT EXISTS t (x INT)",
+                                 "INSERT INTO t VALUES (1), (2)"});
+       }},
+      {"storage.page.write", Status::Code::kIoError,
+       [dir = ::testing::TempDir() + "/sgb_fault_page_write"](Database&) {
+         return StorageRun(dir, {"CREATE TABLE IF NOT EXISTS t (x INT)",
+                                 "INSERT INTO t VALUES (1), (2)",
+                                 "CHECKPOINT"});
+       }},
+      {"storage.manifest.write", Status::Code::kIoError,
+       [dir = ::testing::TempDir() + "/sgb_fault_manifest"](Database&) {
+         return StorageRun(dir, {"CREATE TABLE IF NOT EXISTS t (x INT)",
+                                 "INSERT INTO t VALUES (1), (2)",
+                                 "CHECKPOINT"});
+       }},
+      {"storage.page.read", Status::Code::kIoError,
+       // Two-phase: the first call seeds pages + manifest write-only (the
+       // armed read fault cannot fire there), then every call reopens the
+       // directory — recovery and the scan both read pages from disk.
+       [dir = ::testing::TempDir() + "/sgb_fault_page_read",
+        seeded = false](Database&) mutable -> Status {
+         if (!seeded) {
+           const Status s =
+               StorageRun(dir, {"CREATE TABLE IF NOT EXISTS t (x INT)",
+                                "INSERT INTO t VALUES (1), (2)",
+                                "CHECKPOINT"});
+           if (!s.ok()) return s;
+           seeded = true;
+         }
+         return StorageRun(dir, {"SELECT count(*) FROM t"});
        }},
       {"server.accept", Status::Code::kIoError,
        [](Database&) {

@@ -30,6 +30,9 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
+#include "common/fault_injection.h"
 #include "common/random.h"
 #include "core/sgb_all.h"
 #include "core/sgb_any.h"
@@ -39,6 +42,7 @@
 #include "engine/spill.h"
 #include "fuzz_generators.h"
 #include "obs/metrics.h"
+#include "storage/storage_engine.h"
 
 namespace sgb::core {
 namespace {
@@ -739,6 +743,221 @@ TEST(SgbFuzzTest, StreamingClosesMatchAllPairsOracle) {
   }
   // The sweep is only meaningful if windows actually closed.
   EXPECT_GT(total_closes, 0u);
+}
+
+// The storage dimension of the differential harness (docs/STORAGE.md):
+// each case draws a random schedule of INSERT / SELECT / CHECKPOINT steps
+// against a disk-backed database with a 4-page buffer pool, plus one CRASH
+// step that arms a WAL or page fault site at a random upcoming hit. After
+// the kill the directory is reopened and the recovered table — contents
+// and an SGB grouping — must match an in-memory oracle holding exactly the
+// durable statements. Only the two deterministic sites are drawn
+// (`storage.wal.append` commits nothing, `storage.page.write` fires after
+// the WAL fsync so an in-flight INSERT always survives);
+// recovery_test.cc covers the indeterminate `storage.wal.fsync` with its
+// dual-oracle accept. A divergence is greedily minimized by step removal
+// and printed as a paste-able schedule.
+TEST(SgbFuzzTest, CrashSchedulesRecoverToInMemoryOracle) {
+  using engine::Database;
+
+  struct Step {
+    enum Kind { kInsert, kSelect, kCheckpoint, kCrash } kind = kInsert;
+    std::string sql;        // kInsert / kSelect
+    std::string site;       // kCrash
+    uint64_t nth = 1;       // kCrash
+  };
+
+  storage::StorageOptions options;
+  options.page_size = 256;
+  options.buffer_pool_bytes = 4 * 256;
+
+  const auto fresh_dir = [](const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "/" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+  };
+
+  // Applies the schedule (one CRASH arms the site; poisoned statements
+  // just fail), reopens, and returns the recovered contents + grouping.
+  // `durable` collects the INSERTs the oracle must contain; `fired`
+  // reports whether the armed fault actually injected.
+  const auto run = [&](const std::vector<Step>& steps, const std::string& dir,
+                       std::vector<std::string>* durable, bool* fired)
+      -> Result<std::pair<std::string, std::string>> {
+    durable->clear();
+    *fired = false;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    {
+      auto db = Database::Open(dir, options);
+      if (!db.ok()) return db.status();
+      SGB_RETURN_IF_ERROR(
+          db.value().Query("CREATE TABLE pts (x DOUBLE, y DOUBLE)").status());
+      for (const Step& step : steps) {
+        switch (step.kind) {
+          case Step::kInsert: {
+            auto result = db.value().Query(step.sql);
+            // A crashed INSERT failed *after* its WAL commit when the
+            // page-write site fired (the WAL frame is fsynced first), so
+            // it is durable; any other failure here is a poisoned refusal.
+            if (result.ok() ||
+                result.status().ToString().find("storage.page.write") !=
+                    std::string::npos) {
+              durable->push_back(step.sql);
+            }
+            break;
+          }
+          case Step::kSelect:
+          case Step::kCheckpoint: {
+            const char* sql = step.kind == Step::kSelect
+                                  ? "SELECT count(*) FROM pts"
+                                  : "CHECKPOINT";
+            (void)db.value().Query(sql);  // failures poison or are refused
+            break;
+          }
+          case Step::kCrash:
+            FaultRegistry::Global().ArmNthHit(step.site, step.nth);
+            break;
+        }
+      }
+      for (const Step& step : steps) {
+        if (step.kind == Step::kCrash &&
+            FaultRegistry::Global().Injected(step.site) > 0) {
+          *fired = true;
+        }
+      }
+      FaultRegistry::Global().Reset();
+    }
+    auto db = Database::Open(dir, options);
+    if (!db.ok()) return db.status();
+    auto rows = db.value().Query("SELECT * FROM pts");
+    if (!rows.ok()) return rows.status();
+    auto sgb = db.value().Query(
+        "SELECT group_id, count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY "
+        "L2 WITHIN 2.0");
+    if (!sgb.ok()) return sgb.status();
+    return std::make_pair(engine::WriteCsvToString(rows.value()),
+                          engine::WriteCsvToString(sgb.value()));
+  };
+
+  const auto oracle = [](const std::vector<std::string>& durable)
+      -> std::pair<std::string, std::string> {
+    Database db;
+    EXPECT_TRUE(
+        db.Query("CREATE TABLE pts (x DOUBLE, y DOUBLE)").ok());
+    for (const std::string& sql : durable) {
+      EXPECT_TRUE(db.Query(sql).ok()) << sql;
+    }
+    return {engine::WriteCsvToString(db.Query("SELECT * FROM pts").value()),
+            engine::WriteCsvToString(
+                db.Query("SELECT group_id, count(*) FROM pts GROUP BY x, y "
+                         "DISTANCE-TO-ANY L2 WITHIN 2.0")
+                    .value())};
+  };
+
+  Rng rng(FuzzSeed() ^ 0xD15C);
+  const size_t cases = std::max<size_t>(FuzzCases() / 16, 6);
+  size_t crashes_fired = 0;
+  for (size_t c = 0; c < cases; ++c) {
+    std::vector<Step> steps;
+    const size_t n = 8 + rng.NextBounded(18);
+    // Early in the schedule, so statements remain for the kill to land on.
+    const size_t crash_at = rng.NextBounded(1 + n / 3);
+    for (size_t i = 0; i < n; ++i) {
+      if (i == crash_at) {
+        Step crash;
+        crash.kind = Step::kCrash;
+        crash.site = rng.NextBounded(2) == 0 ? "storage.wal.append"
+                                             : "storage.page.write";
+        crash.nth = 1 + rng.NextBounded(10);
+        steps.push_back(crash);
+        continue;
+      }
+      const uint64_t dice = rng.NextBounded(10);
+      Step step;
+      if (dice < 6) {
+        step.kind = Step::kInsert;
+        std::string sql = "INSERT INTO pts VALUES ";
+        const size_t rows = 1 + rng.NextBounded(5);
+        for (size_t r = 0; r < rows; ++r) {
+          char buf[96];
+          std::snprintf(buf, sizeof(buf), "%s(%.17g, %.17g)",
+                        r == 0 ? "" : ", ",
+                        static_cast<double>(rng.NextBounded(6)) +
+                            rng.NextUniform(0.0, 1.0),
+                        static_cast<double>(rng.NextBounded(6)) +
+                            rng.NextUniform(0.0, 1.0));
+          sql += buf;
+        }
+        step.sql = sql;
+      } else if (dice < 8) {
+        step.kind = Step::kSelect;
+      } else {
+        step.kind = Step::kCheckpoint;
+      }
+      steps.push_back(step);
+    }
+    SCOPED_TRACE("case " + std::to_string(c));
+
+    const std::string dir =
+        fresh_dir("sgb_fuzz_crash_" + std::to_string(c));
+    std::vector<std::string> durable;
+    bool fired = false;
+    auto got = run(steps, dir, &durable, &fired);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    if (fired) ++crashes_fired;
+    if (got.value() == oracle(durable)) continue;
+
+    // Divergence: shrink the schedule while the recovered state still
+    // disagrees with the oracle, then print it.
+    auto mismatch = [&](const std::vector<Step>& candidate) {
+      std::vector<std::string> d;
+      bool f = false;
+      auto fresh = run(candidate, dir, &d, &f);
+      if (!fresh.ok()) return true;
+      return fresh.value() != oracle(d);
+    };
+    std::vector<Step> minimal = steps;
+    bool shrunk = true;
+    while (shrunk && minimal.size() > 1) {
+      shrunk = false;
+      for (size_t i = 0; i < minimal.size();) {
+        std::vector<Step> candidate = minimal;
+        candidate.erase(candidate.begin() + static_cast<ptrdiff_t>(i));
+        if (mismatch(candidate)) {
+          minimal = std::move(candidate);
+          shrunk = true;
+        } else {
+          ++i;
+        }
+      }
+    }
+    std::string repro = "schedule = {\n";
+    for (const Step& s : minimal) {
+      switch (s.kind) {
+        case Step::kInsert:
+          repro += "  " + s.sql + ";\n";
+          break;
+        case Step::kSelect:
+          repro += "  SELECT count(*) FROM pts;\n";
+          break;
+        case Step::kCheckpoint:
+          repro += "  CHECKPOINT;\n";
+          break;
+        case Step::kCrash:
+          repro += "  -- CRASH " + s.site + " nth=" +
+                   std::to_string(s.nth) + "\n";
+          break;
+      }
+    }
+    repro += "};";
+    ADD_FAILURE()
+        << "recovered state diverges from the in-memory oracle\n" << repro;
+    break;  // one minimized repro is enough
+  }
+  // The sweep is only meaningful if kills actually interrupted work.
+  EXPECT_GT(crashes_fired, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,429 @@
+// Crash-recovery and durability harness (docs/STORAGE.md "Recovery
+// protocol").
+//
+// Deterministic halves first: WAL replay after a close with no checkpoint,
+// a torn page left by a mid-write crash, clean/retryable failures
+// (manifest write, page read), and WAL epoch truncation at checkpoint.
+// Then the differential harness: random CREATE/INSERT/DROP/CHECKPOINT
+// workloads are killed at every WAL/page fault site at random hit counts,
+// the directory is reopened, and the recovered contents plus an SGB
+// grouping query must be bit-identical to an uncrashed in-memory oracle
+// fed the same statements. `storage.wal.fsync` kills have indeterminate
+// durability for the in-flight statement (the crash may land either side
+// of the disk's ack), so the harness accepts exactly the two legal
+// outcomes — with and without that statement — and nothing else.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/random.h"
+#include "engine/csv.h"
+#include "engine/executor.h"
+#include "storage/storage_engine.h"
+
+namespace sgb::engine {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+storage::StorageOptions TinyPool() {
+  storage::StorageOptions options;
+  options.page_size = 256;
+  options.buffer_pool_bytes = 4 * 256;
+  return options;
+}
+
+std::string Csv(Result<Table> result) {
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? WriteCsvToString(result.value()) : std::string();
+}
+
+constexpr const char* kTables[] = {"ta", "tb"};
+constexpr const char* kSgbQuery =
+    "SELECT group_id, count(*), min(id), max(id) FROM %s GROUP BY x, y "
+    "DISTANCE-TO-ANY L2 WITHIN 3.0";
+
+/// Replays `stmts` (skipping CHECKPOINTs) into a fresh in-memory database
+/// and compares every table's full contents and SGB grouping against
+/// `disk`. Returns a human-readable divergence, or "" on a perfect match.
+std::string DiffAgainstOracle(Database& disk,
+                              const std::vector<std::string>& stmts) {
+  Database oracle;
+  for (const std::string& stmt : stmts) {
+    if (stmt == "CHECKPOINT") continue;
+    auto applied = oracle.Query(stmt);
+    if (!applied.ok()) {
+      return "oracle replay failed on '" + stmt +
+             "': " + applied.status().ToString();
+    }
+  }
+  for (const char* name : kTables) {
+    const std::string select = std::string("SELECT * FROM ") + name;
+    auto got = disk.Query(select);
+    auto want = oracle.Query(select);
+    if (got.ok() != want.ok()) {
+      return std::string(name) + ": exists=" + (got.ok() ? "yes" : "no") +
+             " oracle=" + (want.ok() ? "yes" : "no");
+    }
+    if (!got.ok()) continue;
+    const std::string got_csv = WriteCsvToString(got.value());
+    const std::string want_csv = WriteCsvToString(want.value());
+    if (got_csv != want_csv) {
+      return std::string(name) + " contents diverge\n--- recovered\n" +
+             got_csv + "--- oracle\n" + want_csv;
+    }
+    char sgb[256];
+    std::snprintf(sgb, sizeof(sgb), kSgbQuery, name);
+    auto got_sgb = disk.Query(sgb);
+    auto want_sgb = oracle.Query(sgb);
+    if (!got_sgb.ok() || !want_sgb.ok()) {
+      return std::string(name) + ": SGB query failed: " +
+             (got_sgb.ok() ? want_sgb.status() : got_sgb.status()).ToString();
+    }
+    if (WriteCsvToString(got_sgb.value()) !=
+        WriteCsvToString(want_sgb.value())) {
+      return std::string(name) + " SGB grouping diverges";
+    }
+  }
+  return "";
+}
+
+// ---- Deterministic recovery behaviors -----------------------------------
+
+TEST(RecoveryTest, WalReplayRestoresUncheckpointedInserts) {
+  const std::string dir = FreshDir("sgb_rec_walreplay");
+  storage::StorageOptions options = TinyPool();
+  options.checkpoint_on_close = false;  // simulate an unclean close
+  {
+    auto db = Database::Open(dir, options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE(
+        db.value().Query("CREATE TABLE ta (id INT, x DOUBLE, y DOUBLE)").ok());
+    for (int i = 0; i < 30; ++i) {
+      char sql[128];
+      std::snprintf(sql, sizeof(sql),
+                    "INSERT INTO ta VALUES (%d, %d.5, %d.5)", i, i % 7, i % 5);
+      ASSERT_TRUE(db.value().Query(sql).ok());
+    }
+  }
+  auto db = Database::Open(dir, options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db.value()
+                .Query("SELECT count(*), sum(id) FROM ta")
+                .value()
+                .rows()[0][1]
+                .AsInt(),
+            29 * 30 / 2);
+  // Everything came back through the log, not the (never-written) manifest.
+  EXPECT_GT(db.value().storage()->stats().wal_replayed_records, 0u);
+}
+
+// A crash in the middle of a page write (the fault site tears the page:
+// half old bytes, half new) must lose nothing: the statement committed to
+// the WAL before touching pages, and append-only pages recover their
+// durable prefix without full-page images.
+TEST(RecoveryTest, TornPageFromCrashedWriteRecoversCommittedStatement) {
+  const std::string dir = FreshDir("sgb_rec_tornpage");
+  std::vector<std::string> applied;
+  {
+    auto db = Database::Open(dir, TinyPool());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    const std::string create = "CREATE TABLE ta (id INT, x DOUBLE, y DOUBLE)";
+    ASSERT_TRUE(db.value().Query(create).ok());
+    applied.push_back(create);
+
+    FaultRegistry::Global().ArmNthHit("storage.page.write", 1);
+    bool crashed = false;
+    for (int i = 0; i < 60 && !crashed; ++i) {
+      char sql[128];
+      std::snprintf(sql, sizeof(sql),
+                    "INSERT INTO ta VALUES (%d, %d.0, %d.0)", i, i % 9, i % 4);
+      auto result = db.value().Query(sql);
+      if (result.ok()) {
+        applied.push_back(sql);
+        continue;
+      }
+      // The 4-page pool forces an eviction write-back mid-INSERT; the WAL
+      // frame was already fsynced, so the row is durable regardless.
+      crashed = true;
+      applied.push_back(sql);
+      EXPECT_EQ(result.status().code(), Status::Code::kIoError)
+          << result.status().ToString();
+      EXPECT_NE(result.status().ToString().find("storage.page.write"),
+                std::string::npos)
+          << result.status().ToString();
+    }
+    ASSERT_TRUE(crashed) << "the tiny pool never forced a write-back";
+
+    // The engine is poisoned: every further mutation is refused...
+    auto refused = db.value().Query("INSERT INTO ta VALUES (999, 0.0, 0.0)");
+    ASSERT_FALSE(refused.ok());
+    EXPECT_NE(refused.status().ToString().find("poisoned"), std::string::npos)
+        << refused.status().ToString();
+    // ...and the close must NOT checkpoint the divergent in-memory state.
+  }
+  FaultRegistry::Global().Reset();
+
+  auto db = Database::Open(dir, TinyPool());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(DiffAgainstOracle(db.value(), applied), "");
+}
+
+TEST(RecoveryTest, ManifestWriteFailureIsCleanAndRetryable) {
+  const std::string dir = FreshDir("sgb_rec_manifest");
+  {
+    auto db = Database::Open(dir, TinyPool());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE(db.value().Query("CREATE TABLE ta (v INT)").ok());
+    ASSERT_TRUE(db.value().Query("INSERT INTO ta VALUES (1), (2)").ok());
+
+    FaultRegistry::Global().ArmNthHit("storage.manifest.write", 1);
+    auto checkpoint = db.value().Query("CHECKPOINT");
+    ASSERT_FALSE(checkpoint.ok());
+    EXPECT_EQ(checkpoint.status().code(), Status::Code::kIoError);
+    FaultRegistry::Global().Reset();
+
+    // Clean failure: not poisoned — mutations and a retry both succeed.
+    ASSERT_TRUE(db.value().Query("INSERT INTO ta VALUES (3)").ok());
+    ASSERT_TRUE(db.value().Query("CHECKPOINT").ok());
+  }
+  auto db = Database::Open(dir, TinyPool());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(Csv(db.value().Query("SELECT * FROM ta")), "v\n1\n2\n3\n");
+}
+
+TEST(RecoveryTest, PageReadFailureIsRetryable) {
+  const std::string dir = FreshDir("sgb_rec_pageread");
+  {
+    auto db = Database::Open(dir, TinyPool());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE(db.value().Query("CREATE TABLE ta (v INT)").ok());
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(db.value()
+                      .Query("INSERT INTO ta VALUES (" + std::to_string(i) +
+                             ")")
+                      .ok());
+    }
+  }
+  // Recovery reads every manifest page; an armed read fails the open
+  // cleanly, and the very next open succeeds with nothing lost.
+  FaultRegistry::Global().ArmNthHit("storage.page.read", 1);
+  {
+    auto failed = Database::Open(dir, TinyPool());
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), Status::Code::kIoError)
+        << failed.status().ToString();
+  }
+  FaultRegistry::Global().Reset();
+  auto db = Database::Open(dir, TinyPool());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db.value()
+                .Query("SELECT count(*) FROM ta")
+                .value()
+                .rows()[0][0]
+                .AsInt(),
+            40);
+}
+
+TEST(RecoveryTest, CheckpointTruncatesWalAndDropsStaleEpoch) {
+  const std::string dir = FreshDir("sgb_rec_epoch");
+  auto db = Database::Open(dir, TinyPool());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE(db.value().Query("CREATE TABLE ta (v INT)").ok());
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(
+        db.value().Query("INSERT INTO ta VALUES (" + std::to_string(i) + ")")
+            .ok());
+  }
+  EXPECT_GT(db.value().storage()->stats().wal_bytes, 0u);
+  ASSERT_TRUE(db.value().Query("CHECKPOINT").ok());
+  EXPECT_EQ(db.value().storage()->stats().wal_bytes, 0u)
+      << "checkpoint must start a fresh WAL epoch";
+
+  // Exactly one epoch file remains on disk.
+  size_t wal_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind("wal-", 0) == 0) ++wal_files;
+  }
+  EXPECT_EQ(wal_files, 1u);
+}
+
+// ---- The differential crash harness -------------------------------------
+
+struct CrashRun {
+  std::vector<std::string> applied;  ///< statements that returned OK
+  std::string crashed_stmt;          ///< "" when the fault never fired
+  Status crash_status;
+};
+
+/// Applies `stmts` to a fresh database in `dir` with `site` armed at hit
+/// `nth`, stopping at the first injected failure (the engine is poisoned
+/// past it). The database is closed (crashed or not) before returning.
+CrashRun RunWorkloadWithKill(const std::string& dir,
+                             const std::vector<std::string>& stmts,
+                             const std::string& site, uint64_t nth) {
+  CrashRun run;
+  auto db = Database::Open(dir, TinyPool());
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  if (!db.ok()) return run;
+  FaultRegistry::Global().ArmNthHit(site, nth);
+  for (const std::string& stmt : stmts) {
+    auto result = db.value().Query(stmt);
+    if (result.ok()) {
+      run.applied.push_back(stmt);
+      continue;
+    }
+    // Workload-level failures (e.g. INSERT into a table the schedule just
+    // dropped) are ordinary; only the injected IoError naming the site is
+    // the kill.
+    if (result.status().code() != Status::Code::kIoError ||
+        result.status().ToString().find(site) == std::string::npos) {
+      continue;
+    }
+    run.crashed_stmt = stmt;
+    run.crash_status = result.status();
+    break;
+  }
+  FaultRegistry::Global().Reset();
+  return run;
+}
+
+std::vector<std::string> GenerateWorkload(Rng& rng, size_t n) {
+  std::vector<std::string> stmts;
+  int next_id = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const char* table = kTables[rng.NextBounded(2)];
+    const uint64_t dice = rng.NextBounded(100);
+    if (dice < 12) {
+      stmts.push_back(std::string("CREATE TABLE IF NOT EXISTS ") + table +
+                      " (id INT, x DOUBLE, y DOUBLE)");
+    } else if (dice < 20) {
+      stmts.push_back("CHECKPOINT");
+    } else if (dice < 24) {
+      stmts.push_back(std::string("DROP TABLE IF EXISTS ") + table);
+    } else {
+      std::string sql = std::string("INSERT INTO ") + table + " VALUES ";
+      const size_t rows = 1 + rng.NextBounded(6);
+      for (size_t r = 0; r < rows; ++r) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "%s(%d, %.17g, %.17g)",
+                      r == 0 ? "" : ", ", next_id++,
+                      static_cast<double>(rng.NextBounded(8)) +
+                          rng.NextUniform(0.0, 1.0),
+                      static_cast<double>(rng.NextBounded(8)) +
+                          rng.NextUniform(0.0, 1.0));
+        sql += buf;
+      }
+      stmts.push_back(sql);
+    }
+  }
+  // INSERT into a table that does not exist yet fails the oracle replay;
+  // make the first statements create both tables.
+  stmts.insert(stmts.begin(),
+               std::string("CREATE TABLE IF NOT EXISTS ") + kTables[1] +
+                   " (id INT, x DOUBLE, y DOUBLE)");
+  stmts.insert(stmts.begin(),
+               std::string("CREATE TABLE IF NOT EXISTS ") + kTables[0] +
+                   " (id INT, x DOUBLE, y DOUBLE)");
+  return stmts;
+}
+
+TEST(RecoveryTest, RandomizedKillsAtEveryFaultSiteMatchOracle) {
+  struct SiteRule {
+    const char* site;
+    bool strict_without;  ///< crashed stmt definitely NOT recovered
+    bool strict_with;     ///< crashed stmt definitely recovered (INSERTs)
+  };
+  // wal.append fails before the frame is written: the statement cannot
+  // survive. page.write fails after the WAL fsync: an in-flight INSERT
+  // must survive. wal.fsync is indeterminate: either outcome is legal.
+  const SiteRule kRules[] = {
+      {"storage.wal.append", true, false},
+      {"storage.wal.fsync", false, false},
+      {"storage.page.write", false, true},
+  };
+
+  Rng rng(20260809);
+  size_t fired_runs = 0;
+  for (const SiteRule& rule : kRules) {
+    for (size_t round = 0; round < 8; ++round) {
+      const std::string dir = FreshDir(
+          "sgb_rec_kill_" + std::to_string(fired_runs) + "_" +
+          std::to_string(round) + "_" + &rule.site[8]);
+      const std::vector<std::string> stmts = GenerateWorkload(rng, 30);
+      const uint64_t nth = 1 + rng.NextBounded(40);
+      SCOPED_TRACE(std::string(rule.site) + " nth=" + std::to_string(nth) +
+                   " round=" + std::to_string(round));
+
+      CrashRun run = RunWorkloadWithKill(dir, stmts, rule.site, nth);
+      if (!run.crashed_stmt.empty()) ++fired_runs;
+
+      auto db = Database::Open(dir, TinyPool());
+      ASSERT_TRUE(db.ok()) << "recovery failed: " << db.status().ToString();
+
+      if (run.crashed_stmt.empty()) {
+        EXPECT_EQ(DiffAgainstOracle(db.value(), run.applied), "");
+        continue;
+      }
+      std::vector<std::string> with = run.applied;
+      with.push_back(run.crashed_stmt);
+      // A crashed CHECKPOINT changes no logical contents either way; a
+      // wal.append kill fires before anything became durable. A page.write
+      // kill fires only after the statement's WAL fsync (INSERT eviction)
+      // or inside CHECKPOINT, so an in-flight INSERT must survive. Only
+      // wal.fsync leaves the in-flight mutation genuinely indeterminate.
+      const bool is_checkpoint = run.crashed_stmt == "CHECKPOINT";
+      if (rule.strict_without || is_checkpoint) {
+        EXPECT_EQ(DiffAgainstOracle(db.value(), run.applied), "")
+            << "crashed: " << run.crashed_stmt;
+      } else if (rule.strict_with) {
+        ASSERT_EQ(run.crashed_stmt.rfind("INSERT", 0), 0u)
+            << "page.write fired outside INSERT/CHECKPOINT: "
+            << run.crashed_stmt;
+        EXPECT_EQ(DiffAgainstOracle(db.value(), with), "")
+            << "crashed: " << run.crashed_stmt;
+      } else {
+        // Indeterminate durability: exactly one of the two must match.
+        const std::string diff_without =
+            DiffAgainstOracle(db.value(), run.applied);
+        if (!diff_without.empty()) {
+          EXPECT_EQ(DiffAgainstOracle(db.value(), with), "")
+              << "matches neither oracle; without-crashed diff:\n"
+              << diff_without << "\ncrashed: " << run.crashed_stmt;
+        }
+      }
+
+      // Recovery must be deterministic: a second reopen of the same
+      // directory yields byte-identical contents.
+      std::vector<std::string> first;
+      for (const char* name : kTables) {
+        auto t = db.value().Query(std::string("SELECT * FROM ") + name);
+        first.push_back(t.ok() ? WriteCsvToString(t.value()) : "<absent>");
+      }
+      {
+        auto again = Database::Open(dir, TinyPool());
+        ASSERT_TRUE(again.ok()) << again.status().ToString();
+        for (size_t t = 0; t < 2; ++t) {
+          auto table =
+              again.value().Query(std::string("SELECT * FROM ") + kTables[t]);
+          EXPECT_EQ(table.ok() ? WriteCsvToString(table.value()) : "<absent>",
+                    first[t]);
+        }
+      }
+    }
+  }
+  EXPECT_GT(fired_runs, 6u)
+      << "most kills never fired; retune the nth-hit ranges";
+}
+
+}  // namespace
+}  // namespace sgb::engine
